@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks: the Boolean substrate (ISOP, minimisation,
+//! dual computation, lattice evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nanoxbar_lattice::eval_top_bottom;
+use nanoxbar_lattice::synth::dual_based;
+use nanoxbar_logic::minimize::{espresso, quine_mccluskey, EspressoOptions, MinimizeObjective};
+use nanoxbar_logic::suite::{random_function, random_sop};
+use nanoxbar_logic::{dual_cover, isop_cover, TruthTable};
+
+fn cover_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("covers");
+    for n in [6usize, 8, 10] {
+        let f = random_function(n, 0.4, 0x15C + n as u64);
+        group.bench_with_input(BenchmarkId::new("isop", n), &f, |b, f| {
+            b.iter(|| isop_cover(std::hint::black_box(f)).product_count())
+        });
+        group.bench_with_input(BenchmarkId::new("dual", n), &f, |b, f| {
+            b.iter(|| dual_cover(std::hint::black_box(f)).product_count())
+        });
+    }
+    group.finish();
+}
+
+fn minimisation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimize");
+    for n in [5usize, 7] {
+        let f = random_function(n, 0.35, 0x9_11 + n as u64);
+        let dc = TruthTable::zeros(n);
+        group.bench_with_input(BenchmarkId::new("qm", n), &f, |b, f| {
+            b.iter(|| {
+                quine_mccluskey(std::hint::black_box(f), &dc, MinimizeObjective::default())
+                    .product_count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("espresso", n), &f, |b, f| {
+            b.iter(|| {
+                espresso(std::hint::black_box(f), &dc, &EspressoOptions::default())
+                    .product_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn lattice_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lattice-eval");
+    for n in [6usize, 8] {
+        let f = random_sop(n, n, 0xE7A1 + n as u64).to_truth_table();
+        let lattice = dual_based::synthesize(&f);
+        group.bench_with_input(
+            BenchmarkId::new(
+                format!("{}x{}", lattice.rows(), lattice.cols()),
+                n,
+            ),
+            &lattice,
+            |b, lattice| {
+                b.iter(|| {
+                    (0..(1u64 << n))
+                        .filter(|&m| eval_top_bottom(std::hint::black_box(lattice), m))
+                        .count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = cover_generation, minimisation, lattice_evaluation
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks: the fault-tolerance machinery (backs
+//! E6/E8/E9 timing behaviour).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nanoxbar_crossbar::ArraySize;
+use nanoxbar_logic::suite::random_sop;
+use nanoxbar_reliability::bism::{run_bism, Application, BismStrategy};
+use nanoxbar_reliability::bist::TestPlan;
+use nanoxbar_reliability::defect::DefectMap;
+use nanoxbar_reliability::fault::fault_universe;
+use nanoxbar_reliability::unaware::extract_greedy;
+
+fn bist_coverage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bist-coverage");
+    for n in [8usize, 16] {
+        let size = ArraySize::new(n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &size, |b, &size| {
+            let plan = TestPlan::generate(size);
+            let universe = fault_universe(size);
+            b.iter(|| {
+                let report = plan.coverage(size, std::hint::black_box(&universe));
+                assert_eq!(report.coverage(), 1.0);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bism_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bism");
+    let app = Application::from_cover(&random_sop(6, 6, 42));
+    let size = ArraySize::new(16, 16);
+    let chip = DefectMap::random_uniform(size, 0.07, 0.03, 11);
+    for (name, strategy) in [
+        ("blind", BismStrategy::Blind),
+        ("greedy", BismStrategy::Greedy),
+        ("hybrid", BismStrategy::Hybrid { blind_retries: 5 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let stats = run_bism(&app, std::hint::black_box(&chip), strategy, 400, 3);
+                assert!(stats.success);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn kxk_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kxk-extraction");
+    for n in [32usize, 64, 128] {
+        let chip = DefectMap::random_uniform(ArraySize::new(n, n), 0.05, 0.02, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &chip, |b, chip| {
+            b.iter(|| extract_greedy(std::hint::black_box(chip)).k())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bist_coverage, bism_strategies, kxk_extraction
+}
+criterion_main!(benches);

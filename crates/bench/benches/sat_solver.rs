@@ -1,0 +1,71 @@
+//! Criterion microbenchmarks: the CDCL solver substrate (backs E10's
+//! SAT-optimal lattice search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nanoxbar_logic::suite::SplitMix64;
+use nanoxbar_sat::{Cnf, Lit, Solver, Var};
+
+/// Random 3-SAT at the given clause/variable ratio.
+fn random_3sat(num_vars: usize, ratio: f64, seed: u64) -> Cnf {
+    let mut rng = SplitMix64::new(seed);
+    let mut cnf = Cnf::new();
+    let vars: Vec<Var> = cnf.fresh_vars(num_vars);
+    let clauses = (num_vars as f64 * ratio) as usize;
+    for _ in 0..clauses {
+        let mut clause = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let v = vars[rng.below(num_vars as u64) as usize];
+            clause.push(Lit::new(v, rng.chance(0.5)));
+        }
+        cnf.add_clause(clause);
+    }
+    cnf
+}
+
+/// Pigeonhole principle PHP(n+1, n) — UNSAT, exercises clause learning.
+#[allow(clippy::needless_range_loop)] // pairwise indexing is clearest here
+fn pigeonhole(holes: usize) -> Cnf {
+    let pigeons = holes + 1;
+    let mut cnf = Cnf::new();
+    let x: Vec<Vec<Lit>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| cnf.fresh_var().positive()).collect())
+        .collect();
+    for p in &x {
+        cnf.add_clause(p.iter().copied());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                cnf.add_clause([!x[p1][h], !x[p2][h]]);
+            }
+        }
+    }
+    cnf
+}
+
+fn solver_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat");
+    for n in [30usize, 60] {
+        let cnf = random_3sat(n, 3.5, 0x5A7 + n as u64);
+        group.bench_with_input(BenchmarkId::new("random-3sat", n), &cnf, |b, cnf| {
+            b.iter(|| Solver::from_cnf(std::hint::black_box(cnf)).solve().is_sat())
+        });
+    }
+    for holes in [5usize, 7] {
+        let cnf = pigeonhole(holes);
+        group.bench_with_input(BenchmarkId::new("pigeonhole", holes), &cnf, |b, cnf| {
+            b.iter(|| {
+                assert!(!Solver::from_cnf(std::hint::black_box(cnf)).solve().is_sat());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = solver_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! E8 — Sec. IV-B: blind vs greedy vs hybrid BISM across defect densities.
+//!
+//! Monte-Carlo over seeded chips: for each defect density, map a benchmark
+//! SOP with each strategy and report mean configuration attempts, mean
+//! test operations (BIST + BISD), and success rate. A second series uses
+//! chips whose density is bimodal across the population (local density
+//! variation) — the scenario the hybrid scheme targets.
+
+use nanoxbar_bench::{banner, f2};
+use nanoxbar_core::report::Table;
+use nanoxbar_crossbar::ArraySize;
+use nanoxbar_logic::suite::random_sop;
+use nanoxbar_reliability::bism::{run_bism, Application, BismStats, BismStrategy};
+use nanoxbar_reliability::defect::DefectMap;
+
+const CHIPS: u64 = 100;
+const MAX_ATTEMPTS: u64 = 400;
+const FABRIC: usize = 16;
+
+fn mean_stats<F: Fn(u64) -> DefectMap>(
+    app: &Application,
+    chip_of: F,
+    strategy: BismStrategy,
+) -> (f64, f64, f64) {
+    let mut attempts = 0u64;
+    let mut ops = 0u64;
+    let mut successes = 0u64;
+    for seed in 0..CHIPS {
+        let chip = chip_of(seed);
+        let s: BismStats = run_bism(app, &chip, strategy, MAX_ATTEMPTS, seed ^ 0xB15D);
+        attempts += s.attempts;
+        ops += s.bist_runs + s.bisd_runs;
+        successes += u64::from(s.success);
+    }
+    (
+        attempts as f64 / CHIPS as f64,
+        ops as f64 / CHIPS as f64,
+        successes as f64 / CHIPS as f64 * 100.0,
+    )
+}
+
+fn main() {
+    banner("E8 / Sec. IV-B", "BISM strategies vs defect density");
+
+    // A 6-product SOP over 6 variables: large enough that blind mapping
+    // visibly degrades once the defect density climbs.
+    let app = Application::from_cover(&random_sop(6, 6, 42));
+    let size = ArraySize::new(FABRIC, FABRIC);
+    println!(
+        "application: {} products over {} literal columns\n",
+        app.product_count(),
+        app.used_cols()
+    );
+
+    println!("uniform global density (fabric {FABRIC}x{FABRIC}, {CHIPS} chips/point):\n");
+    let mut table = Table::new(&[
+        "density",
+        "blind att",
+        "blind ops",
+        "blind ok%",
+        "greedy att",
+        "greedy ops",
+        "greedy ok%",
+        "hybrid att",
+        "hybrid ops",
+        "hybrid ok%",
+    ]);
+    for density in [0.001, 0.005, 0.01, 0.02, 0.05, 0.10, 0.15, 0.20] {
+        let chip_of = |seed: u64| {
+            DefectMap::random_uniform(size, density * 0.7, density * 0.3, seed * 31 + 7)
+        };
+        let blind = mean_stats(&app, chip_of, BismStrategy::Blind);
+        let greedy = mean_stats(&app, chip_of, BismStrategy::Greedy);
+        let hybrid = mean_stats(&app, chip_of, BismStrategy::Hybrid { blind_retries: 5 });
+        table.row_owned(vec![
+            format!("{:.1}%", density * 100.0),
+            f2(blind.0),
+            f2(blind.1),
+            f2(blind.2),
+            f2(greedy.0),
+            f2(greedy.1),
+            f2(greedy.2),
+            f2(hybrid.0),
+            f2(hybrid.1),
+            f2(hybrid.2),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("bimodal per-chip density (80% clean 0.5%, 20% dirty 15%):\n");
+    let mut table = Table::new(&["strategy", "mean attempts", "mean test ops", "success %"]);
+    let chip_of = |seed: u64| {
+        let density = if seed.is_multiple_of(5) { 0.15 } else { 0.005 };
+        DefectMap::random_uniform(size, density * 0.7, density * 0.3, seed * 131 + 13)
+    };
+    for (name, strategy) in [
+        ("blind", BismStrategy::Blind),
+        ("greedy", BismStrategy::Greedy),
+        ("hybrid(5)", BismStrategy::Hybrid { blind_retries: 5 }),
+    ] {
+        let (att, ops, ok) = mean_stats(&app, chip_of, strategy);
+        table.row_owned(vec![name.to_string(), f2(att), f2(ops), f2(ok)]);
+    }
+    println!("{}", table.render());
+
+    println!(
+        "paper claims (Sec. IV-B): blind is fast/effective at low densities \
+         but degrades with too many retries at high densities; greedy uses \
+         diagnosis to stay effective; hybrid tracks the better of the two \
+         across global and local density variation. Compare the attempt \
+         columns above."
+    );
+}

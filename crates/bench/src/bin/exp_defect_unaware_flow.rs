@@ -1,0 +1,123 @@
+//! E9 — Sec. IV-C / Fig. 6: defect-unaware vs defect-aware design flow.
+//!
+//! Series 1: recovered defect-free sub-crossbar side `k` (and `k/N`) vs
+//! fabric size and defect density, with the `O(N)` map storage against the
+//! `O(N²)` full map.
+//!
+//! Series 2: per-application cost — the defect-aware baseline re-places
+//! every application on every chip (bipartite matching against the defect
+//! map), while the defect-unaware flow pays one extraction per chip and
+//! places applications trivially afterwards.
+
+use std::time::Instant;
+
+use nanoxbar_bench::{banner, f2};
+use nanoxbar_core::report::Table;
+use nanoxbar_crossbar::ArraySize;
+use nanoxbar_logic::suite::random_sop;
+use nanoxbar_reliability::bism::Application;
+use nanoxbar_reliability::defect::DefectMap;
+use nanoxbar_reliability::unaware::{defect_aware_place, extract_greedy};
+
+const CHIPS: u64 = 25;
+
+fn main() {
+    banner("E9 / Fig. 6", "defect-unaware flow: k-recovery and amortised cost");
+
+    println!("series 1: recovered k vs N and defect density ({CHIPS} chips/point)\n");
+    let mut table = Table::new(&[
+        "N", "density", "mean k", "k/N", "map bytes O(N)", "full map O(N^2)",
+    ]);
+    for n in [16usize, 32, 64, 128] {
+        for density in [0.01, 0.05, 0.10, 0.20] {
+            let size = ArraySize::new(n, n);
+            let mut k_sum = 0usize;
+            let mut bytes = 0usize;
+            for seed in 0..CHIPS {
+                let chip =
+                    DefectMap::random_uniform(size, density * 0.7, density * 0.3, seed * 7 + 1);
+                let rec = extract_greedy(&chip);
+                assert!(rec.is_defect_free(&chip));
+                k_sum += rec.k();
+                bytes = rec.storage_bytes(2);
+            }
+            let mean_k = k_sum as f64 / CHIPS as f64;
+            table.row_owned(vec![
+                n.to_string(),
+                format!("{:.0}%", density * 100.0),
+                f2(mean_k),
+                f2(mean_k / n as f64),
+                bytes.to_string(),
+                (n * n / 8).to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    println!("series 2: per-application mapping cost, 20 applications/chip\n");
+    let mut table = Table::new(&[
+        "N",
+        "density",
+        "aware us/app",
+        "unaware us/app (amortised)",
+        "aware ok%",
+        "unaware ok%",
+    ]);
+    let apps: Vec<Application> = (0..20)
+        .map(|i| Application::from_cover(&random_sop(6, 5, 0xA99 + i)))
+        .collect();
+    for n in [32usize, 64] {
+        for density in [0.05, 0.10] {
+            let size = ArraySize::new(n, n);
+            let mut aware_time = 0.0f64;
+            let mut unaware_time = 0.0f64;
+            let mut aware_ok = 0usize;
+            let mut unaware_ok = 0usize;
+            let mut total = 0usize;
+            for seed in 0..CHIPS {
+                let chip =
+                    DefectMap::random_uniform(size, density * 0.7, density * 0.3, seed * 17 + 3);
+
+                // Defect-aware: per-application matching on the raw chip.
+                let t0 = Instant::now();
+                for app in &apps {
+                    let needs: Vec<Vec<usize>> =
+                        (0..app.product_count()).map(|p| app.physical_needs(p)).collect();
+                    if defect_aware_place(&chip, &needs, app.used_cols()).is_some() {
+                        aware_ok += 1;
+                    }
+                }
+                aware_time += t0.elapsed().as_secs_f64();
+
+                // Defect-unaware: one extraction, then trivial placement.
+                let t0 = Instant::now();
+                let rec = extract_greedy(&chip);
+                for app in &apps {
+                    if app.product_count() <= rec.k() && app.used_cols() <= rec.k() {
+                        unaware_ok += 1;
+                    }
+                }
+                unaware_time += t0.elapsed().as_secs_f64();
+                total += apps.len();
+            }
+            let per_app = 1e6 / (total as f64);
+            table.row_owned(vec![
+                n.to_string(),
+                format!("{:.0}%", density * 100.0),
+                f2(aware_time * per_app),
+                f2(unaware_time * per_app),
+                f2(aware_ok as f64 / total as f64 * 100.0),
+                f2(unaware_ok as f64 / total as f64 * 100.0),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    println!(
+        "paper claims (Fig. 6): the defect-unaware flow stores an O(N) map \
+         instead of a huge per-chip map, keeps design steps defect-free, and \
+         amortises the per-chip work across all applications. Series 1 shows \
+         k/N degrading gracefully with density; series 2 shows the amortised \
+         per-application cost advantage."
+    );
+}

@@ -1,0 +1,77 @@
+//! E13 (extension) — Sec. IV variation tolerance: parametric variation as
+//! delay spread.
+//!
+//! Sweeps the crosspoint-resistance variation σ and reports the worst-case
+//! delay spread (mean, p99, guard-band factor) of four-terminal lattices
+//! and diode arrays for representative functions — the "predictability and
+//! performance" axis the paper's variation-tolerance work package targets.
+
+use nanoxbar_bench::{banner, f2};
+use nanoxbar_core::report::Table;
+use nanoxbar_crossbar::DiodeArray;
+use nanoxbar_lattice::synth::dual_based;
+use nanoxbar_logic::{isop_cover, parse_function, TruthTable};
+use nanoxbar_reliability::variation::{
+    diode_worst_delay, lattice_delay_spread, ResistanceField,
+};
+
+const SAMPLES: u64 = 200;
+
+fn main() {
+    banner("E13 / Sec. IV", "parametric variation -> delay spread and guard-band");
+
+    let cases: Vec<(&str, TruthTable)> = vec![
+        ("xnor2", parse_function("x0 x1 + !x0 !x1").expect("static")),
+        ("maj3", nanoxbar_logic::suite::majority(3)),
+        ("chain4", parse_function("x0 x1 + x1 x2 + x2 x3").expect("static")),
+    ];
+
+    println!("four-terminal lattices ({} variation fields per point):\n", SAMPLES);
+    let mut table = Table::new(&[
+        "function", "sigma", "nominal", "mean", "p99", "guard-band",
+    ]);
+    for (name, f) in &cases {
+        let lattice = dual_based::synthesize(f);
+        for sigma in [0.05, 0.10, 0.20, 0.30] {
+            let s = lattice_delay_spread(&lattice, sigma, SAMPLES, 0xDE1A);
+            table.row_owned(vec![
+                name.to_string(),
+                f2(sigma),
+                f2(s.nominal),
+                f2(s.mean),
+                f2(s.p99),
+                format!("{}x", f2(s.guard_band())),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    println!("diode arrays, worst-case conducting-row delay at sigma = 0.2:\n");
+    let mut table = Table::new(&["function", "nominal", "p99 (200 fields)", "guard-band"]);
+    for (name, f) in &cases {
+        let array = DiodeArray::synthesize(&isop_cover(f));
+        let nominal = diode_worst_delay(&array, &ResistanceField::nominal(array.size()))
+            .expect("non-constant function conducts");
+        let mut delays: Vec<f64> = (0..SAMPLES)
+            .map(|i| {
+                let field = ResistanceField::random(array.size(), 0.2, 0xD10D + i);
+                diode_worst_delay(&array, &field).expect("conductivity unchanged")
+            })
+            .collect();
+        delays.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let p99 = delays[(delays.len() as f64 * 0.99) as usize - 1];
+        table.row_owned(vec![
+            name.to_string(),
+            f2(nominal),
+            f2(p99),
+            format!("{}x", f2(p99 / nominal)),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!(
+        "shape: guard-band grows monotonically with sigma; lattices pay \
+         longer paths (higher nominal) but parallel path choice damps the \
+         p99 growth — the predictability argument of Sec. IV."
+    );
+}

@@ -1,0 +1,35 @@
+//! # nanoxbar-bench
+//!
+//! Experiment harness regenerating every figure and evaluation claim of
+//! *"Computing with Nano-Crossbar Arrays"* (DATE 2017). Each `exp_*`
+//! binary prints the rows/series for one experiment from `DESIGN.md` §4;
+//! `EXPERIMENTS.md` records the paper-vs-measured outcomes. The
+//! `benches/` directory holds Criterion microbenchmarks of the underlying
+//! algorithms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints an experiment banner (id + description), so every binary's
+/// output is self-identifying in logs.
+pub fn banner(id: &str, title: &str) {
+    println!("==========================================================");
+    println!("{id}: {title}");
+    println!("==========================================================");
+}
+
+/// Formats a float with two decimals for table cells.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f2_formats() {
+        assert_eq!(f2(1.0), "1.00");
+        assert_eq!(f2(2.345), "2.35");
+    }
+}

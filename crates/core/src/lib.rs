@@ -1,0 +1,44 @@
+//! # nanoxbar-core
+//!
+//! The top of the `nanoxbar` stack — a reproduction of *"Computing with
+//! Nano-Crossbar Arrays: Logic Synthesis and Fault Tolerance"* (Altun,
+//! Ciriani, Tahoori — DATE 2017). This crate ties the substrates together
+//! into the paper's flows:
+//!
+//! * [`Technology`] / [`synthesize`] — one entry point for the three
+//!   crosspoint technologies (diode, FET, four-terminal lattice);
+//! * [`compare`] — the Sec. III size comparison across a benchmark suite;
+//! * [`flow`] — the defect-unaware design flow of Fig. 6(b), end to end:
+//!   synthesise → recover a defect-free sub-crossbar → place → BIST;
+//! * [`arith`], [`memory`], [`ssm`] — the announced future-work items
+//!   (Sec. V): crossbar adders, latches/registers, and a synchronous state
+//!   machine built from them;
+//! * [`report`] — text tables for the experiment binaries.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nanoxbar_core::{synthesize, Technology};
+//! use nanoxbar_logic::parse_function;
+//!
+//! // The paper's worked example, on all three technologies.
+//! let f = parse_function("x0 x1 + !x0 !x1")?;
+//! for tech in Technology::ALL {
+//!     let r = synthesize(&f, tech);
+//!     assert!(r.computes(&f));
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod compare;
+pub mod flow;
+pub mod memory;
+pub mod report;
+pub mod ssm;
+mod tech;
+
+pub use tech::{synthesize, Realization, Technology};

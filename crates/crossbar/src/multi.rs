@@ -1,0 +1,268 @@
+//! Multi-output diode arrays with product sharing.
+//!
+//! A real nano-crossbar chip implements *several* outputs on one array — a
+//! PLA. Identical products are fabricated once and feed every output that
+//! uses them through that output's wired-OR column, so the array size is
+//! `P_distinct × (L + O)` instead of `Σ_o P_o × (L_o + 1)` for separate
+//! arrays. This is the array form the paper's SSM (Sec. V) ultimately
+//! needs: next-state logic is inherently multi-output.
+
+use nanoxbar_logic::{Cover, Cube, Literal, TruthTable};
+
+use crate::diode::distinct_literals;
+use crate::topology::{ArraySize, Crossbar};
+
+/// A diode PLA realising several SOP covers on one shared array.
+///
+/// # Examples
+///
+/// ```
+/// use nanoxbar_crossbar::MultiOutputDiodeArray;
+/// use nanoxbar_logic::{isop_cover, parse_function};
+///
+/// // Sum and carry of a half adder share the input columns.
+/// let sum = parse_function("x0 !x1 + !x0 x1")?;
+/// let carry = parse_function("x0 x1")?;
+/// let pla = MultiOutputDiodeArray::synthesize(&[isop_cover(&sum), isop_cover(&carry)]);
+/// assert!(pla.computes(0, &sum) && pla.computes(1, &carry));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct MultiOutputDiodeArray {
+    grid: Crossbar,
+    column_literals: Vec<Literal>,
+    /// Distinct products, one fabric row each.
+    products: Vec<Cube>,
+    num_outputs: usize,
+    num_vars: usize,
+}
+
+impl MultiOutputDiodeArray {
+    /// Builds the shared array: rows are the *distinct* cubes across all
+    /// covers; columns are the distinct literals of the union plus one
+    /// output column per cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no covers are given, arities differ, or any cover is
+    /// constant (constants need no array).
+    pub fn synthesize(covers: &[Cover]) -> Self {
+        assert!(!covers.is_empty(), "need at least one output");
+        let num_vars = covers[0].num_vars();
+        for c in covers {
+            assert_eq!(c.num_vars(), num_vars, "cover arity mismatch");
+            assert!(
+                !c.is_zero_cover() && !c.has_universe_cube(),
+                "constant outputs need no array"
+            );
+        }
+        // Distinct literal columns over the union of covers.
+        let union = Cover::from_cubes(
+            num_vars,
+            covers.iter().flat_map(|c| c.cubes().iter().copied()).collect(),
+        )
+        .expect("uniform arity");
+        let column_literals = distinct_literals(&union);
+
+        // Distinct products (first-seen order).
+        let mut products: Vec<Cube> = Vec::new();
+        for cover in covers {
+            for &cube in cover.cubes() {
+                if !products.contains(&cube) {
+                    products.push(cube);
+                }
+            }
+        }
+
+        let rows = products.len();
+        let cols = column_literals.len() + covers.len();
+        let mut grid = Crossbar::new(ArraySize::new(rows, cols));
+        for (r, cube) in products.iter().enumerate() {
+            for lit in cube.literals() {
+                let c = column_literals
+                    .iter()
+                    .position(|&l| l == lit)
+                    .expect("union literal set is complete");
+                grid.set(r, c, true);
+            }
+        }
+        for (o, cover) in covers.iter().enumerate() {
+            for cube in cover.cubes() {
+                let r = products
+                    .iter()
+                    .position(|p| p == cube)
+                    .expect("every cube is a distinct product");
+                grid.set(r, column_literals.len() + o, true);
+            }
+        }
+        MultiOutputDiodeArray {
+            grid,
+            column_literals,
+            products,
+            num_outputs: covers.len(),
+            num_vars,
+        }
+    }
+
+    /// Array dimensions (`P_distinct × (L + O)`).
+    pub fn size(&self) -> ArraySize {
+        self.grid.size()
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Number of shared product rows.
+    pub fn product_rows(&self) -> usize {
+        self.products.len()
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &Crossbar {
+        &self.grid
+    }
+
+    /// Evaluates output `o` on minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is out of range.
+    pub fn eval(&self, o: usize, m: u64) -> bool {
+        assert!(o < self.num_outputs, "output {o} out of range");
+        let out_col = self.column_literals.len() + o;
+        (0..self.products.len()).any(|r| {
+            self.grid.is_programmed(r, out_col)
+                && self
+                    .column_literals
+                    .iter()
+                    .enumerate()
+                    .all(|(c, lit)| !self.grid.is_programmed(r, c) || lit.eval(m))
+        })
+    }
+
+    /// Exhaustively checks output `o` against a target function.
+    pub fn computes(&self, o: usize, f: &TruthTable) -> bool {
+        f.num_vars() == self.num_vars
+            && (0..f.num_minterms()).all(|m| self.eval(o, m) == f.value(m))
+    }
+
+    /// Total crosspoints of the shared array.
+    pub fn area(&self) -> usize {
+        self.size().area()
+    }
+
+    /// Total crosspoints if each output had its own array (the sharing
+    /// baseline).
+    pub fn separate_area(covers: &[Cover]) -> usize {
+        covers
+            .iter()
+            .map(|c| c.product_count() * (c.distinct_literal_count() + 1))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoxbar_logic::{isop_cover, parse_function};
+
+    fn covers(exprs: &[&str], arity: usize) -> (Vec<Cover>, Vec<TruthTable>) {
+        let tables: Vec<TruthTable> = exprs
+            .iter()
+            .map(|e| {
+                let f = parse_function(e).unwrap();
+                f.extend_vars(arity - f.num_vars())
+            })
+            .collect();
+        (tables.iter().map(isop_cover).collect(), tables)
+    }
+
+    #[test]
+    fn half_adder_shares_columns() {
+        let (cs, fs) = covers(&["x0 !x1 + !x0 x1", "x0 x1"], 2);
+        let pla = MultiOutputDiodeArray::synthesize(&cs);
+        assert!(pla.computes(0, &fs[0]));
+        assert!(pla.computes(1, &fs[1]));
+        // 3 distinct products, 4 literals, 2 outputs -> 3 x 6.
+        assert_eq!(pla.size(), ArraySize::new(3, 6));
+    }
+
+    #[test]
+    fn heavy_product_overlap_beats_separate_arrays() {
+        // Four products shared by three outputs: the PLA fabricates each
+        // product once, while separate arrays repeat them.
+        let n = 4;
+        let p1 = Cube::universe(n).with_positive(0).with_positive(1);
+        let p2 = Cube::universe(n).with_positive(2).with_positive(3);
+        let p3 = Cube::universe(n).with_negative(0).with_positive(2);
+        let p4 = Cube::universe(n).with_positive(1).with_negative(3);
+        let mk = |cubes: Vec<Cube>| Cover::from_cubes(n, cubes).unwrap();
+        let cs = vec![
+            mk(vec![p1, p2, p3]),
+            mk(vec![p2, p3, p4]),
+            mk(vec![p1, p3, p4]),
+        ];
+        let pla = MultiOutputDiodeArray::synthesize(&cs);
+        for (o, c) in cs.iter().enumerate() {
+            assert!(pla.computes(o, &c.to_truth_table()), "output {o}");
+        }
+        assert_eq!(pla.product_rows(), 4);
+        assert!(
+            pla.area() < MultiOutputDiodeArray::separate_area(&cs),
+            "shared {} vs separate {}",
+            pla.area(),
+            MultiOutputDiodeArray::separate_area(&cs)
+        );
+    }
+
+    #[test]
+    fn shared_products_are_fabricated_once() {
+        // Both outputs contain the product x0 x1: one row serves both.
+        let (cs, fs) = covers(&["x0 x1 + x2", "x0 x1 + !x2"], 3);
+        let pla = MultiOutputDiodeArray::synthesize(&cs);
+        assert_eq!(pla.product_rows(), 3); // x0x1, x2, !x2
+        assert!(pla.computes(0, &fs[0]));
+        assert!(pla.computes(1, &fs[1]));
+    }
+
+    #[test]
+    fn many_outputs_random() {
+        let mut state = 0x9A11u64;
+        for _ in 0..10 {
+            let mut cs = Vec::new();
+            let mut fs = Vec::new();
+            for o in 0..3 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let bits = state.wrapping_add(o);
+                let f = TruthTable::from_fn(4, |m| (bits >> (m % 64)) & 1 == 1);
+                if f.is_zero() || f.is_ones() {
+                    return; // rare; skip this trial entirely
+                }
+                cs.push(isop_cover(&f));
+                fs.push(f);
+            }
+            let pla = MultiOutputDiodeArray::synthesize(&cs);
+            for (o, f) in fs.iter().enumerate() {
+                assert!(pla.computes(o, f), "output {o}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one output")]
+    fn empty_output_list_rejected() {
+        let _ = MultiOutputDiodeArray::synthesize(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover arity mismatch")]
+    fn arity_mismatch_rejected() {
+        let a = isop_cover(&parse_function("x0").unwrap());
+        let b = isop_cover(&parse_function("x0 x1").unwrap());
+        let _ = MultiOutputDiodeArray::synthesize(&[a, b]);
+    }
+}

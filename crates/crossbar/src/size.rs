@@ -1,0 +1,71 @@
+//! Size accounting across the two-terminal technologies (paper Fig. 3).
+
+use nanoxbar_logic::{dual_cover, isop_cover, TruthTable};
+
+use crate::diode::diode_size_formula;
+use crate::fet::fet_size_formula;
+use crate::topology::ArraySize;
+
+/// Sizes of both two-terminal realisations of a function, derived from
+/// irredundant covers of `f` and `f^D`.
+///
+/// ```
+/// use nanoxbar_crossbar::two_terminal_sizes;
+/// use nanoxbar_logic::parse_function;
+///
+/// let f = parse_function("x0 x1 + !x0 !x1")?;
+/// let sizes = two_terminal_sizes(&f);
+/// assert_eq!(sizes.diode.to_string(), "2x5");
+/// assert_eq!(sizes.fet.to_string(), "4x4");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TwoTerminalSizes {
+    /// Diode array: `P × (L+1)`.
+    pub diode: ArraySize,
+    /// FET array: `L × (P + P^D)`.
+    pub fet: ArraySize,
+}
+
+/// Computes both Fig. 3 sizes for `f`.
+///
+/// # Panics
+///
+/// Panics if `f` is constant (constants need no array).
+pub fn two_terminal_sizes(f: &TruthTable) -> TwoTerminalSizes {
+    assert!(!f.is_zero() && !f.is_ones(), "constant functions need no array");
+    let fc = isop_cover(f);
+    let dc = dual_cover(f);
+    TwoTerminalSizes {
+        diode: diode_size_formula(&fc),
+        fet: fet_size_formula(&fc, &dc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoxbar_logic::parse_function;
+
+    #[test]
+    fn matches_constructed_arrays() {
+        use crate::diode::DiodeArray;
+        use crate::fet::FetArray;
+        use nanoxbar_logic::{dual_cover, isop_cover};
+
+        for expr in ["x0 x1 + !x0 !x1", "x0 + x1 x2", "x0 ^ x1 ^ x2"] {
+            let f = parse_function(expr).unwrap();
+            let sizes = two_terminal_sizes(&f);
+            let diode = DiodeArray::synthesize(&isop_cover(&f));
+            let fet = FetArray::synthesize(&isop_cover(&f), &dual_cover(&f));
+            assert_eq!(sizes.diode, diode.size(), "{expr}");
+            assert_eq!(sizes.fet, fet.size(), "{expr}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "constant")]
+    fn constant_rejected() {
+        let _ = two_terminal_sizes(&TruthTable::ones(2));
+    }
+}

@@ -1,0 +1,41 @@
+//! # nanoxbar-lattice
+//!
+//! Four-terminal switching lattices for the `nanoxbar` reproduction of
+//! *"Computing with Nano-Crossbar Arrays"* (DATE 2017), Secs. III-B and
+//! Figs. 1, 4, 5.
+//!
+//! A lattice is a grid of four-terminal switches, each controlled by a
+//! literal; the computed function is top→bottom connectivity through ON
+//! switches. The crate provides the grid model ([`Lattice`]), percolation
+//! evaluation and the planar-duality check ([`eval`]), and the full
+//! synthesis stack ([`synth`]): the Altun–Riedel dual-based construction,
+//! OR/AND composition, P-circuit and D-reducible preprocessing, and
+//! SAT-based optimal synthesis.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nanoxbar_lattice::synth::dual_based;
+//! use nanoxbar_logic::parse_function;
+//!
+//! // Paper Sec. III-B: f = x1x2 + x1'x2' fits a 2x2 lattice.
+//! let f = parse_function("x0 x1 + !x0 !x1")?;
+//! let lattice = dual_based::synthesize(&f);
+//! assert_eq!((lattice.rows(), lattice.cols()), (2, 2));
+//! assert!(lattice.computes(&f));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod eval;
+mod lattice;
+pub mod synth;
+
+pub use eval::{
+    computes_dual_left_right, eval_dual, eval_left_right_king, eval_top_bottom,
+    lattice_dual_function, lattice_function,
+};
+pub use lattice::{Lattice, Site};

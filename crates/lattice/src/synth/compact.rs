@@ -1,0 +1,186 @@
+//! Lattice compaction: a verification-backed post-optimisation pass.
+//!
+//! The dual-based construction (and the compositions built on it) often
+//! leaves redundant rows or columns. This pass greedily tries deleting
+//! every row and every column — and downgrading literal sites to
+//! constants — re-verifying the computed function exhaustively after each
+//! candidate edit, until a fixpoint. It is the workspace's ablation knob
+//! for the "how far can cheap local optimisation close the optimality
+//! gap?" question (`exp_ablation`), sitting between the Fig. 5 formula
+//! sizes and the SAT-optimal results of E10.
+
+use nanoxbar_logic::TruthTable;
+
+use crate::lattice::{Lattice, Site};
+
+/// Removes row `r`, returning `None` if the lattice would become empty.
+fn without_row(lattice: &Lattice, r: usize) -> Option<Lattice> {
+    if lattice.rows() == 1 {
+        return None;
+    }
+    let rows = (0..lattice.rows())
+        .filter(|&i| i != r)
+        .map(|i| (0..lattice.cols()).map(|c| lattice.site(i, c)).collect())
+        .collect();
+    Some(Lattice::from_rows(lattice.num_vars(), rows).expect("rectangular by construction"))
+}
+
+/// Removes column `c`, returning `None` if the lattice would become empty.
+fn without_col(lattice: &Lattice, c: usize) -> Option<Lattice> {
+    if lattice.cols() == 1 {
+        return None;
+    }
+    let rows = (0..lattice.rows())
+        .map(|r| {
+            (0..lattice.cols())
+                .filter(|&j| j != c)
+                .map(|j| lattice.site(r, j))
+                .collect()
+        })
+        .collect();
+    Some(Lattice::from_rows(lattice.num_vars(), rows).expect("rectangular by construction"))
+}
+
+/// Compacts a lattice while preserving its function exactly.
+///
+/// Complexity: each accepted edit costs a full re-verification
+/// (`O(2^n · area)`), so this is meant for the paper's problem scale.
+///
+/// # Examples
+///
+/// ```
+/// use nanoxbar_lattice::synth::{compact::compact, dual_based};
+/// use nanoxbar_logic::parse_function;
+///
+/// let f = parse_function("x0x1x2 + x0x1x4x5 + x1x2x3x4 + x3x4x5")?;
+/// let generic = dual_based::synthesize(&f);
+/// let small = compact(&generic);
+/// assert!(small.computes(&f));
+/// assert!(small.area() <= generic.area());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compact(lattice: &Lattice) -> Lattice {
+    let target = lattice.to_truth_table();
+    compact_to(lattice, &target)
+}
+
+/// Compacts against an explicit target function (callers that already know
+/// the target avoid one evaluation pass).
+///
+/// # Panics
+///
+/// Panics if the lattice does not compute `target` to begin with.
+pub fn compact_to(lattice: &Lattice, target: &TruthTable) -> Lattice {
+    assert!(lattice.computes(target), "input lattice must compute the target");
+    let mut current = lattice.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Try deleting rows (bottom-up so indices stay stable per pass).
+        let mut r = 0;
+        while r < current.rows() {
+            if let Some(candidate) = without_row(&current, r) {
+                if candidate.computes(target) {
+                    current = candidate;
+                    changed = true;
+                    continue; // same index now names the next row
+                }
+            }
+            r += 1;
+        }
+        let mut c = 0;
+        while c < current.cols() {
+            if let Some(candidate) = without_col(&current, c) {
+                if candidate.computes(target) {
+                    current = candidate;
+                    changed = true;
+                    continue;
+                }
+            }
+            c += 1;
+        }
+        // Try simplifying literal sites to constants (a constant site is
+        // cheaper to fabricate and never needs an input line).
+        for r in 0..current.rows() {
+            for c in 0..current.cols() {
+                if let Site::Literal(_) = current.site(r, c) {
+                    for replacement in [Site::Const(false), Site::Const(true)] {
+                        let mut candidate = current.clone();
+                        candidate.set_site(r, c, replacement);
+                        if candidate.computes(target) {
+                            current = candidate;
+                            changed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::dual_based;
+    use nanoxbar_logic::parse_function;
+
+    #[test]
+    fn preserves_function_on_random_inputs() {
+        let mut state = 0xC03FAC7u64;
+        for n in 2..=5 {
+            for _ in 0..15 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let bits = state;
+                let f = TruthTable::from_fn(n, |m| (bits >> (m % 64)) & 1 == 1);
+                let lattice = dual_based::synthesize(&f);
+                let compacted = compact(&lattice);
+                assert!(compacted.computes(&f), "n={n}");
+                assert!(compacted.area() <= lattice.area());
+            }
+        }
+    }
+
+    #[test]
+    fn shrinks_redundant_padding() {
+        // Padding adds provably redundant lines; compaction must remove
+        // them again.
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let lattice = dual_based::synthesize(&f).pad_to_rows(4).pad_to_cols(5);
+        let compacted = compact(&lattice);
+        assert!(compacted.computes(&f));
+        assert_eq!(compacted.area(), 4, "{compacted}");
+    }
+
+    #[test]
+    fn closes_part_of_the_optimality_gap_on_maj3() {
+        // Dual-based maj3 is 3x3 = 9; the optimum is 6 (E10). Compaction
+        // should not be *worse* than the formula and often helps.
+        let f = nanoxbar_logic::suite::majority(3);
+        let lattice = dual_based::synthesize(&f);
+        let compacted = compact(&lattice);
+        assert!(compacted.computes(&f));
+        assert!(compacted.area() <= 9);
+    }
+
+    #[test]
+    fn one_by_one_lattices_are_already_minimal() {
+        let f = parse_function("x0").unwrap();
+        let lattice = dual_based::synthesize(&f);
+        let compacted = compact(&lattice);
+        assert_eq!(compacted.area(), 1);
+        assert!(compacted.computes(&f));
+    }
+
+    #[test]
+    #[should_panic(expected = "must compute the target")]
+    fn wrong_target_rejected() {
+        let f = parse_function("x0").unwrap();
+        let g = parse_function("!x0").unwrap();
+        let lattice = dual_based::synthesize(&f);
+        let _ = compact_to(&lattice, &g);
+    }
+}

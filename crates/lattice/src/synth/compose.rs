@@ -1,0 +1,163 @@
+//! Lattice composition rules (paper Sec. III-B-1, after ref \[3\]).
+//!
+//! Given lattices for `f` and `g`:
+//!
+//! * `f + g` — place them side by side separated by a **column of 0s**
+//!   (heights equalised by bottom-row duplication, which preserves the
+//!   computed function);
+//! * `f · g` — stack them separated by a **row of 1s** (widths equalised by
+//!   right-column duplication);
+//! * `lit · f` — a uniform literal row on top ANDs the literal in for the
+//!   cost of one row (every top→bottom path crosses every row).
+
+use nanoxbar_logic::Literal;
+
+use crate::lattice::{Lattice, Site};
+
+/// OR-composition: `result = f + g`.
+///
+/// # Panics
+///
+/// Panics if the lattices disagree on arity.
+///
+/// # Examples
+///
+/// ```
+/// use nanoxbar_lattice::synth::compose::or_compose;
+/// use nanoxbar_lattice::synth::dual_based::synthesize;
+/// use nanoxbar_logic::parse_function;
+///
+/// let f = parse_function("x0 x1")?;
+/// let g = parse_function("!x0 x2")?.extend_vars(0);
+/// let combined = or_compose(&synthesize(&f.extend_vars(1)), &synthesize(&g));
+/// assert!(combined.computes(&parse_function("x0 x1 + !x0 x2")?));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn or_compose(f: &Lattice, g: &Lattice) -> Lattice {
+    assert_eq!(f.num_vars(), g.num_vars(), "arity mismatch");
+    let rows = f.rows().max(g.rows());
+    let f = f.pad_to_rows(rows);
+    let g = g.pad_to_rows(rows);
+    let mut grid: Vec<Vec<Site>> = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let mut row = Vec::with_capacity(f.cols() + 1 + g.cols());
+        for c in 0..f.cols() {
+            row.push(f.site(r, c));
+        }
+        row.push(Site::Const(false));
+        for c in 0..g.cols() {
+            row.push(g.site(r, c));
+        }
+        grid.push(row);
+    }
+    Lattice::from_rows(f.num_vars(), grid).expect("rectangular by construction")
+}
+
+/// AND-composition: `result = f · g`.
+///
+/// # Panics
+///
+/// Panics if the lattices disagree on arity.
+pub fn and_compose(f: &Lattice, g: &Lattice) -> Lattice {
+    assert_eq!(f.num_vars(), g.num_vars(), "arity mismatch");
+    let cols = f.cols().max(g.cols());
+    let f = f.pad_to_cols(cols);
+    let g = g.pad_to_cols(cols);
+    let mut grid: Vec<Vec<Site>> = Vec::with_capacity(f.rows() + 1 + g.rows());
+    for r in 0..f.rows() {
+        grid.push((0..cols).map(|c| f.site(r, c)).collect());
+    }
+    grid.push(vec![Site::Const(true); cols]);
+    for r in 0..g.rows() {
+        grid.push((0..cols).map(|c| g.site(r, c)).collect());
+    }
+    Lattice::from_rows(f.num_vars(), grid).expect("rectangular by construction")
+}
+
+/// ANDs a single literal into a lattice by prepending a uniform row of that
+/// literal — one extra row instead of a full AND-composition.
+///
+/// # Panics
+///
+/// Panics if the literal is out of range for the lattice's arity.
+pub fn and_literal(lit: Literal, f: &Lattice) -> Lattice {
+    assert!(lit.var() < f.num_vars(), "literal out of range");
+    let mut grid: Vec<Vec<Site>> = Vec::with_capacity(f.rows() + 1);
+    grid.push(vec![Site::Literal(lit); f.cols()]);
+    for r in 0..f.rows() {
+        grid.push((0..f.cols()).map(|c| f.site(r, c)).collect());
+    }
+    Lattice::from_rows(f.num_vars(), grid).expect("rectangular by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::dual_based::synthesize;
+    use nanoxbar_logic::{parse_function, TruthTable};
+
+    fn f_of(expr: &str, n: usize) -> TruthTable {
+        let tt = parse_function(expr).unwrap();
+        assert!(tt.num_vars() <= n);
+        tt.extend_vars(n - tt.num_vars())
+    }
+
+    #[test]
+    fn or_compose_matches_disjunction() {
+        let a = f_of("x0 x1", 3);
+        let b = f_of("!x0 x2", 3);
+        let l = or_compose(&synthesize(&a), &synthesize(&b));
+        assert!(l.computes(&a.or(&b)));
+    }
+
+    #[test]
+    fn and_compose_matches_conjunction() {
+        let a = f_of("x0 + x1", 3);
+        let b = f_of("x1 + x2", 3);
+        let l = and_compose(&synthesize(&a), &synthesize(&b));
+        assert!(l.computes(&a.and(&b)));
+    }
+
+    #[test]
+    fn and_literal_is_one_row() {
+        let a = f_of("x0 + x1", 3);
+        let base = synthesize(&a);
+        let l = and_literal(nanoxbar_logic::Literal::positive(2), &base);
+        assert_eq!(l.rows(), base.rows() + 1);
+        assert!(l.computes(&a.and(&TruthTable::variable(3, 2))));
+    }
+
+    #[test]
+    fn compose_random_pairs() {
+        let mut state = 0xC011AB0u64;
+        for _ in 0..20 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let bits_a = state;
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let bits_b = state;
+            let n = 4;
+            let a = TruthTable::from_fn(n, |m| (bits_a >> (m % 64)) & 1 == 1);
+            let b = TruthTable::from_fn(n, |m| (bits_b >> (m % 64)) & 1 == 1);
+            let la = synthesize(&a);
+            let lb = synthesize(&b);
+            assert!(or_compose(&la, &lb).computes(&a.or(&b)));
+            assert!(and_compose(&la, &lb).computes(&a.and(&b)));
+        }
+    }
+
+    #[test]
+    fn mixed_height_and_width_composition() {
+        // One tall narrow lattice with one short wide lattice.
+        let tall = f_of("x0 x1 x2", 4);
+        let wide = f_of("x0 + x1 + x3", 4);
+        let lt = synthesize(&tall);
+        let lw = synthesize(&wide);
+        assert_ne!(lt.rows(), lw.rows());
+        assert!(or_compose(&lt, &lw).computes(&tall.or(&wide)));
+        assert!(and_compose(&lt, &lw).computes(&tall.and(&wide)));
+    }
+}

@@ -1,0 +1,147 @@
+//! D-reducible preprocessing (paper Sec. III-B-2).
+//!
+//! For a D-reducible `f` — one whose ON-set lies in a proper affine space
+//! `A` — write `f = χ_A · f_A`, synthesise a lattice for the characteristic
+//! function `χ_A` (an AND of parity constraints) and one for the projection
+//! `f_A` (a function of the space's free coordinates), and AND-compose them.
+//! The points of `f_A` equal those of `f` but live in a smaller space, so
+//! its lattice is typically smaller than a direct synthesis of `f`.
+
+use nanoxbar_logic::TruthTable;
+
+use crate::affine::AffineSpace;
+use crate::lattice::Lattice;
+use crate::synth::compose::and_compose;
+use crate::synth::dual_based;
+
+/// The outcome of a D-reducible lattice synthesis.
+#[derive(Clone, Debug)]
+pub struct DreducibleLattice {
+    /// The assembled lattice for `f`.
+    pub lattice: Lattice,
+    /// The affine hull used (codimension 0 means `f` was not reducible and
+    /// the plain dual-based lattice was returned).
+    pub codimension: usize,
+    /// Area of the plain dual-based lattice, for comparison.
+    pub direct_area: usize,
+}
+
+/// Lattice for the characteristic function of an affine space: the AND of
+/// its parity constraints, each synthesised dual-based.
+///
+/// Returns `None` when the space is the whole cube (no constraints).
+pub fn characteristic_lattice(space: &AffineSpace) -> Option<Lattice> {
+    let constraints = space.constraints();
+    let n = space.num_vars();
+    let mut lattice: Option<Lattice> = None;
+    for c in constraints {
+        let tt = TruthTable::from_fn(n, |m| c.holds(m));
+        let l = dual_based::synthesize(&tt);
+        lattice = Some(match lattice {
+            None => l,
+            Some(acc) => and_compose(&acc, &l),
+        });
+    }
+    lattice
+}
+
+/// Synthesises `f` exploiting D-reducibility when present.
+///
+/// # Examples
+///
+/// ```
+/// use nanoxbar_lattice::synth::dreducible::synthesize;
+/// use nanoxbar_logic::suite::d_reducible_function;
+///
+/// let f = d_reducible_function(6, 2, 7)?;
+/// let r = synthesize(&f);
+/// assert!(r.lattice.computes(&f));
+/// assert!(r.codimension >= 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn synthesize(f: &TruthTable) -> DreducibleLattice {
+    let direct = dual_based::synthesize(f);
+    let direct_area = direct.area();
+    let Some(hull) = AffineSpace::hull_of(f) else {
+        // Constant false.
+        return DreducibleLattice { lattice: direct, codimension: 0, direct_area };
+    };
+    if hull.codimension() == 0 {
+        return DreducibleLattice { lattice: direct, codimension: 0, direct_area };
+    }
+    let chi = characteristic_lattice(&hull).expect("codimension > 0 has constraints");
+    let fa = hull.project(f);
+    let composed = if fa.is_ones() {
+        // f == chi_A itself.
+        chi
+    } else {
+        and_compose(&chi, &dual_based::synthesize(&fa))
+    };
+    // Keep whichever is smaller — preprocessing is an optimisation, not an
+    // obligation.
+    let lattice = if composed.area() < direct_area { composed } else { direct };
+    debug_assert!(lattice.computes(f));
+    DreducibleLattice { lattice, codimension: hull.codimension(), direct_area }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoxbar_logic::suite::d_reducible_function;
+
+    #[test]
+    fn d_reducible_functions_recompose() {
+        for codim in 1..=3 {
+            for seed in 0..8u64 {
+                let f = d_reducible_function(6, codim, seed).unwrap();
+                if f.is_zero() {
+                    continue;
+                }
+                let r = synthesize(&f);
+                assert!(r.lattice.computes(&f), "codim={codim} seed={seed}");
+                assert!(r.codimension >= codim, "hull at least as constrained");
+            }
+        }
+    }
+
+    #[test]
+    fn non_reducible_functions_fall_back() {
+        // Majority's ON-set spans the full cube.
+        let f = nanoxbar_logic::suite::majority(3);
+        let r = synthesize(&f);
+        assert_eq!(r.codimension, 0);
+        assert!(r.lattice.computes(&f));
+    }
+
+    #[test]
+    fn characteristic_lattice_computes_chi() {
+        let f = d_reducible_function(5, 2, 3).unwrap();
+        if f.is_zero() {
+            return;
+        }
+        let hull = AffineSpace::hull_of(&f).unwrap();
+        let chi = characteristic_lattice(&hull).unwrap();
+        assert!(chi.computes(&hull.characteristic()));
+    }
+
+    #[test]
+    fn pure_affine_space_function() {
+        // f == chi_A exactly (projection is the tautology on the space).
+        let f = TruthTable::from_fn(4, |m| m.count_ones() % 2 == 0);
+        let r = synthesize(&f);
+        assert!(r.lattice.computes(&f));
+        assert_eq!(r.codimension, 1);
+    }
+
+    #[test]
+    fn never_worse_than_direct() {
+        for seed in 0..10u64 {
+            let f = d_reducible_function(6, 1, seed).unwrap();
+            if f.is_zero() {
+                continue;
+            }
+            let r = synthesize(&f);
+            assert!(r.lattice.area() <= r.direct_area);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Lattice synthesis algorithms.
+//!
+//! * [`dual_based`] — the Fig. 5 construction (`P(f^D) × P(f)`, always
+//!   correct, not necessarily optimal);
+//! * [`compose`] — OR/AND composition with 0-columns and 1-rows
+//!   (Sec. III-B-1, ref \[3\]);
+//! * [`pcircuit`] — P-circuit decomposition preprocessing (Sec. III-B-1);
+//! * [`dreducible`] — affine-space (D-reducible) preprocessing
+//!   (Sec. III-B-2);
+//! * [`optimal`] — SAT-based minimum-area synthesis (ref \[9\]), used to
+//!   measure the optimality gap of the constructions above;
+//! * [`compact`] — a verification-backed local post-optimisation pass
+//!   (row/column elimination, constant downgrading).
+
+pub mod compact;
+pub mod compose;
+pub mod dreducible;
+pub mod dual_based;
+pub mod optimal;
+pub mod pcircuit;

@@ -1,0 +1,209 @@
+//! P-circuit decomposition preprocessing (paper Sec. III-B-1).
+//!
+//! `P-circuit(f) = (x_i = p)·f^= + (x_i = p̄)·f^≠ + f^I` where `I` is the
+//! intersection of the two cofactor projections and the blocks satisfy
+//!
+//! 1. `(f|x_i=p \ I) ⊆ f^= ⊆ f|x_i=p`
+//! 2. `(f|x_i=p̄ \ I) ⊆ f^≠ ⊆ f|x_i=p̄`
+//! 3. `∅ ⊆ f^I ⊆ I`
+//!
+//! The sub-functions depend on `n-1` variables with smaller ON-sets, so
+//! their lattices are often smaller; the overall lattice is assembled with
+//! the composition rules of [`super::compose`]. This module implements the
+//! decomposition with the don't-care freedom of (1)–(3) (blocks minimised
+//! over their intervals) and a best-split search over `(x_i, p)`.
+
+use nanoxbar_logic::{Literal, TruthTable};
+
+use crate::lattice::Lattice;
+use crate::synth::compose::{and_literal, or_compose};
+use crate::synth::dual_based;
+
+/// The outcome of a P-circuit lattice synthesis.
+#[derive(Clone, Debug)]
+pub struct PcircuitLattice {
+    /// The assembled lattice for `f`.
+    pub lattice: Lattice,
+    /// The split variable used.
+    pub split_var: usize,
+    /// The split polarity `p` (branch `x_i = p` owns `f^=`).
+    pub polarity: bool,
+    /// Area of the plain dual-based lattice, for comparison.
+    pub direct_area: usize,
+}
+
+/// Synthesises `f` via P-circuit decomposition on an explicit `(var, p)`
+/// split.
+///
+/// The three blocks are chosen inside their defining intervals by
+/// don't-care-aware minimisation (`f^= ∈ [f|p \ I, f|p]` etc., with
+/// `f^I = I`), each block is synthesised dual-based on the reduced
+/// function, and the blocks are assembled as
+/// `OR( x_i^p · L(f^=), x_i^p̄ · L(f^≠), L(f^I) )`.
+///
+/// # Panics
+///
+/// Panics if `var >= f.num_vars()`.
+pub fn synthesize_with_split(f: &TruthTable, var: usize, polarity: bool) -> Lattice {
+    assert!(var < f.num_vars(), "split variable out of range");
+    if f.is_zero() || f.is_ones() {
+        return dual_based::synthesize(f);
+    }
+    let n = f.num_vars();
+
+    // Cofactor projections (still over n vars; the split var is irrelevant).
+    let f_eq_full = f.cofactor(var, polarity);
+    let f_ne_full = f.cofactor(var, !polarity);
+    let intersection = f_eq_full.and(&f_ne_full);
+
+    // Block intervals with don't-cares: anything inside I may be moved to
+    // the shared block.
+    let eq_lower = f_eq_full.and_not(&intersection);
+    let ne_lower = f_ne_full.and_not(&intersection);
+
+    let block = |lower: &TruthTable, upper: &TruthTable| -> Option<Lattice> {
+        if lower.is_zero() && upper.is_zero() {
+            return None;
+        }
+        if lower.is_zero() {
+            // The interval admits the empty function: drop the branch.
+            return None;
+        }
+        // Minimise within the interval, then synthesise the chosen function.
+        let cover = nanoxbar_logic::minimize::qm_interval(lower, upper);
+        let chosen = cover.to_truth_table();
+        Some(dual_based::synthesize(&chosen))
+    };
+
+    let mut branches: Vec<Lattice> = Vec::new();
+    if let Some(lat) = block(&eq_lower, &f_eq_full) {
+        branches.push(and_literal(Literal::new(var, polarity), &lat));
+    }
+    if let Some(lat) = block(&ne_lower, &f_ne_full) {
+        branches.push(and_literal(Literal::new(var, !polarity), &lat));
+    }
+    if !intersection.is_zero() {
+        branches.push(dual_based::synthesize(&intersection));
+    }
+
+    let lattice = match branches.len() {
+        0 => Lattice::constant(n, false),
+        1 => branches.pop().expect("len checked"),
+        _ => {
+            let mut it = branches.into_iter();
+            let first = it.next().expect("len checked");
+            it.fold(first, |acc, b| or_compose(&acc, &b))
+        }
+    };
+    debug_assert!(lattice.computes(f), "p-circuit assembly must compute f");
+    lattice
+}
+
+/// Synthesises `f` trying every `(variable, polarity)` split and keeping the
+/// smallest result; reports the plain dual-based area for comparison.
+///
+/// # Examples
+///
+/// ```
+/// use nanoxbar_lattice::synth::pcircuit::synthesize;
+/// use nanoxbar_logic::parse_function;
+///
+/// let f = parse_function("x0 x1 + x0 x2 + !x0 x3")?;
+/// let result = synthesize(&f);
+/// assert!(result.lattice.computes(&f));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn synthesize(f: &TruthTable) -> PcircuitLattice {
+    let direct = dual_based::synthesize(f);
+    let mut best: Option<(Lattice, usize, bool)> = None;
+    for var in 0..f.num_vars() {
+        if f.is_independent_of(var) {
+            continue;
+        }
+        for polarity in [false, true] {
+            let candidate = synthesize_with_split(f, var, polarity);
+            let better = match &best {
+                None => true,
+                Some((b, _, _)) => candidate.area() < b.area(),
+            };
+            if better {
+                best = Some((candidate, var, polarity));
+            }
+        }
+    }
+    match best {
+        Some((lattice, split_var, polarity)) => PcircuitLattice {
+            lattice,
+            split_var,
+            polarity,
+            direct_area: direct.area(),
+        },
+        None => PcircuitLattice {
+            direct_area: direct.area(),
+            lattice: direct,
+            split_var: 0,
+            polarity: false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoxbar_logic::parse_function;
+
+    #[test]
+    fn explicit_split_computes_f() {
+        let f = parse_function("x0 x1 + !x0 x2 + x1 x2").unwrap();
+        for var in 0..3 {
+            for p in [false, true] {
+                let l = synthesize_with_split(&f, var, p);
+                assert!(l.computes(&f), "split x{var}={p}\n{l}");
+            }
+        }
+    }
+
+    #[test]
+    fn best_split_search_is_correct_on_random_functions() {
+        let mut state = 0x9C17Cu64;
+        for n in 3..=6 {
+            for _ in 0..15 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let bits = state;
+                let f = TruthTable::from_fn(n, |m| (bits >> (m % 64)) & 1 == 1);
+                let r = synthesize(&f);
+                assert!(r.lattice.computes(&f), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_helps_on_shared_cofactor_structure() {
+        // f = x0·g + !x0·h with large shared part: the intersection block
+        // factors out. The decomposed lattice should not be (much) larger
+        // than the direct one, and often smaller.
+        let f = parse_function("x0 x1 x2 + !x0 x1 x2 + x0 x3 + !x0 !x3 x1").unwrap();
+        let r = synthesize(&f);
+        assert!(r.lattice.computes(&f));
+        assert!(r.lattice.area() <= r.direct_area + 4);
+    }
+
+    #[test]
+    fn constants_pass_through() {
+        let r = synthesize(&TruthTable::zeros(3));
+        assert!(r.lattice.computes(&TruthTable::zeros(3)));
+        let r = synthesize(&TruthTable::ones(3));
+        assert!(r.lattice.computes(&TruthTable::ones(3)));
+    }
+
+    #[test]
+    fn branch_dropping_when_cofactor_inside_intersection() {
+        // f independent of x0: both cofactors equal, I = f, both branch
+        // lowers empty — the result collapses to the plain lattice of f.
+        let f = parse_function("x1 x2 + !x1 !x2").unwrap();
+        let l = synthesize_with_split(&f, 0, true);
+        assert!(l.computes(&f));
+    }
+}

@@ -1,0 +1,397 @@
+//! A compact reduced ordered binary decision diagram (ROBDD) package.
+//!
+//! The paper notes (Sec. III-A) that BDD *forms* cannot be wired onto
+//! nanoarrays directly — but BDDs remain the workhorse for internal function
+//! manipulation (equivalence, quantification, counting), so the workspace
+//! carries this small, self-contained implementation: hash-consed nodes, an
+//! `ite` core with memoisation, and conversions to/from truth tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use nanoxbar_logic::bdd::BddManager;
+//!
+//! let mut mgr = BddManager::new(3);
+//! let x0 = mgr.var(0);
+//! let x1 = mgr.var(1);
+//! let x2 = mgr.var(2);
+//! let f = {
+//!     let a = mgr.and(x0, x1);
+//!     mgr.or(a, x2)
+//! };
+//! assert_eq!(mgr.sat_count(f), 5);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::truth_table::TruthTable;
+
+/// Handle to a BDD node within a [`BddManager`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Bdd(u32);
+
+/// Internal node: `(var, low, high)` with var-ordered children.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Node {
+    var: u32,
+    low: Bdd,
+    high: Bdd,
+}
+
+/// Owns BDD nodes and caches; all operations go through the manager.
+#[derive(Debug)]
+pub struct BddManager {
+    num_vars: usize,
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Bdd>,
+    ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+}
+
+/// The constant-false terminal.
+pub const BDD_FALSE: Bdd = Bdd(0);
+/// The constant-true terminal.
+pub const BDD_TRUE: Bdd = Bdd(1);
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+impl BddManager {
+    /// Creates a manager for functions over `num_vars` variables with the
+    /// natural variable order (variable 0 at the top).
+    pub fn new(num_vars: usize) -> Self {
+        let terminal = |_v| Node { var: TERMINAL_VAR, low: BDD_FALSE, high: BDD_FALSE };
+        BddManager {
+            num_vars,
+            nodes: vec![terminal(0), terminal(1)],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of live nodes (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The function `x_var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn var(&mut self, var: usize) -> Bdd {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        self.mk(var as u32, BDD_FALSE, BDD_TRUE)
+    }
+
+    /// The constant function.
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value {
+            BDD_TRUE
+        } else {
+            BDD_FALSE
+        }
+    }
+
+    fn mk(&mut self, var: u32, low: Bdd, high: Bdd) -> Bdd {
+        if low == high {
+            return low;
+        }
+        let node = Node { var, low, high };
+        if let Some(&b) = self.unique.get(&node) {
+            return b;
+        }
+        let id = Bdd(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    fn node(&self, b: Bdd) -> Node {
+        self.nodes[b.0 as usize]
+    }
+
+    fn top_var(&self, b: Bdd) -> u32 {
+        self.node(b).var
+    }
+
+    fn cofactor_at(&self, b: Bdd, var: u32, value: bool) -> Bdd {
+        let n = self.node(b);
+        if n.var == var {
+            if value {
+                n.high
+            } else {
+                n.low
+            }
+        } else {
+            b
+        }
+    }
+
+    /// If-then-else: the universal BDD combinator.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal cases.
+        if f == BDD_TRUE {
+            return g;
+        }
+        if f == BDD_FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == BDD_TRUE && h == BDD_FALSE {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let var = self
+            .top_var(f)
+            .min(self.top_var(g))
+            .min(self.top_var(h));
+        let f0 = self.cofactor_at(f, var, false);
+        let f1 = self.cofactor_at(f, var, true);
+        let g0 = self.cofactor_at(g, var, false);
+        let g1 = self.cofactor_at(g, var, true);
+        let h0 = self.cofactor_at(h, var, false);
+        let h1 = self.cofactor_at(h, var, true);
+        let low = self.ite(f0, g0, h0);
+        let high = self.ite(f1, g1, h1);
+        let r = self.mk(var, low, high);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    /// Logical NOT.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        self.ite(f, BDD_FALSE, BDD_TRUE)
+    }
+
+    /// Logical AND.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, BDD_FALSE)
+    }
+
+    /// Logical OR.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, BDD_TRUE, g)
+    }
+
+    /// Logical XOR.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Evaluates under minterm `m`.
+    pub fn eval(&self, f: Bdd, m: u64) -> bool {
+        let mut cur = f;
+        loop {
+            if cur == BDD_TRUE {
+                return true;
+            }
+            if cur == BDD_FALSE {
+                return false;
+            }
+            let n = self.node(cur);
+            cur = if (m >> n.var) & 1 == 1 { n.high } else { n.low };
+        }
+    }
+
+    /// Existential quantification over `var`.
+    pub fn exists(&mut self, f: Bdd, var: usize) -> Bdd {
+        let f0 = self.restrict(f, var, false);
+        let f1 = self.restrict(f, var, true);
+        self.or(f0, f1)
+    }
+
+    /// Restriction `f|x_var=value`.
+    pub fn restrict(&mut self, f: Bdd, var: usize, value: bool) -> Bdd {
+        if f == BDD_TRUE || f == BDD_FALSE {
+            return f;
+        }
+        let n = self.node(f);
+        match (n.var as usize).cmp(&var) {
+            std::cmp::Ordering::Greater => f,
+            std::cmp::Ordering::Equal => {
+                if value {
+                    n.high
+                } else {
+                    n.low
+                }
+            }
+            std::cmp::Ordering::Less => {
+                let low = self.restrict(n.low, var, value);
+                let high = self.restrict(n.high, var, value);
+                self.mk(n.var, low, high)
+            }
+        }
+    }
+
+    /// Number of satisfying assignments over all `num_vars` variables.
+    pub fn sat_count(&self, f: Bdd) -> u64 {
+        let mut memo: HashMap<Bdd, u64> = HashMap::new();
+        self.sat_count_rec(f, 0, &mut memo)
+    }
+
+    fn sat_count_rec(&self, f: Bdd, from_var: u32, memo: &mut HashMap<Bdd, u64>) -> u64 {
+        if f == BDD_FALSE {
+            return 0;
+        }
+        if f == BDD_TRUE {
+            return 1u64 << (self.num_vars as u32 - from_var);
+        }
+        let n = self.node(f);
+        let key = f;
+        let below = if let Some(&c) = memo.get(&key) {
+            c
+        } else {
+            let low = self.sat_count_rec(n.low, n.var + 1, memo);
+            let high = self.sat_count_rec(n.high, n.var + 1, memo);
+            let c = low + high;
+            memo.insert(key, c);
+            c
+        };
+        below << (n.var - from_var)
+    }
+
+    /// Builds a BDD from a truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities differ.
+    pub fn from_truth_table(&mut self, tt: &TruthTable) -> Bdd {
+        assert_eq!(tt.num_vars(), self.num_vars, "arity mismatch");
+        self.build_tt_rec(tt, 0, 0)
+    }
+
+    fn build_tt_rec(&mut self, tt: &TruthTable, var: usize, prefix: u64) -> Bdd {
+        if var == self.num_vars {
+            return self.constant(tt.value(prefix));
+        }
+        let low = self.build_tt_rec(tt, var + 1, prefix);
+        let high = self.build_tt_rec(tt, var + 1, prefix | (1 << var));
+        self.mk(var as u32, low, high)
+    }
+
+    /// Converts back to a truth table.
+    pub fn to_truth_table(&self, f: Bdd) -> TruthTable {
+        TruthTable::from_fn(self.num_vars, |m| self.eval(f, m))
+    }
+
+    /// Number of *internal* nodes reachable from `f` (a common size metric;
+    /// terminals are not counted).
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(b) = stack.pop() {
+            if b == BDD_TRUE || b == BDD_FALSE || !seen.insert(b) {
+                continue;
+            }
+            count += 1;
+            let n = self.node(b);
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_vars() {
+        let mut mgr = BddManager::new(2);
+        assert_eq!(mgr.constant(true), BDD_TRUE);
+        let x0 = mgr.var(0);
+        assert!(mgr.eval(x0, 0b01));
+        assert!(!mgr.eval(x0, 0b10));
+    }
+
+    #[test]
+    fn hash_consing_makes_sharing_exact() {
+        let mut mgr = BddManager::new(3);
+        let x0 = mgr.var(0);
+        let x1 = mgr.var(1);
+        let a = mgr.and(x0, x1);
+        let b = mgr.and(x0, x1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truth_table_roundtrip_random() {
+        let mut state = 0xFEEDFACE12345678u64;
+        for n in 1..=6 {
+            let mut mgr = BddManager::new(n);
+            for _ in 0..20 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let bits = state;
+                let tt = TruthTable::from_fn(n, |m| (bits >> (m % 64)) & 1 == 1);
+                let f = mgr.from_truth_table(&tt);
+                assert_eq!(mgr.to_truth_table(f), tt);
+                assert_eq!(mgr.sat_count(f), tt.count_ones());
+            }
+        }
+    }
+
+    #[test]
+    fn ite_implements_boolean_ops() {
+        let mut mgr = BddManager::new(4);
+        let tt_a = TruthTable::from_fn(4, |m| m % 3 == 0);
+        let tt_b = TruthTable::from_fn(4, |m| m % 5 == 0);
+        let a = mgr.from_truth_table(&tt_a);
+        let b = mgr.from_truth_table(&tt_b);
+        let and = mgr.and(a, b);
+        let or = mgr.or(a, b);
+        let xor = mgr.xor(a, b);
+        let not = mgr.not(a);
+        assert_eq!(mgr.to_truth_table(and), tt_a.and(&tt_b));
+        assert_eq!(mgr.to_truth_table(or), tt_a.or(&tt_b));
+        assert_eq!(mgr.to_truth_table(xor), tt_a.xor(&tt_b));
+        assert_eq!(mgr.to_truth_table(not), tt_a.not());
+    }
+
+    #[test]
+    fn restrict_and_exists() {
+        let mut mgr = BddManager::new(3);
+        let tt = TruthTable::from_fn(3, |m| m == 0b101 || m == 0b011);
+        let f = mgr.from_truth_table(&tt);
+        let r0 = mgr.restrict(f, 2, false);
+        assert_eq!(mgr.to_truth_table(r0), tt.cofactor(2, false));
+        let e = mgr.exists(f, 2);
+        assert_eq!(mgr.to_truth_table(e), tt.exists(2));
+    }
+
+    #[test]
+    fn parity_bdd_is_linear_in_vars() {
+        let n = 10;
+        let mut mgr = BddManager::new(n);
+        let mut f = mgr.constant(false);
+        for v in 0..n {
+            let x = mgr.var(v);
+            f = mgr.xor(f, x);
+        }
+        // Parity has exactly 2 nodes per level plus terminals => 2n - 1
+        // internal nodes; allow the standard bound.
+        assert_eq!(mgr.size(f), 2 * n - 1);
+        assert_eq!(mgr.sat_count(f), 1 << (n - 1));
+    }
+
+    #[test]
+    fn reduction_eliminates_redundant_tests() {
+        let mut mgr = BddManager::new(2);
+        let x0 = mgr.var(0);
+        let nx0 = mgr.not(x0);
+        let tautology = mgr.or(x0, nx0);
+        assert_eq!(tautology, BDD_TRUE);
+    }
+}

@@ -1,0 +1,134 @@
+//! Boolean duality.
+//!
+//! The dual `f^D(x) = ¬f(¬x)` drives two of the paper's size formulas: the
+//! FET array needs a column per product of `f` *and* of `f^D` (Fig. 3), and
+//! the four-terminal lattice is `P(f) × P(f^D)` (Fig. 5). This module also
+//! provides the shared-literal lemma underlying the lattice construction.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::isop::isop_cover;
+use crate::truth_table::TruthTable;
+
+/// An irredundant SOP cover of the dual `f^D`.
+///
+/// # Examples
+///
+/// ```
+/// use nanoxbar_logic::{dual_cover, parse_function};
+///
+/// // Paper, Sec. III-A: f = x1x2 + !x1!x2 has a 2-product dual.
+/// let f = parse_function("x0 x1 + !x0 !x1")?;
+/// let fd = dual_cover(&f);
+/// assert_eq!(fd.product_count(), 2);
+/// assert!(fd.computes(&f.dual()));
+/// # Ok::<(), nanoxbar_logic::LogicError>(())
+/// ```
+pub fn dual_cover(f: &TruthTable) -> Cover {
+    isop_cover(&f.dual())
+}
+
+/// Verifies the shared-literal lemma for a pair of covers of `f` and `f^D`.
+///
+/// For every product `P` of `f` and every product `Q` of `f^D`, `P` and `Q`
+/// must share a literal (same variable, same polarity); otherwise an
+/// assignment would make `f` and `¬f` simultaneously true. The Altun–Riedel
+/// lattice construction places one such shared literal at every grid site.
+///
+/// Returns the first offending pair `(column_index, row_index)` if the lemma
+/// fails — which indicates the covers do not belong to a function and its
+/// dual.
+pub fn check_shared_literal_lemma(f_cover: &Cover, dual: &Cover) -> Result<(), (usize, usize)> {
+    for (j, p) in f_cover.cubes().iter().enumerate() {
+        for (i, q) in dual.cubes().iter().enumerate() {
+            if p.shared_literals(q).is_empty() {
+                return Err((j, i));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Picks, for each (row, column) product pair, one shared literal — the site
+/// assignment used by dual-based lattice synthesis. Prefers the literal
+/// whose variable index is lowest, which makes synthesis deterministic.
+///
+/// Returns `None` if some pair shares no literal (see
+/// [`check_shared_literal_lemma`]).
+pub fn shared_literal_grid(f_cover: &Cover, dual: &Cover) -> Option<Vec<Vec<Cube>>> {
+    let num_vars = f_cover.num_vars();
+    let mut grid = Vec::with_capacity(dual.product_count());
+    for q in dual.cubes() {
+        let mut row = Vec::with_capacity(f_cover.product_count());
+        for p in f_cover.cubes() {
+            let lits = p.shared_literals(q);
+            let lit = *lits.first()?;
+            row.push(
+                Cube::from_literals(num_vars, &[lit])
+                    .expect("single literal cube is always valid"),
+            );
+        }
+        grid.push(row);
+    }
+    Some(grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse_function;
+    use crate::isop::isop_cover;
+
+    #[test]
+    fn dual_cover_products_for_paper_example() {
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let fd = dual_cover(&f);
+        assert_eq!(fd.product_count(), 2);
+        // dual of XNOR is XOR
+        assert!(fd.computes(&parse_function("x0 !x1 + !x0 x1").unwrap()));
+    }
+
+    #[test]
+    fn and_gate_dual_is_or_gate() {
+        let f = parse_function("x0 x1").unwrap();
+        let fd = dual_cover(&f);
+        assert_eq!(fd.product_count(), 2); // x0 + x1
+        assert!(fd.computes(&parse_function("x0 + x1").unwrap()));
+    }
+
+    #[test]
+    fn shared_literal_lemma_holds_for_random_functions() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for n in 2..=6 {
+            for _ in 0..25 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let bits = state;
+                let f = TruthTable::from_fn(n, |m| (bits >> (m % 64)) & 1 == 1);
+                if f.is_zero() || f.is_ones() {
+                    continue;
+                }
+                let fc = isop_cover(&f);
+                let dc = dual_cover(&f);
+                assert_eq!(
+                    check_shared_literal_lemma(&fc, &dc),
+                    Ok(()),
+                    "lemma failed for {fc} / {dc}"
+                );
+                let grid = shared_literal_grid(&fc, &dc).expect("lemma implies grid exists");
+                assert_eq!(grid.len(), dc.product_count());
+                assert_eq!(grid[0].len(), fc.product_count());
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_detects_non_dual_pairs() {
+        // x0 and x1 share no literal: not an f/f^D pair.
+        let a = isop_cover(&parse_function("x0").unwrap().extend_vars(1));
+        let b = isop_cover(&parse_function("x1").unwrap());
+        assert!(check_shared_literal_lemma(&a, &b).is_err());
+        assert!(shared_literal_grid(&a, &b).is_none());
+    }
+}

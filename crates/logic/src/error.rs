@@ -1,0 +1,116 @@
+//! Error types for the logic crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by Boolean-function construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// A minterm index does not fit in the declared number of variables.
+    MintermOutOfRange {
+        /// The offending minterm.
+        minterm: u64,
+        /// The declared arity.
+        num_vars: usize,
+    },
+    /// A variable index is out of range.
+    VarOutOfRange {
+        /// The offending variable.
+        var: usize,
+        /// The declared arity.
+        num_vars: usize,
+    },
+    /// A cube constrains the same variable to both polarities.
+    ContradictoryCube {
+        /// The doubly-constrained variable.
+        var: usize,
+    },
+    /// A cube's arity differs from its cover's.
+    CubeArityMismatch {
+        /// Arity of the cover.
+        expected: usize,
+        /// Arity of the offending cube.
+        found: usize,
+    },
+    /// An operation required independence from a variable the function
+    /// depends on.
+    DependentVariable {
+        /// The variable in question.
+        var: usize,
+    },
+    /// A Boolean expression failed to parse.
+    ParseExpr {
+        /// Byte position of the error in the input.
+        position: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A PLA file failed to parse.
+    ParsePla {
+        /// 1-based line number of the error.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An arity limit was exceeded (e.g. more variables than a truth table
+    /// or cube representation supports).
+    TooManyVariables {
+        /// Requested arity.
+        requested: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::MintermOutOfRange { minterm, num_vars } => {
+                write!(f, "minterm {minterm} out of range for {num_vars} variables")
+            }
+            LogicError::VarOutOfRange { var, num_vars } => {
+                write!(f, "variable x{var} out of range for {num_vars} variables")
+            }
+            LogicError::ContradictoryCube { var } => {
+                write!(f, "cube constrains x{var} to both polarities")
+            }
+            LogicError::CubeArityMismatch { expected, found } => {
+                write!(f, "cube has {found} variables, cover expects {expected}")
+            }
+            LogicError::DependentVariable { var } => {
+                write!(f, "function depends on variable x{var}")
+            }
+            LogicError::ParseExpr { position, message } => {
+                write!(f, "expression parse error at byte {position}: {message}")
+            }
+            LogicError::ParsePla { line, message } => {
+                write!(f, "pla parse error at line {line}: {message}")
+            }
+            LogicError::TooManyVariables { requested, max } => {
+                write!(f, "{requested} variables requested, at most {max} supported")
+            }
+        }
+    }
+}
+
+impl Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LogicError::MintermOutOfRange { minterm: 9, num_vars: 3 };
+        assert_eq!(e.to_string(), "minterm 9 out of range for 3 variables");
+        let e = LogicError::ParseExpr { position: 4, message: "unexpected token".into() };
+        assert!(e.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<LogicError>();
+    }
+}

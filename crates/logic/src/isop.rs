@@ -1,0 +1,221 @@
+//! Irredundant sum-of-products generation (Minato–Morreale ISOP).
+//!
+//! [`isop`] computes a prime, irredundant SOP cover of any function between
+//! a lower bound `L` and an upper bound `U` (for a completely specified
+//! function use `L = U = f`). This is the cover used for both the
+//! two-terminal size formulas of the paper's Fig. 3 and the Altun–Riedel
+//! lattice construction of Fig. 5, where `f` *and its dual* must both be in
+//! irredundant SOP form.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+
+use crate::truth_table::TruthTable;
+
+/// Computes an irredundant SOP cover `C` with `L ⊆ C ⊆ U`.
+///
+/// The recursion is the classic Minato–Morreale procedure on cofactors: the
+/// chosen branch variable splits the interval, the parts that *must* carry a
+/// literal are synthesised first, and the remainder is covered without the
+/// branch variable.
+///
+/// # Panics
+///
+/// Panics if `L` and `U` have different arities or `L ⊄ U`.
+///
+/// # Examples
+///
+/// ```
+/// use nanoxbar_logic::{isop, parse_function};
+///
+/// let f = parse_function("x0 x1 + !x0 !x1")?;
+/// let cover = isop(&f, &f);
+/// assert_eq!(cover.product_count(), 2);
+/// assert!(cover.computes(&f));
+/// # Ok::<(), nanoxbar_logic::LogicError>(())
+/// ```
+pub fn isop(lower: &TruthTable, upper: &TruthTable) -> Cover {
+    assert_eq!(lower.num_vars(), upper.num_vars(), "interval arity mismatch");
+    assert!(lower.implies(upper), "invalid interval: L not contained in U");
+    let num_vars = lower.num_vars();
+    let cubes = isop_rec(lower, upper, num_vars);
+    Cover::from_cubes(num_vars, cubes).expect("cubes constructed with cover arity")
+}
+
+/// Computes the ISOP cover of a completely specified function.
+///
+/// ```
+/// use nanoxbar_logic::{isop_cover, parse_function};
+/// let parity = parse_function("x0 ^ x1 ^ x2")?;
+/// assert_eq!(isop_cover(&parity).product_count(), 4);
+/// # Ok::<(), nanoxbar_logic::LogicError>(())
+/// ```
+pub fn isop_cover(f: &TruthTable) -> Cover {
+    isop(f, f)
+}
+
+/// Recursive worker: returns cubes covering at least `lower` and at most
+/// `upper`. The returned cubes constrain only variables in the interval's
+/// support, so coverage checks at the caller are exact.
+fn isop_rec(lower: &TruthTable, upper: &TruthTable, num_vars: usize) -> Vec<Cube> {
+    if lower.is_zero() {
+        return Vec::new();
+    }
+    if upper.is_ones() {
+        return vec![Cube::universe(num_vars)];
+    }
+    // Branch on the highest variable that still matters for the interval.
+    let var = (0..num_vars)
+        .rev()
+        .find(|&v| !upper.is_independent_of(v) || !lower.is_independent_of(v))
+        .expect("non-constant interval must have a support variable");
+
+    let l0 = lower.cofactor(var, false);
+    let l1 = lower.cofactor(var, true);
+    let u0 = upper.cofactor(var, false);
+    let u1 = upper.cofactor(var, true);
+
+    // Minterms that can only be covered with the literal !x (resp. x).
+    let need0 = l0.and_not(&u1);
+    let need1 = l1.and_not(&u0);
+
+    let c0 = isop_rec(&need0, &u0, num_vars);
+    let c1 = isop_rec(&need1, &u1, num_vars);
+
+    // What the sub-covers achieve *before* the branch literal is attached
+    // (their cubes never constrain `var` or outer variables).
+    let tt_of = |cubes: &[Cube]| {
+        TruthTable::from_fn(num_vars, |m| cubes.iter().any(|c| c.contains_minterm(m)))
+    };
+    let covered0 = tt_of(&c0);
+    let covered1 = tt_of(&c1);
+
+    let rest_lower = l0.and_not(&covered0).or(&l1.and_not(&covered1));
+    let rest_upper = u0.and(&u1);
+    let rest = isop_rec(&rest_lower, &rest_upper, num_vars);
+
+    let mut out = Vec::with_capacity(c0.len() + c1.len() + rest.len());
+    out.extend(c0.into_iter().map(|c| c.with_negative(var)));
+    out.extend(c1.into_iter().map(|c| c.with_positive(var)));
+    out.extend(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth_table::TruthTable;
+
+    /// Checks the three defining ISOP properties: covers the interval, every
+    /// cube is an implicant of `upper`, and no cube is redundant.
+    fn check_isop(lower: &TruthTable, upper: &TruthTable) -> Cover {
+        let cover = isop(lower, upper);
+        let tt = cover.to_truth_table();
+        assert!(lower.implies(&tt), "cover misses required minterms");
+        assert!(tt.implies(upper), "cover exceeds upper bound");
+        for (i, c) in cover.cubes().iter().enumerate() {
+            assert!(
+                c.to_truth_table().implies(upper),
+                "cube {i} ({c}) is not an implicant"
+            );
+            // Irredundancy: dropping any cube must lose a required minterm.
+            let rest = TruthTable::from_fn(lower.num_vars(), |m| {
+                cover
+                    .cubes()
+                    .iter()
+                    .enumerate()
+                    .any(|(j, cj)| j != i && cj.contains_minterm(m))
+            });
+            assert!(
+                !lower.implies(&rest),
+                "cube {i} ({c}) is redundant in {cover}"
+            );
+        }
+        cover
+    }
+
+    #[test]
+    fn constants() {
+        let z = TruthTable::zeros(3);
+        let o = TruthTable::ones(3);
+        assert_eq!(isop_cover(&z).product_count(), 0);
+        let one = isop_cover(&o);
+        assert_eq!(one.product_count(), 1);
+        assert!(one.has_universe_cube());
+    }
+
+    #[test]
+    fn single_cube_functions_yield_one_product() {
+        let f = crate::expr::parse_function("x0 !x2").unwrap();
+        let cover = check_isop(&f, &f);
+        assert_eq!(cover.product_count(), 1);
+        assert_eq!(cover.cubes()[0].literal_count(), 2);
+    }
+
+    #[test]
+    fn xnor_yields_two_products() {
+        let f = crate::expr::parse_function("x0 x1 + !x0 !x1").unwrap();
+        let cover = check_isop(&f, &f);
+        assert_eq!(cover.product_count(), 2);
+    }
+
+    #[test]
+    fn parity_yields_exponential_cover() {
+        // Parity has no prime implicants larger than minterms: 2^(n-1) products.
+        for n in 2..=4 {
+            let f = TruthTable::from_fn(n, |m| m.count_ones() % 2 == 1);
+            let cover = check_isop(&f, &f);
+            assert_eq!(cover.product_count(), 1 << (n - 1));
+        }
+    }
+
+    #[test]
+    fn covers_are_exact_for_specified_functions() {
+        // Deterministic pseudo-random sweep.
+        let mut state = 0x243F6A8885A308D3u64;
+        for n in 1..=6 {
+            for _ in 0..40 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let bits = state;
+                let f = TruthTable::from_fn(n, |m| (bits >> (m % 64)) & 1 == 1);
+                let cover = check_isop(&f, &f);
+                assert!(cover.computes(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn interval_with_dont_cares_shrinks_cover() {
+        // ON = {3}, DC = {1, 2}: a single-literal cube suffices.
+        let lower = TruthTable::from_minterms(2, &[3]).unwrap();
+        let upper = TruthTable::from_minterms(2, &[1, 2, 3]).unwrap();
+        let cover = check_isop(&lower, &upper);
+        assert_eq!(cover.product_count(), 1);
+        assert!(cover.cubes()[0].literal_count() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn invalid_interval_panics() {
+        let lower = TruthTable::ones(2);
+        let upper = TruthTable::zeros(2);
+        let _ = isop(&lower, &upper);
+    }
+
+    #[test]
+    fn isop_cubes_are_primes() {
+        // Every cube of an ISOP of a completely specified function must be a
+        // prime implicant: expanding any literal leaves the ON-set.
+        let f = crate::expr::parse_function("x0 x1 + x1 x2 + !x0 !x2").unwrap();
+        let cover = check_isop(&f, &f);
+        for c in cover.cubes() {
+            for lit in c.literals() {
+                let bigger = c.without_var(lit.var());
+                assert!(
+                    !bigger.to_truth_table().implies(&f),
+                    "cube {c} is not prime (can drop {lit})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Espresso-style heuristic two-level minimisation.
+//!
+//! The classic EXPAND → IRREDUNDANT → REDUCE loop, implemented against an
+//! explicit OFF-set cover (obtained by ISOP of the complement). It does not
+//! reproduce every refinement of the original ESPRESSO-II, but it preserves
+//! the invariants that matter: the result always covers ON, never touches
+//! OFF, and is irredundant.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::isop::isop;
+use crate::truth_table::TruthTable;
+
+/// Tuning knobs for [`espresso`].
+#[derive(Clone, Debug)]
+pub struct EspressoOptions {
+    /// Maximum number of EXPAND/IRREDUNDANT/REDUCE passes.
+    pub max_passes: usize,
+    /// If true, run a final single-cube containment sweep.
+    pub final_containment: bool,
+}
+
+impl Default for EspressoOptions {
+    fn default() -> Self {
+        EspressoOptions { max_passes: 8, final_containment: true }
+    }
+}
+
+/// Heuristically minimises `on` with don't-cares `dc`.
+///
+/// # Panics
+///
+/// Panics if arities differ or the sets overlap.
+///
+/// # Examples
+///
+/// ```
+/// use nanoxbar_logic::minimize::{espresso, EspressoOptions};
+/// use nanoxbar_logic::{parse_function, TruthTable};
+///
+/// let f = parse_function("x0 x1 x2 + x0 x1 !x2")?; // = x0 x1
+/// let sop = espresso(&f, &TruthTable::zeros(3), &EspressoOptions::default());
+/// assert_eq!(sop.product_count(), 1);
+/// assert_eq!(sop.literal_count(), 2);
+/// # Ok::<(), nanoxbar_logic::LogicError>(())
+/// ```
+pub fn espresso(on: &TruthTable, dc: &TruthTable, options: &EspressoOptions) -> Cover {
+    assert_eq!(on.num_vars(), dc.num_vars(), "arity mismatch");
+    assert!(on.and(dc).is_zero(), "ON-set and DC-set must be disjoint");
+    let upper = on.or(dc);
+    espresso_exact_interval(on, &upper, options)
+}
+
+/// Interval form: minimise any function `g` with `on ⊆ g ⊆ upper`.
+///
+/// # Panics
+///
+/// Panics if `on ⊄ upper` or arities differ.
+pub fn espresso_exact_interval(
+    on: &TruthTable,
+    upper: &TruthTable,
+    options: &EspressoOptions,
+) -> Cover {
+    assert!(on.implies(upper), "invalid interval");
+    let n = on.num_vars();
+    if on.is_zero() {
+        return Cover::zero(n);
+    }
+    if upper.is_ones() && on.is_ones() {
+        return Cover::one(n);
+    }
+
+    // OFF-set as a cover, for fast expansion blocking checks.
+    let off = upper.not();
+    let off_cover = isop(&off, &off);
+
+    // Start from the ISOP cover of the interval.
+    let mut cover = isop(on, upper);
+    let mut best_cost = cost_of(&cover);
+
+    for _pass in 0..options.max_passes {
+        let expanded = expand(&cover, &off_cover);
+        let irred = irredundant(&expanded, on);
+        let reduced = reduce(&irred, on);
+        let re_expanded = expand(&reduced, &off_cover);
+        let candidate = irredundant(&re_expanded, on);
+
+        let cost = cost_of(&candidate);
+        if cost < best_cost {
+            best_cost = cost;
+            cover = candidate;
+        } else {
+            cover = irred;
+            break;
+        }
+    }
+
+    if options.final_containment {
+        cover.remove_contained_cubes();
+    }
+    debug_assert!(on.implies(&cover.to_truth_table()));
+    debug_assert!(cover.to_truth_table().implies(upper));
+    cover
+}
+
+/// Cost: products first, then literals (matches the crossbar size formulas).
+fn cost_of(cover: &Cover) -> (usize, usize) {
+    (cover.product_count(), cover.literal_count())
+}
+
+/// EXPAND: greedily drop literals from each cube while it stays disjoint
+/// from every OFF cube. Literals freeing the most minterms are tried first.
+fn expand(cover: &Cover, off_cover: &Cover) -> Cover {
+    let n = cover.num_vars();
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    // Expand large cubes first so they swallow small ones in containment.
+    cubes.sort_by_key(|c| c.literal_count());
+    let expanded: Vec<Cube> = cubes
+        .iter()
+        .map(|&c| {
+            let mut cur = c;
+            // Try dropping literals in a deterministic order; repeat until a
+            // fixpoint so order effects are limited.
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for lit in cur.literals() {
+                    let candidate = cur.without_var(lit.var());
+                    let hits_off = off_cover.cubes().iter().any(|o| candidate.intersects(o));
+                    if !hits_off {
+                        cur = candidate;
+                        changed = true;
+                    }
+                }
+            }
+            cur
+        })
+        .collect();
+    let mut out = Cover::from_cubes(n, expanded).expect("arity preserved by expansion");
+    out.remove_contained_cubes();
+    out
+}
+
+/// IRREDUNDANT: greedily remove cubes whose ON-minterms are covered by the
+/// rest (largest cubes are kept preferentially).
+fn irredundant(cover: &Cover, on: &TruthTable) -> Cover {
+    let n = cover.num_vars();
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    // Try to remove the cubes with most literals (least coverage) first.
+    cubes.sort_by_key(|c| std::cmp::Reverse(c.literal_count()));
+    let mut i = 0;
+    while i < cubes.len() {
+        let candidate = cubes.remove(i);
+        let still_covered = on.minterms().all(|m| {
+            !candidate.contains_minterm(m) || cubes.iter().any(|c| c.contains_minterm(m))
+        });
+        if !still_covered {
+            cubes.insert(i, candidate);
+            i += 1;
+        }
+    }
+    Cover::from_cubes(n, cubes).expect("arity preserved")
+}
+
+/// REDUCE: shrink each cube, *sequentially*, to the supercube of the
+/// ON-minterms no other cube (in its current shape) covers. Sequential
+/// processing is what keeps the overall cover intact: a minterm shared by
+/// two cubes may be dropped by the first but is then kept by the second.
+fn reduce(cover: &Cover, on: &TruthTable) -> Cover {
+    let n = cover.num_vars();
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    for i in 0..cubes.len() {
+        let c = cubes[i];
+        let mut essential: Option<Cube> = None;
+        for m in on.minterms() {
+            if !c.contains_minterm(m) {
+                continue;
+            }
+            let covered_elsewhere = cubes
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && other.contains_minterm(m));
+            if !covered_elsewhere {
+                let point = Cube::from_minterm(n, m);
+                essential = Some(match essential {
+                    None => point,
+                    Some(sc) => sc.supercube(&point),
+                });
+            }
+        }
+        // Fully redundant cubes keep their original shape; IRREDUNDANT
+        // deals with them.
+        if let Some(e) = essential {
+            cubes[i] = e;
+        }
+    }
+    Cover::from_cubes(n, cubes).expect("arity preserved")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse_function;
+    use crate::minimize::{quine_mccluskey, MinimizeObjective};
+
+    fn run(f: &TruthTable) -> Cover {
+        espresso(f, &TruthTable::zeros(f.num_vars()), &EspressoOptions::default())
+    }
+
+    #[test]
+    fn collapses_adjacent_products() {
+        let f = parse_function("x0 x1 x2 + x0 x1 !x2 + x0 !x1 x2 + x0 !x1 !x2").unwrap();
+        let sop = run(&f); // = x0
+        assert!(sop.computes(&f));
+        assert_eq!(sop.product_count(), 1);
+        assert_eq!(sop.literal_count(), 1);
+    }
+
+    #[test]
+    fn never_touches_off_set_random_sweep() {
+        let mut state = 0xDEADBEEFCAFEBABEu64;
+        for n in 2..=7 {
+            for _ in 0..30 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let bits = state;
+                let f = TruthTable::from_fn(n, |m| (bits >> (m % 64)) & 1 == 1);
+                let sop = run(&f);
+                assert!(sop.computes(&f), "n={n} bits={bits:x}");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_dont_cares() {
+        let on = TruthTable::from_minterms(3, &[7]).unwrap();
+        let dc = TruthTable::from_minterms(3, &[3, 5, 6]).unwrap();
+        let sop = espresso(&on, &dc, &EspressoOptions::default());
+        let tt = sop.to_truth_table();
+        assert!(on.implies(&tt));
+        assert!(tt.implies(&on.or(&dc)));
+        assert!(sop.literal_count() <= 2);
+    }
+
+    #[test]
+    fn close_to_exact_on_small_functions() {
+        // Espresso may be suboptimal, but on 4-var functions it should stay
+        // within one product of QM and *never* below (QM is optimal).
+        let mut state = 0x0123456789ABCDEFu64;
+        for _ in 0..60 {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let bits = state;
+            let f = TruthTable::from_fn(4, |m| (bits >> (m % 64)) & 1 == 1);
+            let h = run(&f);
+            let e = quine_mccluskey(&f, &TruthTable::zeros(4), MinimizeObjective::default());
+            assert!(h.computes(&f));
+            assert!(h.product_count() >= e.product_count());
+            assert!(
+                h.product_count() <= e.product_count() + 1,
+                "espresso {} vs exact {} for {f:?}",
+                h.product_count(),
+                e.product_count()
+            );
+        }
+    }
+
+    #[test]
+    fn result_is_irredundant() {
+        let mut state = 0xBADC0FFEE0DDF00Du64;
+        for _ in 0..20 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let bits = state;
+            let f = TruthTable::from_fn(5, |m| (bits >> (m % 64)) & 1 == 1);
+            let sop = run(&f);
+            for i in 0..sop.product_count() {
+                let rest = TruthTable::from_fn(5, |m| {
+                    sop.cubes()
+                        .iter()
+                        .enumerate()
+                        .any(|(j, c)| j != i && c.contains_minterm(m))
+                });
+                assert!(!f.implies(&rest), "cube {i} redundant");
+            }
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(run(&TruthTable::zeros(4)).product_count(), 0);
+        assert_eq!(run(&TruthTable::ones(4)).product_count(), 1);
+    }
+}

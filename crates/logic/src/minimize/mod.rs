@@ -1,0 +1,85 @@
+//! Two-level SOP minimisation.
+//!
+//! The paper implements Boolean functions in SOP form, so the quality of the
+//! SOP directly sets the crossbar area (Fig. 3 and Fig. 5 formulas). Two
+//! minimisers are provided:
+//!
+//! * [`quine_mccluskey`] — exact minimum-cardinality covers via prime
+//!   generation plus branch-and-bound set covering; practical up to ~12
+//!   variables;
+//! * [`espresso`] — an Espresso-style EXPAND / IRREDUNDANT / REDUCE loop
+//!   that scales further and usually matches the exact result on the
+//!   paper-scale functions.
+//!
+//! * [`minimize_multi_output`] — greedy shared-product minimisation for
+//!   multi-output PLAs (one row per distinct product).
+//!
+//! The single-output minimisers accept don't-care sets, which the
+//! P-circuit decomposition of Sec. III-B-1 exploits.
+
+mod espresso;
+mod multi;
+mod qm;
+
+pub use espresso::{espresso, espresso_exact_interval, EspressoOptions};
+pub use multi::{minimize_multi_output, MultiCover};
+pub use qm::{prime_implicants, qm_interval, quine_mccluskey, MinimizeObjective};
+
+use crate::cover::Cover;
+use crate::truth_table::TruthTable;
+
+/// Minimises a completely specified function with the best available method
+/// for its size: exact QM for small arities, Espresso beyond.
+///
+/// # Examples
+///
+/// ```
+/// use nanoxbar_logic::{minimize, parse_function};
+/// let f = parse_function("x0 x1 x2 + x0 x1 !x2 + !x0 x1")?;
+/// let sop = minimize::minimize_function(&f);
+/// assert_eq!(sop.product_count(), 1); // collapses to x1
+/// assert!(sop.computes(&f));
+/// # Ok::<(), nanoxbar_logic::LogicError>(())
+/// ```
+pub fn minimize_function(f: &TruthTable) -> Cover {
+    let dc = TruthTable::zeros(f.num_vars());
+    minimize_with_dc(f, &dc)
+}
+
+/// Minimises with an explicit don't-care set.
+///
+/// # Panics
+///
+/// Panics if the ON-set intersects the DC-set or arities differ.
+pub fn minimize_with_dc(on: &TruthTable, dc: &TruthTable) -> Cover {
+    assert_eq!(on.num_vars(), dc.num_vars(), "arity mismatch");
+    assert!(on.and(dc).is_zero(), "ON-set and DC-set must be disjoint");
+    if on.num_vars() <= 10 {
+        quine_mccluskey(on, dc, MinimizeObjective::FewestProductsThenLiterals)
+    } else {
+        espresso(on, dc, &EspressoOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse_function;
+
+    #[test]
+    fn dispatcher_produces_equivalent_minimal_covers() {
+        let f = parse_function("x0 x1 + x0 !x1 + !x0 x1").unwrap(); // = x0 + x1
+        let sop = minimize_function(&f);
+        assert!(sop.computes(&f));
+        assert_eq!(sop.product_count(), 2);
+        assert_eq!(sop.literal_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_dc_panics() {
+        let on = TruthTable::from_minterms(2, &[1]).unwrap();
+        let dc = TruthTable::from_minterms(2, &[1, 2]).unwrap();
+        let _ = minimize_with_dc(&on, &dc);
+    }
+}

@@ -1,0 +1,209 @@
+//! Multi-output two-level minimisation with product sharing.
+//!
+//! A multi-output PLA pays one row per *distinct* product, so minimising
+//! outputs independently is suboptimal: a cube that is an implicant of
+//! several outputs can serve all of them from a single row. This module
+//! implements a greedy shared-product cover: the candidate pool is the
+//! union of every output's prime implicants, a candidate may be assigned
+//! to any output it is an implicant of, and candidates are chosen by how
+//! many still-uncovered (output, minterm) pairs they close — ties broken
+//! toward fewer literals.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::minimize::qm::prime_implicants;
+use crate::truth_table::TruthTable;
+
+/// The result of a shared-product minimisation.
+#[derive(Clone, Debug)]
+pub struct MultiCover {
+    /// One cover per output (drawn from the shared product pool).
+    pub outputs: Vec<Cover>,
+    /// The distinct products used across all outputs (the PLA's rows).
+    pub products: Vec<Cube>,
+}
+
+impl MultiCover {
+    /// Number of distinct product rows a shared PLA needs.
+    pub fn product_rows(&self) -> usize {
+        self.products.len()
+    }
+}
+
+/// Greedy shared-product minimisation of several outputs.
+///
+/// # Panics
+///
+/// Panics if `targets` is empty or arities differ.
+///
+/// # Examples
+///
+/// ```
+/// use nanoxbar_logic::minimize::minimize_multi_output;
+/// use nanoxbar_logic::parse_function;
+///
+/// let f = parse_function("x0 x1 + x2")?;
+/// let g = parse_function("x0 x1 + !x2")?;
+/// let multi = minimize_multi_output(&[f.clone(), g.clone()]);
+/// assert!(multi.outputs[0].computes(&f));
+/// assert!(multi.outputs[1].computes(&g));
+/// assert_eq!(multi.product_rows(), 3); // x0x1 is shared
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn minimize_multi_output(targets: &[TruthTable]) -> MultiCover {
+    assert!(!targets.is_empty(), "need at least one output");
+    let n = targets[0].num_vars();
+    for t in targets {
+        assert_eq!(t.num_vars(), n, "output arity mismatch");
+    }
+
+    // Candidate pool: primes of every output, deduplicated.
+    let zero_dc = TruthTable::zeros(n);
+    let mut pool: Vec<Cube> = Vec::new();
+    for t in targets {
+        for p in prime_implicants(t, &zero_dc) {
+            if !pool.contains(&p) {
+                pool.push(p);
+            }
+        }
+    }
+
+    // validity[c][o]: candidate c may drive output o.
+    let validity: Vec<Vec<bool>> = pool
+        .iter()
+        .map(|cube| {
+            let tt = cube.to_truth_table();
+            targets.iter().map(|t| tt.implies(t)).collect()
+        })
+        .collect();
+
+    // Uncovered (output, minterm) pairs.
+    let mut uncovered: Vec<Vec<u64>> = targets.iter().map(|t| t.minterms().collect()).collect();
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); targets.len()]; // per output: pool indices
+
+    while uncovered.iter().any(|u| !u.is_empty()) {
+        // Pick the candidate closing the most pairs.
+        let (best, _, _) = pool
+            .iter()
+            .enumerate()
+            .map(|(ci, cube)| {
+                let gain: usize = uncovered
+                    .iter()
+                    .enumerate()
+                    .filter(|&(o, _)| validity[ci][o])
+                    .map(|(_, u)| u.iter().filter(|&&m| cube.contains_minterm(m)).count())
+                    .sum();
+                (ci, gain, cube.literal_count())
+            })
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)))
+            .expect("pool covers every output (it contains each output's primes)");
+        let cube = pool[best];
+        debug_assert!(
+            {
+                let gain: usize = uncovered
+                    .iter()
+                    .enumerate()
+                    .filter(|&(o, _)| validity[best][o])
+                    .map(|(_, u)| u.iter().filter(|&&m| cube.contains_minterm(m)).count())
+                    .sum();
+                gain > 0
+            },
+            "greedy step must make progress"
+        );
+        chosen.push(best);
+        for (o, u) in uncovered.iter_mut().enumerate() {
+            if validity[best][o] && u.iter().any(|&m| cube.contains_minterm(m)) {
+                assignment[o].push(best);
+                u.retain(|&m| !cube.contains_minterm(m));
+            }
+        }
+    }
+
+    let outputs: Vec<Cover> = assignment
+        .iter()
+        .map(|idxs| {
+            Cover::from_cubes(n, idxs.iter().map(|&i| pool[i]).collect())
+                .expect("uniform arity")
+        })
+        .collect();
+    let products: Vec<Cube> = chosen.iter().map(|&i| pool[i]).collect();
+    MultiCover { outputs, products }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse_function;
+    use crate::isop::isop_cover;
+
+    #[test]
+    fn outputs_remain_exact() {
+        let f = parse_function("x0 x1 + x2 x3").unwrap();
+        let g = parse_function("x0 x1 + !x2").unwrap().extend_vars(1);
+        let h = parse_function("x2 x3 + !x0").unwrap();
+        let targets = [f.clone(), g.clone(), h.clone()];
+        let multi = minimize_multi_output(&targets);
+        assert!(multi.outputs[0].computes(&f));
+        assert!(multi.outputs[1].computes(&g));
+        assert!(multi.outputs[2].computes(&h));
+    }
+
+    #[test]
+    fn shared_products_reduce_rows() {
+        // Three outputs all containing x0 x1: the shared row count must be
+        // below the sum of separate ISOP product counts.
+        let f = parse_function("x0 x1 + x2").unwrap();
+        let g = parse_function("x0 x1 + !x2").unwrap();
+        let h = parse_function("x0 x1").unwrap().extend_vars(1);
+        let targets = [f.clone(), g.clone(), h.clone()];
+        let multi = minimize_multi_output(&targets);
+        let separate: usize = targets.iter().map(|t| isop_cover(t).product_count()).sum();
+        assert!(multi.product_rows() < separate, "{} vs {separate}", multi.product_rows());
+    }
+
+    #[test]
+    fn cross_output_implicants_are_reused() {
+        // A cube can serve an output whose own primes never produced it:
+        // g = x0 (one prime) also absorbs f's smaller cube x0 x1.
+        let f = parse_function("x0 x1").unwrap();
+        let g = parse_function("x0").unwrap().extend_vars(1);
+        let multi = minimize_multi_output(&[f.clone(), g.clone()]);
+        assert!(multi.outputs[0].computes(&f));
+        assert!(multi.outputs[1].computes(&g));
+        // f's only cover is x0 x1; g is covered by its prime x0. But x0 is
+        // NOT an implicant of f, so rows = 2 and nothing illegal happened.
+        assert_eq!(multi.product_rows(), 2);
+    }
+
+    #[test]
+    fn random_multi_output_exactness() {
+        let mut state = 0x3A11u64;
+        for _ in 0..12 {
+            let mut targets = Vec::new();
+            for o in 0..3u64 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let bits = state.wrapping_mul(o * 2 + 1);
+                targets.push(TruthTable::from_fn(4, |m| (bits >> (m % 64)) & 1 == 1));
+            }
+            if targets.iter().any(|t| t.is_zero()) {
+                continue;
+            }
+            let multi = minimize_multi_output(&targets);
+            for (o, t) in targets.iter().enumerate() {
+                assert!(multi.outputs[o].computes(t), "output {o}");
+            }
+            // Shared rows never exceed the separate total.
+            let separate: usize = targets.iter().map(|t| isop_cover(t).product_count()).sum();
+            assert!(multi.product_rows() <= separate);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one output")]
+    fn empty_targets_rejected() {
+        let _ = minimize_multi_output(&[]);
+    }
+}

@@ -1,0 +1,382 @@
+//! Exact two-level minimisation (Quine–McCluskey + branch-and-bound cover).
+
+use std::collections::HashSet;
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::truth_table::TruthTable;
+
+/// What the exact minimiser optimises.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MinimizeObjective {
+    /// Minimise the number of products; break ties by total literal count.
+    ///
+    /// This matches the paper's size formulas, which are driven by product
+    /// counts (rows/columns of the arrays).
+    #[default]
+    FewestProductsThenLiterals,
+    /// Minimise the total number of literals; break ties by product count.
+    FewestLiterals,
+}
+
+/// All prime implicants of the interval `[on, on ∪ dc]`.
+///
+/// Classic tabulation: start from minterms (ON ∪ DC), repeatedly merge
+/// pairs of implicants that differ in exactly one constrained bit, and keep
+/// the implicants that never merged.
+///
+/// # Panics
+///
+/// Panics if arities differ or the sets overlap.
+pub fn prime_implicants(on: &TruthTable, dc: &TruthTable) -> Vec<Cube> {
+    assert_eq!(on.num_vars(), dc.num_vars(), "arity mismatch");
+    assert!(on.and(dc).is_zero(), "ON-set and DC-set must be disjoint");
+    let n = on.num_vars();
+    let care = on.or(dc);
+    if care.is_zero() {
+        return Vec::new();
+    }
+
+    // Current generation of implicants, deduplicated.
+    let mut current: HashSet<Cube> = care.minterms().map(|m| Cube::from_minterm(n, m)).collect();
+    let mut primes: Vec<Cube> = Vec::new();
+
+    while !current.is_empty() {
+        let gen: Vec<Cube> = current.iter().copied().collect();
+        let mut merged_away: HashSet<Cube> = HashSet::new();
+        let mut next: HashSet<Cube> = HashSet::new();
+
+        for (i, a) in gen.iter().enumerate() {
+            for b in &gen[i + 1..] {
+                if let Some(m) = merge_adjacent(a, b) {
+                    merged_away.insert(*a);
+                    merged_away.insert(*b);
+                    next.insert(m);
+                }
+            }
+        }
+        for c in &gen {
+            if !merged_away.contains(c) {
+                primes.push(*c);
+            }
+        }
+        current = next;
+    }
+    primes.sort_by_key(|c| (c.literal_count(), c.pos_mask(), c.neg_mask()));
+    primes
+}
+
+/// Merges two cubes that span the same variables and differ in exactly one
+/// polarity (the QM adjacency step).
+fn merge_adjacent(a: &Cube, b: &Cube) -> Option<Cube> {
+    let vars_a = a.pos_mask() | a.neg_mask();
+    let vars_b = b.pos_mask() | b.neg_mask();
+    if vars_a != vars_b {
+        return None;
+    }
+    let diff = a.pos_mask() ^ b.pos_mask();
+    if diff.count_ones() == 1 && (a.neg_mask() ^ b.neg_mask()) == diff {
+        Some(a.without_var(diff.trailing_zeros() as usize))
+    } else {
+        None
+    }
+}
+
+/// Exact minimum SOP cover of `on` using don't-cares `dc`.
+///
+/// Computes all prime implicants, extracts essentials, and solves the
+/// residual set-cover exactly by branch and bound.
+///
+/// # Panics
+///
+/// Panics if arities differ or the sets overlap.
+///
+/// # Examples
+///
+/// ```
+/// use nanoxbar_logic::minimize::{quine_mccluskey, MinimizeObjective};
+/// use nanoxbar_logic::{parse_function, TruthTable};
+///
+/// let f = parse_function("x0 x1 + x0 !x1")?; // = x0
+/// let dc = TruthTable::zeros(2);
+/// let sop = quine_mccluskey(&f, &dc, MinimizeObjective::default());
+/// assert_eq!(sop.product_count(), 1);
+/// assert_eq!(sop.to_algebraic(), "x0");
+/// # Ok::<(), nanoxbar_logic::LogicError>(())
+/// ```
+pub fn quine_mccluskey(on: &TruthTable, dc: &TruthTable, objective: MinimizeObjective) -> Cover {
+    let n = on.num_vars();
+    if on.is_zero() {
+        return Cover::zero(n);
+    }
+    let primes = prime_implicants(on, dc);
+    let minterms: Vec<u64> = on.minterms().collect();
+
+    // Coverage matrix: for each ON minterm, which primes cover it.
+    let covers_of: Vec<Vec<usize>> = minterms
+        .iter()
+        .map(|&m| {
+            (0..primes.len())
+                .filter(|&p| primes[p].contains_minterm(m))
+                .collect()
+        })
+        .collect();
+
+    // Essential primes: sole cover of some minterm.
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut covered = vec![false; minterms.len()];
+    for (mi, cov) in covers_of.iter().enumerate() {
+        if cov.len() == 1 && !chosen.contains(&cov[0]) {
+            chosen.push(cov[0]);
+        }
+        let _ = mi;
+    }
+    for (mi, &m) in minterms.iter().enumerate() {
+        if chosen.iter().any(|&p| primes[p].contains_minterm(m)) {
+            covered[mi] = true;
+        }
+    }
+
+    // Branch and bound over the residual minterms, with a node budget so
+    // pathological instances (dense symmetric functions) degrade to the
+    // best-found cover instead of exploding.
+    let residual: Vec<usize> = (0..minterms.len()).filter(|&i| !covered[i]).collect();
+    let mut best: Option<Vec<usize>> = None;
+    let mut stack_choice: Vec<usize> = Vec::new();
+    let cost = |sel: &[usize]| -> (usize, usize) {
+        let products = sel.len() + chosen.len();
+        let literals: usize = sel
+            .iter()
+            .chain(chosen.iter())
+            .map(|&p| primes[p].literal_count())
+            .sum();
+        match objective {
+            MinimizeObjective::FewestProductsThenLiterals => (products, literals),
+            MinimizeObjective::FewestLiterals => (literals, products),
+        }
+    };
+    let mut budget: u64 = 2_000_000;
+    branch(
+        &residual,
+        &covers_of,
+        &primes,
+        &minterms,
+        &mut stack_choice,
+        &mut best,
+        &cost,
+        &mut budget,
+    );
+
+    // DFS always completes at least one cover long before any realistic
+    // budget runs out; guard anyway with a greedy completion.
+    let extra = best.unwrap_or_else(|| greedy_cover(&residual, &covers_of, &primes, &minterms));
+    let mut cubes: Vec<Cube> = chosen.iter().map(|&p| primes[p]).collect();
+    cubes.extend(extra.iter().map(|&p| primes[p]));
+    let mut cover = Cover::from_cubes(n, cubes).expect("primes share the cover arity");
+    cover.remove_contained_cubes();
+    cover
+}
+
+/// Greedy fallback: repeatedly pick the prime covering the most still-
+/// uncovered residual minterms.
+fn greedy_cover(
+    residual: &[usize],
+    covers_of: &[Vec<usize>],
+    primes: &[Cube],
+    minterms: &[u64],
+) -> Vec<usize> {
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut uncovered: Vec<usize> = residual.to_vec();
+    while !uncovered.is_empty() {
+        let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for &mi in &uncovered {
+            for &p in &covers_of[mi] {
+                *counts.entry(p).or_insert(0) += 1;
+            }
+        }
+        let (&p, _) = counts
+            .iter()
+            .max_by_key(|&(_, &c)| c)
+            .expect("every residual minterm has a covering prime");
+        chosen.push(p);
+        uncovered.retain(|&mi| !primes[p].contains_minterm(minterms[mi]));
+    }
+    chosen
+}
+
+/// Depth-first branch and bound on the uncovered minterm with the fewest
+/// covering primes (most-constrained-first). Decrements `budget` per node
+/// and abandons subtrees once it reaches zero.
+#[allow(clippy::too_many_arguments)]
+fn branch(
+    residual: &[usize],
+    covers_of: &[Vec<usize>],
+    primes: &[Cube],
+    minterms: &[u64],
+    chosen: &mut Vec<usize>,
+    best: &mut Option<Vec<usize>>,
+    cost: &dyn Fn(&[usize]) -> (usize, usize),
+    budget: &mut u64,
+) {
+    if *budget == 0 {
+        return;
+    }
+    *budget -= 1;
+    // Prune: already no better than the incumbent.
+    if let Some(b) = best {
+        if cost(chosen) >= cost(b) {
+            return;
+        }
+    }
+    // Find the most constrained uncovered minterm.
+    let uncovered = residual
+        .iter()
+        .filter(|&&mi| {
+            !chosen
+                .iter()
+                .any(|&p| primes[p].contains_minterm(minterms[mi]))
+        })
+        .min_by_key(|&&mi| covers_of[mi].len());
+
+    let Some(&mi) = uncovered else {
+        // Complete cover: record if better.
+        let better = match best {
+            None => true,
+            Some(b) => cost(chosen) < cost(b),
+        };
+        if better {
+            *best = Some(chosen.clone());
+        }
+        return;
+    };
+
+    for &p in &covers_of[mi] {
+        chosen.push(p);
+        branch(residual, covers_of, primes, minterms, chosen, best, cost, budget);
+        chosen.pop();
+    }
+}
+
+/// Interval variant: minimum cover of any function between `lower` and
+/// `upper` (i.e. DC = upper \ lower).
+///
+/// # Panics
+///
+/// Panics if `lower ⊄ upper` or arities differ.
+pub fn qm_interval(lower: &TruthTable, upper: &TruthTable) -> Cover {
+    assert!(lower.implies(upper), "invalid interval");
+    let dc = upper.and_not(lower);
+    quine_mccluskey(lower, &dc, MinimizeObjective::FewestProductsThenLiterals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse_function;
+
+    fn exact(f: &TruthTable) -> Cover {
+        quine_mccluskey(f, &TruthTable::zeros(f.num_vars()), MinimizeObjective::default())
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic 4-var QM example: f = Σ(0,1,2,5,6,7,8,9,10,14)
+        let f = TruthTable::from_minterms(4, &[0, 1, 2, 5, 6, 7, 8, 9, 10, 14]).unwrap();
+        let sop = exact(&f);
+        assert!(sop.computes(&f));
+        // e.g. !x1!x2 + x1!x0 + x0x2!x3 — three primes suffice.
+        assert_eq!(sop.product_count(), 3);
+    }
+
+    #[test]
+    fn primes_of_xor() {
+        let f = parse_function("x0 ^ x1").unwrap();
+        let primes = prime_implicants(&f, &TruthTable::zeros(2));
+        assert_eq!(primes.len(), 2);
+        assert!(primes.iter().all(|p| p.literal_count() == 2));
+    }
+
+    #[test]
+    fn primes_cover_exactly_the_care_set() {
+        let on = TruthTable::from_minterms(3, &[1, 3, 5]).unwrap();
+        let dc = TruthTable::from_minterms(3, &[7]).unwrap();
+        let primes = prime_implicants(&on, &dc);
+        // x0 covers 1,3,5,7 — with the DC it is a single prime.
+        assert!(primes.iter().any(|p| p.literal_count() == 1));
+        let care = on.or(&dc);
+        for p in &primes {
+            assert!(p.to_truth_table().implies(&care), "prime {p} leaves care set");
+        }
+    }
+
+    #[test]
+    fn dont_cares_reduce_cover() {
+        let on = TruthTable::from_minterms(3, &[7]).unwrap();
+        let dc = TruthTable::from_minterms(3, &[3, 5, 6]).unwrap();
+        let with_dc = quine_mccluskey(&on, &dc, MinimizeObjective::default());
+        let without = exact(&on);
+        assert!(with_dc.literal_count() < without.literal_count());
+        // The cover must still contain ON and avoid OFF.
+        let tt = with_dc.to_truth_table();
+        assert!(on.implies(&tt));
+        assert!(tt.implies(&on.or(&dc)));
+    }
+
+    #[test]
+    fn exact_matches_brute_force_product_count() {
+        // For every 3-var function, QM's product count must equal the
+        // brute-force minimum over all SOP covers of bounded size.
+        for bits in 0u64..256 {
+            let f = TruthTable::from_fn(3, |m| (bits >> m) & 1 == 1);
+            let sop = exact(&f);
+            assert!(sop.computes(&f), "function {bits:08b}");
+            let brute = brute_force_min_products(&f);
+            assert_eq!(sop.product_count(), brute, "function {bits:08b}");
+        }
+    }
+
+    /// Minimum product count by exhaustive search over prime subsets.
+    fn brute_force_min_products(f: &TruthTable) -> usize {
+        if f.is_zero() {
+            return 0;
+        }
+        let primes = prime_implicants(f, &TruthTable::zeros(f.num_vars()));
+        let k = primes.len();
+        assert!(k <= 20, "test helper limited to few primes");
+        let minterms: Vec<u64> = f.minterms().collect();
+        let mut best = usize::MAX;
+        for mask in 1u32..(1 << k) {
+            if (mask.count_ones() as usize) >= best {
+                continue;
+            }
+            let ok = minterms.iter().all(|&m| {
+                (0..k).any(|i| (mask >> i) & 1 == 1 && primes[i].contains_minterm(m))
+            });
+            if ok {
+                best = mask.count_ones() as usize;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn literal_objective_prefers_fewer_literals() {
+        let f = parse_function("x0 x1 + !x0 x2 + x1 x2").unwrap();
+        let by_lits = quine_mccluskey(
+            &f,
+            &TruthTable::zeros(3),
+            MinimizeObjective::FewestLiterals,
+        );
+        assert!(by_lits.computes(&f));
+        assert_eq!(by_lits.product_count(), 2);
+        assert_eq!(by_lits.literal_count(), 4);
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert_eq!(exact(&TruthTable::zeros(3)).product_count(), 0);
+        let one = exact(&TruthTable::ones(3));
+        assert_eq!(one.product_count(), 1);
+        assert_eq!(one.literal_count(), 0);
+    }
+}

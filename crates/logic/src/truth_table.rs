@@ -1,0 +1,507 @@
+//! Bit-packed truth tables for Boolean functions of up to [`MAX_VARS`] variables.
+//!
+//! A [`TruthTable`] stores one bit per input assignment (minterm), packed into
+//! `u64` words. Minterm `m` encodes the assignment where input `i` equals bit
+//! `i` of `m` (LSB = variable 0). All synthesis and verification code in the
+//! workspace bottoms out in this representation, so it is deliberately simple
+//! and exhaustively tested.
+
+use std::fmt;
+
+use crate::error::LogicError;
+
+/// Maximum number of input variables supported by [`TruthTable`].
+///
+/// 24 variables ⇒ 2 MiB per table, which keeps exhaustive verification
+/// practical while covering every function used by the paper's experiments.
+pub const MAX_VARS: usize = 24;
+
+/// A complete truth table over `num_vars` inputs.
+///
+/// # Examples
+///
+/// ```
+/// use nanoxbar_logic::TruthTable;
+///
+/// // Majority-of-three: true when at least two inputs are true.
+/// let maj = TruthTable::from_fn(3, |m| (m.count_ones() >= 2) as u64 & 1 == 1);
+/// assert!(maj.value(0b011));
+/// assert!(!maj.value(0b001));
+/// assert_eq!(maj.count_ones(), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    num_vars: usize,
+    words: Vec<u64>,
+}
+
+/// Number of `u64` words needed for `num_vars` inputs.
+fn words_for(num_vars: usize) -> usize {
+    if num_vars >= 6 {
+        1 << (num_vars - 6)
+    } else {
+        1
+    }
+}
+
+/// Mask selecting the valid bits of the final word for tables with < 6 vars.
+fn tail_mask(num_vars: usize) -> u64 {
+    if num_vars >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1 << num_vars)) - 1
+    }
+}
+
+impl TruthTable {
+    /// Creates the constant-false function of `num_vars` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > MAX_VARS`.
+    pub fn zeros(num_vars: usize) -> Self {
+        assert!(num_vars <= MAX_VARS, "too many variables: {num_vars}");
+        TruthTable {
+            num_vars,
+            words: vec![0; words_for(num_vars)],
+        }
+    }
+
+    /// Creates the constant-true function of `num_vars` inputs.
+    pub fn ones(num_vars: usize) -> Self {
+        let mut tt = Self::zeros(num_vars);
+        for w in &mut tt.words {
+            *w = u64::MAX;
+        }
+        *tt.words.last_mut().expect("at least one word") &= tail_mask(num_vars);
+        tt
+    }
+
+    /// Builds a table by evaluating `f` on every minterm.
+    pub fn from_fn<F: FnMut(u64) -> bool>(num_vars: usize, mut f: F) -> Self {
+        let mut tt = Self::zeros(num_vars);
+        for m in 0..(1u64 << num_vars) {
+            if f(m) {
+                tt.set(m, true);
+            }
+        }
+        tt
+    }
+
+    /// Builds a table that is true exactly on the given minterms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::MintermOutOfRange`] if any minterm does not fit
+    /// in `num_vars` bits.
+    pub fn from_minterms(num_vars: usize, minterms: &[u64]) -> Result<Self, LogicError> {
+        let mut tt = Self::zeros(num_vars);
+        for &m in minterms {
+            if m >= (1u64 << num_vars) {
+                return Err(LogicError::MintermOutOfRange { minterm: m, num_vars });
+            }
+            tt.set(m, true);
+        }
+        Ok(tt)
+    }
+
+    /// The single-variable function `x_var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn variable(num_vars: usize, var: usize) -> Self {
+        assert!(var < num_vars, "variable {var} out of range for {num_vars} inputs");
+        Self::from_fn(num_vars, |m| (m >> var) & 1 == 1)
+    }
+
+    /// Number of input variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of minterms (`2^num_vars`).
+    pub fn num_minterms(&self) -> u64 {
+        1u64 << self.num_vars
+    }
+
+    /// Value of the function on minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn value(&self, m: u64) -> bool {
+        assert!(m < self.num_minterms(), "minterm {m} out of range");
+        (self.words[(m >> 6) as usize] >> (m & 63)) & 1 == 1
+    }
+
+    /// Sets the value of the function on minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn set(&mut self, m: u64, value: bool) {
+        assert!(m < self.num_minterms(), "minterm {m} out of range");
+        let w = &mut self.words[(m >> 6) as usize];
+        if value {
+            *w |= 1u64 << (m & 63);
+        } else {
+            *w &= !(1u64 << (m & 63));
+        }
+    }
+
+    /// Number of satisfying assignments.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// True if the function is constant false.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True if the function is constant true (a tautology).
+    pub fn is_ones(&self) -> bool {
+        let n = self.words.len();
+        self.words[..n - 1].iter().all(|&w| w == u64::MAX)
+            && self.words[n - 1] == tail_mask(self.num_vars)
+    }
+
+    /// Iterator over the minterms on which the function is true.
+    pub fn minterms(&self) -> Minterms<'_> {
+        Minterms { tt: self, next: 0 }
+    }
+
+    /// Logical NOT.
+    pub fn not(&self) -> Self {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        *out.words.last_mut().expect("at least one word") &= tail_mask(self.num_vars);
+        out
+    }
+
+    fn binop(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
+        assert_eq!(
+            self.num_vars, other.num_vars,
+            "truth table arity mismatch: {} vs {}",
+            self.num_vars, other.num_vars
+        );
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        let mut out = TruthTable { num_vars: self.num_vars, words };
+        *out.words.last_mut().expect("at least one word") &= tail_mask(self.num_vars);
+        out
+    }
+
+    /// Logical AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables have different arities (also for the other
+    /// binary operations below).
+    pub fn and(&self, other: &Self) -> Self {
+        self.binop(other, |a, b| a & b)
+    }
+
+    /// Logical OR.
+    pub fn or(&self, other: &Self) -> Self {
+        self.binop(other, |a, b| a | b)
+    }
+
+    /// Logical XOR.
+    pub fn xor(&self, other: &Self) -> Self {
+        self.binop(other, |a, b| a ^ b)
+    }
+
+    /// `self AND NOT other` (set difference of ON-sets).
+    pub fn and_not(&self, other: &Self) -> Self {
+        self.binop(other, |a, b| a & !b)
+    }
+
+    /// True if the ON-set of `self` is contained in the ON-set of `other`.
+    pub fn implies(&self, other: &Self) -> bool {
+        self.and_not(other).is_zero()
+    }
+
+    /// The Boolean dual `f^D(x) = ¬f(¬x)`.
+    ///
+    /// The dual exchanges AND/OR in any expression for `f`; it is the
+    /// function whose products index the rows of a four-terminal lattice in
+    /// the Altun–Riedel construction (paper, Fig. 5).
+    ///
+    /// ```
+    /// use nanoxbar_logic::TruthTable;
+    /// let f = TruthTable::from_fn(2, |m| m == 0b11); // x0 AND x1
+    /// let d = f.dual();                              // x0 OR x1
+    /// assert_eq!(d.count_ones(), 3);
+    /// assert_eq!(d.dual(), f); // dual is an involution
+    /// ```
+    pub fn dual(&self) -> Self {
+        let n = self.num_vars;
+        let all = self.num_minterms() - 1;
+        Self::from_fn(n, |m| !self.value(m ^ all))
+    }
+
+    /// Cofactor with variable `var` fixed to `value`; the result still has
+    /// the same arity (the fixed variable becomes irrelevant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn cofactor(&self, var: usize, value: bool) -> Self {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        let bit = 1u64 << var;
+        Self::from_fn(self.num_vars, |m| {
+            let m = if value { m | bit } else { m & !bit };
+            self.value(m)
+        })
+    }
+
+    /// True if the function does not depend on variable `var`.
+    pub fn is_independent_of(&self, var: usize) -> bool {
+        self.cofactor(var, false) == self.cofactor(var, true)
+    }
+
+    /// The set of variables the function actually depends on.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.num_vars)
+            .filter(|&v| !self.is_independent_of(v))
+            .collect()
+    }
+
+    /// Existential quantification over `var`: `f|var=0 OR f|var=1`.
+    pub fn exists(&self, var: usize) -> Self {
+        self.cofactor(var, false).or(&self.cofactor(var, true))
+    }
+
+    /// Universal quantification over `var`: `f|var=0 AND f|var=1`.
+    pub fn forall(&self, var: usize) -> Self {
+        self.cofactor(var, false).and(&self.cofactor(var, true))
+    }
+
+    /// Removes variable `var` from the encoding, producing a table of arity
+    /// `num_vars - 1`. Variables above `var` shift down by one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::DependentVariable`] if the function depends on
+    /// `var`.
+    pub fn drop_var(&self, var: usize) -> Result<Self, LogicError> {
+        if !self.is_independent_of(var) {
+            return Err(LogicError::DependentVariable { var });
+        }
+        let low_mask = (1u64 << var) - 1;
+        Ok(Self::from_fn(self.num_vars - 1, |m| {
+            let expanded = (m & low_mask) | ((m & !low_mask) << 1);
+            self.value(expanded)
+        }))
+    }
+
+    /// Adds `extra` fresh (irrelevant) variables above the current ones.
+    pub fn extend_vars(&self, extra: usize) -> Self {
+        assert!(self.num_vars + extra <= MAX_VARS, "too many variables");
+        let mask = self.num_minterms() - 1;
+        Self::from_fn(self.num_vars + extra, |m| self.value(m & mask))
+    }
+
+    /// Applies a variable permutation: output variable `i` takes the role of
+    /// input variable `perm[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..num_vars`.
+    pub fn permute_vars(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.num_vars, "permutation arity mismatch");
+        let mut seen = vec![false; self.num_vars];
+        for &p in perm {
+            assert!(p < self.num_vars && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+        Self::from_fn(self.num_vars, |m| {
+            let mut orig = 0u64;
+            for (i, &p) in perm.iter().enumerate() {
+                if (m >> i) & 1 == 1 {
+                    orig |= 1 << p;
+                }
+            }
+            self.value(orig)
+        })
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({} vars; ", self.num_vars)?;
+        if self.num_vars <= 6 {
+            for m in (0..self.num_minterms()).rev() {
+                write!(f, "{}", self.value(m) as u8)?;
+            }
+        } else {
+            write!(f, "{} ON minterms", self.count_ones())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Iterator over ON-set minterms, produced by [`TruthTable::minterms`].
+#[derive(Debug)]
+pub struct Minterms<'a> {
+    tt: &'a TruthTable,
+    next: u64,
+}
+
+impl Iterator for Minterms<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        while self.next < self.tt.num_minterms() {
+            let m = self.next;
+            self.next += 1;
+            if self.tt.value(m) {
+                return Some(m);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        for n in 0..8 {
+            let z = TruthTable::zeros(n);
+            let o = TruthTable::ones(n);
+            assert!(z.is_zero());
+            assert!(o.is_ones());
+            assert_eq!(z.count_ones(), 0);
+            assert_eq!(o.count_ones(), 1 << n);
+            assert_eq!(z.not(), o);
+        }
+    }
+
+    #[test]
+    fn variable_tables() {
+        let x1 = TruthTable::variable(3, 1);
+        for m in 0..8 {
+            assert_eq!(x1.value(m), (m >> 1) & 1 == 1);
+        }
+        assert_eq!(x1.count_ones(), 4);
+    }
+
+    #[test]
+    fn from_minterms_checks_range() {
+        assert!(TruthTable::from_minterms(2, &[0, 3]).is_ok());
+        let err = TruthTable::from_minterms(2, &[4]).unwrap_err();
+        assert!(matches!(err, LogicError::MintermOutOfRange { minterm: 4, num_vars: 2 }));
+    }
+
+    #[test]
+    fn boolean_algebra_laws() {
+        let a = TruthTable::from_fn(4, |m| m % 3 == 0);
+        let b = TruthTable::from_fn(4, |m| m % 5 == 0);
+        // De Morgan
+        assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
+        // XOR definition
+        assert_eq!(a.xor(&b), a.and_not(&b).or(&b.and_not(&a)));
+        // Implication via difference
+        assert!(a.and(&b).implies(&a));
+        assert!(a.implies(&a.or(&b)));
+    }
+
+    #[test]
+    fn dual_involution_and_demorgan() {
+        // dual(f AND g) = dual(f) OR dual(g)
+        let f = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+        let g = TruthTable::from_fn(3, |m| m & 1 == 1);
+        assert_eq!(f.dual().dual(), f);
+        assert_eq!(f.and(&g).dual(), f.dual().or(&g.dual()));
+        assert_eq!(f.or(&g).dual(), f.dual().and(&g.dual()));
+    }
+
+    #[test]
+    fn dual_of_paper_example() {
+        // f = x1 x2 + !x1 !x2 (XNOR, paper Sec. III-A) => dual = XOR.
+        let f = TruthTable::from_fn(2, |m| m == 0b11 || m == 0b00);
+        let d = f.dual();
+        assert_eq!(d, TruthTable::from_fn(2, |m| m == 0b01 || m == 0b10));
+    }
+
+    #[test]
+    fn cofactors_and_shannon_expansion() {
+        let f = TruthTable::from_fn(4, |m| (m * 7) % 16 > 7);
+        for v in 0..4 {
+            let f0 = f.cofactor(v, false);
+            let f1 = f.cofactor(v, true);
+            let x = TruthTable::variable(4, v);
+            let shannon = x.and(&f1).or(&x.not().and(&f0));
+            assert_eq!(shannon, f);
+        }
+    }
+
+    #[test]
+    fn support_and_drop_var() {
+        // Function depends only on variables 0 and 2.
+        let f = TruthTable::from_fn(3, |m| (m & 1 == 1) && (m >> 2) & 1 == 1);
+        assert_eq!(f.support(), vec![0, 2]);
+        assert!(f.is_independent_of(1));
+        let g = f.drop_var(1).unwrap();
+        assert_eq!(g.num_vars(), 2);
+        assert_eq!(g, TruthTable::from_fn(2, |m| m == 0b11));
+        assert!(f.drop_var(0).is_err());
+    }
+
+    #[test]
+    fn quantification() {
+        let f = TruthTable::from_fn(3, |m| m == 0b101 || m == 0b001);
+        // exists x2: true whenever some value of x2 makes f true
+        let e = f.exists(2);
+        assert!(e.value(0b001) && e.value(0b101));
+        let a = f.forall(2);
+        assert!(a.value(0b001));
+        assert!(!a.value(0b011));
+    }
+
+    #[test]
+    fn extend_and_permute() {
+        let f = TruthTable::from_fn(2, |m| m == 0b01); // x0 AND !x1
+        let g = f.extend_vars(1);
+        assert_eq!(g.num_vars(), 3);
+        assert!(g.value(0b101) && g.value(0b001));
+        let swapped = f.permute_vars(&[1, 0]);
+        assert_eq!(swapped, TruthTable::from_fn(2, |m| m == 0b10));
+    }
+
+    #[test]
+    fn minterm_iterator_roundtrip() {
+        let f = TruthTable::from_fn(5, |m| m % 7 == 0);
+        let ms: Vec<u64> = f.minterms().collect();
+        let back = TruthTable::from_minterms(5, &ms).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(ms.len() as u64, f.count_ones());
+    }
+
+    #[test]
+    fn zero_arity_tables() {
+        let t = TruthTable::ones(0);
+        assert!(t.value(0));
+        assert_eq!(t.num_minterms(), 1);
+        // dual(1) = ¬1 = 0
+        assert!(t.dual().is_zero());
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the Boolean substrate.
+
+use proptest::prelude::*;
+
+use nanoxbar_logic::minimize::{
+    espresso, prime_implicants, quine_mccluskey, EspressoOptions, MinimizeObjective,
+};
+use nanoxbar_logic::pla::{parse_pla, write_pla};
+use nanoxbar_logic::{dual_cover, isop, isop_cover, Cover, Cube, TruthTable};
+
+fn arb_function(n: usize) -> impl Strategy<Value = TruthTable> {
+    proptest::collection::vec(any::<bool>(), 1usize << n)
+        .prop_map(move |bits| TruthTable::from_fn(n, |m| bits[m as usize]))
+}
+
+fn arb_cube(n: usize) -> impl Strategy<Value = Cube> {
+    proptest::collection::vec(0u8..3, n).prop_map(move |cells| {
+        let mut pos = 0u64;
+        let mut neg = 0u64;
+        for (v, &cell) in cells.iter().enumerate() {
+            match cell {
+                0 => pos |= 1 << v,
+                1 => neg |= 1 << v,
+                _ => {}
+            }
+        }
+        Cube::from_masks(n, pos, neg).expect("disjoint by construction")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cofactor algebra: Shannon expansion reconstructs the function.
+    #[test]
+    fn shannon_expansion(f in arb_function(6), var in 0usize..6) {
+        let x = TruthTable::variable(6, var);
+        let rebuilt = x.and(&f.cofactor(var, true)).or(&x.not().and(&f.cofactor(var, false)));
+        prop_assert_eq!(rebuilt, f);
+    }
+
+    /// Quantifier duality: exists = not-forall-not.
+    #[test]
+    fn quantifier_duality(f in arb_function(5), var in 0usize..5) {
+        prop_assert_eq!(f.exists(var), f.not().forall(var).not());
+    }
+
+    /// Cube membership agrees between bit tricks and the truth table.
+    #[test]
+    fn cube_truth_table_agreement(c in arb_cube(6), m in 0u64..64) {
+        prop_assert_eq!(c.to_truth_table().value(m), c.contains_minterm(m));
+    }
+
+    /// Supercube covers both operands and is the smallest such cube.
+    #[test]
+    fn supercube_minimality(a in arb_cube(5), b in arb_cube(5)) {
+        let s = a.supercube(&b);
+        prop_assert!(s.covers(&a));
+        prop_assert!(s.covers(&b));
+        // Any literal of the supercube appears (same polarity) in both.
+        for lit in s.literals() {
+            let in_both = |c: &Cube| {
+                let mask = 1u64 << lit.var();
+                if lit.is_positive() { c.pos_mask() & mask != 0 } else { c.neg_mask() & mask != 0 }
+            };
+            prop_assert!(in_both(&a) && in_both(&b));
+        }
+    }
+
+    /// Intersection is exact w.r.t. minterm sets.
+    #[test]
+    fn cube_intersection_exact(a in arb_cube(5), b in arb_cube(5), m in 0u64..32) {
+        let both = a.contains_minterm(m) && b.contains_minterm(m);
+        match a.intersection(&b) {
+            Some(i) => prop_assert_eq!(i.contains_minterm(m), both),
+            None => prop_assert!(!both),
+        }
+    }
+
+    /// ISOP with don't-cares stays inside the interval.
+    #[test]
+    fn isop_interval_containment(on in arb_function(5), extra in arb_function(5)) {
+        let upper = on.or(&extra);
+        let cover = isop(&on, &upper);
+        let tt = cover.to_truth_table();
+        prop_assert!(on.implies(&tt));
+        prop_assert!(tt.implies(&upper));
+    }
+
+    /// Every prime implicant is maximal: dropping any literal leaves the
+    /// care interval.
+    #[test]
+    fn primes_are_maximal(f in arb_function(4)) {
+        let dc = TruthTable::zeros(4);
+        for p in prime_implicants(&f, &dc) {
+            prop_assert!(p.to_truth_table().implies(&f));
+            for lit in p.literals() {
+                let bigger = p.without_var(lit.var());
+                prop_assert!(!bigger.to_truth_table().implies(&f));
+            }
+        }
+    }
+
+    /// QM with the literal objective never has more literals than with the
+    /// product objective.
+    #[test]
+    fn qm_objectives_ordered(f in arb_function(4)) {
+        let dc = TruthTable::zeros(4);
+        let by_products = quine_mccluskey(&f, &dc, MinimizeObjective::FewestProductsThenLiterals);
+        let by_literals = quine_mccluskey(&f, &dc, MinimizeObjective::FewestLiterals);
+        prop_assert!(by_literals.literal_count() <= by_products.literal_count());
+        prop_assert!(by_products.product_count() <= by_literals.product_count());
+    }
+
+    /// Espresso respects don't-cares and stays sound.
+    #[test]
+    fn espresso_interval_sound(on in arb_function(5), extra in arb_function(5)) {
+        let dc = extra.and_not(&on);
+        let cover = espresso(&on, &dc, &EspressoOptions::default());
+        let tt = cover.to_truth_table();
+        prop_assert!(on.implies(&tt));
+        prop_assert!(tt.implies(&on.or(&dc)));
+    }
+
+    /// PLA serialisation round-trips any ISOP cover.
+    #[test]
+    fn pla_roundtrip(f in arb_function(5)) {
+        let cover = isop_cover(&f);
+        let parsed = parse_pla(&write_pla(&cover)).unwrap();
+        prop_assert!(parsed.single_output().computes(&f));
+    }
+
+    /// Cover OR/AND composition is exact.
+    #[test]
+    fn cover_composition(f in arb_function(4), g in arb_function(4)) {
+        let cf = isop_cover(&f);
+        let cg = isop_cover(&g);
+        prop_assert_eq!(cf.or(&cg).to_truth_table(), f.or(&g));
+        prop_assert_eq!(cf.and(&cg).to_truth_table(), f.and(&g));
+    }
+
+    /// The shared-literal lemma holds for any f against its dual cover.
+    #[test]
+    fn shared_literal_lemma(f in arb_function(5)) {
+        prop_assume!(!f.is_zero() && !f.is_ones());
+        let fc = isop_cover(&f);
+        let dc = dual_cover(&f);
+        prop_assert_eq!(nanoxbar_logic::check_shared_literal_lemma(&fc, &dc), Ok(()));
+    }
+
+    /// Irredundancy: make_irredundant never changes the function and never
+    /// grows the cover.
+    #[test]
+    fn irredundant_sound(f in arb_function(5)) {
+        let mut cover = Cover::from_truth_table_minterms(&f);
+        let before = cover.product_count();
+        cover.make_irredundant();
+        prop_assert!(cover.computes(&f));
+        prop_assert!(cover.product_count() <= before);
+    }
+}

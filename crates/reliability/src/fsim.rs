@@ -1,0 +1,213 @@
+//! Fault simulation for configured crossbars.
+//!
+//! The single source of truth for test-mode semantics: rows are wired-AND
+//! products over driven literal columns, every row is observable, and a
+//! [`FabricFault`] perturbs the electrical behaviour as documented on each
+//! variant. BIST coverage (Sec. IV-A) is *proved* against this simulator by
+//! exhaustive fault injection.
+
+use nanoxbar_crossbar::Crossbar;
+
+use crate::fault::FabricFault;
+
+/// A test stimulus: the logic value driven on each column.
+pub type TestVector = Vec<bool>;
+
+/// Simulates the fault-free row responses of a configuration under a
+/// vector.
+///
+/// # Panics
+///
+/// Panics if the vector length differs from the column count.
+pub fn golden_rows(config: &Crossbar, vector: &TestVector) -> Vec<bool> {
+    simulate_rows(config, None, vector)
+}
+
+/// Simulates row responses with an optional injected fault.
+///
+/// # Panics
+///
+/// Panics if the vector length differs from the column count.
+pub fn simulate_rows(
+    config: &Crossbar,
+    fault: Option<FabricFault>,
+    vector: &TestVector,
+) -> Vec<bool> {
+    let size = config.size();
+    assert_eq!(vector.len(), size.cols, "vector arity mismatch");
+
+    // Effective column line values (column bridges and breaks first).
+    let mut line = vector.clone();
+    match fault {
+        Some(FabricFault::BridgeCols { col }) => {
+            let merged = line[col] && line[col + 1];
+            line[col] = merged;
+            line[col + 1] = merged;
+        }
+        Some(FabricFault::ColOpen { col }) => {
+            // Floating column: devices on it never pull the row down.
+            line[col] = true;
+        }
+        _ => {}
+    }
+
+    // Per-row wired-AND with crosspoint-level faults.
+    let device_present = |r: usize, c: usize| -> bool {
+        let programmed = config.is_programmed(r, c);
+        match fault {
+            Some(FabricFault::StuckOpen { row, col }) if (row, col) == (r, c) => false,
+            Some(FabricFault::StuckClosed { row, col }) if (row, col) == (r, c) => true,
+            _ => programmed,
+        }
+    };
+    let device_value = |r: usize, c: usize| -> bool {
+        match fault {
+            Some(FabricFault::Functional { row, col }) if (row, col) == (r, c) => !line[c],
+            _ => line[c],
+        }
+    };
+    let row_product = |r: usize| -> bool {
+        (0..size.cols).all(|c| !device_present(r, c) || device_value(r, c))
+    };
+
+    let mut rows: Vec<bool> = (0..size.rows).map(row_product).collect();
+
+    match fault {
+        Some(FabricFault::BridgeRows { row }) => {
+            let merged = rows[row] && rows[row + 1];
+            rows[row] = merged;
+            rows[row + 1] = merged;
+        }
+        Some(FabricFault::RowOpen { row }) => {
+            // Broken observation wire floats high.
+            rows[row] = true;
+        }
+        _ => {}
+    }
+    rows
+}
+
+/// True if `fault` is detected by (`config`, `vector`): some observable row
+/// differs from the fault-free response.
+pub fn detects(config: &Crossbar, fault: FabricFault, vector: &TestVector) -> bool {
+    simulate_rows(config, Some(fault), vector) != golden_rows(config, vector)
+}
+
+/// Simulates row responses on a chip with fabrication defects (multi-fault:
+/// every crosspoint defect in the map is active simultaneously). Used by
+/// the self-mapping (BISM) and defect-unaware-flow experiments.
+///
+/// # Panics
+///
+/// Panics if the defect map, configuration, and vector disagree on size.
+pub fn simulate_with_defects(
+    config: &Crossbar,
+    defects: &crate::defect::DefectMap,
+    vector: &TestVector,
+) -> Vec<bool> {
+    let size = config.size();
+    assert_eq!(defects.size(), size, "defect map size mismatch");
+    assert_eq!(vector.len(), size.cols, "vector arity mismatch");
+    (0..size.rows)
+        .map(|r| {
+            (0..size.cols).all(|c| {
+                let present = match defects.health(r, c) {
+                    crate::defect::CrosspointHealth::Good => config.is_programmed(r, c),
+                    crate::defect::CrosspointHealth::StuckOpen => false,
+                    crate::defect::CrosspointHealth::StuckClosed => true,
+                };
+                !present || vector[c]
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoxbar_crossbar::ArraySize;
+
+    /// 2x3 fabric: row 0 programs columns {0,1}; row 1 programs {2}.
+    fn sample_config() -> Crossbar {
+        let mut xb = Crossbar::new(ArraySize::new(2, 3));
+        xb.set(0, 0, true);
+        xb.set(0, 1, true);
+        xb.set(1, 2, true);
+        xb
+    }
+
+    #[test]
+    fn golden_semantics_wired_and() {
+        let xb = sample_config();
+        assert_eq!(golden_rows(&xb, &vec![true, true, false]), vec![true, false]);
+        assert_eq!(golden_rows(&xb, &vec![true, false, true]), vec![false, true]);
+        // Empty row (no devices) would read 1; row 1 only depends on col 2.
+    }
+
+    #[test]
+    fn stuck_open_detected_by_zero_on_its_column() {
+        let xb = sample_config();
+        let fault = FabricFault::StuckOpen { row: 0, col: 1 };
+        // x1=0 should force row 0 low; the missing device leaves it high.
+        assert!(detects(&xb, fault, &vec![true, false, true]));
+        // All-ones cannot see it.
+        assert!(!detects(&xb, fault, &vec![true, true, true]));
+    }
+
+    #[test]
+    fn stuck_closed_detected_by_zero_on_foreign_column() {
+        let xb = sample_config();
+        let fault = FabricFault::StuckClosed { row: 1, col: 0 };
+        // Row 1 should ignore column 0; the stuck device ANDs it in.
+        assert!(detects(&xb, fault, &vec![false, true, true]));
+        assert!(!detects(&xb, fault, &vec![true, true, true]));
+    }
+
+    #[test]
+    fn bridge_rows_merges_products() {
+        let xb = sample_config();
+        let fault = FabricFault::BridgeRows { row: 0 };
+        // x = (1,1,0): row0 golden 1, row1 golden 0; merged = 0 on both.
+        let faulty = simulate_rows(&xb, Some(fault), &vec![true, true, false]);
+        assert_eq!(faulty, vec![false, false]);
+        assert!(detects(&xb, fault, &vec![true, true, false]));
+    }
+
+    #[test]
+    fn bridge_cols_ands_line_values() {
+        let xb = sample_config();
+        let fault = FabricFault::BridgeCols { col: 1 };
+        // x = (1,1,0): bridged cols 1,2 both read 0 -> row 0 sees x1=0.
+        assert!(detects(&xb, fault, &vec![true, true, false]));
+    }
+
+    #[test]
+    fn row_open_reads_high() {
+        let xb = sample_config();
+        let fault = FabricFault::RowOpen { row: 0 };
+        // x0 = 0 forces row 0 low; break floats it high.
+        assert!(detects(&xb, fault, &vec![false, true, true]));
+    }
+
+    #[test]
+    fn col_open_equivalent_to_missing_devices() {
+        let xb = sample_config();
+        let fault = FabricFault::ColOpen { col: 2 };
+        assert!(detects(&xb, fault, &vec![true, true, false]));
+        assert!(!detects(&xb, fault, &vec![true, true, true]));
+    }
+
+    #[test]
+    fn functional_inversion_detected_at_ones() {
+        let xb = sample_config();
+        let fault = FabricFault::Functional { row: 0, col: 0 };
+        assert!(detects(&xb, fault, &vec![true, true, true]));
+    }
+
+    #[test]
+    #[should_panic(expected = "vector arity mismatch")]
+    fn wrong_vector_length_panics() {
+        let xb = sample_config();
+        let _ = golden_rows(&xb, &vec![true; 5]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Hopcroft–Karp maximum bipartite matching.
+//!
+//! The baseline *defect-aware* flow of Fig. 6(a) must re-map every
+//! application onto every chip around that chip's defects; placing products
+//! onto compatible rows is a bipartite matching problem, solved here with
+//! Hopcroft–Karp (`O(E·√V)`).
+
+/// A bipartite graph: `adj[u]` lists the right-side vertices reachable
+/// from left vertex `u`.
+#[derive(Clone, Debug)]
+pub struct Bipartite {
+    /// Adjacency lists of the left side.
+    pub adj: Vec<Vec<usize>>,
+    /// Size of the right side.
+    pub right_size: usize,
+}
+
+/// A maximum matching: `pair_left[u]` is the right vertex matched to `u`.
+#[derive(Clone, Debug)]
+pub struct Matching {
+    /// Per-left-vertex partner (`None` if unmatched).
+    pub pair_left: Vec<Option<usize>>,
+    /// Per-right-vertex partner.
+    pub pair_right: Vec<Option<usize>>,
+    /// Number of matched pairs.
+    pub size: usize,
+}
+
+const INF: u32 = u32::MAX;
+
+/// Computes a maximum matching with Hopcroft–Karp.
+///
+/// # Examples
+///
+/// ```
+/// use nanoxbar_reliability::matching::{maximum_matching, Bipartite};
+///
+/// // Two products, three rows; product 0 fits rows {0,1}, product 1 only {0}.
+/// let g = Bipartite { adj: vec![vec![0, 1], vec![0]], right_size: 3 };
+/// let m = maximum_matching(&g);
+/// assert_eq!(m.size, 2);
+/// ```
+pub fn maximum_matching(graph: &Bipartite) -> Matching {
+    let n = graph.adj.len();
+    let m = graph.right_size;
+    let mut pair_left: Vec<Option<usize>> = vec![None; n];
+    let mut pair_right: Vec<Option<usize>> = vec![None; m];
+    let mut dist: Vec<u32> = vec![INF; n];
+
+    loop {
+        // BFS layering from free left vertices.
+        let mut queue = std::collections::VecDeque::new();
+        for u in 0..n {
+            if pair_left[u].is_none() {
+                dist[u] = 0;
+                queue.push_back(u);
+            } else {
+                dist[u] = INF;
+            }
+        }
+        let mut found_augmenting = false;
+        while let Some(u) = queue.pop_front() {
+            for &v in &graph.adj[u] {
+                match pair_right[v] {
+                    None => found_augmenting = true,
+                    Some(u2) => {
+                        if dist[u2] == INF {
+                            dist[u2] = dist[u] + 1;
+                            queue.push_back(u2);
+                        }
+                    }
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS augmentation along the layering.
+        fn dfs(
+            u: usize,
+            graph: &Bipartite,
+            dist: &mut [u32],
+            pair_left: &mut [Option<usize>],
+            pair_right: &mut [Option<usize>],
+        ) -> bool {
+            for i in 0..graph.adj[u].len() {
+                let v = graph.adj[u][i];
+                let advance = match pair_right[v] {
+                    None => true,
+                    Some(u2) => {
+                        dist[u2] == dist[u] + 1
+                            && dfs(u2, graph, dist, pair_left, pair_right)
+                    }
+                };
+                if advance {
+                    pair_left[u] = Some(v);
+                    pair_right[v] = Some(u);
+                    return true;
+                }
+            }
+            dist[u] = INF;
+            false
+        }
+        for u in 0..n {
+            if pair_left[u].is_none() {
+                dfs(u, graph, &mut dist, &mut pair_left, &mut pair_right);
+            }
+        }
+    }
+
+    let size = pair_left.iter().filter(|p| p.is_some()).count();
+    Matching { pair_left, pair_right, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_identity() {
+        let g = Bipartite { adj: (0..5).map(|i| vec![i]).collect(), right_size: 5 };
+        let m = maximum_matching(&g);
+        assert_eq!(m.size, 5);
+        for (u, p) in m.pair_left.iter().enumerate() {
+            assert_eq!(*p, Some(u));
+        }
+    }
+
+    #[test]
+    fn hall_violation_limits_matching() {
+        // Three lefts all restricted to the same two rights.
+        let g = Bipartite { adj: vec![vec![0, 1]; 3], right_size: 2 };
+        assert_eq!(maximum_matching(&g).size, 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Bipartite { adj: vec![vec![], vec![]], right_size: 3 };
+        assert_eq!(maximum_matching(&g).size, 0);
+    }
+
+    #[test]
+    fn matching_is_consistent() {
+        let g = Bipartite {
+            adj: vec![vec![0, 1, 2], vec![0], vec![1], vec![0, 2]],
+            right_size: 3,
+        };
+        let m = maximum_matching(&g);
+        assert_eq!(m.size, 3);
+        for (u, p) in m.pair_left.iter().enumerate() {
+            if let Some(v) = p {
+                assert_eq!(m.pair_right[*v], Some(u));
+                assert!(g.adj[u].contains(v), "matched along a non-edge");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_graphs() {
+        let mut state = 0x12345u64;
+        for _ in 0..30 {
+            let n = 6;
+            let m = 6;
+            let mut adj = vec![Vec::new(); n];
+            for (u, row) in adj.iter_mut().enumerate() {
+                for v in 0..m {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    if state.is_multiple_of(3) {
+                        row.push(v);
+                    }
+                }
+                let _ = u;
+            }
+            let g = Bipartite { adj: adj.clone(), right_size: m };
+            let hk = maximum_matching(&g).size;
+            let brute = brute_force_matching(&adj, m);
+            assert_eq!(hk, brute);
+        }
+    }
+
+    fn brute_force_matching(adj: &[Vec<usize>], m: usize) -> usize {
+        fn rec(u: usize, adj: &[Vec<usize>], used: &mut Vec<bool>) -> usize {
+            if u == adj.len() {
+                return 0;
+            }
+            // Skip u entirely.
+            let mut best = rec(u + 1, adj, used);
+            for &v in &adj[u] {
+                if !used[v] {
+                    used[v] = true;
+                    best = best.max(1 + rec(u + 1, adj, used));
+                    used[v] = false;
+                }
+            }
+            best
+        }
+        let mut used = vec![false; m];
+        rec(0, adj, &mut used)
+    }
+}

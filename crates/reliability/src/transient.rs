@@ -1,0 +1,209 @@
+//! Transient-fault tolerance (paper Sec. IV: "fault tolerance to ensure
+//! the lifetime reliability (for errors during normal operation)"; the
+//! companion study is ref \[15\], Tunali–Altun TCAD 2016).
+//!
+//! During operation, nano-crosspoints suffer *transient* upsets: a device
+//! momentarily drops out (or a parasitic one conducts) for a single
+//! evaluation. The classic architectural remedy the paper's programme
+//! exploits — abundant reprogrammable resources — is modular redundancy:
+//! fabricate R copies of each product row and vote. This module provides a
+//! per-evaluation transient-upset simulator for diode arrays and an R-way
+//! modular-redundant wrapper, so the reliability-vs-redundancy trade-off
+//! can be measured (experiment E12).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use nanoxbar_crossbar::DiodeArray;
+
+/// Per-evaluation transient-upset model for a diode array.
+///
+/// Each programmed device independently fails open with probability
+/// `p_drop`, and each unprogrammed crosspoint of a *used* row conducts
+/// with probability `p_ghost`, for the duration of one evaluation.
+#[derive(Clone, Debug)]
+pub struct TransientModel {
+    /// Probability a programmed device momentarily opens.
+    pub p_drop: f64,
+    /// Probability an unprogrammed crosspoint momentarily conducts.
+    pub p_ghost: f64,
+}
+
+impl TransientModel {
+    /// A symmetric model with equal drop/ghost rates.
+    pub fn symmetric(p: f64) -> Self {
+        TransientModel { p_drop: p, p_ghost: p }
+    }
+
+    /// Evaluates `array` on minterm `m` with transient upsets drawn from
+    /// `rng`.
+    pub fn eval(&self, array: &DiodeArray, m: u64, rng: &mut ChaCha8Rng) -> bool {
+        let out_col = array.output_column();
+        let grid = array.grid();
+        (0..grid.size().rows).any(|r| {
+            if !grid.is_programmed(r, out_col) {
+                return false;
+            }
+            array.column_literals().iter().enumerate().all(|(c, lit)| {
+                let programmed = grid.is_programmed(r, c);
+                let present = if programmed {
+                    rng.gen::<f64>() >= self.p_drop
+                } else {
+                    rng.gen::<f64>() < self.p_ghost
+                };
+                !present || lit.eval(m)
+            })
+        })
+    }
+}
+
+/// An R-way modular-redundant diode realisation with a majority voter.
+///
+/// # Examples
+///
+/// ```
+/// use nanoxbar_crossbar::DiodeArray;
+/// use nanoxbar_logic::{isop_cover, parse_function};
+/// use nanoxbar_reliability::transient::{RedundantArray, TransientModel};
+///
+/// let f = parse_function("x0 x1 + !x0 !x1")?;
+/// let array = DiodeArray::synthesize(&isop_cover(&f));
+/// let tmr = RedundantArray::new(array, 3);
+/// let (raw, voted) = tmr.error_rates(&TransientModel::symmetric(0.02), 2000, 7);
+/// assert!(voted <= raw);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct RedundantArray {
+    array: DiodeArray,
+    replicas: usize,
+}
+
+impl RedundantArray {
+    /// Wraps an array with `replicas` copies (odd; 1 = simplex).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero or even (majority needs an odd count).
+    pub fn new(array: DiodeArray, replicas: usize) -> Self {
+        assert!(replicas % 2 == 1, "majority voting needs an odd replica count");
+        RedundantArray { array, replicas }
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Total crosspoint cost (voter not counted; it is shared chip
+    /// infrastructure in this model).
+    pub fn area(&self) -> usize {
+        self.array.size().area() * self.replicas
+    }
+
+    /// One voted evaluation under transient upsets (each replica draws
+    /// independent upsets).
+    pub fn eval(&self, model: &TransientModel, m: u64, rng: &mut ChaCha8Rng) -> bool {
+        let votes = (0..self.replicas)
+            .filter(|_| model.eval(&self.array, m, rng))
+            .count();
+        2 * votes > self.replicas
+    }
+
+    /// Monte-Carlo output error rates over `trials` random input/upset
+    /// draws: `(simplex, voted)`.
+    pub fn error_rates(&self, model: &TransientModel, trials: u64, seed: u64) -> (f64, f64) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let golden = self.array.to_truth_table();
+        let inputs = 1u64 << self.array.num_vars();
+        let mut raw_errors = 0u64;
+        let mut voted_errors = 0u64;
+        for _ in 0..trials {
+            let m = rng.gen_range(0..inputs);
+            let expected = golden.value(m);
+            if model.eval(&self.array, m, &mut rng) != expected {
+                raw_errors += 1;
+            }
+            if self.eval(model, m, &mut rng) != expected {
+                voted_errors += 1;
+            }
+        }
+        (
+            raw_errors as f64 / trials as f64,
+            voted_errors as f64 / trials as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoxbar_logic::{isop_cover, parse_function};
+
+    fn xnor_array() -> DiodeArray {
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        DiodeArray::synthesize(&isop_cover(&f))
+    }
+
+    #[test]
+    fn zero_upset_rate_is_error_free() {
+        let tmr = RedundantArray::new(xnor_array(), 3);
+        let (raw, voted) = tmr.error_rates(&TransientModel::symmetric(0.0), 500, 1);
+        assert_eq!(raw, 0.0);
+        assert_eq!(voted, 0.0);
+    }
+
+    #[test]
+    fn voting_reduces_error_rate() {
+        let tmr = RedundantArray::new(xnor_array(), 3);
+        let (raw, voted) = tmr.error_rates(&TransientModel::symmetric(0.05), 20_000, 42);
+        assert!(raw > 0.0, "upsets must be visible at 5%");
+        assert!(
+            voted < raw * 0.8,
+            "triple redundancy should cut errors well below simplex: {voted} vs {raw}"
+        );
+    }
+
+    #[test]
+    fn more_replicas_help_more() {
+        let a3 = RedundantArray::new(xnor_array(), 3);
+        let a5 = RedundantArray::new(xnor_array(), 5);
+        let model = TransientModel::symmetric(0.08);
+        let (_, v3) = a3.error_rates(&model, 30_000, 9);
+        let (_, v5) = a5.error_rates(&model, 30_000, 9);
+        assert!(v5 < v3, "5-way {v5} vs 3-way {v3}");
+        assert!(a5.area() > a3.area());
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let tmr = RedundantArray::new(xnor_array(), 3);
+        let model = TransientModel::symmetric(0.03);
+        assert_eq!(
+            tmr.error_rates(&model, 1000, 5),
+            tmr.error_rates(&model, 1000, 5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "odd replica count")]
+    fn even_replicas_rejected() {
+        let _ = RedundantArray::new(xnor_array(), 2);
+    }
+
+    #[test]
+    fn asymmetric_models_behave() {
+        // Only ghost conduction: a one-product AND can only gain spurious
+        // blocking literals... ghosts on unprogrammed columns block rows
+        // whose literal is 0, pulling true outputs low.
+        let f = parse_function("x0").unwrap();
+        let array = DiodeArray::synthesize(&isop_cover(&f));
+        let model = TransientModel { p_drop: 0.0, p_ghost: 0.5 };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // m = 1 (x0 true): output may flip low due to ghosts; never panics.
+        for _ in 0..100 {
+            let _ = model.eval(&array, 1, &mut rng);
+        }
+    }
+}

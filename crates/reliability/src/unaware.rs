@@ -1,0 +1,262 @@
+//! The defect-unaware design flow (paper Sec. IV-C, Fig. 6b).
+//!
+//! Instead of handling defects per application (Fig. 6a), the chip is
+//! characterised **once**: a `k×k` defect-free sub-crossbar — arbitrary row
+//! and column subsets, not necessarily contiguous — is extracted from the
+//! defective `N×N` fabric, the `O(N)` row/column index lists *are* the
+//! stored defect map, and every subsequent design step targets a clean
+//! `k×k` crossbar. Finding the maximum `k` is the balanced biclique
+//! problem (NP-hard); the flow uses a greedy heuristic plus an exact
+//! branch-and-bound reference for small fabrics.
+
+
+use crate::defect::DefectMap;
+use crate::matching::{maximum_matching, Bipartite};
+
+/// The `O(N)` artefact of the defect-unaware flow: which physical rows and
+/// columns make up the recovered defect-free sub-crossbar.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveredCrossbar {
+    /// Physical row indices retained (ascending).
+    pub rows: Vec<usize>,
+    /// Physical column indices retained (ascending).
+    pub cols: Vec<usize>,
+}
+
+impl RecoveredCrossbar {
+    /// Side of the usable square sub-crossbar.
+    pub fn k(&self) -> usize {
+        self.rows.len().min(self.cols.len())
+    }
+
+    /// Bytes needed to store the map (one index per kept line — the `O(N)`
+    /// claim of Fig. 6b, vs `O(N²)` for a full per-crosspoint map).
+    pub fn storage_bytes(&self, index_bytes: usize) -> usize {
+        (self.rows.len() + self.cols.len()) * index_bytes
+    }
+
+    /// True if the selection is defect-free on `map`.
+    pub fn is_defect_free(&self, map: &DefectMap) -> bool {
+        self.rows
+            .iter()
+            .all(|&r| self.cols.iter().all(|&c| !map.is_defective(r, c)))
+    }
+}
+
+/// Greedy extraction: repeatedly delete the row or column involved in the
+/// most remaining defects (ties prefer shrinking the longer side, keeping
+/// the result square) until the selection is defect-free.
+///
+/// # Examples
+///
+/// ```
+/// use nanoxbar_crossbar::ArraySize;
+/// use nanoxbar_reliability::defect::DefectMap;
+/// use nanoxbar_reliability::unaware::extract_greedy;
+///
+/// let map = DefectMap::random_uniform(ArraySize::new(32, 32), 0.05, 0.0, 42);
+/// let recovered = extract_greedy(&map);
+/// assert!(recovered.is_defect_free(&map));
+/// assert!(recovered.k() >= 16, "k = {}", recovered.k());
+/// ```
+pub fn extract_greedy(map: &DefectMap) -> RecoveredCrossbar {
+    let size = map.size();
+    let mut rows: Vec<usize> = (0..size.rows).collect();
+    let mut cols: Vec<usize> = (0..size.cols).collect();
+
+    loop {
+        // Count defects per retained line.
+        let mut row_defects = vec![0usize; size.rows];
+        let mut col_defects = vec![0usize; size.cols];
+        let mut total = 0usize;
+        for &r in &rows {
+            for &c in &cols {
+                if map.is_defective(r, c) {
+                    row_defects[r] += 1;
+                    col_defects[c] += 1;
+                    total += 1;
+                }
+            }
+        }
+        if total == 0 {
+            break;
+        }
+        let worst_row = rows
+            .iter()
+            .copied()
+            .max_by_key(|&r| row_defects[r])
+            .expect("rows non-empty while defects remain");
+        let worst_col = cols
+            .iter()
+            .copied()
+            .max_by_key(|&c| col_defects[c])
+            .expect("cols non-empty while defects remain");
+        let remove_row = match row_defects[worst_row].cmp(&col_defects[worst_col]) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            // Tie: shrink the longer side to stay square.
+            std::cmp::Ordering::Equal => rows.len() >= cols.len(),
+        };
+        if remove_row {
+            rows.retain(|&r| r != worst_row);
+        } else {
+            cols.retain(|&c| c != worst_col);
+        }
+    }
+    RecoveredCrossbar { rows, cols }
+}
+
+/// Exact maximum-`k` extraction by branch and bound (reference for small
+/// fabrics; exponential in the number of defects).
+///
+/// # Panics
+///
+/// Panics if the fabric has more than 400 crosspoints (guard against
+/// accidental exponential blow-up).
+pub fn extract_exact(map: &DefectMap) -> RecoveredCrossbar {
+    let size = map.size();
+    assert!(size.area() <= 400, "exact extraction limited to small fabrics");
+    let rows: Vec<usize> = (0..size.rows).collect();
+    let cols: Vec<usize> = (0..size.cols).collect();
+    let mut best = RecoveredCrossbar { rows: Vec::new(), cols: Vec::new() };
+    branch(map, rows, cols, &mut best);
+    best
+}
+
+fn branch(map: &DefectMap, rows: Vec<usize>, cols: Vec<usize>, best: &mut RecoveredCrossbar) {
+    if rows.len().min(cols.len()) <= best.k() {
+        return; // cannot beat the incumbent
+    }
+    // Find any remaining defect.
+    let defect = rows
+        .iter()
+        .flat_map(|&r| cols.iter().map(move |&c| (r, c)))
+        .find(|&(r, c)| map.is_defective(r, c));
+    match defect {
+        None => {
+            if rows.len().min(cols.len()) > best.k() {
+                *best = RecoveredCrossbar { rows, cols };
+            }
+        }
+        Some((r, c)) => {
+            // Either drop the row or the column.
+            let without_row: Vec<usize> = rows.iter().copied().filter(|&x| x != r).collect();
+            branch(map, without_row, cols.clone(), best);
+            let without_col: Vec<usize> = cols.iter().copied().filter(|&x| x != c).collect();
+            branch(map, rows, without_col, best);
+        }
+    }
+}
+
+/// The per-application **defect-aware** baseline of Fig. 6(a): match the
+/// application's products onto compatible physical rows of the defective
+/// chip (full column set), via maximum bipartite matching. Returns the
+/// matched row per product if all products place.
+///
+/// `needs[p]` lists the columns product `p` must program.
+pub fn defect_aware_place(
+    map: &DefectMap,
+    needs: &[Vec<usize>],
+    used_cols: usize,
+) -> Option<Vec<usize>> {
+    let size = map.size();
+    let adj: Vec<Vec<usize>> = needs
+        .iter()
+        .map(|need| {
+            (0..size.rows)
+                .filter(|&r| {
+                    (0..used_cols).all(|c| {
+                        let needed = need.contains(&c);
+                        match map.health(r, c) {
+                            crate::defect::CrosspointHealth::Good => true,
+                            crate::defect::CrosspointHealth::StuckOpen => !needed,
+                            crate::defect::CrosspointHealth::StuckClosed => needed,
+                        }
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    let g = Bipartite { adj, right_size: size.rows };
+    let m = maximum_matching(&g);
+    if m.size == needs.len() {
+        Some(m.pair_left.iter().map(|p| p.expect("all matched")).collect())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defect::CrosspointHealth;
+    use nanoxbar_crossbar::ArraySize;
+
+    #[test]
+    fn healthy_fabric_keeps_everything() {
+        let map = DefectMap::healthy(ArraySize::new(8, 8));
+        let r = extract_greedy(&map);
+        assert_eq!(r.k(), 8);
+        assert!(r.is_defect_free(&map));
+    }
+
+    #[test]
+    fn single_defect_costs_one_line() {
+        let mut map = DefectMap::healthy(ArraySize::new(8, 8));
+        map.set(3, 5, CrosspointHealth::StuckOpen);
+        let r = extract_greedy(&map);
+        assert!(r.is_defect_free(&map));
+        assert_eq!(r.k(), 7);
+    }
+
+    #[test]
+    fn greedy_result_is_always_defect_free() {
+        for seed in 0..10u64 {
+            for d in [0.02, 0.08, 0.2] {
+                let map = DefectMap::random_uniform(ArraySize::new(24, 24), d, d / 4.0, seed);
+                let r = extract_greedy(&map);
+                assert!(r.is_defect_free(&map), "d={d} seed={seed}");
+                assert!(r.k() > 0 || map.defect_density() > 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_no_worse_than_greedy() {
+        for seed in 0..8u64 {
+            let map = DefectMap::random_uniform(ArraySize::new(8, 8), 0.12, 0.03, seed);
+            let greedy = extract_greedy(&map);
+            let exact = extract_exact(&map);
+            assert!(exact.is_defect_free(&map));
+            assert!(exact.k() >= greedy.k(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn storage_is_linear_not_quadratic() {
+        let map = DefectMap::random_uniform(ArraySize::new(64, 64), 0.05, 0.0, 1);
+        let r = extract_greedy(&map);
+        assert!(r.storage_bytes(2) <= 2 * (64 + 64));
+    }
+
+    #[test]
+    fn defect_aware_placement_matches_when_possible() {
+        let mut map = DefectMap::healthy(ArraySize::new(4, 4));
+        // Row 0 unusable for products needing column 0.
+        map.set(0, 0, CrosspointHealth::StuckOpen);
+        let needs = vec![vec![0, 1], vec![2, 3]];
+        let placed = defect_aware_place(&map, &needs, 4).unwrap();
+        assert_ne!(placed[0], 0, "product 0 must avoid row 0");
+        assert_ne!(placed[0], placed[1]);
+    }
+
+    #[test]
+    fn defect_aware_placement_fails_when_hall_blocked() {
+        let mut map = DefectMap::healthy(ArraySize::new(2, 2));
+        // Both rows break column 0; any product needing column 0 is stuck.
+        map.set(0, 0, CrosspointHealth::StuckOpen);
+        map.set(1, 0, CrosspointHealth::StuckOpen);
+        let needs = vec![vec![0]];
+        assert!(defect_aware_place(&map, &needs, 2).is_none());
+    }
+}

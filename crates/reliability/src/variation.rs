@@ -1,0 +1,283 @@
+//! Variation tolerance: parametric variation as a timing/predictability
+//! problem (paper Sec. IV: "variation tolerance to ensure the
+//! predictability and performance (for parametric variations)").
+//!
+//! Every crosspoint gets a resistance drawn around the nominal value; the
+//! delay proxy of an evaluation is the best conducting path's total
+//! resistance (Dijkstra over ON sites for lattices, best conducting row
+//! for diode arrays). Sweeping the variation σ yields the delay spread —
+//! the guard-band a designer must budget (experiment E13).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use nanoxbar_crossbar::{ArraySize, DiodeArray};
+use nanoxbar_lattice::Lattice;
+
+/// Per-crosspoint resistances (arbitrary units, nominal 1.0).
+#[derive(Clone, Debug)]
+pub struct ResistanceField {
+    size: ArraySize,
+    values: Vec<f64>,
+}
+
+impl ResistanceField {
+    /// The nominal field (all 1.0).
+    pub fn nominal(size: ArraySize) -> Self {
+        ResistanceField { size, values: vec![1.0; size.area()] }
+    }
+
+    /// Gaussian-ish variation: `1.0 + N(0, sigma)`, clamped to 0.05 so a
+    /// device never becomes a super-conductor or an open.
+    pub fn random(size: ArraySize, sigma: f64, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let values = (0..size.area())
+            .map(|_| {
+                // Irwin–Hall(12) - 6 ~ N(0,1)
+                let z: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+                (1.0 + sigma * z).max(0.05)
+            })
+            .collect();
+        ResistanceField { size, values }
+    }
+
+    /// Field dimensions.
+    pub fn size(&self) -> ArraySize {
+        self.size
+    }
+
+    /// Resistance at a crosspoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range (also for [`ResistanceField::set_at`]).
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.size.rows && col < self.size.cols, "({row},{col}) out of range");
+        self.values[row * self.size.cols + col]
+    }
+
+    /// Overrides the resistance at a crosspoint (e.g. a characterised
+    /// outlier device).
+    pub fn set_at(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.size.rows && col < self.size.cols, "({row},{col}) out of range");
+        self.values[row * self.size.cols + col] = value;
+    }
+}
+
+/// Minimum top→bottom path resistance of a lattice under minterm `m`, or
+/// `None` when the lattice does not conduct (f(m) = 0).
+///
+/// # Panics
+///
+/// Panics if the field's dimensions differ from the lattice's.
+pub fn lattice_path_resistance(lattice: &Lattice, field: &ResistanceField, m: u64) -> Option<f64> {
+    assert_eq!(
+        field.size(),
+        ArraySize::new(lattice.rows(), lattice.cols()),
+        "field size mismatch"
+    );
+    let (rows, cols) = (lattice.rows(), lattice.cols());
+    let on = |r: usize, c: usize| lattice.site(r, c).is_on(m);
+
+    // O(V^2) Dijkstra with node weights (dist includes the node itself);
+    // grids are small and this avoids float-ordering hacks in a heap.
+    let mut dist = vec![f64::INFINITY; rows * cols];
+    let mut visited = vec![false; rows * cols];
+    for (c, d) in dist.iter_mut().enumerate().take(cols) {
+        if on(0, c) {
+            *d = field.at(0, c);
+        }
+    }
+    loop {
+        let mut best: Option<usize> = None;
+        for i in 0..rows * cols {
+            if !visited[i] && dist[i].is_finite() {
+                match best {
+                    None => best = Some(i),
+                    Some(b) if dist[i] < dist[b] => best = Some(i),
+                    _ => {}
+                }
+            }
+        }
+        let Some(u) = best else { break };
+        visited[u] = true;
+        let (r, c) = (u / cols, u % cols);
+        if r == rows - 1 {
+            return Some(dist[u]);
+        }
+        let mut relax = |nr: usize, nc: usize| {
+            if on(nr, nc) {
+                let v = nr * cols + nc;
+                let nd = dist[u] + field.at(nr, nc);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                }
+            }
+        };
+        if r > 0 {
+            relax(r - 1, c);
+        }
+        if r + 1 < rows {
+            relax(r + 1, c);
+        }
+        if c > 0 {
+            relax(r, c - 1);
+        }
+        if c + 1 < cols {
+            relax(r, c + 1);
+        }
+    }
+    None
+}
+
+/// Best conducting-row resistance of a diode array under minterm `m` (sum
+/// of the row's programmed device resistances, output diode included), or
+/// `None` if no row conducts.
+///
+/// # Panics
+///
+/// Panics if the field's dimensions differ from the array's.
+pub fn diode_delay(array: &DiodeArray, field: &ResistanceField, m: u64) -> Option<f64> {
+    assert_eq!(field.size(), array.size(), "field size mismatch");
+    let out_col = array.output_column();
+    let grid = array.grid();
+    let mut best: Option<f64> = None;
+    for r in 0..grid.size().rows {
+        if !grid.is_programmed(r, out_col) || !array.row_conducts(r, m) {
+            continue;
+        }
+        let mut cost = field.at(r, out_col);
+        for (c, _) in array.column_literals().iter().enumerate() {
+            if grid.is_programmed(r, c) {
+                cost += field.at(r, c);
+            }
+        }
+        best = Some(match best {
+            None => cost,
+            Some(b) => b.min(cost),
+        });
+    }
+    best
+}
+
+/// Worst-case (over ON minterms) delay of a lattice under one field.
+pub fn lattice_worst_delay(lattice: &Lattice, field: &ResistanceField) -> Option<f64> {
+    (0..(1u64 << lattice.num_vars()))
+        .filter_map(|m| lattice_path_resistance(lattice, field, m))
+        .fold(None, |acc, d| Some(acc.map_or(d, |a: f64| a.max(d))))
+}
+
+/// Worst-case (over ON minterms) delay of a diode array under one field.
+pub fn diode_worst_delay(array: &DiodeArray, field: &ResistanceField) -> Option<f64> {
+    (0..(1u64 << array.num_vars()))
+        .filter_map(|m| diode_delay(array, field, m))
+        .fold(None, |acc, d| Some(acc.map_or(d, |a: f64| a.max(d))))
+}
+
+/// Monte-Carlo delay spread across variation fields.
+#[derive(Clone, Copy, Debug)]
+pub struct DelaySpread {
+    /// Worst-case delay under the nominal field.
+    pub nominal: f64,
+    /// Mean worst-case delay across sampled fields.
+    pub mean: f64,
+    /// 99th-percentile worst-case delay.
+    pub p99: f64,
+}
+
+impl DelaySpread {
+    /// The guard-band factor a designer must budget: `p99 / nominal`.
+    pub fn guard_band(&self) -> f64 {
+        self.p99 / self.nominal
+    }
+}
+
+/// Samples `samples` variation fields at the given sigma and reports the
+/// worst-case delay spread of a lattice.
+///
+/// # Panics
+///
+/// Panics if the lattice never conducts (constant-false function) or
+/// `samples == 0`.
+pub fn lattice_delay_spread(lattice: &Lattice, sigma: f64, samples: u64, seed: u64) -> DelaySpread {
+    assert!(samples > 0, "need at least one sample");
+    let size = ArraySize::new(lattice.rows(), lattice.cols());
+    let nominal = lattice_worst_delay(lattice, &ResistanceField::nominal(size))
+        .expect("function must conduct for some input");
+    let mut delays: Vec<f64> = (0..samples)
+        .map(|i| {
+            let field = ResistanceField::random(size, sigma, seed.wrapping_add(i));
+            lattice_worst_delay(lattice, &field).expect("conductivity is input-, not field-dependent")
+        })
+        .collect();
+    delays.sort_by(|a, b| a.partial_cmp(b).expect("no NaN delays"));
+    let mean = delays.iter().sum::<f64>() / delays.len() as f64;
+    let p99 = delays[((delays.len() as f64 * 0.99) as usize).min(delays.len() - 1)];
+    DelaySpread { nominal, mean, p99 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoxbar_lattice::synth::dual_based;
+    use nanoxbar_logic::{isop_cover, parse_function};
+
+    #[test]
+    fn nominal_lattice_path_counts_sites() {
+        // Single column of 3 literals: the only path has resistance 3.
+        let f = parse_function("x0 x1 x2").unwrap();
+        let lattice = dual_based::synthesize(&f);
+        let size = ArraySize::new(lattice.rows(), lattice.cols());
+        let field = ResistanceField::nominal(size);
+        let d = lattice_path_resistance(&lattice, &field, 0b111).unwrap();
+        assert_eq!(d, lattice.rows() as f64);
+        assert!(lattice_path_resistance(&lattice, &field, 0b011).is_none());
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_paths() {
+        // Two parallel columns (x0 + x1); make one column expensive.
+        let f = parse_function("x0 + x1").unwrap();
+        let lattice = dual_based::synthesize(&f);
+        let size = ArraySize::new(lattice.rows(), lattice.cols());
+        let mut field = ResistanceField::nominal(size);
+        field.set_at(0, 0, 10.0); // first site expensive
+        let d = lattice_path_resistance(&lattice, &field, 0b11).unwrap();
+        assert_eq!(d, 1.0, "the cheap parallel path must win");
+    }
+
+    #[test]
+    fn diode_delay_counts_devices() {
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let array = DiodeArray::synthesize(&isop_cover(&f));
+        let field = ResistanceField::nominal(array.size());
+        // Conducting input: 2 literal devices + output diode = 3.
+        assert_eq!(diode_delay(&array, &field, 0b11), Some(3.0));
+        assert_eq!(diode_delay(&array, &field, 0b01), None);
+    }
+
+    #[test]
+    fn spread_grows_with_sigma() {
+        let f = parse_function("x0 x1 + !x0 !x1 + x1 x2").unwrap();
+        let lattice = dual_based::synthesize(&f);
+        let tight = lattice_delay_spread(&lattice, 0.02, 60, 5);
+        let loose = lattice_delay_spread(&lattice, 0.25, 60, 5);
+        assert!(tight.guard_band() < loose.guard_band());
+        assert!(loose.p99 >= loose.mean);
+        assert!(tight.nominal > 0.0);
+    }
+
+    #[test]
+    fn field_determinism_and_clamp() {
+        let size = ArraySize::new(8, 8);
+        let a = ResistanceField::random(size, 0.5, 3);
+        let b = ResistanceField::random(size, 0.5, 3);
+        for r in 0..8 {
+            for c in 0..8 {
+                assert_eq!(a.at(r, c), b.at(r, c));
+                assert!(a.at(r, c) >= 0.05);
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! CNF encoding helpers: Tseitin gates and cardinality constraints.
+//!
+//! The optimal-lattice SAT encoding (paper ref \[9\], reproduced in
+//! `nanoxbar-lattice`) needs AND/OR gate definitions, at-most-one site
+//! selectors, and sequential-counter cardinality bounds; they live here so
+//! every encoding in the workspace shares one tested implementation.
+
+use crate::cnf::Cnf;
+use crate::lit::Lit;
+
+/// Adds Tseitin clauses defining `out ↔ AND(inputs)`.
+///
+/// An empty conjunction forces `out` true.
+///
+/// ```
+/// use nanoxbar_sat::{encode, Cnf, Solver, SolveResult};
+/// let mut cnf = Cnf::new();
+/// let a = cnf.fresh_var().positive();
+/// let b = cnf.fresh_var().positive();
+/// let out = cnf.fresh_var().positive();
+/// encode::tseitin_and(&mut cnf, out, &[a, b]);
+/// cnf.add_clause([out]);
+/// let mut s = Solver::from_cnf(&cnf);
+/// if let SolveResult::Sat(m) = s.solve() {
+///     assert!(m[0] && m[1]);
+/// } else { unreachable!() }
+/// ```
+pub fn tseitin_and(cnf: &mut Cnf, out: Lit, inputs: &[Lit]) {
+    for &i in inputs {
+        cnf.add_clause([!out, i]);
+    }
+    let mut clause: Vec<Lit> = inputs.iter().map(|&i| !i).collect();
+    clause.push(out);
+    cnf.add_clause(clause);
+}
+
+/// Adds Tseitin clauses defining `out ↔ OR(inputs)`.
+///
+/// An empty disjunction forces `out` false.
+pub fn tseitin_or(cnf: &mut Cnf, out: Lit, inputs: &[Lit]) {
+    for &i in inputs {
+        cnf.add_clause([out, !i]);
+    }
+    let mut clause: Vec<Lit> = inputs.to_vec();
+    clause.push(!out);
+    cnf.add_clause(clause);
+}
+
+/// Adds Tseitin clauses defining `out ↔ (a XOR b)`.
+pub fn tseitin_xor(cnf: &mut Cnf, out: Lit, a: Lit, b: Lit) {
+    cnf.add_clause([!out, a, b]);
+    cnf.add_clause([!out, !a, !b]);
+    cnf.add_clause([out, !a, b]);
+    cnf.add_clause([out, a, !b]);
+}
+
+/// At least one of `lits` is true.
+pub fn at_least_one(cnf: &mut Cnf, lits: &[Lit]) {
+    cnf.add_clause(lits.iter().copied());
+}
+
+/// At most one of `lits` is true (pairwise encoding — fine for the small
+/// selector groups used by the lattice encoder).
+pub fn at_most_one(cnf: &mut Cnf, lits: &[Lit]) {
+    for (i, &a) in lits.iter().enumerate() {
+        for &b in &lits[i + 1..] {
+            cnf.add_clause([!a, !b]);
+        }
+    }
+}
+
+/// Exactly one of `lits` is true.
+pub fn exactly_one(cnf: &mut Cnf, lits: &[Lit]) {
+    at_least_one(cnf, lits);
+    at_most_one(cnf, lits);
+}
+
+/// At most `k` of `lits` are true, via the sequential-counter encoding
+/// (Sinz 2005). Introduces `O(n·k)` auxiliary variables.
+pub fn at_most_k(cnf: &mut Cnf, lits: &[Lit], k: usize) {
+    let n = lits.len();
+    if n <= k {
+        return;
+    }
+    if k == 0 {
+        for &l in lits {
+            cnf.add_clause([!l]);
+        }
+        return;
+    }
+    // s[i][j] = "at least j+1 of the first i+1 literals are true"
+    let mut s = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<Lit> = (0..k).map(|_| cnf.fresh_var().positive()).collect();
+        s.push(row);
+    }
+    cnf.add_clause([!lits[0], s[0][0]]);
+    for &sj in &s[0][1..k] {
+        cnf.add_clause([!sj]);
+    }
+    for i in 1..n {
+        cnf.add_clause([!lits[i], s[i][0]]);
+        cnf.add_clause([!s[i - 1][0], s[i][0]]);
+        for j in 1..k {
+            cnf.add_clause([!lits[i], !s[i - 1][j - 1], s[i][j]]);
+            cnf.add_clause([!s[i - 1][j], s[i][j]]);
+        }
+        cnf.add_clause([!lits[i], !s[i - 1][k - 1]]);
+    }
+}
+
+/// Exactly `k` of `lits` are true.
+pub fn exactly_k(cnf: &mut Cnf, lits: &[Lit], k: usize) {
+    at_most_k(cnf, lits, k);
+    // At least k: at most (n - k) of the negations.
+    let negated: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+    at_most_k(cnf, &negated, lits.len().saturating_sub(k));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SolveResult, Solver};
+
+    fn count_models<F: Fn(&[bool]) -> bool>(cnf: &Cnf, relevant: usize, pred: F) -> (usize, usize) {
+        // Enumerate assignments of the first `relevant` vars; auxiliary vars
+        // are existentially quantified by SAT calls with assumptions.
+        let mut sat_count = 0;
+        let mut pred_count = 0;
+        for m in 0..(1u64 << relevant) {
+            let bits: Vec<bool> = (0..relevant).map(|i| (m >> i) & 1 == 1).collect();
+            let mut s = Solver::from_cnf(cnf);
+            let assumptions: Vec<Lit> = bits
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| Lit::new(crate::lit::Var::new(i), b))
+                .collect();
+            if s.solve_with_assumptions(&assumptions).is_sat() {
+                sat_count += 1;
+            }
+            if pred(&bits) {
+                pred_count += 1;
+            }
+        }
+        (sat_count, pred_count)
+    }
+
+    #[test]
+    fn and_or_xor_gates() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var().positive();
+        let b = cnf.fresh_var().positive();
+        let and = cnf.fresh_var().positive();
+        let or = cnf.fresh_var().positive();
+        let xor = cnf.fresh_var().positive();
+        tseitin_and(&mut cnf, and, &[a, b]);
+        tseitin_or(&mut cnf, or, &[a, b]);
+        tseitin_xor(&mut cnf, xor, a, b);
+        for m in 0..4u64 {
+            let av = m & 1 == 1;
+            let bv = m & 2 == 2;
+            let mut s = Solver::from_cnf(&cnf);
+            let assumptions = [
+                Lit::new(a.var(), av),
+                Lit::new(b.var(), bv),
+            ];
+            match s.solve_with_assumptions(&assumptions) {
+                SolveResult::Sat(model) => {
+                    assert_eq!(model[and.var().index()], av && bv);
+                    assert_eq!(model[or.var().index()], av || bv);
+                    assert_eq!(model[xor.var().index()], av ^ bv);
+                }
+                SolveResult::Unsat => panic!("gate cnf must be satisfiable"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_gates() {
+        let mut cnf = Cnf::new();
+        let out_and = cnf.fresh_var().positive();
+        let out_or = cnf.fresh_var().positive();
+        tseitin_and(&mut cnf, out_and, &[]);
+        tseitin_or(&mut cnf, out_or, &[]);
+        let mut s = Solver::from_cnf(&cnf);
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                assert!(m[0], "empty AND is true");
+                assert!(!m[1], "empty OR is false");
+            }
+            SolveResult::Unsat => panic!("satisfiable"),
+        }
+    }
+
+    #[test]
+    fn exactly_one_counts() {
+        let mut cnf = Cnf::new();
+        let vars = cnf.fresh_vars(4);
+        let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+        exactly_one(&mut cnf, &lits);
+        let (sat, expect) = count_models(&cnf, 4, |bits| {
+            bits.iter().filter(|&&b| b).count() == 1
+        });
+        assert_eq!(sat, expect);
+        assert_eq!(sat, 4);
+    }
+
+    #[test]
+    fn at_most_k_counts() {
+        for k in 0..=4 {
+            let mut cnf = Cnf::new();
+            let vars = cnf.fresh_vars(5);
+            let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+            at_most_k(&mut cnf, &lits, k);
+            let (sat, expect) = count_models(&cnf, 5, |bits| {
+                bits.iter().filter(|&&b| b).count() <= k
+            });
+            assert_eq!(sat, expect, "k={k}");
+        }
+    }
+
+    #[test]
+    fn exactly_k_counts() {
+        for k in 0..=3 {
+            let mut cnf = Cnf::new();
+            let vars = cnf.fresh_vars(4);
+            let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+            exactly_k(&mut cnf, &lits, k);
+            let (sat, expect) = count_models(&cnf, 4, |bits| {
+                bits.iter().filter(|&&b| b).count() == k
+            });
+            assert_eq!(sat, expect, "k={k}");
+        }
+    }
+}

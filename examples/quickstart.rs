@@ -1,0 +1,39 @@
+//! Quickstart: synthesise one Boolean function on all three nano-crossbar
+//! technologies and verify the realisations.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use nanoxbar_core::{synthesize, Technology};
+use nanoxbar_lattice::synth::dual_based;
+use nanoxbar_logic::{dual_cover, isop_cover, parse_function};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's running example (Sec. III-A): f = x1x2 + x1'x2'.
+    let f = parse_function("x0 x1 + !x0 !x1")?;
+
+    println!("target function f = x0 x1 + !x0 !x1 (XNOR)");
+    println!("ISOP cover:        {}", isop_cover(&f));
+    println!("dual cover (f^D):  {}", dual_cover(&f));
+    println!();
+
+    for tech in Technology::ALL {
+        let realization = synthesize(&f, tech);
+        println!(
+            "{:>13}: {:>5} array, {:>2} crosspoints, computes f: {}",
+            tech.name(),
+            realization.size().to_string(),
+            realization.area(),
+            realization.computes(&f)
+        );
+    }
+
+    println!("\nthe four-terminal lattice itself (top plate above, bottom below):");
+    println!("{}", dual_based::synthesize(&f));
+
+    println!("truth table check:");
+    for m in 0..4u64 {
+        let bits = format!("{m:02b}");
+        println!("  x1 x0 = {bits} -> f = {}", u8::from(f.value(m)));
+    }
+    Ok(())
+}

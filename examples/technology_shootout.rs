@@ -1,0 +1,55 @@
+//! Technology shoot-out: compare diode, FET, and four-terminal lattice
+//! areas across the built-in benchmark suite, plus preprocessing effects.
+//!
+//! Run with: `cargo run --example technology_shootout`
+
+use nanoxbar_core::compare::compare_suite;
+use nanoxbar_core::report::Table;
+use nanoxbar_lattice::synth::pcircuit;
+use nanoxbar_logic::suite::standard_suite;
+
+fn main() {
+    let suite = standard_suite();
+    let (rows, summary) = compare_suite(&suite);
+
+    let mut table = Table::new(&["function", "diode", "fet", "lattice", "winner"]);
+    for r in &rows {
+        let areas = [
+            ("diode", r.diode.2),
+            ("fet", r.fet.2),
+            ("lattice", r.lattice.2),
+        ];
+        let winner = areas.iter().min_by_key(|(_, a)| *a).expect("non-empty").0;
+        table.row_owned(vec![
+            r.name.clone(),
+            r.diode.2.to_string(),
+            r.fet.2.to_string(),
+            r.lattice.2.to_string(),
+            winner.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "lattice wins {:.0}% of functions; geomean diode/lattice = {:.2}, \
+         fet/lattice = {:.2}",
+        summary.lattice_wins * 100.0,
+        summary.geomean_diode_over_lattice,
+        summary.geomean_fet_over_lattice
+    );
+
+    // Preprocessing teaser: pick one function where P-circuits help.
+    println!("\nP-circuit decomposition on selected functions:");
+    for f in suite.iter().filter(|f| f.num_vars <= 6).take(6) {
+        if f.table.is_zero() || f.table.is_ones() {
+            continue;
+        }
+        let r = pcircuit::synthesize(&f.table);
+        println!(
+            "  {:<12} direct {:>3} sites -> decomposed {:>3} sites (split x{})",
+            f.name,
+            r.direct_area,
+            r.lattice.area(),
+            r.split_var
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # nanoxbar
+//!
+//! Umbrella crate for the `nanoxbar` workspace — a full reproduction of
+//! *"Computing with Nano-Crossbar Arrays: Logic Synthesis and Fault
+//! Tolerance"* (Altun, Ciriani, Tahoori — DATE 2017). It re-exports every
+//! subsystem crate so applications can depend on a single name:
+//!
+//! * [`logic`] — Boolean substrate (truth tables, SOP covers, ISOP,
+//!   minimisation, duals, PLA, BDD, benchmark suite);
+//! * [`sat`] — from-scratch CDCL SAT solver;
+//! * [`crossbar`] — two-terminal diode/FET array models (Fig. 3);
+//! * [`lattice`] — four-terminal switching lattices and their synthesis
+//!   stack (Figs. 4–5, Sec. III-B);
+//! * [`reliability`] — defects, fault simulation, BIST/BISD/BISM, and the
+//!   defect-unaware flow (Sec. IV, Fig. 6);
+//! * [`core`] — technology selection, end-to-end flows, and the Sec. V
+//!   nanocomputer elements (adders, registers, SSM).
+//!
+//! ```
+//! use nanoxbar::core::{synthesize, Technology};
+//! use nanoxbar::logic::parse_function;
+//!
+//! let f = parse_function("x0 x1 + !x0 !x1")?;
+//! let lattice = synthesize(&f, Technology::FourTerminal);
+//! assert_eq!(lattice.area(), 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nanoxbar_core as core;
+pub use nanoxbar_crossbar as crossbar;
+pub use nanoxbar_lattice as lattice;
+pub use nanoxbar_logic as logic;
+pub use nanoxbar_reliability as reliability;
+pub use nanoxbar_sat as sat;

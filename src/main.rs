@@ -1,0 +1,369 @@
+//! `nanoxbar` — command-line front end for the workspace.
+//!
+//! ```console
+//! $ nanoxbar synth "x0 x1 + !x0 !x1"            # all three technologies
+//! $ nanoxbar lattice "x0 x1 + x1 x2" --compact  # lattice variants
+//! $ nanoxbar pla design.pla --share             # PLA file synthesis
+//! $ nanoxbar bist 16x16                         # test-plan summary
+//! $ nanoxbar chip 32 --density 0.05 "x0 ^ x1"   # defect-unaware flow
+//! ```
+
+use std::process::ExitCode;
+
+use nanoxbar::core::flow::defect_unaware_flow;
+use nanoxbar::core::report::Table;
+use nanoxbar::core::{synthesize, Technology};
+use nanoxbar::crossbar::{ArraySize, MultiOutputDiodeArray};
+use nanoxbar::lattice::synth::{compact, dual_based, optimal, pcircuit};
+use nanoxbar::logic::minimize::minimize_multi_output;
+use nanoxbar::logic::{isop_cover, parse_function, TruthTable};
+use nanoxbar::reliability::bist::TestPlan;
+use nanoxbar::reliability::defect::DefectMap;
+use nanoxbar::reliability::fault::fault_universe;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `nanoxbar help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            print_help();
+            Ok(())
+        }
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("lattice") => cmd_lattice(&args[1..]),
+        Some("pla") => cmd_pla(&args[1..]),
+        Some("bist") => cmd_bist(&args[1..]),
+        Some("chip") => cmd_chip(&args[1..]),
+        Some(other) => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "nanoxbar — logic synthesis and fault tolerance for nano-crossbar arrays\n\
+         (reproduction of Altun/Ciriani/Tahoori, DATE 2017)\n\
+         \n\
+         USAGE:\n\
+           nanoxbar synth <expr> [--tech diode|fet|lattice]\n\
+               synthesise a Boolean expression on one or all technologies\n\
+           nanoxbar lattice <expr> [--pcircuit] [--compact] [--optimal]\n\
+               four-terminal lattice synthesis variants with areas\n\
+           nanoxbar pla <file> [--share]\n\
+               synthesise every output of a Berkeley-format PLA file\n\
+               (--share: one multi-output array with shared products)\n\
+           nanoxbar bist <R>x<C>\n\
+               generate the BIST plan for a fabric and prove its coverage\n\
+           nanoxbar chip <N> [--density D] [--seed S] <expr>\n\
+               run the Fig. 6(b) defect-unaware flow on a simulated chip\n\
+         \n\
+         EXPRESSIONS use the paper's syntax: x0 x1 + !x0 !x1  (also ', ^, parens)"
+    );
+}
+
+/// Pulls a `--flag value` pair out of an argument list.
+fn take_option(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+/// Pulls a boolean `--flag` out of an argument list.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_expr(args: &[String]) -> Result<TruthTable, String> {
+    let expr = args
+        .first()
+        .ok_or_else(|| "missing expression argument".to_string())?;
+    parse_function(expr).map_err(|e| e.to_string())
+}
+
+fn parse_size(text: &str) -> Result<ArraySize, String> {
+    let (r, c) = text
+        .split_once('x')
+        .ok_or_else(|| format!("expected RxC, got {text:?}"))?;
+    let rows: usize = r.parse().map_err(|_| format!("bad row count {r:?}"))?;
+    let cols: usize = c.parse().map_err(|_| format!("bad column count {c:?}"))?;
+    if rows == 0 || cols == 0 {
+        return Err("fabric dimensions must be positive".into());
+    }
+    Ok(ArraySize::new(rows, cols))
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let tech = take_option(&mut args, "--tech");
+    let f = parse_expr(&args)?;
+    if f.is_zero() || f.is_ones() {
+        return Err("constant function needs no crossbar".into());
+    }
+    let technologies: Vec<Technology> = match tech.as_deref() {
+        None => Technology::ALL.to_vec(),
+        Some("diode") => vec![Technology::Diode],
+        Some("fet") => vec![Technology::Fet],
+        Some("lattice") | Some("four-terminal") => vec![Technology::FourTerminal],
+        Some(other) => return Err(format!("unknown technology {other:?}")),
+    };
+    let mut table = Table::new(&["technology", "size", "crosspoints", "verified"]);
+    for tech in technologies {
+        let r = synthesize(&f, tech);
+        table.row_owned(vec![
+            tech.name().to_string(),
+            r.size().to_string(),
+            r.area().to_string(),
+            r.computes(&f).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_lattice(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let want_pcircuit = take_flag(&mut args, "--pcircuit");
+    let want_compact = take_flag(&mut args, "--compact");
+    let want_optimal = take_flag(&mut args, "--optimal");
+    let f = parse_expr(&args)?;
+
+    let base = dual_based::synthesize(&f);
+    println!("dual-based ({}x{}, {} sites):", base.rows(), base.cols(), base.area());
+    println!("{base}");
+
+    if want_pcircuit {
+        let r = pcircuit::synthesize(&f);
+        println!(
+            "p-circuit best split x{}={}: {} sites",
+            r.split_var,
+            u8::from(r.polarity),
+            r.lattice.area()
+        );
+        println!("{}", r.lattice);
+    }
+    if want_compact {
+        let c = compact::compact(&base);
+        println!("compacted: {} sites", c.area());
+        println!("{c}");
+    }
+    if want_optimal {
+        if f.num_vars() > 4 {
+            return Err("--optimal is practical for at most 4 variables".into());
+        }
+        let r = optimal::synthesize(&f, &optimal::OptimalOptions::default());
+        println!(
+            "SAT-optimal: {} sites ({} SAT calls, dual-based was {})",
+            r.lattice.area(),
+            r.sat_calls,
+            r.dual_based_area
+        );
+        println!("{}", r.lattice);
+    }
+    Ok(())
+}
+
+fn cmd_pla(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let share = take_flag(&mut args, "--share");
+    let path = args.first().ok_or_else(|| "missing PLA file path".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let pla = nanoxbar::logic::pla::parse_pla(&text).map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} inputs, {} outputs",
+        path,
+        pla.num_inputs,
+        pla.outputs.len()
+    );
+    if share {
+        let targets: Vec<TruthTable> =
+            pla.outputs.iter().map(|c| c.to_truth_table()).collect();
+        if targets.iter().any(|t| t.is_zero() || t.is_ones()) {
+            return Err("constant outputs cannot share an array".into());
+        }
+        let multi = minimize_multi_output(&targets);
+        let array = MultiOutputDiodeArray::synthesize(&multi.outputs);
+        println!(
+            "shared diode PLA: {} ({} crosspoints, {} product rows)",
+            array.size(),
+            array.area(),
+            array.product_rows()
+        );
+    } else {
+        let mut table = Table::new(&["output", "products", "diode", "fet", "lattice"]);
+        for (o, cover) in pla.outputs.iter().enumerate() {
+            let f = cover.to_truth_table();
+            if f.is_zero() || f.is_ones() {
+                table.row_owned(vec![o.to_string(), "const".into(), "-".into(), "-".into(), "-".into()]);
+                continue;
+            }
+            let sizes: Vec<String> = Technology::ALL
+                .iter()
+                .map(|&t| synthesize(&f, t).size().to_string())
+                .collect();
+            table.row_owned(vec![
+                o.to_string(),
+                isop_cover(&f).product_count().to_string(),
+                sizes[0].clone(),
+                sizes[1].clone(),
+                sizes[2].clone(),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    Ok(())
+}
+
+fn cmd_bist(args: &[String]) -> Result<(), String> {
+    let size_text = args.first().ok_or_else(|| "missing fabric size (RxC)".to_string())?;
+    let size = parse_size(size_text)?;
+    let plan = TestPlan::generate(size);
+    let universe = fault_universe(size);
+    let report = plan.coverage(size, &universe);
+    println!("fabric {size}: {} modelled faults", universe.len());
+    println!(
+        "plan: {} configurations, {} vectors (naive plan: {} configurations)",
+        plan.config_count(),
+        plan.vector_count(),
+        TestPlan::naive(size).config_count()
+    );
+    println!("coverage: {:.2}%", report.coverage() * 100.0);
+    if !report.undetected.is_empty() {
+        println!("undetected: {:?}", report.undetected);
+    }
+    Ok(())
+}
+
+fn cmd_chip(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let density: f64 = take_option(&mut args, "--density")
+        .map(|d| d.parse().map_err(|_| format!("bad density {d:?}")))
+        .transpose()?
+        .unwrap_or(0.05);
+    let seed: u64 = take_option(&mut args, "--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad seed {s:?}")))
+        .transpose()?
+        .unwrap_or(1);
+    let n: usize = args
+        .first()
+        .ok_or_else(|| "missing fabric side N".to_string())?
+        .parse()
+        .map_err(|_| "bad fabric side".to_string())?;
+    let f = parse_expr(&args[1..])?;
+
+    let chip = DefectMap::random_uniform(
+        ArraySize::new(n, n),
+        density * 0.7,
+        density * 0.3,
+        seed,
+    );
+    println!(
+        "chip {n}x{n}, defect density {:.2}% ({} defects), seed {seed}",
+        chip.defect_density() * 100.0,
+        chip.defect_count()
+    );
+    let report = defect_unaware_flow(&f, &chip).map_err(|e| e.to_string())?;
+    println!(
+        "recovered defect-free sub-crossbar: {k}x{k} (map storage {} bytes)",
+        report.recovered.storage_bytes(2),
+        k = report.recovered.k()
+    );
+    println!(
+        "placed {} products on physical rows {:?}",
+        report.products, report.placement
+    );
+    println!("application BIST passed: {}", report.bist_passed);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_parsing() {
+        assert_eq!(parse_size("4x7").unwrap(), ArraySize::new(4, 7));
+        assert!(parse_size("4").is_err());
+        assert!(parse_size("0x3").is_err());
+        assert!(parse_size("ax3").is_err());
+    }
+
+    #[test]
+    fn option_extraction() {
+        let mut args: Vec<String> =
+            vec!["--tech".into(), "diode".into(), "x0 x1".into()];
+        assert_eq!(take_option(&mut args, "--tech").as_deref(), Some("diode"));
+        assert_eq!(args, vec!["x0 x1".to_string()]);
+        assert!(take_option(&mut args, "--tech").is_none());
+    }
+
+    #[test]
+    fn flag_extraction() {
+        let mut args: Vec<String> = vec!["--share".into(), "f.pla".into()];
+        assert!(take_flag(&mut args, "--share"));
+        assert!(!take_flag(&mut args, "--share"));
+        assert_eq!(args, vec!["f.pla".to_string()]);
+    }
+
+    #[test]
+    fn commands_run_end_to_end() {
+        let ok = |argv: &[&str]| {
+            run(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+                .unwrap_or_else(|e| panic!("{argv:?}: {e}"));
+        };
+        ok(&["help"]);
+        ok(&["synth", "x0 x1 + !x0 !x1"]);
+        ok(&["synth", "x0 x1 + !x0 !x1", "--tech", "lattice"]);
+        ok(&["lattice", "x0 x1 + x1 x2", "--compact", "--optimal"]);
+        ok(&["bist", "6x6"]);
+        ok(&["chip", "16", "--density", "0.04", "--seed", "3", "x0 ^ x1"]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let run_err = |argv: &[&str]| {
+            run(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+                .expect_err(&format!("{argv:?} should fail"))
+        };
+        run_err(&["synth"]);
+        run_err(&["synth", "1"]);
+        run_err(&["synth", "x0", "--tech", "quantum"]);
+        run_err(&["bist", "banana"]);
+        run_err(&["frobnicate"]);
+    }
+
+    #[test]
+    fn pla_command_roundtrip() {
+        let dir = std::env::temp_dir().join("nanoxbar_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("xnor.pla");
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        std::fs::write(&path, nanoxbar::logic::pla::write_pla(&isop_cover(&f))).unwrap();
+        let argv = vec!["pla".to_string(), path.display().to_string()];
+        run(&argv).unwrap();
+        let argv = vec![
+            "pla".to_string(),
+            path.display().to_string(),
+            "--share".to_string(),
+        ];
+        run(&argv).unwrap();
+    }
+}
