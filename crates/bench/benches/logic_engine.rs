@@ -36,8 +36,7 @@ fn minimisation(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("espresso", n), &f, |b, f| {
             b.iter(|| {
-                espresso(std::hint::black_box(f), &dc, &EspressoOptions::default())
-                    .product_count()
+                espresso(std::hint::black_box(f), &dc, &EspressoOptions::default()).product_count()
             })
         });
     }
@@ -50,10 +49,7 @@ fn lattice_evaluation(c: &mut Criterion) {
         let f = random_sop(n, n, 0xE7A1 + n as u64).to_truth_table();
         let lattice = dual_based::synthesize(&f);
         group.bench_with_input(
-            BenchmarkId::new(
-                format!("{}x{}", lattice.rows(), lattice.cols()),
-                n,
-            ),
+            BenchmarkId::new(format!("{}x{}", lattice.rows(), lattice.cols()), n),
             &lattice,
             |b, lattice| {
                 b.iter(|| {

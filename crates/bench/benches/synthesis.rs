@@ -21,11 +21,9 @@ fn technology_synthesis(c: &mut Criterion) {
     let mut group = c.benchmark_group("synthesize");
     for (name, f) in bench_functions() {
         for tech in Technology::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(tech.name(), name),
-                &f,
-                |b, f| b.iter(|| synthesize(std::hint::black_box(f), tech).area()),
-            );
+            group.bench_with_input(BenchmarkId::new(tech.name(), name), &f, |b, f| {
+                b.iter(|| synthesize(std::hint::black_box(f), tech).area())
+            });
         }
     }
     group.finish();
@@ -41,7 +39,11 @@ fn lattice_preprocessing(c: &mut Criterion) {
             b.iter(|| pcircuit::synthesize(std::hint::black_box(f)).lattice.area())
         });
         group.bench_with_input(BenchmarkId::new("d-reducible", name), &f, |b, f| {
-            b.iter(|| dreducible::synthesize(std::hint::black_box(f)).lattice.area())
+            b.iter(|| {
+                dreducible::synthesize(std::hint::black_box(f))
+                    .lattice
+                    .area()
+            })
         });
     }
     group.finish();

@@ -1,0 +1,62 @@
+//! Criterion microbenchmarks: the word-parallel evaluation engine versus
+//! the scalar reference paths it replaced (PR "word-parallel evaluation
+//! engine" acceptance evidence — target ≥10× on `to_truth_table` at
+//! n ≥ 12 and on 16×16 BIST fault-universe coverage).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nanoxbar_crossbar::ArraySize;
+use nanoxbar_lattice::synth::dual_based;
+use nanoxbar_lattice::{eval_top_bottom, BitEvaluator};
+use nanoxbar_logic::suite::random_sop;
+use nanoxbar_logic::TruthTable;
+use nanoxbar_reliability::bist::TestPlan;
+use nanoxbar_reliability::fault::fault_universe;
+
+fn lattice_to_truth_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("to-truth-table");
+    for n in [10usize, 12] {
+        let f = random_sop(n, n, 0xBEEF + n as u64).to_truth_table();
+        let lattice = dual_based::synthesize(&f);
+        let label = format!("{}x{}/n={}", lattice.rows(), lattice.cols(), n);
+        group.bench_with_input(BenchmarkId::new("scalar", &label), &lattice, |b, l| {
+            b.iter(|| {
+                TruthTable::from_fn(l.num_vars(), |m| {
+                    eval_top_bottom(std::hint::black_box(l), m)
+                })
+                .count_ones()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("word", &label), &lattice, |b, l| {
+            let mut eval = BitEvaluator::new();
+            b.iter(|| eval.function(std::hint::black_box(l)).count_ones())
+        });
+    }
+    group.finish();
+}
+
+fn bist_coverage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bist-coverage");
+    for n in [8usize, 16] {
+        let size = ArraySize::new(n, n);
+        let plan = TestPlan::generate(size);
+        let universe = fault_universe(size);
+        group.bench_with_input(BenchmarkId::new("scalar", n), &universe, |b, universe| {
+            b.iter(|| {
+                plan.coverage_scalar(size, std::hint::black_box(universe))
+                    .detected
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("word", n), &universe, |b, universe| {
+            b.iter(|| plan.coverage(size, std::hint::black_box(universe)).detected)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = lattice_to_truth_table, bist_coverage
+}
+criterion_main!(benches);

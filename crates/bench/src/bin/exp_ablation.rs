@@ -18,12 +18,19 @@ use nanoxbar_logic::suite::{adder_carry, adder_sum_bit, standard_suite};
 use nanoxbar_logic::{isop_cover, TruthTable};
 
 fn main() {
-    banner("E14 / ablations", "minimiser choice, lattice compaction, PLA sharing");
+    banner(
+        "E14 / ablations",
+        "minimiser choice, lattice compaction, PLA sharing",
+    );
 
     // ---- 1. minimiser ablation -----------------------------------------
     println!("1) minimiser ablation (products / literals per cover):\n");
     let mut table = Table::new(&[
-        "function", "isop P/L", "qm P/L", "espresso P/L", "diode area isop/qm/esp",
+        "function",
+        "isop P/L",
+        "qm P/L",
+        "espresso P/L",
+        "diode area isop/qm/esp",
     ]);
     for f in standard_suite().into_iter().filter(|f| f.num_vars <= 8) {
         if f.table.is_zero() || f.table.is_ones() {
@@ -87,7 +94,12 @@ fn main() {
          multi    = greedy shared-product minimisation (minimize_multi_output)\n"
     );
     let mut table = Table::new(&[
-        "workload", "outputs", "separate", "naive shared", "multi shared", "multi vs separate",
+        "workload",
+        "outputs",
+        "separate",
+        "naive shared",
+        "multi shared",
+        "multi vs separate",
     ]);
     let mut record = |name: String, targets: &[TruthTable]| {
         let isops: Vec<nanoxbar_logic::Cover> = targets.iter().map(isop_cover).collect();
@@ -96,7 +108,10 @@ fn main() {
         let multi = nanoxbar_logic::minimize::minimize_multi_output(targets);
         let shared = MultiOutputDiodeArray::synthesize(&multi.outputs);
         for (o, f) in targets.iter().enumerate() {
-            assert!(naive.computes(o, f) && shared.computes(o, f), "{name} output {o}");
+            assert!(
+                naive.computes(o, f) && shared.computes(o, f),
+                "{name} output {o}"
+            );
         }
         table.row_owned(vec![
             name,
@@ -104,7 +119,10 @@ fn main() {
             separate.to_string(),
             naive.area().to_string(),
             shared.area().to_string(),
-            format!("{}%", f2((1.0 - shared.area() as f64 / separate as f64) * 100.0)),
+            format!(
+                "{}%",
+                f2((1.0 - shared.area() as f64 / separate as f64) * 100.0)
+            ),
         ]);
     };
     // Adder slices: sum bits and carries share few products — sharing must

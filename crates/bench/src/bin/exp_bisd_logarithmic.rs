@@ -13,10 +13,17 @@ use nanoxbar_reliability::bisd::{Diagnosis, DiagnosisPlan};
 use nanoxbar_reliability::defect::{CrosspointHealth, DefectMap};
 
 fn main() {
-    banner("E7 / Sec. IV-A", "BISD: logarithmic diagnosis configurations");
+    banner(
+        "E7 / Sec. IV-A",
+        "BISD: logarithmic diagnosis configurations",
+    );
 
     let mut table = Table::new(&[
-        "fabric", "resources", "configs", "log2(F+1)+1", "unique-diagnosis",
+        "fabric",
+        "resources",
+        "configs",
+        "log2(F+1)+1",
+        "unique-diagnosis",
     ]);
 
     for n in [4usize, 8, 16, 32, 64] {
@@ -34,7 +41,11 @@ fn main() {
                         let mut chip = DefectMap::healthy(size);
                         chip.set(r, c, health);
                         if plan.diagnose(&chip)
-                            != (Diagnosis::Faulty { row: r, col: c, health })
+                            != (Diagnosis::Faulty {
+                                row: r,
+                                col: c,
+                                health,
+                            })
                         {
                             ok = false;
                             break 'outer;
@@ -42,7 +53,11 @@ fn main() {
                     }
                 }
             }
-            if ok { "yes (exhaustive)" } else { "NO" }
+            if ok {
+                "yes (exhaustive)"
+            } else {
+                "NO"
+            }
         } else {
             "- (spot-checked below)"
         };
@@ -69,9 +84,17 @@ fn main() {
     ] {
         let mut chip = DefectMap::healthy(size);
         chip.set(r, c, health);
-        spot_ok &= plan.diagnose(&chip) == Diagnosis::Faulty { row: r, col: c, health };
+        spot_ok &= plan.diagnose(&chip)
+            == Diagnosis::Faulty {
+                row: r,
+                col: c,
+                health,
+            };
     }
-    println!("64x64 spot checks decode correctly: {}", if spot_ok { "yes" } else { "NO" });
+    println!(
+        "64x64 spot checks decode correctly: {}",
+        if spot_ok { "yes" } else { "NO" }
+    );
 
     println!(
         "\npaper claim (Sec. IV-A): #diagnosis configurations logarithmic in \

@@ -14,10 +14,19 @@ use nanoxbar_reliability::bist::TestPlan;
 use nanoxbar_reliability::fault::fault_universe;
 
 fn main() {
-    banner("E6 / Sec. IV-A", "BIST: exhaustive coverage with minimal test sets");
+    banner(
+        "E6 / Sec. IV-A",
+        "BIST: exhaustive coverage with minimal test sets",
+    );
 
     let mut table = Table::new(&[
-        "fabric", "faults", "configs", "vectors", "coverage", "naive-configs", "naive-vectors",
+        "fabric",
+        "faults",
+        "configs",
+        "vectors",
+        "coverage",
+        "naive-configs",
+        "naive-vectors",
     ]);
     let mut all_full = true;
 

@@ -22,11 +22,19 @@ use nanoxbar_reliability::unaware::{defect_aware_place, extract_greedy};
 const CHIPS: u64 = 25;
 
 fn main() {
-    banner("E9 / Fig. 6", "defect-unaware flow: k-recovery and amortised cost");
+    banner(
+        "E9 / Fig. 6",
+        "defect-unaware flow: k-recovery and amortised cost",
+    );
 
     println!("series 1: recovered k vs N and defect density ({CHIPS} chips/point)\n");
     let mut table = Table::new(&[
-        "N", "density", "mean k", "k/N", "map bytes O(N)", "full map O(N^2)",
+        "N",
+        "density",
+        "mean k",
+        "k/N",
+        "map bytes O(N)",
+        "full map O(N^2)",
     ]);
     for n in [16usize, 32, 64, 128] {
         for density in [0.01, 0.05, 0.10, 0.20] {
@@ -81,8 +89,9 @@ fn main() {
                 // Defect-aware: per-application matching on the raw chip.
                 let t0 = Instant::now();
                 for app in &apps {
-                    let needs: Vec<Vec<usize>> =
-                        (0..app.product_count()).map(|p| app.physical_needs(p)).collect();
+                    let needs: Vec<Vec<usize>> = (0..app.product_count())
+                        .map(|p| app.physical_needs(p))
+                        .collect();
                     if defect_aware_place(&chip, &needs, app.used_cols()).is_some() {
                         aware_ok += 1;
                     }

@@ -12,10 +12,19 @@ use nanoxbar_lattice::synth::dreducible;
 use nanoxbar_logic::suite::d_reducible_function;
 
 fn main() {
-    banner("E5 / Sec. III-B-2", "D-reducible preprocessing vs direct synthesis");
+    banner(
+        "E5 / Sec. III-B-2",
+        "D-reducible preprocessing vs direct synthesis",
+    );
 
     let mut table = Table::new(&[
-        "function", "vars", "codim", "|on|", "direct", "decomposed", "ratio",
+        "function",
+        "vars",
+        "codim",
+        "|on|",
+        "direct",
+        "decomposed",
+        "ratio",
     ]);
     let mut total = 0usize;
     let mut wins = 0usize;

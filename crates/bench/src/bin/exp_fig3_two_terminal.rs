@@ -13,7 +13,10 @@ use nanoxbar_logic::suite::standard_suite;
 use nanoxbar_logic::{dual_cover, isop_cover};
 
 fn main() {
-    banner("E1 / Fig. 3", "two-terminal array size formulas (diode, FET)");
+    banner(
+        "E1 / Fig. 3",
+        "two-terminal array size formulas (diode, FET)",
+    );
 
     let mut table = Table::new(&[
         "function", "vars", "P(f)", "P(fD)", "L", "diode", "fet", "verified",
@@ -42,7 +45,11 @@ fn main() {
             cover.distinct_literal_count().to_string(),
             diode.size().to_string(),
             fet.size().to_string(),
-            if formula_ok && functional_ok { "yes".into() } else { "NO".into() },
+            if formula_ok && functional_ok {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     println!("{}", table.render());

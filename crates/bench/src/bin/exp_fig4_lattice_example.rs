@@ -14,8 +14,8 @@ use nanoxbar_logic::{parse_function, Literal};
 fn main() {
     banner("E2 / Fig. 4", "the paper's worked lattice example");
 
-    let f = parse_function("x0x1x2 + x0x1x4x5 + x1x2x3x4 + x3x4x5")
-        .expect("static expression parses");
+    let f =
+        parse_function("x0x1x2 + x0x1x4x5 + x1x2x3x4 + x3x4x5").expect("static expression parses");
 
     let lit = |v: usize| Site::Literal(Literal::positive(v));
     let fig4 = Lattice::from_rows(
@@ -35,7 +35,12 @@ fn main() {
         "left-right (king-move) duality holds: {}",
         computes_dual_left_right(&fig4)
     );
-    println!("area: {} sites ({}x{})", fig4.area(), fig4.rows(), fig4.cols());
+    println!(
+        "area: {} sites ({}x{})",
+        fig4.area(),
+        fig4.rows(),
+        fig4.cols()
+    );
 
     let generic = dual_based::synthesize(&f);
     println!("\ngeneric dual-based lattice for the same function:");

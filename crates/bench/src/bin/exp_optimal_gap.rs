@@ -13,10 +13,18 @@ use nanoxbar_logic::suite::SplitMix64;
 use nanoxbar_logic::TruthTable;
 
 fn main() {
-    banner("E10 / Sec. III-B remark", "dual-based vs SAT-optimal lattice area");
+    banner(
+        "E10 / Sec. III-B remark",
+        "dual-based vs SAT-optimal lattice area",
+    );
 
     let mut table = Table::new(&[
-        "function", "vars", "dual-based", "optimal", "gap", "sat-calls",
+        "function",
+        "vars",
+        "dual-based",
+        "optimal",
+        "gap",
+        "sat-calls",
     ]);
 
     let mut cases: Vec<(String, TruthTable)> = vec![
@@ -26,10 +34,7 @@ fn main() {
         ),
         ("maj3".into(), nanoxbar_logic::suite::majority(3)),
         ("parity3".into(), nanoxbar_logic::suite::parity(3)),
-        (
-            "mux2".into(),
-            nanoxbar_logic::suite::multiplexer(1),
-        ),
+        ("mux2".into(), nanoxbar_logic::suite::multiplexer(1)),
         (
             "chain3".into(),
             nanoxbar_logic::parse_function("x0 x1 + x1 x2").expect("static"),
@@ -65,7 +70,11 @@ fn main() {
             f.num_vars().to_string(),
             dual.to_string(),
             opt.to_string(),
-            if opt < dual { format!("-{}", dual - opt) } else { "0".into() },
+            if opt < dual {
+                format!("-{}", dual - opt)
+            } else {
+                "0".into()
+            },
             r.sat_calls.to_string(),
         ]);
     }

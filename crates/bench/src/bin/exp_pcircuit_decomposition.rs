@@ -12,7 +12,10 @@ use nanoxbar_lattice::synth::pcircuit;
 use nanoxbar_logic::suite::{random_sop, standard_suite, BenchFunction};
 
 fn main() {
-    banner("E4 / Sec. III-B-1", "P-circuit decomposition vs direct synthesis");
+    banner(
+        "E4 / Sec. III-B-1",
+        "P-circuit decomposition vs direct synthesis",
+    );
 
     // Suite functions (small enough for exact interval minimisation) plus
     // decomposition-friendly random SOPs.
@@ -20,7 +23,10 @@ fn main() {
         .into_iter()
         .filter(|f| f.num_vars <= 8)
         .collect();
-    for (i, &(n, p)) in [(6usize, 6usize), (7, 7), (8, 8), (8, 10)].iter().enumerate() {
+    for (i, &(n, p)) in [(6usize, 6usize), (7, 7), (8, 8), (8, 10)]
+        .iter()
+        .enumerate()
+    {
         let cover = random_sop(n, p, 0x9C + i as u64);
         functions.push(BenchFunction {
             name: format!("sopx{n}v{p}p"),
@@ -29,9 +35,7 @@ fn main() {
         });
     }
 
-    let mut table = Table::new(&[
-        "function", "vars", "direct", "p-circuit", "split", "ratio",
-    ]);
+    let mut table = Table::new(&["function", "vars", "direct", "p-circuit", "split", "ratio"]);
     let mut wins = 0usize;
     let mut total = 0usize;
     let mut log_ratio_sum = 0.0f64;
@@ -67,11 +71,18 @@ fn main() {
 
     let geomean = (log_ratio_sum / total as f64).exp();
     println!("functions: {total}");
-    println!("p-circuit strictly smaller on: {wins} ({}%)", f2(wins as f64 / total as f64 * 100.0));
+    println!(
+        "p-circuit strictly smaller on: {wins} ({}%)",
+        f2(wins as f64 / total as f64 * 100.0)
+    );
     println!("geomean decomposed/direct area: {}", f2(geomean));
     println!(
         "\npaper claim (Sec. III-B-1): decomposition can reduce lattice area \
          -> {}",
-        if wins > 0 { "REPRODUCED (strict wins observed)" } else { "NOT reproduced" }
+        if wins > 0 {
+            "REPRODUCED (strict wins observed)"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

@@ -17,7 +17,10 @@ use nanoxbar_reliability::transient::{RedundantArray, TransientModel};
 const TRIALS: u64 = 40_000;
 
 fn main() {
-    banner("E12 / Sec. IV (ref [15])", "transient upsets vs modular redundancy");
+    banner(
+        "E12 / Sec. IV (ref [15])",
+        "transient upsets vs modular redundancy",
+    );
 
     let f = parse_function("x0 x1 + !x0 !x1 + x1 x2").expect("static");
     let array = DiodeArray::synthesize(&isop_cover(&f));
@@ -34,7 +37,12 @@ fn main() {
     );
 
     let mut table = Table::new(&[
-        "upset rate", "simplex err%", "3-way err%", "5-way err%", "3-way gain", "5-way gain",
+        "upset rate",
+        "simplex err%",
+        "3-way err%",
+        "5-way err%",
+        "3-way gain",
+        "5-way gain",
     ]);
     for p in [0.001, 0.005, 0.01, 0.02, 0.05, 0.10, 0.20] {
         let model = TransientModel::symmetric(p);

@@ -11,25 +11,30 @@ use nanoxbar_core::report::Table;
 use nanoxbar_crossbar::DiodeArray;
 use nanoxbar_lattice::synth::dual_based;
 use nanoxbar_logic::{isop_cover, parse_function, TruthTable};
-use nanoxbar_reliability::variation::{
-    diode_worst_delay, lattice_delay_spread, ResistanceField,
-};
+use nanoxbar_reliability::variation::{diode_worst_delay, lattice_delay_spread, ResistanceField};
 
 const SAMPLES: u64 = 200;
 
 fn main() {
-    banner("E13 / Sec. IV", "parametric variation -> delay spread and guard-band");
+    banner(
+        "E13 / Sec. IV",
+        "parametric variation -> delay spread and guard-band",
+    );
 
     let cases: Vec<(&str, TruthTable)> = vec![
         ("xnor2", parse_function("x0 x1 + !x0 !x1").expect("static")),
         ("maj3", nanoxbar_logic::suite::majority(3)),
-        ("chain4", parse_function("x0 x1 + x1 x2 + x2 x3").expect("static")),
+        (
+            "chain4",
+            parse_function("x0 x1 + x1 x2 + x2 x3").expect("static"),
+        ),
     ];
 
-    println!("four-terminal lattices ({} variation fields per point):\n", SAMPLES);
-    let mut table = Table::new(&[
-        "function", "sigma", "nominal", "mean", "p99", "guard-band",
-    ]);
+    println!(
+        "four-terminal lattices ({} variation fields per point):\n",
+        SAMPLES
+    );
+    let mut table = Table::new(&["function", "sigma", "nominal", "mean", "p99", "guard-band"]);
     for (name, f) in &cases {
         let lattice = dual_based::synthesize(f);
         for sigma in [0.05, 0.10, 0.20, 0.30] {

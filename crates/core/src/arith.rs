@@ -44,7 +44,12 @@ impl AdderDesign {
             .map(|b| synthesize(&adder_sum_bit(bits, b), tech))
             .collect();
         let carry_out = synthesize(&adder_carry(bits), tech);
-        AdderDesign { bits, technology: tech, sum_bits, carry_out }
+        AdderDesign {
+            bits,
+            technology: tech,
+            sum_bits,
+            carry_out,
+        }
     }
 
     /// Total crosspoint area across all output arrays.
@@ -58,7 +63,10 @@ impl AdderDesign {
     ///
     /// Panics if an operand does not fit in `bits` bits.
     pub fn add(&self, a: u64, b: u64) -> u64 {
-        assert!(a < (1 << self.bits) && b < (1 << self.bits), "operand overflow");
+        assert!(
+            a < (1 << self.bits) && b < (1 << self.bits),
+            "operand overflow"
+        );
         let input = a | (b << self.bits);
         let mut out = 0u64;
         for (i, sum) in self.sum_bits.iter().enumerate() {

@@ -45,7 +45,10 @@ pub enum FlowError {
 impl std::fmt::Display for FlowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FlowError::InsufficientFabric { needed, recovered_k } => write!(
+            FlowError::InsufficientFabric {
+                needed,
+                recovered_k,
+            } => write!(
                 f,
                 "function needs {}x{} but recovered sub-crossbar is {recovered_k}x{recovered_k}",
                 needed.0, needed.1
@@ -137,7 +140,10 @@ mod tests {
         ));
         let f = parse_function("x0 x1 + !x0 !x1").unwrap(); // needs 4 columns
         match defect_unaware_flow(&f, &chip) {
-            Err(FlowError::InsufficientFabric { needed, recovered_k }) => {
+            Err(FlowError::InsufficientFabric {
+                needed,
+                recovered_k,
+            }) => {
                 assert_eq!(needed, (2, 4));
                 assert_eq!(recovered_k, 2);
             }

@@ -38,7 +38,11 @@ impl DLatch {
     /// ```
     pub fn synthesize(tech: Technology) -> Self {
         let f = parse_function("x0 x1 + !x1 x2").expect("static latch equation");
-        DLatch { technology: tech, next_q: synthesize(&f, tech), state: false }
+        DLatch {
+            technology: tech,
+            next_q: synthesize(&f, tech),
+            state: false,
+        }
     }
 
     /// The stored bit.
@@ -88,7 +92,9 @@ pub struct Register {
 impl Register {
     /// Synthesises `n` latches on `tech`.
     pub fn synthesize(n: usize, tech: Technology) -> Self {
-        Register { latches: (0..n).map(|_| DLatch::synthesize(tech)).collect() }
+        Register {
+            latches: (0..n).map(|_| DLatch::synthesize(tech)).collect(),
+        }
     }
 
     /// Bit width.

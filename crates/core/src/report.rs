@@ -25,7 +25,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -35,7 +38,8 @@ impl Table {
     /// Panics if the cell count differs from the header count.
     pub fn row(&mut self, cells: &[&str]) {
         assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends a row from owned strings.

@@ -40,11 +40,18 @@ impl Ssm {
         output_fns: &[TruthTable],
         tech: Technology,
     ) -> Self {
-        assert_eq!(next_state_fns.len(), state_bits, "one next-state function per bit");
+        assert_eq!(
+            next_state_fns.len(),
+            state_bits,
+            "one next-state function per bit"
+        );
         let arity = state_bits + input_bits;
         for f in next_state_fns.iter().chain(output_fns) {
             assert_eq!(f.num_vars(), arity, "function arity mismatch");
-            assert!(!f.is_zero() && !f.is_ones(), "constant functions need no array");
+            assert!(
+                !f.is_zero() && !f.is_ones(),
+                "constant functions need no array"
+            );
         }
         Ssm {
             technology: tech,
@@ -81,7 +88,11 @@ impl Ssm {
                 TruthTable::from_fn(arity, |m| {
                     let state = m & ((1 << bits) - 1);
                     let enable = (m >> enable_bit) & 1 == 1;
-                    let next = if enable { (state + 1) & ((1 << bits) - 1) } else { state };
+                    let next = if enable {
+                        (state + 1) & ((1 << bits) - 1)
+                    } else {
+                        state
+                    };
                     (next >> b) & 1 == 1
                 })
             })

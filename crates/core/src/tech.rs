@@ -19,8 +19,7 @@ pub enum Technology {
 
 impl Technology {
     /// All technologies, in the paper's presentation order.
-    pub const ALL: [Technology; 3] =
-        [Technology::Diode, Technology::Fet, Technology::FourTerminal];
+    pub const ALL: [Technology; 3] = [Technology::Diode, Technology::Fet, Technology::FourTerminal];
 
     /// Display name used in experiment tables.
     pub fn name(&self) -> &'static str {
@@ -115,9 +114,7 @@ impl Realization {
 pub fn synthesize(f: &TruthTable, tech: Technology) -> Realization {
     match tech {
         Technology::Diode => Realization::Diode(DiodeArray::synthesize(&isop_cover(f))),
-        Technology::Fet => {
-            Realization::Fet(FetArray::synthesize(&isop_cover(f), &dual_cover(f)))
-        }
+        Technology::Fet => Realization::Fet(FetArray::synthesize(&isop_cover(f), &dual_cover(f))),
         Technology::FourTerminal => Realization::Lattice(dual_based::synthesize(f)),
     }
 }

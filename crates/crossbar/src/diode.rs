@@ -63,7 +63,11 @@ impl DiodeArray {
             // Output column diode: this row participates in the wired-OR.
             grid.set(r, cols - 1, true);
         }
-        DiodeArray { grid, column_literals, num_vars: cover.num_vars() }
+        DiodeArray {
+            grid,
+            column_literals,
+            num_vars: cover.num_vars(),
+        }
     }
 
     /// Array dimensions (`P × (L+1)`).
@@ -102,9 +106,8 @@ impl DiodeArray {
     /// are programmed into it.
     pub fn eval(&self, m: u64) -> bool {
         let out_col = self.output_column();
-        (0..self.grid.size().rows).any(|r| {
-            self.grid.is_programmed(r, out_col) && self.row_conducts(r, m)
-        })
+        (0..self.grid.size().rows)
+            .any(|r| self.grid.is_programmed(r, out_col) && self.row_conducts(r, m))
     }
 
     /// True if row `r`'s wired-AND of programmed literals is satisfied.
@@ -117,8 +120,7 @@ impl DiodeArray {
 
     /// Exhaustively checks the array against a target function.
     pub fn computes(&self, f: &TruthTable) -> bool {
-        f.num_vars() == self.num_vars
-            && (0..f.num_minterms()).all(|m| self.eval(m) == f.value(m))
+        f.num_vars() == self.num_vars && (0..f.num_minterms()).all(|m| self.eval(m) == f.value(m))
     }
 
     /// The function the array actually computes.

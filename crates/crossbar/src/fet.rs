@@ -106,7 +106,12 @@ impl FetArray {
         for (i, cube) in dual_cover.cubes().iter().enumerate() {
             place(cube, n_columns + i);
         }
-        FetArray { grid, row_literals, n_columns, num_vars: f_cover.num_vars() }
+        FetArray {
+            grid,
+            row_literals,
+            n_columns,
+            num_vars: f_cover.num_vars(),
+        }
     }
 
     /// Array dimensions (`L × (P + P^D)`).
@@ -143,16 +148,16 @@ impl FetArray {
     /// programmed literals true; p-columns need all false).
     pub fn column_conducts(&self, col: usize, m: u64) -> bool {
         let n_type = col < self.n_columns;
-        self.row_literals.iter().enumerate().all(|(r, lit)| {
-            !self.grid.is_programmed(r, col) || (lit.eval(m) == n_type)
-        })
+        self.row_literals
+            .iter()
+            .enumerate()
+            .all(|(r, lit)| !self.grid.is_programmed(r, col) || (lit.eval(m) == n_type))
     }
 
     /// Full electrical outcome at the output node.
     pub fn drive_state(&self, m: u64) -> DriveState {
         let high = (0..self.n_columns).any(|c| self.column_conducts(c, m));
-        let low =
-            (self.n_columns..self.size().cols).any(|c| self.column_conducts(c, m));
+        let low = (self.n_columns..self.size().cols).any(|c| self.column_conducts(c, m));
         match (high, low) {
             (true, false) => DriveState::High,
             (false, true) => DriveState::Low,
@@ -170,15 +175,13 @@ impl FetArray {
     /// Checks the complementary-drive invariant over all inputs: every
     /// minterm yields exactly one conducting network.
     pub fn is_complementary(&self) -> bool {
-        (0..(1u64 << self.num_vars)).all(|m| {
-            matches!(self.drive_state(m), DriveState::High | DriveState::Low)
-        })
+        (0..(1u64 << self.num_vars))
+            .all(|m| matches!(self.drive_state(m), DriveState::High | DriveState::Low))
     }
 
     /// Exhaustively checks the array against a target function.
     pub fn computes(&self, f: &TruthTable) -> bool {
-        f.num_vars() == self.num_vars
-            && (0..f.num_minterms()).all(|m| self.eval(m) == f.value(m))
+        f.num_vars() == self.num_vars && (0..f.num_minterms()).all(|m| self.eval(m) == f.value(m))
     }
 }
 
@@ -191,7 +194,10 @@ pub fn fet_size_formula(f_cover: &Cover, dual_cover: &Cover) -> ArraySize {
             lits.push(lit);
         }
     }
-    ArraySize::new(lits.len(), f_cover.product_count() + dual_cover.product_count())
+    ArraySize::new(
+        lits.len(),
+        f_cover.product_count() + dual_cover.product_count(),
+    )
 }
 
 #[cfg(test)]
@@ -201,10 +207,7 @@ mod tests {
 
     fn array_for(expr: &str) -> (FetArray, TruthTable) {
         let f = parse_function(expr).unwrap();
-        (
-            FetArray::synthesize(&isop_cover(&f), &dual_cover(&f)),
-            f,
-        )
+        (FetArray::synthesize(&isop_cover(&f), &dual_cover(&f)), f)
     }
 
     #[test]

@@ -33,8 +33,8 @@
 #![warn(missing_docs)]
 
 mod diode;
-mod multi;
 mod fet;
+mod multi;
 mod size;
 mod topology;
 

@@ -59,7 +59,10 @@ impl MultiOutputDiodeArray {
         // Distinct literal columns over the union of covers.
         let union = Cover::from_cubes(
             num_vars,
-            covers.iter().flat_map(|c| c.cubes().iter().copied()).collect(),
+            covers
+                .iter()
+                .flat_map(|c| c.cubes().iter().copied())
+                .collect(),
         )
         .expect("uniform arity");
         let column_literals = distinct_literals(&union);

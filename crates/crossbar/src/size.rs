@@ -33,7 +33,10 @@ pub struct TwoTerminalSizes {
 ///
 /// Panics if `f` is constant (constants need no array).
 pub fn two_terminal_sizes(f: &TruthTable) -> TwoTerminalSizes {
-    assert!(!f.is_zero() && !f.is_ones(), "constant functions need no array");
+    assert!(
+        !f.is_zero() && !f.is_ones(),
+        "constant functions need no array"
+    );
     let fc = isop_cover(f);
     let dc = dual_cover(f);
     TwoTerminalSizes {

@@ -50,7 +50,10 @@ pub struct Crossbar {
 impl Crossbar {
     /// An unprogrammed crossbar of the given size.
     pub fn new(size: ArraySize) -> Self {
-        Crossbar { size, programmed: vec![false; size.area()] }
+        Crossbar {
+            size,
+            programmed: vec![false; size.area()],
+        }
     }
 
     /// The array dimensions.

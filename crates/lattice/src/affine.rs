@@ -125,7 +125,12 @@ impl AffineSpace {
                 offset ^= b;
             }
         }
-        Some(AffineSpace { num_vars: f.num_vars(), offset, basis, pivots })
+        Some(AffineSpace {
+            num_vars: f.num_vars(),
+            offset,
+            basis,
+            pivots,
+        })
     }
 
     /// Arity of the ambient cube.

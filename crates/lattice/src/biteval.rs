@@ -1,0 +1,484 @@
+//! Word-parallel (bit-sliced) lattice evaluation: 64 minterms per grid
+//! sweep.
+//!
+//! # Bit-slicing layout
+//!
+//! The engine adopts [`TruthTable`]'s packed layout: minterm `m` lives at
+//! bit `m & 63` of word `m >> 6`, so one `u64` carries the lattice's
+//! behaviour on 64 consecutive input assignments at once. For each word
+//! index `w`, every site gets a 64-bit **on-mask** — the slice of its
+//! control literal's truth table ([`nanoxbar_logic::variable_word`]):
+//! bit `i` of site `(r, c)`'s mask says whether the switch conducts under
+//! minterm `64*w + i`. Variables `x0..x5` toggle inside a word (fixed
+//! patterns such as `0xAAAA…`); variables `x6+` select whole words, so
+//! their masks are all-ones or all-zeros per word.
+//!
+//! # Word-wise percolation
+//!
+//! Top→bottom evaluation asks, per minterm, whether a 4-connected path of
+//! ON switches joins the top and bottom plates. Bit-sliced, each site
+//! carries a **reach word** — the set of minterms for which the site is
+//! connected to the top plate through ON switches. Row 0 seeds
+//! `reach = mask`; interior sites satisfy the fixpoint equation
+//!
+//! ```text
+//! reach[r][c] = mask[r][c] & (reach[up] | reach[down] | reach[left] | reach[right])
+//! ```
+//!
+//! which the engine solves by monotone Gauss–Seidel sweeps (alternating
+//! forward/backward over rows, with in-row carry passes both directions)
+//! until nothing changes; the answer word is the union of the bottom
+//! row's reach. Left→right king-move percolation — the planar-dual
+//! evaluation of paper Fig. 5 — is the same computation transposed, with
+//! the 8-neighbour adjacency and column 0 as the seed.
+//!
+//! Sweeps converge in `O(longest shortest path)` iterations (1–3 for
+//! practically every lattice, including all synthesised ones) and each
+//! sweep is a handful of AND/OR/shift-free word operations per site, so a
+//! full truth table costs roughly `sites × sweeps` word-ops per 64
+//! minterms — replacing 64 scalar BFS traversals, their visited-vector
+//! allocations, and their per-site closure dispatch.
+//!
+//! The scalar BFS evaluators in [`crate::eval`] are retained as the
+//! reference implementation; the property suite in
+//! `tests/word_parallel_equivalence.rs` proves both paths bit-identical.
+
+use nanoxbar_logic::{tail_mask, variable_word, word_len, TruthTable};
+
+use crate::lattice::{Lattice, Site};
+
+/// The 64-minterm on-mask of a site at word index `word` (the predicate
+/// `site.is_on(m)` bit-sliced).
+fn site_word(site: Site, word: usize) -> u64 {
+    match site {
+        Site::Literal(l) => {
+            let base = variable_word(l.var(), word);
+            if l.is_positive() {
+                base
+            } else {
+                !base
+            }
+        }
+        Site::Const(true) => u64::MAX,
+        Site::Const(false) => 0,
+    }
+}
+
+/// The on-mask of the *dual* predicate `!site.is_on(m ^ all_ones)`.
+///
+/// For a literal, complementing every input and then negating the result
+/// cancels out (`!(x̄_v) = x_v`), so the mask equals the plain
+/// [`site_word`]; a constant site must be complemented.
+fn dual_site_word(site: Site, word: usize) -> u64 {
+    match site {
+        Site::Literal(_) => site_word(site, word),
+        Site::Const(b) => site_word(Site::Const(!b), word),
+    }
+}
+
+/// Which bit-sliced site predicate a percolation pass evaluates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum MaskKind {
+    /// `site.is_on(m)` — the computed function's switches.
+    On,
+    /// `!site.is_on(m ^ all)` — the Boolean-dual evaluation of
+    /// [`crate::eval::eval_dual`].
+    Dual,
+}
+
+/// Reusable word-parallel evaluator.
+///
+/// Holds the per-site mask and reach scratch buffers so that evaluating
+/// many words (a whole truth table, or many lattices of similar size)
+/// performs no per-call allocation — the buffers are resized once and
+/// reused.
+///
+/// # Examples
+///
+/// ```
+/// use nanoxbar_lattice::{BitEvaluator, Lattice, Site};
+/// use nanoxbar_logic::{parse_function, Literal};
+///
+/// let lit = |v: usize| Site::Literal(Literal::positive(v));
+/// let lattice = Lattice::from_rows(2, vec![
+///     vec![lit(0), Site::Literal(Literal::negative(1))],
+///     vec![lit(1), Site::Literal(Literal::negative(0))],
+/// ])?;
+/// let f = parse_function("x0 x1 + !x0 !x1")?;
+/// let mut eval = BitEvaluator::new();
+/// assert_eq!(eval.function(&lattice), f);
+/// assert!(eval.computes(&lattice, &f));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BitEvaluator {
+    /// Per-site on-masks for the word being evaluated (row-major).
+    masks: Vec<u64>,
+    /// Per-site reach words (row-major).
+    reach: Vec<u64>,
+}
+
+impl BitEvaluator {
+    /// A fresh evaluator with empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fills `self.masks` for `word` under the given predicate.
+    fn fill_masks(&mut self, lattice: &Lattice, word: usize, kind: MaskKind) {
+        let (rows, cols) = (lattice.rows(), lattice.cols());
+        self.masks.clear();
+        self.masks.reserve(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let site = lattice.site(r, c);
+                self.masks.push(match kind {
+                    MaskKind::On => site_word(site, word),
+                    MaskKind::Dual => dual_site_word(site, word),
+                });
+            }
+        }
+    }
+
+    /// Relaxes one interior row (4-neighbour adjacency); returns whether
+    /// any reach word grew.
+    fn relax_row_tb(&mut self, r: usize, rows: usize, cols: usize) -> bool {
+        let base = r * cols;
+        let mut changed = false;
+        let mut carry = 0u64;
+        for c in 0..cols {
+            let m = self.masks[base + c];
+            let up = self.reach[base - cols + c];
+            let down = if r + 1 < rows {
+                self.reach[base + cols + c]
+            } else {
+                0
+            };
+            let old = self.reach[base + c];
+            let t = m & (up | down | old | carry);
+            if t != old {
+                self.reach[base + c] = t;
+                changed = true;
+            }
+            carry = t;
+        }
+        let mut carry = 0u64;
+        for c in (0..cols).rev() {
+            let old = self.reach[base + c];
+            let t = old | (self.masks[base + c] & carry);
+            if t != old {
+                self.reach[base + c] = t;
+                changed = true;
+            }
+            carry = t;
+        }
+        changed
+    }
+
+    /// Word-parallel top→bottom percolation over the masks currently in
+    /// `self.masks`; returns the 64-minterm result word (unmasked).
+    fn percolate_top_bottom(&mut self, rows: usize, cols: usize) -> u64 {
+        self.reach.clear();
+        self.reach.extend_from_slice(&self.masks[..cols]);
+        self.reach.resize(rows * cols, 0);
+        loop {
+            let mut changed = false;
+            for r in 1..rows {
+                changed |= self.relax_row_tb(r, rows, cols);
+            }
+            for r in (1..rows).rev() {
+                changed |= self.relax_row_tb(r, rows, cols);
+            }
+            if !changed {
+                break;
+            }
+        }
+        let bottom = (rows - 1) * cols;
+        self.reach[bottom..bottom + cols]
+            .iter()
+            .fold(0, |acc, &w| acc | w)
+    }
+
+    /// Relaxes one interior column (8-neighbour king adjacency); returns
+    /// whether any reach word grew.
+    fn relax_col_lr(&mut self, c: usize, rows: usize, cols: usize) -> bool {
+        let mut changed = false;
+        let mut carry = 0u64;
+        for r in 0..rows {
+            let idx = r * cols + c;
+            let m = self.masks[idx];
+            let mut gather = self.reach[idx] | carry;
+            // Left and right columns, rows r-1 ..= r+1 (king moves).
+            for nr in r.saturating_sub(1)..=(r + 1).min(rows - 1) {
+                gather |= self.reach[nr * cols + c - 1];
+                if c + 1 < cols {
+                    gather |= self.reach[nr * cols + c + 1];
+                }
+            }
+            if r + 1 < rows {
+                gather |= self.reach[idx + cols];
+            }
+            let old = self.reach[idx];
+            let t = m & gather;
+            if t != old {
+                self.reach[idx] = t;
+                changed = true;
+            }
+            carry = t;
+        }
+        let mut carry = 0u64;
+        for r in (0..rows).rev() {
+            let idx = r * cols + c;
+            let old = self.reach[idx];
+            let t = old | (self.masks[idx] & carry);
+            if t != old {
+                self.reach[idx] = t;
+                changed = true;
+            }
+            carry = t;
+        }
+        changed
+    }
+
+    /// Word-parallel left→right king-move percolation over the masks
+    /// currently in `self.masks`; returns the result word (unmasked).
+    fn percolate_left_right_king(&mut self, rows: usize, cols: usize) -> u64 {
+        self.reach.clear();
+        self.reach.resize(rows * cols, 0);
+        for r in 0..rows {
+            self.reach[r * cols] = self.masks[r * cols];
+        }
+        loop {
+            let mut changed = false;
+            for c in 1..cols {
+                changed |= self.relax_col_lr(c, rows, cols);
+            }
+            for c in (1..cols).rev() {
+                changed |= self.relax_col_lr(c, rows, cols);
+            }
+            if !changed {
+                break;
+            }
+        }
+        (0..rows)
+            .map(|r| self.reach[r * cols + cols - 1])
+            .fold(0, |acc, w| acc | w)
+    }
+
+    /// The lattice's function on minterms `64*word .. 64*word + 63` as one
+    /// packed word (top→bottom percolation; invalid tail bits cleared).
+    pub fn top_bottom_word(&mut self, lattice: &Lattice, word: usize) -> u64 {
+        self.fill_masks(lattice, word, MaskKind::On);
+        self.percolate_top_bottom(lattice.rows(), lattice.cols()) & tail_mask(lattice.num_vars())
+    }
+
+    /// The left→right king-move percolation word over ON sites (the
+    /// bit-sliced [`crate::eval::eval_left_right_king`]).
+    pub fn left_right_king_word(&mut self, lattice: &Lattice, word: usize) -> u64 {
+        self.fill_masks(lattice, word, MaskKind::On);
+        self.percolate_left_right_king(lattice.rows(), lattice.cols())
+            & tail_mask(lattice.num_vars())
+    }
+
+    /// The Boolean dual `f^D` on one packed word (the bit-sliced
+    /// [`crate::eval::eval_dual`]).
+    pub fn dual_word(&mut self, lattice: &Lattice, word: usize) -> u64 {
+        self.fill_masks(lattice, word, MaskKind::Dual);
+        self.percolate_left_right_king(lattice.rows(), lattice.cols())
+            & tail_mask(lattice.num_vars())
+    }
+
+    /// The complete truth table of the computed function, one percolation
+    /// per 64 minterms.
+    pub fn function(&mut self, lattice: &Lattice) -> TruthTable {
+        let n = lattice.num_vars();
+        let words = (0..word_len(n))
+            .map(|w| self.top_bottom_word(lattice, w))
+            .collect();
+        TruthTable::from_words(n, words)
+    }
+
+    /// The complete truth table of the dual function `f^D`.
+    pub fn dual_function(&mut self, lattice: &Lattice) -> TruthTable {
+        let n = lattice.num_vars();
+        let words = (0..word_len(n))
+            .map(|w| self.dual_word(lattice, w))
+            .collect();
+        TruthTable::from_words(n, words)
+    }
+
+    /// True if the lattice computes exactly `f`, comparing word by word
+    /// with early exit on the first mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities differ.
+    pub fn computes(&mut self, lattice: &Lattice, f: &TruthTable) -> bool {
+        assert_eq!(lattice.num_vars(), f.num_vars(), "arity mismatch");
+        f.words()
+            .iter()
+            .enumerate()
+            .all(|(w, &fw)| self.top_bottom_word(lattice, w) == fw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_dual, eval_left_right_king, eval_top_bottom};
+    use nanoxbar_logic::Literal;
+
+    /// Deterministic xorshift for structured-random grids.
+    fn next(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_lattice(state: &mut u64, num_vars: usize) -> Lattice {
+        let rows = 1 + (next(state) % 5) as usize;
+        let cols = 1 + (next(state) % 5) as usize;
+        let grid = (0..rows)
+            .map(|_| {
+                (0..cols)
+                    .map(|_| match next(state) % 8 {
+                        0 => Site::Const(false),
+                        1 => Site::Const(true),
+                        s => Site::Literal(Literal::new(
+                            (next(state) % num_vars as u64) as usize,
+                            s & 1 == 0,
+                        )),
+                    })
+                    .collect()
+            })
+            .collect();
+        Lattice::from_rows(num_vars, grid).unwrap()
+    }
+
+    #[test]
+    fn site_words_match_scalar_is_on() {
+        let sites = [
+            Site::Const(false),
+            Site::Const(true),
+            Site::Literal(Literal::positive(0)),
+            Site::Literal(Literal::negative(3)),
+            Site::Literal(Literal::positive(7)),
+            Site::Literal(Literal::negative(8)),
+        ];
+        for site in sites {
+            for w in 0..word_len(9) {
+                let mask = site_word(site, w);
+                let dual = dual_site_word(site, w);
+                for bit in 0..64 {
+                    let m = (w as u64) * 64 + bit;
+                    assert_eq!((mask >> bit) & 1 == 1, site.is_on(m), "{site:?} m={m}");
+                    let all = (1u64 << 9) - 1;
+                    assert_eq!(
+                        (dual >> bit) & 1 == 1,
+                        !site.is_on(m ^ all),
+                        "{site:?} m={m}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_engine_matches_scalar_bfs_on_random_grids() {
+        let mut state = 0xD1CE_D00Du64;
+        let mut eval = BitEvaluator::new();
+        for round in 0..60 {
+            // Cross the 6-variable word boundary in both directions.
+            let n = 1 + (round % 8);
+            let l = random_lattice(&mut state, n);
+            let scalar_tb = TruthTable::from_fn(n, |m| eval_top_bottom(&l, m));
+            let scalar_lr = TruthTable::from_fn(n, |m| eval_left_right_king(&l, m));
+            let scalar_dual = TruthTable::from_fn(n, |m| eval_dual(&l, m));
+            assert_eq!(eval.function(&l), scalar_tb, "tb mismatch on\n{l}");
+            let lr_words: Vec<u64> = (0..word_len(n))
+                .map(|w| eval.left_right_king_word(&l, w))
+                .collect();
+            assert_eq!(
+                TruthTable::from_words(n, lr_words),
+                scalar_lr,
+                "lr mismatch on\n{l}"
+            );
+            assert_eq!(eval.dual_function(&l), scalar_dual, "dual mismatch on\n{l}");
+            assert!(eval.computes(&l, &scalar_tb));
+            assert!(!eval.computes(&l, &scalar_tb.not()) || scalar_tb == scalar_tb.not());
+        }
+    }
+
+    #[test]
+    fn snake_paths_converge() {
+        // A serpentine single path exercises many sweep iterations: the
+        // path runs right along row 0, down, left along row 2, down,
+        // right along row 4...
+        let n = 1;
+        let on = Site::Const(true);
+        let off = Site::Const(false);
+        let rows = 9;
+        let cols = 7;
+        let grid: Vec<Vec<Site>> = (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| {
+                        if r % 2 == 0 {
+                            on
+                        } else if (r / 2) % 2 == 0 {
+                            if c == cols - 1 {
+                                on
+                            } else {
+                                off
+                            }
+                        } else if c == 0 {
+                            on
+                        } else {
+                            off
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let l = Lattice::from_rows(n, grid).unwrap();
+        let mut eval = BitEvaluator::new();
+        assert_eq!(
+            eval.function(&l),
+            TruthTable::from_fn(n, |m| eval_top_bottom(&l, m))
+        );
+    }
+
+    #[test]
+    fn single_row_and_column_edge_cases() {
+        let mut eval = BitEvaluator::new();
+        let l = Lattice::from_rows(
+            7,
+            vec![vec![
+                Site::Literal(Literal::positive(6)),
+                Site::Literal(Literal::positive(0)),
+            ]],
+        )
+        .unwrap();
+        assert_eq!(
+            eval.function(&l),
+            TruthTable::from_fn(7, |m| eval_top_bottom(&l, m))
+        );
+        let col = Lattice::from_rows(
+            7,
+            vec![
+                vec![Site::Literal(Literal::positive(6))],
+                vec![Site::Literal(Literal::negative(1))],
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            eval.function(&col),
+            TruthTable::from_fn(7, |m| eval_top_bottom(&col, m))
+        );
+        assert_eq!(
+            eval.dual_function(&col),
+            TruthTable::from_fn(7, |m| eval_dual(&col, m))
+        );
+    }
+}

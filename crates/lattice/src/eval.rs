@@ -6,9 +6,17 @@
 //!   planar-dual blocking paths. Evaluated on the *same* literals this
 //!   yields exactly the Boolean dual `f^D`, the duality the Altun–Riedel
 //!   construction (Fig. 5) is built on.
+//!
+//! The per-minterm functions here ([`eval_top_bottom`],
+//! [`eval_left_right_king`], [`eval_dual`]) are the scalar BFS reference
+//! implementations. Whole-table evaluation ([`lattice_function`],
+//! [`lattice_dual_function`], [`Lattice::to_truth_table`],
+//! [`Lattice::computes`]) runs on the word-parallel engine in
+//! [`crate::biteval`], which processes 64 minterms per grid sweep.
 
 use nanoxbar_logic::TruthTable;
 
+use crate::biteval::BitEvaluator;
 use crate::lattice::Lattice;
 
 /// Evaluates the lattice top→bottom on minterm `m` (the computed function).
@@ -57,7 +65,7 @@ pub fn eval_top_bottom(lattice: &Lattice, m: u64) -> bool {
 /// ON sites exactly when it has an 8-connected left→right path of OFF
 /// sites; [`eval_dual`] packages that into an evaluation of `f^D`.
 pub fn eval_left_right_king(lattice: &Lattice, m: u64) -> bool {
-    lr_king(lattice, &|r, c| lattice.site(r, c).is_on(m))
+    lr_king(lattice, |r, c| lattice.site(r, c).is_on(m))
 }
 
 /// Evaluates the Boolean dual `f^D` of the lattice's function on minterm
@@ -67,12 +75,14 @@ pub fn eval_left_right_king(lattice: &Lattice, m: u64) -> bool {
 /// equals "ON under `m`"; a constant site must be complemented.)
 pub fn eval_dual(lattice: &Lattice, m: u64) -> bool {
     let mask = (1u64 << lattice.num_vars()) - 1;
-    lr_king(lattice, &|r, c| !lattice.site(r, c).is_on(m ^ mask))
+    lr_king(lattice, |r, c| !lattice.site(r, c).is_on(m ^ mask))
 }
 
 /// Left→right 8-connected (king move) percolation over sites selected by
-/// `on`.
-fn lr_king(lattice: &Lattice, on: &dyn Fn(usize, usize) -> bool) -> bool {
+/// `on`. Generic over the site predicate so each caller's closure
+/// inlines; the previous `&dyn Fn` signature forced an indirect call per
+/// visited site.
+fn lr_king<F: Fn(usize, usize) -> bool>(lattice: &Lattice, on: F) -> bool {
     let (rows, cols) = (lattice.rows(), lattice.cols());
     let mut visited = vec![false; rows * cols];
     let mut queue: Vec<(usize, usize)> = (0..rows)
@@ -106,29 +116,33 @@ fn lr_king(lattice: &Lattice, on: &dyn Fn(usize, usize) -> bool) -> bool {
     false
 }
 
-/// The function computed by the lattice (top→bottom percolation).
+/// The function computed by the lattice (top→bottom percolation),
+/// evaluated 64 minterms at a time by the word-parallel engine
+/// ([`crate::BitEvaluator`]).
 pub fn lattice_function(lattice: &Lattice) -> TruthTable {
-    TruthTable::from_fn(lattice.num_vars(), |m| eval_top_bottom(lattice, m))
+    BitEvaluator::new().function(lattice)
 }
 
 /// The dual function of the lattice, evaluated via left→right king-move
 /// percolation — equals `lattice_function(..).dual()` by planar duality.
+/// Word-parallel, like [`lattice_function`].
 pub fn lattice_dual_function(lattice: &Lattice) -> TruthTable {
-    TruthTable::from_fn(lattice.num_vars(), |m| eval_dual(lattice, m))
+    BitEvaluator::new().dual_function(lattice)
 }
 
 impl Lattice {
-    /// True if the lattice computes exactly `f` (exhaustive check).
+    /// True if the lattice computes exactly `f` (exhaustive check,
+    /// word-parallel with early exit on the first mismatching 64-minterm
+    /// word).
     ///
     /// # Panics
     ///
     /// Panics if arities differ.
     pub fn computes(&self, f: &TruthTable) -> bool {
-        assert_eq!(self.num_vars(), f.num_vars(), "arity mismatch");
-        (0..f.num_minterms()).all(|m| eval_top_bottom(self, m) == f.value(m))
+        BitEvaluator::new().computes(self, f)
     }
 
-    /// The truth table of the computed function.
+    /// The truth table of the computed function (word-parallel).
     pub fn to_truth_table(&self) -> TruthTable {
         lattice_function(self)
     }
@@ -189,11 +203,7 @@ mod tests {
     fn xnor_2x2_lattice() {
         // Paper Sec. III-B: f = x0x1 + !x0!x1 fits a 2x2 lattice.
         // Columns are products of f; shared literals with dual products.
-        let l = Lattice::from_rows(
-            2,
-            vec![vec![lit(0), nlit(1)], vec![lit(1), nlit(0)]],
-        )
-        .unwrap();
+        let l = Lattice::from_rows(2, vec![vec![lit(0), nlit(1)], vec![lit(1), nlit(0)]]).unwrap();
         let f = parse_function("x0 x1 + !x0 !x1").unwrap();
         assert!(l.computes(&f));
         assert!(computes_dual_left_right(&l));
@@ -209,11 +219,7 @@ mod tests {
 
     #[test]
     fn padding_preserves_function() {
-        let l = Lattice::from_rows(
-            3,
-            vec![vec![lit(0), nlit(1)], vec![lit(2), lit(1)]],
-        )
-        .unwrap();
+        let l = Lattice::from_rows(3, vec![vec![lit(0), nlit(1)], vec![lit(2), lit(1)]]).unwrap();
         let f = l.to_truth_table();
         assert_eq!(l.pad_to_rows(4).to_truth_table(), f);
         assert_eq!(l.pad_to_cols(5).to_truth_table(), f);

@@ -98,18 +98,33 @@ impl Lattice {
                 }
             }
         }
-        Ok(Lattice { rows: sites.len() / cols, cols, num_vars, sites })
+        Ok(Lattice {
+            rows: sites.len() / cols,
+            cols,
+            num_vars,
+            sites,
+        })
     }
 
     /// A 1×1 lattice computing a constant.
     pub fn constant(num_vars: usize, value: bool) -> Self {
-        Lattice { rows: 1, cols: 1, num_vars, sites: vec![Site::Const(value)] }
+        Lattice {
+            rows: 1,
+            cols: 1,
+            num_vars,
+            sites: vec![Site::Const(value)],
+        }
     }
 
     /// A 1×1 lattice computing a single literal.
     pub fn single_literal(num_vars: usize, lit: Literal) -> Self {
         assert!(lit.var() < num_vars, "literal out of range");
-        Lattice { rows: 1, cols: 1, num_vars, sites: vec![Site::Literal(lit)] }
+        Lattice {
+            rows: 1,
+            cols: 1,
+            num_vars,
+            sites: vec![Site::Literal(lit)],
+        }
     }
 
     /// Number of rows.
@@ -138,13 +153,19 @@ impl Lattice {
     ///
     /// Panics if out of range (also for [`Lattice::set_site`]).
     pub fn site(&self, row: usize, col: usize) -> Site {
-        assert!(row < self.rows && col < self.cols, "site ({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "site ({row},{col}) out of range"
+        );
         self.sites[row * self.cols + col]
     }
 
     /// Replaces the site at `(row, col)`.
     pub fn set_site(&mut self, row: usize, col: usize, site: Site) {
-        assert!(row < self.rows && col < self.cols, "site ({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "site ({row},{col}) out of range"
+        );
         if let Site::Literal(l) = site {
             assert!(l.var() < self.num_vars, "literal out of range");
         }
@@ -165,8 +186,7 @@ impl Lattice {
         assert!(rows >= self.rows, "cannot remove rows by padding");
         let mut out = self.clone();
         while out.rows < rows {
-            let last: Vec<Site> =
-                out.sites[(out.rows - 1) * out.cols..].to_vec();
+            let last: Vec<Site> = out.sites[(out.rows - 1) * out.cols..].to_vec();
             out.sites.extend(last);
             out.rows += 1;
         }
@@ -222,8 +242,11 @@ mod tests {
 
     #[test]
     fn construction_and_accessors() {
-        let l = Lattice::from_rows(3, vec![vec![lit(0), lit(1)], vec![lit(2), Site::Const(true)]])
-            .unwrap();
+        let l = Lattice::from_rows(
+            3,
+            vec![vec![lit(0), lit(1)], vec![lit(2), Site::Const(true)]],
+        )
+        .unwrap();
         assert_eq!((l.rows(), l.cols(), l.area()), (2, 2, 4));
         assert_eq!(l.site(1, 1), Site::Const(true));
     }

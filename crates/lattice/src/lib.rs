@@ -30,10 +30,12 @@
 #![warn(missing_docs)]
 
 pub mod affine;
+pub mod biteval;
 pub mod eval;
 mod lattice;
 pub mod synth;
 
+pub use biteval::BitEvaluator;
 pub use eval::{
     computes_dual_left_right, eval_dual, eval_left_right_king, eval_top_bottom,
     lattice_dual_function, lattice_function,

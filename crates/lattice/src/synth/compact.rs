@@ -71,7 +71,10 @@ pub fn compact(lattice: &Lattice) -> Lattice {
 ///
 /// Panics if the lattice does not compute `target` to begin with.
 pub fn compact_to(lattice: &Lattice, target: &TruthTable) -> Lattice {
-    assert!(lattice.computes(target), "input lattice must compute the target");
+    assert!(
+        lattice.computes(target),
+        "input lattice must compute the target"
+    );
     let mut current = lattice.clone();
     let mut changed = true;
     while changed {

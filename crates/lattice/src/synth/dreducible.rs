@@ -64,10 +64,18 @@ pub fn synthesize(f: &TruthTable) -> DreducibleLattice {
     let direct_area = direct.area();
     let Some(hull) = AffineSpace::hull_of(f) else {
         // Constant false.
-        return DreducibleLattice { lattice: direct, codimension: 0, direct_area };
+        return DreducibleLattice {
+            lattice: direct,
+            codimension: 0,
+            direct_area,
+        };
     };
     if hull.codimension() == 0 {
-        return DreducibleLattice { lattice: direct, codimension: 0, direct_area };
+        return DreducibleLattice {
+            lattice: direct,
+            codimension: 0,
+            direct_area,
+        };
     }
     let chi = characteristic_lattice(&hull).expect("codimension > 0 has constraints");
     let fa = hull.project(f);
@@ -79,9 +87,17 @@ pub fn synthesize(f: &TruthTable) -> DreducibleLattice {
     };
     // Keep whichever is smaller — preprocessing is an optimisation, not an
     // obligation.
-    let lattice = if composed.area() < direct_area { composed } else { direct };
+    let lattice = if composed.area() < direct_area {
+        composed
+    } else {
+        direct
+    };
     debug_assert!(lattice.computes(f));
-    DreducibleLattice { lattice, codimension: hull.codimension(), direct_area }
+    DreducibleLattice {
+        lattice,
+        codimension: hull.codimension(),
+        direct_area,
+    }
 }
 
 #[cfg(test)]

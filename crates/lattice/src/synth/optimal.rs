@@ -35,7 +35,11 @@ pub struct OptimalOptions {
 
 impl Default for OptimalOptions {
     fn default() -> Self {
-        OptimalOptions { allow_constants: true, max_rows: None, max_cols: None }
+        OptimalOptions {
+            allow_constants: true,
+            max_rows: None,
+            max_cols: None,
+        }
     }
 }
 
@@ -71,7 +75,11 @@ pub fn synthesize(f: &TruthTable, options: &OptimalOptions) -> OptimalLattice {
     let dual = dual_based::synthesize(f);
     let dual_area = dual.area();
     if f.is_zero() || f.is_ones() {
-        return OptimalLattice { lattice: dual, dual_based_area: dual_area, sat_calls: 0 };
+        return OptimalLattice {
+            lattice: dual,
+            dual_based_area: dual_area,
+            sat_calls: 0,
+        };
     }
 
     let max_rows = options.max_rows.unwrap_or(dual.rows().max(1));
@@ -91,14 +99,27 @@ pub fn synthesize(f: &TruthTable, options: &OptimalOptions) -> OptimalLattice {
         sat_calls += 1;
         if let Some(lattice) = try_size(f, rows, cols, options.allow_constants) {
             debug_assert!(lattice.computes(f));
-            return OptimalLattice { lattice, dual_based_area: dual_area, sat_calls };
+            return OptimalLattice {
+                lattice,
+                dual_based_area: dual_area,
+                sat_calls,
+            };
         }
     }
-    OptimalLattice { lattice: dual, dual_based_area: dual_area, sat_calls }
+    OptimalLattice {
+        lattice: dual,
+        dual_based_area: dual_area,
+        sat_calls,
+    }
 }
 
 /// Attempts to realise `f` on a fixed R×C grid; returns the lattice if SAT.
-pub fn try_size(f: &TruthTable, rows: usize, cols: usize, allow_constants: bool) -> Option<Lattice> {
+pub fn try_size(
+    f: &TruthTable,
+    rows: usize,
+    cols: usize,
+    allow_constants: bool,
+) -> Option<Lattice> {
     let n = f.num_vars();
     let sites = rows * cols;
 
@@ -150,63 +171,76 @@ pub fn try_size(f: &TruthTable, rows: usize, cols: usize, allow_constants: bool)
     // `active` gives the per-site "usable" literal (true sites for ON
     // minterms, false sites for OFF minterms); `king` selects adjacency;
     // sources/sinks select the plate pair.
-    let add_path_certificate = |cnf: &mut Cnf,
-                                    usable: &dyn Fn(usize) -> SatLit,
-                                    king: bool,
-                                    top_bottom: bool| {
-        let steps = sites; // longest simple path bound
-        // reach[s][k] (flattened): site reachable from the source plate in
-        // <= k expansion rounds.
-        let mut reach: Vec<Vec<SatLit>> = Vec::with_capacity(steps + 1);
-        let layer0: Vec<SatLit> = (0..sites).map(|_| cnf.fresh_var().positive()).collect();
-        for r in 0..rows {
-            for c in 0..cols {
-                let s = site_index(r, c);
-                let is_source = if top_bottom { r == 0 } else { c == 0 };
-                if is_source {
-                    // layer0[s] -> usable(s)
-                    cnf.add_clause([!layer0[s], usable(s)]);
-                } else {
-                    cnf.add_clause([!layer0[s]]);
-                }
-            }
-        }
-        reach.push(layer0);
-        for k in 1..=steps {
-            let layer: Vec<SatLit> = (0..sites).map(|_| cnf.fresh_var().positive()).collect();
+    let add_path_certificate =
+        |cnf: &mut Cnf, usable: &dyn Fn(usize) -> SatLit, king: bool, top_bottom: bool| {
+            let steps = sites; // longest simple path bound
+                               // reach[s][k] (flattened): site reachable from the source plate in
+                               // <= k expansion rounds.
+            let mut reach: Vec<Vec<SatLit>> = Vec::with_capacity(steps + 1);
+            let layer0: Vec<SatLit> = (0..sites).map(|_| cnf.fresh_var().positive()).collect();
             for r in 0..rows {
                 for c in 0..cols {
                     let s = site_index(r, c);
-                    // layer[s] -> usable(s)
-                    cnf.add_clause([!layer[s], usable(s)]);
-                    // layer[s] -> prev[s] OR OR(prev[neighbors])
-                    let mut support = vec![reach[k - 1][s]];
-                    let deltas: &[(i64, i64)] = if king {
-                        &[(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)]
+                    let is_source = if top_bottom { r == 0 } else { c == 0 };
+                    if is_source {
+                        // layer0[s] -> usable(s)
+                        cnf.add_clause([!layer0[s], usable(s)]);
                     } else {
-                        &[(-1, 0), (1, 0), (0, -1), (0, 1)]
-                    };
-                    for (dr, dc) in deltas {
-                        let (nr, nc) = (r as i64 + dr, c as i64 + dc);
-                        if nr >= 0 && nc >= 0 && (nr as usize) < rows && (nc as usize) < cols {
-                            support.push(reach[k - 1][site_index(nr as usize, nc as usize)]);
-                        }
+                        cnf.add_clause([!layer0[s]]);
                     }
-                    let mut clause = vec![!layer[s]];
-                    clause.extend(support);
-                    cnf.add_clause(clause);
                 }
             }
-            reach.push(layer);
-        }
-        // Some sink site reachable at the last layer.
-        let sinks: Vec<SatLit> = (0..rows)
-            .flat_map(|r| (0..cols).map(move |c| (r, c)))
-            .filter(|&(r, c)| if top_bottom { r == rows - 1 } else { c == cols - 1 })
-            .map(|(r, c)| reach[steps][site_index(r, c)])
-            .collect();
-        cnf.add_clause(sinks);
-    };
+            reach.push(layer0);
+            for k in 1..=steps {
+                let layer: Vec<SatLit> = (0..sites).map(|_| cnf.fresh_var().positive()).collect();
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let s = site_index(r, c);
+                        // layer[s] -> usable(s)
+                        cnf.add_clause([!layer[s], usable(s)]);
+                        // layer[s] -> prev[s] OR OR(prev[neighbors])
+                        let mut support = vec![reach[k - 1][s]];
+                        let deltas: &[(i64, i64)] = if king {
+                            &[
+                                (-1, -1),
+                                (-1, 0),
+                                (-1, 1),
+                                (0, -1),
+                                (0, 1),
+                                (1, -1),
+                                (1, 0),
+                                (1, 1),
+                            ]
+                        } else {
+                            &[(-1, 0), (1, 0), (0, -1), (0, 1)]
+                        };
+                        for (dr, dc) in deltas {
+                            let (nr, nc) = (r as i64 + dr, c as i64 + dc);
+                            if nr >= 0 && nc >= 0 && (nr as usize) < rows && (nc as usize) < cols {
+                                support.push(reach[k - 1][site_index(nr as usize, nc as usize)]);
+                            }
+                        }
+                        let mut clause = vec![!layer[s]];
+                        clause.extend(support);
+                        cnf.add_clause(clause);
+                    }
+                }
+                reach.push(layer);
+            }
+            // Some sink site reachable at the last layer.
+            let sinks: Vec<SatLit> = (0..rows)
+                .flat_map(|r| (0..cols).map(move |c| (r, c)))
+                .filter(|&(r, c)| {
+                    if top_bottom {
+                        r == rows - 1
+                    } else {
+                        c == cols - 1
+                    }
+                })
+                .map(|(r, c)| reach[steps][site_index(r, c)])
+                .collect();
+            cnf.add_clause(sinks);
+        };
 
     for m in 0..minterm_count {
         if f.value(m) {

@@ -1,0 +1,95 @@
+//! Property suite proving the word-parallel engine ([`BitEvaluator`])
+//! bit-identical to the scalar BFS reference evaluators across random
+//! lattices — shapes from 1×1 up, variables on both sides of the
+//! 64-minterm word boundary, constants and both literal polarities.
+
+use proptest::prelude::*;
+
+use nanoxbar_lattice::{
+    eval_dual, eval_left_right_king, eval_top_bottom, BitEvaluator, Lattice, Site,
+};
+use nanoxbar_logic::{word_len, Literal, TruthTable};
+
+const MAX_SIDE: usize = 6;
+
+/// A random lattice: dimensions, arity (1..=8 so multi-word tables are
+/// exercised), and one site per cell drawn from constants and literals.
+fn arb_lattice() -> impl Strategy<Value = Lattice> {
+    (
+        1usize..=MAX_SIDE,
+        1usize..=MAX_SIDE,
+        1usize..=8,
+        proptest::collection::vec((0u8..10, 0usize..8, any::<bool>()), MAX_SIDE * MAX_SIDE),
+    )
+        .prop_map(|(rows, cols, num_vars, cells)| {
+            let grid: Vec<Vec<Site>> = (0..rows)
+                .map(|r| {
+                    (0..cols)
+                        .map(|c| {
+                            let (kind, var, positive) = cells[r * MAX_SIDE + c];
+                            match kind {
+                                0 => Site::Const(false),
+                                1 => Site::Const(true),
+                                _ => Site::Literal(Literal::new(var % num_vars, positive)),
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            Lattice::from_rows(num_vars, grid).expect("well-formed by construction")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// `to_truth_table` equals the scalar top→bottom BFS on every minterm.
+    #[test]
+    fn function_matches_scalar(l in arb_lattice()) {
+        let scalar = TruthTable::from_fn(l.num_vars(), |m| eval_top_bottom(&l, m));
+        prop_assert_eq!(l.to_truth_table(), scalar, "lattice:\n{}", l);
+    }
+
+    /// The dual word path equals the scalar `eval_dual` BFS.
+    #[test]
+    fn dual_matches_scalar(l in arb_lattice()) {
+        let scalar = TruthTable::from_fn(l.num_vars(), |m| eval_dual(&l, m));
+        let mut eval = BitEvaluator::new();
+        prop_assert_eq!(eval.dual_function(&l), scalar, "lattice:\n{}", l);
+    }
+
+    /// The left→right king-move word path equals the scalar BFS.
+    #[test]
+    fn left_right_king_matches_scalar(l in arb_lattice()) {
+        let scalar = TruthTable::from_fn(l.num_vars(), |m| eval_left_right_king(&l, m));
+        let mut eval = BitEvaluator::new();
+        let words: Vec<u64> = (0..word_len(l.num_vars()))
+            .map(|w| eval.left_right_king_word(&l, w))
+            .collect();
+        prop_assert_eq!(TruthTable::from_words(l.num_vars(), words), scalar, "lattice:\n{}", l);
+    }
+
+    /// `computes` agrees with the scalar exhaustive check, on both the
+    /// true table and a single-bit perturbation of it.
+    #[test]
+    fn computes_matches_scalar(l in arb_lattice(), flip in 0u64..256) {
+        let scalar = TruthTable::from_fn(l.num_vars(), |m| eval_top_bottom(&l, m));
+        prop_assert!(l.computes(&scalar));
+        let mut perturbed = scalar.clone();
+        let bit = flip % perturbed.num_minterms();
+        perturbed.set(bit, !perturbed.value(bit));
+        prop_assert!(!l.computes(&perturbed));
+    }
+
+    /// One evaluator instance reused across many lattices gives the same
+    /// answers as fresh ones (scratch-buffer reuse is observationally
+    /// pure).
+    #[test]
+    fn scratch_reuse_is_pure(a in arb_lattice(), b in arb_lattice()) {
+        let mut shared = BitEvaluator::new();
+        let first = shared.function(&a);
+        let second = shared.function(&b);
+        prop_assert_eq!(first, BitEvaluator::new().function(&a));
+        prop_assert_eq!(second, BitEvaluator::new().function(&b));
+    }
+}

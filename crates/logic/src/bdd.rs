@@ -58,7 +58,11 @@ impl BddManager {
     /// Creates a manager for functions over `num_vars` variables with the
     /// natural variable order (variable 0 at the top).
     pub fn new(num_vars: usize) -> Self {
-        let terminal = |_v| Node { var: TERMINAL_VAR, low: BDD_FALSE, high: BDD_FALSE };
+        let terminal = |_v| Node {
+            var: TERMINAL_VAR,
+            low: BDD_FALSE,
+            high: BDD_FALSE,
+        };
         BddManager {
             num_vars,
             nodes: vec![terminal(0), terminal(1)],
@@ -149,10 +153,7 @@ impl BddManager {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return r;
         }
-        let var = self
-            .top_var(f)
-            .min(self.top_var(g))
-            .min(self.top_var(h));
+        let var = self.top_var(f).min(self.top_var(g)).min(self.top_var(h));
         let f0 = self.cofactor_at(f, var, false);
         let f1 = self.cofactor_at(f, var, true);
         let g0 = self.cofactor_at(g, var, false);

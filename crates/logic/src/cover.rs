@@ -36,12 +36,18 @@ pub struct Cover {
 impl Cover {
     /// The empty cover (constant false).
     pub fn zero(num_vars: usize) -> Self {
-        Cover { num_vars, cubes: Vec::new() }
+        Cover {
+            num_vars,
+            cubes: Vec::new(),
+        }
     }
 
     /// The tautology cover (a single universe cube).
     pub fn one(num_vars: usize) -> Self {
-        Cover { num_vars, cubes: vec![Cube::universe(num_vars)] }
+        Cover {
+            num_vars,
+            cubes: vec![Cube::universe(num_vars)],
+        }
     }
 
     /// Builds a cover from explicit cubes.
@@ -68,7 +74,10 @@ impl Cover {
             .minterms()
             .map(|m| Cube::from_minterm(tt.num_vars(), m))
             .collect();
-        Cover { num_vars: tt.num_vars(), cubes }
+        Cover {
+            num_vars: tt.num_vars(),
+            cubes,
+        }
     }
 
     /// Number of variables.
@@ -180,7 +189,10 @@ impl Cover {
         assert_eq!(self.num_vars, other.num_vars, "cover arity mismatch");
         let mut cubes = self.cubes.clone();
         cubes.extend(other.cubes.iter().copied());
-        Cover { num_vars: self.num_vars, cubes }
+        Cover {
+            num_vars: self.num_vars,
+            cubes,
+        }
     }
 
     /// Conjunction of two covers (distributes products; may square the size).
@@ -198,7 +210,10 @@ impl Cover {
                 }
             }
         }
-        let mut out = Cover { num_vars: self.num_vars, cubes };
+        let mut out = Cover {
+            num_vars: self.num_vars,
+            cubes,
+        };
         out.remove_contained_cubes();
         out
     }
@@ -211,12 +226,20 @@ impl Cover {
         let mut cubes = Vec::with_capacity(self.cubes.len());
         for c in &self.cubes {
             let bit = 1u64 << lit.var();
-            let conflicting = if lit.is_positive() { c.neg_mask() & bit != 0 } else { c.pos_mask() & bit != 0 };
+            let conflicting = if lit.is_positive() {
+                c.neg_mask() & bit != 0
+            } else {
+                c.pos_mask() & bit != 0
+            };
             if conflicting {
                 continue;
             }
             let cube = if lit.is_positive() {
-                if c.pos_mask() & bit != 0 { *c } else { c.with_positive(lit.var()) }
+                if c.pos_mask() & bit != 0 {
+                    *c
+                } else {
+                    c.with_positive(lit.var())
+                }
             } else if c.neg_mask() & bit != 0 {
                 *c
             } else {
@@ -224,7 +247,10 @@ impl Cover {
             };
             cubes.push(cube);
         }
-        Cover { num_vars: self.num_vars, cubes }
+        Cover {
+            num_vars: self.num_vars,
+            cubes,
+        }
     }
 
     /// The cofactor cover `f|x_var=value`, with `var` removed from the
@@ -235,14 +261,20 @@ impl Cover {
             .iter()
             .filter_map(|c| c.restrict(var, value))
             .collect();
-        Cover { num_vars: self.num_vars - 1, cubes }
+        Cover {
+            num_vars: self.num_vars - 1,
+            cubes,
+        }
     }
 
     /// Embeds the cover into a space with an extra variable inserted at
     /// position `var`.
     pub fn insert_var(&self, var: usize) -> Cover {
         let cubes = self.cubes.iter().map(|c| c.insert_var(var)).collect();
-        Cover { num_vars: self.num_vars + 1, cubes }
+        Cover {
+            num_vars: self.num_vars + 1,
+            cubes,
+        }
     }
 
     /// A compact algebraic rendering, e.g. `x0 x1 + !x0 !x1`.
@@ -334,7 +366,13 @@ mod tests {
     #[test]
     fn arity_mismatch_is_error() {
         let err = Cover::from_cubes(3, vec![Cube::universe(2)]).unwrap_err();
-        assert!(matches!(err, LogicError::CubeArityMismatch { expected: 3, found: 2 }));
+        assert!(matches!(
+            err,
+            LogicError::CubeArityMismatch {
+                expected: 3,
+                found: 2
+            }
+        ));
     }
 
     #[test]

@@ -28,17 +28,26 @@ pub struct Literal {
 impl Literal {
     /// The positive literal `x_var`.
     pub fn positive(var: usize) -> Self {
-        Literal { var: var as u32, positive: true }
+        Literal {
+            var: var as u32,
+            positive: true,
+        }
     }
 
     /// The negative literal `!x_var`.
     pub fn negative(var: usize) -> Self {
-        Literal { var: var as u32, positive: false }
+        Literal {
+            var: var as u32,
+            positive: false,
+        }
     }
 
     /// Creates a literal with an explicit polarity.
     pub fn new(var: usize, positive: bool) -> Self {
-        Literal { var: var as u32, positive }
+        Literal {
+            var: var as u32,
+            positive,
+        }
     }
 
     /// The variable index.
@@ -53,7 +62,10 @@ impl Literal {
 
     /// The same variable with opposite polarity.
     pub fn complement(&self) -> Self {
-        Literal { var: self.var, positive: !self.positive }
+        Literal {
+            var: self.var,
+            positive: !self.positive,
+        }
     }
 
     /// Evaluates the literal under minterm `m` (bit `i` of `m` = variable `i`).
@@ -100,7 +112,11 @@ impl Cube {
     /// Panics if `num_vars > 64`.
     pub fn universe(num_vars: usize) -> Self {
         assert!(num_vars <= 64, "cube supports at most 64 variables");
-        Cube { num_vars, pos: 0, neg: 0 }
+        Cube {
+            num_vars,
+            pos: 0,
+            neg: 0,
+        }
     }
 
     /// Builds a cube from positive/negative literal masks.
@@ -112,7 +128,11 @@ impl Cube {
     /// variable `>= num_vars`.
     pub fn from_masks(num_vars: usize, pos: u64, neg: u64) -> Result<Self, LogicError> {
         assert!(num_vars <= 64, "cube supports at most 64 variables");
-        let var_mask = if num_vars == 64 { u64::MAX } else { (1u64 << num_vars) - 1 };
+        let var_mask = if num_vars == 64 {
+            u64::MAX
+        } else {
+            (1u64 << num_vars) - 1
+        };
         if (pos | neg) & !var_mask != 0 {
             return Err(LogicError::VarOutOfRange {
                 var: 63 - ((pos | neg) & !var_mask).leading_zeros() as usize,
@@ -120,7 +140,9 @@ impl Cube {
             });
         }
         if pos & neg != 0 {
-            return Err(LogicError::ContradictoryCube { var: (pos & neg).trailing_zeros() as usize });
+            return Err(LogicError::ContradictoryCube {
+                var: (pos & neg).trailing_zeros() as usize,
+            });
         }
         Ok(Cube { num_vars, pos, neg })
     }
@@ -135,7 +157,10 @@ impl Cube {
         let mut neg = 0u64;
         for l in lits {
             if l.var() >= num_vars {
-                return Err(LogicError::VarOutOfRange { var: l.var(), num_vars });
+                return Err(LogicError::VarOutOfRange {
+                    var: l.var(),
+                    num_vars,
+                });
             }
             if l.is_positive() {
                 pos |= 1 << l.var();
@@ -148,8 +173,16 @@ impl Cube {
 
     /// The cube covering exactly minterm `m`.
     pub fn from_minterm(num_vars: usize, m: u64) -> Self {
-        let var_mask = if num_vars == 64 { u64::MAX } else { (1u64 << num_vars) - 1 };
-        Cube { num_vars, pos: m & var_mask, neg: !m & var_mask }
+        let var_mask = if num_vars == 64 {
+            u64::MAX
+        } else {
+            (1u64 << num_vars) - 1
+        };
+        Cube {
+            num_vars,
+            pos: m & var_mask,
+            neg: !m & var_mask,
+        }
     }
 
     /// Returns this cube with the positive literal `x_var` added.
@@ -159,8 +192,14 @@ impl Cube {
     /// Panics if the variable is out of range or already negated.
     pub fn with_positive(self, var: usize) -> Self {
         assert!(var < self.num_vars, "variable {var} out of range");
-        assert!(self.neg & (1 << var) == 0, "variable {var} already negative");
-        Cube { pos: self.pos | (1 << var), ..self }
+        assert!(
+            self.neg & (1 << var) == 0,
+            "variable {var} already negative"
+        );
+        Cube {
+            pos: self.pos | (1 << var),
+            ..self
+        }
     }
 
     /// Returns this cube with the negative literal `!x_var` added.
@@ -170,8 +209,14 @@ impl Cube {
     /// Panics if the variable is out of range or already positive.
     pub fn with_negative(self, var: usize) -> Self {
         assert!(var < self.num_vars, "variable {var} out of range");
-        assert!(self.pos & (1 << var) == 0, "variable {var} already positive");
-        Cube { neg: self.neg | (1 << var), ..self }
+        assert!(
+            self.pos & (1 << var) == 0,
+            "variable {var} already positive"
+        );
+        Cube {
+            neg: self.neg | (1 << var),
+            ..self
+        }
     }
 
     /// Number of variables in the cube's space.
@@ -376,7 +421,10 @@ mod tests {
         ));
         assert!(matches!(
             Cube::from_masks(3, 0b1000, 0),
-            Err(LogicError::VarOutOfRange { var: 3, num_vars: 3 })
+            Err(LogicError::VarOutOfRange {
+                var: 3,
+                num_vars: 3
+            })
         ));
     }
 
@@ -398,7 +446,10 @@ mod tests {
 
     #[test]
     fn shared_literals_same_polarity_only() {
-        let a = Cube::universe(4).with_positive(0).with_negative(1).with_positive(2);
+        let a = Cube::universe(4)
+            .with_positive(0)
+            .with_negative(1)
+            .with_positive(2);
         let b = Cube::universe(4).with_positive(0).with_positive(1);
         let shared = a.shared_literals(&b);
         assert_eq!(shared, vec![Literal::positive(0)]);
@@ -449,6 +500,9 @@ mod tests {
     #[test]
     fn literals_listing() {
         let c = Cube::universe(3).with_negative(0).with_positive(2);
-        assert_eq!(c.literals(), vec![Literal::negative(0), Literal::positive(2)]);
+        assert_eq!(
+            c.literals(),
+            vec![Literal::negative(0), Literal::positive(2)]
+        );
     }
 }

@@ -64,8 +64,7 @@ pub fn shared_literal_grid(f_cover: &Cover, dual: &Cover) -> Option<Vec<Vec<Cube
             let lits = p.shared_literals(q);
             let lit = *lits.first()?;
             row.push(
-                Cube::from_literals(num_vars, &[lit])
-                    .expect("single literal cube is always valid"),
+                Cube::from_literals(num_vars, &[lit]).expect("single literal cube is always valid"),
             );
         }
         grid.push(row);

@@ -88,7 +88,10 @@ impl fmt::Display for LogicError {
                 write!(f, "pla parse error at line {line}: {message}")
             }
             LogicError::TooManyVariables { requested, max } => {
-                write!(f, "{requested} variables requested, at most {max} supported")
+                write!(
+                    f,
+                    "{requested} variables requested, at most {max} supported"
+                )
             }
         }
     }
@@ -102,9 +105,15 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = LogicError::MintermOutOfRange { minterm: 9, num_vars: 3 };
+        let e = LogicError::MintermOutOfRange {
+            minterm: 9,
+            num_vars: 3,
+        };
         assert_eq!(e.to_string(), "minterm 9 out of range for 3 variables");
-        let e = LogicError::ParseExpr { position: 4, message: "unexpected token".into() };
+        let e = LogicError::ParseExpr {
+            position: 4,
+            message: "unexpected token".into(),
+        };
         assert!(e.to_string().contains("byte 4"));
     }
 

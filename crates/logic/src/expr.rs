@@ -98,7 +98,10 @@ impl Expr {
     /// exceeds [`MAX_VARS`].
     pub fn to_truth_table(&self, num_vars: usize) -> TruthTable {
         if let Some(mv) = self.max_var() {
-            assert!(mv < num_vars, "expression uses x{mv}, arity {num_vars} too small");
+            assert!(
+                mv < num_vars,
+                "expression uses x{mv}, arity {num_vars} too small"
+            );
         }
         assert!(num_vars <= MAX_VARS, "too many variables");
         TruthTable::from_fn(num_vars, |m| self.eval(m))
@@ -116,16 +119,32 @@ impl fmt::Display for Expr {
             },
             Expr::And(a, b) => {
                 let wrap = |e: &Expr| matches!(e, Expr::Or(..) | Expr::Xor(..));
-                if wrap(a) { write!(f, "({a})")?; } else { write!(f, "{a}")?; }
+                if wrap(a) {
+                    write!(f, "({a})")?;
+                } else {
+                    write!(f, "{a}")?;
+                }
                 write!(f, " ")?;
-                if wrap(b) { write!(f, "({b})") } else { write!(f, "{b}") }
+                if wrap(b) {
+                    write!(f, "({b})")
+                } else {
+                    write!(f, "{b}")
+                }
             }
             Expr::Or(a, b) => write!(f, "{a} + {b}"),
             Expr::Xor(a, b) => {
                 let wrap = |e: &Expr| matches!(e, Expr::Or(..));
-                if wrap(a) { write!(f, "({a})")?; } else { write!(f, "{a}")?; }
+                if wrap(a) {
+                    write!(f, "({a})")?;
+                } else {
+                    write!(f, "{a}")?;
+                }
                 write!(f, " ^ ")?;
-                if wrap(b) { write!(f, "({b})") } else { write!(f, "{b}") }
+                if wrap(b) {
+                    write!(f, "({b})")
+                } else {
+                    write!(f, "{b}")
+                }
             }
         }
     }
@@ -162,7 +181,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> LogicError {
-        LogicError::ParseExpr { position: self.pos, message: message.into() }
+        LogicError::ParseExpr {
+            position: self.pos,
+            message: message.into(),
+        }
     }
 
     fn parse_or(&mut self) -> Result<Expr, LogicError> {
@@ -200,7 +222,13 @@ impl<'a> Parser<'a> {
                     let rhs = self.parse_unary()?;
                     lhs = Expr::And(Box::new(lhs), Box::new(rhs));
                 }
-                Some(c) if c == b'(' || c == b'!' || c == b'~' || c.is_ascii_alphanumeric() || c == b'_' => {
+                Some(c)
+                    if c == b'('
+                        || c == b'!'
+                        || c == b'~'
+                        || c.is_ascii_alphanumeric()
+                        || c == b'_' =>
+                {
                     let rhs = self.parse_unary()?;
                     lhs = Expr::And(Box::new(lhs), Box::new(rhs));
                 }
@@ -222,7 +250,9 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_atom(&mut self) -> Result<Expr, LogicError> {
-        let c = self.peek().ok_or_else(|| self.err("unexpected end of input"))?;
+        let c = self
+            .peek()
+            .ok_or_else(|| self.err("unexpected end of input"))?;
         let mut expr = match c {
             b'(' => {
                 self.pos += 1;
@@ -244,7 +274,8 @@ impl<'a> Parser<'a> {
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = self.pos;
                 while self.pos < self.bytes.len()
-                    && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+                    && (self.bytes[self.pos].is_ascii_alphanumeric()
+                        || self.bytes[self.pos] == b'_')
                 {
                     self.pos += 1;
                 }
@@ -301,7 +332,10 @@ impl<'a> Parser<'a> {
             self.names.len()
         };
         if idx >= MAX_VARS {
-            return Err(LogicError::TooManyVariables { requested: idx + 1, max: MAX_VARS });
+            return Err(LogicError::TooManyVariables {
+                requested: idx + 1,
+                max: MAX_VARS,
+            });
         }
         while self.names.len() <= idx {
             self.names.push(String::new());
@@ -421,9 +455,18 @@ mod tests {
 
     #[test]
     fn error_reporting() {
-        assert!(matches!(parse_function("x0 +"), Err(LogicError::ParseExpr { .. })));
-        assert!(matches!(parse_function("(x0"), Err(LogicError::ParseExpr { .. })));
-        assert!(matches!(parse_function("x0 ) x1"), Err(LogicError::ParseExpr { .. })));
+        assert!(matches!(
+            parse_function("x0 +"),
+            Err(LogicError::ParseExpr { .. })
+        ));
+        assert!(matches!(
+            parse_function("(x0"),
+            Err(LogicError::ParseExpr { .. })
+        ));
+        assert!(matches!(
+            parse_function("x0 ) x1"),
+            Err(LogicError::ParseExpr { .. })
+        ));
         assert!(parse_function("x0 @ x1").is_err());
     }
 

@@ -35,8 +35,15 @@ use crate::truth_table::TruthTable;
 /// # Ok::<(), nanoxbar_logic::LogicError>(())
 /// ```
 pub fn isop(lower: &TruthTable, upper: &TruthTable) -> Cover {
-    assert_eq!(lower.num_vars(), upper.num_vars(), "interval arity mismatch");
-    assert!(lower.implies(upper), "invalid interval: L not contained in U");
+    assert_eq!(
+        lower.num_vars(),
+        upper.num_vars(),
+        "interval arity mismatch"
+    );
+    assert!(
+        lower.implies(upper),
+        "invalid interval: L not contained in U"
+    );
     let num_vars = lower.num_vars();
     let cubes = isop_rec(lower, upper, num_vars);
     Cover::from_cubes(num_vars, cubes).expect("cubes constructed with cover arity")
@@ -175,7 +182,9 @@ mod tests {
         let mut state = 0x243F6A8885A308D3u64;
         for n in 1..=6 {
             for _ in 0..40 {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let bits = state;
                 let f = TruthTable::from_fn(n, |m| (bits >> (m % 64)) & 1 == 1);
                 let cover = check_isop(&f, &f);

@@ -59,4 +59,4 @@ pub use dual::{check_shared_literal_lemma, dual_cover, shared_literal_grid};
 pub use error::LogicError;
 pub use expr::{parse_function, Expr};
 pub use isop::{isop, isop_cover};
-pub use truth_table::{Minterms, TruthTable, MAX_VARS};
+pub use truth_table::{tail_mask, variable_word, word_len, Minterms, TruthTable, MAX_VARS};

@@ -22,7 +22,10 @@ pub struct EspressoOptions {
 
 impl Default for EspressoOptions {
     fn default() -> Self {
-        EspressoOptions { max_passes: 8, final_containment: true }
+        EspressoOptions {
+            max_passes: 8,
+            final_containment: true,
+        }
     }
 }
 
@@ -151,9 +154,9 @@ fn irredundant(cover: &Cover, on: &TruthTable) -> Cover {
     let mut i = 0;
     while i < cubes.len() {
         let candidate = cubes.remove(i);
-        let still_covered = on.minterms().all(|m| {
-            !candidate.contains_minterm(m) || cubes.iter().any(|c| c.contains_minterm(m))
-        });
+        let still_covered = on
+            .minterms()
+            .all(|m| !candidate.contains_minterm(m) || cubes.iter().any(|c| c.contains_minterm(m)));
         if !still_covered {
             cubes.insert(i, candidate);
             i += 1;
@@ -204,7 +207,11 @@ mod tests {
     use crate::minimize::{quine_mccluskey, MinimizeObjective};
 
     fn run(f: &TruthTable) -> Cover {
-        espresso(f, &TruthTable::zeros(f.num_vars()), &EspressoOptions::default())
+        espresso(
+            f,
+            &TruthTable::zeros(f.num_vars()),
+            &EspressoOptions::default(),
+        )
     }
 
     #[test]
@@ -249,7 +256,9 @@ mod tests {
         // within one product of QM and *never* below (QM is optimal).
         let mut state = 0x0123456789ABCDEFu64;
         for _ in 0..60 {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             let bits = state;
             let f = TruthTable::from_fn(4, |m| (bits >> (m % 64)) & 1 == 1);
             let h = run(&f);

@@ -123,8 +123,7 @@ pub fn minimize_multi_output(targets: &[TruthTable]) -> MultiCover {
     let outputs: Vec<Cover> = assignment
         .iter()
         .map(|idxs| {
-            Cover::from_cubes(n, idxs.iter().map(|&i| pool[i]).collect())
-                .expect("uniform arity")
+            Cover::from_cubes(n, idxs.iter().map(|&i| pool[i]).collect()).expect("uniform arity")
         })
         .collect();
     let products: Vec<Cube> = chosen.iter().map(|&i| pool[i]).collect();
@@ -159,7 +158,11 @@ mod tests {
         let targets = [f.clone(), g.clone(), h.clone()];
         let multi = minimize_multi_output(&targets);
         let separate: usize = targets.iter().map(|t| isop_cover(t).product_count()).sum();
-        assert!(multi.product_rows() < separate, "{} vs {separate}", multi.product_rows());
+        assert!(
+            multi.product_rows() < separate,
+            "{} vs {separate}",
+            multi.product_rows()
+        );
     }
 
     #[test]

@@ -252,7 +252,9 @@ fn branch(
 
     for &p in &covers_of[mi] {
         chosen.push(p);
-        branch(residual, covers_of, primes, minterms, chosen, best, cost, budget);
+        branch(
+            residual, covers_of, primes, minterms, chosen, best, cost, budget,
+        );
         chosen.pop();
     }
 }
@@ -275,7 +277,11 @@ mod tests {
     use crate::expr::parse_function;
 
     fn exact(f: &TruthTable) -> Cover {
-        quine_mccluskey(f, &TruthTable::zeros(f.num_vars()), MinimizeObjective::default())
+        quine_mccluskey(
+            f,
+            &TruthTable::zeros(f.num_vars()),
+            MinimizeObjective::default(),
+        )
     }
 
     #[test]
@@ -305,7 +311,10 @@ mod tests {
         assert!(primes.iter().any(|p| p.literal_count() == 1));
         let care = on.or(&dc);
         for p in &primes {
-            assert!(p.to_truth_table().implies(&care), "prime {p} leaves care set");
+            assert!(
+                p.to_truth_table().implies(&care),
+                "prime {p} leaves care set"
+            );
         }
     }
 
@@ -349,9 +358,9 @@ mod tests {
             if (mask.count_ones() as usize) >= best {
                 continue;
             }
-            let ok = minterms.iter().all(|&m| {
-                (0..k).any(|i| (mask >> i) & 1 == 1 && primes[i].contains_minterm(m))
-            });
+            let ok = minterms
+                .iter()
+                .all(|&m| (0..k).any(|i| (mask >> i) & 1 == 1 && primes[i].contains_minterm(m)));
             if ok {
                 best = mask.count_ones() as usize;
             }
@@ -362,11 +371,7 @@ mod tests {
     #[test]
     fn literal_objective_prefers_fewer_literals() {
         let f = parse_function("x0 x1 + !x0 x2 + x1 x2").unwrap();
-        let by_lits = quine_mccluskey(
-            &f,
-            &TruthTable::zeros(3),
-            MinimizeObjective::FewestLiterals,
-        );
+        let by_lits = quine_mccluskey(&f, &TruthTable::zeros(3), MinimizeObjective::FewestLiterals);
         assert!(by_lits.computes(&f));
         assert_eq!(by_lits.product_count(), 2);
         assert_eq!(by_lits.literal_count(), 4);

@@ -32,7 +32,12 @@ impl Pla {
     ///
     /// Panics if the PLA has more than one output.
     pub fn single_output(&self) -> &Cover {
-        assert_eq!(self.outputs.len(), 1, "PLA has {} outputs", self.outputs.len());
+        assert_eq!(
+            self.outputs.len(),
+            1,
+            "PLA has {} outputs",
+            self.outputs.len()
+        );
         &self.outputs[0]
     }
 }
@@ -90,7 +95,10 @@ pub fn parse_pla(text: &str) -> Result<Pla, LogicError> {
                         .and_then(|s| s.parse().ok())
                         .ok_or_else(|| err(line_num, "malformed .i"))?;
                     if v > 64 {
-                        return Err(LogicError::TooManyVariables { requested: v, max: 64 });
+                        return Err(LogicError::TooManyVariables {
+                            requested: v,
+                            max: 64,
+                        });
                     }
                     num_inputs = Some(v);
                 }
@@ -134,8 +142,7 @@ pub fn parse_pla(text: &str) -> Result<Pla, LogicError> {
                 }
             }
         }
-        let cube = Cube::from_masks(ni, pos, neg)
-            .map_err(|e| err(line_num, &e.to_string()))?;
+        let cube = Cube::from_masks(ni, pos, neg).map_err(|e| err(line_num, &e.to_string()))?;
         rows.push((cube, compact[ni..].to_vec()));
     }
 
@@ -155,7 +162,12 @@ pub fn parse_pla(text: &str) -> Result<Pla, LogicError> {
         }
     }
 
-    Ok(Pla { num_inputs: ni, input_labels, output_labels, outputs })
+    Ok(Pla {
+        num_inputs: ni,
+        input_labels,
+        output_labels,
+        outputs,
+    })
 }
 
 /// Serialises a single-output cover to PLA text.

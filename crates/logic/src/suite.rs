@@ -26,7 +26,11 @@ pub struct BenchFunction {
 
 impl BenchFunction {
     fn new(name: &str, table: TruthTable) -> Self {
-        BenchFunction { name: name.to_string(), num_vars: table.num_vars(), table }
+        BenchFunction {
+            name: name.to_string(),
+            num_vars: table.num_vars(),
+            table,
+        }
     }
 }
 
@@ -92,8 +96,8 @@ pub fn paper_fig4() -> TruthTable {
 pub fn seven_segment() -> Vec<TruthTable> {
     // Segment patterns gfedcba for digits 0..9.
     const DIGITS: [u8; 10] = [
-        0b0111111, 0b0000110, 0b1011011, 0b1001111, 0b1100110, 0b1101101,
-        0b1111101, 0b0000111, 0b1111111, 0b1101111,
+        0b0111111, 0b0000110, 0b1011011, 0b1001111, 0b1100110, 0b1101101, 0b1111101, 0b0000111,
+        0b1111111, 0b1101111,
     ];
     (0..7)
         .map(|seg| {
@@ -144,7 +148,10 @@ pub fn random_function(n: usize, density: f64, seed: u64) -> TruthTable {
 /// Returns [`LogicError::VarOutOfRange`] if `codim >= n`.
 pub fn d_reducible_function(n: usize, codim: usize, seed: u64) -> Result<TruthTable, LogicError> {
     if codim >= n {
-        return Err(LogicError::VarOutOfRange { var: codim, num_vars: n });
+        return Err(LogicError::VarOutOfRange {
+            var: codim,
+            num_vars: n,
+        });
     }
     let mut rng = SplitMix64::new(seed.wrapping_add(0x9E3779B97F4A7C15));
     // Build `codim` independent linear constraints a·x = b over GF(2):
@@ -186,16 +193,16 @@ pub fn standard_suite() -> Vec<BenchFunction> {
         BenchFunction::new("add2_carry", adder_carry(2)),
         BenchFunction::new("add3_carry", adder_carry(3)),
         BenchFunction::new("add2_sum1", adder_sum_bit(2, 1)),
-        BenchFunction::new(
-            "onehot4",
-            TruthTable::from_fn(4, |m| m.count_ones() == 1),
-        ),
+        BenchFunction::new("onehot4", TruthTable::from_fn(4, |m| m.count_ones() == 1)),
         BenchFunction::new(
             "sym6_234",
             TruthTable::from_fn(6, |m| (2..=4).contains(&m.count_ones())),
         ),
     ];
-    for (i, &(n, p)) in [(4usize, 3usize), (5, 4), (6, 5), (7, 6), (8, 8)].iter().enumerate() {
+    for (i, &(n, p)) in [(4usize, 3usize), (5, 4), (6, 5), (7, 6), (8, 8)]
+        .iter()
+        .enumerate()
+    {
         let cover = random_sop(n, p, 0xBEEF + i as u64);
         out.push(BenchFunction::new(
             &format!("rand{n}v{p}p"),

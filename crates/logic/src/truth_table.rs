@@ -36,7 +36,11 @@ pub struct TruthTable {
 }
 
 /// Number of `u64` words needed for `num_vars` inputs.
-fn words_for(num_vars: usize) -> usize {
+///
+/// This is the unit of the workspace's word-parallel engines: word `w`
+/// holds minterms `64*w .. 64*w + 63`, minterm `m` living at bit `m & 63`
+/// of word `m >> 6`.
+pub fn word_len(num_vars: usize) -> usize {
     if num_vars >= 6 {
         1 << (num_vars - 6)
     } else {
@@ -44,12 +48,44 @@ fn words_for(num_vars: usize) -> usize {
     }
 }
 
-/// Mask selecting the valid bits of the final word for tables with < 6 vars.
-fn tail_mask(num_vars: usize) -> u64 {
+/// Mask selecting the valid bits of the final word for tables with < 6
+/// vars (all-ones for 6+ vars, where every word is fully populated).
+pub fn tail_mask(num_vars: usize) -> u64 {
     if num_vars >= 6 {
         u64::MAX
     } else {
         (1u64 << (1 << num_vars)) - 1
+    }
+}
+
+/// Bit patterns of the variables `x0..x5` within one 64-minterm word:
+/// `LOW_VAR_WORDS[v]` has bit `m` set exactly when bit `v` of `m` is set.
+const LOW_VAR_WORDS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// The 64-minterm slice of variable `var`'s truth table at word index
+/// `word`: bit `i` is set exactly when variable `var` is true under
+/// minterm `64*word + i`.
+///
+/// Variables 0–5 toggle *within* a word (fixed bit patterns); variables 6+
+/// select whole words, so the slice is all-ones or all-zeros depending on
+/// bit `var - 6` of `word`. This is the primitive the word-parallel
+/// lattice and fault-simulation engines build their per-site masks from:
+/// `TruthTable::variable(n, v).words()[w] == variable_word(v, w)` (up to
+/// the tail mask for `n < 6`).
+pub fn variable_word(var: usize, word: usize) -> u64 {
+    if var < 6 {
+        LOW_VAR_WORDS[var]
+    } else if (word >> (var - 6)) & 1 == 1 {
+        u64::MAX
+    } else {
+        0
     }
 }
 
@@ -63,7 +99,7 @@ impl TruthTable {
         assert!(num_vars <= MAX_VARS, "too many variables: {num_vars}");
         TruthTable {
             num_vars,
-            words: vec![0; words_for(num_vars)],
+            words: vec![0; word_len(num_vars)],
         }
     }
 
@@ -98,7 +134,10 @@ impl TruthTable {
         let mut tt = Self::zeros(num_vars);
         for &m in minterms {
             if m >= (1u64 << num_vars) {
-                return Err(LogicError::MintermOutOfRange { minterm: m, num_vars });
+                return Err(LogicError::MintermOutOfRange {
+                    minterm: m,
+                    num_vars,
+                });
             }
             tt.set(m, true);
         }
@@ -111,13 +150,41 @@ impl TruthTable {
     ///
     /// Panics if `var >= num_vars`.
     pub fn variable(num_vars: usize, var: usize) -> Self {
-        assert!(var < num_vars, "variable {var} out of range for {num_vars} inputs");
+        assert!(
+            var < num_vars,
+            "variable {var} out of range for {num_vars} inputs"
+        );
         Self::from_fn(num_vars, |m| (m >> var) & 1 == 1)
     }
 
     /// Number of input variables.
     pub fn num_vars(&self) -> usize {
         self.num_vars
+    }
+
+    /// The packed 64-minterm words, LSB-first: bit `m & 63` of word
+    /// `m >> 6` is the function's value on minterm `m`. Bits beyond
+    /// `2^num_vars` (only possible in the single word of a `< 6`-var
+    /// table) are always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Builds a table directly from packed words (the inverse of
+    /// [`TruthTable::words`]). Bits beyond `2^num_vars` are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > MAX_VARS` or `words.len() != word_len(num_vars)`.
+    pub fn from_words(num_vars: usize, mut words: Vec<u64>) -> Self {
+        assert!(num_vars <= MAX_VARS, "too many variables: {num_vars}");
+        assert_eq!(
+            words.len(),
+            word_len(num_vars),
+            "word count mismatch for {num_vars} vars"
+        );
+        *words.last_mut().expect("at least one word") &= tail_mask(num_vars);
+        TruthTable { num_vars, words }
     }
 
     /// Number of minterms (`2^num_vars`).
@@ -194,7 +261,10 @@ impl TruthTable {
             .zip(&other.words)
             .map(|(&a, &b)| f(a, b))
             .collect();
-        let mut out = TruthTable { num_vars: self.num_vars, words };
+        let mut out = TruthTable {
+            num_vars: self.num_vars,
+            words,
+        };
         *out.words.last_mut().expect("at least one word") &= tail_mask(self.num_vars);
         out
     }
@@ -407,7 +477,13 @@ mod tests {
     fn from_minterms_checks_range() {
         assert!(TruthTable::from_minterms(2, &[0, 3]).is_ok());
         let err = TruthTable::from_minterms(2, &[4]).unwrap_err();
-        assert!(matches!(err, LogicError::MintermOutOfRange { minterm: 4, num_vars: 2 }));
+        assert!(matches!(
+            err,
+            LogicError::MintermOutOfRange {
+                minterm: 4,
+                num_vars: 2
+            }
+        ));
     }
 
     #[test]
@@ -494,6 +570,50 @@ mod tests {
         let back = TruthTable::from_minterms(5, &ms).unwrap();
         assert_eq!(back, f);
         assert_eq!(ms.len() as u64, f.count_ones());
+    }
+
+    #[test]
+    fn words_roundtrip_and_layout() {
+        for n in [0usize, 2, 5, 6, 7, 9] {
+            let f = TruthTable::from_fn(n, |m| m.wrapping_mul(0x9E3779B9) & 4 != 0);
+            assert_eq!(f.words().len(), word_len(n));
+            let back = TruthTable::from_words(n, f.words().to_vec());
+            assert_eq!(back, f);
+            // Bit m&63 of word m>>6 is the value on minterm m.
+            for m in 0..f.num_minterms() {
+                let bit = (f.words()[(m >> 6) as usize] >> (m & 63)) & 1 == 1;
+                assert_eq!(bit, f.value(m));
+            }
+        }
+    }
+
+    #[test]
+    fn from_words_masks_tail() {
+        let t = TruthTable::from_words(2, vec![u64::MAX]);
+        assert_eq!(t, TruthTable::ones(2));
+        assert_eq!(t.count_ones(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn from_words_checks_length() {
+        let _ = TruthTable::from_words(7, vec![0; 1]);
+    }
+
+    #[test]
+    fn variable_word_matches_variable_tables() {
+        for n in [3usize, 6, 8, 9] {
+            for v in 0..n {
+                let table = TruthTable::variable(n, v);
+                for (w, &word) in table.words().iter().enumerate() {
+                    assert_eq!(
+                        word,
+                        variable_word(v, w) & tail_mask(n),
+                        "n={n} v={v} w={w}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

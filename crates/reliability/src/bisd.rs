@@ -17,7 +17,7 @@
 use nanoxbar_crossbar::{ArraySize, Crossbar};
 
 use crate::defect::{CrosspointHealth, DefectMap};
-use crate::fsim::{simulate_with_defects, TestVector};
+use crate::fsim::{golden_rows, simulate_with_defects, TestVector};
 
 /// A diagnosis plan for one fabric size.
 #[derive(Clone, Debug)]
@@ -90,7 +90,12 @@ impl DiagnosisPlan {
             v[c] = false;
             vectors.push(v);
         }
-        DiagnosisPlan { size, code_configs, type_config, vectors }
+        DiagnosisPlan {
+            size,
+            code_configs,
+            type_config,
+            vectors,
+        }
     }
 
     /// Total configurations (the paper's logarithmic count).
@@ -103,13 +108,14 @@ impl DiagnosisPlan {
         self.size
     }
 
-    /// Pass/fail outcome of one configuration on a defective chip.
+    /// Pass/fail outcome of one configuration on a defective chip. On a
+    /// healthy chip every device behaves as programmed, so the expected
+    /// response is the plain fault-free simulation — no per-call healthy
+    /// [`DefectMap`] needs to be allocated and scanned.
     fn fails(&self, config: &Crossbar, defects: &DefectMap) -> bool {
-        let healthy = DefectMap::healthy(self.size);
-        self.vectors.iter().any(|v| {
-            simulate_with_defects(config, defects, v)
-                != simulate_with_defects(config, &healthy, v)
-        })
+        self.vectors
+            .iter()
+            .any(|v| simulate_with_defects(config, defects, v) != golden_rows(config, v))
     }
 
     /// Runs the plan against a chip and decodes the syndrome.
@@ -156,7 +162,11 @@ mod tests {
                     let got = plan.diagnose(&defects);
                     assert_eq!(
                         got,
-                        Diagnosis::Faulty { row: r, col: c, health },
+                        Diagnosis::Faulty {
+                            row: r,
+                            col: c,
+                            health
+                        },
                         "failed to diagnose {health:?} at ({r},{c}) on {size}"
                     );
                 }
@@ -188,7 +198,11 @@ mod tests {
             (ArraySize::new(32, 32), 11 + 1),
         ];
         for (size, expect) in cases {
-            assert_eq!(DiagnosisPlan::generate(size).config_count(), expect, "{size}");
+            assert_eq!(
+                DiagnosisPlan::generate(size).config_count(),
+                expect,
+                "{size}"
+            );
         }
     }
 

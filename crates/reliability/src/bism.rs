@@ -63,7 +63,10 @@ impl Application {
                     .collect()
             })
             .collect();
-        Application { columns: (0..literals.len()).collect(), products }
+        Application {
+            columns: (0..literals.len()).collect(),
+            products,
+        }
     }
 
     /// The same application routed through different physical columns
@@ -74,7 +77,10 @@ impl Application {
     /// Panics if fewer physical columns are supplied than logical literals
     /// exist.
     pub fn with_columns(&self, physical: &[usize]) -> Self {
-        assert!(physical.len() >= self.columns.len(), "not enough physical columns");
+        assert!(
+            physical.len() >= self.columns.len(),
+            "not enough physical columns"
+        );
         Application {
             columns: physical[..self.columns.len()].to_vec(),
             products: self.products.clone(),
@@ -382,7 +388,10 @@ mod tests {
         let c = app.physical_needs(1)[1];
         chip.set(1, c, CrosspointHealth::StuckOpen);
         let found = application_bisd(&app, &vec![0, 1], &chip);
-        assert!(found.contains(&(1, c, CrosspointHealth::StuckOpen)), "{found:?}");
+        assert!(
+            found.contains(&(1, c, CrosspointHealth::StuckOpen)),
+            "{found:?}"
+        );
     }
 
     #[test]
@@ -390,8 +399,7 @@ mod tests {
         let app = xnor_app();
         let mut chip = DefectMap::healthy(ArraySize::new(4, 4));
         // A stuck-closed device on a driven-but-unneeded column of a used row.
-        let needed: std::collections::HashSet<usize> =
-            app.physical_needs(0).into_iter().collect();
+        let needed: std::collections::HashSet<usize> = app.physical_needs(0).into_iter().collect();
         let c = app
             .columns
             .iter()
@@ -400,7 +408,10 @@ mod tests {
             .unwrap();
         chip.set(0, c, CrosspointHealth::StuckClosed);
         let found = application_bisd(&app, &vec![0, 1], &chip);
-        assert!(found.contains(&(0, c, CrosspointHealth::StuckClosed)), "{found:?}");
+        assert!(
+            found.contains(&(0, c, CrosspointHealth::StuckClosed)),
+            "{found:?}"
+        );
     }
 
     #[test]
@@ -444,7 +455,13 @@ mod tests {
         let size = ArraySize::new(8, 8);
         // A chip nasty enough that blind rarely wins instantly.
         let chip = DefectMap::random_uniform(size, 0.25, 0.05, 77);
-        let stats = run_bism(&app, &chip, BismStrategy::Hybrid { blind_retries: 3 }, 500, 3);
+        let stats = run_bism(
+            &app,
+            &chip,
+            BismStrategy::Hybrid { blind_retries: 3 },
+            500,
+            3,
+        );
         if stats.success && stats.attempts > 3 {
             assert!(stats.bisd_runs > 0, "greedy phase must have engaged");
         }

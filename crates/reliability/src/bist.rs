@@ -21,7 +21,7 @@
 use nanoxbar_crossbar::{ArraySize, Crossbar};
 
 use crate::fault::{fault_universe, FabricFault};
-use crate::fsim::{detects, TestVector};
+use crate::fsim::{detects_with_golden, golden_rows, PackedSim, PackedVectors, TestVector};
 
 /// One test configuration plus its stimulus set.
 #[derive(Clone, Debug)]
@@ -158,15 +158,55 @@ impl TestPlan {
         self.configurations.iter().map(|c| c.vectors.len()).sum()
     }
 
-    /// True if some (configuration, vector) detects the fault.
+    /// True if some (configuration, vector) detects the fault. The golden
+    /// response of each (configuration, vector) pair is simulated once,
+    /// not once per comparison.
     pub fn detects_fault(&self, fault: FabricFault) -> bool {
-        self.configurations
-            .iter()
-            .any(|tc| tc.vectors.iter().any(|v| detects(&tc.config, fault, v)))
+        self.configurations.iter().any(|tc| {
+            tc.vectors
+                .iter()
+                .any(|v| detects_with_golden(&tc.config, fault, v, &golden_rows(&tc.config, v)))
+        })
     }
 
-    /// Exhaustive fault simulation over a fault universe.
+    /// Exhaustive fault simulation over a fault universe, on the
+    /// word-parallel path: per configuration the test vectors are packed
+    /// into column bitsets and the golden row words computed once
+    /// ([`PackedSim`]); each fault is then judged against all vectors at
+    /// once, skipping faults already detected by an earlier
+    /// configuration. Bit-identical to [`TestPlan::coverage_scalar`].
     pub fn coverage(&self, size: ArraySize, universe: &[FabricFault]) -> CoverageReport {
+        let _ = size;
+        let mut detected = vec![false; universe.len()];
+        for tc in &self.configurations {
+            let cols = tc.config.size().cols;
+            for packed in PackedVectors::pack(&tc.vectors, cols) {
+                let sim = PackedSim::new(&tc.config, &packed);
+                for (seen, &fault) in detected.iter_mut().zip(universe) {
+                    if !*seen && sim.detect_word(fault) != 0 {
+                        *seen = true;
+                    }
+                }
+            }
+        }
+        let undetected: Vec<FabricFault> = universe
+            .iter()
+            .zip(&detected)
+            .filter(|&(_, &seen)| !seen)
+            .map(|(&fault, _)| fault)
+            .collect();
+        CoverageReport {
+            total: universe.len(),
+            detected: universe.len() - undetected.len(),
+            undetected,
+        }
+    }
+
+    /// Scalar reference implementation of [`TestPlan::coverage`]: one
+    /// full array re-simulation per (fault, configuration, vector).
+    /// Kept as the ground truth the word-parallel path is verified
+    /// against (and benchmarked against in `benches/word_parallel.rs`).
+    pub fn coverage_scalar(&self, size: ArraySize, universe: &[FabricFault]) -> CoverageReport {
         let _ = size;
         let mut undetected = Vec::new();
         for &fault in universe {
@@ -263,9 +303,7 @@ mod tests {
             .find(|c| c.name.starts_with("single-term"))
             .unwrap();
         for r in 0..4 {
-            let term_of = |row: usize| {
-                (0..7).find(|&c| rot.config.is_programmed(row, c)).unwrap()
-            };
+            let term_of = |row: usize| (0..7).find(|&c| rot.config.is_programmed(row, c)).unwrap();
             assert_ne!(term_of(r), term_of(r + 1));
         }
     }

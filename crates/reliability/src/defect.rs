@@ -35,7 +35,10 @@ pub struct DefectMap {
 impl DefectMap {
     /// A fully healthy map.
     pub fn healthy(size: ArraySize) -> Self {
-        DefectMap { size, states: vec![CrosspointHealth::Good; size.area()] }
+        DefectMap {
+            size,
+            states: vec![CrosspointHealth::Good; size.area()],
+        }
     }
 
     /// Uniform Bernoulli defects: each crosspoint is stuck-open with
@@ -125,7 +128,10 @@ impl DefectMap {
     }
 
     fn idx(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.size.rows && col < self.size.cols, "({row},{col}) out of range");
+        assert!(
+            row < self.size.rows && col < self.size.cols,
+            "({row},{col}) out of range"
+        );
         row * self.size.cols + col
     }
 
@@ -151,7 +157,10 @@ impl DefectMap {
 
     /// Number of defective crosspoints.
     pub fn defect_count(&self) -> usize {
-        self.states.iter().filter(|&&s| s != CrosspointHealth::Good).count()
+        self.states
+            .iter()
+            .filter(|&&s| s != CrosspointHealth::Good)
+            .count()
     }
 
     /// Fraction of defective crosspoints.
@@ -188,8 +197,12 @@ mod tests {
         let d = m.defect_density();
         assert!((d - 0.10).abs() < 0.02, "density {d}");
         // Both kinds present.
-        assert!(m.defects().any(|(_, _, h)| h == CrosspointHealth::StuckOpen));
-        assert!(m.defects().any(|(_, _, h)| h == CrosspointHealth::StuckClosed));
+        assert!(m
+            .defects()
+            .any(|(_, _, h)| h == CrosspointHealth::StuckOpen));
+        assert!(m
+            .defects()
+            .any(|(_, _, h)| h == CrosspointHealth::StuckClosed));
     }
 
     #[test]

@@ -135,6 +135,9 @@ mod tests {
     #[test]
     fn kinds_are_labelled() {
         assert_eq!(FabricFault::RowOpen { row: 0 }.kind(), "row-open");
-        assert_eq!(FabricFault::StuckClosed { row: 0, col: 1 }.kind(), "stuck-closed");
+        assert_eq!(
+            FabricFault::StuckClosed { row: 0, col: 1 }.kind(),
+            "stuck-closed"
+        );
     }
 }

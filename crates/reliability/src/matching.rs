@@ -88,8 +88,7 @@ pub fn maximum_matching(graph: &Bipartite) -> Matching {
                 let advance = match pair_right[v] {
                     None => true,
                     Some(u2) => {
-                        dist[u2] == dist[u] + 1
-                            && dfs(u2, graph, dist, pair_left, pair_right)
+                        dist[u2] == dist[u] + 1 && dfs(u2, graph, dist, pair_left, pair_right)
                     }
                 };
                 if advance {
@@ -109,7 +108,11 @@ pub fn maximum_matching(graph: &Bipartite) -> Matching {
     }
 
     let size = pair_left.iter().filter(|p| p.is_some()).count();
-    Matching { pair_left, pair_right, size }
+    Matching {
+        pair_left,
+        pair_right,
+        size,
+    }
 }
 
 #[cfg(test)]
@@ -118,7 +121,10 @@ mod tests {
 
     #[test]
     fn perfect_matching_on_identity() {
-        let g = Bipartite { adj: (0..5).map(|i| vec![i]).collect(), right_size: 5 };
+        let g = Bipartite {
+            adj: (0..5).map(|i| vec![i]).collect(),
+            right_size: 5,
+        };
         let m = maximum_matching(&g);
         assert_eq!(m.size, 5);
         for (u, p) in m.pair_left.iter().enumerate() {
@@ -129,13 +135,19 @@ mod tests {
     #[test]
     fn hall_violation_limits_matching() {
         // Three lefts all restricted to the same two rights.
-        let g = Bipartite { adj: vec![vec![0, 1]; 3], right_size: 2 };
+        let g = Bipartite {
+            adj: vec![vec![0, 1]; 3],
+            right_size: 2,
+        };
         assert_eq!(maximum_matching(&g).size, 2);
     }
 
     #[test]
     fn empty_graph() {
-        let g = Bipartite { adj: vec![vec![], vec![]], right_size: 3 };
+        let g = Bipartite {
+            adj: vec![vec![], vec![]],
+            right_size: 3,
+        };
         assert_eq!(maximum_matching(&g).size, 0);
     }
 
@@ -173,7 +185,10 @@ mod tests {
                 }
                 let _ = u;
             }
-            let g = Bipartite { adj: adj.clone(), right_size: m };
+            let g = Bipartite {
+                adj: adj.clone(),
+                right_size: m,
+            };
             let hk = maximum_matching(&g).size;
             let brute = brute_force_matching(&adj, m);
             assert_eq!(hk, brute);

@@ -33,26 +33,47 @@ pub struct TransientModel {
 impl TransientModel {
     /// A symmetric model with equal drop/ghost rates.
     pub fn symmetric(p: f64) -> Self {
-        TransientModel { p_drop: p, p_ghost: p }
+        TransientModel {
+            p_drop: p,
+            p_ghost: p,
+        }
     }
 
     /// Evaluates `array` on minterm `m` with transient upsets drawn from
     /// `rng`.
     pub fn eval(&self, array: &DiodeArray, m: u64, rng: &mut ChaCha8Rng) -> bool {
+        let mut line = Vec::new();
+        self.eval_with_line(array, m, rng, &mut line)
+    }
+
+    /// [`TransientModel::eval`] with a caller-supplied scratch buffer for
+    /// the per-column literal values, so batched sweeps (Monte-Carlo
+    /// trials, redundant replicas) evaluate each literal once per input
+    /// instead of once per (row, column) visit and perform no per-call
+    /// allocation.
+    pub fn eval_with_line(
+        &self,
+        array: &DiodeArray,
+        m: u64,
+        rng: &mut ChaCha8Rng,
+        line: &mut Vec<bool>,
+    ) -> bool {
         let out_col = array.output_column();
         let grid = array.grid();
+        line.clear();
+        line.extend(array.column_literals().iter().map(|lit| lit.eval(m)));
         (0..grid.size().rows).any(|r| {
             if !grid.is_programmed(r, out_col) {
                 return false;
             }
-            array.column_literals().iter().enumerate().all(|(c, lit)| {
+            line.iter().enumerate().all(|(c, &value)| {
                 let programmed = grid.is_programmed(r, c);
                 let present = if programmed {
                     rng.gen::<f64>() >= self.p_drop
                 } else {
                     rng.gen::<f64>() < self.p_ghost
                 };
-                !present || lit.eval(m)
+                !present || value
             })
         })
     }
@@ -87,7 +108,10 @@ impl RedundantArray {
     ///
     /// Panics if `replicas` is zero or even (majority needs an odd count).
     pub fn new(array: DiodeArray, replicas: usize) -> Self {
-        assert!(replicas % 2 == 1, "majority voting needs an odd replica count");
+        assert!(
+            replicas % 2 == 1,
+            "majority voting needs an odd replica count"
+        );
         RedundantArray { array, replicas }
     }
 
@@ -105,27 +129,47 @@ impl RedundantArray {
     /// One voted evaluation under transient upsets (each replica draws
     /// independent upsets).
     pub fn eval(&self, model: &TransientModel, m: u64, rng: &mut ChaCha8Rng) -> bool {
+        let mut line = Vec::new();
+        self.eval_with_line(model, m, rng, &mut line)
+    }
+
+    /// [`RedundantArray::eval`] with a shared scratch buffer (the literal
+    /// values are recomputed per replica only because each replica's RNG
+    /// draws must stay independent; the buffer allocation is shared).
+    fn eval_with_line(
+        &self,
+        model: &TransientModel,
+        m: u64,
+        rng: &mut ChaCha8Rng,
+        line: &mut Vec<bool>,
+    ) -> bool {
         let votes = (0..self.replicas)
-            .filter(|_| model.eval(&self.array, m, rng))
+            .filter(|_| model.eval_with_line(&self.array, m, rng, line))
             .count();
         2 * votes > self.replicas
     }
 
     /// Monte-Carlo output error rates over `trials` random input/upset
     /// draws: `(simplex, voted)`.
+    ///
+    /// The golden responses are computed once for the whole sweep (one
+    /// word-parallel truth-table build) and the per-trial line buffer is
+    /// reused, so the loop's cost is purely the RNG draws the upset model
+    /// requires.
     pub fn error_rates(&self, model: &TransientModel, trials: u64, seed: u64) -> (f64, f64) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let golden = self.array.to_truth_table();
         let inputs = 1u64 << self.array.num_vars();
         let mut raw_errors = 0u64;
         let mut voted_errors = 0u64;
+        let mut line = Vec::new();
         for _ in 0..trials {
             let m = rng.gen_range(0..inputs);
             let expected = golden.value(m);
-            if model.eval(&self.array, m, &mut rng) != expected {
+            if model.eval_with_line(&self.array, m, &mut rng, &mut line) != expected {
                 raw_errors += 1;
             }
-            if self.eval(model, m, &mut rng) != expected {
+            if self.eval_with_line(model, m, &mut rng, &mut line) != expected {
                 voted_errors += 1;
             }
         }
@@ -199,7 +243,10 @@ mod tests {
         // whose literal is 0, pulling true outputs low.
         let f = parse_function("x0").unwrap();
         let array = DiodeArray::synthesize(&isop_cover(&f));
-        let model = TransientModel { p_drop: 0.0, p_ghost: 0.5 };
+        let model = TransientModel {
+            p_drop: 0.0,
+            p_ghost: 0.5,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         // m = 1 (x0 true): output may flip low due to ghosts; never panics.
         for _ in 0..100 {

@@ -9,7 +9,6 @@
 //! problem (NP-hard); the flow uses a greedy heuristic plus an exact
 //! branch-and-bound reference for small fabrics.
 
-
 use crate::defect::DefectMap;
 use crate::matching::{maximum_matching, Bipartite};
 
@@ -103,6 +102,20 @@ pub fn extract_greedy(map: &DefectMap) -> RecoveredCrossbar {
             cols.retain(|&c| c != worst_col);
         }
     }
+    // Dense endgames can wipe one side entirely (k = 0) even though a
+    // clean crosspoint survives elsewhere; fall back to the best single
+    // cell so the recovered region is non-empty whenever possible.
+    if rows.is_empty() || cols.is_empty() {
+        if let Some((r, c)) = (0..size.rows)
+            .flat_map(|r| (0..size.cols).map(move |c| (r, c)))
+            .find(|&(r, c)| !map.is_defective(r, c))
+        {
+            return RecoveredCrossbar {
+                rows: vec![r],
+                cols: vec![c],
+            };
+        }
+    }
     RecoveredCrossbar { rows, cols }
 }
 
@@ -115,10 +128,16 @@ pub fn extract_greedy(map: &DefectMap) -> RecoveredCrossbar {
 /// accidental exponential blow-up).
 pub fn extract_exact(map: &DefectMap) -> RecoveredCrossbar {
     let size = map.size();
-    assert!(size.area() <= 400, "exact extraction limited to small fabrics");
+    assert!(
+        size.area() <= 400,
+        "exact extraction limited to small fabrics"
+    );
     let rows: Vec<usize> = (0..size.rows).collect();
     let cols: Vec<usize> = (0..size.cols).collect();
-    let mut best = RecoveredCrossbar { rows: Vec::new(), cols: Vec::new() };
+    let mut best = RecoveredCrossbar {
+        rows: Vec::new(),
+        cols: Vec::new(),
+    };
     branch(map, rows, cols, &mut best);
     best
 }
@@ -177,10 +196,18 @@ pub fn defect_aware_place(
                 .collect()
         })
         .collect();
-    let g = Bipartite { adj, right_size: size.rows };
+    let g = Bipartite {
+        adj,
+        right_size: size.rows,
+    };
     let m = maximum_matching(&g);
     if m.size == needs.len() {
-        Some(m.pair_left.iter().map(|p| p.expect("all matched")).collect())
+        Some(
+            m.pair_left
+                .iter()
+                .map(|p| p.expect("all matched"))
+                .collect(),
+        )
     } else {
         None
     }

@@ -25,7 +25,10 @@ pub struct ResistanceField {
 impl ResistanceField {
     /// The nominal field (all 1.0).
     pub fn nominal(size: ArraySize) -> Self {
-        ResistanceField { size, values: vec![1.0; size.area()] }
+        ResistanceField {
+            size,
+            values: vec![1.0; size.area()],
+        }
     }
 
     /// Gaussian-ish variation: `1.0 + N(0, sigma)`, clamped to 0.05 so a
@@ -53,14 +56,20 @@ impl ResistanceField {
     ///
     /// Panics if out of range (also for [`ResistanceField::set_at`]).
     pub fn at(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.size.rows && col < self.size.cols, "({row},{col}) out of range");
+        assert!(
+            row < self.size.rows && col < self.size.cols,
+            "({row},{col}) out of range"
+        );
         self.values[row * self.size.cols + col]
     }
 
     /// Overrides the resistance at a crosspoint (e.g. a characterised
     /// outlier device).
     pub fn set_at(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.size.rows && col < self.size.cols, "({row},{col}) out of range");
+        assert!(
+            row < self.size.rows && col < self.size.cols,
+            "({row},{col}) out of range"
+        );
         self.values[row * self.size.cols + col] = value;
     }
 }
@@ -208,7 +217,8 @@ pub fn lattice_delay_spread(lattice: &Lattice, sigma: f64, samples: u64, seed: u
     let mut delays: Vec<f64> = (0..samples)
         .map(|i| {
             let field = ResistanceField::random(size, sigma, seed.wrapping_add(i));
-            lattice_worst_delay(lattice, &field).expect("conductivity is input-, not field-dependent")
+            lattice_worst_delay(lattice, &field)
+                .expect("conductivity is input-, not field-dependent")
         })
         .collect();
     delays.sort_by(|a, b| a.partial_cmp(b).expect("no NaN delays"));

@@ -1,0 +1,121 @@
+//! Property suite proving the word-parallel fault-simulation path
+//! ([`PackedSim`]) bit-identical to the scalar reference: every bit of
+//! every detect word equals the scalar `detects` verdict, and the packed
+//! `TestPlan::coverage` equals `coverage_scalar` on arbitrary plans and
+//! fault universes.
+
+use proptest::prelude::*;
+
+use nanoxbar_crossbar::{ArraySize, Crossbar};
+use nanoxbar_reliability::bist::{TestConfiguration, TestPlan};
+use nanoxbar_reliability::fault::fault_universe;
+use nanoxbar_reliability::fsim::{detects, PackedSim, PackedVectors, TestVector};
+
+const MAX_SIDE: usize = 6;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bit `j` of a detect word is the scalar `detects` verdict on
+    /// vector `j`, for the complete fault universe.
+    #[test]
+    fn detect_word_bits_match_scalar(
+        rows in 1usize..=MAX_SIDE,
+        cols in 1usize..=MAX_SIDE,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let size = ArraySize::new(rows, cols);
+        // Derive a config and vectors from the seed (keeps one strategy
+        // pass per case while still covering many shapes).
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut config = Crossbar::new(size);
+        for r in 0..rows {
+            for c in 0..cols {
+                config.set(r, c, next() % 3 != 0);
+            }
+        }
+        let vectors: Vec<TestVector> = (0..1 + (next() as usize % 10))
+            .map(|_| (0..cols).map(|_| next() & 1 == 1).collect())
+            .collect();
+        let packed = PackedVectors::pack(&vectors, cols);
+        let sim = PackedSim::new(&config, &packed[0]);
+        for fault in fault_universe(size) {
+            let word = sim.detect_word(fault);
+            for (j, vector) in vectors.iter().enumerate() {
+                prop_assert_eq!(
+                    (word >> j) & 1 == 1,
+                    detects(&config, fault, vector),
+                    "fault {:?} vector {} on\n{}",
+                    fault, j, config
+                );
+            }
+        }
+    }
+
+    /// Packed coverage equals scalar coverage — same counts, same
+    /// undetected list — on arbitrary multi-configuration plans.
+    #[test]
+    fn coverage_matches_scalar(
+        rows in 1usize..=MAX_SIDE,
+        cols in 1usize..=MAX_SIDE,
+        configs in proptest::collection::vec(
+            (proptest::collection::vec(any::<bool>(), MAX_SIDE * MAX_SIDE),
+             proptest::collection::vec(
+                 proptest::collection::vec(any::<bool>(), MAX_SIDE),
+                 1..6)),
+            1..4),
+    ) {
+        let size = ArraySize::new(rows, cols);
+        let configurations: Vec<TestConfiguration> = configs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (cells, vecs))| {
+                let mut config = Crossbar::new(size);
+                for r in 0..rows {
+                    for c in 0..cols {
+                        config.set(r, c, cells[r * MAX_SIDE + c]);
+                    }
+                }
+                let vectors = vecs
+                    .into_iter()
+                    .map(|v| v[..cols].to_vec())
+                    .collect();
+                TestConfiguration { name: format!("random-{i}"), config, vectors }
+            })
+            .collect();
+        let plan = TestPlan { configurations };
+        let universe = fault_universe(size);
+        let packed = plan.coverage(size, &universe);
+        let scalar = plan.coverage_scalar(size, &universe);
+        prop_assert_eq!(packed.total, scalar.total);
+        prop_assert_eq!(packed.detected, scalar.detected);
+        prop_assert_eq!(packed.undetected, scalar.undetected);
+    }
+
+    /// The generated standard plans stay at 100% coverage through the
+    /// packed path for every fabric shape with at least two columns.
+    #[test]
+    fn generated_plans_full_coverage(rows in 1usize..=8, cols in 2usize..=8) {
+        let size = ArraySize::new(rows, cols);
+        let report = TestPlan::generate(size).coverage(size, &fault_universe(size));
+        prop_assert_eq!(report.coverage(), 1.0, "escaped: {:?}", report.undetected);
+    }
+
+    /// More than 64 vectors split into chunks that together cover every
+    /// vector (chunked packing is lossless).
+    #[test]
+    fn chunked_packing_is_lossless(cols in 1usize..=4, extra in 0usize..80) {
+        let vectors: Vec<TestVector> = (0..65 + extra)
+            .map(|i| (0..cols).map(|c| (i >> c) & 1 == 1).collect())
+            .collect();
+        let chunks = PackedVectors::pack(&vectors, cols);
+        prop_assert_eq!(chunks.iter().map(PackedVectors::count).sum::<usize>(), vectors.len());
+        prop_assert!(chunks[..chunks.len() - 1].iter().all(|p| p.count() == 64));
+    }
+}

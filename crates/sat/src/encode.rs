@@ -160,10 +160,7 @@ mod tests {
             let av = m & 1 == 1;
             let bv = m & 2 == 2;
             let mut s = Solver::from_cnf(&cnf);
-            let assumptions = [
-                Lit::new(a.var(), av),
-                Lit::new(b.var(), bv),
-            ];
+            let assumptions = [Lit::new(a.var(), av), Lit::new(b.var(), bv)];
             match s.solve_with_assumptions(&assumptions) {
                 SolveResult::Sat(model) => {
                     assert_eq!(model[and.var().index()], av && bv);
@@ -198,9 +195,7 @@ mod tests {
         let vars = cnf.fresh_vars(4);
         let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
         exactly_one(&mut cnf, &lits);
-        let (sat, expect) = count_models(&cnf, 4, |bits| {
-            bits.iter().filter(|&&b| b).count() == 1
-        });
+        let (sat, expect) = count_models(&cnf, 4, |bits| bits.iter().filter(|&&b| b).count() == 1);
         assert_eq!(sat, expect);
         assert_eq!(sat, 4);
     }
@@ -212,9 +207,8 @@ mod tests {
             let vars = cnf.fresh_vars(5);
             let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
             at_most_k(&mut cnf, &lits, k);
-            let (sat, expect) = count_models(&cnf, 5, |bits| {
-                bits.iter().filter(|&&b| b).count() <= k
-            });
+            let (sat, expect) =
+                count_models(&cnf, 5, |bits| bits.iter().filter(|&&b| b).count() <= k);
             assert_eq!(sat, expect, "k={k}");
         }
     }
@@ -226,9 +220,8 @@ mod tests {
             let vars = cnf.fresh_vars(4);
             let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
             exactly_k(&mut cnf, &lits, k);
-            let (sat, expect) = count_models(&cnf, 4, |bits| {
-                bits.iter().filter(|&&b| b).count() == k
-            });
+            let (sat, expect) =
+                count_models(&cnf, 4, |bits| bits.iter().filter(|&&b| b).count() == k);
             assert_eq!(sat, expect, "k={k}");
         }
     }

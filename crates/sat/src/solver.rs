@@ -187,7 +187,10 @@ impl Solver {
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
-        self.order.push(HeapEntry { activity: 0.0, var: v });
+        self.order.push(HeapEntry {
+            activity: 0.0,
+            var: v,
+        });
         v
     }
 
@@ -231,7 +234,11 @@ impl Solver {
         }
         let mut clause: Vec<Lit> = lits.into_iter().collect();
         for l in &clause {
-            assert!(l.var().index() < self.num_vars(), "unallocated variable {}", l.var());
+            assert!(
+                l.var().index() < self.num_vars(),
+                "unallocated variable {}",
+                l.var()
+            );
         }
         clause.sort();
         clause.dedup();
@@ -266,7 +273,11 @@ impl Solver {
         let cref = self.clauses.len();
         self.watches[(!lits[0]).code()].push(cref);
         self.watches[(!lits[1]).code()].push(cref);
-        self.clauses.push(Clause { lits, learnt, activity: 0.0 });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+        });
         cref
     }
 
@@ -308,8 +319,7 @@ impl Solver {
                 // Look for a replacement watch.
                 let replacement = {
                     let clause = &self.clauses[cref];
-                    (2..clause.lits.len())
-                        .find(|&k| self.value_lit(clause.lits[k]) != LBool::False)
+                    (2..clause.lits.len()).find(|&k| self.value_lit(clause.lits[k]) != LBool::False)
                 };
                 if let Some(k) = replacement {
                     let clause = &mut self.clauses[cref];
@@ -402,8 +412,8 @@ impl Solver {
                 p = Some(pivot);
                 break;
             }
-            confl = self.reason[pivot.var().index()]
-                .expect("non-decision literal must have a reason");
+            confl =
+                self.reason[pivot.var().index()].expect("non-decision literal must have a reason");
             p = Some(pivot);
         }
 
@@ -445,7 +455,10 @@ impl Solver {
                 self.assign[v] = LBool::Undef;
                 self.reason[v] = None;
                 let activity = self.activity[v];
-                self.order.push(HeapEntry { activity, var: l.var() });
+                self.order.push(HeapEntry {
+                    activity,
+                    var: l.var(),
+                });
             }
         }
         self.qhead = self.trail.len();
@@ -474,8 +487,10 @@ impl Solver {
                 .partial_cmp(&self.clauses[b].activity)
                 .unwrap_or(Ordering::Equal)
         });
-        let remove: std::collections::HashSet<ClauseRef> =
-            learnt_refs[..learnt_refs.len() / 2].iter().copied().collect();
+        let remove: std::collections::HashSet<ClauseRef> = learnt_refs[..learnt_refs.len() / 2]
+            .iter()
+            .copied()
+            .collect();
         if remove.is_empty() {
             return;
         }
@@ -590,11 +605,7 @@ impl Solver {
 
                 match self.pick_branch_var() {
                     None => {
-                        let model = self
-                            .assign
-                            .iter()
-                            .map(|&v| v == LBool::True)
-                            .collect();
+                        let model = self.assign.iter().map(|&v| v == LBool::True).collect();
                         return SolveResult::Sat(model);
                     }
                     Some(v) => {
@@ -748,7 +759,10 @@ mod tests {
         let v = lits(&mut s, 2);
         s.add_clause([v[0], v[1]]);
         // Assume !a and !b: unsat.
-        assert_eq!(s.solve_with_assumptions(&[!v[0], !v[1]]), SolveResult::Unsat);
+        assert_eq!(
+            s.solve_with_assumptions(&[!v[0], !v[1]]),
+            SolveResult::Unsat
+        );
         // Without assumptions the formula is still satisfiable.
         assert!(s.solve().is_sat());
         // Assume only !a: b must hold.

@@ -19,7 +19,10 @@ fn main() {
         tech,
         adder.total_area()
     );
-    println!("  5 + 6 = {} (computed through the lattice models)", adder.add(5, 6));
+    println!(
+        "  5 + 6 = {} (computed through the lattice models)",
+        adder.add(5, 6)
+    );
 
     // --- Memory element ---------------------------------------------------
     let mut reg = Register::synthesize(4, tech);
@@ -44,6 +47,10 @@ fn main() {
 
     println!("\nareas per technology for the same 3-bit counter:");
     for t in Technology::ALL {
-        println!("  {:>13}: {} crosspoints", t.name(), Ssm::counter(3, t).total_area());
+        println!(
+            "  {:>13}: {} crosspoints",
+            t.name(),
+            Ssm::counter(3, t).total_area()
+        );
     }
 }

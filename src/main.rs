@@ -147,7 +147,12 @@ fn cmd_lattice(args: &[String]) -> Result<(), String> {
     let f = parse_expr(&args)?;
 
     let base = dual_based::synthesize(&f);
-    println!("dual-based ({}x{}, {} sites):", base.rows(), base.cols(), base.area());
+    println!(
+        "dual-based ({}x{}, {} sites):",
+        base.rows(),
+        base.cols(),
+        base.area()
+    );
     println!("{base}");
 
     if want_pcircuit {
@@ -184,7 +189,9 @@ fn cmd_lattice(args: &[String]) -> Result<(), String> {
 fn cmd_pla(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let share = take_flag(&mut args, "--share");
-    let path = args.first().ok_or_else(|| "missing PLA file path".to_string())?;
+    let path = args
+        .first()
+        .ok_or_else(|| "missing PLA file path".to_string())?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let pla = nanoxbar::logic::pla::parse_pla(&text).map_err(|e| e.to_string())?;
     println!(
@@ -194,8 +201,7 @@ fn cmd_pla(args: &[String]) -> Result<(), String> {
         pla.outputs.len()
     );
     if share {
-        let targets: Vec<TruthTable> =
-            pla.outputs.iter().map(|c| c.to_truth_table()).collect();
+        let targets: Vec<TruthTable> = pla.outputs.iter().map(|c| c.to_truth_table()).collect();
         if targets.iter().any(|t| t.is_zero() || t.is_ones()) {
             return Err("constant outputs cannot share an array".into());
         }
@@ -212,7 +218,13 @@ fn cmd_pla(args: &[String]) -> Result<(), String> {
         for (o, cover) in pla.outputs.iter().enumerate() {
             let f = cover.to_truth_table();
             if f.is_zero() || f.is_ones() {
-                table.row_owned(vec![o.to_string(), "const".into(), "-".into(), "-".into(), "-".into()]);
+                table.row_owned(vec![
+                    o.to_string(),
+                    "const".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
                 continue;
             }
             let sizes: Vec<String> = Technology::ALL
@@ -233,7 +245,9 @@ fn cmd_pla(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_bist(args: &[String]) -> Result<(), String> {
-    let size_text = args.first().ok_or_else(|| "missing fabric size (RxC)".to_string())?;
+    let size_text = args
+        .first()
+        .ok_or_else(|| "missing fabric size (RxC)".to_string())?;
     let size = parse_size(size_text)?;
     let plan = TestPlan::generate(size);
     let universe = fault_universe(size);
@@ -269,12 +283,7 @@ fn cmd_chip(args: &[String]) -> Result<(), String> {
         .map_err(|_| "bad fabric side".to_string())?;
     let f = parse_expr(&args[1..])?;
 
-    let chip = DefectMap::random_uniform(
-        ArraySize::new(n, n),
-        density * 0.7,
-        density * 0.3,
-        seed,
-    );
+    let chip = DefectMap::random_uniform(ArraySize::new(n, n), density * 0.7, density * 0.3, seed);
     println!(
         "chip {n}x{n}, defect density {:.2}% ({} defects), seed {seed}",
         chip.defect_density() * 100.0,
@@ -308,8 +317,7 @@ mod tests {
 
     #[test]
     fn option_extraction() {
-        let mut args: Vec<String> =
-            vec!["--tech".into(), "diode".into(), "x0 x1".into()];
+        let mut args: Vec<String> = vec!["--tech".into(), "diode".into(), "x0 x1".into()];
         assert_eq!(take_option(&mut args, "--tech").as_deref(), Some("diode"));
         assert_eq!(args, vec!["x0 x1".to_string()]);
         assert!(take_option(&mut args, "--tech").is_none());

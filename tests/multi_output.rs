@@ -20,9 +20,8 @@ fn seven_segment_decoder_is_exact_and_shared() {
 
     // Digit-level check through the hardware model: segment pattern of '8'
     // lights everything, '1' lights only b and c (segments 1 and 2).
-    let pattern = |digit: u64| -> u8 {
-        (0..7).fold(0u8, |acc, s| acc | (u8::from(pla.eval(s, digit)) << s))
-    };
+    let pattern =
+        |digit: u64| -> u8 { (0..7).fold(0u8, |acc, s| acc | (u8::from(pla.eval(s, digit)) << s)) };
     assert_eq!(pattern(8), 0b1111111);
     assert_eq!(pattern(1), 0b0000110);
     assert_eq!(pattern(0), 0b0111111);
@@ -44,10 +43,7 @@ fn seven_segment_decoder_is_exact_and_shared() {
 fn shared_rows_below_sum_of_products() {
     let segments = seven_segment();
     let multi = minimize_multi_output(&segments);
-    let separate_products: usize = segments
-        .iter()
-        .map(|f| isop_cover(f).product_count())
-        .sum();
+    let separate_products: usize = segments.iter().map(|f| isop_cover(f).product_count()).sum();
     assert!(
         multi.product_rows() < separate_products,
         "{} rows vs {} separate products",

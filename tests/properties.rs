@@ -18,9 +18,8 @@ use nanoxbar::sat::{Cnf, Lit, Solver};
 /// An arbitrary function of `n` variables encoded by its ON-set bits.
 fn arb_function(n: usize) -> impl Strategy<Value = TruthTable> {
     let minterms = 1usize << n;
-    proptest::collection::vec(any::<bool>(), minterms).prop_map(move |bits| {
-        TruthTable::from_fn(n, |m| bits[m as usize])
-    })
+    proptest::collection::vec(any::<bool>(), minterms)
+        .prop_map(move |bits| TruthTable::from_fn(n, |m| bits[m as usize]))
 }
 
 proptest! {
