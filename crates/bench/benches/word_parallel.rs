@@ -1,7 +1,10 @@
 //! Criterion microbenchmarks: the word-parallel evaluation engine versus
 //! the scalar reference paths it replaced (PR "word-parallel evaluation
 //! engine" acceptance evidence — target ≥10× on `to_truth_table` at
-//! n ≥ 12 and on 16×16 BIST fault-universe coverage).
+//! n ≥ 12 and on 16×16 BIST fault-universe coverage), plus the
+//! multi-core follow-up: thread-scaling sweeps over the pool
+//! (`threads/...` groups) and the packed defect simulation behind
+//! BISM/BISD (`defect-sim`, `diagnose` groups).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -10,8 +13,14 @@ use nanoxbar_lattice::synth::dual_based;
 use nanoxbar_lattice::{eval_top_bottom, BitEvaluator};
 use nanoxbar_logic::suite::random_sop;
 use nanoxbar_logic::TruthTable;
+use nanoxbar_par as par;
+use nanoxbar_reliability::bisd::DiagnosisPlan;
 use nanoxbar_reliability::bist::TestPlan;
+use nanoxbar_reliability::defect::DefectMap;
 use nanoxbar_reliability::fault::fault_universe;
+use nanoxbar_reliability::fsim::{
+    simulate_with_defects, PackedDefectSim, PackedVectors, TestVector,
+};
 
 fn lattice_to_truth_table(c: &mut Criterion) {
     let mut group = c.benchmark_group("to-truth-table");
@@ -54,9 +63,129 @@ fn bist_coverage(c: &mut Criterion) {
     group.finish();
 }
 
+/// Thread counts to sweep: 1, 2, 4, and the host's default when larger.
+fn thread_counts() -> Vec<usize> {
+    let host = par::threads();
+    let mut counts = vec![1usize, 2, 4];
+    if host > 4 {
+        counts.push(host);
+    }
+    counts
+}
+
+fn thread_scaling_to_truth_table(c: &mut Criterion) {
+    let host = par::threads();
+    let mut group = c.benchmark_group("threads/to-truth-table-n12");
+    let f = random_sop(12, 12, 0xBEEF + 12).to_truth_table();
+    let lattice = dual_based::synthesize(&f);
+    for t in thread_counts() {
+        par::set_threads(t);
+        group.bench_with_input(BenchmarkId::new("word", t), &lattice, |b, l| {
+            let mut eval = BitEvaluator::new();
+            b.iter(|| eval.function(std::hint::black_box(l)).count_ones())
+        });
+    }
+    par::set_threads(host);
+    group.finish();
+}
+
+fn thread_scaling_coverage(c: &mut Criterion) {
+    let host = par::threads();
+    let mut group = c.benchmark_group("threads/bist-coverage-16x16");
+    let size = ArraySize::new(16, 16);
+    let plan = TestPlan::generate(size);
+    let universe = fault_universe(size);
+    for t in thread_counts() {
+        par::set_threads(t);
+        group.bench_with_input(BenchmarkId::new("word", t), &universe, |b, universe| {
+            b.iter(|| plan.coverage(size, std::hint::black_box(universe)).detected)
+        });
+    }
+    par::set_threads(host);
+    group.finish();
+}
+
+/// The packed defect simulation versus the scalar per-vector loop, on the
+/// workload BISM's BIST performs per attempt (16×16 fabric, all-ones plus
+/// 16 walking zeros).
+fn defect_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("defect-sim");
+    let size = ArraySize::new(16, 16);
+    let mut config = nanoxbar_crossbar::Crossbar::new(size);
+    let mut state = 0x5117_AB1Eu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for r in 0..16 {
+        for c in 0..16 {
+            config.set(r, c, next() % 3 != 0);
+        }
+    }
+    let defects = DefectMap::random_uniform(size, 0.05, 0.03, 99);
+    let mut vectors: Vec<TestVector> = vec![vec![true; 16]];
+    for col in 0..16 {
+        let mut v = vec![true; 16];
+        v[col] = false;
+        vectors.push(v);
+    }
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            vectors
+                .iter()
+                .map(|v| {
+                    simulate_with_defects(std::hint::black_box(&config), &defects, v)
+                        .iter()
+                        .filter(|&&x| x)
+                        .count()
+                })
+                .sum::<usize>()
+        })
+    });
+    let packed = PackedVectors::pack(&vectors, 16);
+    group.bench_function("packed", |b| {
+        let sim = PackedDefectSim::new(&config, &defects);
+        let mut rows = Vec::new();
+        b.iter(|| {
+            packed
+                .iter()
+                .map(|chunk| {
+                    sim.rows_into(std::hint::black_box(chunk), &mut rows);
+                    rows.iter().map(|w| w.count_ones()).sum::<u32>()
+                })
+                .sum::<u32>()
+        })
+    });
+    group.finish();
+}
+
+/// Whole-plan diagnosis on a 16×16 fabric: packed word path versus the
+/// scalar per-vector reference.
+fn diagnose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diagnose");
+    let size = ArraySize::new(16, 16);
+    let plan = DiagnosisPlan::generate(size);
+    let mut chip = DefectMap::healthy(size);
+    chip.set(
+        9,
+        13,
+        nanoxbar_reliability::defect::CrosspointHealth::StuckOpen,
+    );
+    group.bench_function("scalar", |b| {
+        b.iter(|| plan.diagnose_scalar(std::hint::black_box(&chip)))
+    });
+    group.bench_function("packed", |b| {
+        b.iter(|| plan.diagnose(std::hint::black_box(&chip)))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(15);
-    targets = lattice_to_truth_table, bist_coverage
+    targets = lattice_to_truth_table, bist_coverage, thread_scaling_to_truth_table,
+        thread_scaling_coverage, defect_simulation, diagnose
 }
 criterion_main!(benches);

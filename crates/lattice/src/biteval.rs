@@ -1,5 +1,6 @@
 //! Word-parallel (bit-sliced) lattice evaluation: 64 minterms per grid
-//! sweep.
+//! sweep lane, 4 lanes per sweep, and whole-table evaluation spread
+//! across cores.
 //!
 //! # Bit-slicing layout
 //!
@@ -39,13 +40,39 @@
 //! minterms — replacing 64 scalar BFS traversals, their visited-vector
 //! allocations, and their per-site closure dispatch.
 //!
-//! The scalar BFS evaluators in [`crate::eval`] are retained as the
-//! reference implementation; the property suite in
-//! `tests/word_parallel_equivalence.rs` proves both paths bit-identical.
+//! # Lane unrolling and multi-core evaluation
+//!
+//! The percolation kernel is generic over a **lane count** `L`: lanes are
+//! `[u64; L]` arrays moved through the same sweeps element-wise, so a
+//! 4-lane pass percolates 256 minterms per grid traversal with the loop
+//! control, bounds checks, and `changed` bookkeeping paid once — exactly
+//! the u64x4-style unrolling `std::simd` would generate. Whole-table
+//! entry points use 4-lane blocks and fall back to the 1-lane kernel for
+//! the tail and for narrow tables (fewer than four words).
+//!
+//! On top of that, [`BitEvaluator::function`], [`dual_function`]
+//! (word-parallel dual evaluation) and [`computes`] split their word
+//! range into chunks evaluated on the [`nanoxbar_par`] work-stealing pool
+//! with an independent scratch evaluator per task. Every word's value is
+//! independent of the split, so results are **bit-identical for every
+//! `NANOXBAR_THREADS` value** — proved by the property suite in
+//! `tests/word_parallel_equivalence.rs`, which also proves both lane
+//! kernels bit-identical to the scalar BFS evaluators retained in
+//! [`crate::eval`].
+//!
+//! [`dual_function`]: BitEvaluator::dual_function
+//! [`computes`]: BitEvaluator::computes
+
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use nanoxbar_logic::{tail_mask, variable_word, word_len, TruthTable};
+use nanoxbar_par as par;
 
 use crate::lattice::{Lattice, Site};
+
+/// Minimum table length (in words) before whole-table evaluation fans
+/// out to the thread pool; below this the per-task overhead dominates.
+const PAR_MIN_WORDS: usize = 16;
 
 /// The 64-minterm on-mask of a site at word index `word` (the predicate
 /// `site.is_on(m)` bit-sliced).
@@ -86,12 +113,235 @@ enum MaskKind {
     Dual,
 }
 
+/// Which percolation a pass runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Route {
+    /// Top plate → bottom plate, 4-neighbour adjacency.
+    TopBottom,
+    /// Left plate → right plate, 8-neighbour king adjacency.
+    LeftRightKing,
+}
+
+/// Lane-generic percolation scratch: each site carries `L` mask/reach
+/// words, percolating `64·L` minterms per grid sweep.
+#[derive(Clone, Debug, Default)]
+struct Lanes<const L: usize> {
+    /// Per-site on-masks for the words being evaluated (row-major).
+    masks: Vec<[u64; L]>,
+    /// Per-site reach words (row-major).
+    reach: Vec<[u64; L]>,
+}
+
+impl<const L: usize> Lanes<L> {
+    /// Fills `self.masks` for words `word0 .. word0 + L` under `kind`.
+    fn fill_masks(&mut self, lattice: &Lattice, word0: usize, kind: MaskKind) {
+        let (rows, cols) = (lattice.rows(), lattice.cols());
+        self.masks.clear();
+        self.masks.reserve(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let site = lattice.site(r, c);
+                let mut m = [0u64; L];
+                for (l, lane) in m.iter_mut().enumerate() {
+                    *lane = match kind {
+                        MaskKind::On => site_word(site, word0 + l),
+                        MaskKind::Dual => dual_site_word(site, word0 + l),
+                    };
+                }
+                self.masks.push(m);
+            }
+        }
+    }
+
+    /// Relaxes one interior row (4-neighbour adjacency); returns whether
+    /// any reach word grew in any lane.
+    fn relax_row_tb(&mut self, r: usize, rows: usize, cols: usize) -> bool {
+        let base = r * cols;
+        let mut changed = false;
+        let mut carry = [0u64; L];
+        for c in 0..cols {
+            let m = self.masks[base + c];
+            let up = self.reach[base - cols + c];
+            let down = if r + 1 < rows {
+                self.reach[base + cols + c]
+            } else {
+                [0u64; L]
+            };
+            let old = self.reach[base + c];
+            let mut t = [0u64; L];
+            let mut grew = false;
+            for l in 0..L {
+                t[l] = m[l] & (up[l] | down[l] | old[l] | carry[l]);
+                grew |= t[l] != old[l];
+            }
+            if grew {
+                self.reach[base + c] = t;
+                changed = true;
+            }
+            carry = t;
+        }
+        let mut carry = [0u64; L];
+        for c in (0..cols).rev() {
+            let old = self.reach[base + c];
+            let m = self.masks[base + c];
+            let mut t = old;
+            let mut grew = false;
+            for l in 0..L {
+                t[l] |= m[l] & carry[l];
+                grew |= t[l] != old[l];
+            }
+            if grew {
+                self.reach[base + c] = t;
+                changed = true;
+            }
+            carry = t;
+        }
+        changed
+    }
+
+    /// Word-parallel top→bottom percolation over the masks currently in
+    /// `self.masks`; returns the per-lane result words (unmasked).
+    fn percolate_top_bottom(&mut self, rows: usize, cols: usize) -> [u64; L] {
+        self.reach.clear();
+        self.reach.extend_from_slice(&self.masks[..cols]);
+        self.reach.resize(rows * cols, [0u64; L]);
+        loop {
+            let mut changed = false;
+            for r in 1..rows {
+                changed |= self.relax_row_tb(r, rows, cols);
+            }
+            for r in (1..rows).rev() {
+                changed |= self.relax_row_tb(r, rows, cols);
+            }
+            if !changed {
+                break;
+            }
+        }
+        let bottom = (rows - 1) * cols;
+        self.reach[bottom..bottom + cols]
+            .iter()
+            .fold([0u64; L], |mut acc, w| {
+                for l in 0..L {
+                    acc[l] |= w[l];
+                }
+                acc
+            })
+    }
+
+    /// Relaxes one interior column (8-neighbour king adjacency); returns
+    /// whether any reach word grew in any lane.
+    fn relax_col_lr(&mut self, c: usize, rows: usize, cols: usize) -> bool {
+        let mut changed = false;
+        let mut carry = [0u64; L];
+        for r in 0..rows {
+            let idx = r * cols + c;
+            let m = self.masks[idx];
+            let mut gather = carry;
+            for (g, &v) in gather.iter_mut().zip(&self.reach[idx]) {
+                *g |= v;
+            }
+            // Left and right columns, rows r-1 ..= r+1 (king moves).
+            for nr in r.saturating_sub(1)..=(r + 1).min(rows - 1) {
+                let left = self.reach[nr * cols + c - 1];
+                for l in 0..L {
+                    gather[l] |= left[l];
+                }
+                if c + 1 < cols {
+                    let right = self.reach[nr * cols + c + 1];
+                    for l in 0..L {
+                        gather[l] |= right[l];
+                    }
+                }
+            }
+            if r + 1 < rows {
+                let below = self.reach[idx + cols];
+                for l in 0..L {
+                    gather[l] |= below[l];
+                }
+            }
+            let old = self.reach[idx];
+            let mut t = [0u64; L];
+            let mut grew = false;
+            for l in 0..L {
+                t[l] = m[l] & gather[l];
+                grew |= t[l] != old[l];
+            }
+            if grew {
+                self.reach[idx] = t;
+                changed = true;
+            }
+            carry = t;
+        }
+        let mut carry = [0u64; L];
+        for r in (0..rows).rev() {
+            let idx = r * cols + c;
+            let old = self.reach[idx];
+            let m = self.masks[idx];
+            let mut t = old;
+            let mut grew = false;
+            for l in 0..L {
+                t[l] |= m[l] & carry[l];
+                grew |= t[l] != old[l];
+            }
+            if grew {
+                self.reach[idx] = t;
+                changed = true;
+            }
+            carry = t;
+        }
+        changed
+    }
+
+    /// Word-parallel left→right king-move percolation over the masks
+    /// currently in `self.masks`; returns the per-lane result words
+    /// (unmasked).
+    fn percolate_left_right_king(&mut self, rows: usize, cols: usize) -> [u64; L] {
+        self.reach.clear();
+        self.reach.resize(rows * cols, [0u64; L]);
+        for r in 0..rows {
+            self.reach[r * cols] = self.masks[r * cols];
+        }
+        loop {
+            let mut changed = false;
+            for c in 1..cols {
+                changed |= self.relax_col_lr(c, rows, cols);
+            }
+            for c in (1..cols).rev() {
+                changed |= self.relax_col_lr(c, rows, cols);
+            }
+            if !changed {
+                break;
+            }
+        }
+        (0..rows).fold([0u64; L], |mut acc, r| {
+            let w = self.reach[r * cols + cols - 1];
+            for l in 0..L {
+                acc[l] |= w[l];
+            }
+            acc
+        })
+    }
+
+    /// One full percolation of words `word0 .. word0 + L`.
+    fn run(&mut self, lattice: &Lattice, word0: usize, kind: MaskKind, route: Route) -> [u64; L] {
+        self.fill_masks(lattice, word0, kind);
+        let (rows, cols) = (lattice.rows(), lattice.cols());
+        match route {
+            Route::TopBottom => self.percolate_top_bottom(rows, cols),
+            Route::LeftRightKing => self.percolate_left_right_king(rows, cols),
+        }
+    }
+}
+
 /// Reusable word-parallel evaluator.
 ///
-/// Holds the per-site mask and reach scratch buffers so that evaluating
-/// many words (a whole truth table, or many lattices of similar size)
-/// performs no per-call allocation — the buffers are resized once and
-/// reused.
+/// Holds the per-site mask and reach scratch buffers (one set per lane
+/// width) so that evaluating many words (a whole truth table, or many
+/// lattices of similar size) performs no per-call allocation — the
+/// buffers are resized once and reused. Whole-table evaluation spreads
+/// word chunks across the [`nanoxbar_par`] pool (each task with its own
+/// scratch), so one evaluator produces identical tables at every
+/// `NANOXBAR_THREADS` setting.
 ///
 /// # Examples
 ///
@@ -112,10 +362,10 @@ enum MaskKind {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct BitEvaluator {
-    /// Per-site on-masks for the word being evaluated (row-major).
-    masks: Vec<u64>,
-    /// Per-site reach words (row-major).
-    reach: Vec<u64>,
+    /// 1-lane scratch (single-word calls, narrow tables, block tails).
+    narrow: Lanes<1>,
+    /// 4-lane scratch (unrolled whole-table blocks).
+    wide: Lanes<4>,
 }
 
 impl BitEvaluator {
@@ -124,201 +374,149 @@ impl BitEvaluator {
         Self::default()
     }
 
-    /// Fills `self.masks` for `word` under the given predicate.
-    fn fill_masks(&mut self, lattice: &Lattice, word: usize, kind: MaskKind) {
-        let (rows, cols) = (lattice.rows(), lattice.cols());
-        self.masks.clear();
-        self.masks.reserve(rows * cols);
-        for r in 0..rows {
-            for c in 0..cols {
-                let site = lattice.site(r, c);
-                self.masks.push(match kind {
-                    MaskKind::On => site_word(site, word),
-                    MaskKind::Dual => dual_site_word(site, word),
-                });
-            }
-        }
-    }
-
-    /// Relaxes one interior row (4-neighbour adjacency); returns whether
-    /// any reach word grew.
-    fn relax_row_tb(&mut self, r: usize, rows: usize, cols: usize) -> bool {
-        let base = r * cols;
-        let mut changed = false;
-        let mut carry = 0u64;
-        for c in 0..cols {
-            let m = self.masks[base + c];
-            let up = self.reach[base - cols + c];
-            let down = if r + 1 < rows {
-                self.reach[base + cols + c]
-            } else {
-                0
-            };
-            let old = self.reach[base + c];
-            let t = m & (up | down | old | carry);
-            if t != old {
-                self.reach[base + c] = t;
-                changed = true;
-            }
-            carry = t;
-        }
-        let mut carry = 0u64;
-        for c in (0..cols).rev() {
-            let old = self.reach[base + c];
-            let t = old | (self.masks[base + c] & carry);
-            if t != old {
-                self.reach[base + c] = t;
-                changed = true;
-            }
-            carry = t;
-        }
-        changed
-    }
-
-    /// Word-parallel top→bottom percolation over the masks currently in
-    /// `self.masks`; returns the 64-minterm result word (unmasked).
-    fn percolate_top_bottom(&mut self, rows: usize, cols: usize) -> u64 {
-        self.reach.clear();
-        self.reach.extend_from_slice(&self.masks[..cols]);
-        self.reach.resize(rows * cols, 0);
-        loop {
-            let mut changed = false;
-            for r in 1..rows {
-                changed |= self.relax_row_tb(r, rows, cols);
-            }
-            for r in (1..rows).rev() {
-                changed |= self.relax_row_tb(r, rows, cols);
-            }
-            if !changed {
-                break;
-            }
-        }
-        let bottom = (rows - 1) * cols;
-        self.reach[bottom..bottom + cols]
-            .iter()
-            .fold(0, |acc, &w| acc | w)
-    }
-
-    /// Relaxes one interior column (8-neighbour king adjacency); returns
-    /// whether any reach word grew.
-    fn relax_col_lr(&mut self, c: usize, rows: usize, cols: usize) -> bool {
-        let mut changed = false;
-        let mut carry = 0u64;
-        for r in 0..rows {
-            let idx = r * cols + c;
-            let m = self.masks[idx];
-            let mut gather = self.reach[idx] | carry;
-            // Left and right columns, rows r-1 ..= r+1 (king moves).
-            for nr in r.saturating_sub(1)..=(r + 1).min(rows - 1) {
-                gather |= self.reach[nr * cols + c - 1];
-                if c + 1 < cols {
-                    gather |= self.reach[nr * cols + c + 1];
-                }
-            }
-            if r + 1 < rows {
-                gather |= self.reach[idx + cols];
-            }
-            let old = self.reach[idx];
-            let t = m & gather;
-            if t != old {
-                self.reach[idx] = t;
-                changed = true;
-            }
-            carry = t;
-        }
-        let mut carry = 0u64;
-        for r in (0..rows).rev() {
-            let idx = r * cols + c;
-            let old = self.reach[idx];
-            let t = old | (self.masks[idx] & carry);
-            if t != old {
-                self.reach[idx] = t;
-                changed = true;
-            }
-            carry = t;
-        }
-        changed
-    }
-
-    /// Word-parallel left→right king-move percolation over the masks
-    /// currently in `self.masks`; returns the result word (unmasked).
-    fn percolate_left_right_king(&mut self, rows: usize, cols: usize) -> u64 {
-        self.reach.clear();
-        self.reach.resize(rows * cols, 0);
-        for r in 0..rows {
-            self.reach[r * cols] = self.masks[r * cols];
-        }
-        loop {
-            let mut changed = false;
-            for c in 1..cols {
-                changed |= self.relax_col_lr(c, rows, cols);
-            }
-            for c in (1..cols).rev() {
-                changed |= self.relax_col_lr(c, rows, cols);
-            }
-            if !changed {
-                break;
-            }
-        }
-        (0..rows)
-            .map(|r| self.reach[r * cols + cols - 1])
-            .fold(0, |acc, w| acc | w)
-    }
-
     /// The lattice's function on minterms `64*word .. 64*word + 63` as one
     /// packed word (top→bottom percolation; invalid tail bits cleared).
     pub fn top_bottom_word(&mut self, lattice: &Lattice, word: usize) -> u64 {
-        self.fill_masks(lattice, word, MaskKind::On);
-        self.percolate_top_bottom(lattice.rows(), lattice.cols()) & tail_mask(lattice.num_vars())
+        self.narrow
+            .run(lattice, word, MaskKind::On, Route::TopBottom)[0]
+            & tail_mask(lattice.num_vars())
     }
 
     /// The left→right king-move percolation word over ON sites (the
     /// bit-sliced [`crate::eval::eval_left_right_king`]).
     pub fn left_right_king_word(&mut self, lattice: &Lattice, word: usize) -> u64 {
-        self.fill_masks(lattice, word, MaskKind::On);
-        self.percolate_left_right_king(lattice.rows(), lattice.cols())
+        self.narrow
+            .run(lattice, word, MaskKind::On, Route::LeftRightKing)[0]
             & tail_mask(lattice.num_vars())
     }
 
     /// The Boolean dual `f^D` on one packed word (the bit-sliced
     /// [`crate::eval::eval_dual`]).
     pub fn dual_word(&mut self, lattice: &Lattice, word: usize) -> u64 {
-        self.fill_masks(lattice, word, MaskKind::Dual);
-        self.percolate_left_right_king(lattice.rows(), lattice.cols())
+        self.narrow
+            .run(lattice, word, MaskKind::Dual, Route::LeftRightKing)[0]
             & tail_mask(lattice.num_vars())
     }
 
-    /// The complete truth table of the computed function, one percolation
-    /// per 64 minterms.
-    pub fn function(&mut self, lattice: &Lattice) -> TruthTable {
+    /// Fills `out[i]` with the percolation word at index `word0 + i`,
+    /// running 4-lane blocks and a 1-lane tail.
+    fn eval_words(
+        &mut self,
+        lattice: &Lattice,
+        kind: MaskKind,
+        route: Route,
+        word0: usize,
+        out: &mut [u64],
+    ) {
+        let tm = tail_mask(lattice.num_vars());
+        let mut blocks = out.chunks_exact_mut(4);
+        let mut i = 0;
+        for block in &mut blocks {
+            let w = self.wide.run(lattice, word0 + i, kind, route);
+            for (slot, lane) in block.iter_mut().zip(w) {
+                *slot = lane & tm;
+            }
+            i += 4;
+        }
+        for slot in blocks.into_remainder() {
+            *slot = self.narrow.run(lattice, word0 + i, kind, route)[0] & tm;
+            i += 1;
+        }
+    }
+
+    /// Whole-table evaluation: serial (with this evaluator's scratch) for
+    /// narrow tables or a serial pool, chunked across the pool otherwise.
+    fn table(&mut self, lattice: &Lattice, kind: MaskKind, route: Route) -> TruthTable {
         let n = lattice.num_vars();
-        let words = (0..word_len(n))
-            .map(|w| self.top_bottom_word(lattice, w))
-            .collect();
+        let wl = word_len(n);
+        let mut words = vec![0u64; wl];
+        if par::threads() > 1 && wl >= PAR_MIN_WORDS {
+            // Multiple of 4 so only the final chunk can have a 1-lane tail.
+            let chunk = par::chunk_len(wl, 4).next_multiple_of(4);
+            par::par_chunks_mut(&mut words, chunk, |ci, out| {
+                let mut scratch = BitEvaluator::new();
+                scratch.eval_words(lattice, kind, route, ci * chunk, out);
+            });
+        } else {
+            self.eval_words(lattice, kind, route, 0, &mut words);
+        }
         TruthTable::from_words(n, words)
+    }
+
+    /// The complete truth table of the computed function, one percolation
+    /// per 256 minterms (4-lane blocks), chunks spread across the pool.
+    pub fn function(&mut self, lattice: &Lattice) -> TruthTable {
+        self.table(lattice, MaskKind::On, Route::TopBottom)
     }
 
     /// The complete truth table of the dual function `f^D`.
     pub fn dual_function(&mut self, lattice: &Lattice) -> TruthTable {
-        let n = lattice.num_vars();
-        let words = (0..word_len(n))
-            .map(|w| self.dual_word(lattice, w))
-            .collect();
-        TruthTable::from_words(n, words)
+        self.table(lattice, MaskKind::Dual, Route::LeftRightKing)
+    }
+
+    /// Compares blocks of evaluated words against `expect`, bailing out
+    /// early on a mismatch or when `abort` is already set; returns whether
+    /// the range matched.
+    fn words_match(
+        &mut self,
+        lattice: &Lattice,
+        word0: usize,
+        expect: &[u64],
+        abort: Option<&AtomicBool>,
+    ) -> bool {
+        let tm = tail_mask(lattice.num_vars());
+        let mut blocks = expect.chunks_exact(4);
+        let mut i = 0;
+        for block in &mut blocks {
+            if abort.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+                return false;
+            }
+            let w = self
+                .wide
+                .run(lattice, word0 + i, MaskKind::On, Route::TopBottom);
+            for (lane, &fw) in w.iter().zip(block) {
+                if lane & tm != fw {
+                    return false;
+                }
+            }
+            i += 4;
+        }
+        for &fw in blocks.remainder() {
+            let w = self
+                .narrow
+                .run(lattice, word0 + i, MaskKind::On, Route::TopBottom)[0];
+            if w & tm != fw {
+                return false;
+            }
+            i += 1;
+        }
+        true
     }
 
     /// True if the lattice computes exactly `f`, comparing word by word
-    /// with early exit on the first mismatch.
+    /// with early exit on the first mismatch (cooperative across pool
+    /// tasks on wide tables).
     ///
     /// # Panics
     ///
     /// Panics if arities differ.
     pub fn computes(&mut self, lattice: &Lattice, f: &TruthTable) -> bool {
         assert_eq!(lattice.num_vars(), f.num_vars(), "arity mismatch");
-        f.words()
-            .iter()
-            .enumerate()
-            .all(|(w, &fw)| self.top_bottom_word(lattice, w) == fw)
+        let words = f.words();
+        if par::threads() > 1 && words.len() >= PAR_MIN_WORDS {
+            let mismatch = AtomicBool::new(false);
+            // Multiple of 4 so only the final chunk can have a 1-lane tail.
+            let chunk = par::chunk_len(words.len(), 4).next_multiple_of(4);
+            par::par_chunks(words, chunk, |ci, expect| {
+                let mut scratch = BitEvaluator::new();
+                if !scratch.words_match(lattice, ci * chunk, expect, Some(&mismatch)) {
+                    mismatch.store(true, Ordering::Relaxed);
+                }
+            });
+            !mismatch.load(Ordering::Relaxed)
+        } else {
+            self.words_match(lattice, 0, words, None)
+        }
     }
 }
 
@@ -407,6 +605,25 @@ mod tests {
             assert_eq!(eval.dual_function(&l), scalar_dual, "dual mismatch on\n{l}");
             assert!(eval.computes(&l, &scalar_tb));
             assert!(!eval.computes(&l, &scalar_tb.not()) || scalar_tb == scalar_tb.not());
+        }
+    }
+
+    #[test]
+    fn four_lane_blocks_match_single_lane_words() {
+        // 10-var lattices have 16 words: the whole-table path runs 4-lane
+        // blocks which must agree with the public single-word entry point.
+        let mut state = 0xC0FF_EE00u64;
+        let mut eval = BitEvaluator::new();
+        for _ in 0..20 {
+            let l = random_lattice(&mut state, 10);
+            let table = eval.function(&l);
+            for w in 0..word_len(10) {
+                assert_eq!(table.words()[w], eval.top_bottom_word(&l, w), "word {w}");
+            }
+            let dual = eval.dual_function(&l);
+            for w in 0..word_len(10) {
+                assert_eq!(dual.words()[w], eval.dual_word(&l, w), "dual word {w}");
+            }
         }
     }
 

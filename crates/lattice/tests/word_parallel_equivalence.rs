@@ -93,3 +93,56 @@ proptest! {
         prop_assert_eq!(second, BitEvaluator::new().function(&b));
     }
 }
+
+/// A random lattice wide enough (10–12 variables, 16–64 table words) to
+/// engage the multi-core whole-table path and its 4-lane blocks.
+fn arb_wide_lattice() -> impl Strategy<Value = Lattice> {
+    (
+        2usize..=5,
+        2usize..=5,
+        10usize..=12,
+        proptest::collection::vec((0u8..10, 0usize..12, any::<bool>()), 25),
+    )
+        .prop_map(|(rows, cols, num_vars, cells)| {
+            let grid: Vec<Vec<Site>> = (0..rows)
+                .map(|r| {
+                    (0..cols)
+                        .map(|c| {
+                            let (kind, var, positive) = cells[r * 5 + c];
+                            match kind {
+                                0 => Site::Const(false),
+                                1 => Site::Const(true),
+                                _ => Site::Literal(Literal::new(var % num_vars, positive)),
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            Lattice::from_rows(num_vars, grid).expect("well-formed by construction")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `function`, `dual_function`, and `computes` are bit-identical at
+    /// every pool width: NANOXBAR_THREADS ∈ {1, 2, 8} all reproduce the
+    /// serial result on tables wide enough to fan out.
+    #[test]
+    fn parallel_function_bit_identical_across_thread_counts(l in arb_wide_lattice()) {
+        nanoxbar_par::set_threads(1);
+        let serial = BitEvaluator::new().function(&l);
+        let serial_dual = BitEvaluator::new().dual_function(&l);
+        let mut perturbed = serial.clone();
+        perturbed.set(perturbed.num_minterms() / 2, !perturbed.value(perturbed.num_minterms() / 2));
+        for t in [2usize, 8] {
+            nanoxbar_par::set_threads(t);
+            let mut eval = BitEvaluator::new();
+            prop_assert_eq!(eval.function(&l), serial.clone(), "threads={}", t);
+            prop_assert_eq!(eval.dual_function(&l), serial_dual.clone(), "threads={}", t);
+            prop_assert!(eval.computes(&l, &serial), "threads={}", t);
+            prop_assert!(!eval.computes(&l, &perturbed), "threads={}", t);
+        }
+        nanoxbar_par::set_threads(1);
+    }
+}

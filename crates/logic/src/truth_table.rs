@@ -305,6 +305,10 @@ impl TruthTable {
     /// function whose products index the rows of a four-terminal lattice in
     /// the Altun–Riedel construction (paper, Fig. 5).
     ///
+    /// Computed directly on the packed words: `m ↦ m ^ all` reverses the
+    /// minterm order, so the dual is the complement of the bit-reversed
+    /// table — `O(words)` instead of a per-minterm scan.
+    ///
     /// ```
     /// use nanoxbar_logic::TruthTable;
     /// let f = TruthTable::from_fn(2, |m| m == 0b11); // x0 AND x1
@@ -314,23 +318,60 @@ impl TruthTable {
     /// ```
     pub fn dual(&self) -> Self {
         let n = self.num_vars;
-        let all = self.num_minterms() - 1;
-        Self::from_fn(n, |m| !self.value(m ^ all))
+        let words = if n >= 6 {
+            // 2^n is a multiple of 64: reverse the word order and the bits
+            // within each word, then complement.
+            self.words
+                .iter()
+                .rev()
+                .map(|&w| !w.reverse_bits())
+                .collect()
+        } else {
+            // Single word, low 2^n bits valid: reverse within 64 bits,
+            // shift the table back down, complement (tail masked below).
+            let width = 1u32 << n;
+            vec![!(self.words[0].reverse_bits() >> (64 - width))]
+        };
+        Self::from_words(n, words)
     }
 
     /// Cofactor with variable `var` fixed to `value`; the result still has
     /// the same arity (the fixed variable becomes irrelevant).
+    ///
+    /// Computed on the packed words: variables `x0..x5` duplicate one
+    /// in-word half over the other with a shift and mask, variables `x6+`
+    /// copy whole words between block halves.
     ///
     /// # Panics
     ///
     /// Panics if `var >= num_vars`.
     pub fn cofactor(&self, var: usize, value: bool) -> Self {
         assert!(var < self.num_vars, "variable {var} out of range");
-        let bit = 1u64 << var;
-        Self::from_fn(self.num_vars, |m| {
-            let m = if value { m | bit } else { m & !bit };
-            self.value(m)
-        })
+        let mut words = self.words.clone();
+        if var < 6 {
+            let shift = 1u32 << var;
+            let hi_mask = LOW_VAR_WORDS[var];
+            for w in &mut words {
+                if value {
+                    let hi = *w & hi_mask;
+                    *w = hi | (hi >> shift);
+                } else {
+                    let lo = *w & !hi_mask;
+                    *w = lo | (lo << shift);
+                }
+            }
+        } else {
+            let stride = 1usize << (var - 6);
+            for block in words.chunks_mut(2 * stride) {
+                let (lo, hi) = block.split_at_mut(stride);
+                if value {
+                    lo.copy_from_slice(hi);
+                } else {
+                    hi.copy_from_slice(lo);
+                }
+            }
+        }
+        Self::from_words(self.num_vars, words)
     }
 
     /// True if the function does not depend on variable `var`.
@@ -380,8 +421,70 @@ impl TruthTable {
         Self::from_fn(self.num_vars + extra, |m| self.value(m & mask))
     }
 
+    /// Exchanges the roles of variables `a` and `b` (a transposition of the
+    /// variable order), computed with word-level delta swaps:
+    ///
+    /// * both variables in-word (`< 6`) — one masked delta swap per word;
+    /// * one in-word, one word-selecting — a shifted exchange between the
+    ///   two words of every `b`-block pair;
+    /// * both word-selecting (`≥ 6`) — whole-word swaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is `>= num_vars`.
+    pub fn swap_vars(&self, a: usize, b: usize) -> Self {
+        assert!(
+            a < self.num_vars && b < self.num_vars,
+            "swap ({a},{b}) out of range for {} vars",
+            self.num_vars
+        );
+        let (a, b) = (a.min(b), a.max(b));
+        if a == b {
+            return self.clone();
+        }
+        let mut words = self.words.clone();
+        if b < 6 {
+            // In-word: positions with x_a=1, x_b=0 trade with the position
+            // `d` higher (x_a=0, x_b=1).
+            let d = (1u32 << b) - (1u32 << a);
+            let sel = LOW_VAR_WORDS[a] & !LOW_VAR_WORDS[b];
+            for w in &mut words {
+                let x = (*w ^ (*w >> d)) & sel;
+                *w ^= x ^ (x << d);
+            }
+        } else if a < 6 {
+            // Across word pairs selected by bit b-6, shifted by 2^a: the
+            // x_a=1 half of the low word trades with the x_a=0 half of the
+            // high word.
+            let shift = 1u32 << a;
+            let a_mask = LOW_VAR_WORDS[a];
+            let stride = 1usize << (b - 6);
+            for block in words.chunks_mut(2 * stride) {
+                let (lo_half, hi_half) = block.split_at_mut(stride);
+                for (lo, hi) in lo_half.iter_mut().zip(hi_half) {
+                    let new_lo = (*lo & !a_mask) | ((*hi & !a_mask) << shift);
+                    let new_hi = (*hi & a_mask) | ((*lo & a_mask) >> shift);
+                    *lo = new_lo;
+                    *hi = new_hi;
+                }
+            }
+        } else {
+            // Whole-word swaps between indices differing in bits a-6/b-6.
+            let (sa, sb) = (1usize << (a - 6), 1usize << (b - 6));
+            for i in 0..words.len() {
+                if i & sa != 0 && i & sb == 0 {
+                    words.swap(i, i + sb - sa);
+                }
+            }
+        }
+        Self::from_words(self.num_vars, words)
+    }
+
     /// Applies a variable permutation: output variable `i` takes the role of
     /// input variable `perm[i]`.
+    ///
+    /// Decomposed into at most `num_vars - 1` word-level [`swap_vars`]
+    /// transpositions instead of a per-minterm rebuild.
     ///
     /// # Panics
     ///
@@ -393,15 +496,21 @@ impl TruthTable {
             assert!(p < self.num_vars && !seen[p], "not a permutation");
             seen[p] = true;
         }
-        Self::from_fn(self.num_vars, |m| {
-            let mut orig = 0u64;
-            for (i, &p) in perm.iter().enumerate() {
-                if (m >> i) & 1 == 1 {
-                    orig |= 1 << p;
-                }
+        // Selection "sort" by transpositions: after step i, position i
+        // holds original variable perm[i].
+        let mut out = self.clone();
+        let mut current: Vec<usize> = (0..self.num_vars).collect();
+        for (i, &target) in perm.iter().enumerate() {
+            let j = current
+                .iter()
+                .position(|&v| v == target)
+                .expect("perm verified above");
+            if j != i {
+                out = out.swap_vars(i, j);
+                current.swap(i, j);
             }
-            self.value(orig)
-        })
+        }
+        out
     }
 }
 
@@ -612,6 +721,110 @@ mod tests {
                         "n={n} v={v} w={w}"
                     );
                 }
+            }
+        }
+    }
+
+    /// The pre-word-parallel reference implementations (per-minterm
+    /// `from_fn` scans) the word-level versions are proved against.
+    mod reference {
+        use super::*;
+
+        pub fn dual(t: &TruthTable) -> TruthTable {
+            let all = t.num_minterms() - 1;
+            TruthTable::from_fn(t.num_vars(), |m| !t.value(m ^ all))
+        }
+
+        pub fn cofactor(t: &TruthTable, var: usize, value: bool) -> TruthTable {
+            let bit = 1u64 << var;
+            TruthTable::from_fn(t.num_vars(), |m| {
+                let m = if value { m | bit } else { m & !bit };
+                t.value(m)
+            })
+        }
+
+        pub fn permute_vars(t: &TruthTable, perm: &[usize]) -> TruthTable {
+            TruthTable::from_fn(t.num_vars(), |m| {
+                let mut orig = 0u64;
+                for (i, &p) in perm.iter().enumerate() {
+                    if (m >> i) & 1 == 1 {
+                        orig |= 1 << p;
+                    }
+                }
+                t.value(orig)
+            })
+        }
+    }
+
+    /// Structured-random tables crossing the one-word boundary.
+    fn sample_tables(n: usize) -> Vec<TruthTable> {
+        let mut state = 0x5EED_0000u64 + n as u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..8)
+            .map(|_| {
+                let mut t = TruthTable::zeros(n);
+                for w in 0..word_len(n) {
+                    let r = next();
+                    t.words[w] = r;
+                }
+                *t.words.last_mut().unwrap() &= tail_mask(n);
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn word_dual_matches_reference() {
+        for n in [0usize, 1, 3, 5, 6, 7, 9] {
+            for t in sample_tables(n) {
+                assert_eq!(t.dual(), reference::dual(&t), "n={n} {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn word_cofactor_matches_reference() {
+        for n in [1usize, 3, 5, 6, 7, 9] {
+            for t in sample_tables(n) {
+                for var in 0..n {
+                    for value in [false, true] {
+                        assert_eq!(
+                            t.cofactor(var, value),
+                            reference::cofactor(&t, var, value),
+                            "n={n} var={var} value={value}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_swap_and_permute_match_reference() {
+        for n in [2usize, 5, 6, 7, 9] {
+            for t in sample_tables(n) {
+                // Every transposition, as both swap_vars and permute_vars.
+                for a in 0..n {
+                    for b in 0..n {
+                        let mut perm: Vec<usize> = (0..n).collect();
+                        perm.swap(a, b);
+                        let expect = reference::permute_vars(&t, &perm);
+                        assert_eq!(t.swap_vars(a, b), expect, "n={n} swap({a},{b})");
+                        assert_eq!(t.permute_vars(&perm), expect, "n={n} perm swap({a},{b})");
+                    }
+                }
+                // A full rotation exercises the decomposition.
+                let rotation: Vec<usize> = (0..n).map(|i| (i + 1) % n).collect();
+                assert_eq!(
+                    t.permute_vars(&rotation),
+                    reference::permute_vars(&t, &rotation),
+                    "n={n} rotation"
+                );
             }
         }
     }

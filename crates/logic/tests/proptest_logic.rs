@@ -45,6 +45,52 @@ proptest! {
         prop_assert_eq!(f.exists(var), f.not().forall(var).not());
     }
 
+    /// The word-level dual equals the per-minterm definition ¬f(¬x), on
+    /// arities both below and above the one-word boundary.
+    #[test]
+    fn word_dual_matches_definition(f in arb_function(5), g in arb_function(8)) {
+        for t in [&f, &g] {
+            let all = t.num_minterms() - 1;
+            let reference = TruthTable::from_fn(t.num_vars(), |m| !t.value(m ^ all));
+            prop_assert_eq!(t.dual(), reference);
+        }
+    }
+
+    /// The word-level cofactor equals the per-minterm definition.
+    #[test]
+    fn word_cofactor_matches_definition(f in arb_function(8), var in 0usize..8, value: bool) {
+        let bit = 1u64 << var;
+        let reference = TruthTable::from_fn(8, |m| {
+            f.value(if value { m | bit } else { m & !bit })
+        });
+        prop_assert_eq!(f.cofactor(var, value), reference);
+    }
+
+    /// The swap-decomposed permutation equals the per-minterm definition
+    /// for arbitrary permutations spanning the word boundary.
+    #[test]
+    fn word_permute_matches_definition(f in arb_function(8), seed in 0u64..1 << 30) {
+        // Fisher–Yates driven by the seed.
+        let mut perm: Vec<usize> = (0..8).collect();
+        let mut state = seed | 1;
+        for i in (1..8usize).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            perm.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let reference = TruthTable::from_fn(8, |m| {
+            let mut orig = 0u64;
+            for (i, &p) in perm.iter().enumerate() {
+                if (m >> i) & 1 == 1 {
+                    orig |= 1 << p;
+                }
+            }
+            f.value(orig)
+        });
+        prop_assert_eq!(f.permute_vars(&perm), reference, "perm {:?}", perm);
+    }
+
     /// Cube membership agrees between bit tricks and the truth table.
     #[test]
     fn cube_truth_table_agreement(c in arb_cube(6), m in 0u64..64) {

@@ -1,0 +1,540 @@
+//! # nanoxbar-par
+//!
+//! A dependency-free, process-global **work-stealing thread pool** with
+//! structured-concurrency primitives ([`scope`], [`par_chunks`],
+//! [`par_chunks_mut`], [`par_map_reduce`]) built purely on `std`
+//! (`std::thread`, [`Mutex`]/[`Condvar`], atomics).
+//!
+//! ## Why vendored
+//!
+//! The build environment has **no crates.io access** (see ROADMAP:
+//! vendored stand-ins), so the workspace cannot depend on `rayon`. This
+//! crate implements the small slice of that design space the word-parallel
+//! engines need: a lazily-started global pool, scoped borrowing spawns,
+//! and deterministic chunked map/reduce helpers. It is a first-class
+//! workspace crate rather than a `vendor/` stand-in because it exposes its
+//! own API, not a re-implementation of an upstream one.
+//!
+//! ## Thread count
+//!
+//! The pool size is decided once, at first use, from the
+//! **`NANOXBAR_THREADS`** environment variable; when unset (or unparsable
+//! or `0`) it defaults to [`std::thread::available_parallelism`]. Tests
+//! and benchmarks may override it at runtime with [`set_threads`]; the
+//! pool grows on demand and never shrinks (surplus workers simply sleep).
+//! With an effective count of 1 every primitive runs inline on the calling
+//! thread — no worker threads are ever started — which is the serial
+//! fallback path CI exercises via `NANOXBAR_THREADS=1`.
+//!
+//! ## Determinism
+//!
+//! All primitives are **deterministic by construction** regardless of the
+//! thread count or scheduling: chunks are fixed slices of the input,
+//! per-chunk results land in per-chunk slots, and reductions fold the
+//! slots in chunk order on the calling thread. Callers must only supply
+//! pure per-chunk work (the workspace's equivalence suites verify
+//! bit-identical results across `NANOXBAR_THREADS` ∈ {1, 2, 8}).
+//!
+//! ## Work stealing
+//!
+//! Each worker owns a local deque: jobs spawned *from* a worker push onto
+//! its own queue (LIFO hot end), idle workers first drain their own queue,
+//! then the global injector (jobs submitted from non-pool threads), then
+//! **steal** from the cold end of sibling queues. A thread blocked in
+//! [`scope`] helps execute queued jobs instead of sleeping, so nested
+//! scopes cannot deadlock the pool.
+//!
+//! ## Example
+//!
+//! ```
+//! let mut squares = vec![0u64; 1000];
+//! nanoxbar_par::par_chunks_mut(&mut squares, 64, |ci, chunk| {
+//!     for (k, x) in chunk.iter_mut().enumerate() {
+//!         let i = (ci * 64 + k) as u64;
+//!         *x = i * i;
+//!     }
+//! });
+//! assert_eq!(squares[999], 999 * 999);
+//!
+//! let total = nanoxbar_par::par_map_reduce(
+//!     &squares,
+//!     128,
+//!     |_ci, chunk| chunk.iter().sum::<u64>(),
+//!     |a, b| a + b,
+//! );
+//! assert_eq!(total, Some(squares.iter().sum()));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A queued unit of work. Lifetimes are erased by [`Scope::spawn`]; the
+/// scope's completion latch guarantees the closure never outlives the
+/// borrows it captures.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One worker's stealable job deque.
+struct LocalQueue {
+    jobs: Mutex<VecDeque<Job>>,
+}
+
+thread_local! {
+    /// The local queue of the pool worker running on this thread, if any.
+    static WORKER: RefCell<Option<Arc<LocalQueue>>> = const { RefCell::new(None) };
+}
+
+/// State shared between workers, submitters, and scope waiters.
+struct Shared {
+    /// Every worker's local queue; grown under the lock, never shrunk.
+    registry: Mutex<Vec<Arc<LocalQueue>>>,
+    /// Jobs submitted from threads outside the pool.
+    injector: Mutex<VecDeque<Job>>,
+    /// Number of queued-but-not-yet-started jobs; guards worker sleep
+    /// against lost wakeups (incremented *after* a push, decremented on a
+    /// successful pop).
+    queued: AtomicUsize,
+    /// Sleep/wake rendezvous for idle workers.
+    idle: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            registry: Mutex::new(Vec::new()),
+            injector: Mutex::new(VecDeque::new()),
+            queued: AtomicUsize::new(0),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job: onto the current worker's own queue when called
+    /// from inside the pool (the work-stealing fast path), onto the global
+    /// injector otherwise. Wakes sleepers either way.
+    fn push(&self, job: Job) {
+        let leftover = WORKER.with(|w| match &*w.borrow() {
+            Some(local) => {
+                local.jobs.lock().expect("queue poisoned").push_back(job);
+                None
+            }
+            None => Some(job),
+        });
+        if let Some(job) = leftover {
+            self.injector
+                .lock()
+                .expect("injector poisoned")
+                .push_back(job);
+        }
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        // One job, one wakeup: sleepers re-check `queued` under the idle
+        // lock before waiting, so notify_one cannot lose a wakeup, and a
+        // fan-out of k pushes wakes at most k workers instead of herding
+        // every sleeper k times.
+        let _guard = self.idle.lock().expect("idle lock poisoned");
+        self.wake.notify_one();
+    }
+
+    /// Pops a runnable job from anywhere: `me`'s own queue (hot LIFO end),
+    /// then the injector, then steals from sibling queues (cold FIFO end).
+    fn find_job(&self, me: Option<&Arc<LocalQueue>>) -> Option<Job> {
+        if let Some(local) = me {
+            if let Some(job) = local.jobs.lock().expect("queue poisoned").pop_back() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().expect("injector poisoned").pop_front() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        let victims: Vec<Arc<LocalQueue>> =
+            self.registry.lock().expect("registry poisoned").clone();
+        for victim in victims {
+            if let Some(mine) = me {
+                if Arc::ptr_eq(mine, &victim) {
+                    continue;
+                }
+            }
+            if let Some(job) = victim.jobs.lock().expect("queue poisoned").pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+/// The process-global pool.
+struct Pool {
+    shared: Arc<Shared>,
+}
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            shared: Arc::new(Shared::new()),
+        })
+    }
+
+    /// Spawns workers until the pool has at least `n`. Idempotent.
+    fn ensure_workers(&self, n: usize) {
+        let mut registry = self.shared.registry.lock().expect("registry poisoned");
+        while registry.len() < n {
+            let local = Arc::new(LocalQueue {
+                jobs: Mutex::new(VecDeque::new()),
+            });
+            registry.push(local.clone());
+            let shared = self.shared.clone();
+            let index = registry.len();
+            std::thread::Builder::new()
+                .name(format!("nanoxbar-par-{index}"))
+                .spawn(move || worker_loop(shared, local))
+                .expect("failed to spawn pool worker");
+        }
+    }
+
+    /// Runs queued jobs until the scope's latch reaches zero, sleeping on
+    /// the latch only when nothing is runnable (the remaining jobs are
+    /// then executing on other threads).
+    fn wait_scope(&self, data: &ScopeData) {
+        loop {
+            {
+                let pending = data.pending.lock().expect("latch poisoned");
+                if *pending == 0 {
+                    return;
+                }
+            }
+            let me = WORKER.with(|w| w.borrow().clone());
+            if let Some(job) = self.shared.find_job(me.as_ref()) {
+                job();
+                continue;
+            }
+            let pending = data.pending.lock().expect("latch poisoned");
+            if *pending > 0 {
+                // Completion decrements under this mutex and notifies, so
+                // the wakeup cannot be lost.
+                drop(data.done.wait(pending).expect("latch poisoned"));
+            }
+        }
+    }
+}
+
+/// Body of one pool worker thread: run jobs, steal, sleep when idle.
+fn worker_loop(shared: Arc<Shared>, local: Arc<LocalQueue>) {
+    WORKER.with(|w| *w.borrow_mut() = Some(local.clone()));
+    loop {
+        if let Some(job) = shared.find_job(Some(&local)) {
+            job();
+            continue;
+        }
+        let guard = shared.idle.lock().expect("idle lock poisoned");
+        if shared.queued.load(Ordering::SeqCst) == 0 {
+            drop(shared.wake.wait(guard).expect("idle lock poisoned"));
+        }
+    }
+}
+
+/// Effective thread count override; 0 = not yet initialised.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn threads_from_env() -> usize {
+    std::env::var("NANOXBAR_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// The effective thread count: `NANOXBAR_THREADS` (or available
+/// parallelism) at first use, unless overridden by [`set_threads`].
+/// Every parallel primitive splits work assuming this many runners;
+/// `1` means strictly inline serial execution.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::SeqCst) {
+        0 => {
+            let n = threads_from_env();
+            // Racing initialisers compute the same value, so a plain
+            // store is fine; respect a concurrent set_threads though.
+            let _ = THREADS.compare_exchange(0, n, Ordering::SeqCst, Ordering::SeqCst);
+            THREADS.load(Ordering::SeqCst)
+        }
+        n => n,
+    }
+}
+
+/// Overrides the effective thread count (clamped to ≥ 1), growing the
+/// pool if needed. Intended for tests and benchmarks that sweep thread
+/// counts; results of the primitives are bit-identical for every value,
+/// so concurrent callers are unaffected beyond scheduling.
+pub fn set_threads(n: usize) {
+    let n = n.max(1);
+    THREADS.store(n, Ordering::SeqCst);
+    if n > 1 {
+        // The caller of a scope is the n-th runner (it helps while
+        // waiting), so n - 1 workers saturate a width-n pool without
+        // oversubscribing the machine.
+        Pool::global().ensure_workers(n - 1);
+    }
+}
+
+/// Deterministic chunk length splitting `len` items into roughly
+/// `4 × threads()` chunks of at least `min_chunk` items (and at least 1).
+/// Purely advisory — any chunk size yields identical results.
+pub fn chunk_len(len: usize, min_chunk: usize) -> usize {
+    let target = threads() * 4;
+    len.div_ceil(target.max(1)).max(min_chunk).max(1)
+}
+
+/// Completion latch + panic slot for one [`scope`].
+struct ScopeData {
+    /// Spawned-but-unfinished job count.
+    pending: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload from any spawned job.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeData {
+    fn new() -> Self {
+        ScopeData {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn store_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().expect("panic slot poisoned");
+        slot.get_or_insert(payload);
+    }
+}
+
+/// A structured-concurrency scope handed to the closure of [`scope`];
+/// spawned jobs may borrow anything that outlives the `scope` call.
+pub struct Scope<'scope> {
+    pool: &'static Pool,
+    data: Arc<ScopeData>,
+    /// Invariant over `'scope`, like `std::thread::Scope`.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Schedules `f` on the pool (or runs it inline when the pool is
+    /// serial). The closure may borrow data outliving the enclosing
+    /// [`scope`] call; panics are captured and re-thrown from `scope`.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        if threads() == 1 {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                self.data.store_panic(payload);
+            }
+            return;
+        }
+        *self.data.pending.lock().expect("latch poisoned") += 1;
+        let data = self.data.clone();
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                data.store_panic(payload);
+            }
+            let mut pending = data.pending.lock().expect("latch poisoned");
+            *pending -= 1;
+            if *pending == 0 {
+                data.done.notify_all();
+            }
+        });
+        // SAFETY: `scope` does not return before the latch reaches zero
+        // (`Pool::wait_scope` runs even when the scope body panics), so
+        // the job — and every `'scope` borrow it captures — is consumed
+        // strictly within `'scope`. The transmute only erases that
+        // lifetime; the layout of `Box<dyn FnOnce() + Send>` is lifetime-
+        // independent.
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        self.pool.shared.push(job);
+    }
+}
+
+/// Runs `op` with a [`Scope`] on the global pool and blocks until every
+/// spawned job has finished (helping to execute queued jobs while
+/// waiting). The first panic from `op` or any job is resumed here after
+/// all jobs complete.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let pool = Pool::global();
+    if threads() > 1 {
+        // n - 1 workers: the scope's caller helps while waiting, making
+        // it the n-th runner.
+        pool.ensure_workers(threads() - 1);
+    }
+    let s = Scope {
+        pool,
+        data: Arc::new(ScopeData::new()),
+        _marker: PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&s)));
+    pool.wait_scope(&s.data);
+    let job_panic = s.data.panic.lock().expect("panic slot poisoned").take();
+    match (result, job_panic) {
+        (Ok(value), None) => value,
+        (_, Some(payload)) | (Err(payload), None) => panic::resume_unwind(payload),
+    }
+}
+
+/// Calls `f(chunk_index, chunk)` on every `chunk`-sized slice of `data`,
+/// chunks running in parallel. Equivalent to the serial
+/// `data.chunks(chunk).enumerate().for_each(...)` — and literally that
+/// when the pool is serial or there is only one chunk.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`, or re-throws the first panic from `f`.
+pub fn par_chunks<T, F>(data: &[T], chunk: usize, f: F)
+where
+    T: Sync,
+    F: Fn(usize, &[T]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    if threads() == 1 || data.len() <= chunk {
+        for (i, ch) in data.chunks(chunk).enumerate() {
+            f(i, ch);
+        }
+        return;
+    }
+    scope(|s| {
+        for (i, ch) in data.chunks(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || f(i, ch));
+        }
+    });
+}
+
+/// Calls `f(chunk_index, chunk)` on every `chunk`-sized mutable slice of
+/// `data`, chunks running in parallel on disjoint slices.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`, or re-throws the first panic from `f`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    if threads() == 1 || data.len() <= chunk {
+        for (i, ch) in data.chunks_mut(chunk).enumerate() {
+            f(i, ch);
+        }
+        return;
+    }
+    scope(|s| {
+        for (i, ch) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || f(i, ch));
+        }
+    });
+}
+
+/// Maps every `chunk`-sized slice of `items` through `map` in parallel,
+/// then folds the per-chunk results **in chunk order** on the calling
+/// thread — so the result is identical for every thread count whenever
+/// `map` is pure (no associativity/commutativity demands on `reduce`).
+/// Returns `None` iff `items` is empty.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`, or re-throws the first panic from `map`.
+pub fn par_map_reduce<T, U, M, R>(items: &[T], chunk: usize, map: M, reduce: R) -> Option<U>
+where
+    T: Sync,
+    U: Send,
+    M: Fn(usize, &[T]) -> U + Sync,
+    R: Fn(U, U) -> U,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    if items.is_empty() {
+        return None;
+    }
+    let n_chunks = items.len().div_ceil(chunk);
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n_chunks);
+    slots.resize_with(n_chunks, || None);
+    if threads() == 1 || n_chunks == 1 {
+        for (i, ch) in items.chunks(chunk).enumerate() {
+            slots[i] = Some(map(i, ch));
+        }
+    } else {
+        scope(|s| {
+            for (slot, (i, ch)) in slots.iter_mut().zip(items.chunks(chunk).enumerate()) {
+                let map = &map;
+                s.spawn(move || *slot = Some(map(i, ch)));
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("all chunks completed"))
+        .reduce(reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunk_len_is_sane() {
+        assert_eq!(chunk_len(0, 1), 1);
+        assert!(chunk_len(1000, 1) >= 1);
+        assert_eq!(chunk_len(10, 64), 64);
+    }
+
+    #[test]
+    fn serial_and_parallel_results_agree() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let expect: u64 = data.iter().map(|x| x * 3).sum();
+        for t in [1usize, 2, 8] {
+            set_threads(t);
+            let got = par_map_reduce(
+                &data,
+                97,
+                |_i, ch| ch.iter().map(|x| x * 3).sum::<u64>(),
+                |a, b| a + b,
+            );
+            assert_eq!(got, Some(expect), "threads={t}");
+        }
+        set_threads(1);
+    }
+
+    #[test]
+    fn scope_spawn_counts_every_job() {
+        set_threads(4);
+        let counter = AtomicU64::new(0);
+        scope(|s| {
+            for i in 0..100u64 {
+                let counter = &counter;
+                s.spawn(move || {
+                    counter.fetch_add(i, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 99 * 100 / 2);
+        set_threads(1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Integration tests for the global work-stealing pool: structured
+//! borrowing, determinism across thread counts, panic propagation,
+//! nested scopes, and a stealing stress test.
+//!
+//! `set_threads` is a process-global override and the tests in this
+//! binary run concurrently; every assertion therefore only relies on
+//! properties that hold for *any* effective thread count (which is
+//! exactly the pool's determinism contract).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use nanoxbar_par as par;
+
+#[test]
+fn chunks_mut_writes_every_slot_exactly_once() {
+    par::set_threads(8);
+    let mut data = vec![0u32; 1543];
+    par::par_chunks_mut(&mut data, 17, |ci, chunk| {
+        for (k, x) in chunk.iter_mut().enumerate() {
+            *x += (ci * 17 + k) as u32 + 1;
+        }
+    });
+    for (i, &x) in data.iter().enumerate() {
+        assert_eq!(x, i as u32 + 1, "slot {i}");
+    }
+}
+
+#[test]
+fn scope_jobs_borrow_the_stack() {
+    par::set_threads(4);
+    let inputs: Vec<u64> = (0..256).collect();
+    let mut outputs = vec![0u64; 256];
+    par::scope(|s| {
+        for (out, chunk) in outputs.chunks_mut(32).zip(inputs.chunks(32)) {
+            s.spawn(move || {
+                for (o, &i) in out.iter_mut().zip(chunk) {
+                    *o = i * i;
+                }
+            });
+        }
+    });
+    assert!(outputs
+        .iter()
+        .enumerate()
+        .all(|(i, &o)| o == (i * i) as u64));
+}
+
+#[test]
+fn map_reduce_is_order_preserving() {
+    // The reduction must fold chunks in order, so a non-commutative
+    // reduce (string concatenation) reproduces the serial result.
+    let items: Vec<usize> = (0..200).collect();
+    let serial: String = items.iter().map(|i| format!("{i},")).collect();
+    for t in [1usize, 2, 8] {
+        par::set_threads(t);
+        let joined = par::par_map_reduce(
+            &items,
+            7,
+            |_ci, chunk| chunk.iter().map(|i| format!("{i},")).collect::<String>(),
+            |a, b| a + &b,
+        );
+        assert_eq!(joined.as_deref(), Some(serial.as_str()), "threads={t}");
+    }
+}
+
+#[test]
+fn map_reduce_empty_is_none() {
+    let empty: [u8; 0] = [];
+    assert_eq!(
+        par::par_map_reduce(&empty, 4, |_i, c| c.len(), |a, b| a + b),
+        None
+    );
+}
+
+#[test]
+fn job_panics_propagate_after_all_jobs_finish() {
+    par::set_threads(4);
+    let finished = AtomicUsize::new(0);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        par::scope(|s| {
+            for i in 0..16 {
+                let finished = &finished;
+                s.spawn(move || {
+                    if i == 5 {
+                        panic!("job 5 exploded");
+                    }
+                    finished.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+    }));
+    assert!(result.is_err(), "the job panic must surface");
+    // Every non-panicking job still ran to completion before the panic
+    // was rethrown (the scope waits for its latch first).
+    assert_eq!(finished.load(Ordering::SeqCst), 15);
+}
+
+#[test]
+fn nested_scopes_do_not_deadlock() {
+    par::set_threads(4);
+    let total = AtomicUsize::new(0);
+    par::scope(|outer| {
+        for _ in 0..8 {
+            let total = &total;
+            outer.spawn(move || {
+                // A scope opened from inside a pool job: the waiting job
+                // helps drain queues instead of sleeping.
+                par::scope(|inner| {
+                    for _ in 0..8 {
+                        inner.spawn(move || {
+                            total.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            });
+        }
+    });
+    assert_eq!(total.load(Ordering::SeqCst), 64);
+}
+
+#[test]
+fn stress_many_small_jobs() {
+    par::set_threads(8);
+    let hits = AtomicUsize::new(0);
+    for _round in 0..20 {
+        par::scope(|s| {
+            for _ in 0..200 {
+                let hits = &hits;
+                s.spawn(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+    }
+    assert_eq!(hits.load(Ordering::SeqCst), 20 * 200);
+}

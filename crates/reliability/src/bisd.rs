@@ -15,9 +15,12 @@
 //! complemented), exactly the block-code scheme the paper describes.
 
 use nanoxbar_crossbar::{ArraySize, Crossbar};
+use nanoxbar_par as par;
 
 use crate::defect::{CrosspointHealth, DefectMap};
-use crate::fsim::{golden_rows, simulate_with_defects, TestVector};
+use crate::fsim::{
+    golden_rows, simulate_with_defects, PackedDefectSim, PackedSim, PackedVectors, TestVector,
+};
 
 /// A diagnosis plan for one fabric size.
 #[derive(Clone, Debug)]
@@ -28,6 +31,16 @@ pub struct DiagnosisPlan {
     /// The all-programmed type configuration.
     type_config: Crossbar,
     vectors: Vec<TestVector>,
+    /// The stimuli packed once at generation time ([`PackedVectors`]);
+    /// every [`DiagnosisPlan::diagnose`] call then judges each
+    /// configuration with whole-test-set word operations.
+    packed: Vec<PackedVectors>,
+    /// Golden row words per code configuration, chunk-major
+    /// (`[chunk × rows + r]`), precomputed at generation time so
+    /// diagnosing a chip performs no fault-free simulation at all.
+    code_golden: Vec<Vec<u64>>,
+    /// Golden row words of the type configuration, chunk-major.
+    type_golden: Vec<u64>,
 }
 
 /// Diagnosis outcome.
@@ -90,11 +103,23 @@ impl DiagnosisPlan {
             v[c] = false;
             vectors.push(v);
         }
+        let packed = PackedVectors::pack(&vectors, size.cols);
+        let golden_of = |config: &Crossbar| -> Vec<u64> {
+            packed
+                .iter()
+                .flat_map(|chunk| PackedSim::new(config, chunk).golden().to_vec())
+                .collect()
+        };
+        let code_golden = code_configs.iter().map(&golden_of).collect();
+        let type_golden = golden_of(&type_config);
         DiagnosisPlan {
             size,
             code_configs,
             type_config,
             vectors,
+            packed,
+            code_golden,
+            type_golden,
         }
     }
 
@@ -108,30 +133,76 @@ impl DiagnosisPlan {
         self.size
     }
 
-    /// Pass/fail outcome of one configuration on a defective chip. On a
-    /// healthy chip every device behaves as programmed, so the expected
-    /// response is the plain fault-free simulation — no per-call healthy
-    /// [`DefectMap`] needs to be allocated and scanned.
-    fn fails(&self, config: &Crossbar, defects: &DefectMap) -> bool {
+    /// Pass/fail outcome of one configuration on a defective chip, on the
+    /// word-parallel path: the defective chip's row words for all packed
+    /// stimuli at once ([`PackedDefectSim`]) against the golden words
+    /// precomputed at generation time. On a healthy chip every device
+    /// behaves as programmed, so the golden response is the plain
+    /// fault-free simulation — no per-call healthy [`DefectMap`] needs
+    /// to be allocated and scanned, and no fault-free re-simulation runs
+    /// per diagnosed chip.
+    fn fails(&self, config: &Crossbar, golden: &[u64], defects: &DefectMap) -> bool {
+        let sim = PackedDefectSim::new(config, defects);
+        let rows = self.size.rows;
+        let mut actual = Vec::new();
+        self.packed.iter().enumerate().any(|(ci, chunk)| {
+            sim.rows_into(chunk, &mut actual);
+            golden[ci * rows..(ci + 1) * rows] != actual[..]
+        })
+    }
+
+    /// Scalar reference for [`DiagnosisPlan::fails`]: one full-array
+    /// simulation per (configuration, vector) pair.
+    fn fails_scalar(&self, config: &Crossbar, defects: &DefectMap) -> bool {
         self.vectors
             .iter()
             .any(|v| simulate_with_defects(config, defects, v) != golden_rows(config, v))
     }
 
-    /// Runs the plan against a chip and decodes the syndrome.
+    /// Runs the plan against a chip and decodes the syndrome. Each
+    /// configuration is judged with whole-test-set word operations, the
+    /// code configurations concurrently on the [`nanoxbar_par`] pool
+    /// (each syndrome bit is independent, so the diagnosis is identical
+    /// at every `NANOXBAR_THREADS` setting and bit-identical to
+    /// [`DiagnosisPlan::diagnose_scalar`]).
     ///
     /// Sound under the single-fault assumption the paper's scheme is built
     /// on; with multiple defects the decoded location is the bitwise OR of
     /// the open-fault codes (a superset indicator), so callers needing
     /// multi-fault handling should iterate (diagnose → repair → re-run).
     pub fn diagnose(&self, defects: &DefectMap) -> Diagnosis {
-        let type_fail = self.fails(&self.type_config, defects);
+        let type_fail = self.fails(&self.type_config, &self.type_golden, defects);
+        let syndrome = par::par_map_reduce(
+            &self.code_configs,
+            1,
+            |j, configs| {
+                if self.fails(&configs[0], &self.code_golden[j], defects) {
+                    1usize << j
+                } else {
+                    0
+                }
+            },
+            |a, b| a | b,
+        )
+        .unwrap_or(0);
+        self.decode(type_fail, syndrome)
+    }
+
+    /// Scalar reference for [`DiagnosisPlan::diagnose`]: sequential
+    /// configurations, one full-array simulation per vector.
+    pub fn diagnose_scalar(&self, defects: &DefectMap) -> Diagnosis {
+        let type_fail = self.fails_scalar(&self.type_config, defects);
         let mut syndrome = 0usize;
         for (j, config) in self.code_configs.iter().enumerate() {
-            if self.fails(config, defects) {
+            if self.fails_scalar(config, defects) {
                 syndrome |= 1 << j;
             }
         }
+        self.decode(type_fail, syndrome)
+    }
+
+    /// Decodes the (type, syndrome) outcome pair into a [`Diagnosis`].
+    fn decode(&self, type_fail: bool, syndrome: usize) -> Diagnosis {
         if !type_fail && syndrome == 0 {
             return Diagnosis::Healthy;
         }

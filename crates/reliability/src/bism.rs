@@ -23,9 +23,10 @@ use rand_chacha::ChaCha8Rng;
 
 use nanoxbar_crossbar::{ArraySize, Crossbar};
 use nanoxbar_logic::Cover;
+use nanoxbar_par as par;
 
 use crate::defect::{CrosspointHealth, DefectMap};
-use crate::fsim::simulate_with_defects;
+use crate::fsim::{simulate_with_defects, PackedDefectSim, PackedSim, PackedVectors};
 
 /// The application to map onto a fabric.
 ///
@@ -156,9 +157,41 @@ fn stimuli(app: &Application, cols: usize) -> Vec<Vec<bool>> {
     vectors
 }
 
+/// Packed BIST verdict for an already-programmed configuration: every
+/// *used* row must respond exactly like a healthy chip on every packed
+/// stimulus. The golden words come from [`PackedSim`] (a healthy chip
+/// behaves exactly as programmed) and the defective words from
+/// [`PackedDefectSim`] — whole-test-set word compares instead of the
+/// per-vector loops of [`application_bist_scalar`].
+fn bist_passes(
+    config: &Crossbar,
+    mapping: &Mapping,
+    defects: &DefectMap,
+    packed: &[PackedVectors],
+) -> bool {
+    let sim = PackedDefectSim::new(config, defects);
+    let mut actual = Vec::new();
+    packed.iter().all(|chunk| {
+        let golden = PackedSim::new(config, chunk);
+        sim.rows_into(chunk, &mut actual);
+        mapping.iter().all(|&r| golden.golden()[r] == actual[r])
+    })
+}
+
 /// Application-dependent BIST: pass iff every *used* row responds exactly
-/// like a healthy chip would on every stimulus.
+/// like a healthy chip would on every stimulus. Runs on the word-parallel
+/// packed path; [`application_bist_scalar`] is the per-vector reference
+/// it is proved bit-identical to.
 pub fn application_bist(app: &Application, mapping: &Mapping, defects: &DefectMap) -> bool {
+    let size = defects.size();
+    let config = program(app, mapping, size);
+    let packed = PackedVectors::pack(&stimuli(app, size.cols), size.cols);
+    bist_passes(&config, mapping, defects, &packed)
+}
+
+/// Scalar reference for [`application_bist`]: one full-array simulation
+/// per (stimulus, chip) pair.
+pub fn application_bist_scalar(app: &Application, mapping: &Mapping, defects: &DefectMap) -> bool {
     let size = defects.size();
     let config = program(app, mapping, size);
     let healthy = DefectMap::healthy(size);
@@ -170,10 +203,87 @@ pub fn application_bist(app: &Application, mapping: &Mapping, defects: &DefectMa
     })
 }
 
+/// The walking-zero stimuli of [`application_bisd`], packed: stimulus `k`
+/// drives physical column `app.columns[k]` low.
+fn walking_packed(app: &Application, cols: usize) -> Vec<PackedVectors> {
+    let walking: Vec<Vec<bool>> = app
+        .columns
+        .iter()
+        .map(|&pc| {
+            let mut v = vec![true; cols];
+            v[pc] = false;
+            v
+        })
+        .collect();
+    PackedVectors::pack(&walking, cols)
+}
+
+/// Packed BISD sweep over an already-programmed configuration; see
+/// [`application_bisd`].
+fn bisd_find(
+    app: &Application,
+    mapping: &Mapping,
+    defects: &DefectMap,
+    config: &Crossbar,
+    walking: &[PackedVectors],
+) -> Vec<(usize, usize, CrosspointHealth)> {
+    let sim = PackedDefectSim::new(config, defects);
+    let mut used: Vec<usize> = mapping.clone();
+    used.sort_unstable();
+    used.dedup();
+    let mut actual = Vec::new();
+    let mut found = Vec::new();
+    // Running stimulus offset across chunks (chunk sizes are an internal
+    // detail of `PackedVectors::pack`).
+    let mut offset = 0;
+    for chunk in walking {
+        let golden = PackedSim::new(config, chunk);
+        sim.rows_into(chunk, &mut actual);
+        for j in 0..chunk.count() {
+            let pc = app.columns[offset + j];
+            for &r in &used {
+                let g = (golden.golden()[r] >> j) & 1 == 1;
+                let a = (actual[r] >> j) & 1 == 1;
+                if g != a {
+                    let health = if g {
+                        // Expected high, pulled low: a device where none
+                        // should be — stuck-closed at (r, pc).
+                        CrosspointHealth::StuckClosed
+                    } else {
+                        // Expected low, read high: the programmed device
+                        // is missing — stuck-open at (r, pc).
+                        CrosspointHealth::StuckOpen
+                    };
+                    found.push((r, pc, health));
+                }
+            }
+        }
+        offset += chunk.count();
+    }
+    found
+}
+
 /// Application-dependent BISD: walking-zero responses localise each
 /// mismatch to a (used row, physical column) resource; the mismatch
-/// direction tells the fault type. Returns the defective used resources.
+/// direction tells the fault type. Returns the defective used resources,
+/// ordered by stimulus then row. Runs on the word-parallel packed path
+/// (all walking-zero responses in one [`PackedDefectSim`] pass);
+/// [`application_bisd_scalar`] is the per-vector reference returning the
+/// same resource set.
 pub fn application_bisd(
+    app: &Application,
+    mapping: &Mapping,
+    defects: &DefectMap,
+) -> Vec<(usize, usize, CrosspointHealth)> {
+    let size = defects.size();
+    let config = program(app, mapping, size);
+    let walking = walking_packed(app, size.cols);
+    bisd_find(app, mapping, defects, &config, &walking)
+}
+
+/// Scalar reference for [`application_bisd`]: one full-array simulation
+/// per (walking-zero stimulus, chip) pair.
+pub fn application_bisd_scalar(
     app: &Application,
     mapping: &Mapping,
     defects: &DefectMap,
@@ -191,12 +301,8 @@ pub fn application_bisd(
         for &r in &used {
             if golden[r] != actual[r] {
                 let health = if golden[r] && !actual[r] {
-                    // Expected high, pulled low: a device where none should
-                    // be — stuck-closed at (r, pc).
                     CrosspointHealth::StuckClosed
                 } else {
-                    // Expected low, read high: the programmed device is
-                    // missing — stuck-open at (r, pc).
                     CrosspointHealth::StuckOpen
                 };
                 found.push((r, pc, health));
@@ -267,64 +373,100 @@ pub fn run_bism(
     let mut stats = BismStats::default();
     let mut known_bad: HashSet<(usize, usize, CrosspointHealth)> = HashSet::new();
 
+    // The stimuli depend only on the application and fabric width: pack
+    // them once and reuse across every attempt.
+    let packed = PackedVectors::pack(&stimuli(app, size.cols), size.cols);
+    let walking = walking_packed(app, size.cols);
+
     while stats.attempts < max_attempts {
-        stats.attempts += 1;
-        let greedy_now = match strategy {
+        let greedy_next = match strategy {
             BismStrategy::Blind => false,
             BismStrategy::Greedy => true,
-            BismStrategy::Hybrid { blind_retries } => stats.attempts > blind_retries,
+            BismStrategy::Hybrid { blind_retries } => stats.attempts + 1 > blind_retries,
         };
 
-        let mapping: Option<Mapping> = if greedy_now {
-            // Deterministic-greedy placement avoiding known-bad resources,
-            // with a randomised row order to escape adversarial layouts.
-            let mut rows: Vec<usize> = (0..size.rows).collect();
-            rows.shuffle(&mut rng);
-            let mut taken: HashSet<usize> = HashSet::new();
-            let mut mapping = Vec::with_capacity(app.product_count());
-            let mut ok = true;
-            for p in 0..app.product_count() {
-                match rows
-                    .iter()
-                    .find(|&&r| !taken.contains(&r) && row_compatible(app, p, r, &known_bad))
-                {
-                    Some(&r) => {
-                        taken.insert(r);
-                        mapping.push(r);
-                    }
-                    None => {
-                        ok = false;
-                        break;
-                    }
+        if !greedy_next {
+            // Blind phase: candidate mappings are independent, so draw a
+            // batch (the serial shuffle sequence, just taken ahead) and
+            // judge them concurrently on the pool. Counters advance as if
+            // the candidates had been tried one by one — the first passing
+            // candidate ends the run with exactly the serial stats.
+            let blind_left = match strategy {
+                BismStrategy::Blind => max_attempts - stats.attempts,
+                BismStrategy::Hybrid { blind_retries } => {
+                    (blind_retries - stats.attempts).min(max_attempts - stats.attempts)
+                }
+                BismStrategy::Greedy => unreachable!("greedy is never in the blind phase"),
+            };
+            let batch = (par::threads() as u64).min(blind_left).max(1) as usize;
+            let candidates: Vec<Mapping> = (0..batch)
+                .map(|_| {
+                    let mut rows: Vec<usize> = (0..size.rows).collect();
+                    rows.shuffle(&mut rng);
+                    rows[..app.product_count()].to_vec()
+                })
+                .collect();
+            let mut passed = vec![false; batch];
+            par::par_chunks_mut(&mut passed, 1, |i, slot| {
+                let config = program(app, &candidates[i], size);
+                slot[0] = bist_passes(&config, &candidates[i], defects, &packed);
+            });
+            match passed.iter().position(|&ok| ok) {
+                Some(i) => {
+                    stats.attempts += i as u64 + 1;
+                    stats.bist_runs += i as u64 + 1;
+                    stats.success = true;
+                    return stats;
+                }
+                None => {
+                    stats.attempts += batch as u64;
+                    stats.bist_runs += batch as u64;
                 }
             }
-            if ok {
-                Some(mapping)
-            } else {
-                None
-            }
-        } else {
-            let mut rows: Vec<usize> = (0..size.rows).collect();
-            rows.shuffle(&mut rng);
-            Some(rows[..app.product_count()].to_vec())
-        };
+            continue;
+        }
 
-        let Some(mapping) = mapping else {
+        // Greedy phase: each attempt feeds the next through the diagnosed
+        // defect set, so attempts stay sequential (the packed engines make
+        // each one a handful of word operations).
+        stats.attempts += 1;
+        // Deterministic-greedy placement avoiding known-bad resources,
+        // with a randomised row order to escape adversarial layouts.
+        let mut rows: Vec<usize> = (0..size.rows).collect();
+        rows.shuffle(&mut rng);
+        let mut taken: HashSet<usize> = HashSet::new();
+        let mut mapping = Vec::with_capacity(app.product_count());
+        let mut ok = true;
+        for p in 0..app.product_count() {
+            match rows
+                .iter()
+                .find(|&&r| !taken.contains(&r) && row_compatible(app, p, r, &known_bad))
+            {
+                Some(&r) => {
+                    taken.insert(r);
+                    mapping.push(r);
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
             // Knowledge says no compatible placement exists.
             stats.success = false;
             return stats;
-        };
+        }
 
+        let config = program(app, &mapping, size);
         stats.bist_runs += 1;
-        if application_bist(app, &mapping, defects) {
+        if bist_passes(&config, &mapping, defects, &packed) {
             stats.success = true;
             return stats;
         }
-        if greedy_now {
-            stats.bisd_runs += 1;
-            for bad in application_bisd(app, &mapping, defects) {
-                known_bad.insert(bad);
-            }
+        stats.bisd_runs += 1;
+        for bad in bisd_find(app, &mapping, defects, &config, &walking) {
+            known_bad.insert(bad);
         }
     }
     stats

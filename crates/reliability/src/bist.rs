@@ -19,6 +19,7 @@
 //! fault simulation over [`crate::fault::fault_universe`].
 
 use nanoxbar_crossbar::{ArraySize, Crossbar};
+use nanoxbar_par as par;
 
 use crate::fault::{fault_universe, FabricFault};
 use crate::fsim::{detects_with_golden, golden_rows, PackedSim, PackedVectors, TestVector};
@@ -173,22 +174,37 @@ impl TestPlan {
     /// word-parallel path: per configuration the test vectors are packed
     /// into column bitsets and the golden row words computed once
     /// ([`PackedSim`]); each fault is then judged against all vectors at
-    /// once, skipping faults already detected by an earlier
-    /// configuration. Bit-identical to [`TestPlan::coverage_scalar`].
+    /// once, moving to the next configuration only if undetected so far.
+    /// The universe is split into chunks judged concurrently on the
+    /// [`nanoxbar_par`] pool — each fault's verdict is independent, so
+    /// the report is bit-identical to [`TestPlan::coverage_scalar`] at
+    /// every `NANOXBAR_THREADS` setting.
     pub fn coverage(&self, size: ArraySize, universe: &[FabricFault]) -> CoverageReport {
         let _ = size;
+        // Pack every configuration's vectors and build all simulators up
+        // front (one golden pass each), so the parallel fault sweep only
+        // reads shared state.
+        let packed: Vec<(&Crossbar, Vec<PackedVectors>)> = self
+            .configurations
+            .iter()
+            .map(|tc| {
+                let cols = tc.config.size().cols;
+                (&tc.config, PackedVectors::pack(&tc.vectors, cols))
+            })
+            .collect();
+        let sims: Vec<PackedSim> = packed
+            .iter()
+            .flat_map(|(config, chunks)| chunks.iter().map(|chunk| PackedSim::new(config, chunk)))
+            .collect();
         let mut detected = vec![false; universe.len()];
-        for tc in &self.configurations {
-            let cols = tc.config.size().cols;
-            for packed in PackedVectors::pack(&tc.vectors, cols) {
-                let sim = PackedSim::new(&tc.config, &packed);
-                for (seen, &fault) in detected.iter_mut().zip(universe) {
-                    if !*seen && sim.detect_word(fault) != 0 {
-                        *seen = true;
-                    }
-                }
+        let chunk = par::chunk_len(universe.len(), 32);
+        par::par_chunks_mut(&mut detected, chunk, |ci, seen| {
+            let base = ci * chunk;
+            for (k, slot) in seen.iter_mut().enumerate() {
+                let fault = universe[base + k];
+                *slot = sims.iter().any(|sim| sim.detect_word(fault) != 0);
             }
-        }
+        });
         let undetected: Vec<FabricFault> = universe
             .iter()
             .zip(&detected)

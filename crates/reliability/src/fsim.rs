@@ -23,6 +23,7 @@
 
 use nanoxbar_crossbar::Crossbar;
 
+use crate::defect::{CrosspointHealth, DefectMap};
 use crate::fault::FabricFault;
 
 /// A test stimulus: the logic value driven on each column.
@@ -340,12 +341,16 @@ impl<'a> PackedSim<'a> {
 /// every crosspoint defect in the map is active simultaneously). Used by
 /// the self-mapping (BISM) and defect-unaware-flow experiments.
 ///
+/// This is the scalar reference path; sweeps that apply many vectors to
+/// one (configuration, defect map) pair should use the word-parallel
+/// [`PackedDefectSim`], which computes all packed vectors in one pass.
+///
 /// # Panics
 ///
 /// Panics if the defect map, configuration, and vector disagree on size.
 pub fn simulate_with_defects(
     config: &Crossbar,
-    defects: &crate::defect::DefectMap,
+    defects: &DefectMap,
     vector: &TestVector,
 ) -> Vec<bool> {
     let size = config.size();
@@ -355,14 +360,104 @@ pub fn simulate_with_defects(
         .map(|r| {
             (0..size.cols).all(|c| {
                 let present = match defects.health(r, c) {
-                    crate::defect::CrosspointHealth::Good => config.is_programmed(r, c),
-                    crate::defect::CrosspointHealth::StuckOpen => false,
-                    crate::defect::CrosspointHealth::StuckClosed => true,
+                    CrosspointHealth::Good => config.is_programmed(r, c),
+                    CrosspointHealth::StuckOpen => false,
+                    CrosspointHealth::StuckClosed => true,
                 };
                 !present || vector[c]
             })
         })
         .collect()
+}
+
+/// Word-parallel defect-map simulator: the [`simulate_with_defects`]
+/// semantics evaluated for **all packed vectors at once**.
+///
+/// The defect map only changes which devices are present — a
+/// vector-independent predicate — so row `r`'s response under every
+/// packed vector is one wired-AND fold over its present columns:
+/// `rows × cols` word operations replace `vectors × rows × cols` boolean
+/// operations. This is what turns the per-vector loops of
+/// `application_bist` / `application_bisd` / `DiagnosisPlan::diagnose`
+/// into whole-test-set word ops.
+///
+/// # Examples
+///
+/// ```
+/// use nanoxbar_crossbar::{ArraySize, Crossbar};
+/// use nanoxbar_reliability::defect::{CrosspointHealth, DefectMap};
+/// use nanoxbar_reliability::fsim::{simulate_with_defects, PackedDefectSim, PackedVectors};
+///
+/// let size = ArraySize::new(2, 3);
+/// let mut config = Crossbar::new(size);
+/// config.set(0, 0, true);
+/// let mut defects = DefectMap::healthy(size);
+/// defects.set(1, 2, CrosspointHealth::StuckClosed);
+/// let vectors = vec![vec![true, true, false], vec![false, true, true]];
+/// let packed = PackedVectors::pack(&vectors, 3);
+/// let rows = PackedDefectSim::new(&config, &defects).rows(&packed[0]);
+/// for (j, vector) in vectors.iter().enumerate() {
+///     let scalar = simulate_with_defects(&config, &defects, vector);
+///     for (r, &row) in scalar.iter().enumerate() {
+///         assert_eq!((rows[r] >> j) & 1 == 1, row);
+///     }
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct PackedDefectSim<'a> {
+    config: &'a Crossbar,
+    defects: &'a DefectMap,
+}
+
+impl<'a> PackedDefectSim<'a> {
+    /// Pairs a configuration with a defect map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the defect map and configuration disagree on size.
+    pub fn new(config: &'a Crossbar, defects: &'a DefectMap) -> Self {
+        assert_eq!(defects.size(), config.size(), "defect map size mismatch");
+        PackedDefectSim { config, defects }
+    }
+
+    /// True if the device at `(row, col)` conducts on the defective chip.
+    fn present(&self, row: usize, col: usize) -> bool {
+        match self.defects.health(row, col) {
+            CrosspointHealth::Good => self.config.is_programmed(row, col),
+            CrosspointHealth::StuckOpen => false,
+            CrosspointHealth::StuckClosed => true,
+        }
+    }
+
+    /// Row response words: bit `j` of entry `r` is row `r`'s value under
+    /// packed vector `j` (bits beyond [`PackedVectors::count`] are zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors' arity differs from the configuration's.
+    pub fn rows(&self, vectors: &PackedVectors) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.rows_into(vectors, &mut out);
+        out
+    }
+
+    /// [`PackedDefectSim::rows`] into a caller-owned buffer (cleared and
+    /// refilled), so per-attempt sweeps reuse one allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors' arity differs from the configuration's.
+    pub fn rows_into(&self, vectors: &PackedVectors, out: &mut Vec<u64>) {
+        let size = self.config.size();
+        assert_eq!(vectors.lines.len(), size.cols, "vector arity mismatch");
+        let vmask = vectors.vector_mask();
+        out.clear();
+        out.extend((0..size.rows).map(|r| {
+            (0..size.cols)
+                .filter(|&c| self.present(r, c))
+                .fold(vmask, |acc, c| acc & vectors.lines[c])
+        }));
+    }
 }
 
 #[cfg(test)]
@@ -490,6 +585,51 @@ mod tests {
                         vectors[w * 64 + j][c],
                         "chunk {w} vector {j} col {c}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_defect_rows_match_scalar_simulation() {
+        use crate::defect::{CrosspointHealth, DefectMap};
+        let mut state = 0xDEFEC7u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (rows, cols) in [(1usize, 1usize), (2, 3), (4, 4), (3, 7), (6, 2)] {
+            let size = ArraySize::new(rows, cols);
+            for _ in 0..8 {
+                let mut config = Crossbar::new(size);
+                let mut defects = DefectMap::healthy(size);
+                for r in 0..rows {
+                    for c in 0..cols {
+                        config.set(r, c, next() % 3 != 0);
+                        match next() % 5 {
+                            0 => defects.set(r, c, CrosspointHealth::StuckOpen),
+                            1 => defects.set(r, c, CrosspointHealth::StuckClosed),
+                            _ => {}
+                        }
+                    }
+                }
+                let vectors: Vec<TestVector> = (0..cols + 3)
+                    .map(|_| (0..cols).map(|_| next() & 1 == 1).collect())
+                    .collect();
+                let packed = PackedVectors::pack(&vectors, cols);
+                let sim = PackedDefectSim::new(&config, &defects);
+                let words = sim.rows(&packed[0]);
+                for (j, vector) in vectors.iter().enumerate() {
+                    let scalar = simulate_with_defects(&config, &defects, vector);
+                    for (r, &row) in scalar.iter().enumerate() {
+                        assert_eq!(
+                            (words[r] >> j) & 1 == 1,
+                            row,
+                            "row {r} vector {j} on\n{config}"
+                        );
+                    }
                 }
             }
         }

@@ -7,11 +7,45 @@
 use proptest::prelude::*;
 
 use nanoxbar_crossbar::{ArraySize, Crossbar};
+use nanoxbar_reliability::bisd::DiagnosisPlan;
+use nanoxbar_reliability::bism::{
+    application_bisd, application_bisd_scalar, application_bist, application_bist_scalar, run_bism,
+    Application, BismStrategy,
+};
 use nanoxbar_reliability::bist::{TestConfiguration, TestPlan};
+use nanoxbar_reliability::defect::{CrosspointHealth, DefectMap};
 use nanoxbar_reliability::fault::fault_universe;
-use nanoxbar_reliability::fsim::{detects, PackedSim, PackedVectors, TestVector};
+use nanoxbar_reliability::fsim::{
+    detects, simulate_with_defects, PackedDefectSim, PackedSim, PackedVectors, TestVector,
+};
 
 const MAX_SIDE: usize = 6;
+
+/// A seeded random defect map with roughly `density` defective
+/// crosspoints, split between stuck-open and stuck-closed.
+fn defect_map_from_seed(size: ArraySize, seed: u64, density_pct: u64) -> DefectMap {
+    let mut map = DefectMap::healthy(size);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for r in 0..size.rows {
+        for c in 0..size.cols {
+            if next() % 100 < density_pct {
+                let health = if next() & 1 == 1 {
+                    CrosspointHealth::StuckOpen
+                } else {
+                    CrosspointHealth::StuckClosed
+                };
+                map.set(r, c, health);
+            }
+        }
+    }
+    map
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -117,5 +151,148 @@ proptest! {
         let chunks = PackedVectors::pack(&vectors, cols);
         prop_assert_eq!(chunks.iter().map(PackedVectors::count).sum::<usize>(), vectors.len());
         prop_assert!(chunks[..chunks.len() - 1].iter().all(|p| p.count() == 64));
+    }
+
+    /// Every bit of every `PackedDefectSim` row word equals the scalar
+    /// `simulate_with_defects` verdict, on random configurations, defect
+    /// maps, and vector sets.
+    #[test]
+    fn packed_defect_sim_matches_scalar(
+        rows in 1usize..=MAX_SIDE,
+        cols in 1usize..=MAX_SIDE,
+        seed in 0u64..1u64 << 32,
+        density in 0u64..60,
+    ) {
+        let size = ArraySize::new(rows, cols);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut config = Crossbar::new(size);
+        for r in 0..rows {
+            for c in 0..cols {
+                config.set(r, c, next() % 3 != 0);
+            }
+        }
+        let defects = defect_map_from_seed(size, next(), density);
+        let vectors: Vec<TestVector> = (0..1 + (next() as usize % 12))
+            .map(|_| (0..cols).map(|_| next() & 1 == 1).collect())
+            .collect();
+        let packed = PackedVectors::pack(&vectors, cols);
+        let sim = PackedDefectSim::new(&config, &defects);
+        let words = sim.rows(&packed[0]);
+        for (j, vector) in vectors.iter().enumerate() {
+            let scalar = simulate_with_defects(&config, &defects, vector);
+            for (r, &row) in scalar.iter().enumerate() {
+                prop_assert_eq!((words[r] >> j) & 1 == 1, row, "row {} vector {}", r, j);
+            }
+        }
+    }
+
+    /// Packed application BIST/BISD agree with the scalar references:
+    /// same pass/fail verdict, same diagnosed resource set.
+    #[test]
+    fn packed_bist_bisd_match_scalar(
+        seed in 0u64..1u64 << 32,
+        density in 0u64..40,
+    ) {
+        let f = nanoxbar_logic::parse_function("x0 x1 + !x0 !x1").expect("parses");
+        let app = Application::from_cover(&nanoxbar_logic::isop_cover(&f));
+        let size = ArraySize::new(6, 6);
+        let defects = defect_map_from_seed(size, seed, density);
+        let mapping = vec![(seed % 6) as usize, 5 - (seed % 5) as usize];
+        prop_assume!(mapping[0] != mapping[1]);
+        prop_assert_eq!(
+            application_bist(&app, &mapping, &defects),
+            application_bist_scalar(&app, &mapping, &defects)
+        );
+        let mut packed = application_bisd(&app, &mapping, &defects);
+        let mut scalar = application_bisd_scalar(&app, &mapping, &defects);
+        packed.sort_unstable_by_key(|&(r, c, h)| (r, c, h as u8));
+        scalar.sort_unstable_by_key(|&(r, c, h)| (r, c, h as u8));
+        prop_assert_eq!(packed, scalar);
+    }
+
+    /// The packed diagnosis equals the scalar per-vector reference, and
+    /// stays bit-identical across NANOXBAR_THREADS ∈ {1, 2, 8}.
+    #[test]
+    fn diagnose_matches_scalar_across_thread_counts(
+        rows in 2usize..=MAX_SIDE,
+        cols in 2usize..=MAX_SIDE,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let size = ArraySize::new(rows, cols);
+        let plan = DiagnosisPlan::generate(size);
+        // Single defect (the scheme's soundness domain) and a healthy chip.
+        let mut single = DefectMap::healthy(size);
+        single.set(
+            (seed as usize) % rows,
+            (seed as usize / rows) % cols,
+            if seed & 1 == 0 { CrosspointHealth::StuckOpen } else { CrosspointHealth::StuckClosed },
+        );
+        for chip in [DefectMap::healthy(size), single] {
+            let reference = plan.diagnose_scalar(&chip);
+            for t in [1usize, 2, 8] {
+                nanoxbar_par::set_threads(t);
+                prop_assert_eq!(plan.diagnose(&chip), reference, "threads={}", t);
+            }
+            nanoxbar_par::set_threads(1);
+        }
+    }
+
+    /// Packed + batched `run_bism` reports identical stats at every pool
+    /// width (the blind batch advances the serial counters exactly).
+    #[test]
+    fn run_bism_stats_identical_across_thread_counts(
+        seed in 0u64..1u64 << 16,
+        density in 0u64..25,
+    ) {
+        let f = nanoxbar_logic::parse_function("x0 x1 + !x0 !x1").expect("parses");
+        let app = Application::from_cover(&nanoxbar_logic::isop_cover(&f));
+        let size = ArraySize::new(8, 8);
+        let chip = defect_map_from_seed(size, seed.wrapping_mul(0x9E37), density);
+        for strategy in [
+            BismStrategy::Blind,
+            BismStrategy::Greedy,
+            BismStrategy::Hybrid { blind_retries: 3 },
+        ] {
+            nanoxbar_par::set_threads(1);
+            let reference = run_bism(&app, &chip, strategy, 60, seed);
+            for t in [2usize, 8] {
+                nanoxbar_par::set_threads(t);
+                prop_assert_eq!(
+                    run_bism(&app, &chip, strategy, 60, seed),
+                    reference,
+                    "threads={} strategy={:?}",
+                    t,
+                    strategy
+                );
+            }
+            nanoxbar_par::set_threads(1);
+        }
+    }
+
+    /// Parallel `TestPlan::coverage` equals the scalar reference at every
+    /// pool width.
+    #[test]
+    fn coverage_bit_identical_across_thread_counts(
+        rows in 2usize..=8,
+        cols in 2usize..=8,
+    ) {
+        let size = ArraySize::new(rows, cols);
+        let plan = TestPlan::generate(size);
+        let universe = fault_universe(size);
+        let reference = plan.coverage_scalar(size, &universe);
+        for t in [1usize, 2, 8] {
+            nanoxbar_par::set_threads(t);
+            let report = plan.coverage(size, &universe);
+            prop_assert_eq!(report.total, reference.total, "threads={}", t);
+            prop_assert_eq!(report.detected, reference.detected, "threads={}", t);
+            prop_assert_eq!(&report.undetected, &reference.undetected, "threads={}", t);
+        }
+        nanoxbar_par::set_threads(1);
     }
 }

@@ -14,7 +14,9 @@
 //! * [`reliability`] — defects, fault simulation, BIST/BISD/BISM, and the
 //!   defect-unaware flow (Sec. IV, Fig. 6);
 //! * [`core`] — technology selection, end-to-end flows, and the Sec. V
-//!   nanocomputer elements (adders, registers, SSM).
+//!   nanocomputer elements (adders, registers, SSM);
+//! * [`par`] — the vendored work-stealing thread pool behind every
+//!   multi-core engine (`NANOXBAR_THREADS` controls the worker count).
 //!
 //! ```
 //! use nanoxbar::core::{synthesize, Technology};
@@ -33,5 +35,6 @@ pub use nanoxbar_core as core;
 pub use nanoxbar_crossbar as crossbar;
 pub use nanoxbar_lattice as lattice;
 pub use nanoxbar_logic as logic;
+pub use nanoxbar_par as par;
 pub use nanoxbar_reliability as reliability;
 pub use nanoxbar_sat as sat;
