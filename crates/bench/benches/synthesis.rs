@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use nanoxbar_core::{synthesize, Technology};
+use nanoxbar_core::Technology;
+use nanoxbar_engine::{synthesize, Engine, Job, Strategy};
 use nanoxbar_lattice::synth::{dreducible, dual_based, pcircuit};
 use nanoxbar_logic::suite::{majority, multiplexer, parity, random_sop};
 use nanoxbar_logic::TruthTable;
@@ -22,10 +23,47 @@ fn technology_synthesis(c: &mut Criterion) {
     for (name, f) in bench_functions() {
         for tech in Technology::ALL {
             group.bench_with_input(BenchmarkId::new(tech.name(), name), &f, |b, f| {
-                b.iter(|| synthesize(std::hint::black_box(f), tech).area())
+                b.iter(|| {
+                    synthesize(std::hint::black_box(f), tech)
+                        .expect("non-constant")
+                        .area()
+                })
             });
         }
     }
+    group.finish();
+}
+
+/// Engine batch throughput: the whole bench-function grid as one
+/// `run_batch` vs sequential `run` calls — the facade the batch traffic
+/// uses.
+fn engine_batch(c: &mut Criterion) {
+    let engine = Engine::new();
+    let jobs: Vec<Job> = bench_functions()
+        .into_iter()
+        .flat_map(|(_, f)| {
+            [Strategy::Diode, Strategy::Fet, Strategy::DualLattice]
+                .map(|s| Job::synthesize(f.clone()).with_strategy(s))
+        })
+        .collect();
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("run-sequential", |b| {
+        b.iter(|| {
+            jobs.iter()
+                .map(|j| engine.run(std::hint::black_box(j)).map(|r| r.area()))
+                .filter_map(Result::ok)
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("run_batch", |b| {
+        b.iter(|| {
+            engine
+                .run_batch(std::hint::black_box(&jobs))
+                .into_iter()
+                .filter_map(|r| r.map(|ok| ok.area()).ok())
+                .sum::<usize>()
+        })
+    });
     group.finish();
 }
 
@@ -52,6 +90,6 @@ fn lattice_preprocessing(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(15);
-    targets = technology_synthesis, lattice_preprocessing
+    targets = technology_synthesis, lattice_preprocessing, engine_batch
 }
 criterion_main!(benches);

@@ -17,21 +17,32 @@ const CHIPS: u64 = 100;
 const MAX_ATTEMPTS: u64 = 400;
 const FABRIC: usize = 16;
 
-fn mean_stats<F: Fn(u64) -> DefectMap>(
+fn mean_stats<F: Fn(u64) -> DefectMap + Sync>(
     app: &Application,
     chip_of: F,
     strategy: BismStrategy,
 ) -> (f64, f64, f64) {
-    let mut attempts = 0u64;
-    let mut ops = 0u64;
-    let mut successes = 0u64;
-    for seed in 0..CHIPS {
-        let chip = chip_of(seed);
-        let s: BismStats = run_bism(app, &chip, strategy, MAX_ATTEMPTS, seed ^ 0xB15D);
-        attempts += s.attempts;
-        ops += s.bist_runs + s.bisd_runs;
-        successes += u64::from(s.success);
-    }
+    // Chips are independent Monte-Carlo trials: fan the seed grid out over
+    // the work-stealing pool; the in-order reduce keeps totals identical to
+    // the sequential loop for every NANOXBAR_THREADS.
+    let seeds: Vec<u64> = (0..CHIPS).collect();
+    let (attempts, ops, successes) = nanoxbar_par::par_map_reduce(
+        &seeds,
+        1,
+        |_i, chunk| {
+            let mut acc = (0u64, 0u64, 0u64);
+            for &seed in chunk {
+                let chip = chip_of(seed);
+                let s: BismStats = run_bism(app, &chip, strategy, MAX_ATTEMPTS, seed ^ 0xB15D);
+                acc.0 += s.attempts;
+                acc.1 += s.bist_runs + s.bisd_runs;
+                acc.2 += u64::from(s.success);
+            }
+            acc
+        },
+        |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2),
+    )
+    .unwrap_or_default();
     (
         attempts as f64 / CHIPS as f64,
         ops as f64 / CHIPS as f64,

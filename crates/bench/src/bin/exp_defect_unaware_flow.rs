@@ -39,16 +39,33 @@ fn main() {
     for n in [16usize, 32, 64, 128] {
         for density in [0.01, 0.05, 0.10, 0.20] {
             let size = ArraySize::new(n, n);
-            let mut k_sum = 0usize;
-            let mut bytes = 0usize;
-            for seed in 0..CHIPS {
-                let chip =
-                    DefectMap::random_uniform(size, density * 0.7, density * 0.3, seed * 7 + 1);
-                let rec = extract_greedy(&chip);
-                assert!(rec.is_defect_free(&chip));
-                k_sum += rec.k();
-                bytes = rec.storage_bytes(2);
-            }
+            // Each chip's extraction is independent: fan the Monte-Carlo
+            // trials out over the pool; the in-order reduce reproduces the
+            // sequential totals (and the last chip's storage figure) for
+            // every NANOXBAR_THREADS.
+            let seeds: Vec<u64> = (0..CHIPS).collect();
+            let (k_sum, bytes) = nanoxbar_par::par_map_reduce(
+                &seeds,
+                1,
+                |_i, chunk| {
+                    let mut acc = (0usize, 0usize);
+                    for &seed in chunk {
+                        let chip = DefectMap::random_uniform(
+                            size,
+                            density * 0.7,
+                            density * 0.3,
+                            seed * 7 + 1,
+                        );
+                        let rec = extract_greedy(&chip);
+                        assert!(rec.is_defect_free(&chip));
+                        acc.0 += rec.k();
+                        acc.1 = rec.storage_bytes(2);
+                    }
+                    acc
+                },
+                |a, b| (a.0 + b.0, b.1),
+            )
+            .unwrap_or_default();
             let mean_k = k_sum as f64 / CHIPS as f64;
             table.row_owned(vec![
                 n.to_string(),

@@ -7,7 +7,7 @@
 
 use nanoxbar_logic::suite::{adder_carry, adder_sum_bit};
 
-use crate::tech::{synthesize, Realization, Technology};
+use crate::tech::{synth, Realization, Technology};
 
 /// A synthesised `bits`-bit ripple-carry adder (no carry-in).
 #[derive(Clone, Debug)]
@@ -41,9 +41,9 @@ impl AdderDesign {
     pub fn synthesize(bits: usize, tech: Technology) -> Self {
         assert!(bits > 0, "adder needs at least one bit");
         let sum_bits = (0..bits)
-            .map(|b| synthesize(&adder_sum_bit(bits, b), tech))
+            .map(|b| synth(&adder_sum_bit(bits, b), tech))
             .collect();
-        let carry_out = synthesize(&adder_carry(bits), tech);
+        let carry_out = synth(&adder_carry(bits), tech);
         AdderDesign {
             bits,
             technology: tech,

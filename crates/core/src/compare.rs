@@ -5,7 +5,7 @@
 use nanoxbar_logic::suite::BenchFunction;
 use nanoxbar_logic::TruthTable;
 
-use crate::tech::{synthesize, Technology};
+use crate::tech::{synth, Technology};
 
 /// Per-function comparison row.
 #[derive(Clone, Debug)]
@@ -42,7 +42,7 @@ impl ComparisonRow {
 pub fn compare_function(name: &str, f: &TruthTable) -> ComparisonRow {
     let mut dims = Vec::with_capacity(3);
     for tech in Technology::ALL {
-        let r = synthesize(f, tech);
+        let r = synth(f, tech);
         let s = r.size();
         dims.push((s.rows, s.cols, s.area()));
     }

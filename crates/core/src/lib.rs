@@ -5,27 +5,33 @@
 //! Ciriani, Tahoori — DATE 2017). This crate ties the substrates together
 //! into the paper's flows:
 //!
-//! * [`Technology`] / [`synthesize`] — one entry point for the three
-//!   crosspoint technologies (diode, FET, four-terminal lattice);
+//! * [`Technology`] / [`Realization`] — re-exported from
+//!   `nanoxbar-engine`, where synthesis now lives behind the batch
+//!   [`Engine`](nanoxbar_engine::Engine) facade (the [`synthesize`] free
+//!   function survives as a deprecated shim);
 //! * [`compare`] — the Sec. III size comparison across a benchmark suite;
-//! * [`flow`] — the defect-unaware design flow of Fig. 6(b), end to end:
-//!   synthesise → recover a defect-free sub-crossbar → place → BIST;
+//! * [`flow`] — re-exports of the defect-unaware design flow of Fig. 6(b)
+//!   (run it through `Engine::run` with [`Job::on_chip`]);
 //! * [`arith`], [`memory`], [`ssm`] — the announced future-work items
 //!   (Sec. V): crossbar adders, latches/registers, and a synchronous state
 //!   machine built from them;
 //! * [`report`] — text tables for the experiment binaries.
 //!
+//! [`Job::on_chip`]: nanoxbar_engine::Job::on_chip
+//!
 //! ## Quickstart
 //!
 //! ```
-//! use nanoxbar_core::{synthesize, Technology};
+//! use nanoxbar_core::Technology;
+//! use nanoxbar_engine::{Engine, Job, Strategy};
 //! use nanoxbar_logic::parse_function;
 //!
 //! // The paper's worked example, on all three technologies.
+//! let engine = Engine::new();
 //! let f = parse_function("x0 x1 + !x0 !x1")?;
 //! for tech in Technology::ALL {
-//!     let r = synthesize(&f, tech);
-//!     assert!(r.computes(&f));
+//!     let job = Job::synthesize(f.clone()).with_strategy(Strategy::from(tech));
+//!     assert!(engine.run(&job)?.realization.computes(&f));
 //! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -41,4 +47,6 @@ pub mod report;
 pub mod ssm;
 mod tech;
 
-pub use tech::{synthesize, Realization, Technology};
+#[allow(deprecated)]
+pub use tech::synthesize;
+pub use tech::{Realization, Technology};

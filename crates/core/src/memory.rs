@@ -8,7 +8,7 @@
 
 use nanoxbar_logic::parse_function;
 
-use crate::tech::{synthesize, Realization, Technology};
+use crate::tech::{synth, Realization, Technology};
 
 /// A crossbar-realised gated D-latch.
 ///
@@ -40,7 +40,7 @@ impl DLatch {
         let f = parse_function("x0 x1 + !x1 x2").expect("static latch equation");
         DLatch {
             technology: tech,
-            next_q: synthesize(&f, tech),
+            next_q: synth(&f, tech),
             state: false,
         }
     }

@@ -9,7 +9,7 @@
 use nanoxbar_logic::TruthTable;
 
 use crate::memory::Register;
-use crate::tech::{synthesize, Realization, Technology};
+use crate::tech::{synth, Realization, Technology};
 
 /// A crossbar-realised synchronous state machine.
 ///
@@ -57,8 +57,8 @@ impl Ssm {
             technology: tech,
             state_bits,
             input_bits,
-            next_state: next_state_fns.iter().map(|f| synthesize(f, tech)).collect(),
-            outputs: output_fns.iter().map(|f| synthesize(f, tech)).collect(),
+            next_state: next_state_fns.iter().map(|f| synth(f, tech)).collect(),
+            outputs: output_fns.iter().map(|f| synth(f, tech)).collect(),
             register: Register::synthesize(state_bits, tech),
         }
     }

@@ -1,95 +1,12 @@
 //! Technology selection and unified synthesis (paper Sec. III).
+//!
+//! The types and the implementation live in `nanoxbar-engine` now; this
+//! module re-exports them and keeps [`synthesize`] as a deprecated shim so
+//! pre-engine callers still compile.
 
-use nanoxbar_crossbar::{ArraySize, DiodeArray, FetArray};
-use nanoxbar_lattice::synth::dual_based;
-use nanoxbar_lattice::Lattice;
-use nanoxbar_logic::{dual_cover, isop_cover, TruthTable};
+pub use nanoxbar_engine::{Realization, Technology};
 
-/// The three crosspoint technologies the paper models (Fig. 1 / Fig. 3 /
-/// Fig. 5).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub enum Technology {
-    /// Two-terminal diode crosspoints (diode–resistor logic).
-    Diode,
-    /// Two-terminal FET crosspoints (complementary column networks).
-    Fet,
-    /// Four-terminal switches (percolation lattices).
-    FourTerminal,
-}
-
-impl Technology {
-    /// All technologies, in the paper's presentation order.
-    pub const ALL: [Technology; 3] = [Technology::Diode, Technology::Fet, Technology::FourTerminal];
-
-    /// Display name used in experiment tables.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Technology::Diode => "diode",
-            Technology::Fet => "fet",
-            Technology::FourTerminal => "four-terminal",
-        }
-    }
-}
-
-impl std::fmt::Display for Technology {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// A synthesised realisation of one Boolean function on one technology.
-#[derive(Clone, Debug)]
-pub enum Realization {
-    /// Diode crossbar.
-    Diode(DiodeArray),
-    /// FET crossbar.
-    Fet(FetArray),
-    /// Four-terminal lattice.
-    Lattice(Lattice),
-}
-
-impl Realization {
-    /// The array/lattice dimensions.
-    pub fn size(&self) -> ArraySize {
-        match self {
-            Realization::Diode(a) => a.size(),
-            Realization::Fet(a) => a.size(),
-            Realization::Lattice(l) => ArraySize::new(l.rows(), l.cols()),
-        }
-    }
-
-    /// Crosspoint count — the paper's area metric.
-    pub fn area(&self) -> usize {
-        self.size().area()
-    }
-
-    /// The technology of this realisation.
-    pub fn technology(&self) -> Technology {
-        match self {
-            Realization::Diode(_) => Technology::Diode,
-            Realization::Fet(_) => Technology::Fet,
-            Realization::Lattice(_) => Technology::FourTerminal,
-        }
-    }
-
-    /// Evaluates the realisation on a minterm.
-    pub fn eval(&self, m: u64) -> bool {
-        match self {
-            Realization::Diode(a) => a.eval(m),
-            Realization::Fet(a) => a.eval(m),
-            Realization::Lattice(l) => nanoxbar_lattice::eval_top_bottom(l, m),
-        }
-    }
-
-    /// Exhaustively verifies the realisation against its target.
-    pub fn computes(&self, f: &TruthTable) -> bool {
-        match self {
-            Realization::Diode(a) => a.computes(f),
-            Realization::Fet(a) => a.computes(f),
-            Realization::Lattice(l) => l.computes(f),
-        }
-    }
-}
+use nanoxbar_logic::TruthTable;
 
 /// Synthesises `f` on the chosen technology from irredundant SOP covers.
 ///
@@ -97,65 +14,52 @@ impl Realization {
 ///
 /// Panics for constant functions on the two-terminal technologies (they
 /// need no array; the lattice path returns a 1×1 constant site).
-///
-/// # Examples
-///
-/// ```
-/// use nanoxbar_core::{synthesize, Technology};
-/// use nanoxbar_logic::parse_function;
-///
-/// let f = parse_function("x0 x1 + !x0 !x1")?;
-/// // Paper Sec. III: 2x5 diode, 4x4 FET, 2x2 lattice.
-/// assert_eq!(synthesize(&f, Technology::Diode).size().to_string(), "2x5");
-/// assert_eq!(synthesize(&f, Technology::Fet).size().to_string(), "4x4");
-/// assert_eq!(synthesize(&f, Technology::FourTerminal).size().to_string(), "2x2");
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use nanoxbar_engine::Engine::run (or nanoxbar_engine::synthesize for one-shots), \
+            which returns typed errors instead of panicking"
+)]
 pub fn synthesize(f: &TruthTable, tech: Technology) -> Realization {
-    match tech {
-        Technology::Diode => Realization::Diode(DiodeArray::synthesize(&isop_cover(f))),
-        Technology::Fet => Realization::Fet(FetArray::synthesize(&isop_cover(f), &dual_cover(f))),
-        Technology::FourTerminal => Realization::Lattice(dual_based::synthesize(f)),
-    }
+    synth(f, tech)
+}
+
+/// Crate-internal one-shot synthesis for the nanocomputer elements, which
+/// construct provably non-constant functions and keep the historical
+/// panic-on-constant contract.
+pub(crate) fn synth(f: &TruthTable, tech: Technology) -> Realization {
+    nanoxbar_engine::synthesize(f, tech).unwrap_or_else(|e| panic!("synthesize: {e}"))
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use nanoxbar_crossbar::ArraySize;
     use nanoxbar_logic::parse_function;
 
     #[test]
-    fn paper_sizes_for_all_technologies() {
+    fn shim_still_realises_the_paper_sizes() {
         let f = parse_function("x0 x1 + !x0 !x1").unwrap();
-        let diode = synthesize(&f, Technology::Diode);
-        let fet = synthesize(&f, Technology::Fet);
-        let lattice = synthesize(&f, Technology::FourTerminal);
-        assert_eq!(diode.size(), ArraySize::new(2, 5));
-        assert_eq!(fet.size(), ArraySize::new(4, 4));
-        assert_eq!(lattice.size(), ArraySize::new(2, 2));
-        for r in [&diode, &fet, &lattice] {
-            assert!(r.computes(&f));
-        }
+        assert_eq!(
+            synthesize(&f, Technology::Diode).size(),
+            ArraySize::new(2, 5)
+        );
+        assert_eq!(synthesize(&f, Technology::Fet).size(), ArraySize::new(4, 4));
+        assert_eq!(
+            synthesize(&f, Technology::FourTerminal).size(),
+            ArraySize::new(2, 2)
+        );
     }
 
     #[test]
-    fn technologies_report_identity() {
-        let f = parse_function("x0 + x1").unwrap();
-        for tech in Technology::ALL {
-            let r = synthesize(&f, tech);
-            assert_eq!(r.technology(), tech);
-            assert!(r.area() > 0);
-        }
+    #[should_panic(expected = "constant")]
+    fn shim_keeps_the_historical_panic_on_constants() {
+        synthesize(&TruthTable::ones(2), Technology::Diode);
     }
 
     #[test]
-    fn eval_agrees_with_truth_table() {
-        let f = parse_function("x0 x1 + x2").unwrap();
-        for tech in Technology::ALL {
-            let r = synthesize(&f, tech);
-            for m in 0..8 {
-                assert_eq!(r.eval(m), f.value(m), "{tech} m={m}");
-            }
-        }
+    fn shim_keeps_lattice_constants_as_1x1() {
+        let r = synthesize(&TruthTable::ones(2), Technology::FourTerminal);
+        assert_eq!(r.area(), 1);
     }
 }

@@ -26,7 +26,7 @@ use crate::topology::{ArraySize, Crossbar};
 /// assert!(array.computes(&f));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct DiodeArray {
     grid: Crossbar,
     /// Literal carried by each input column (the last column is the output).

@@ -48,7 +48,7 @@ pub enum DriveState {
 /// assert!(array.computes(&f));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FetArray {
     grid: Crossbar,
     row_literals: Vec<Literal>,

@@ -1,0 +1,427 @@
+//! Trait-based synthesis backends.
+//!
+//! Each of the paper's synthesis strategies — diode arrays, FET arrays,
+//! dual-based lattices (Fig. 5), SAT-optimal lattices (ref \[9\]) — is one
+//! [`SynthesisBackend`] implementation behind a [`BackendRegistry`] of
+//! trait objects. The engine resolves a job's strategy by name, so custom
+//! backends (preprocessed lattices, future technologies) drop in without
+//! touching the engine.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+use nanoxbar_crossbar::{DiodeArray, FetArray};
+use nanoxbar_lattice::synth::{dual_based, optimal};
+use nanoxbar_lattice::Lattice;
+use nanoxbar_logic::{isop_cover, minimize::minimize_function, Cover, TruthTable};
+
+use crate::error::Error;
+use crate::tech::{Realization, Technology};
+
+/// How SOP covers are produced for the two-terminal arrays and the
+/// dual-based lattice.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MinimizeMode {
+    /// Irredundant SOP via the ISOP (Minato–Morreale) procedure — the
+    /// paper's default substrate.
+    #[default]
+    Isop,
+    /// Two-level minimisation ([`minimize_function`]): exact
+    /// Quine–McCluskey up to 10 variables, Espresso beyond.
+    Exact,
+}
+
+/// Per-job synthesis inputs shared by every backend: cover production
+/// (honouring the engine's [`MinimizeMode`]) and resource limits.
+///
+/// Construct with [`SynthesisContext::default`] and set the public fields;
+/// the context is per-job and not thread-shared (it carries a cover memo).
+#[derive(Clone, Debug, Default)]
+pub struct SynthesisContext {
+    /// Cover production mode.
+    pub minimize: MinimizeMode,
+    /// Conflict budget per SAT call for SAT-based backends.
+    pub sat_budget: Option<u64>,
+    /// Wall-clock deadline for long-running backends.
+    pub deadline: Option<Instant>,
+    /// Memo of the last [`SynthesisContext::cover`] call: chip jobs need
+    /// the same cover twice (backend synthesis, then flow placement), and
+    /// under [`MinimizeMode::Exact`] recomputing it repeats a full
+    /// minimisation.
+    pub(crate) cover_memo: RefCell<Option<(TruthTable, Cover)>>,
+}
+
+impl SynthesisContext {
+    /// An SOP cover of `f` in the configured mode (memoised per target).
+    pub fn cover(&self, f: &TruthTable) -> Cover {
+        if let Some((table, cover)) = self.cover_memo.borrow().as_ref() {
+            if table == f {
+                return cover.clone();
+            }
+        }
+        let cover = match self.minimize {
+            MinimizeMode::Isop => isop_cover(f),
+            MinimizeMode::Exact => minimize_function(f),
+        };
+        *self.cover_memo.borrow_mut() = Some((f.clone(), cover.clone()));
+        cover
+    }
+
+    /// An SOP cover of the dual `f^D` in the configured mode.
+    pub fn dual_cover(&self, f: &TruthTable) -> Cover {
+        match self.minimize {
+            MinimizeMode::Isop => isop_cover(&f.dual()),
+            MinimizeMode::Exact => minimize_function(&f.dual()),
+        }
+    }
+}
+
+/// One synthesis strategy: turns a truth table into a [`Realization`]
+/// under the engine's limits, reporting failures as typed [`Error`]s
+/// (never panicking on the request path).
+pub trait SynthesisBackend: Send + Sync {
+    /// Registry key, e.g. `"diode"`; also the `strategy` name reported in
+    /// job results.
+    fn name(&self) -> &str;
+
+    /// The crosspoint technology this backend targets.
+    fn technology(&self) -> Technology;
+
+    /// Synthesises `f`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ConstantFunction`] when the backend cannot realise
+    /// constants; [`Error::Synth`] for synthesis failures (bad covers, SAT
+    /// budget or deadline exhaustion).
+    fn synthesize(&self, f: &TruthTable, ctx: &SynthesisContext) -> Result<Realization, Error>;
+}
+
+/// The built-in strategies, resolvable by [`Strategy::name`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Strategy {
+    /// Diode–resistor crossbar (Fig. 3 left).
+    Diode,
+    /// Complementary FET crossbar (Fig. 3 right).
+    Fet,
+    /// Dual-based four-terminal lattice (Fig. 5) — always correct, not
+    /// necessarily optimal.
+    DualLattice,
+    /// SAT-based minimum-area four-terminal lattice (ref \[9\]).
+    OptimalLattice,
+}
+
+impl Strategy {
+    /// Every built-in strategy, in presentation order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Diode,
+        Strategy::Fet,
+        Strategy::DualLattice,
+        Strategy::OptimalLattice,
+    ];
+
+    /// The registry key of this strategy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Diode => "diode",
+            Strategy::Fet => "fet",
+            Strategy::DualLattice => "dual-lattice",
+            Strategy::OptimalLattice => "optimal-lattice",
+        }
+    }
+
+    /// The technology the strategy realises functions on.
+    pub fn technology(&self) -> Technology {
+        match self {
+            Strategy::Diode => Technology::Diode,
+            Strategy::Fet => Technology::Fet,
+            Strategy::DualLattice | Strategy::OptimalLattice => Technology::FourTerminal,
+        }
+    }
+}
+
+impl From<Technology> for Strategy {
+    /// The default strategy per technology (four-terminal maps to the
+    /// constructive dual-based synthesis, not the SAT search).
+    fn from(tech: Technology) -> Self {
+        match tech {
+            Technology::Diode => Strategy::Diode,
+            Technology::Fet => Strategy::Fet,
+            Technology::FourTerminal => Strategy::DualLattice,
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Rejects constants for the two-terminal technologies with a typed error.
+fn reject_constants(f: &TruthTable) -> Result<(), Error> {
+    if f.is_zero() || f.is_ones() {
+        return Err(Error::ConstantFunction {
+            num_vars: f.num_vars(),
+        });
+    }
+    Ok(())
+}
+
+/// Diode–resistor crossbar synthesis from an SOP cover.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiodeBackend;
+
+impl SynthesisBackend for DiodeBackend {
+    fn name(&self) -> &str {
+        Strategy::Diode.name()
+    }
+
+    fn technology(&self) -> Technology {
+        Technology::Diode
+    }
+
+    fn synthesize(&self, f: &TruthTable, ctx: &SynthesisContext) -> Result<Realization, Error> {
+        reject_constants(f)?;
+        Ok(Realization::Diode(DiodeArray::synthesize(&ctx.cover(f))))
+    }
+}
+
+/// Complementary FET crossbar synthesis from covers of `f` and `f^D`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FetBackend;
+
+impl SynthesisBackend for FetBackend {
+    fn name(&self) -> &str {
+        Strategy::Fet.name()
+    }
+
+    fn technology(&self) -> Technology {
+        Technology::Fet
+    }
+
+    fn synthesize(&self, f: &TruthTable, ctx: &SynthesisContext) -> Result<Realization, Error> {
+        reject_constants(f)?;
+        Ok(Realization::Fet(FetArray::synthesize(
+            &ctx.cover(f),
+            &ctx.dual_cover(f),
+        )))
+    }
+}
+
+/// Dual-based lattice synthesis (Fig. 5); constants become 1×1 lattices.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DualLatticeBackend;
+
+impl SynthesisBackend for DualLatticeBackend {
+    fn name(&self) -> &str {
+        Strategy::DualLattice.name()
+    }
+
+    fn technology(&self) -> Technology {
+        Technology::FourTerminal
+    }
+
+    fn synthesize(&self, f: &TruthTable, ctx: &SynthesisContext) -> Result<Realization, Error> {
+        if f.is_zero() || f.is_ones() {
+            return Ok(Realization::Lattice(Lattice::constant(
+                f.num_vars(),
+                f.is_ones(),
+            )));
+        }
+        let lattice = dual_based::try_from_covers(&ctx.cover(f), &ctx.dual_cover(f))?;
+        Ok(Realization::Lattice(lattice))
+    }
+}
+
+/// SAT-based minimum-area lattice synthesis; honours the context's SAT
+/// conflict budget and deadline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OptimalLatticeBackend;
+
+impl SynthesisBackend for OptimalLatticeBackend {
+    fn name(&self) -> &str {
+        Strategy::OptimalLattice.name()
+    }
+
+    fn technology(&self) -> Technology {
+        Technology::FourTerminal
+    }
+
+    fn synthesize(&self, f: &TruthTable, ctx: &SynthesisContext) -> Result<Realization, Error> {
+        let options = optimal::OptimalOptions {
+            max_conflicts_per_call: ctx.sat_budget,
+            deadline: ctx.deadline,
+            ..optimal::OptimalOptions::default()
+        };
+        let result = optimal::try_synthesize(f, &options)?;
+        Ok(Realization::Lattice(result.lattice))
+    }
+}
+
+/// A name-indexed set of [`SynthesisBackend`] trait objects.
+///
+/// Registration is last-wins: registering a backend under an existing name
+/// replaces it, so applications can shadow a built-in strategy.
+#[derive(Clone, Default)]
+pub struct BackendRegistry {
+    backends: Vec<Arc<dyn SynthesisBackend>>,
+}
+
+impl BackendRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        BackendRegistry::default()
+    }
+
+    /// A registry holding the four built-in strategies.
+    pub fn with_defaults() -> Self {
+        let mut r = BackendRegistry::empty();
+        r.register(Arc::new(DiodeBackend));
+        r.register(Arc::new(FetBackend));
+        r.register(Arc::new(DualLatticeBackend));
+        r.register(Arc::new(OptimalLatticeBackend));
+        r
+    }
+
+    /// Registers a backend, replacing any existing backend of the same name.
+    pub fn register(&mut self, backend: Arc<dyn SynthesisBackend>) {
+        if let Some(slot) = self
+            .backends
+            .iter_mut()
+            .find(|b| b.name() == backend.name())
+        {
+            *slot = backend;
+        } else {
+            self.backends.push(backend);
+        }
+    }
+
+    /// Resolves a backend by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn SynthesisBackend>> {
+        self.backends.iter().find(|b| b.name() == name)
+    }
+
+    /// The registered strategy names, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.backends.iter().map(|b| b.name().to_string()).collect()
+    }
+}
+
+impl std::fmt::Debug for BackendRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackendRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoxbar_logic::parse_function;
+
+    #[test]
+    fn default_registry_resolves_every_builtin() {
+        let registry = BackendRegistry::with_defaults();
+        for strategy in Strategy::ALL {
+            let backend = registry.get(strategy.name()).expect("registered");
+            assert_eq!(backend.name(), strategy.name());
+            assert_eq!(backend.technology(), strategy.technology());
+        }
+        assert!(registry.get("quantum").is_none());
+    }
+
+    #[test]
+    fn registration_is_last_wins() {
+        struct FakeDiode;
+        impl SynthesisBackend for FakeDiode {
+            fn name(&self) -> &str {
+                "diode"
+            }
+            fn technology(&self) -> Technology {
+                Technology::FourTerminal
+            }
+            fn synthesize(
+                &self,
+                f: &TruthTable,
+                _: &SynthesisContext,
+            ) -> Result<Realization, Error> {
+                Ok(Realization::Lattice(Lattice::constant(f.num_vars(), true)))
+            }
+        }
+        let mut registry = BackendRegistry::with_defaults();
+        registry.register(Arc::new(FakeDiode));
+        assert_eq!(registry.names().len(), 4, "replaced, not appended");
+        let backend = registry.get("diode").unwrap();
+        assert_eq!(backend.technology(), Technology::FourTerminal);
+    }
+
+    #[test]
+    fn builtin_backends_realise_the_paper_example() {
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let ctx = SynthesisContext::default();
+        let registry = BackendRegistry::with_defaults();
+        for strategy in Strategy::ALL {
+            let r = registry
+                .get(strategy.name())
+                .unwrap()
+                .synthesize(&f, &ctx)
+                .unwrap();
+            assert!(r.computes(&f), "{strategy}");
+            assert_eq!(r.technology(), strategy.technology());
+        }
+    }
+
+    #[test]
+    fn two_terminal_backends_reject_constants() {
+        let ctx = SynthesisContext::default();
+        let ones = TruthTable::ones(2);
+        for backend in [&DiodeBackend as &dyn SynthesisBackend, &FetBackend] {
+            assert_eq!(
+                backend.synthesize(&ones, &ctx).unwrap_err(),
+                Error::ConstantFunction { num_vars: 2 }
+            );
+        }
+        for backend in [
+            &DualLatticeBackend as &dyn SynthesisBackend,
+            &OptimalLatticeBackend,
+        ] {
+            let r = backend.synthesize(&ones, &ctx).unwrap();
+            assert!(r.computes(&ones), "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn context_cover_memo_is_keyed_by_target() {
+        let ctx = SynthesisContext::default();
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let g = parse_function("x0 + x1").unwrap();
+        let cf = ctx.cover(&f);
+        // Asking for a different target must never return the stale memo.
+        let cg = ctx.cover(&g);
+        assert!(cf.computes(&f));
+        assert!(cg.computes(&g));
+        // And re-asking for the first target (after eviction) stays correct.
+        assert_eq!(ctx.cover(&f), cf);
+    }
+
+    #[test]
+    fn exact_mode_produces_equivalent_realisations() {
+        let f = parse_function("x0 x1 + x0 !x1 + !x0 x1").unwrap(); // = x0 + x1
+        let isop = SynthesisContext::default();
+        let exact = SynthesisContext {
+            minimize: MinimizeMode::Exact,
+            ..SynthesisContext::default()
+        };
+        for strategy in Strategy::ALL {
+            let registry = BackendRegistry::with_defaults();
+            let backend = registry.get(strategy.name()).unwrap();
+            let a = backend.synthesize(&f, &isop).unwrap();
+            let b = backend.synthesize(&f, &exact).unwrap();
+            assert!(a.computes(&f) && b.computes(&f), "{strategy}");
+            assert!(b.area() <= a.area(), "{strategy}: exact must not be larger");
+        }
+    }
+}

@@ -1,0 +1,592 @@
+//! The batch-first engine facade.
+//!
+//! [`Engine`] owns a [`BackendRegistry`], a default strategy, minimisation
+//! options, per-job limits, and a fault model; [`Engine::run`] executes one
+//! [`Job`], [`Engine::run_batch`] fans a slice of jobs out across the
+//! `nanoxbar-par` work-stealing pool with **input-ordered** results and
+//! **per-job error isolation** — one failed (or even panicking) job never
+//! aborts the batch.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nanoxbar_crossbar::ArraySize;
+use nanoxbar_reliability::defect::DefectMap;
+
+use crate::backend::{BackendRegistry, MinimizeMode, Strategy, SynthesisBackend, SynthesisContext};
+use crate::error::Error;
+use crate::flow::defect_unaware_flow_with_cover;
+use crate::job::{ChipSpec, Job, JobResult};
+
+/// Per-job resource limits.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Limits {
+    /// Wall-clock ceiling per job. Checked between synthesis phases and
+    /// before every SAT call, so enforcement is coarse-grained; setting it
+    /// trades the engine's bit-determinism for bounded latency.
+    pub time: Option<Duration>,
+    /// Maximum crosspoint count a realisation may have.
+    pub max_area: Option<usize>,
+    /// Conflict budget per SAT call in SAT-based backends.
+    pub sat_conflicts: Option<u64>,
+}
+
+/// The defect model behind [`Job::on_random_chip`]: rates for the two
+/// stuck-at fault polarities of Sec. IV.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultModel {
+    /// Probability of a crosspoint stuck open (cannot close).
+    pub p_stuck_open: f64,
+    /// Probability of a crosspoint stuck closed (cannot open).
+    pub p_stuck_closed: f64,
+}
+
+impl Default for FaultModel {
+    /// The workspace's customary 5% defect density, split 70/30 between
+    /// stuck-open and stuck-closed as in the experiment binaries.
+    fn default() -> Self {
+        FaultModel {
+            p_stuck_open: 0.035,
+            p_stuck_closed: 0.015,
+        }
+    }
+}
+
+impl FaultModel {
+    /// Draws a chip — deterministic in `(size, seed)`.
+    pub fn chip(&self, size: ArraySize, seed: u64) -> DefectMap {
+        DefectMap::random_uniform(size, self.p_stuck_open, self.p_stuck_closed, seed)
+    }
+}
+
+/// Configures and builds an [`Engine`]. Obtained from [`Engine::builder`].
+#[derive(Debug)]
+pub struct EngineBuilder {
+    registry: BackendRegistry,
+    default_strategy: String,
+    minimize: MinimizeMode,
+    threads: Option<usize>,
+    limits: Limits,
+    fault_model: FaultModel,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            registry: BackendRegistry::with_defaults(),
+            default_strategy: Strategy::DualLattice.name().to_string(),
+            minimize: MinimizeMode::default(),
+            threads: None,
+            limits: Limits::default(),
+            fault_model: FaultModel::default(),
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Sets the default strategy for jobs that do not pick one.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.default_strategy = strategy.name().to_string();
+        self
+    }
+
+    /// Sets the default strategy by registry name (for custom backends).
+    pub fn strategy_name(mut self, name: impl Into<String>) -> Self {
+        self.default_strategy = name.into();
+        self
+    }
+
+    /// Selects how SOP covers are minimised.
+    pub fn minimize(mut self, mode: MinimizeMode) -> Self {
+        self.minimize = mode;
+        self
+    }
+
+    /// Sets the worker-thread budget batches fan out over.
+    ///
+    /// The pool is process-global (`nanoxbar-par`), so this applies to the
+    /// whole process from [`EngineBuilder::build`] onwards — it is the
+    /// builder-level spelling of `NANOXBAR_THREADS`. Results are
+    /// bit-identical for every value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the per-job wall-clock ceiling (see [`Limits::time`]).
+    pub fn time_limit(mut self, limit: Duration) -> Self {
+        self.limits.time = Some(limit);
+        self
+    }
+
+    /// Sets the per-job realisation area ceiling.
+    pub fn max_area(mut self, limit: usize) -> Self {
+        self.limits.max_area = Some(limit);
+        self
+    }
+
+    /// Sets the conflict budget per SAT call for SAT-based backends.
+    pub fn sat_conflict_budget(mut self, budget: u64) -> Self {
+        self.limits.sat_conflicts = Some(budget);
+        self
+    }
+
+    /// Sets the fault model behind [`Job::on_random_chip`].
+    pub fn fault_model(mut self, model: FaultModel) -> Self {
+        self.fault_model = model;
+        self
+    }
+
+    /// Registers a custom backend (last-wins by name, so built-ins can be
+    /// shadowed).
+    pub fn backend(mut self, backend: Arc<dyn SynthesisBackend>) -> Self {
+        self.registry.register(backend);
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownStrategy`] if the default strategy names no
+    /// registered backend.
+    pub fn build(self) -> Result<Engine, Error> {
+        if self.registry.get(&self.default_strategy).is_none() {
+            return Err(Error::UnknownStrategy {
+                name: self.default_strategy,
+            });
+        }
+        if let Some(threads) = self.threads {
+            nanoxbar_par::set_threads(threads);
+        }
+        Ok(Engine {
+            registry: self.registry,
+            default_strategy: self.default_strategy,
+            minimize: self.minimize,
+            limits: self.limits,
+            fault_model: self.fault_model,
+        })
+    }
+}
+
+/// The batch-first synthesis engine: resolves each [`Job`]'s strategy in
+/// its [`BackendRegistry`], synthesises under the configured limits, and
+/// fans batches out across the `nanoxbar-par` pool with input-ordered,
+/// per-job-isolated results.
+#[derive(Debug)]
+pub struct Engine {
+    registry: BackendRegistry,
+    default_strategy: String,
+    minimize: MinimizeMode,
+    limits: Limits,
+    fault_model: FaultModel,
+}
+
+impl Engine {
+    /// Starts configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// An engine with every default: the four built-in strategies,
+    /// dual-based lattices, ISOP covers, no limits.
+    pub fn new() -> Engine {
+        Engine::builder().build().expect("default engine is valid")
+    }
+
+    /// The registered strategy names.
+    pub fn strategies(&self) -> Vec<String> {
+        self.registry.names()
+    }
+
+    /// The engine's per-job limits.
+    pub fn limits(&self) -> Limits {
+        self.limits
+    }
+
+    /// Runs one job to completion on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Error`] variant the job's strategy, limits, or flow can
+    /// produce. Panics from custom backends are *not* captured here — use
+    /// [`Engine::run_batch`] for isolation.
+    pub fn run(&self, job: &Job) -> Result<JobResult, Error> {
+        let started = Instant::now();
+        let deadline = self.limits.time.map(|t| started + t);
+
+        let strategy_name = job.strategy.as_deref().unwrap_or(&self.default_strategy);
+        let backend = self
+            .registry
+            .get(strategy_name)
+            .ok_or_else(|| Error::UnknownStrategy {
+                name: strategy_name.to_string(),
+            })?;
+
+        let ctx = SynthesisContext {
+            minimize: self.minimize,
+            sat_budget: self.limits.sat_conflicts,
+            deadline,
+            ..SynthesisContext::default()
+        };
+        // The context's deadline only ever comes from `limits.time`, so a
+        // backend giving up on it IS the job's time limit — report it as
+        // such, not as a strategy-specific synthesis failure.
+        let realization = backend
+            .synthesize(&job.function, &ctx)
+            .map_err(|e| self.classify_deadline(e))?;
+
+        if let Some(limit) = self.limits.max_area {
+            let area = realization.area();
+            if area > limit {
+                return Err(Error::AreaLimit { area, limit });
+            }
+        }
+
+        let verified = if job.verify {
+            if !realization.computes(&job.function) {
+                return Err(Error::Verification {
+                    strategy: backend.name().to_string(),
+                });
+            }
+            Some(true)
+        } else {
+            None
+        };
+
+        self.check_deadline(deadline)?;
+
+        let flow = match &job.chip {
+            None => None,
+            Some(spec) => {
+                let chip = match spec {
+                    ChipSpec::Explicit(map) => map.clone(),
+                    ChipSpec::Random { size, seed } => self.fault_model.chip(*size, *seed),
+                };
+                let report = defect_unaware_flow_with_cover(&ctx.cover(&job.function), &chip)?;
+                self.check_deadline(deadline)?;
+                Some(report)
+            }
+        };
+
+        Ok(JobResult {
+            label: job.label.clone(),
+            strategy: backend.name().to_string(),
+            realization,
+            verified,
+            flow,
+            elapsed: started.elapsed(),
+        })
+    }
+
+    /// Runs a batch across the `nanoxbar-par` pool.
+    ///
+    /// Results come back **in input order** — `out[i]` belongs to
+    /// `jobs[i]` for every thread count — and each job is isolated: a
+    /// typed error or even a panic in one job (custom backends) becomes
+    /// that job's `Err` while every other job completes normally.
+    pub fn run_batch(&self, jobs: &[Job]) -> Vec<Result<JobResult, Error>> {
+        // One job per chunk: jobs vary wildly in cost (a diode cover vs a
+        // SAT search), so fine granularity lets the work-stealing pool
+        // balance them; per-chunk slots keep the output input-ordered.
+        nanoxbar_par::par_map_reduce(
+            jobs,
+            1,
+            |_i, chunk| chunk.iter().map(|job| self.run_isolated(job)).collect(),
+            |mut acc: Vec<Result<JobResult, Error>>, mut chunk| {
+                acc.append(&mut chunk);
+                acc
+            },
+        )
+        .unwrap_or_default()
+    }
+
+    /// [`Engine::run`] behind a panic boundary.
+    fn run_isolated(&self, job: &Job) -> Result<JobResult, Error> {
+        panic::catch_unwind(AssertUnwindSafe(|| self.run(job))).unwrap_or_else(|payload| {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(Error::Panicked { message })
+        })
+    }
+
+    fn check_deadline(&self, deadline: Option<Instant>) -> Result<(), Error> {
+        match (deadline, self.limits.time) {
+            (Some(deadline), Some(limit)) if Instant::now() >= deadline => {
+                Err(Error::TimeLimit { limit })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Rewrites a backend's deadline-exhaustion error into the engine's
+    /// [`Error::TimeLimit`] (the deadline is derived from `limits.time`).
+    fn classify_deadline(&self, e: Error) -> Error {
+        match (&e, self.limits.time) {
+            (
+                Error::Synth(nanoxbar_lattice::synth::SynthError::DeadlineExceeded { .. }),
+                Some(limit),
+            ) => Error::TimeLimit { limit },
+            _ => e,
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowError;
+    use crate::tech::Realization;
+    use crate::tech::Technology;
+    use nanoxbar_lattice::Lattice;
+    use nanoxbar_logic::{parse_function, TruthTable};
+
+    #[test]
+    fn run_realises_the_paper_example_on_every_strategy() {
+        let engine = Engine::new();
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let mut sizes = Vec::new();
+        for strategy in Strategy::ALL {
+            let job = Job::synthesize(f.clone())
+                .with_strategy(strategy)
+                .verified(true);
+            let result = engine.run(&job).unwrap();
+            assert_eq!(result.strategy, strategy.name());
+            assert_eq!(result.verified, Some(true));
+            sizes.push(result.realization.size().to_string());
+        }
+        // Paper Sec. III: 2x5 diode, 4x4 FET, 2x2 lattice (optimal too).
+        assert_eq!(sizes, ["2x5", "4x4", "2x2", "2x2"]);
+    }
+
+    #[test]
+    fn default_strategy_is_dual_lattice() {
+        let engine = Engine::new();
+        let f = parse_function("x0 + x1").unwrap();
+        let result = engine.run(&Job::synthesize(f)).unwrap();
+        assert_eq!(result.strategy, "dual-lattice");
+        assert_eq!(result.realization.technology(), Technology::FourTerminal);
+    }
+
+    #[test]
+    fn unknown_strategies_fail_at_build_and_run() {
+        assert_eq!(
+            Engine::builder()
+                .strategy_name("quantum")
+                .build()
+                .unwrap_err(),
+            Error::UnknownStrategy {
+                name: "quantum".into()
+            }
+        );
+        let engine = Engine::new();
+        let job = Job::parse("x0").unwrap().with_strategy_name("quantum");
+        assert_eq!(
+            engine.run(&job).unwrap_err(),
+            Error::UnknownStrategy {
+                name: "quantum".into()
+            }
+        );
+    }
+
+    #[test]
+    fn area_limit_is_enforced() {
+        let engine = Engine::builder().max_area(4).build().unwrap();
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let ok = engine.run(&Job::synthesize(f.clone())).unwrap();
+        assert_eq!(ok.area(), 4);
+        let err = engine
+            .run(&Job::synthesize(f).with_strategy(Strategy::Diode))
+            .unwrap_err();
+        assert_eq!(err, Error::AreaLimit { area: 10, limit: 4 });
+    }
+
+    #[test]
+    fn chip_jobs_produce_flow_reports_and_typed_flow_errors() {
+        let engine = Engine::new();
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let result = engine
+            .run(
+                &Job::synthesize(f.clone())
+                    .with_strategy(Strategy::Diode)
+                    .on_random_chip(ArraySize::new(16, 16), 5),
+            )
+            .unwrap();
+        let flow = result.flow.expect("chip job produces a flow report");
+        assert!(flow.bist_passed);
+
+        // A 2x2 fabric cannot hold the 4 literal columns.
+        let err = engine
+            .run(&Job::synthesize(f).on_chip(DefectMap::healthy(ArraySize::new(2, 2))))
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::Flow(FlowError::InsufficientFabric { .. })),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn batch_results_are_input_ordered_with_per_job_isolation() {
+        struct PanickingBackend;
+        impl SynthesisBackend for PanickingBackend {
+            fn name(&self) -> &str {
+                "panicking"
+            }
+            fn technology(&self) -> Technology {
+                Technology::FourTerminal
+            }
+            fn synthesize(
+                &self,
+                _: &TruthTable,
+                _: &SynthesisContext,
+            ) -> Result<Realization, Error> {
+                panic!("backend bug");
+            }
+        }
+        let engine = Engine::builder()
+            .backend(Arc::new(PanickingBackend))
+            .build()
+            .unwrap();
+        let xnor = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let jobs = vec![
+            Job::synthesize(xnor.clone()).labeled("ok-0"),
+            Job::synthesize(TruthTable::ones(2)).with_strategy(Strategy::Diode), // typed error
+            Job::synthesize(xnor.clone()).with_strategy_name("panicking"),       // panic
+            Job::synthesize(xnor)
+                .with_strategy(Strategy::Fet)
+                .labeled("ok-3"),
+        ];
+        let results = engine.run_batch(&jobs);
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].as_ref().unwrap().label.as_deref(), Some("ok-0"));
+        assert_eq!(
+            results[1].as_ref().unwrap_err(),
+            &Error::ConstantFunction { num_vars: 2 }
+        );
+        assert_eq!(
+            results[2].as_ref().unwrap_err(),
+            &Error::Panicked {
+                message: "backend bug".into()
+            }
+        );
+        assert_eq!(results[3].as_ref().unwrap().strategy, "fet");
+    }
+
+    #[test]
+    fn sat_budget_surfaces_as_typed_error() {
+        // A conflict budget of 0 still decides trivial sizes (pure
+        // propagation), so use a function whose optimal search needs real
+        // conflicts and a budget of 1.
+        let engine = Engine::builder()
+            .strategy(Strategy::OptimalLattice)
+            .sat_conflict_budget(1)
+            .build()
+            .unwrap();
+        let f = nanoxbar_logic::suite::majority(3);
+        match engine.run(&Job::synthesize(f)) {
+            Err(Error::Synth(nanoxbar_lattice::synth::SynthError::SatBudgetExceeded {
+                ..
+            })) => {}
+            other => panic!("expected SatBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_backend_can_shadow_a_builtin() {
+        struct ConstantLattice;
+        impl SynthesisBackend for ConstantLattice {
+            fn name(&self) -> &str {
+                "dual-lattice"
+            }
+            fn technology(&self) -> Technology {
+                Technology::FourTerminal
+            }
+            fn synthesize(
+                &self,
+                f: &TruthTable,
+                _: &SynthesisContext,
+            ) -> Result<Realization, Error> {
+                Ok(Realization::Lattice(Lattice::constant(f.num_vars(), true)))
+            }
+        }
+        let engine = Engine::builder()
+            .backend(Arc::new(ConstantLattice))
+            .build()
+            .unwrap();
+        let f = parse_function("x0 x1").unwrap();
+        let result = engine.run(&Job::synthesize(f.clone())).unwrap();
+        assert_eq!(result.area(), 1, "shadowed backend ran");
+        // And verification catches the lie as data, not a panic.
+        let err = engine.run(&Job::synthesize(f).verified(true)).unwrap_err();
+        assert_eq!(
+            err,
+            Error::Verification {
+                strategy: "dual-lattice".into()
+            }
+        );
+    }
+
+    #[test]
+    fn expired_time_limit_is_a_typed_error() {
+        let engine = Engine::builder()
+            .time_limit(Duration::from_nanos(0))
+            .build()
+            .unwrap();
+        let f = parse_function("x0 x1").unwrap();
+        assert_eq!(
+            engine.run(&Job::synthesize(f)).unwrap_err(),
+            Error::TimeLimit {
+                limit: Duration::from_nanos(0)
+            }
+        );
+    }
+
+    #[test]
+    fn deadline_inside_sat_search_reports_as_time_limit() {
+        // The optimal backend hits the deadline between SAT calls; the
+        // engine must report its configured time limit, not a
+        // strategy-specific SynthError.
+        let engine = Engine::builder()
+            .strategy(Strategy::OptimalLattice)
+            .time_limit(Duration::from_nanos(0))
+            .build()
+            .unwrap();
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        assert_eq!(
+            engine.run(&Job::synthesize(f)).unwrap_err(),
+            Error::TimeLimit {
+                limit: Duration::from_nanos(0)
+            }
+        );
+    }
+
+    #[test]
+    fn exact_minimisation_reaches_the_flow_placement() {
+        // Chip jobs place the SOP the engine's minimise mode produced (the
+        // memoised context cover), not a hard-coded ISOP.
+        let engine = Engine::builder()
+            .strategy(Strategy::Diode)
+            .minimize(MinimizeMode::Exact)
+            .build()
+            .unwrap();
+        let f = parse_function("x0 x1 + x0 !x1 + !x0 x1").unwrap(); // = x0 + x1
+        let result = engine
+            .run(&Job::synthesize(f).on_random_chip(ArraySize::new(16, 16), 9))
+            .unwrap();
+        let flow = result.flow.unwrap();
+        assert!(flow.bist_passed);
+        assert_eq!(flow.products, 2, "exact cover of x0 + x1 has 2 products");
+    }
+}

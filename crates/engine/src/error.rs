@@ -1,0 +1,155 @@
+//! The unified error hierarchy for the request path.
+//!
+//! Every failure an [`crate::Engine`] job can hit — parse errors, constant
+//! functions on two-terminal technologies, SAT budget exhaustion, fabric
+//! exhaustion in the defect-unaware flow, per-job limits, and panics
+//! captured by batch isolation — is one [`Error`] variant, so batch callers
+//! match on a single type instead of crate-local errors and panics.
+
+use std::time::Duration;
+
+use nanoxbar_lattice::synth::SynthError;
+use nanoxbar_logic::LogicError;
+
+use crate::flow::FlowError;
+
+/// Any failure of an engine job.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A Boolean-function construction or parse failure.
+    Logic(LogicError),
+    /// The defect-unaware flow failed (fabric exhaustion, constants).
+    Flow(FlowError),
+    /// Lattice synthesis failed (bad covers, SAT budget, deadline).
+    Synth(SynthError),
+    /// The target is constant and the chosen backend needs products.
+    ConstantFunction {
+        /// Arity of the constant target.
+        num_vars: usize,
+    },
+    /// No registered backend carries the requested name.
+    UnknownStrategy {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// The realisation exceeded the engine's area limit.
+    AreaLimit {
+        /// Crosspoints of the realisation.
+        area: usize,
+        /// The configured ceiling.
+        limit: usize,
+    },
+    /// The job ran past the engine's per-job time limit.
+    TimeLimit {
+        /// The configured ceiling.
+        limit: Duration,
+    },
+    /// The synthesised realisation failed exhaustive verification against
+    /// its target — a backend bug surfaced as data, not a panic.
+    Verification {
+        /// Name of the backend that produced the bad realisation.
+        strategy: String,
+    },
+    /// A panic escaped the job and was captured by batch isolation.
+    Panicked {
+        /// The panic payload, rendered to a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Logic(e) => write!(f, "logic error: {e}"),
+            Error::Flow(e) => write!(f, "flow error: {e}"),
+            Error::Synth(e) => write!(f, "synthesis error: {e}"),
+            Error::ConstantFunction { num_vars } => {
+                write!(f, "constant {num_vars}-variable function needs no crossbar")
+            }
+            Error::UnknownStrategy { name } => write!(f, "unknown synthesis strategy {name:?}"),
+            Error::AreaLimit { area, limit } => {
+                write!(f, "realisation area {area} exceeds the limit {limit}")
+            }
+            Error::TimeLimit { limit } => {
+                write!(f, "job exceeded the time limit of {limit:?}")
+            }
+            Error::Verification { strategy } => {
+                write!(f, "strategy {strategy:?} produced a wrong realisation")
+            }
+            Error::Panicked { message } => write!(f, "job panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Logic(e) => Some(e),
+            Error::Flow(e) => Some(e),
+            Error::Synth(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LogicError> for Error {
+    fn from(e: LogicError) -> Self {
+        Error::Logic(e)
+    }
+}
+
+impl From<FlowError> for Error {
+    fn from(e: FlowError) -> Self {
+        Error::Flow(e)
+    }
+}
+
+impl From<SynthError> for Error {
+    fn from(e: SynthError) -> Self {
+        Error::Synth(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<Error> = vec![
+            LogicError::VarOutOfRange {
+                var: 7,
+                num_vars: 3,
+            }
+            .into(),
+            FlowError::ConstantFunction.into(),
+            SynthError::SatBudgetExceeded { sat_calls: 4 }.into(),
+            Error::ConstantFunction { num_vars: 2 },
+            Error::UnknownStrategy {
+                name: "quantum".into(),
+            },
+            Error::AreaLimit { area: 30, limit: 9 },
+            Error::TimeLimit {
+                limit: Duration::from_millis(5),
+            },
+            Error::Verification {
+                strategy: "diode".into(),
+            },
+            Error::Panicked {
+                message: "boom".into(),
+            },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_and_sourced() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<Error>();
+        let e: Error = FlowError::ConstantFunction.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,179 @@
+//! Typed jobs and results for the batch engine.
+//!
+//! A [`Job`] is one unit of work — a target function, a strategy choice,
+//! and optionally a defective chip to map onto. [`crate::Engine::run`]
+//! turns it into a [`JobResult`] or a typed [`crate::Error`];
+//! [`crate::Engine::run_batch`] does the same for a whole slice with
+//! input-ordered results and per-job error isolation.
+
+use std::time::Duration;
+
+use nanoxbar_crossbar::ArraySize;
+use nanoxbar_logic::{parse_function, TruthTable};
+use nanoxbar_reliability::defect::DefectMap;
+
+use crate::backend::Strategy;
+use crate::error::Error;
+use crate::flow::FlowReport;
+use crate::tech::Realization;
+
+/// The defective chip a job maps onto, if any.
+#[derive(Clone, Debug)]
+pub enum ChipSpec {
+    /// A fully specified defect map (e.g. from chip characterisation).
+    Explicit(DefectMap),
+    /// A chip drawn from the engine's fault model at `run` time —
+    /// deterministic in `(size, seed)` for a fixed engine configuration.
+    Random {
+        /// Fabric dimensions.
+        size: ArraySize,
+        /// RNG seed for the defect draw.
+        seed: u64,
+    },
+}
+
+/// One synthesis (and optionally mapping) request.
+///
+/// Build with [`Job::synthesize`] or [`Job::parse`], then chain the
+/// `with_*`/`on_*` configurators:
+///
+/// ```
+/// use nanoxbar_engine::{Job, Strategy};
+///
+/// let job = Job::parse("x0 x1 + !x0 !x1")?
+///     .with_strategy(Strategy::OptimalLattice)
+///     .verified(true);
+/// # Ok::<(), nanoxbar_engine::Error>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Job {
+    pub(crate) function: TruthTable,
+    /// `None` selects the engine's default strategy.
+    pub(crate) strategy: Option<String>,
+    pub(crate) chip: Option<ChipSpec>,
+    pub(crate) verify: bool,
+    pub(crate) label: Option<String>,
+}
+
+impl Job {
+    /// A synthesis job for an explicit truth table.
+    pub fn synthesize(function: TruthTable) -> Self {
+        Job {
+            function,
+            strategy: None,
+            chip: None,
+            verify: false,
+            label: None,
+        }
+    }
+
+    /// A synthesis job from a Boolean expression in the paper's syntax
+    /// (`"x0 x1 + !x0 !x1"`; also `'`, `^`, parentheses).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Logic`] when the expression does not parse.
+    pub fn parse(expr: &str) -> Result<Self, Error> {
+        Ok(Job::synthesize(parse_function(expr)?))
+    }
+
+    /// Selects a built-in strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = Some(strategy.name().to_string());
+        self
+    }
+
+    /// Selects any registered backend by name (for custom backends).
+    pub fn with_strategy_name(mut self, name: impl Into<String>) -> Self {
+        self.strategy = Some(name.into());
+        self
+    }
+
+    /// Additionally maps the synthesised SOP onto a defective chip through
+    /// the Fig. 6(b) defect-unaware flow.
+    pub fn on_chip(mut self, chip: DefectMap) -> Self {
+        self.chip = Some(ChipSpec::Explicit(chip));
+        self
+    }
+
+    /// Like [`Job::on_chip`], with the chip drawn from the engine's fault
+    /// model (deterministic in `(size, seed)`).
+    pub fn on_random_chip(mut self, size: ArraySize, seed: u64) -> Self {
+        self.chip = Some(ChipSpec::Random { size, seed });
+        self
+    }
+
+    /// Requests exhaustive verification of the realisation against the
+    /// target (failure becomes [`Error::Verification`]).
+    pub fn verified(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Attaches a caller-side label, echoed in the [`JobResult`].
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The target function.
+    pub fn function(&self) -> &TruthTable {
+        &self.function
+    }
+
+    /// The requested strategy name, if any (`None` = engine default).
+    pub fn strategy(&self) -> Option<&str> {
+        self.strategy.as_deref()
+    }
+}
+
+/// The successful outcome of one job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The caller's label, echoed back.
+    pub label: Option<String>,
+    /// Name of the backend that ran.
+    pub strategy: String,
+    /// The synthesised realisation.
+    pub realization: Realization,
+    /// `Some(true)` when verification ran (a failed check is an
+    /// [`Error::Verification`], never `Some(false)`); `None` when the job
+    /// did not request it.
+    pub verified: Option<bool>,
+    /// The defect-unaware flow outcome, for jobs with a chip.
+    pub flow: Option<FlowReport>,
+    /// Wall-clock time the job took (excluded from determinism checks).
+    pub elapsed: Duration,
+}
+
+impl JobResult {
+    /// Crosspoint count of the realisation — the paper's area metric.
+    pub fn area(&self) -> usize {
+        self.realization.area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_wraps_logic_errors() {
+        let err = Job::parse("x0 +").unwrap_err();
+        assert!(matches!(err, Error::Logic(_)), "{err}");
+    }
+
+    #[test]
+    fn builder_chain_sets_every_field() {
+        let job = Job::parse("x0 x1")
+            .unwrap()
+            .with_strategy(Strategy::Fet)
+            .on_random_chip(ArraySize::new(8, 8), 7)
+            .verified(true)
+            .labeled("and2");
+        assert_eq!(job.strategy(), Some("fet"));
+        assert!(job.verify);
+        assert_eq!(job.label.as_deref(), Some("and2"));
+        assert!(matches!(job.chip, Some(ChipSpec::Random { seed: 7, .. })));
+    }
+}

@@ -1,0 +1,94 @@
+//! # nanoxbar-engine
+//!
+//! The batch-first public API of the `nanoxbar` workspace: the paper's
+//! Sec. III–IV pipeline (minimise → pick technology → synthesise → map
+//! onto a defective fabric → BIST) behind one facade designed for
+//! many-instance workloads.
+//!
+//! * [`SynthesisBackend`] — one trait for the four synthesis strategies
+//!   (diode, FET, dual-based lattice, SAT-optimal lattice), registered as
+//!   trait objects in a [`BackendRegistry`];
+//! * [`Engine`] / [`EngineBuilder`] — strategy selection, minimisation
+//!   options, thread budget, fault model, per-job time/area/SAT limits;
+//! * [`Job`] / [`JobResult`] — typed requests and outcomes;
+//!   [`Engine::run_batch`] fans jobs out across the `nanoxbar-par`
+//!   work-stealing pool with deterministic, input-ordered results and
+//!   per-job error isolation;
+//! * [`Error`] — a single error hierarchy wrapping flow, logic, and
+//!   synthesis failures (SAT budgets, fabric exhaustion), replacing
+//!   library panics on the request path.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nanoxbar_engine::{Engine, Job, Strategy};
+//!
+//! let engine = Engine::builder().strategy(Strategy::DualLattice).build()?;
+//! let jobs: Vec<Job> = Strategy::ALL
+//!     .into_iter()
+//!     .map(|s| Ok(Job::parse("x0 x1 + !x0 !x1")?.with_strategy(s).verified(true)))
+//!     .collect::<Result<_, nanoxbar_engine::Error>>()?;
+//! for result in engine.run_batch(&jobs) {
+//!     let result = result?;
+//!     println!("{:>15}: {} crosspoints", result.strategy, result.area());
+//! }
+//! # Ok::<(), nanoxbar_engine::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+mod engine;
+mod error;
+pub mod flow;
+mod job;
+mod tech;
+
+pub use backend::{
+    BackendRegistry, DiodeBackend, DualLatticeBackend, FetBackend, MinimizeMode,
+    OptimalLatticeBackend, Strategy, SynthesisBackend, SynthesisContext,
+};
+pub use engine::{Engine, EngineBuilder, FaultModel, Limits};
+pub use error::Error;
+pub use flow::{FlowError, FlowReport};
+pub use job::{ChipSpec, Job, JobResult};
+pub use tech::{Realization, Technology};
+
+use std::sync::OnceLock;
+
+use nanoxbar_logic::TruthTable;
+
+/// The process-wide default engine behind [`synthesize`] and the
+/// deprecated `nanoxbar_core` shims.
+fn default_engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(Engine::new)
+}
+
+/// One-shot synthesis of `f` on a technology's default strategy through
+/// the shared default engine — the non-batch convenience path.
+///
+/// # Errors
+///
+/// [`Error::ConstantFunction`] for constants on the two-terminal
+/// technologies (the lattice path realises them as 1×1 constant sites).
+///
+/// # Examples
+///
+/// ```
+/// use nanoxbar_engine::{synthesize, Technology};
+/// use nanoxbar_logic::parse_function;
+///
+/// let f = parse_function("x0 x1 + !x0 !x1")?;
+/// // Paper Sec. III: 2x5 diode, 4x4 FET, 2x2 lattice.
+/// assert_eq!(synthesize(&f, Technology::Diode)?.size().to_string(), "2x5");
+/// assert_eq!(synthesize(&f, Technology::Fet)?.size().to_string(), "4x4");
+/// assert_eq!(synthesize(&f, Technology::FourTerminal)?.size().to_string(), "2x2");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn synthesize(f: &TruthTable, tech: Technology) -> Result<Realization, Error> {
+    default_engine()
+        .run(&Job::synthesize(f.clone()).with_strategy(Strategy::from(tech)))
+        .map(|result| result.realization)
+}

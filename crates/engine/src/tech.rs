@@ -1,0 +1,136 @@
+//! Technology selection and realisation types (paper Sec. III).
+//!
+//! Moved here from `nanoxbar-core` when the batch engine became the public
+//! entry point; `nanoxbar_core` re-exports both types for compatibility.
+
+use nanoxbar_crossbar::{ArraySize, DiodeArray, FetArray};
+use nanoxbar_lattice::Lattice;
+use nanoxbar_logic::TruthTable;
+
+/// The three crosspoint technologies the paper models (Fig. 1 / Fig. 3 /
+/// Fig. 5).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Technology {
+    /// Two-terminal diode crosspoints (diode–resistor logic).
+    Diode,
+    /// Two-terminal FET crosspoints (complementary column networks).
+    Fet,
+    /// Four-terminal switches (percolation lattices).
+    FourTerminal,
+}
+
+impl Technology {
+    /// All technologies, in the paper's presentation order.
+    pub const ALL: [Technology; 3] = [Technology::Diode, Technology::Fet, Technology::FourTerminal];
+
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Technology::Diode => "diode",
+            Technology::Fet => "fet",
+            Technology::FourTerminal => "four-terminal",
+        }
+    }
+}
+
+impl std::fmt::Display for Technology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A synthesised realisation of one Boolean function on one technology.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Realization {
+    /// Diode crossbar.
+    Diode(DiodeArray),
+    /// FET crossbar.
+    Fet(FetArray),
+    /// Four-terminal lattice.
+    Lattice(Lattice),
+}
+
+impl Realization {
+    /// The array/lattice dimensions.
+    pub fn size(&self) -> ArraySize {
+        match self {
+            Realization::Diode(a) => a.size(),
+            Realization::Fet(a) => a.size(),
+            Realization::Lattice(l) => ArraySize::new(l.rows(), l.cols()),
+        }
+    }
+
+    /// Crosspoint count — the paper's area metric.
+    pub fn area(&self) -> usize {
+        self.size().area()
+    }
+
+    /// The technology of this realisation.
+    pub fn technology(&self) -> Technology {
+        match self {
+            Realization::Diode(_) => Technology::Diode,
+            Realization::Fet(_) => Technology::Fet,
+            Realization::Lattice(_) => Technology::FourTerminal,
+        }
+    }
+
+    /// Evaluates the realisation on a minterm.
+    pub fn eval(&self, m: u64) -> bool {
+        match self {
+            Realization::Diode(a) => a.eval(m),
+            Realization::Fet(a) => a.eval(m),
+            Realization::Lattice(l) => nanoxbar_lattice::eval_top_bottom(l, m),
+        }
+    }
+
+    /// Exhaustively verifies the realisation against its target.
+    pub fn computes(&self, f: &TruthTable) -> bool {
+        match self {
+            Realization::Diode(a) => a.computes(f),
+            Realization::Fet(a) => a.computes(f),
+            Realization::Lattice(l) => l.computes(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesize;
+    use nanoxbar_logic::parse_function;
+
+    #[test]
+    fn paper_sizes_for_all_technologies() {
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let diode = synthesize(&f, Technology::Diode).unwrap();
+        let fet = synthesize(&f, Technology::Fet).unwrap();
+        let lattice = synthesize(&f, Technology::FourTerminal).unwrap();
+        assert_eq!(diode.size(), ArraySize::new(2, 5));
+        assert_eq!(fet.size(), ArraySize::new(4, 4));
+        assert_eq!(lattice.size(), ArraySize::new(2, 2));
+        for r in [&diode, &fet, &lattice] {
+            assert!(r.computes(&f));
+        }
+    }
+
+    #[test]
+    fn technologies_report_identity() {
+        let f = parse_function("x0 + x1").unwrap();
+        for tech in Technology::ALL {
+            let r = synthesize(&f, tech).unwrap();
+            assert_eq!(r.technology(), tech);
+            assert!(r.area() > 0);
+        }
+    }
+
+    #[test]
+    fn eval_agrees_with_truth_table() {
+        let f = parse_function("x0 x1 + x2").unwrap();
+        for tech in Technology::ALL {
+            let r = synthesize(&f, tech).unwrap();
+            for m in 0..8 {
+                assert_eq!(r.eval(m), f.value(m), "{tech} m={m}");
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Property suite for the batch engine: `run_batch` must be bit-identical
+//! to per-job sequential `run` — same realisations, same flow reports,
+//! same typed errors, in input order — and deterministic across
+//! `NANOXBAR_THREADS` ∈ {1, 2, 8}, including batches that mix succeeding
+//! and failing jobs (constants on two-terminal strategies, unknown
+//! strategies, fabric exhaustion).
+
+use proptest::prelude::*;
+
+use nanoxbar_crossbar::ArraySize;
+use nanoxbar_engine::{Engine, Error, Job, JobResult, Strategy as SynthStrategy};
+use nanoxbar_logic::TruthTable;
+use nanoxbar_reliability::defect::DefectMap;
+
+/// One random job: a 1–3 variable function (constants included on
+/// purpose), a strategy pick that sometimes names a nonexistent backend,
+/// and sometimes a chip — occasionally one too small for the SOP.
+fn arb_job() -> impl Strategy<Value = Job> {
+    (any::<u64>(), 1usize..=3, 0u8..=255, 0u64..1000).prop_map(|(bits, num_vars, knobs, seed)| {
+        let f = TruthTable::from_fn(num_vars, |m| (bits >> (m % 64)) & 1 == 1);
+        let mut job = Job::synthesize(f);
+        job = match knobs % 6 {
+            0 => job.with_strategy(SynthStrategy::Diode),
+            1 => job.with_strategy(SynthStrategy::Fet),
+            2 => job.with_strategy(SynthStrategy::DualLattice),
+            3 => job.with_strategy(SynthStrategy::OptimalLattice),
+            4 => job.with_strategy_name("no-such-backend"),
+            _ => job, // engine default
+        };
+        job = match (knobs / 6) % 4 {
+            0 => job.on_random_chip(ArraySize::new(12, 12), seed),
+            1 => job.on_chip(DefectMap::healthy(ArraySize::new(2, 2))), // usually too small
+            _ => job,
+        };
+        job.verified((knobs / 24) % 2 == 0)
+            .labeled(format!("job-{bits:x}"))
+    })
+}
+
+/// Result equivalence modulo `elapsed` (wall-clock time is the one field
+/// determinism cannot cover).
+fn same_outcome(a: &Result<JobResult, Error>, b: &Result<JobResult, Error>) -> bool {
+    match (a, b) {
+        (Ok(x), Ok(y)) => {
+            x.label == y.label
+                && x.strategy == y.strategy
+                && x.realization == y.realization
+                && x.verified == y.verified
+                && x.flow == y.flow
+        }
+        (Err(x), Err(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn describe(r: &Result<JobResult, Error>) -> String {
+    match r {
+        Ok(ok) => format!("Ok({}, {} sites)", ok.strategy, ok.area()),
+        Err(e) => format!("Err({e})"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `run_batch` ≡ sequential `run`, per job, across thread counts.
+    #[test]
+    fn batch_matches_sequential_across_thread_counts(
+        jobs in proptest::collection::vec(arb_job(), 1..=10),
+    ) {
+        let engine = Engine::new();
+
+        // The sequential reference: every job run inline, serial pool.
+        nanoxbar_par::set_threads(1);
+        let reference: Vec<Result<JobResult, Error>> =
+            jobs.iter().map(|job| engine.run(job)).collect();
+
+        for threads in [1usize, 2, 8] {
+            nanoxbar_par::set_threads(threads);
+            let batch = engine.run_batch(&jobs);
+            prop_assert_eq!(batch.len(), jobs.len(), "threads={}", threads);
+            for (i, (got, want)) in batch.iter().zip(&reference).enumerate() {
+                prop_assert!(
+                    same_outcome(got, want),
+                    "threads={} job={} got={} want={}",
+                    threads,
+                    i,
+                    describe(got),
+                    describe(want)
+                );
+            }
+        }
+        nanoxbar_par::set_threads(1);
+    }
+
+    /// Labels ride through the batch in input order even when every other
+    /// job fails — per-job isolation never reorders or drops results.
+    #[test]
+    fn mixed_failure_batches_stay_input_ordered(seeds in proptest::collection::vec(0u64..100, 2..=6)) {
+        let engine = Engine::new();
+        let xnor = TruthTable::from_fn(2, |m| m == 0 || m == 3);
+        let jobs: Vec<Job> = seeds
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &seed)| {
+                [
+                    Job::synthesize(xnor.clone())
+                        .with_strategy(SynthStrategy::Diode)
+                        .on_random_chip(ArraySize::new(12, 12), seed)
+                        .labeled(format!("ok-{i}")),
+                    Job::synthesize(TruthTable::ones(2))
+                        .with_strategy(SynthStrategy::Fet)
+                        .labeled(format!("fail-{i}")),
+                ]
+            })
+            .collect();
+        for threads in [1usize, 2, 8] {
+            nanoxbar_par::set_threads(threads);
+            let results = engine.run_batch(&jobs);
+            for (i, pair) in results.chunks(2).enumerate() {
+                let ok = pair[0].as_ref().expect("even slots succeed");
+                prop_assert_eq!(ok.label.as_deref(), Some(format!("ok-{i}").as_str()));
+                prop_assert!(ok.flow.as_ref().is_some(), "chip jobs carry flow reports");
+                prop_assert_eq!(
+                    pair[1].as_ref().unwrap_err(),
+                    &Error::ConstantFunction { num_vars: 2 }
+                );
+            }
+        }
+        nanoxbar_par::set_threads(1);
+    }
+}

@@ -11,27 +11,41 @@
 use nanoxbar_logic::{dual_cover, isop_cover, Cover, TruthTable};
 
 use crate::lattice::{Lattice, Site};
+use crate::synth::SynthError;
 
-/// Synthesises a lattice for `f` from explicit covers of `f` and `f^D`.
+/// Fallible form of [`dual_based_from_covers`]: validates the covers and
+/// returns a typed [`SynthError`] instead of panicking.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the covers' arities differ, if either cover is constant (use
-/// [`synthesize`] which handles constants), or if some product pair shares
-/// no literal — which means the covers are not a function/dual pair.
-pub fn dual_based_from_covers(f_cover: &Cover, d_cover: &Cover) -> Lattice {
-    assert_eq!(f_cover.num_vars(), d_cover.num_vars(), "arity mismatch");
-    assert!(
-        !f_cover.is_zero_cover() && !f_cover.has_universe_cube(),
-        "constant function: use synthesize()"
-    );
-    assert!(
-        !d_cover.is_zero_cover() && !d_cover.has_universe_cube(),
-        "constant dual: use synthesize()"
-    );
+/// [`SynthError::ArityMismatch`] if the covers' arities differ,
+/// [`SynthError::ConstantCover`] if either cover is constant (use
+/// [`try_synthesize`] which handles constants), and
+/// [`SynthError::NoSharedLiteral`] if some product pair shares no literal —
+/// which means the covers are not a function/dual pair.
+pub fn try_from_covers(f_cover: &Cover, d_cover: &Cover) -> Result<Lattice, SynthError> {
+    if f_cover.num_vars() != d_cover.num_vars() {
+        return Err(SynthError::ArityMismatch {
+            f_vars: f_cover.num_vars(),
+            dual_vars: d_cover.num_vars(),
+        });
+    }
+    if f_cover.is_zero_cover()
+        || f_cover.has_universe_cube()
+        || d_cover.is_zero_cover()
+        || d_cover.has_universe_cube()
+    {
+        return Err(SynthError::ConstantCover);
+    }
     let num_vars = f_cover.num_vars();
-    let grid = nanoxbar_logic::shared_literal_grid(f_cover, d_cover)
-        .expect("f and f^D products always share a literal (strong duality)");
+    let grid = match nanoxbar_logic::shared_literal_grid(f_cover, d_cover) {
+        Some(grid) => grid,
+        None => {
+            let (col, row) = nanoxbar_logic::check_shared_literal_lemma(f_cover, d_cover)
+                .expect_err("grid construction failed, so the lemma must fail too");
+            return Err(SynthError::NoSharedLiteral { row, col });
+        }
+    };
     let rows: Vec<Vec<Site>> = grid
         .into_iter()
         .map(|row| {
@@ -43,7 +57,38 @@ pub fn dual_based_from_covers(f_cover: &Cover, d_cover: &Cover) -> Lattice {
                 .collect()
         })
         .collect();
-    Lattice::from_rows(num_vars, rows).expect("grid is rectangular by construction")
+    Ok(Lattice::from_rows(num_vars, rows).expect("grid is rectangular by construction"))
+}
+
+/// Synthesises a lattice for `f` from explicit covers of `f` and `f^D`.
+///
+/// # Panics
+///
+/// Panics if the covers' arities differ, if either cover is constant (use
+/// [`synthesize`] which handles constants), or if some product pair shares
+/// no literal — which means the covers are not a function/dual pair. See
+/// [`try_from_covers`] for the non-panicking form.
+pub fn dual_based_from_covers(f_cover: &Cover, d_cover: &Cover) -> Lattice {
+    try_from_covers(f_cover, d_cover).unwrap_or_else(|e| panic!("dual-based synthesis: {e}"))
+}
+
+/// Fallible form of [`synthesize`]: ISOP covers of `f` and `f^D` feed
+/// [`try_from_covers`]; constants yield 1×1 lattices.
+///
+/// # Errors
+///
+/// Never fails for covers produced by ISOP on a function/dual pair; the
+/// `Result` exists so request-path callers need no panic boundary.
+pub fn try_synthesize(f: &TruthTable) -> Result<Lattice, SynthError> {
+    if f.is_zero() {
+        return Ok(Lattice::constant(f.num_vars(), false));
+    }
+    if f.is_ones() {
+        return Ok(Lattice::constant(f.num_vars(), true));
+    }
+    let f_cover = isop_cover(f);
+    let d_cover = dual_cover(f);
+    try_from_covers(&f_cover, &d_cover)
 }
 
 /// Synthesises a lattice for an arbitrary function: ISOP covers of `f` and
@@ -63,15 +108,7 @@ pub fn dual_based_from_covers(f_cover: &Cover, d_cover: &Cover) -> Lattice {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn synthesize(f: &TruthTable) -> Lattice {
-    if f.is_zero() {
-        return Lattice::constant(f.num_vars(), false);
-    }
-    if f.is_ones() {
-        return Lattice::constant(f.num_vars(), true);
-    }
-    let f_cover = isop_cover(f);
-    let d_cover = dual_cover(f);
-    dual_based_from_covers(&f_cover, &d_cover)
+    try_synthesize(f).unwrap_or_else(|e| panic!("dual-based synthesis: {e}"))
 }
 
 /// The Fig. 5 size formula: `products(f^D) × products(f)` on ISOP covers.
@@ -153,6 +190,35 @@ mod tests {
                 assert!(computes_dual_left_right(&l), "duality n={n}");
             }
         }
+    }
+
+    #[test]
+    fn try_from_covers_reports_typed_errors() {
+        use crate::synth::SynthError;
+        use nanoxbar_logic::isop_cover;
+
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let g3 = parse_function("x0 x1 x2").unwrap();
+        assert_eq!(
+            try_from_covers(&isop_cover(&f), &isop_cover(&g3)),
+            Err(SynthError::ArityMismatch {
+                f_vars: 2,
+                dual_vars: 3
+            })
+        );
+        assert_eq!(
+            try_from_covers(&isop_cover(&TruthTable::zeros(2)), &isop_cover(&f)),
+            Err(SynthError::ConstantCover)
+        );
+        // x0x1 and its own cover (not the dual): the pair (x0x1, x0x1) shares
+        // literals, but covers of f and f (not f^D) can still violate the
+        // lemma — e.g. x0 against !x0.
+        let p = parse_function("x0").unwrap();
+        let q = parse_function("!x0").unwrap();
+        assert_eq!(
+            try_from_covers(&isop_cover(&p), &isop_cover(&q)),
+            Err(SynthError::NoSharedLiteral { row: 0, col: 0 })
+        );
     }
 
     #[test]

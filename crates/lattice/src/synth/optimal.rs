@@ -16,11 +16,13 @@
 //! satisfiable one yields a minimum-area lattice, quantifying the paper's
 //! remark that the Fig. 5 construction is "not necessarily optimal".
 
+use std::time::Instant;
+
 use nanoxbar_logic::{Literal, TruthTable};
 use nanoxbar_sat::{encode, Cnf, Lit as SatLit, SolveResult, Solver};
 
 use crate::lattice::{Lattice, Site};
-use crate::synth::dual_based;
+use crate::synth::{dual_based, SynthError};
 
 /// Options for the optimal search.
 #[derive(Clone, Debug)]
@@ -31,6 +33,13 @@ pub struct OptimalOptions {
     pub max_rows: Option<usize>,
     /// Upper bound on columns.
     pub max_cols: Option<usize>,
+    /// Conflict budget per SAT call; exhausting it fails
+    /// [`try_synthesize`] with [`SynthError::SatBudgetExceeded`]. `None`
+    /// solves without a budget (the [`synthesize`] behaviour).
+    pub max_conflicts_per_call: Option<u64>,
+    /// Wall-clock deadline, checked before every SAT call; passing it fails
+    /// [`try_synthesize`] with [`SynthError::DeadlineExceeded`].
+    pub deadline: Option<Instant>,
 }
 
 impl Default for OptimalOptions {
@@ -39,12 +48,14 @@ impl Default for OptimalOptions {
             allow_constants: true,
             max_rows: None,
             max_cols: None,
+            max_conflicts_per_call: None,
+            deadline: None,
         }
     }
 }
 
 /// Result of an optimal synthesis run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OptimalLattice {
     /// A minimum-area lattice computing the target.
     pub lattice: Lattice,
@@ -72,14 +83,31 @@ pub struct OptimalLattice {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn synthesize(f: &TruthTable, options: &OptimalOptions) -> OptimalLattice {
-    let dual = dual_based::synthesize(f);
+    try_synthesize(f, options).unwrap_or_else(|e| panic!("optimal synthesis: {e}"))
+}
+
+/// Fallible form of [`synthesize`]: honours the conflict budget and
+/// deadline of [`OptimalOptions`], returning a typed [`SynthError`] when a
+/// limit is hit instead of running without bound.
+///
+/// # Errors
+///
+/// [`SynthError::SatBudgetExceeded`] when a SAT call burns through
+/// `max_conflicts_per_call`; [`SynthError::DeadlineExceeded`] when
+/// `deadline` passes between SAT calls. With both limits unset it never
+/// fails.
+pub fn try_synthesize(
+    f: &TruthTable,
+    options: &OptimalOptions,
+) -> Result<OptimalLattice, SynthError> {
+    let dual = dual_based::try_synthesize(f)?;
     let dual_area = dual.area();
     if f.is_zero() || f.is_ones() {
-        return OptimalLattice {
+        return Ok(OptimalLattice {
             lattice: dual,
             dual_based_area: dual_area,
             sat_calls: 0,
-        };
+        });
     }
 
     let max_rows = options.max_rows.unwrap_or(dual.rows().max(1));
@@ -96,21 +124,40 @@ pub fn synthesize(f: &TruthTable, options: &OptimalOptions) -> OptimalLattice {
         if rows * cols > dual_area {
             break;
         }
+        if options
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+        {
+            return Err(SynthError::DeadlineExceeded { sat_calls });
+        }
         sat_calls += 1;
-        if let Some(lattice) = try_size(f, rows, cols, options.allow_constants) {
-            debug_assert!(lattice.computes(f));
-            return OptimalLattice {
-                lattice,
-                dual_based_area: dual_area,
-                sat_calls,
-            };
+        match try_size_limited(
+            f,
+            rows,
+            cols,
+            options.allow_constants,
+            options.max_conflicts_per_call,
+        ) {
+            Ok(Some(lattice)) => {
+                debug_assert!(lattice.computes(f));
+                return Ok(OptimalLattice {
+                    lattice,
+                    dual_based_area: dual_area,
+                    sat_calls,
+                });
+            }
+            Ok(None) => {}
+            Err(SynthError::SatBudgetExceeded { .. }) => {
+                return Err(SynthError::SatBudgetExceeded { sat_calls });
+            }
+            Err(other) => return Err(other),
         }
     }
-    OptimalLattice {
+    Ok(OptimalLattice {
         lattice: dual,
         dual_based_area: dual_area,
         sat_calls,
-    }
+    })
 }
 
 /// Attempts to realise `f` on a fixed R×C grid; returns the lattice if SAT.
@@ -120,6 +167,23 @@ pub fn try_size(
     cols: usize,
     allow_constants: bool,
 ) -> Option<Lattice> {
+    try_size_limited(f, rows, cols, allow_constants, None)
+        .expect("unbudgeted sat call cannot give up")
+}
+
+/// [`try_size`] with an optional conflict budget per SAT call.
+///
+/// # Errors
+///
+/// [`SynthError::SatBudgetExceeded`] when the budget runs out before the
+/// solver reaches a verdict.
+pub fn try_size_limited(
+    f: &TruthTable,
+    rows: usize,
+    cols: usize,
+    allow_constants: bool,
+    max_conflicts: Option<u64>,
+) -> Result<Option<Lattice>, SynthError> {
     let n = f.num_vars();
     let sites = rows * cols;
 
@@ -253,7 +317,11 @@ pub fn try_size(
     }
 
     let mut solver = Solver::from_cnf(&cnf);
-    match solver.solve() {
+    let verdict = match max_conflicts {
+        Some(budget) => solver.solve_limited(&[], budget),
+        None => solver.solve(),
+    };
+    match verdict {
         SolveResult::Sat(model) => {
             let mut grid = Vec::with_capacity(rows);
             for r in 0..rows {
@@ -267,9 +335,10 @@ pub fn try_size(
                 }
                 grid.push(row);
             }
-            Some(Lattice::from_rows(n, grid).expect("rectangular"))
+            Ok(Some(Lattice::from_rows(n, grid).expect("rectangular")))
         }
-        SolveResult::Unsat => None,
+        SolveResult::Unsat => Ok(None),
+        SolveResult::Unknown => Err(SynthError::SatBudgetExceeded { sat_calls: 1 }),
     }
 }
 
@@ -322,6 +391,32 @@ mod tests {
             assert!(r.lattice.computes(&f), "bits {bits:x}");
             assert!(r.lattice.area() <= r.dual_based_area);
         }
+    }
+
+    #[test]
+    fn expired_deadline_fails_typed() {
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let options = OptimalOptions {
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            ..OptimalOptions::default()
+        };
+        assert_eq!(
+            try_synthesize(&f, &options),
+            Err(SynthError::DeadlineExceeded { sat_calls: 0 })
+        );
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted() {
+        let f = parse_function("x0 x1 + !x0 !x1 + x2").unwrap();
+        let unbudgeted = synthesize(&f, &OptimalOptions::default());
+        let options = OptimalOptions {
+            max_conflicts_per_call: Some(1_000_000),
+            ..OptimalOptions::default()
+        };
+        let budgeted = try_synthesize(&f, &options).expect("budget is generous");
+        assert_eq!(budgeted.lattice.area(), unbudgeted.lattice.area());
+        assert!(budgeted.lattice.computes(&f));
     }
 
     #[test]

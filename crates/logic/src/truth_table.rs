@@ -483,8 +483,9 @@ impl TruthTable {
     /// Applies a variable permutation: output variable `i` takes the role of
     /// input variable `perm[i]`.
     ///
-    /// Decomposed into at most `num_vars - 1` word-level [`swap_vars`]
-    /// transpositions instead of a per-minterm rebuild.
+    /// Decomposed into at most `num_vars - 1` word-level
+    /// [`TruthTable::swap_vars`] transpositions instead of a per-minterm
+    /// rebuild.
     ///
     /// # Panics
     ///

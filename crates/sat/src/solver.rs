@@ -21,6 +21,10 @@ pub enum SolveResult {
     Sat(Vec<bool>),
     /// Proven unsatisfiable (under the given assumptions, if any).
     Unsat,
+    /// The conflict budget of [`Solver::solve_limited`] ran out before a
+    /// verdict was reached. The solver remains usable (learnt clauses are
+    /// kept, so a retry resumes from accumulated knowledge).
+    Unknown,
 }
 
 impl SolveResult {
@@ -33,7 +37,7 @@ impl SolveResult {
     pub fn model(&self) -> Option<&[bool]> {
         match self {
             SolveResult::Sat(m) => Some(m),
-            SolveResult::Unsat => None,
+            SolveResult::Unsat | SolveResult::Unknown => None,
         }
     }
 }
@@ -103,7 +107,7 @@ impl Ord for HeapEntry {
 ///     SolveResult::Sat(model) => {
 ///         assert!(model[0] && model[1]);
 ///     }
-///     SolveResult::Unsat => unreachable!(),
+///     _ => unreachable!(),
 /// }
 /// ```
 #[derive(Debug)]
@@ -530,13 +534,27 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat;
         }
-        let result = self.search(assumptions);
+        let result = self.search(assumptions, None);
         self.backtrack_to(0);
         result
     }
 
-    fn search(&mut self, assumptions: &[Lit]) -> SolveResult {
+    /// Solves with a conflict budget: gives up with [`SolveResult::Unknown`]
+    /// once `max_conflicts` conflicts have been analysed in this call.
+    /// Learnt clauses survive, so callers may retry with a larger budget and
+    /// resume from the accumulated knowledge.
+    pub fn solve_limited(&mut self, assumptions: &[Lit], max_conflicts: u64) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        let result = self.search(assumptions, Some(max_conflicts));
+        self.backtrack_to(0);
+        result
+    }
+
+    fn search(&mut self, assumptions: &[Lit], max_conflicts: Option<u64>) -> SolveResult {
         let mut conflicts_since_restart = 0u64;
+        let mut conflicts_this_call = 0u64;
         let mut restart_number = 0u32;
         let mut restart_limit = RESTART_BASE * luby(restart_number);
 
@@ -544,6 +562,7 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
+                conflicts_this_call += 1;
                 if self.decision_level() == 0 {
                     // Conflict with no decisions: globally unsatisfiable.
                     self.ok = false;
@@ -554,6 +573,9 @@ impl Solver {
                     // unsatisfiable under these assumptions (the solver
                     // itself remains usable).
                     return SolveResult::Unsat;
+                }
+                if max_conflicts.is_some_and(|budget| conflicts_this_call > budget) {
+                    return SolveResult::Unknown;
                 }
                 let (clause, back_level) = self.analyze(confl);
                 self.backtrack_to(back_level);
@@ -664,7 +686,7 @@ mod tests {
         }
         match s.solve() {
             SolveResult::Sat(m) => assert!(m.iter().all(|&b| b)),
-            SolveResult::Unsat => panic!("chain is satisfiable"),
+            other => panic!("chain is satisfiable, got {other:?}"),
         }
     }
 
@@ -771,7 +793,7 @@ mod tests {
                 assert!(!m[0]);
                 assert!(m[1]);
             }
-            SolveResult::Unsat => panic!("satisfiable under !a"),
+            other => panic!("satisfiable under !a, got {other:?}"),
         }
     }
 
@@ -785,7 +807,7 @@ mod tests {
         s.add_clause([!v[1]]);
         match s.solve() {
             SolveResult::Sat(m) => assert!(m[2]),
-            SolveResult::Unsat => panic!("still satisfiable"),
+            other => panic!("still satisfiable, got {other:?}"),
         }
         s.add_clause([!v[2]]);
         assert_eq!(s.solve(), SolveResult::Unsat);
@@ -811,5 +833,47 @@ mod tests {
         xor_clauses(&mut s, v[1], v[2]);
         xor_clauses(&mut s, v[0], v[2]);
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    /// A pigeonhole instance PHP(n+1, n): n+1 pigeons in n holes, famously
+    /// hard for resolution — guaranteed to burn conflicts.
+    fn pigeonhole(s: &mut Solver, holes: usize) -> Vec<Vec<Lit>> {
+        let pigeons = holes + 1;
+        let p: Vec<Vec<Lit>> = (0..pigeons).map(|_| lits(s, holes)).collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for (i, row_i) in p.iter().enumerate() {
+            for row_j in &p[i + 1..] {
+                for (&a, &b) in row_i.iter().zip(row_j) {
+                    s.add_clause([!a, !b]);
+                }
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn budgeted_solve_gives_up_then_resumes() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 7);
+        // A tiny budget cannot refute PHP(8, 7).
+        assert_eq!(s.solve_limited(&[], 5), SolveResult::Unknown);
+        // The solver stays usable: the unbudgeted call still refutes it.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn budgeted_solve_matches_unbudgeted_on_easy_instances() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([!v[0], v[2]]);
+        s.add_clause([!v[2], v[3]]);
+        assert!(s.solve_limited(&[], 1_000_000).is_sat());
+        // A definitive root-level refutation beats the budget even at 0.
+        s.add_clause([!v[3]]);
+        s.add_clause([!v[1]]);
+        assert_eq!(s.solve_limited(&[], 0), SolveResult::Unsat);
     }
 }

@@ -42,6 +42,7 @@ proptest! {
                 prop_assert!(brute_force_sat(&cnf));
             }
             SolveResult::Unsat => prop_assert!(!brute_force_sat(&cnf)),
+            SolveResult::Unknown => prop_assert!(false, "unbudgeted solve cannot give up"),
         }
     }
 

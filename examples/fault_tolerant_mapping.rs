@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --example fault_tolerant_mapping`
 
-use nanoxbar_core::flow::defect_unaware_flow;
 use nanoxbar_crossbar::ArraySize;
+use nanoxbar_engine::{Engine, Job, Strategy};
 use nanoxbar_logic::{isop_cover, parse_function};
 use nanoxbar_reliability::bisd::{Diagnosis, DiagnosisPlan};
 use nanoxbar_reliability::bism::{run_bism, Application, BismStrategy};
@@ -68,7 +68,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         recovered.storage_bytes(2),
         k = recovered.k()
     );
-    let flow = defect_unaware_flow(&f, &chip)?;
+    // The engine runs the same flow as a chip job: synthesise, recover,
+    // place, BIST — with fabric exhaustion as a typed error.
+    let engine = Engine::new();
+    let result = engine.run(
+        &Job::synthesize(f)
+            .with_strategy(Strategy::Diode)
+            .on_chip(chip),
+    )?;
+    let flow = result.flow.expect("chip job carries a flow report");
     println!(
         "application placed on recovered rows {:?}; final BIST passed: {}",
         flow.placement, flow.bist_passed

@@ -1,10 +1,9 @@
-//! Quickstart: synthesise one Boolean function on all three nano-crossbar
-//! technologies and verify the realisations.
+//! Quickstart: one engine batch synthesising a Boolean function on all
+//! four strategies, with verification and typed errors.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use nanoxbar_core::{synthesize, Technology};
-use nanoxbar_lattice::synth::dual_based;
+use nanoxbar_engine::{Engine, Job, Strategy};
 use nanoxbar_logic::{dual_cover, isop_cover, parse_function};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -16,21 +15,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("dual cover (f^D):  {}", dual_cover(&f));
     println!();
 
-    for tech in Technology::ALL {
-        let realization = synthesize(&f, tech);
+    // Build the engine once, then submit every strategy as one batch: the
+    // jobs fan out across the work-stealing pool, results come back in
+    // input order, and one failing job would not abort the others.
+    let engine = Engine::builder().build()?;
+    let jobs: Vec<Job> = Strategy::ALL
+        .into_iter()
+        .map(|s| Job::synthesize(f.clone()).with_strategy(s).verified(true))
+        .collect();
+
+    for result in engine.run_batch(&jobs) {
+        let r = result?;
         println!(
-            "{:>13}: {:>5} array, {:>2} crosspoints, computes f: {}",
-            tech.name(),
-            realization.size().to_string(),
-            realization.area(),
-            realization.computes(&f)
+            "{:>15}: {:>5} array, {:>2} crosspoints, verified: {}",
+            r.strategy,
+            r.realization.size().to_string(),
+            r.area(),
+            r.verified.unwrap_or(false),
         );
     }
 
-    println!("\nthe four-terminal lattice itself (top plate above, bottom below):");
-    println!("{}", dual_based::synthesize(&f));
+    // Errors are data, not panics: constants need no two-terminal array.
+    let constant = Job::parse("x0 + !x0")?.with_strategy(Strategy::Diode);
+    println!(
+        "\nconstant on diode -> {}",
+        engine.run(&constant).unwrap_err()
+    );
 
-    println!("truth table check:");
+    println!("\ntruth table check:");
     for m in 0..4u64 {
         let bits = format!("{m:02b}");
         println!("  x1 x0 = {bits} -> f = {}", u8::from(f.value(m)));

@@ -1,40 +1,90 @@
-//! Technology shoot-out: compare diode, FET, and four-terminal lattice
-//! areas across the built-in benchmark suite, plus preprocessing effects.
+//! Technology shoot-out: one engine batch comparing diode, FET, and
+//! four-terminal lattice areas across the built-in benchmark suite, plus
+//! preprocessing effects.
 //!
 //! Run with: `cargo run --example technology_shootout`
 
-use nanoxbar_core::compare::compare_suite;
 use nanoxbar_core::report::Table;
+use nanoxbar_engine::{Engine, Job, Strategy};
 use nanoxbar_lattice::synth::pcircuit;
 use nanoxbar_logic::suite::standard_suite;
 
-fn main() {
+const STRATEGIES: [Strategy; 3] = [Strategy::Diode, Strategy::Fet, Strategy::DualLattice];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let suite = standard_suite();
-    let (rows, summary) = compare_suite(&suite);
+    let engine = Engine::builder().build()?;
+
+    // The whole (function × strategy) grid as ONE batch: the pool chews
+    // through it, and per-job isolation keeps constant functions (which the
+    // two-terminal strategies reject) from aborting the sweep.
+    let targets: Vec<_> = suite
+        .iter()
+        .filter(|f| !f.table.is_zero() && !f.table.is_ones())
+        .collect();
+    let jobs: Vec<Job> = targets
+        .iter()
+        .flat_map(|f| {
+            STRATEGIES.map(|s| {
+                Job::synthesize(f.table.clone())
+                    .with_strategy(s)
+                    .labeled(f.name.clone())
+            })
+        })
+        .collect();
+    let results = engine.run_batch(&jobs);
 
     let mut table = Table::new(&["function", "diode", "fet", "lattice", "winner"]);
-    for r in &rows {
-        let areas = [
-            ("diode", r.diode.2),
-            ("fet", r.fet.2),
-            ("lattice", r.lattice.2),
-        ];
-        let winner = areas.iter().min_by_key(|(_, a)| *a).expect("non-empty").0;
+    let mut lattice_wins = 0usize;
+    let mut compared = 0usize;
+    let mut log_diode_ratio = 0.0f64;
+    let mut log_fet_ratio = 0.0f64;
+    for (i, f) in targets.iter().enumerate() {
+        let row = &results[i * STRATEGIES.len()..(i + 1) * STRATEGIES.len()];
+        // A failed job gets an error row, never a fake area-0 win.
+        let areas: Result<Vec<usize>, &nanoxbar_engine::Error> =
+            row.iter().map(|r| r.as_ref().map(|ok| ok.area())).collect();
+        let areas = match areas {
+            Ok(areas) => areas,
+            Err(e) => {
+                table.row_owned(vec![
+                    f.name.clone(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("error: {e}"),
+                ]);
+                continue;
+            }
+        };
+        compared += 1;
+        let (diode, fet, lattice) = (areas[0], areas[1], areas[2]);
+        let winner = [("diode", diode), ("fet", fet), ("lattice", lattice)]
+            .into_iter()
+            .min_by_key(|&(_, a)| a)
+            .expect("non-empty")
+            .0;
+        if winner == "lattice" {
+            lattice_wins += 1;
+        }
+        log_diode_ratio += (diode as f64 / lattice as f64).ln();
+        log_fet_ratio += (fet as f64 / lattice as f64).ln();
         table.row_owned(vec![
-            r.name.clone(),
-            r.diode.2.to_string(),
-            r.fet.2.to_string(),
-            r.lattice.2.to_string(),
+            f.name.clone(),
+            diode.to_string(),
+            fet.to_string(),
+            lattice.to_string(),
             winner.to_string(),
         ]);
     }
     println!("{}", table.render());
+    let n = compared.max(1) as f64;
     println!(
         "lattice wins {:.0}% of functions; geomean diode/lattice = {:.2}, \
          fet/lattice = {:.2}",
-        summary.lattice_wins * 100.0,
-        summary.geomean_diode_over_lattice,
-        summary.geomean_fet_over_lattice
+        lattice_wins as f64 / n * 100.0,
+        (log_diode_ratio / n).exp(),
+        (log_fet_ratio / n).exp()
     );
 
     // Preprocessing teaser: pick one function where P-circuits help.
@@ -52,4 +102,5 @@ fn main() {
             r.split_var
         );
     }
+    Ok(())
 }

@@ -5,26 +5,44 @@
 //! Tolerance"* (Altun, Ciriani, Tahoori — DATE 2017). It re-exports every
 //! subsystem crate so applications can depend on a single name:
 //!
+//! * [`engine`] — **the public entry point**: the batch-first [`Engine`]
+//!   facade with trait-based synthesis backends, typed [`Job`]s, unified
+//!   errors, and pool-parallel [`run_batch`](engine::Engine::run_batch);
 //! * [`logic`] — Boolean substrate (truth tables, SOP covers, ISOP,
 //!   minimisation, duals, PLA, BDD, benchmark suite);
-//! * [`sat`] — from-scratch CDCL SAT solver;
+//! * [`sat`] — from-scratch CDCL SAT solver (now with budgeted solving);
 //! * [`crossbar`] — two-terminal diode/FET array models (Fig. 3);
 //! * [`lattice`] — four-terminal switching lattices and their synthesis
 //!   stack (Figs. 4–5, Sec. III-B);
 //! * [`reliability`] — defects, fault simulation, BIST/BISD/BISM, and the
 //!   defect-unaware flow (Sec. IV, Fig. 6);
-//! * [`core`] — technology selection, end-to-end flows, and the Sec. V
-//!   nanocomputer elements (adders, registers, SSM);
+//! * [`core`] — the Sec. V nanocomputer elements (adders, registers, SSM)
+//!   plus deprecated shims over the engine;
 //! * [`par`] — the vendored work-stealing thread pool behind every
 //!   multi-core engine (`NANOXBAR_THREADS` controls the worker count).
 //!
-//! ```
-//! use nanoxbar::core::{synthesize, Technology};
-//! use nanoxbar::logic::parse_function;
+//! [`Engine`]: engine::Engine
+//! [`Job`]: engine::Job
 //!
-//! let f = parse_function("x0 x1 + !x0 !x1")?;
-//! let lattice = synthesize(&f, Technology::FourTerminal);
-//! assert_eq!(lattice.area(), 4);
+//! ## Quickstart: one batch, every strategy
+//!
+//! ```
+//! use nanoxbar::engine::{Engine, Job, Strategy};
+//!
+//! let engine = Engine::builder().build()?;
+//! let jobs: Vec<Job> = Strategy::ALL
+//!     .into_iter()
+//!     .map(|s| Ok(Job::parse("x0 x1 + !x0 !x1")?.with_strategy(s).verified(true)))
+//!     .collect::<Result<_, nanoxbar::engine::Error>>()?;
+//!
+//! // Fans out on the work-stealing pool; results stay input-ordered and a
+//! // failing job would surface as its own Err without aborting the rest.
+//! let results = engine.run_batch(&jobs);
+//! let areas: Vec<usize> = results
+//!     .into_iter()
+//!     .map(|r| Ok(r?.area()))
+//!     .collect::<Result<_, nanoxbar::engine::Error>>()?;
+//! assert_eq!(areas, [10, 16, 4, 4]); // diode, fet, dual-lattice, optimal
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -33,6 +51,7 @@
 
 pub use nanoxbar_core as core;
 pub use nanoxbar_crossbar as crossbar;
+pub use nanoxbar_engine as engine;
 pub use nanoxbar_lattice as lattice;
 pub use nanoxbar_logic as logic;
 pub use nanoxbar_par as par;

@@ -10,10 +10,9 @@
 
 use std::process::ExitCode;
 
-use nanoxbar::core::flow::defect_unaware_flow;
 use nanoxbar::core::report::Table;
-use nanoxbar::core::{synthesize, Technology};
 use nanoxbar::crossbar::{ArraySize, MultiOutputDiodeArray};
+use nanoxbar::engine::{Engine, Job, Strategy};
 use nanoxbar::lattice::synth::{compact, dual_based, optimal, pcircuit};
 use nanoxbar::logic::minimize::minimize_multi_output;
 use nanoxbar::logic::{isop_cover, parse_function, TruthTable};
@@ -55,8 +54,9 @@ fn print_help() {
          (reproduction of Altun/Ciriani/Tahoori, DATE 2017)\n\
          \n\
          USAGE:\n\
-           nanoxbar synth <expr> [--tech diode|fet|lattice]\n\
-               synthesise a Boolean expression on one or all technologies\n\
+           nanoxbar synth <expr> [--tech diode|fet|lattice|optimal]\n\
+               synthesise a Boolean expression on one or all strategies\n\
+               (runs as one engine batch across the thread pool)\n\
            nanoxbar lattice <expr> [--pcircuit] [--compact] [--optimal]\n\
                four-terminal lattice synthesis variants with areas\n\
            nanoxbar pla <file> [--share]\n\
@@ -118,22 +118,43 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
     if f.is_zero() || f.is_ones() {
         return Err("constant function needs no crossbar".into());
     }
-    let technologies: Vec<Technology> = match tech.as_deref() {
-        None => Technology::ALL.to_vec(),
-        Some("diode") => vec![Technology::Diode],
-        Some("fet") => vec![Technology::Fet],
-        Some("lattice") | Some("four-terminal") => vec![Technology::FourTerminal],
+    let strategies: Vec<Strategy> = match tech.as_deref() {
+        None => Strategy::ALL.to_vec(),
+        Some("diode") => vec![Strategy::Diode],
+        Some("fet") => vec![Strategy::Fet],
+        Some("lattice") | Some("four-terminal") => vec![Strategy::DualLattice],
+        Some("optimal") => vec![Strategy::OptimalLattice],
         Some(other) => return Err(format!("unknown technology {other:?}")),
     };
-    let mut table = Table::new(&["technology", "size", "crosspoints", "verified"]);
-    for tech in technologies {
-        let r = synthesize(&f, tech);
-        table.row_owned(vec![
-            tech.name().to_string(),
-            r.size().to_string(),
-            r.area().to_string(),
-            r.computes(&f).to_string(),
-        ]);
+    // Bound the SAT-optimal search so the default (all-strategy) run stays
+    // interactive on hard expressions; exhaustion shows up as a table row,
+    // and per-job isolation keeps the constructive strategies' rows intact.
+    let engine = Engine::builder()
+        .sat_conflict_budget(200_000)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let jobs: Vec<Job> = strategies
+        .iter()
+        .map(|&s| Job::synthesize(f.clone()).with_strategy(s).verified(true))
+        .collect();
+    let mut table = Table::new(&["strategy", "technology", "size", "crosspoints", "verified"]);
+    for (strategy, result) in strategies.iter().zip(engine.run_batch(&jobs)) {
+        match result {
+            Ok(r) => table.row_owned(vec![
+                r.strategy.clone(),
+                strategy.technology().name().to_string(),
+                r.realization.size().to_string(),
+                r.area().to_string(),
+                r.verified.unwrap_or(false).to_string(),
+            ]),
+            Err(e) => table.row_owned(vec![
+                strategy.name().to_string(),
+                strategy.technology().name().to_string(),
+                "-".into(),
+                "-".into(),
+                e.to_string(),
+            ]),
+        }
     }
     println!("{}", table.render());
     Ok(())
@@ -214,29 +235,34 @@ fn cmd_pla(args: &[String]) -> Result<(), String> {
             array.product_rows()
         );
     } else {
+        // One engine batch over every (output, strategy) pair: per-job
+        // isolation turns constant outputs into typed errors, not aborts.
+        const STRATEGIES: [Strategy; 3] = [Strategy::Diode, Strategy::Fet, Strategy::DualLattice];
+        let engine = Engine::new();
+        let targets: Vec<TruthTable> = pla.outputs.iter().map(|c| c.to_truth_table()).collect();
+        let jobs: Vec<Job> = targets
+            .iter()
+            .flat_map(|f| STRATEGIES.map(|s| Job::synthesize(f.clone()).with_strategy(s)))
+            .collect();
+        let results = engine.run_batch(&jobs);
         let mut table = Table::new(&["output", "products", "diode", "fet", "lattice"]);
-        for (o, cover) in pla.outputs.iter().enumerate() {
-            let f = cover.to_truth_table();
-            if f.is_zero() || f.is_ones() {
-                table.row_owned(vec![
-                    o.to_string(),
-                    "const".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                ]);
-                continue;
-            }
-            let sizes: Vec<String> = Technology::ALL
-                .iter()
-                .map(|&t| synthesize(&f, t).size().to_string())
-                .collect();
+        for (o, f) in targets.iter().enumerate() {
+            let row = &results[o * STRATEGIES.len()..(o + 1) * STRATEGIES.len()];
+            let cell = |r: &Result<nanoxbar::engine::JobResult, nanoxbar::engine::Error>| match r {
+                Ok(result) => result.realization.size().to_string(),
+                Err(_) => "-".into(),
+            };
+            let products = if f.is_zero() || f.is_ones() {
+                "const".into()
+            } else {
+                isop_cover(f).product_count().to_string()
+            };
             table.row_owned(vec![
                 o.to_string(),
-                isop_cover(&f).product_count().to_string(),
-                sizes[0].clone(),
-                sizes[1].clone(),
-                sizes[2].clone(),
+                products,
+                cell(&row[0]),
+                cell(&row[1]),
+                cell(&row[2]),
             ]);
         }
         println!("{}", table.render());
@@ -289,7 +315,15 @@ fn cmd_chip(args: &[String]) -> Result<(), String> {
         chip.defect_density() * 100.0,
         chip.defect_count()
     );
-    let report = defect_unaware_flow(&f, &chip).map_err(|e| e.to_string())?;
+    let engine = Engine::new();
+    let result = engine
+        .run(
+            &Job::synthesize(f)
+                .with_strategy(Strategy::Diode)
+                .on_chip(chip),
+        )
+        .map_err(|e| e.to_string())?;
+    let report = result.flow.expect("chip job always carries a flow report");
     println!(
         "recovered defect-free sub-crossbar: {k}x{k} (map storage {} bytes)",
         report.recovered.storage_bytes(2),

@@ -75,8 +75,11 @@ fn parallel_synthesis_across_threads() {
         .take(8)
         .map(|f| {
             std::thread::spawn(move || {
-                let lattice =
-                    nanoxbar::core::synthesize(&f.table, nanoxbar::core::Technology::FourTerminal);
+                let lattice = nanoxbar::engine::synthesize(
+                    &f.table,
+                    nanoxbar::core::Technology::FourTerminal,
+                )
+                .expect("non-constant");
                 assert!(lattice.computes(&f.table), "{}", f.name);
                 lattice.area()
             })

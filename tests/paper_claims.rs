@@ -1,8 +1,9 @@
 //! Integration tests pinning every concrete number and worked example the
 //! paper states, end to end through the public API.
 
-use nanoxbar::core::{synthesize, Technology};
+use nanoxbar::core::Technology;
 use nanoxbar::crossbar::ArraySize;
+use nanoxbar::engine::synthesize;
 use nanoxbar::lattice::synth::{dual_based, optimal};
 use nanoxbar::lattice::{computes_dual_left_right, Lattice, Site};
 use nanoxbar::logic::{dual_cover, isop_cover, parse_function, Literal};
@@ -21,8 +22,8 @@ fn section_iii_a_worked_example() {
     assert_eq!(cover.distinct_literal_count(), 4);
     assert_eq!(dual.product_count(), 2);
 
-    let diode = synthesize(&f, Technology::Diode);
-    let fet = synthesize(&f, Technology::Fet);
+    let diode = synthesize(&f, Technology::Diode).unwrap();
+    let fet = synthesize(&f, Technology::Fet).unwrap();
     assert_eq!(diode.size(), ArraySize::new(2, 5));
     assert_eq!(fet.size(), ArraySize::new(4, 4));
     assert!(diode.computes(&f));
@@ -33,7 +34,7 @@ fn section_iii_a_worked_example() {
 #[test]
 fn section_iii_b_worked_example() {
     let f = parse_function("x0 x1 + !x0 !x1").unwrap();
-    let lattice = synthesize(&f, Technology::FourTerminal);
+    let lattice = synthesize(&f, Technology::FourTerminal).unwrap();
     assert_eq!(lattice.size(), ArraySize::new(2, 2));
     assert!(lattice.computes(&f));
 }

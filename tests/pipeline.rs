@@ -1,26 +1,39 @@
 //! Cross-crate integration tests: the full synthesis → mapping → test
 //! pipeline on realistic inputs.
 
-use nanoxbar::core::flow::{defect_unaware_flow, FlowError};
 use nanoxbar::core::ssm::Ssm;
-use nanoxbar::core::{synthesize, Technology};
+use nanoxbar::core::Technology;
 use nanoxbar::crossbar::ArraySize;
+use nanoxbar::engine::{Engine, Error, FlowError, Job, Strategy};
 use nanoxbar::logic::suite::standard_suite;
 use nanoxbar::logic::{isop_cover, pla};
 use nanoxbar::reliability::bism::{run_bism, Application, BismStrategy};
 use nanoxbar::reliability::defect::DefectMap;
 
-/// Every suite function realises correctly on every technology.
+/// Every suite function realises correctly on every strategy — submitted
+/// as one engine batch with verification on, so a single wrong
+/// realisation anywhere surfaces as that job's typed error.
 #[test]
-fn whole_suite_on_all_technologies() {
-    for f in standard_suite() {
-        if f.table.is_zero() || f.table.is_ones() {
-            continue;
-        }
-        for tech in Technology::ALL {
-            let r = synthesize(&f.table, tech);
-            assert!(r.computes(&f.table), "{} on {tech}", f.name);
-        }
+fn whole_suite_on_all_strategies_as_one_batch() {
+    let engine = Engine::new();
+    let targets: Vec<_> = standard_suite()
+        .into_iter()
+        .filter(|f| !f.table.is_zero() && !f.table.is_ones())
+        .collect();
+    let jobs: Vec<Job> = targets
+        .iter()
+        .flat_map(|f| {
+            [Strategy::Diode, Strategy::Fet, Strategy::DualLattice].map(|s| {
+                Job::synthesize(f.table.clone())
+                    .with_strategy(s)
+                    .verified(true)
+                    .labeled(f.name.clone())
+            })
+        })
+        .collect();
+    for result in engine.run_batch(&jobs) {
+        let r = result.expect("every suite job verifies");
+        assert_eq!(r.verified, Some(true), "{:?} on {}", r.label, r.strategy);
     }
 }
 
@@ -32,14 +45,16 @@ fn pla_to_crossbar_pipeline() {
     let parsed = pla::parse_pla(&text).unwrap();
     let cover = parsed.single_output();
     assert!(cover.computes(&f));
-    let r = synthesize(&cover.to_truth_table(), Technology::Diode);
+    let r = nanoxbar::engine::synthesize(&cover.to_truth_table(), Technology::Diode).unwrap();
     assert!(r.computes(&f));
 }
 
 /// The defect-unaware flow succeeds across a population of chips, and the
-/// recovered region shrinks with density.
+/// recovered region shrinks with density — run as engine chip jobs with
+/// fabric exhaustion arriving as a typed error.
 #[test]
 fn defect_unaware_flow_population() {
+    let engine = Engine::new();
     let f = nanoxbar::logic::parse_function("x0 x1 + !x0 !x1").unwrap();
     let size = ArraySize::new(24, 24);
     let mut k_low = 0usize;
@@ -47,15 +62,20 @@ fn defect_unaware_flow_population() {
     for seed in 0..8u64 {
         let clean = DefectMap::random_uniform(size, 0.01, 0.01, seed);
         let dirty = DefectMap::random_uniform(size, 0.10, 0.05, seed);
-        let a = defect_unaware_flow(&f, &clean).unwrap();
+        let a = engine
+            .run(&Job::synthesize(f.clone()).on_chip(clean))
+            .unwrap()
+            .flow
+            .expect("chip job carries a flow report");
         assert!(a.bist_passed, "clean chip seed {seed}");
         k_low += a.recovered.k();
-        match defect_unaware_flow(&f, &dirty) {
-            Ok(b) => {
+        match engine.run(&Job::synthesize(f.clone()).on_chip(dirty)) {
+            Ok(result) => {
+                let b = result.flow.expect("chip job carries a flow report");
                 assert!(b.bist_passed, "dirty chip seed {seed}");
                 k_high += b.recovered.k();
             }
-            Err(FlowError::InsufficientFabric { .. }) => {}
+            Err(Error::Flow(FlowError::InsufficientFabric { .. })) => {}
             Err(e) => panic!("unexpected error {e}"),
         }
     }

@@ -2,8 +2,9 @@
 
 use proptest::prelude::*;
 
-use nanoxbar::core::{synthesize, Technology};
+use nanoxbar::core::Technology;
 use nanoxbar::crossbar::ArraySize;
+use nanoxbar::engine::synthesize;
 use nanoxbar::lattice::synth::{dual_based, pcircuit};
 use nanoxbar::lattice::{computes_dual_left_right, lattice_function};
 use nanoxbar::logic::minimize::{minimize_function, quine_mccluskey, MinimizeObjective};
@@ -63,7 +64,7 @@ proptest! {
     fn realizations_equivalent(f in arb_function(4)) {
         prop_assume!(!f.is_zero() && !f.is_ones());
         for tech in Technology::ALL {
-            prop_assert!(synthesize(&f, tech).computes(&f));
+            prop_assert!(synthesize(&f, tech).unwrap().computes(&f));
         }
     }
 
