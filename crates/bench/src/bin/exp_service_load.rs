@@ -1,0 +1,273 @@
+//! E-service — closed-loop load generation against `nanoxbar-service`.
+//!
+//! Starts the HTTP service in-process on an ephemeral port, drives it
+//! with N keep-alive client threads × M requests each (closed loop: each
+//! client waits for its response before sending the next request), and
+//! reports throughput, p50/p99 latency, the cache hit rate from
+//! `/metrics`, and the pool's steal counters. The schedule draws from a
+//! small pool of distinct functions, so a tunable fraction of requests
+//! are exact duplicates — the workload the ROADMAP's "Engine-level batch
+//! caching" item describes.
+//!
+//! Two passes run back to back: cache enabled vs `cache_capacity = 0`.
+//! The acceptance claim is checked directly: with ≥50% duplicate jobs the
+//! cached pass must be at least as fast and every response body must be
+//! **bit-identical** between passes (the wire format carries no clocks).
+//!
+//! Flags (all optional): `--clients N` `--requests M` `--distinct K`
+//! `--cache C`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use nanoxbar_bench::{banner, f2};
+use nanoxbar_core::report::Table;
+use nanoxbar_logic::pla::write_pla;
+use nanoxbar_logic::suite::random_sop;
+use nanoxbar_service::{JobSpec, Json, Server, ServiceConfig};
+
+/// One client's view of a pass: per-request latencies and bodies.
+struct ClientLog {
+    latencies: Vec<Duration>,
+    bodies: Vec<String>,
+}
+
+/// Deterministic request schedule: request `r` of client `c` picks
+/// function `(c * 31 + r * 17) % distinct` — every pass sends the exact
+/// same multiset of requests in the same per-client order.
+fn job_index(client: usize, request: usize, distinct: usize) -> usize {
+    (client * 31 + request * 17) % distinct
+}
+
+/// Builds the request bodies for the `distinct` functions: single-output
+/// PLA jobs cycling through the three constructive strategies.
+fn request_bodies(distinct: usize) -> Vec<String> {
+    const STRATEGIES: [&str; 3] = ["diode", "fet", "dual-lattice"];
+    (0..distinct)
+        .map(|i| {
+            // Skip seeds whose random SOP degenerates to a constant — the
+            // two-terminal strategies reject those by design.
+            let cover = (0..)
+                .map(|attempt| random_sop(5, 3 + i % 3, 1000 + i as u64 + 7919 * attempt))
+                .find(|c| {
+                    let t = c.to_truth_table();
+                    !t.is_zero() && !t.is_ones()
+                })
+                .expect("a non-constant SOP exists");
+            let spec = JobSpec {
+                strategy: Some(STRATEGIES[i % STRATEGIES.len()].into()),
+                verify: true,
+                ..JobSpec::pla(write_pla(&cover))
+            };
+            spec.to_json().encode()
+        })
+        .collect()
+}
+
+/// Sends one POST over an existing keep-alive stream and reads the
+/// response body.
+fn post(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    addr: &str,
+    body: &str,
+) -> std::io::Result<String> {
+    stream.write_all(
+        format!(
+            "POST /v1/synthesize HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    let mut status = String::new();
+    reader.read_line(&mut status)?;
+    let mut length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            length = v.trim().parse().unwrap_or(0);
+        }
+    }
+    let mut bytes = vec![0u8; length];
+    reader.read_exact(&mut bytes)?;
+    Ok(String::from_utf8_lossy(&bytes).into_owned())
+}
+
+fn get(addr: &str, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut text = String::new();
+    BufReader::new(stream).read_to_string(&mut text)?;
+    Ok(text)
+}
+
+/// Reads one counter out of a Prometheus exposition.
+fn scrape(metrics: &str, name: &str) -> f64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
+}
+
+struct PassReport {
+    throughput: f64,
+    p50: Duration,
+    p99: Duration,
+    hit_rate: f64,
+    steals: u64,
+    bodies: Vec<Vec<String>>,
+}
+
+/// Runs one full pass: fresh server, closed-loop clients, metrics scrape.
+fn run_pass(clients: usize, requests: usize, bodies: &[String], cache: usize) -> PassReport {
+    let server = Server::bind(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: clients.max(2),
+        cache_capacity: cache,
+        ..ServiceConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let handle = server.start().expect("start service");
+    let addr = handle.addr().to_string();
+    let steals_before = nanoxbar_par::pool_stats().steals;
+
+    let started = Instant::now();
+    let logs: Vec<ClientLog> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let addr = &addr;
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                    let mut stream = stream;
+                    let mut log = ClientLog {
+                        latencies: Vec::with_capacity(requests),
+                        bodies: Vec::with_capacity(requests),
+                    };
+                    for request in 0..requests {
+                        let body = &bodies[job_index(client, request, bodies.len())];
+                        let sent = Instant::now();
+                        let response = post(&mut stream, &mut reader, addr, body).expect("request");
+                        log.latencies.push(sent.elapsed());
+                        assert!(
+                            Json::parse(&response)
+                                .ok()
+                                .and_then(|j| j.get("ok").and_then(Json::as_bool))
+                                .unwrap_or(false),
+                            "job failed: {response}"
+                        );
+                        log.bodies.push(response);
+                    }
+                    log
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let metrics = get(&addr, "/metrics").expect("scrape metrics");
+    let hits = scrape(&metrics, "nanoxbar_cache_hits_total");
+    let misses = scrape(&metrics, "nanoxbar_cache_misses_total");
+    handle.shutdown();
+
+    let mut latencies: Vec<Duration> = logs.iter().flat_map(|l| l.latencies.clone()).collect();
+    latencies.sort_unstable();
+    let total = (clients * requests) as f64;
+    PassReport {
+        throughput: total / elapsed.as_secs_f64(),
+        p50: latencies[latencies.len() / 2],
+        p99: latencies[(latencies.len() * 99) / 100],
+        hit_rate: if hits + misses > 0.0 {
+            hits / (hits + misses)
+        } else {
+            0.0
+        },
+        steals: nanoxbar_par::pool_stats().steals - steals_before,
+        bodies: logs.into_iter().map(|l| l.bodies).collect(),
+    }
+}
+
+fn arg(flag: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    banner("E-service", "closed-loop HTTP load: cache on vs off");
+
+    let clients = arg("--clients", 4);
+    let requests = arg("--requests", 25);
+    let distinct = arg("--distinct", 8).max(1);
+    let cache = arg("--cache", 512).max(1);
+    let total = clients * requests;
+    let duplicate_share = 1.0 - (distinct.min(total) as f64) / (total as f64);
+    println!(
+        "{clients} clients x {requests} requests, {distinct} distinct jobs \
+         ({:.0}% duplicates), pool threads {}",
+        duplicate_share * 100.0,
+        nanoxbar_par::threads()
+    );
+    assert!(
+        duplicate_share >= 0.5,
+        "acceptance workload needs >=50% duplicates; raise --requests or lower --distinct"
+    );
+
+    let bodies = request_bodies(distinct);
+    // Warm pass order: uncached first so the cached pass cannot benefit
+    // from OS-level warmup it didn't earn.
+    let uncached = run_pass(clients, requests, &bodies, 0);
+    let cached = run_pass(clients, requests, &bodies, cache);
+
+    let mut table = Table::new(&[
+        "pass",
+        "throughput req/s",
+        "p50",
+        "p99",
+        "cache hit rate",
+        "pool steals",
+    ]);
+    for (name, pass) in [("cache off", &uncached), ("cache on", &cached)] {
+        table.row_owned(vec![
+            name.to_string(),
+            f2(pass.throughput),
+            format!("{:?}", pass.p50),
+            format!("{:?}", pass.p99),
+            f2(pass.hit_rate * 100.0) + "%",
+            pass.steals.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    assert_eq!(
+        cached.bodies, uncached.bodies,
+        "caching must not change a single response byte"
+    );
+    println!("response bodies bit-identical across passes: true ({total} requests)");
+    println!(
+        "speedup from caching: {:.2}x (hit rate {:.1}%)",
+        cached.throughput / uncached.throughput,
+        cached.hit_rate * 100.0
+    );
+    assert!(
+        cached.hit_rate > 0.4,
+        "duplicate-heavy run must hit the cache"
+    );
+}

@@ -1,46 +1,11 @@
-//! The end-to-end design flow: synthesise → recover fabric → map → test.
+//! The end-to-end design flow — plain re-exports.
 //!
-//! The implementation lives in [`nanoxbar_engine::flow`] now (jobs with a
-//! chip run it through `Engine::run`/`run_batch`); this module re-exports
-//! the types and keeps [`defect_unaware_flow`] as a deprecated shim.
+//! The implementation lives in [`nanoxbar_engine::flow`]; jobs with a chip
+//! run it through `Engine::run`/`run_batch`
+//! ([`nanoxbar_engine::Job::on_chip`]). The deprecated
+//! `defect_unaware_flow` shim of the pre-engine API has been removed —
+//! call [`defect_unaware_flow`] (re-exported here) directly.
 
-pub use nanoxbar_engine::flow::{FlowError, FlowReport};
-
-use nanoxbar_logic::TruthTable;
-use nanoxbar_reliability::defect::DefectMap;
-
-/// Runs the defect-unaware flow for one function on one chip.
-///
-/// # Errors
-///
-/// [`FlowError::InsufficientFabric`] if the one-time recovered `k×k`
-/// crossbar cannot hold the SOP; [`FlowError::ConstantFunction`] for
-/// constants.
-#[deprecated(
-    since = "0.1.0",
-    note = "use nanoxbar_engine::Engine::run with Job::on_chip (or \
-            nanoxbar_engine::flow::defect_unaware_flow directly)"
-)]
-pub fn defect_unaware_flow(f: &TruthTable, chip: &DefectMap) -> Result<FlowReport, FlowError> {
-    nanoxbar_engine::flow::defect_unaware_flow(f, chip)
-}
-
-#[cfg(test)]
-#[allow(deprecated)]
-mod tests {
-    use super::*;
-    use nanoxbar_crossbar::ArraySize;
-    use nanoxbar_logic::parse_function;
-
-    #[test]
-    fn shim_delegates_to_the_engine_flow() {
-        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
-        let chip = DefectMap::random_uniform(ArraySize::new(16, 16), 0.05, 0.02, 3);
-        let report = defect_unaware_flow(&f, &chip).unwrap();
-        assert!(report.bist_passed);
-        assert_eq!(
-            Ok(report),
-            nanoxbar_engine::flow::defect_unaware_flow(&f, &chip)
-        );
-    }
-}
+pub use nanoxbar_engine::flow::{
+    defect_unaware_flow, defect_unaware_flow_with_cover, FlowError, FlowReport,
+};

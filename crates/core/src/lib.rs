@@ -6,9 +6,8 @@
 //! into the paper's flows:
 //!
 //! * [`Technology`] / [`Realization`] — re-exported from
-//!   `nanoxbar-engine`, where synthesis now lives behind the batch
-//!   [`Engine`](nanoxbar_engine::Engine) facade (the [`synthesize`] free
-//!   function survives as a deprecated shim);
+//!   `nanoxbar-engine`, where synthesis lives behind the batch
+//!   [`Engine`](nanoxbar_engine::Engine) facade;
 //! * [`compare`] — the Sec. III size comparison across a benchmark suite;
 //! * [`flow`] — re-exports of the defect-unaware design flow of Fig. 6(b)
 //!   (run it through `Engine::run` with [`Job::on_chip`]);
@@ -47,6 +46,4 @@ pub mod report;
 pub mod ssm;
 mod tech;
 
-#[allow(deprecated)]
-pub use tech::synthesize;
 pub use tech::{Realization, Technology};

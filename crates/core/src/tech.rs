@@ -1,27 +1,13 @@
-//! Technology selection and unified synthesis (paper Sec. III).
+//! Technology selection (paper Sec. III) — plain re-exports.
 //!
-//! The types and the implementation live in `nanoxbar-engine` now; this
-//! module re-exports them and keeps [`synthesize`] as a deprecated shim so
-//! pre-engine callers still compile.
+//! The types and the implementation live in `nanoxbar-engine`; synthesis
+//! runs through [`nanoxbar_engine::Engine::run`] (or
+//! [`nanoxbar_engine::synthesize`] for one-shots). The deprecated
+//! `synthesize` shim of the pre-engine API has been removed.
 
 pub use nanoxbar_engine::{Realization, Technology};
 
 use nanoxbar_logic::TruthTable;
-
-/// Synthesises `f` on the chosen technology from irredundant SOP covers.
-///
-/// # Panics
-///
-/// Panics for constant functions on the two-terminal technologies (they
-/// need no array; the lattice path returns a 1×1 constant site).
-#[deprecated(
-    since = "0.1.0",
-    note = "use nanoxbar_engine::Engine::run (or nanoxbar_engine::synthesize for one-shots), \
-            which returns typed errors instead of panicking"
-)]
-pub fn synthesize(f: &TruthTable, tech: Technology) -> Realization {
-    synth(f, tech)
-}
 
 /// Crate-internal one-shot synthesis for the nanocomputer elements, which
 /// construct provably non-constant functions and keep the historical
@@ -31,35 +17,19 @@ pub(crate) fn synth(f: &TruthTable, tech: Technology) -> Realization {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use nanoxbar_crossbar::ArraySize;
     use nanoxbar_logic::parse_function;
 
     #[test]
-    fn shim_still_realises_the_paper_sizes() {
+    fn reexports_realise_the_paper_sizes() {
         let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        assert_eq!(synth(&f, Technology::Diode).size(), ArraySize::new(2, 5));
+        assert_eq!(synth(&f, Technology::Fet).size(), ArraySize::new(4, 4));
         assert_eq!(
-            synthesize(&f, Technology::Diode).size(),
-            ArraySize::new(2, 5)
-        );
-        assert_eq!(synthesize(&f, Technology::Fet).size(), ArraySize::new(4, 4));
-        assert_eq!(
-            synthesize(&f, Technology::FourTerminal).size(),
+            synth(&f, Technology::FourTerminal).size(),
             ArraySize::new(2, 2)
         );
-    }
-
-    #[test]
-    #[should_panic(expected = "constant")]
-    fn shim_keeps_the_historical_panic_on_constants() {
-        synthesize(&TruthTable::ones(2), Technology::Diode);
-    }
-
-    #[test]
-    fn shim_keeps_lattice_constants_as_1x1() {
-        let r = synthesize(&TruthTable::ones(2), Technology::FourTerminal);
-        assert_eq!(r.area(), 1);
     }
 }

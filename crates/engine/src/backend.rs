@@ -21,7 +21,7 @@ use crate::tech::{Realization, Technology};
 
 /// How SOP covers are produced for the two-terminal arrays and the
 /// dual-based lattice.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum MinimizeMode {
     /// Irredundant SOP via the ISOP (Minato–Morreale) procedure — the
     /// paper's default substrate.

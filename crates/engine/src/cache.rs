@@ -1,0 +1,348 @@
+//! Content-addressed realization cache (ROADMAP: engine-level batch
+//! caching).
+//!
+//! Identical functions recur across jobs in suite sweeps and across
+//! requests in the synthesis service; a [`ResultCache`] in front of the
+//! backends memoises `(truth-table words, strategy, minimise mode) →`
+//! [`CachedSynthesis`] — the [`Arc<Realization>`] plus the SOP cover
+//! behind it — so repeated work is served from memory. The cache is
+//! **content-addressed**: two jobs built independently from the same
+//! bits share one entry, whatever path produced them.
+//!
+//! The cache is sharded (key-hash → shard) so concurrent batch workers
+//! rarely contend on one lock, and each shard evicts least-recently-used
+//! entries once it reaches its share of the configured capacity. Only
+//! *successful* synthesis results are cached — errors are cheap to
+//! recompute and often carry per-job context.
+//!
+//! Correctness note: synthesis is deterministic in the key, so serving a
+//! cached [`Realization`] is **bit-identical** to re-synthesising (the
+//! `proptest_cache` suite proves it across thread counts). Time-limited
+//! engines are the one exception — a deadline can make synthesis
+//! non-deterministic by construction, cached or not.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use nanoxbar_logic::{Cover, TruthTable};
+
+use crate::backend::MinimizeMode;
+use crate::tech::Realization;
+
+/// The content address of one synthesis result.
+///
+/// Covers everything the built-in backends read: the target function (its
+/// packed truth-table words plus arity), the backend name, and the cover
+/// minimisation mode. Engines with different limits or custom backends
+/// should not share one cache under the same names.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// Arity of the target (words alone cannot distinguish e.g. the
+    /// 1-variable and 2-variable constant-one functions).
+    num_vars: usize,
+    /// The packed truth table, 64 minterms per word.
+    words: Vec<u64>,
+    /// Resolved backend name (registry key).
+    strategy: String,
+    /// Cover minimisation mode the backends synthesise from.
+    minimize: MinimizeMode,
+}
+
+impl CacheKey {
+    /// Builds the content address of `(f, strategy, minimize)`.
+    pub fn new(f: &TruthTable, strategy: &str, minimize: MinimizeMode) -> Self {
+        CacheKey {
+            num_vars: f.num_vars(),
+            words: f.words().to_vec(),
+            strategy: strategy.to_string(),
+            minimize,
+        }
+    }
+}
+
+/// One cached synthesis: the realization plus the SOP cover the backend
+/// built along the way (when it built one — the SAT path does not), so a
+/// cache hit on a chip job skips the cover minimisation too, not just the
+/// synthesis.
+#[derive(Clone, Debug)]
+pub struct CachedSynthesis {
+    /// The synthesised realization, shared with every consumer.
+    pub realization: Arc<Realization>,
+    /// The memoised SOP cover behind the realization, if the backend
+    /// produced one.
+    pub cover: Option<Arc<Cover>>,
+}
+
+/// One cached entry with its recency stamp.
+struct Entry {
+    value: CachedSynthesis,
+    /// Shard-local logical clock value of the last touch.
+    stamp: u64,
+}
+
+/// One lock's worth of the cache.
+struct Shard {
+    entries: HashMap<CacheKey, Entry>,
+    /// Monotone logical clock for LRU stamps.
+    clock: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: &CacheKey) -> Option<CachedSynthesis> {
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.entries.get_mut(key)?;
+        entry.stamp = clock;
+        Some(entry.value.clone())
+    }
+
+    fn insert(&mut self, key: CacheKey, value: CachedSynthesis, capacity: usize) -> bool {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.stamp = stamp;
+            return false;
+        }
+        let mut evicted = false;
+        while self.entries.len() >= capacity {
+            // O(len) scan per eviction; shards stay small (capacity /
+            // shard count), so this beats carrying an intrusive list.
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty shard over capacity");
+            self.entries.remove(&oldest);
+            evicted = true;
+        }
+        self.entries.insert(key, Entry { value, stamp });
+        evicted
+    }
+}
+
+/// Counters of a [`ResultCache`], via [`ResultCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries written.
+    pub insertions: u64,
+    /// Entries dropped to make room.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Total configured capacity.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that hit, in `[0, 1]` (0 when no lookups ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, content-addressed LRU cache of synthesis results.
+///
+/// Shareable between engines (e.g. one per minimise mode in the synthesis
+/// service) — [`CacheKey`] includes the minimise mode, so mixed engines
+/// cannot collide. Capacity 0 is a valid always-miss cache, but prefer
+/// leaving the engine's cache unset for that.
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard capacities summing exactly to the configured total.
+    shard_caps: Vec<usize>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` realizations across all shards.
+    pub fn new(capacity: usize) -> Self {
+        let n_shards = capacity.clamp(1, 8);
+        let shard_caps: Vec<usize> = (0..n_shards)
+            .map(|i| capacity / n_shards + usize::from(i < capacity % n_shards))
+            .collect();
+        ResultCache {
+            shards: (0..n_shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        clock: 0,
+                    })
+                })
+                .collect(),
+            shard_caps,
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedSynthesis> {
+        let idx = self.shard_of(key);
+        let hit = self.shards[idx]
+            .lock()
+            .expect("cache shard poisoned")
+            .touch(key);
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Inserts (or refreshes) a successful synthesis result.
+    pub fn insert(&self, key: CacheKey, value: CachedSynthesis) {
+        let idx = self.shard_of(&key);
+        if self.shard_caps[idx] == 0 {
+            return;
+        }
+        let evicted = self.shards[idx]
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value, self.shard_caps[idx]);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("capacity", &self.capacity)
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoxbar_lattice::Lattice;
+
+    fn key(bits: u64, strategy: &str) -> CacheKey {
+        let f = TruthTable::from_fn(3, |m| (bits >> m) & 1 == 1);
+        CacheKey::new(&f, strategy, MinimizeMode::Isop)
+    }
+
+    fn value() -> CachedSynthesis {
+        CachedSynthesis {
+            realization: Arc::new(Realization::Lattice(Lattice::constant(3, true))),
+            cover: Some(Arc::new(nanoxbar_logic::Cover::one(3))),
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_arcs() {
+        let cache = ResultCache::new(16);
+        assert!(cache.get(&key(0b1010, "diode")).is_none());
+        let v = value();
+        cache.insert(key(0b1010, "diode"), v.clone());
+        let hit = cache.get(&key(0b1010, "diode")).expect("hit");
+        assert!(
+            Arc::ptr_eq(&hit.realization, &v.realization),
+            "shared, not cloned"
+        );
+        assert!(
+            Arc::ptr_eq(hit.cover.as_ref().unwrap(), v.cover.as_ref().unwrap()),
+            "cover rides along"
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keys_distinguish_strategy_and_arity() {
+        let cache = ResultCache::new(16);
+        cache.insert(key(0b1010, "diode"), value());
+        assert!(cache.get(&key(0b1010, "fet")).is_none());
+        // Same words, different arity: the 1-var and 2-var identity-ish
+        // tables must not collide.
+        let f1 = TruthTable::from_fn(1, |m| m == 1);
+        let f2 = TruthTable::from_fn(2, |m| m == 1);
+        assert_ne!(
+            CacheKey::new(&f1, "diode", MinimizeMode::Isop),
+            CacheKey::new(&f2, "diode", MinimizeMode::Isop)
+        );
+    }
+
+    #[test]
+    fn capacity_bounds_residency_with_lru_eviction() {
+        let cache = ResultCache::new(4);
+        for bits in 0..32u64 {
+            cache.insert(key(bits, "diode"), value());
+        }
+        assert!(cache.len() <= 4, "len {} over capacity", cache.len());
+        assert!(cache.stats().evictions >= 28);
+
+        // Single-shard LRU order is observable: touch one key, fill the
+        // shard, and the touched key must survive longer than untouched.
+        let lru = ResultCache::new(1);
+        assert_eq!(lru.shards.len(), 1);
+        lru.insert(key(1, "a"), value());
+        lru.insert(key(2, "a"), value());
+        assert!(lru.get(&key(1, "a")).is_none(), "evicted by key 2");
+        assert!(lru.get(&key(2, "a")).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let cache = ResultCache::new(0);
+        cache.insert(key(1, "diode"), value());
+        assert!(cache.is_empty());
+        assert!(cache.get(&key(1, "diode")).is_none());
+    }
+}

@@ -7,17 +7,21 @@
 //! **per-job error isolation** — one failed (or even panicking) job never
 //! aborts the batch.
 
+use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nanoxbar_crossbar::ArraySize;
+use nanoxbar_logic::Cover;
 use nanoxbar_reliability::defect::DefectMap;
 
 use crate::backend::{BackendRegistry, MinimizeMode, Strategy, SynthesisBackend, SynthesisContext};
+use crate::cache::{CacheKey, CacheStats, CachedSynthesis, ResultCache};
 use crate::error::Error;
 use crate::flow::defect_unaware_flow_with_cover;
 use crate::job::{ChipSpec, Job, JobResult};
+use crate::tech::Realization;
 
 /// Per-job resource limits.
 #[derive(Clone, Copy, Debug, Default)]
@@ -69,6 +73,8 @@ pub struct EngineBuilder {
     threads: Option<usize>,
     limits: Limits,
     fault_model: FaultModel,
+    cache: Option<Arc<ResultCache>>,
+    cache_capacity: usize,
 }
 
 impl Default for EngineBuilder {
@@ -80,6 +86,8 @@ impl Default for EngineBuilder {
             threads: None,
             limits: Limits::default(),
             fault_model: FaultModel::default(),
+            cache: None,
+            cache_capacity: 0,
         }
     }
 }
@@ -145,6 +153,25 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables the content-addressed [`ResultCache`] with room for
+    /// `capacity` realizations (0 = no cache, the default). Cached results
+    /// are bit-identical to re-synthesised ones; only successful syntheses
+    /// are stored.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self.cache = None;
+        self
+    }
+
+    /// Attaches an existing cache, shared with other engines. Safe between
+    /// engines that differ only in minimise mode or default strategy (both
+    /// are part of the [`CacheKey`]); engines with different limits or
+    /// shadowed backends under the same names must not share one.
+    pub fn shared_cache(mut self, cache: Arc<ResultCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Builds the engine.
     ///
     /// # Errors
@@ -160,12 +187,16 @@ impl EngineBuilder {
         if let Some(threads) = self.threads {
             nanoxbar_par::set_threads(threads);
         }
+        let cache = self.cache.or_else(|| {
+            (self.cache_capacity > 0).then(|| Arc::new(ResultCache::new(self.cache_capacity)))
+        });
         Ok(Engine {
             registry: self.registry,
             default_strategy: self.default_strategy,
             minimize: self.minimize,
             limits: self.limits,
             fault_model: self.fault_model,
+            cache,
         })
     }
 }
@@ -181,6 +212,8 @@ pub struct Engine {
     minimize: MinimizeMode,
     limits: Limits,
     fault_model: FaultModel,
+    /// Content-addressed memo of successful syntheses, when enabled.
+    cache: Option<Arc<ResultCache>>,
 }
 
 impl Engine {
@@ -205,6 +238,16 @@ impl Engine {
         self.limits
     }
 
+    /// The engine's result cache, when one is enabled.
+    pub fn cache(&self) -> Option<&Arc<ResultCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Counters of the result cache (`None` when no cache is enabled).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
     /// Runs one job to completion on the calling thread.
     ///
     /// # Errors
@@ -215,7 +258,16 @@ impl Engine {
     pub fn run(&self, job: &Job) -> Result<JobResult, Error> {
         let started = Instant::now();
         let deadline = self.limits.time.map(|t| started + t);
+        let (strategy, realization, cover) = self.realize(job, deadline)?;
+        self.finish(job, strategy, realization, cover, started, deadline)
+    }
 
+    /// The synthesis half of a job: resolves the backend and produces the
+    /// realization — from the cache when possible, synthesising (and
+    /// populating the cache) otherwise. Also hands back the SOP cover the
+    /// backend built along the way (its context memo), so chip jobs do
+    /// not repeat a full minimisation in [`Engine::finish`].
+    fn realize(&self, job: &Job, deadline: Option<Instant>) -> Result<Synthesized, Error> {
         let strategy_name = job.strategy.as_deref().unwrap_or(&self.default_strategy);
         let backend = self
             .registry
@@ -223,6 +275,17 @@ impl Engine {
             .ok_or_else(|| Error::UnknownStrategy {
                 name: strategy_name.to_string(),
             })?;
+        let strategy = backend.name().to_string();
+
+        let key = self
+            .cache
+            .as_ref()
+            .map(|_| CacheKey::new(&job.function, &strategy, self.minimize));
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(hit) = cache.get(key) {
+                return Ok((strategy, hit.realization, hit.cover));
+            }
+        }
 
         let ctx = SynthesisContext {
             minimize: self.minimize,
@@ -233,10 +296,39 @@ impl Engine {
         // The context's deadline only ever comes from `limits.time`, so a
         // backend giving up on it IS the job's time limit — report it as
         // such, not as a strategy-specific synthesis failure.
-        let realization = backend
-            .synthesize(&job.function, &ctx)
-            .map_err(|e| self.classify_deadline(e))?;
+        let realization = Arc::new(
+            backend
+                .synthesize(&job.function, &ctx)
+                .map_err(|e| self.classify_deadline(e))?,
+        );
+        let cover =
+            ctx.cover_memo.borrow().as_ref().and_then(|(table, cover)| {
+                (table == &job.function).then(|| Arc::new(cover.clone()))
+            });
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache.insert(
+                key,
+                CachedSynthesis {
+                    realization: realization.clone(),
+                    cover: cover.clone(),
+                },
+            );
+        }
+        Ok((strategy, realization, cover))
+    }
 
+    /// The post-synthesis half of a job: area limit, verification, and the
+    /// defect-unaware flow for chip jobs (on the memoised `cover` when the
+    /// synthesis phase produced one).
+    fn finish(
+        &self,
+        job: &Job,
+        strategy: String,
+        realization: Arc<Realization>,
+        cover: Option<Arc<Cover>>,
+        started: Instant,
+        deadline: Option<Instant>,
+    ) -> Result<JobResult, Error> {
         if let Some(limit) = self.limits.max_area {
             let area = realization.area();
             if area > limit {
@@ -246,9 +338,7 @@ impl Engine {
 
         let verified = if job.verify {
             if !realization.computes(&job.function) {
-                return Err(Error::Verification {
-                    strategy: backend.name().to_string(),
-                });
+                return Err(Error::Verification { strategy });
             }
             Some(true)
         } else {
@@ -264,7 +354,17 @@ impl Engine {
                     ChipSpec::Explicit(map) => map.clone(),
                     ChipSpec::Random { size, seed } => self.fault_model.chip(*size, *seed),
                 };
-                let report = defect_unaware_flow_with_cover(&ctx.cover(&job.function), &chip)?;
+                let cover = cover.unwrap_or_else(|| {
+                    // A cover-free backend (the SAT search) or a legacy
+                    // cache entry: build the placement cover now, in the
+                    // engine's mode.
+                    let ctx = SynthesisContext {
+                        minimize: self.minimize,
+                        ..SynthesisContext::default()
+                    };
+                    Arc::new(ctx.cover(&job.function))
+                });
+                let report = defect_unaware_flow_with_cover(&cover, &chip)?;
                 self.check_deadline(deadline)?;
                 Some(report)
             }
@@ -272,7 +372,7 @@ impl Engine {
 
         Ok(JobResult {
             label: job.label.clone(),
-            strategy: backend.name().to_string(),
+            strategy,
             realization,
             verified,
             flow,
@@ -286,14 +386,94 @@ impl Engine {
     /// `jobs[i]` for every thread count — and each job is isolated: a
     /// typed error or even a panic in one job (custom backends) becomes
     /// that job's `Err` while every other job completes normally.
+    ///
+    /// Identical synthesis work is deduplicated **within the batch**:
+    /// jobs agreeing on (function, strategy) synthesise once and every
+    /// slot shares the resulting [`Realization`] (per-job verification,
+    /// limits, and chip mapping still run per slot). With a cache enabled
+    /// the dedupe extends across batches.
     pub fn run_batch(&self, jobs: &[Job]) -> Vec<Result<JobResult, Error>> {
-        // One job per chunk: jobs vary wildly in cost (a diode cover vs a
-        // SAT search), so fine granularity lets the work-stealing pool
-        // balance them; per-chunk slots keep the output input-ordered.
-        nanoxbar_par::par_map_reduce(
-            jobs,
+        // Group jobs by synthesis content. `assign[i]` is job i's group;
+        // `reps[g]` is the index of the first job of group g, which does
+        // the synthesis for the whole group.
+        let mut assign: Vec<usize> = Vec::with_capacity(jobs.len());
+        let mut reps: Vec<usize> = Vec::new();
+        let mut groups: HashMap<CacheKey, usize> = HashMap::new();
+        for (i, job) in jobs.iter().enumerate() {
+            let name = job.strategy.as_deref().unwrap_or(&self.default_strategy);
+            let key = CacheKey::new(&job.function, name, self.minimize);
+            let group = *groups.entry(key).or_insert_with(|| {
+                reps.push(i);
+                reps.len() - 1
+            });
+            assign.push(group);
+        }
+
+        // Phase 1: one synthesis per distinct (function, strategy), fanned
+        // out one job per chunk — jobs vary wildly in cost (a diode cover
+        // vs a SAT search), so fine granularity lets the work-stealing
+        // pool balance them; per-chunk slots keep the output input-ordered.
+        let synths: Vec<Synthesis> = nanoxbar_par::par_map_reduce(
+            &reps,
             1,
-            |_i, chunk| chunk.iter().map(|job| self.run_isolated(job)).collect(),
+            |_i, chunk| {
+                chunk
+                    .iter()
+                    .map(|&rep| {
+                        // The job's clock (and deadline, if any) starts at
+                        // task pickup and spans both phases, like `run`.
+                        let started = Instant::now();
+                        let deadline = self.limits.time.map(|t| started + t);
+                        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                            self.realize(&jobs[rep], deadline)
+                        }))
+                        .unwrap_or_else(|payload| {
+                            Err(Error::Panicked {
+                                message: panic_message(payload),
+                            })
+                        });
+                        Synthesis { started, outcome }
+                    })
+                    .collect()
+            },
+            |mut acc: Vec<_>, mut chunk| {
+                acc.append(&mut chunk);
+                acc
+            },
+        )
+        .unwrap_or_default();
+
+        // Phase 2: per-slot post-processing (limits, verification, chip
+        // flow) on the shared realizations, again one job per chunk.
+        // Duplicate slots inherit their group's clock, so `elapsed` spans
+        // from the shared synthesis start; the time limit, however, is
+        // re-anchored at phase-2 pickup — phase 1 is a barrier, and a
+        // cheap job must not time out because an unrelated slow job held
+        // the barrier past the cheap job's phase-1 deadline. (Per-phase
+        // budgets only matter with `Limits::time` set, which already
+        // trades bit-determinism for bounded latency.)
+        let indices: Vec<usize> = (0..jobs.len()).collect();
+        nanoxbar_par::par_map_reduce(
+            &indices,
+            1,
+            |_i, chunk| {
+                chunk
+                    .iter()
+                    .map(|&ji| {
+                        let synth = &synths[assign[ji]];
+                        match &synth.outcome {
+                            Err(e) => Err(e.clone()),
+                            Ok((strategy, realization, cover)) => self.finish_isolated(
+                                &jobs[ji],
+                                strategy.clone(),
+                                realization.clone(),
+                                cover.clone(),
+                                synth.started,
+                            ),
+                        }
+                    })
+                    .collect()
+            },
             |mut acc: Vec<Result<JobResult, Error>>, mut chunk| {
                 acc.append(&mut chunk);
                 acc
@@ -302,17 +482,24 @@ impl Engine {
         .unwrap_or_default()
     }
 
-    /// [`Engine::run`] behind a panic boundary.
-    fn run_isolated(&self, job: &Job) -> Result<JobResult, Error> {
-        panic::catch_unwind(AssertUnwindSafe(|| self.run(job))).unwrap_or_else(|payload| {
-            let message = if let Some(s) = payload.downcast_ref::<&str>() {
-                (*s).to_string()
-            } else if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else {
-                "non-string panic payload".to_string()
-            };
-            Err(Error::Panicked { message })
+    /// [`Engine::finish`] behind a panic boundary, with the finish-phase
+    /// deadline anchored at pickup (see `run_batch` phase 2).
+    fn finish_isolated(
+        &self,
+        job: &Job,
+        strategy: String,
+        realization: Arc<Realization>,
+        cover: Option<Arc<Cover>>,
+        started: Instant,
+    ) -> Result<JobResult, Error> {
+        panic::catch_unwind(AssertUnwindSafe(|| {
+            let deadline = self.limits.time.map(|t| Instant::now() + t);
+            self.finish(job, strategy, realization, cover, started, deadline)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(Error::Panicked {
+                message: panic_message(payload),
+            })
         })
     }
 
@@ -344,9 +531,33 @@ impl Default for Engine {
     }
 }
 
+/// What [`Engine::realize`] produces: the resolved backend name, the
+/// shared realization, and the memoised SOP cover when one was built.
+type Synthesized = (String, Arc<Realization>, Option<Arc<Cover>>);
+
+/// Phase-1 output of [`Engine::run_batch`], shared by every slot of one
+/// dedupe group: the synthesis outcome plus the group's clock, so phase 2
+/// reports `elapsed` from the synthesis start.
+struct Synthesis {
+    started: Instant,
+    outcome: Result<Synthesized, Error>,
+}
+
+/// Renders a captured panic payload for [`Error::Panicked`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::DualLatticeBackend;
     use crate::flow::FlowError;
     use crate::tech::Realization;
     use crate::tech::Technology;
@@ -482,6 +693,84 @@ mod tests {
             }
         );
         assert_eq!(results[3].as_ref().unwrap().strategy, "fet");
+    }
+
+    #[test]
+    fn cache_serves_repeat_runs_with_the_shared_realization() {
+        let engine = Engine::builder().cache_capacity(64).build().unwrap();
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let a = engine.run(&Job::synthesize(f.clone())).unwrap();
+        let b = engine.run(&Job::synthesize(f)).unwrap();
+        assert!(
+            Arc::ptr_eq(&a.realization, &b.realization),
+            "second run must be served from the cache"
+        );
+        let stats = engine.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn batch_dedupe_synthesises_identical_jobs_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        struct CountingLattice;
+        impl SynthesisBackend for CountingLattice {
+            fn name(&self) -> &str {
+                "counting"
+            }
+            fn technology(&self) -> Technology {
+                Technology::FourTerminal
+            }
+            fn synthesize(
+                &self,
+                f: &TruthTable,
+                ctx: &SynthesisContext,
+            ) -> Result<Realization, Error> {
+                CALLS.fetch_add(1, Ordering::SeqCst);
+                DualLatticeBackend.synthesize(f, ctx)
+            }
+        }
+        let engine = Engine::builder()
+            .backend(Arc::new(CountingLattice))
+            .build()
+            .unwrap();
+        assert!(engine.cache_stats().is_none(), "no cache by default");
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let jobs = vec![
+            Job::synthesize(f.clone()).with_strategy_name("counting"),
+            Job::synthesize(f.clone())
+                .with_strategy_name("counting")
+                .verified(true),
+            Job::synthesize(f).with_strategy_name("counting"),
+        ];
+        CALLS.store(0, Ordering::SeqCst);
+        let results = engine.run_batch(&jobs);
+        assert_eq!(CALLS.load(Ordering::SeqCst), 1, "one synthesis, 3 slots");
+        let r0 = results[0].as_ref().unwrap();
+        let r1 = results[1].as_ref().unwrap();
+        let r2 = results[2].as_ref().unwrap();
+        assert!(Arc::ptr_eq(&r0.realization, &r1.realization));
+        assert!(Arc::ptr_eq(&r0.realization, &r2.realization));
+        // Per-slot options still apply individually.
+        assert_eq!(r0.verified, None);
+        assert_eq!(r1.verified, Some(true));
+    }
+
+    #[test]
+    fn batch_dedupe_shares_errors_across_duplicate_slots() {
+        let engine = Engine::new();
+        let ones = TruthTable::ones(2);
+        let jobs = vec![
+            Job::synthesize(ones.clone()).with_strategy(Strategy::Diode),
+            Job::synthesize(ones).with_strategy(Strategy::Diode),
+        ];
+        let results = engine.run_batch(&jobs);
+        for r in &results {
+            assert_eq!(
+                r.as_ref().unwrap_err(),
+                &Error::ConstantFunction { num_vars: 2 }
+            );
+        }
     }
 
     #[test]

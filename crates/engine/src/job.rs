@@ -6,6 +6,7 @@
 //! [`crate::Engine::run_batch`] does the same for a whole slice with
 //! input-ordered results and per-job error isolation.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use nanoxbar_crossbar::ArraySize;
@@ -134,8 +135,10 @@ pub struct JobResult {
     pub label: Option<String>,
     /// Name of the backend that ran.
     pub strategy: String,
-    /// The synthesised realisation.
-    pub realization: Realization,
+    /// The synthesised realisation. Shared ([`Arc`]) because batch dedupe
+    /// and the result cache hand the same realisation to every job that
+    /// asked for the same (function, strategy).
+    pub realization: Arc<Realization>,
     /// `Some(true)` when verification ran (a failed check is an
     /// [`Error::Verification`], never `Some(false)`); `None` when the job
     /// did not request it.

@@ -16,7 +16,11 @@
 //!   per-job error isolation;
 //! * [`Error`] — a single error hierarchy wrapping flow, logic, and
 //!   synthesis failures (SAT budgets, fabric exhaustion), replacing
-//!   library panics on the request path.
+//!   library panics on the request path;
+//! * [`ResultCache`] — an opt-in content-addressed LRU memo of
+//!   `(function, strategy, minimise mode) → realization`
+//!   ([`EngineBuilder::cache_capacity`]); batches additionally dedupe
+//!   identical jobs so each distinct function synthesises once.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod cache;
 mod engine;
 mod error;
 pub mod flow;
@@ -49,6 +54,7 @@ pub use backend::{
     BackendRegistry, DiodeBackend, DualLatticeBackend, FetBackend, MinimizeMode,
     OptimalLatticeBackend, Strategy, SynthesisBackend, SynthesisContext,
 };
+pub use cache::{CacheKey, CacheStats, CachedSynthesis, ResultCache};
 pub use engine::{Engine, EngineBuilder, FaultModel, Limits};
 pub use error::Error;
 pub use flow::{FlowError, FlowReport};
@@ -59,8 +65,7 @@ use std::sync::OnceLock;
 
 use nanoxbar_logic::TruthTable;
 
-/// The process-wide default engine behind [`synthesize`] and the
-/// deprecated `nanoxbar_core` shims.
+/// The process-wide default engine behind [`synthesize`].
 fn default_engine() -> &'static Engine {
     static ENGINE: OnceLock<Engine> = OnceLock::new();
     ENGINE.get_or_init(Engine::new)
@@ -90,5 +95,5 @@ fn default_engine() -> &'static Engine {
 pub fn synthesize(f: &TruthTable, tech: Technology) -> Result<Realization, Error> {
     default_engine()
         .run(&Job::synthesize(f.clone()).with_strategy(Strategy::from(tech)))
-        .map(|result| result.realization)
+        .map(|result| std::sync::Arc::unwrap_or_clone(result.realization))
 }

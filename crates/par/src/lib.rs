@@ -73,8 +73,39 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Jobs executed by the pool (including inline serial execution).
+static STAT_TASKS: AtomicU64 = AtomicU64::new(0);
+/// Jobs stolen from a sibling worker's queue.
+static STAT_STEALS: AtomicU64 = AtomicU64::new(0);
+/// Jobs popped from the global injector (submitted from outside the pool).
+static STAT_INJECTOR_POPS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the pool's lifetime counters (process-global, relaxed —
+/// cheap enough to leave on permanently; intended for `/metrics` exports
+/// and load generators, not for synchronisation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs the pool has executed, counting inline serial execution when
+    /// the effective thread count is 1.
+    pub tasks_executed: u64,
+    /// Jobs a worker stole from a sibling's queue (cold FIFO end).
+    pub steals: u64,
+    /// Jobs popped from the global injector.
+    pub injector_pops: u64,
+}
+
+/// Reads the pool's lifetime counters. Counters are monotone and
+/// process-global; diff two snapshots to measure an interval.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        tasks_executed: STAT_TASKS.load(Ordering::Relaxed),
+        steals: STAT_STEALS.load(Ordering::Relaxed),
+        injector_pops: STAT_INJECTOR_POPS.load(Ordering::Relaxed),
+    }
+}
 
 /// A queued unit of work. Lifetimes are erased by [`Scope::spawn`]; the
 /// scope's completion latch guarantees the closure never outlives the
@@ -149,11 +180,14 @@ impl Shared {
         if let Some(local) = me {
             if let Some(job) = local.jobs.lock().expect("queue poisoned").pop_back() {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
+                STAT_TASKS.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
         if let Some(job) = self.injector.lock().expect("injector poisoned").pop_front() {
             self.queued.fetch_sub(1, Ordering::SeqCst);
+            STAT_TASKS.fetch_add(1, Ordering::Relaxed);
+            STAT_INJECTOR_POPS.fetch_add(1, Ordering::Relaxed);
             return Some(job);
         }
         let victims: Vec<Arc<LocalQueue>> =
@@ -166,6 +200,8 @@ impl Shared {
             }
             if let Some(job) = victim.jobs.lock().expect("queue poisoned").pop_front() {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
+                STAT_TASKS.fetch_add(1, Ordering::Relaxed);
+                STAT_STEALS.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
@@ -341,6 +377,7 @@ impl<'scope> Scope<'scope> {
         F: FnOnce() + Send + 'scope,
     {
         if threads() == 1 {
+            STAT_TASKS.fetch_add(1, Ordering::Relaxed);
             if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
                 self.data.store_panic(payload);
             }
@@ -519,6 +556,25 @@ mod tests {
             );
             assert_eq!(got, Some(expect), "threads={t}");
         }
+        set_threads(1);
+    }
+
+    #[test]
+    fn pool_stats_count_executed_jobs() {
+        let before = pool_stats();
+        set_threads(2);
+        let data: Vec<u64> = (0..1000).collect();
+        let total = par_map_reduce(&data, 10, |_i, ch| ch.iter().sum::<u64>(), |a, b| a + b);
+        assert_eq!(total, Some(data.iter().sum()));
+        let after = pool_stats();
+        // 100 chunks were scheduled; every one of them executed somewhere
+        // (worker queue, injector, or stolen) and was counted.
+        assert!(
+            after.tasks_executed >= before.tasks_executed + 100,
+            "{before:?} -> {after:?}"
+        );
+        assert!(after.steals >= before.steals);
+        assert!(after.injector_pops >= before.injector_pops);
         set_threads(1);
     }
 

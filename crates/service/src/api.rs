@@ -1,0 +1,439 @@
+//! The service's request/response vocabulary: [`JobSpec`] (one synthesis
+//! request) and its mapping onto engine [`Job`]s, plus the JSON rendering
+//! of per-slot results.
+//!
+//! Responses are **deterministic**: no wall-clock fields, object keys in
+//! fixed order, and a content [`fingerprint`] of the realization — so two
+//! runs of the same job (cached or not, any thread count) produce
+//! byte-identical bodies. Latency lives in `/metrics`, not in bodies.
+
+use nanoxbar_crossbar::ArraySize;
+use nanoxbar_engine::{Error, Job, JobResult, MinimizeMode, Realization};
+use nanoxbar_logic::pla::parse_pla;
+use nanoxbar_reliability::defect::DefectMap;
+
+use crate::wire::{object, Json};
+
+/// One job of a `/v1/synthesize` or `/v1/batch` request.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct JobSpec {
+    /// Boolean expression in the paper's syntax (`"x0 x1 + !x0 !x1"`).
+    /// Exactly one of `expr`/`pla` must be set.
+    pub expr: Option<String>,
+    /// A single-output Berkeley-format PLA body.
+    pub pla: Option<String>,
+    /// Backend name (`"diode"`, `"fet"`, `"dual-lattice"`,
+    /// `"optimal-lattice"`, or a custom registration); `None` = engine
+    /// default.
+    pub strategy: Option<String>,
+    /// Request exhaustive verification of the realization.
+    pub verify: bool,
+    /// Caller label echoed in the result.
+    pub label: Option<String>,
+    /// Map the result onto a simulated defective chip.
+    pub chip: Option<ChipRequest>,
+}
+
+/// The optional chip of a [`JobSpec`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChipRequest {
+    /// Fabric rows.
+    pub rows: usize,
+    /// Fabric columns.
+    pub cols: usize,
+    /// Seed of the deterministic defect draw.
+    pub seed: u64,
+    /// Total defect rate (split 70/30 stuck-open/stuck-closed like the
+    /// experiment binaries); `None` = the engine's fault model.
+    pub defect_rate: Option<f64>,
+}
+
+impl JobSpec {
+    /// A spec synthesising `expr` with every option defaulted.
+    pub fn expr(expr: impl Into<String>) -> Self {
+        JobSpec {
+            expr: Some(expr.into()),
+            ..JobSpec::default()
+        }
+    }
+
+    /// A spec synthesising a single-output PLA body.
+    pub fn pla(body: impl Into<String>) -> Self {
+        JobSpec {
+            pla: Some(body.into()),
+            ..JobSpec::default()
+        }
+    }
+
+    /// Reads a spec from its JSON object form.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unknown fields, type mismatches, or a
+    /// missing/ambiguous function.
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let Json::Object(members) = v else {
+            return Err("job must be a JSON object".into());
+        };
+        let mut spec = JobSpec::default();
+        for (key, value) in members {
+            match key.as_str() {
+                "expr" => spec.expr = Some(string_field(value, "expr")?),
+                "pla" => spec.pla = Some(string_field(value, "pla")?),
+                "strategy" => spec.strategy = Some(string_field(value, "strategy")?),
+                "label" => spec.label = Some(string_field(value, "label")?),
+                "verify" => {
+                    spec.verify = value
+                        .as_bool()
+                        .ok_or_else(|| "\"verify\" must be a boolean".to_string())?
+                }
+                "chip" => spec.chip = Some(ChipRequest::from_json(value)?),
+                other => return Err(format!("unknown job field {other:?}")),
+            }
+        }
+        match (&spec.expr, &spec.pla) {
+            (None, None) => Err("job needs an \"expr\" or a \"pla\"".into()),
+            (Some(_), Some(_)) => Err("job cannot have both \"expr\" and \"pla\"".into()),
+            _ => Ok(spec),
+        }
+    }
+
+    /// The JSON object form (inverse of [`JobSpec::from_json`]).
+    pub fn to_json(&self) -> Json {
+        let mut members: Vec<(String, Json)> = Vec::new();
+        if let Some(expr) = &self.expr {
+            members.push(("expr".into(), Json::Str(expr.clone())));
+        }
+        if let Some(pla) = &self.pla {
+            members.push(("pla".into(), Json::Str(pla.clone())));
+        }
+        if let Some(strategy) = &self.strategy {
+            members.push(("strategy".into(), Json::Str(strategy.clone())));
+        }
+        if self.verify {
+            members.push(("verify".into(), Json::Bool(true)));
+        }
+        if let Some(label) = &self.label {
+            members.push(("label".into(), Json::Str(label.clone())));
+        }
+        if let Some(chip) = &self.chip {
+            members.push(("chip".into(), chip.to_json()));
+        }
+        Json::Object(members)
+    }
+
+    /// Lowers the spec to an engine [`Job`].
+    ///
+    /// # Errors
+    ///
+    /// A message for unparsable expressions/PLA bodies or multi-output
+    /// PLAs (batch them as one job per output instead).
+    pub fn to_job(&self) -> Result<Job, String> {
+        let mut job = match (&self.expr, &self.pla) {
+            (Some(expr), None) => Job::parse(expr).map_err(|e| format!("bad expression: {e}"))?,
+            (None, Some(body)) => {
+                let pla = parse_pla(body).map_err(|e| format!("bad PLA: {e}"))?;
+                if pla.outputs.len() != 1 {
+                    return Err(format!(
+                        "PLA has {} outputs; submit one job per output",
+                        pla.outputs.len()
+                    ));
+                }
+                Job::synthesize(pla.single_output().to_truth_table())
+            }
+            _ => return Err("job needs exactly one of \"expr\"/\"pla\"".into()),
+        };
+        if let Some(strategy) = &self.strategy {
+            job = job.with_strategy_name(strategy.clone());
+        }
+        if let Some(label) = &self.label {
+            job = job.labeled(label.clone());
+        }
+        job = job.verified(self.verify);
+        if let Some(chip) = &self.chip {
+            let size = ArraySize::new(chip.rows, chip.cols);
+            job = match chip.defect_rate {
+                // An explicit rate pins the whole defect draw in the
+                // request; otherwise the engine's fault model decides.
+                Some(rate) => job.on_chip(DefectMap::random_uniform(
+                    size,
+                    rate * 0.7,
+                    rate * 0.3,
+                    chip.seed,
+                )),
+                None => job.on_random_chip(size, chip.seed),
+            };
+        }
+        Ok(job)
+    }
+}
+
+impl ChipRequest {
+    fn from_json(v: &Json) -> Result<ChipRequest, String> {
+        let Json::Object(members) = v else {
+            return Err("\"chip\" must be a JSON object".into());
+        };
+        let mut rows = None;
+        let mut cols = None;
+        let mut seed = 0u64;
+        let mut defect_rate = None;
+        for (key, value) in members {
+            match key.as_str() {
+                "rows" => rows = Some(dimension_field(value, "rows")?),
+                "cols" => cols = Some(dimension_field(value, "cols")?),
+                "seed" => {
+                    seed = value
+                        .as_u64()
+                        .ok_or_else(|| "\"seed\" must be a non-negative integer".to_string())?
+                }
+                "defect_rate" => {
+                    let rate = value
+                        .as_f64()
+                        .ok_or_else(|| "\"defect_rate\" must be a number".to_string())?;
+                    if !(0.0..=1.0).contains(&rate) {
+                        return Err("\"defect_rate\" must be in [0, 1]".into());
+                    }
+                    defect_rate = Some(rate);
+                }
+                other => return Err(format!("unknown chip field {other:?}")),
+            }
+        }
+        Ok(ChipRequest {
+            rows: rows.ok_or("\"chip\" needs \"rows\"")?,
+            cols: cols.ok_or("\"chip\" needs \"cols\"")?,
+            seed,
+            defect_rate,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        let mut members: Vec<(String, Json)> = vec![
+            ("rows".into(), Json::from(self.rows)),
+            ("cols".into(), Json::from(self.cols)),
+            ("seed".into(), Json::from(self.seed)),
+        ];
+        if let Some(rate) = self.defect_rate {
+            members.push(("defect_rate".into(), Json::Float(rate)));
+        }
+        Json::Object(members)
+    }
+}
+
+fn string_field(v: &Json, name: &str) -> Result<String, String> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{name:?} must be a string"))
+}
+
+fn dimension_field(v: &Json, name: &str) -> Result<usize, String> {
+    let value = v
+        .as_u64()
+        .ok_or_else(|| format!("{name:?} must be a positive integer"))?;
+    if value == 0 || value > 4096 {
+        return Err(format!("{name:?} must be in 1..=4096"));
+    }
+    Ok(value as usize)
+}
+
+/// A short machine-matchable tag for each error variant.
+pub fn error_kind(e: &Error) -> &'static str {
+    match e {
+        Error::Logic(_) => "logic",
+        Error::Flow(_) => "flow",
+        Error::Synth(_) => "synthesis",
+        Error::ConstantFunction { .. } => "constant-function",
+        Error::UnknownStrategy { .. } => "unknown-strategy",
+        Error::AreaLimit { .. } => "area-limit",
+        Error::TimeLimit { .. } => "time-limit",
+        Error::Verification { .. } => "verification",
+        Error::Panicked { .. } => "panicked",
+        _ => "other",
+    }
+}
+
+/// FNV-1a content fingerprint of a realization (stable across runs,
+/// processes, and thread counts — `Realization` derives a deterministic
+/// `Debug`). Lets clients and the load generator assert that cached and
+/// fresh responses carry the *same* realization, not just the same area.
+pub fn fingerprint(realization: &Realization) -> String {
+    let mut hash: u64 = 0xCBF29CE484222325;
+    for byte in format!("{realization:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100000001B3);
+    }
+    format!("{hash:016x}")
+}
+
+/// Renders one batch slot as its wire object.
+pub fn result_to_json(slot: &Result<JobResult, Error>) -> Json {
+    match slot {
+        Ok(result) => {
+            let size = result.realization.size();
+            let mut members: Vec<(String, Json)> = vec![
+                ("ok".into(), Json::Bool(true)),
+                ("strategy".into(), Json::Str(result.strategy.clone())),
+                (
+                    "technology".into(),
+                    Json::Str(result.realization.technology().name().into()),
+                ),
+                ("rows".into(), Json::from(size.rows)),
+                ("cols".into(), Json::from(size.cols)),
+                ("area".into(), Json::from(result.area())),
+                (
+                    "fingerprint".into(),
+                    Json::Str(fingerprint(&result.realization)),
+                ),
+            ];
+            if let Some(verified) = result.verified {
+                members.push(("verified".into(), Json::Bool(verified)));
+            }
+            if let Some(label) = &result.label {
+                members.push(("label".into(), Json::Str(label.clone())));
+            }
+            if let Some(flow) = &result.flow {
+                members.push((
+                    "flow".into(),
+                    object(vec![
+                        ("bist_passed", Json::Bool(flow.bist_passed)),
+                        ("recovered_k", Json::from(flow.recovered.k())),
+                        ("products", Json::from(flow.products)),
+                        ("used_cols", Json::from(flow.used_cols)),
+                        (
+                            "placement",
+                            Json::Array(flow.placement.iter().map(|&r| Json::from(r)).collect()),
+                        ),
+                    ]),
+                ));
+            }
+            Json::Object(members)
+        }
+        Err(e) => bad_slot(error_kind(e), &e.to_string()),
+    }
+}
+
+/// The wire object of a failed slot (engine errors and spec errors share
+/// one shape).
+pub fn bad_slot(kind: &str, message: &str) -> Json {
+    object(vec![
+        ("ok", Json::Bool(false)),
+        ("kind", Json::Str(kind.into())),
+        ("error", Json::Str(message.into())),
+    ])
+}
+
+/// Parses the optional `"minimize"` request field.
+///
+/// # Errors
+///
+/// A message naming the accepted spellings.
+pub fn parse_minimize(v: Option<&Json>) -> Result<MinimizeMode, String> {
+    match v.map(|m| m.as_str()) {
+        None => Ok(MinimizeMode::Isop),
+        Some(Some("isop")) => Ok(MinimizeMode::Isop),
+        Some(Some("exact")) => Ok(MinimizeMode::Exact),
+        _ => Err("\"minimize\" must be \"isop\" or \"exact\"".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanoxbar_engine::{Engine, Strategy};
+
+    #[test]
+    fn spec_json_roundtrips() {
+        let spec = JobSpec {
+            expr: Some("x0 x1 + !x0 !x1".into()),
+            pla: None,
+            strategy: Some("diode".into()),
+            verify: true,
+            label: Some("xnor".into()),
+            chip: Some(ChipRequest {
+                rows: 16,
+                cols: 16,
+                seed: 5,
+                defect_rate: Some(0.05),
+            }),
+        };
+        let back = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn spec_validation_messages() {
+        for (body, needle) in [
+            ("{}", "expr"),
+            ("{\"expr\":\"x0\",\"pla\":\".i 1\"}", "both"),
+            ("{\"expr\":1}", "string"),
+            ("{\"bogus\":1}", "unknown job field"),
+            ("{\"expr\":\"x0\",\"chip\":{\"rows\":4}}", "cols"),
+            (
+                "{\"expr\":\"x0\",\"chip\":{\"rows\":0,\"cols\":4}}",
+                "1..=4096",
+            ),
+            (
+                "{\"expr\":\"x0\",\"chip\":{\"rows\":4,\"cols\":4,\"defect_rate\":7.0}}",
+                "[0, 1]",
+            ),
+        ] {
+            let err = JobSpec::from_json(&Json::parse(body).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn specs_lower_to_equivalent_jobs() {
+        let spec = JobSpec {
+            strategy: Some(Strategy::Diode.name().into()),
+            verify: true,
+            ..JobSpec::expr("x0 x1 + !x0 !x1")
+        };
+        let engine = Engine::new();
+        let result = engine.run(&spec.to_job().unwrap()).unwrap();
+        assert_eq!(result.realization.size().to_string(), "2x5");
+
+        // The same function as a PLA body gives the same realization.
+        let cover =
+            nanoxbar_logic::isop_cover(&nanoxbar_logic::parse_function("x0 x1 + !x0 !x1").unwrap());
+        let pla_spec = JobSpec::pla(nanoxbar_logic::pla::write_pla(&cover));
+        let pla_spec = JobSpec {
+            strategy: Some("diode".into()),
+            ..pla_spec
+        };
+        let pla_result = engine.run(&pla_spec.to_job().unwrap()).unwrap();
+        assert_eq!(pla_result.realization, result.realization);
+        assert_eq!(
+            fingerprint(&pla_result.realization),
+            fingerprint(&result.realization)
+        );
+    }
+
+    #[test]
+    fn results_render_without_timing_fields() {
+        let engine = Engine::new();
+        let spec = JobSpec {
+            verify: true,
+            label: Some("j".into()),
+            ..JobSpec::expr("x0 + x1")
+        };
+        let json = result_to_json(&engine.run(&spec.to_job().unwrap()));
+        assert_eq!(json.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(json.get("verified"), Some(&Json::Bool(true)));
+        assert_eq!(json.get("label").unwrap().as_str(), Some("j"));
+        assert!(json.get("elapsed").is_none(), "bodies stay deterministic");
+        let err = result_to_json(&Err(Error::ConstantFunction { num_vars: 2 }));
+        assert_eq!(err.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("constant-function"));
+    }
+
+    #[test]
+    fn minimize_parsing() {
+        assert_eq!(parse_minimize(None).unwrap(), MinimizeMode::Isop);
+        assert_eq!(
+            parse_minimize(Some(&Json::Str("exact".into()))).unwrap(),
+            MinimizeMode::Exact
+        );
+        assert!(parse_minimize(Some(&Json::Str("fancy".into()))).is_err());
+        assert!(parse_minimize(Some(&Json::Int(3))).is_err());
+    }
+}

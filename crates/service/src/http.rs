@@ -1,0 +1,367 @@
+//! Minimal HTTP/1.1 framing over `std` streams.
+//!
+//! Implements just what the service needs: request parsing
+//! (request-line + headers + `Content-Length` body, keep-alive by
+//! default), and response writing with explicit `Content-Length`. No
+//! chunked encoding, no TLS, no HTTP/2 — clients that need more sit
+//! behind a reverse proxy, which is how std-only services deploy anyway.
+
+use std::io::{self, BufRead, Write};
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-case method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path only; queries are kept verbatim).
+    pub path: String,
+    /// Minor HTTP version: 0 for `HTTP/1.0` (default-close semantics),
+    /// 1 for `HTTP/1.1`.
+    pub version_minor: u8,
+    /// Header `(name, value)` pairs in arrival order; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection closes after this exchange: a `close` token
+    /// in `Connection` (list-valued headers included), or HTTP/1.0
+    /// without an explicit `keep-alive` token.
+    pub fn wants_close(&self) -> bool {
+        let token = |t: &str| {
+            self.header("connection")
+                .is_some_and(|v| v.split(',').any(|item| item.trim().eq_ignore_ascii_case(t)))
+        };
+        token("close") || (self.version_minor == 0 && !token("keep-alive"))
+    }
+}
+
+/// A response ready to serialise.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response (metrics, errors).
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// The standard reason phrase for the status code.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// Errors from request parsing.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The socket failed or timed out.
+    Io(io::Error),
+    /// The request was syntactically invalid.
+    Malformed(&'static str),
+    /// The declared body exceeds the configured ceiling.
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// Configured ceiling.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Longest request line / header line accepted.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 100;
+
+/// Reads one request off a keep-alive connection.
+///
+/// Returns `Ok(None)` on clean EOF before the first byte (the client hung
+/// up between requests — not an error).
+///
+/// # Errors
+///
+/// [`HttpError`] on malformed framing, an oversized body, or socket
+/// failure (including read timeouts).
+pub fn read_request<R: BufRead>(
+    stream: &mut R,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
+    let line = match read_line(stream)? {
+        None => return Ok(None),
+        Some(line) => line,
+    };
+    let mut parts = line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(HttpError::Malformed("empty request line"))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing request target"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    let version_minor = u8::from(version != "HTTP/1.0");
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(stream)?.ok_or(HttpError::Malformed("eof inside headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method,
+        path,
+        version_minor,
+        headers,
+        body: Vec::new(),
+    };
+    // Only Content-Length framing is implemented; silently treating a
+    // chunked body as empty would desynchronise the keep-alive stream
+    // (request smuggling), so refuse it outright.
+    if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::Malformed("transfer-encoding not supported"));
+    }
+    // Duplicate Content-Length headers are the other classic smuggling
+    // vector (two parties picking different values): reject per RFC 9112
+    // §6.3 instead of silently taking the first.
+    let mut lengths = request
+        .headers
+        .iter()
+        .filter(|(k, _)| k == "content-length");
+    let length = match (lengths.next(), lengths.next()) {
+        (None, _) => 0,
+        (Some(_), Some(_)) => return Err(HttpError::Malformed("duplicate content-length")),
+        (Some((_, v)), None) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("bad content-length"))?,
+    };
+    if length > max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared: length,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body)?;
+    Ok(Some(Request { body, ..request }))
+}
+
+/// Reads one CRLF- (or LF-) terminated line; `None` on immediate EOF.
+fn read_line<R: BufRead>(stream: &mut R) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Malformed("eof inside line"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let text = String::from_utf8(line)
+                        .map_err(|_| HttpError::Malformed("non-utf8 header line"))?;
+                    return Ok(Some(text));
+                }
+                if line.len() >= MAX_LINE {
+                    return Err(HttpError::Malformed("line too long"));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Serialises a response, honouring keep-alive (`close` appends
+/// `Connection: close`).
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    response: &Response,
+    close: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len()
+    );
+    if close {
+        head.push_str("connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(text.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse("POST /v1/synthesize HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/synthesize");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_get_without_body_and_lf_only_lines() {
+        let req = parse("GET /healthz HTTP/1.1\nConnection: close\n\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn close_semantics_cover_http10_and_token_lists() {
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.version_minor, 0);
+        assert!(req.wants_close(), "HTTP/1.0 defaults to close");
+        let req = parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.wants_close(), "explicit keep-alive overrides");
+        let req = parse("GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.wants_close(), "close token inside a list counts");
+    }
+
+    #[test]
+    fn chunked_bodies_are_refused_not_smuggled() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::Malformed("transfer-encoding not supported"))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 0\r\n\r\nab"),
+            Err(HttpError::Malformed("duplicate content-length"))
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_framing_errors_are_typed() {
+        assert!(parse("").unwrap().is_none());
+        assert!(matches!(parse("GET\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse("GET / SPDY/9\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
+            Err(HttpError::BodyTooLarge { declared: 9999, .. })
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: two\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn responses_serialise_with_length_and_connection() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}".into()), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,84 @@
+//! # nanoxbar-service
+//!
+//! A **dependency-free HTTP/1.1 synthesis service** over the
+//! [`nanoxbar_engine`] batch engine: `std::net::TcpListener`, a bounded
+//! acceptor + worker model, hand-rolled JSON ([`wire`]), and a
+//! content-addressed result cache shared across requests
+//! ([`nanoxbar_engine::ResultCache`]). Every synthesis request runs as an
+//! [`Engine::run_batch`](nanoxbar_engine::Engine::run_batch) call, so the
+//! work fans out on the `nanoxbar-par` work-stealing pool regardless of
+//! which HTTP worker carried the request.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint              | Meaning                                        |
+//! |-----------------------|------------------------------------------------|
+//! | `POST /v1/synthesize` | One job: expression or PLA body + options      |
+//! | `POST /v1/batch`      | Ordered multi-job with per-slot isolation      |
+//! | `GET /healthz`        | Liveness + registered strategies               |
+//! | `GET /metrics`        | Prometheus text: requests, latency histogram, cache hits/misses, pool steals |
+//!
+//! Responses carry **no wall-clock fields** and use a deterministic
+//! encoder, so identical jobs produce byte-identical bodies whether they
+//! were synthesised fresh, served from the cache, or deduplicated inside
+//! a batch — latency lives in `/metrics`.
+//!
+//! ## Curl session
+//!
+//! Start the server (`nanoxbar serve --addr 127.0.0.1:8080`), then:
+//!
+//! ```console
+//! $ curl -s http://127.0.0.1:8080/v1/synthesize \
+//!     -d '{"expr":"x0 x1 + !x0 !x1","strategy":"diode","verify":true}'
+//! {"ok":true,"strategy":"diode","technology":"diode","rows":2,"cols":5,
+//!  "area":10,"fingerprint":"9e86b12433c82b5e","verified":true}
+//!
+//! $ curl -s http://127.0.0.1:8080/v1/batch \
+//!     -d '{"minimize":"exact","jobs":[
+//!           {"expr":"x0 x1","strategy":"fet","label":"and2"},
+//!           {"expr":"x0 + !x0","strategy":"diode"},
+//!           {"expr":"x0 ^ x1","chip":{"rows":16,"cols":16,"seed":5,"defect_rate":0.05}}]}'
+//! {"count":3,"results":[
+//!  {"ok":true,"strategy":"fet",...,"label":"and2"},
+//!  {"ok":false,"kind":"constant-function","error":"constant 1-variable function needs no crossbar"},
+//!  {"ok":true,"strategy":"dual-lattice",...,"flow":{"bist_passed":true,...}}]}
+//!
+//! $ curl -s http://127.0.0.1:8080/metrics | grep cache
+//! nanoxbar_cache_hits_total 0
+//! nanoxbar_cache_misses_total 3
+//! ...
+//! ```
+//!
+//! ## In-process use
+//!
+//! [`Server::bind`] + [`Server::start`] run the service on background
+//! threads; bind `"127.0.0.1:0"` for an ephemeral port (tests, examples,
+//! load generators). [`Service`] is the socket-free router, directly
+//! drivable with [`http::Request`] values.
+//!
+//! ```no_run
+//! use nanoxbar_service::{Server, ServiceConfig};
+//!
+//! let server = Server::bind(ServiceConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     ..ServiceConfig::default()
+//! })?;
+//! let handle = server.start()?;
+//! println!("serving on http://{}", handle.addr());
+//! # handle.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod metrics;
+mod server;
+pub mod wire;
+
+pub use api::{error_kind, fingerprint, result_to_json, ChipRequest, JobSpec};
+pub use metrics::{Histogram, Metrics};
+pub use server::{Server, ServerHandle, Service, ServiceConfig};
+pub use wire::{Json, WireError};

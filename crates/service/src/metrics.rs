@@ -1,0 +1,245 @@
+//! Service counters and the Prometheus text exposition.
+//!
+//! Everything is relaxed atomics — counters are monotone and scraped
+//! whole, so no cross-counter consistency is promised (standard for
+//! Prometheus exporters). The latency histogram uses fixed bucket bounds
+//! chosen for synthesis workloads (sub-millisecond diode covers up to
+//! multi-second SAT searches).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use nanoxbar_engine::CacheStats;
+use nanoxbar_par::PoolStats;
+
+/// Histogram bucket upper bounds, in microseconds.
+const BUCKET_BOUNDS_US: [u64; 12] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 1_000_000, 10_000_000,
+];
+
+/// A fixed-bucket latency histogram (cumulative on render, per-bucket in
+/// storage).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len()],
+    /// Observations above the last bound.
+    overflow: AtomicU64,
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, elapsed: Duration) {
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        match BUCKET_BOUNDS_US.iter().position(|&bound| micros <= bound) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, name: &str, out: &mut String) {
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                bound as f64 / 1e6
+            ));
+        }
+        cumulative += self.overflow.load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!(
+            "{name}_sum {}\n",
+            self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "{name}_count {}\n",
+            self.count.load(Ordering::Relaxed)
+        ));
+    }
+}
+
+/// All service counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// `POST /v1/synthesize` requests served.
+    pub requests_synthesize: AtomicU64,
+    /// `POST /v1/batch` requests served.
+    pub requests_batch: AtomicU64,
+    /// `GET /healthz` + `GET /metrics` requests served.
+    pub requests_other: AtomicU64,
+    /// Responses with a 4xx/5xx status.
+    pub http_errors: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Connections rejected because the pending queue was full.
+    pub rejected: AtomicU64,
+    /// Engine jobs executed (batch slots count individually).
+    pub jobs: AtomicU64,
+    /// Jobs that returned a typed error.
+    pub job_errors: AtomicU64,
+    /// End-to-end latency of synthesis requests (parse → response built).
+    pub latency: Histogram,
+}
+
+impl Metrics {
+    /// Bumps a counter by 1.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bumps a counter by `n`.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Renders the Prometheus text format, folding in the engine cache
+    /// stats and the process-global pool counters.
+    pub fn render_prometheus(&self, cache: Option<CacheStats>, pool: PoolStats) -> String {
+        let mut out = String::with_capacity(2048);
+        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        out.push_str("# HELP nanoxbar_requests_total Requests served, by endpoint.\n");
+        out.push_str("# TYPE nanoxbar_requests_total counter\n");
+        out.push_str(&format!(
+            "nanoxbar_requests_total{{endpoint=\"synthesize\"}} {}\n",
+            self.requests_synthesize.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "nanoxbar_requests_total{{endpoint=\"batch\"}} {}\n",
+            self.requests_batch.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "nanoxbar_requests_total{{endpoint=\"other\"}} {}\n",
+            self.requests_other.load(Ordering::Relaxed)
+        ));
+        counter(
+            &mut out,
+            "nanoxbar_http_errors_total",
+            "Responses with a 4xx/5xx status.",
+            self.http_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_connections_total",
+            "Connections accepted.",
+            self.connections.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_connections_rejected_total",
+            "Connections turned away by the bounded accept queue.",
+            self.rejected.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_jobs_total",
+            "Engine jobs executed (batch slots count individually).",
+            self.jobs.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_job_errors_total",
+            "Jobs that returned a typed error.",
+            self.job_errors.load(Ordering::Relaxed),
+        );
+
+        out.push_str("# HELP nanoxbar_request_latency_seconds Synthesis request latency.\n");
+        self.latency
+            .render("nanoxbar_request_latency_seconds", &mut out);
+
+        let cache = cache.unwrap_or_default();
+        counter(
+            &mut out,
+            "nanoxbar_cache_hits_total",
+            "Result-cache lookups served from memory.",
+            cache.hits,
+        );
+        counter(
+            &mut out,
+            "nanoxbar_cache_misses_total",
+            "Result-cache lookups that missed.",
+            cache.misses,
+        );
+        counter(
+            &mut out,
+            "nanoxbar_cache_evictions_total",
+            "Result-cache entries evicted.",
+            cache.evictions,
+        );
+        out.push_str(&format!(
+            "# HELP nanoxbar_cache_entries Resident result-cache entries.\n\
+             # TYPE nanoxbar_cache_entries gauge\nnanoxbar_cache_entries {}\n",
+            cache.len
+        ));
+
+        counter(
+            &mut out,
+            "nanoxbar_pool_tasks_total",
+            "Jobs executed by the work-stealing pool.",
+            pool.tasks_executed,
+        );
+        counter(
+            &mut out,
+            "nanoxbar_pool_steals_total",
+            "Jobs stolen from sibling workers.",
+            pool.steals,
+        );
+        counter(
+            &mut out,
+            "nanoxbar_pool_injector_pops_total",
+            "Jobs popped from the pool's global injector.",
+            pool.injector_pops,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_sum_in_seconds() {
+        let h = Histogram::default();
+        h.observe(Duration::from_micros(50)); // first bucket
+        h.observe(Duration::from_micros(300)); // le 500
+        h.observe(Duration::from_secs(100)); // overflow
+        assert_eq!(h.count(), 3);
+        let mut out = String::new();
+        h.render("t", &mut out);
+        assert!(out.contains("t_bucket{le=\"0.0001\"} 1\n"), "{out}");
+        assert!(out.contains("t_bucket{le=\"0.0005\"} 2\n"), "{out}");
+        assert!(out.contains("t_bucket{le=\"+Inf\"} 3\n"), "{out}");
+        assert!(out.contains("t_count 3\n"), "{out}");
+    }
+
+    #[test]
+    fn prometheus_rendering_mentions_every_family() {
+        let m = Metrics::default();
+        Metrics::bump(&m.requests_synthesize);
+        Metrics::add(&m.jobs, 7);
+        let text = m.render_prometheus(None, PoolStats::default());
+        for family in [
+            "nanoxbar_requests_total{endpoint=\"synthesize\"} 1",
+            "nanoxbar_jobs_total 7",
+            "nanoxbar_cache_hits_total 0",
+            "nanoxbar_pool_steals_total 0",
+            "nanoxbar_request_latency_seconds_count 0",
+        ] {
+            assert!(text.contains(family), "missing {family}:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,741 @@
+//! The bounded acceptor + worker server and the request router.
+//!
+//! One acceptor thread takes connections off the listener and pushes them
+//! onto a **bounded** queue; when the queue is full the connection is
+//! turned away immediately with `503` instead of piling up unbounded
+//! (load-shedding backpressure). A fixed set of worker threads pops
+//! connections and speaks keep-alive HTTP/1.1 on them. Synthesis itself
+//! is *not* done per worker: every request becomes an
+//! [`Engine::run_batch`] call, which fans out on the process-wide
+//! `nanoxbar-par` work-stealing pool — so one slow request parallelises
+//! across cores while cheap requests slip past it on other workers.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use nanoxbar_engine::{CacheStats, Engine, Job, MinimizeMode, ResultCache};
+
+use crate::api::{bad_slot, parse_minimize, result_to_json, JobSpec};
+use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::metrics::Metrics;
+use crate::wire::{object, Json};
+
+/// Server configuration. Start from `ServiceConfig::default()` and
+/// override fields.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Bind address (`"127.0.0.1:0"` picks an ephemeral port).
+    pub addr: String,
+    /// HTTP worker threads (connection handlers — synthesis parallelism
+    /// comes from the `nanoxbar-par` pool, sized by `NANOXBAR_THREADS`).
+    pub workers: usize,
+    /// Capacity of the [`ResultCache`] shared by both engines; 0 disables
+    /// caching.
+    pub cache_capacity: usize,
+    /// Bound of the pending-connection queue; connections beyond it are
+    /// rejected with `503`.
+    pub queue_depth: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+    /// Most jobs accepted in one `/v1/batch` request.
+    pub max_batch_jobs: usize,
+    /// Per-read socket timeout (bounds how long an idle keep-alive
+    /// connection can hold a worker).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:8080".into(),
+            workers: 4,
+            cache_capacity: 1024,
+            queue_depth: 256,
+            max_body_bytes: 1 << 20,
+            max_batch_jobs: 1024,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The socket-free request handler: engines (one per minimise mode,
+/// sharing one result cache), metrics, and routing. Split from the
+/// socket loop so tests can drive it directly.
+pub struct Service {
+    /// `engines[0]` = ISOP covers, `engines[1]` = exact minimisation.
+    engines: [Engine; 2],
+    cache: Option<Arc<ResultCache>>,
+    metrics: Metrics,
+    max_batch_jobs: usize,
+}
+
+impl Service {
+    /// Builds the service state for a configuration.
+    pub fn new(config: &ServiceConfig) -> Service {
+        let cache =
+            (config.cache_capacity > 0).then(|| Arc::new(ResultCache::new(config.cache_capacity)));
+        let engine_for = |mode: MinimizeMode| {
+            let mut builder = Engine::builder().minimize(mode);
+            if let Some(cache) = &cache {
+                builder = builder.shared_cache(cache.clone());
+            }
+            builder.build().expect("default strategies are registered")
+        };
+        Service {
+            engines: [
+                engine_for(MinimizeMode::Isop),
+                engine_for(MinimizeMode::Exact),
+            ],
+            cache,
+            metrics: Metrics::default(),
+            max_batch_jobs: config.max_batch_jobs,
+        }
+    }
+
+    /// The service counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Counters of the shared result cache, when caching is enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    fn engine(&self, mode: MinimizeMode) -> &Engine {
+        match mode {
+            MinimizeMode::Isop => &self.engines[0],
+            MinimizeMode::Exact => &self.engines[1],
+        }
+    }
+
+    /// Routes one request to a response (the socket layer handles
+    /// framing; this is pure request → response).
+    pub fn handle(&self, request: &Request) -> Response {
+        let response = match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => {
+                Metrics::bump(&self.metrics.requests_other);
+                self.healthz()
+            }
+            ("GET", "/metrics") => {
+                Metrics::bump(&self.metrics.requests_other);
+                Response::text(
+                    200,
+                    self.metrics
+                        .render_prometheus(self.cache_stats(), nanoxbar_par::pool_stats()),
+                )
+            }
+            ("POST", "/v1/synthesize") => {
+                Metrics::bump(&self.metrics.requests_synthesize);
+                let started = Instant::now();
+                let response = self.synthesize(&request.body);
+                self.metrics.latency.observe(started.elapsed());
+                response
+            }
+            ("POST", "/v1/batch") => {
+                Metrics::bump(&self.metrics.requests_batch);
+                let started = Instant::now();
+                let response = self.batch(&request.body);
+                self.metrics.latency.observe(started.elapsed());
+                response
+            }
+            (_, "/healthz" | "/metrics" | "/v1/synthesize" | "/v1/batch") => {
+                error_response(405, "method not allowed for this endpoint")
+            }
+            _ => error_response(404, "no such endpoint"),
+        };
+        if response.status >= 400 {
+            Metrics::bump(&self.metrics.http_errors);
+        }
+        response
+    }
+
+    fn healthz(&self) -> Response {
+        let strategies = self.engines[0]
+            .strategies()
+            .into_iter()
+            .map(Json::Str)
+            .collect();
+        Response::json(
+            200,
+            object(vec![
+                ("status", Json::Str("ok".into())),
+                ("strategies", Json::Array(strategies)),
+                ("cache_enabled", Json::Bool(self.cache.is_some())),
+                ("pool_threads", Json::from(nanoxbar_par::threads())),
+            ])
+            .encode(),
+        )
+    }
+
+    /// `POST /v1/synthesize`: one job object, with an optional top-level
+    /// `"minimize"` field next to the job fields.
+    fn synthesize(&self, body: &[u8]) -> Response {
+        let (json, minimize) = match self.parse_request_head(body) {
+            Ok(parts) => parts,
+            Err(response) => return response,
+        };
+        // Strip "minimize" before spec parsing — it is routing, not job
+        // content.
+        let job_json = match &json {
+            Json::Object(members) => Json::Object(
+                members
+                    .iter()
+                    .filter(|(k, _)| k != "minimize")
+                    .cloned()
+                    .collect(),
+            ),
+            other => other.clone(),
+        };
+        let spec = match JobSpec::from_json(&job_json) {
+            Ok(spec) => spec,
+            Err(message) => return error_response(400, &message),
+        };
+        let job = match spec.to_job() {
+            Ok(job) => job,
+            Err(message) => return error_response(400, &message),
+        };
+        let results = self.engine(minimize).run_batch(std::slice::from_ref(&job));
+        self.count_jobs(&results);
+        Response::json(200, result_to_json(&results[0]).encode())
+    }
+
+    /// `POST /v1/batch`: `{"minimize": …, "jobs": [jobspec, …]}` with
+    /// per-slot error isolation — a bad spec poisons its slot, not the
+    /// request.
+    fn batch(&self, body: &[u8]) -> Response {
+        let (json, minimize) = match self.parse_request_head(body) {
+            Ok(parts) => parts,
+            Err(response) => return response,
+        };
+        let Some(slots) = json.get("jobs").and_then(Json::as_array) else {
+            return error_response(400, "batch needs a \"jobs\" array");
+        };
+        if slots.len() > self.max_batch_jobs {
+            return error_response(
+                400,
+                &format!(
+                    "batch of {} jobs exceeds the limit of {}",
+                    slots.len(),
+                    self.max_batch_jobs
+                ),
+            );
+        }
+
+        // Specs that fail to parse keep their slot (input-ordered
+        // responses) but never reach the engine; valid jobs are moved —
+        // not cloned — into the engine batch.
+        let mut slot_errors: Vec<Option<String>> = Vec::with_capacity(slots.len());
+        let mut jobs: Vec<Job> = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match JobSpec::from_json(slot).and_then(|spec| spec.to_job()) {
+                Ok(job) => {
+                    slot_errors.push(None);
+                    jobs.push(job);
+                }
+                Err(message) => slot_errors.push(Some(message)),
+            }
+        }
+        let engine_results = self.engine(minimize).run_batch(&jobs);
+        // Every slot is one job; failed slots of either kind (unparsable
+        // spec, typed engine error) count as job errors.
+        Metrics::add(&self.metrics.jobs, slot_errors.len() as u64);
+        Metrics::add(
+            &self.metrics.job_errors,
+            (slot_errors.iter().filter(|s| s.is_some()).count()
+                + engine_results.iter().filter(|r| r.is_err()).count()) as u64,
+        );
+
+        let mut engine_results = engine_results.into_iter();
+        let rendered: Vec<Json> = slot_errors
+            .iter()
+            .map(|slot| match slot {
+                Some(message) => bad_slot("bad-request", message),
+                None => result_to_json(
+                    &engine_results
+                        .next()
+                        .expect("one engine result per valid spec"),
+                ),
+            })
+            .collect();
+        Response::json(
+            200,
+            object(vec![
+                ("count", Json::from(rendered.len())),
+                ("results", Json::Array(rendered)),
+            ])
+            .encode(),
+        )
+    }
+
+    /// Shared request preamble: JSON parse + minimise-mode extraction.
+    #[allow(clippy::result_large_err)]
+    fn parse_request_head(&self, body: &[u8]) -> Result<(Json, MinimizeMode), Response> {
+        let text = std::str::from_utf8(body)
+            .map_err(|_| error_response(400, "request body is not UTF-8"))?;
+        let json = Json::parse(text).map_err(|e| error_response(400, &e.to_string()))?;
+        let minimize = parse_minimize(json.get("minimize")).map_err(|m| error_response(400, &m))?;
+        Ok((json, minimize))
+    }
+
+    fn count_jobs<T>(&self, results: &[Result<T, nanoxbar_engine::Error>]) {
+        Metrics::add(&self.metrics.jobs, results.len() as u64);
+        Metrics::add(
+            &self.metrics.job_errors,
+            results.iter().filter(|r| r.is_err()).count() as u64,
+        );
+    }
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(
+        status,
+        object(vec![
+            ("ok", Json::Bool(false)),
+            ("kind", Json::Str("bad-request".into())),
+            ("error", Json::Str(message.into())),
+        ])
+        .encode(),
+    )
+}
+
+/// The bounded hand-off between the acceptor and the workers.
+struct ConnQueue {
+    pending: Mutex<std::collections::VecDeque<TcpStream>>,
+    depth: usize,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl ConnQueue {
+    fn new(depth: usize) -> ConnQueue {
+        ConnQueue {
+            pending: Mutex::new(std::collections::VecDeque::new()),
+            depth: depth.max(1),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Queues a connection; gives it back when the queue is full.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut pending = self.pending.lock().expect("queue poisoned");
+        if pending.len() >= self.depth {
+            return Err(stream);
+        }
+        pending.push_back(stream);
+        drop(pending);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection (FIFO — no connection starves);
+    /// `None` once shut down and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut pending = self.pending.lock().expect("queue poisoned");
+        loop {
+            if let Some(stream) = pending.pop_front() {
+                return Some(stream);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            pending = self.ready.wait(pending).expect("queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _guard = self.pending.lock().expect("queue poisoned");
+        self.ready.notify_all();
+    }
+}
+
+/// A bound-but-not-yet-serving server (so callers can learn the ephemeral
+/// port before starting).
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<Service>,
+    config: ServiceConfig,
+}
+
+impl Server {
+    /// Binds the configured address and builds the engines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let service = Arc::new(Service::new(&config));
+        Ok(Server {
+            listener,
+            service,
+            config,
+        })
+    }
+
+    /// The actually-bound address (resolves `:0` to the ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle on the shared service state (metrics, cache stats).
+    pub fn service(&self) -> Arc<Service> {
+        self.service.clone()
+    }
+
+    /// Starts the acceptor and worker threads and returns a handle that
+    /// can stop them. Call from a dedicated thread or keep the handle
+    /// alive for the server's lifetime; [`ServerHandle::shutdown`] stops
+    /// accepting, drains queued connections, and joins every thread.
+    pub fn start(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let queue = Arc::new(ConnQueue::new(self.config.queue_depth));
+
+        let mut workers = Vec::with_capacity(self.config.workers.max(1));
+        for index in 0..self.config.workers.max(1) {
+            let queue = queue.clone();
+            let service = self.service.clone();
+            let read_timeout = self.config.read_timeout;
+            let max_body = self.config.max_body_bytes;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("nanoxbar-http-{index}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop() {
+                            handle_connection(&service, stream, read_timeout, max_body);
+                        }
+                    })?,
+            );
+        }
+
+        let acceptor = {
+            let queue = queue.clone();
+            let service = self.service.clone();
+            let listener = self.listener;
+            std::thread::Builder::new()
+                .name("nanoxbar-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if queue.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let stream = match stream {
+                            Ok(stream) => stream,
+                            Err(_) => {
+                                // Transient (ECONNABORTED) or persistent
+                                // (EMFILE under fd exhaustion) accept
+                                // failure: back off instead of spinning a
+                                // core on an already-overloaded box.
+                                std::thread::sleep(Duration::from_millis(10));
+                                continue;
+                            }
+                        };
+                        Metrics::bump(&service.metrics.connections);
+                        if let Err(rejected) = queue.push(stream) {
+                            // Bounded queue full: shed load instead of
+                            // queueing unboundedly.
+                            Metrics::bump(&service.metrics.rejected);
+                            shed_connection(rejected);
+                        }
+                    }
+                })?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            queue,
+            acceptor: Some(acceptor),
+            workers,
+            service: self.service,
+        })
+    }
+}
+
+/// A running server; dropping it **without** calling
+/// [`ServerHandle::shutdown`] leaves the threads serving for the rest of
+/// the process.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    queue: Arc<ConnQueue>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    service: Arc<Service>,
+}
+
+impl ServerHandle {
+    /// The served address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service state (metrics, cache stats).
+    pub fn service(&self) -> Arc<Service> {
+        self.service.clone()
+    }
+
+    /// Stops accepting, drains queued connections, and joins all threads.
+    /// In-flight requests finish; idle keep-alive connections drop at
+    /// their next read timeout.
+    pub fn shutdown(mut self) {
+        self.queue.close();
+        // Unblock the acceptor's blocking `accept` with a no-op connect.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Turns a connection away with `503`, draining what the client already
+/// sent first: closing with unread bytes in the receive buffer makes many
+/// stacks send RST, which would discard the in-flight 503 and leave the
+/// client with a bare "connection reset" instead of the intended status.
+fn shed_connection(mut stream: TcpStream) {
+    if write_response(
+        &mut stream,
+        &error_response(503, "server is at capacity"),
+        true,
+    )
+    .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 4096];
+    // Bounded drain: enough for any sane request head + small body.
+    for _ in 0..16 {
+        match std::io::Read::read(&mut stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Speaks keep-alive HTTP on one connection until close/EOF/timeout.
+fn handle_connection(
+    service: &Service,
+    stream: TcpStream,
+    read_timeout: Duration,
+    max_body: usize,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader, max_body) {
+            Ok(None) => return,
+            Ok(Some(request)) => {
+                let close = request.wants_close();
+                let response = service.handle(&request);
+                if write_response(&mut writer, &response, close).is_err() || close {
+                    return;
+                }
+            }
+            Err(HttpError::Io(_)) => return, // timeout or hangup
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                Metrics::bump(&service.metrics.http_errors);
+                let _ = write_response(
+                    &mut writer,
+                    &error_response(413, &format!("body of {declared} bytes exceeds {limit}")),
+                    true,
+                );
+                return;
+            }
+            Err(HttpError::Malformed(what)) => {
+                Metrics::bump(&service.metrics.http_errors);
+                let _ = write_response(&mut writer, &error_response(400, what), true);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            version_minor: 1,
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            version_minor: 1,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn body_json(response: &Response) -> Json {
+        Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn routing_and_health() {
+        let service = Service::new(&ServiceConfig::default());
+        let health = service.handle(&get("/healthz"));
+        assert_eq!(health.status, 200);
+        let json = body_json(&health);
+        assert_eq!(json.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(json.get("strategies").unwrap().as_array().unwrap().len(), 4);
+        assert_eq!(service.handle(&get("/nope")).status, 404);
+        assert_eq!(service.handle(&get("/v1/synthesize")).status, 405);
+    }
+
+    #[test]
+    fn synthesize_endpoint_runs_a_job() {
+        let service = Service::new(&ServiceConfig::default());
+        let ok = service.handle(&post(
+            "/v1/synthesize",
+            "{\"expr\":\"x0 x1 + !x0 !x1\",\"strategy\":\"diode\",\"verify\":true}",
+        ));
+        assert_eq!(ok.status, 200);
+        let json = body_json(&ok);
+        assert_eq!(json.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(json.get("rows").unwrap().as_i64(), Some(2));
+        assert_eq!(json.get("cols").unwrap().as_i64(), Some(5));
+        assert_eq!(json.get("verified"), Some(&Json::Bool(true)));
+
+        let bad = service.handle(&post("/v1/synthesize", "{\"expr\":\"x0 +\"}"));
+        assert_eq!(bad.status, 400);
+        assert_eq!(body_json(&bad).get("ok"), Some(&Json::Bool(false)));
+
+        // Engine errors are 200s with ok=false — the HTTP layer worked.
+        let constant = service.handle(&post(
+            "/v1/synthesize",
+            "{\"expr\":\"x0 + !x0\",\"strategy\":\"diode\"}",
+        ));
+        assert_eq!(constant.status, 200);
+        assert_eq!(
+            body_json(&constant).get("kind").unwrap().as_str(),
+            Some("constant-function")
+        );
+    }
+
+    #[test]
+    fn batch_keeps_slots_ordered_and_isolated() {
+        let service = Service::new(&ServiceConfig::default());
+        let response = service.handle(&post(
+            "/v1/batch",
+            "{\"jobs\":[\
+             {\"expr\":\"x0 x1\",\"strategy\":\"fet\"},\
+             {\"expr\":\"((\"},\
+             {\"expr\":\"x0 + !x0\",\"strategy\":\"diode\"},\
+             {\"expr\":\"x0 x1\",\"strategy\":\"fet\"}]}",
+        ));
+        assert_eq!(response.status, 200);
+        let json = body_json(&response);
+        let slots = json.get("results").unwrap().as_array().unwrap();
+        assert_eq!(slots.len(), 4);
+        assert_eq!(slots[0].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(slots[1].get("kind").unwrap().as_str(), Some("bad-request"));
+        assert_eq!(
+            slots[2].get("kind").unwrap().as_str(),
+            Some("constant-function")
+        );
+        // Identical jobs share one synthesis (batch dedupe): fingerprints
+        // must agree.
+        assert_eq!(
+            slots[0].get("fingerprint").unwrap().as_str(),
+            slots[3].get("fingerprint").unwrap().as_str()
+        );
+    }
+
+    #[test]
+    fn batch_minimize_mode_and_limits() {
+        let config = ServiceConfig {
+            max_batch_jobs: 2,
+            ..ServiceConfig::default()
+        };
+        let service = Service::new(&config);
+        let over = service.handle(&post(
+            "/v1/batch",
+            "{\"jobs\":[{\"expr\":\"x0\"},{\"expr\":\"x0\"},{\"expr\":\"x0\"}]}",
+        ));
+        assert_eq!(over.status, 400);
+
+        let exact = service.handle(&post(
+            "/v1/batch",
+            "{\"minimize\":\"exact\",\"jobs\":[{\"expr\":\"x0 x1 + x0 !x1 + !x0 x1\",\
+             \"strategy\":\"diode\"}]}",
+        ));
+        let json = body_json(&exact);
+        let slot = &json.get("results").unwrap().as_array().unwrap()[0];
+        // exact cover of x0+x1 has 2 products -> 2 rows.
+        assert_eq!(slot.get("rows").unwrap().as_i64(), Some(2));
+
+        let bad_mode = service.handle(&post("/v1/batch", "{\"minimize\":\"zen\",\"jobs\":[]}"));
+        assert_eq!(bad_mode.status, 400);
+    }
+
+    #[test]
+    fn metrics_expose_counts_and_cache() {
+        let service = Service::new(&ServiceConfig::default());
+        for _ in 0..2 {
+            let ok = service.handle(&post("/v1/synthesize", "{\"expr\":\"x0 x1 + !x0 !x1\"}"));
+            assert_eq!(ok.status, 200);
+        }
+        // Batch slots count individually, and *both* failure kinds (bad
+        // spec, typed engine error) land in job_errors.
+        let batch = service.handle(&post(
+            "/v1/batch",
+            "{\"jobs\":[{\"expr\":\"x0\"},{\"expr\":\"((\"},\
+             {\"expr\":\"x0 + !x0\",\"strategy\":\"diode\"}]}",
+        ));
+        assert_eq!(batch.status, 200);
+        let metrics = service.handle(&get("/metrics"));
+        let text = String::from_utf8(metrics.body).unwrap();
+        assert!(
+            text.contains("nanoxbar_requests_total{endpoint=\"synthesize\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("nanoxbar_jobs_total 5"), "{text}");
+        assert!(text.contains("nanoxbar_job_errors_total 2"), "{text}");
+        // Second identical synthesize request hit the shared cache.
+        assert!(text.contains("nanoxbar_cache_hits_total 1"), "{text}");
+    }
+
+    #[test]
+    fn cached_and_uncached_bodies_are_bit_identical() {
+        let cached = Service::new(&ServiceConfig::default());
+        let uncached = Service::new(&ServiceConfig {
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        });
+        assert!(uncached.cache_stats().is_none());
+        let body = "{\"expr\":\"x0 x1 x2 + !x0 !x1\",\"verify\":true}";
+        let mut bodies = Vec::new();
+        for service in [&cached, &cached, &uncached] {
+            let response = service.handle(&post("/v1/synthesize", body));
+            assert_eq!(response.status, 200);
+            bodies.push(response.body);
+        }
+        assert_eq!(bodies[0], bodies[1], "cache hit changed the body");
+        assert_eq!(bodies[0], bodies[2], "caching changed the body");
+    }
+}

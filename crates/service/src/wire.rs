@@ -1,0 +1,620 @@
+//! Hand-rolled JSON encode/decode for the service wire format.
+//!
+//! The workspace's vendored-deps policy (no crates.io) rules out `serde`,
+//! and the service's payloads are small and flat, so this module
+//! implements exactly the JSON subset the wire needs: the [`Json`] value
+//! tree, a recursive-descent parser with a depth limit, and a
+//! deterministic encoder (object keys keep insertion order, so equal
+//! values encode to byte-identical text — the property the load
+//! generator's bit-identity check and the cache acceptance test rely on).
+//!
+//! Numbers are split into [`Json::Int`] (`i64`, exact — seeds and counts)
+//! and [`Json::Float`] (`f64`, shortest-roundtrip encoding). Floats always
+//! encode with a `.` or exponent so they re-parse as floats; non-finite
+//! floats encode as `null` (JSON has no spelling for them).
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fraction or exponent, kept exact.
+    Int(i64),
+    /// A fractional or exponent number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; insertion-ordered (no key dedup on parse — last wins on
+    /// [`Json::get`] lookups of duplicate keys is *not* provided, first
+    /// wins, matching the encoder's determinism).
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects (first match), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as a `u64`, if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Parses one JSON document (trailing garbage is an error).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] with a byte offset and message on malformed input,
+    /// nesting beyond 64 levels, or lone surrogates in `\u` escapes.
+    pub fn parse(text: &str) -> Result<Json, WireError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Encodes the value as compact JSON text (deterministic: equal values
+    /// produce byte-identical output).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(x) => {
+                if x.is_finite() {
+                    let text = format!("{x}");
+                    out.push_str(&text);
+                    // `5f64` displays as "5"; force a float spelling so the
+                    // value round-trips as Float, not Int.
+                    if !text.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(i: i64) -> Self {
+        Json::Int(i)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(i: usize) -> Self {
+        Json::Int(i as i64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(i: u64) -> Self {
+        Json::Int(i as i64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Self {
+        Json::Float(x)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON syntax error with its byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum nesting depth the parser accepts.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> WireError {
+        WireError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), WireError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, WireError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {text:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, WireError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, WireError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, WireError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so boundaries
+                    // are valid by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let len = utf8_len(rest[0]);
+                    let chunk = std::str::from_utf8(&rest[..len.min(rest.len())])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                    self.pos += chunk.len();
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u` (the `u` is already consumed),
+    /// combining surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, WireError> {
+        let first = self.hex4()?;
+        if (0xD800..0xDC00).contains(&first) {
+            // High surrogate: a low surrogate escape must follow.
+            if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                self.pos += 2;
+                let low = self.hex4()?;
+                if !(0xDC00..0xE000).contains(&low) {
+                    return Err(self.err("expected low surrogate"));
+                }
+                let c = 0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00);
+                return char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"));
+            }
+            return Err(self.err("lone high surrogate"));
+        }
+        if (0xDC00..0xE000).contains(&first) {
+            return Err(self.err("lone low surrogate"));
+        }
+        char::from_u32(first).ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, WireError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
+                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
+                _ => return Err(self.err("expected 4 hex digits")),
+            };
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, WireError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.digits()?;
+        if int_digits > 1 && self.bytes[start + usize::from(self.bytes[start] == b'-')] == b'0' {
+            return Err(self.err("leading zero"));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.err("number out of range"))
+        } else {
+            // Integers overflowing i64 fall back to f64 rather than erroring
+            // (matches common JSON parsers; precision loss is the caller's
+            // lookout at that magnitude).
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Json::Int(i)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Json::Float)
+                    .map_err(|_| self.err("number out of range")),
+            }
+        }
+    }
+
+    fn digits(&mut self) -> Result<usize, WireError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected digits"));
+        }
+        Ok(self.pos - start)
+    }
+}
+
+/// Length of a UTF-8 sequence from its first byte (input comes from a
+/// `&str`, so the byte is a valid leading byte).
+fn utf8_len(byte: u8) -> usize {
+    match byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Convenience constructor for object literals.
+pub fn object(members: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Json) {
+        let text = v.encode();
+        let back = Json::parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(&back, v, "{text}");
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Int(0),
+            Json::Int(-1),
+            Json::Int(i64::MAX),
+            Json::Int(i64::MIN),
+            Json::Float(0.5),
+            Json::Float(-1.25e-9),
+            Json::Float(5.0),
+            Json::Str(String::new()),
+            Json::Str("hello \"world\"\n\t\\ \u{1F600} \u{7}".to_string()),
+        ] {
+            roundtrip(&v);
+        }
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(&Json::Array(vec![]));
+        roundtrip(&object(vec![]));
+        roundtrip(&object(vec![
+            ("a", Json::Array(vec![Json::Int(1), Json::Null])),
+            ("b", object(vec![("nested", Json::Bool(false))])),
+            ("weird key \" \\", Json::Float(1e300)),
+        ]));
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let v =
+            Json::parse(" { \"a\" : [ 1 , 2.5 , \"\\u0041\\u00e9\\ud83d\\ude00\" ] } ").unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_str(),
+            Some("Aé😀")
+        );
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[0].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "01",
+            "1.",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            "1 2",
+            "nan",
+            "+1",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&deep).is_err(), "depth limit");
+    }
+
+    #[test]
+    fn floats_never_reparse_as_ints() {
+        let text = Json::Float(5.0).encode();
+        assert_eq!(text, "5.0");
+        assert_eq!(Json::parse(&text).unwrap(), Json::Float(5.0));
+        assert_eq!(Json::Float(f64::NAN).encode(), "null");
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let v = object(vec![("b", Json::Int(1)), ("a", Json::Int(2))]);
+        assert_eq!(v.encode(), "{\"b\":1,\"a\":2}", "insertion order kept");
+        assert_eq!(v.encode(), v.clone().encode());
+    }
+}

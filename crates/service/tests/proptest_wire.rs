@@ -1,0 +1,159 @@
+//! Property suite for the wire format: JSON values, job specs, and
+//! rendered results must survive encode → parse unchanged, for arbitrary
+//! content including escapes, unicode, and nesting.
+
+use proptest::prelude::*;
+
+use nanoxbar_service::{ChipRequest, JobSpec, Json};
+
+/// Strings exercising the encoder's escape paths: quotes, backslashes,
+/// control characters, astral-plane unicode, plus arbitrary scalars.
+fn arb_string() -> impl Strategy<Value = String> {
+    const PALETTE: [char; 16] = [
+        'a', 'Z', '0', ' ', '"', '\\', '\n', '\r', '\t', '\u{0}', '\u{7}', '\u{1f}', 'é', 'Ж',
+        '\u{2028}', '😀',
+    ];
+    proptest::collection::vec(any::<u32>(), 0..=10).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|code| {
+                if code & 1 == 0 {
+                    PALETTE[(code >> 1) as usize % PALETTE.len()]
+                } else {
+                    char::from_u32(code % 0x11_0000).unwrap_or('\u{FFFD}')
+                }
+            })
+            .collect()
+    })
+}
+
+/// One JSON scalar.
+fn arb_scalar() -> impl Strategy<Value = Json> {
+    (any::<u8>(), any::<i64>(), any::<f64>(), arb_string()).prop_map(|(tag, i, x, s)| {
+        match tag % 5 {
+            0 => Json::Null,
+            1 => Json::Bool(i & 1 == 1),
+            2 => Json::Int(i),
+            3 => Json::Float(x * 1e9 - 5e8),
+            _ => Json::Str(s),
+        }
+    })
+}
+
+/// JSON values up to two container levels deep.
+fn arb_json() -> impl Strategy<Value = Json> {
+    (
+        any::<u8>(),
+        proptest::collection::vec(arb_scalar(), 0..=5),
+        proptest::collection::vec((arb_string(), arb_scalar()), 0..=5),
+    )
+        .prop_map(|(tag, items, members)| match tag % 4 {
+            0 => Json::Array(items),
+            1 => Json::Object(members.into_iter().collect()),
+            2 => Json::Array(vec![
+                Json::Object(members.into_iter().collect()),
+                Json::Array(items),
+            ]),
+            _ => items.into_iter().next().unwrap_or(Json::Null),
+        })
+}
+
+/// Arbitrary job specs — content need not be a *valid* expression; the
+/// wire layer must round-trip whatever the client sent.
+fn arb_spec() -> impl Strategy<Value = JobSpec> {
+    (
+        arb_string(),
+        (any::<u8>(), arb_string()),
+        (any::<u8>(), arb_string()),
+        any::<bool>(),
+        (
+            any::<u8>(),
+            1usize..=4096,
+            1usize..=4096,
+            0u64..1 << 62,
+            any::<f64>(),
+        ),
+    )
+        .prop_map(
+            |(function, (s_knob, strategy), (l_knob, label), verify, chip)| {
+                let (c_knob, rows, cols, seed, rate) = chip;
+                let mut spec = if c_knob & 1 == 0 {
+                    JobSpec::expr(function)
+                } else {
+                    JobSpec::pla(function)
+                };
+                if s_knob % 3 == 0 {
+                    spec.strategy = Some(strategy);
+                }
+                if l_knob % 3 == 0 {
+                    spec.label = Some(label);
+                }
+                spec.verify = verify;
+                if c_knob % 4 == 0 {
+                    spec.chip = Some(ChipRequest {
+                        rows,
+                        cols,
+                        seed,
+                        defect_rate: (c_knob % 8 == 0).then_some(rate),
+                    });
+                }
+                spec
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary JSON values encode to text that parses back to the same
+    /// value.
+    #[test]
+    fn json_values_roundtrip(value in arb_json()) {
+        let text = value.encode();
+        let back = Json::parse(&text);
+        prop_assert_eq!(back.as_ref(), Ok(&value), "{}", text);
+        // And the encoding is a fixed point: re-encoding the parse gives
+        // the same bytes (determinism the service's bit-identity relies on).
+        prop_assert_eq!(back.unwrap().encode(), text);
+    }
+
+    /// Job specs survive the full wire trip: struct → JSON → text →
+    /// JSON → struct.
+    #[test]
+    fn job_specs_roundtrip(spec in arb_spec()) {
+        let text = spec.to_json().encode();
+        let parsed = Json::parse(&text).expect("spec encodes to valid JSON");
+        let back = JobSpec::from_json(&parsed);
+        prop_assert_eq!(back.as_ref(), Ok(&spec), "{}", text);
+    }
+
+    /// Rendered engine results are themselves valid wire documents that
+    /// re-encode to identical bytes.
+    #[test]
+    fn rendered_results_are_stable_wire_documents(
+        bits in any::<u64>(),
+        knobs in 0u8..=255,
+    ) {
+        use nanoxbar_engine::{Engine, Job, Strategy};
+        use nanoxbar_logic::TruthTable;
+        use nanoxbar_service::result_to_json;
+
+        let f = TruthTable::from_fn(2, |m| (bits >> m) & 1 == 1);
+        let mut job = Job::synthesize(f);
+        job = match knobs % 4 {
+            0 => job.with_strategy(Strategy::Diode),
+            1 => job.with_strategy(Strategy::Fet),
+            2 => job.with_strategy(Strategy::DualLattice),
+            _ => job.with_strategy_name("no-such-backend"),
+        };
+        if knobs & 16 != 0 {
+            job = job.verified(true).labeled(format!("job-{bits:x}"));
+        }
+        let engine = Engine::new();
+        let rendered = result_to_json(&engine.run(&job));
+        let text = rendered.encode();
+        let back = Json::parse(&text).expect("results encode to valid JSON");
+        prop_assert_eq!(&back, &rendered, "{}", text);
+        prop_assert!(back.get("ok").is_some());
+    }
+}

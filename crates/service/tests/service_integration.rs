@@ -1,0 +1,271 @@
+//! Full-stack integration: bind the service on an ephemeral port, drive
+//! it with concurrent clients over real sockets (mixed valid / invalid /
+//! constant-function jobs), and assert the responses are input-ordered,
+//! per-slot isolated, and **bit-identical** to rendering a direct
+//! `Engine::run_batch` of the same jobs.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use nanoxbar_engine::{Engine, Job};
+use nanoxbar_service::{result_to_json, JobSpec, Json, Server, ServiceConfig};
+
+/// Sends `request` raw and returns `(status, body)`.
+fn exchange(addr: &str, request: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request).expect("send");
+    let mut reader = BufReader::new(stream);
+    read_one_response(&mut reader)
+}
+
+fn read_one_response<R: BufRead>(reader: &mut R) -> (u16, String) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            length = v.trim().parse().expect("length");
+        }
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf8 body"))
+}
+
+fn post_body(addr: &str, path: &str, body: &str) -> (u16, String) {
+    exchange(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+/// The shared workload: slot-labelled specs mixing every outcome class.
+/// Returns `(request body, slot specs)`.
+fn workload() -> (String, Vec<Json>) {
+    let slots: Vec<Json> = vec![
+        // Valid, default strategy.
+        Json::parse("{\"expr\":\"x0 x1 + !x0 !x1\",\"label\":\"slot-0\",\"verify\":true}").unwrap(),
+        // Valid, explicit strategies.
+        Json::parse("{\"expr\":\"x0 x1 + x1 x2\",\"strategy\":\"diode\",\"label\":\"slot-1\"}")
+            .unwrap(),
+        // Invalid expression: spec error, must stay in its slot.
+        Json::parse("{\"expr\":\"((\",\"label\":\"slot-2\"}").unwrap(),
+        // Constant on a two-terminal technology: typed engine error.
+        Json::parse("{\"expr\":\"x0 + !x0\",\"strategy\":\"diode\",\"label\":\"slot-3\"}").unwrap(),
+        // Unknown backend: typed engine error.
+        Json::parse("{\"expr\":\"x0\",\"strategy\":\"quantum\",\"label\":\"slot-4\"}").unwrap(),
+        // Valid with a chip mapping (deterministic seed + rate).
+        Json::parse(
+            "{\"expr\":\"x0 ^ x1\",\"label\":\"slot-5\",\
+             \"chip\":{\"rows\":16,\"cols\":16,\"seed\":5,\"defect_rate\":0.05}}",
+        )
+        .unwrap(),
+        // Duplicate of slot 1: exercises intra-batch dedupe + the cache.
+        Json::parse("{\"expr\":\"x0 x1 + x1 x2\",\"strategy\":\"diode\",\"label\":\"slot-6\"}")
+            .unwrap(),
+        // Valid FET.
+        Json::parse("{\"expr\":\"!x0 x1 + x2\",\"strategy\":\"fet\",\"label\":\"slot-7\"}")
+            .unwrap(),
+    ];
+    let body = Json::Object(vec![("jobs".into(), Json::Array(slots.clone()))]).encode();
+    (body, slots)
+}
+
+/// What the service *must* produce: parse each spec like the server does,
+/// run the valid ones through a plain engine batch, and render with the
+/// same wire code.
+fn expected_slots(slots: &[Json]) -> Vec<Json> {
+    let specs: Vec<Result<Job, String>> = slots
+        .iter()
+        .map(|slot| JobSpec::from_json(slot).and_then(|s| s.to_job()))
+        .collect();
+    let jobs: Vec<Job> = specs
+        .iter()
+        .filter_map(|s| s.as_ref().ok().cloned())
+        .collect();
+    // No cache here: cached and uncached engines must be bit-identical,
+    // so the reference can be the plain one.
+    let mut results = Engine::new().run_batch(&jobs).into_iter();
+    specs
+        .iter()
+        .map(|spec| match spec {
+            Err(message) => Json::parse(
+                &Json::Object(vec![
+                    ("ok".into(), Json::Bool(false)),
+                    ("kind".into(), Json::Str("bad-request".into())),
+                    ("error".into(), Json::Str(message.clone())),
+                ])
+                .encode(),
+            )
+            .unwrap(),
+            Ok(_) => result_to_json(&results.next().expect("result per valid job")),
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_batches_are_ordered_isolated_and_match_direct_engine() {
+    let server = Server::bind(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        ..ServiceConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = server.start().expect("start");
+
+    let (body, slots) = workload();
+    let expected = expected_slots(&slots);
+
+    // 6 concurrent clients, 3 sequential batches each, all identical.
+    const CLIENTS: usize = 6;
+    const ROUNDS: usize = 3;
+    let responses: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let (addr, body) = (&addr, &body);
+                scope.spawn(move || {
+                    (0..ROUNDS)
+                        .map(|_| {
+                            let (status, text) = post_body(addr, "/v1/batch", body);
+                            assert_eq!(status, 200, "{text}");
+                            text
+                        })
+                        .collect::<Vec<String>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+
+    // Every response from every client and round is byte-identical (the
+    // cache warms up during the run and must not change a single byte).
+    let reference = &responses[0][0];
+    for (c, client) in responses.iter().enumerate() {
+        for (r, text) in client.iter().enumerate() {
+            assert_eq!(text, reference, "client {c} round {r} diverged");
+        }
+    }
+
+    // And the slots line up, in input order, with the direct engine run.
+    let parsed = Json::parse(reference).expect("valid response JSON");
+    let got = parsed.get("results").unwrap().as_array().unwrap();
+    assert_eq!(got.len(), expected.len());
+    for (i, (actual, wanted)) in got.iter().zip(&expected).enumerate() {
+        assert_eq!(actual, wanted, "slot {i}");
+    }
+    // Outcome classes land where the workload put them.
+    for (i, ok) in [true, true, false, false, false, true, true, true]
+        .into_iter()
+        .enumerate()
+    {
+        assert_eq!(got[i].get("ok"), Some(&Json::Bool(ok)), "slot {i}");
+    }
+    assert_eq!(got[2].get("kind").unwrap().as_str(), Some("bad-request"));
+    assert_eq!(
+        got[3].get("kind").unwrap().as_str(),
+        Some("constant-function")
+    );
+    assert_eq!(
+        got[4].get("kind").unwrap().as_str(),
+        Some("unknown-strategy")
+    );
+    assert_eq!(
+        got[1].get("fingerprint"),
+        got[6].get("fingerprint"),
+        "duplicate slots share one synthesis"
+    );
+    assert!(got[5].get("flow").is_some(), "chip slot carries its flow");
+    // Ordered labels echo back.
+    for (i, slot) in got.iter().enumerate() {
+        if slot.get("ok") == Some(&Json::Bool(true)) {
+            assert_eq!(
+                slot.get("label").unwrap().as_str(),
+                Some(format!("slot-{i}").as_str())
+            );
+        }
+    }
+
+    // Single-job endpoint agrees with its batch slot, byte for byte.
+    let single = slots[0].encode();
+    let (status, text) = post_body(&addr, "/v1/synthesize", &single);
+    assert_eq!(status, 200);
+    assert_eq!(Json::parse(&text).unwrap(), expected[0]);
+
+    handle.shutdown();
+}
+
+#[test]
+fn http_edges_over_real_sockets() {
+    let server = Server::bind(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        max_body_bytes: 512,
+        ..ServiceConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = server.start().expect("start");
+
+    // Keep-alive: two requests on one connection.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    for _ in 0..2 {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+            .expect("send");
+    }
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    for _ in 0..2 {
+        let (status, body) = read_one_response(&mut reader);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""));
+    }
+    drop(reader);
+    drop(stream);
+
+    // Unknown path, wrong method, malformed JSON, oversized body.
+    let (status, _) = exchange(
+        &addr,
+        b"GET /nope HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 404);
+    let (status, _) = exchange(
+        &addr,
+        b"PUT /v1/batch HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 405);
+    let (status, text) = post_body(&addr, "/v1/synthesize", "{not json");
+    assert_eq!(status, 400, "{text}");
+    let big = format!("{{\"expr\":\"{}\"}}", "x".repeat(600));
+    let (status, _) = post_body(&addr, "/v1/synthesize", &big);
+    assert_eq!(status, 413);
+
+    // Metrics reflect the traffic that just happened.
+    let (status, text) = exchange(
+        &addr,
+        b"GET /metrics HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert!(text.contains("nanoxbar_requests_total"), "{text}");
+    assert!(text.contains("nanoxbar_http_errors_total"), "{text}");
+
+    handle.shutdown();
+}

@@ -16,10 +16,12 @@
 //!   stack (Figs. 4–5, Sec. III-B);
 //! * [`reliability`] — defects, fault simulation, BIST/BISD/BISM, and the
 //!   defect-unaware flow (Sec. IV, Fig. 6);
-//! * [`core`] — the Sec. V nanocomputer elements (adders, registers, SSM)
-//!   plus deprecated shims over the engine;
+//! * [`core`] — the Sec. V nanocomputer elements (adders, registers, SSM);
 //! * [`par`] — the vendored work-stealing thread pool behind every
-//!   multi-core engine (`NANOXBAR_THREADS` controls the worker count).
+//!   multi-core engine (`NANOXBAR_THREADS` controls the worker count);
+//! * [`service`] — the std-only HTTP synthesis service (`nanoxbar serve`):
+//!   `/v1/synthesize`, `/v1/batch`, `/healthz`, Prometheus `/metrics`,
+//!   backed by the engine's content-addressed result cache.
 //!
 //! [`Engine`]: engine::Engine
 //! [`Job`]: engine::Job
@@ -57,3 +59,4 @@ pub use nanoxbar_logic as logic;
 pub use nanoxbar_par as par;
 pub use nanoxbar_reliability as reliability;
 pub use nanoxbar_sat as sat;
+pub use nanoxbar_service as service;

@@ -44,6 +44,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("pla") => cmd_pla(&args[1..]),
         Some("bist") => cmd_bist(&args[1..]),
         Some("chip") => cmd_chip(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
     }
 }
@@ -66,6 +67,10 @@ fn print_help() {
                generate the BIST plan for a fabric and prove its coverage\n\
            nanoxbar chip <N> [--density D] [--seed S] <expr>\n\
                run the Fig. 6(b) defect-unaware flow on a simulated chip\n\
+           nanoxbar serve [--addr A] [--threads T] [--cache-capacity C]\n\
+               serve synthesis over HTTP (POST /v1/synthesize, /v1/batch;\n\
+               GET /healthz, /metrics). --threads sets the HTTP workers;\n\
+               NANOXBAR_THREADS sizes the synthesis pool\n\
          \n\
          EXPRESSIONS use the paper's syntax: x0 x1 + !x0 !x1  (also ', ^, parens)"
     );
@@ -337,6 +342,48 @@ fn cmd_chip(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use nanoxbar::service::{Server, ServiceConfig};
+
+    let mut args = args.to_vec();
+    let mut config = ServiceConfig::default();
+    if let Some(addr) = take_option(&mut args, "--addr") {
+        config.addr = addr;
+    }
+    if let Some(threads) = take_option(&mut args, "--threads") {
+        config.workers = threads
+            .parse::<usize>()
+            .ok()
+            .filter(|&t| t >= 1)
+            .ok_or_else(|| format!("bad worker count {threads:?}"))?;
+    }
+    if let Some(capacity) = take_option(&mut args, "--cache-capacity") {
+        config.cache_capacity = capacity
+            .parse()
+            .map_err(|_| format!("bad cache capacity {capacity:?}"))?;
+    }
+    if let Some(stray) = args.first() {
+        return Err(format!("unexpected argument {stray:?}"));
+    }
+
+    let server = Server::bind(config.clone()).map_err(|e| format!("cannot bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "nanoxbar-service listening on http://{addr} \
+         ({} workers, cache capacity {}, pool threads {})",
+        config.workers,
+        config.cache_capacity,
+        nanoxbar::par::threads()
+    );
+    println!("endpoints: POST /v1/synthesize, POST /v1/batch, GET /healthz, GET /metrics");
+    let _handle = server.start().map_err(|e| e.to_string())?;
+    // Serve until the process is killed: the handle's threads do all the
+    // work; parking keeps main alive without burning a core.
+    loop {
+        std::thread::park();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +437,9 @@ mod tests {
         run_err(&["synth", "x0", "--tech", "quantum"]);
         run_err(&["bist", "banana"]);
         run_err(&["frobnicate"]);
+        run_err(&["serve", "--threads", "0"]);
+        run_err(&["serve", "--cache-capacity", "many"]);
+        run_err(&["serve", "stray"]);
     }
 
     #[test]
