@@ -15,7 +15,8 @@
 //! **bit-identical** between passes (the wire format carries no clocks).
 //!
 //! Flags (all optional): `--clients N` `--requests M` `--distinct K`
-//! `--cache C`.
+//! `--cache C` (a *weight* budget in crosspoints — entries weigh their
+//! realization's area — matching `ServiceConfig::cache_capacity`).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -216,7 +217,9 @@ fn main() {
     let clients = arg("--clients", 4);
     let requests = arg("--requests", 25);
     let distinct = arg("--distinct", 8).max(1);
-    let cache = arg("--cache", 512).max(1);
+    // Weight units since the cache learned size-aware admission: 65536
+    // crosspoints of residency, the service default.
+    let cache = arg("--cache", 65536).max(1);
     let total = clients * requests;
     let duplicate_share = 1.0 - (distinct.min(total) as f64) / (total as f64);
     println!(

@@ -10,10 +10,18 @@
 //! bits share one entry, whatever path produced them.
 //!
 //! The cache is sharded (key-hash → shard) so concurrent batch workers
-//! rarely contend on one lock, and each shard evicts least-recently-used
-//! entries once it reaches its share of the configured capacity. Only
-//! *successful* synthesis results are cached — errors are cheap to
-//! recompute and often carry per-job context.
+//! rarely contend on one lock. Admission is **size-aware**: capacity is a
+//! *weight* budget, each entry weighs its realization's crosspoint count,
+//! and each shard evicts least-recently-used entries until the new
+//! entry's weight fits its share of the budget. Weighing by size keeps
+//! a flood of one entry class honest — a batch of tiny SAT-optimal
+//! lattices can only displace its own weight in diode covers, not an
+//! entire working set entry-for-entry. Only *successful* synthesis
+//! results are cached — errors are cheap to recompute and often carry
+//! per-job context. Chip-specific outcomes (defect-unaware flow reports,
+//! BISM mappings) never enter the cache: the key is chip-free by
+//! construction, so the cache memoises exactly the chip-independent
+//! synthesis.
 //!
 //! Correctness note: synthesis is deterministic in the key, so serving a
 //! cached [`Realization`] is **bit-identical** to re-synthesising (the
@@ -76,16 +84,39 @@ pub struct CachedSynthesis {
     pub cover: Option<Arc<Cover>>,
 }
 
+/// The admission weight of one entry: the realization's crosspoint count
+/// (the paper's area metric, a faithful proxy for its memory footprint),
+/// at least 1 so constants still cost something.
+fn entry_weight(value: &CachedSynthesis) -> usize {
+    value.realization.area().max(1)
+}
+
 /// One cached entry with its recency stamp.
 struct Entry {
     value: CachedSynthesis,
+    /// Admission weight ([`entry_weight`] at insert time).
+    weight: usize,
     /// Shard-local logical clock value of the last touch.
     stamp: u64,
+}
+
+/// What one [`Shard::insert`] did, for the cache-wide counters.
+#[derive(Default)]
+struct Admission {
+    /// Entries dropped to make room.
+    evicted: u64,
+    /// Total weight of the dropped entries.
+    evicted_weight: u64,
+    /// Whether the entry was refused outright (heavier than the whole
+    /// shard budget).
+    rejected: bool,
 }
 
 /// One lock's worth of the cache.
 struct Shard {
     entries: HashMap<CacheKey, Entry>,
+    /// Sum of resident entry weights.
+    weight: usize,
     /// Monotone logical clock for LRU stamps.
     clock: u64,
 }
@@ -99,15 +130,22 @@ impl Shard {
         Some(entry.value.clone())
     }
 
-    fn insert(&mut self, key: CacheKey, value: CachedSynthesis, capacity: usize) -> bool {
+    fn insert(&mut self, key: CacheKey, value: CachedSynthesis, capacity: usize) -> Admission {
         self.clock += 1;
         let stamp = self.clock;
+        let mut admission = Admission::default();
         if let Some(entry) = self.entries.get_mut(&key) {
             entry.stamp = stamp;
-            return false;
+            return admission;
         }
-        let mut evicted = false;
-        while self.entries.len() >= capacity {
+        let weight = entry_weight(&value);
+        if weight > capacity {
+            // Heavier than the shard's whole budget: admitting it would
+            // flush the shard for one entry — refuse instead.
+            admission.rejected = true;
+            return admission;
+        }
+        while self.weight + weight > capacity {
             // O(len) scan per eviction; shards stay small (capacity /
             // shard count), so this beats carrying an intrusive list.
             let oldest = self
@@ -115,12 +153,22 @@ impl Shard {
                 .iter()
                 .min_by_key(|(_, e)| e.stamp)
                 .map(|(k, _)| k.clone())
-                .expect("non-empty shard over capacity");
-            self.entries.remove(&oldest);
-            evicted = true;
+                .expect("non-empty shard over weight budget");
+            let dropped = self.entries.remove(&oldest).expect("oldest key resident");
+            self.weight -= dropped.weight;
+            admission.evicted += 1;
+            admission.evicted_weight += dropped.weight as u64;
         }
-        self.entries.insert(key, Entry { value, stamp });
-        evicted
+        self.weight += weight;
+        self.entries.insert(
+            key,
+            Entry {
+                value,
+                weight,
+                stamp,
+            },
+        );
+        admission
     }
 }
 
@@ -135,9 +183,15 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries dropped to make room.
     pub evictions: u64,
+    /// Total weight of the dropped entries.
+    pub evicted_weight: u64,
+    /// Insertions refused because the entry outweighed a whole shard.
+    pub rejected: u64,
     /// Entries currently resident.
     pub len: usize,
-    /// Total configured capacity.
+    /// Total resident weight.
+    pub weight: usize,
+    /// Total configured weight budget.
     pub capacity: usize,
 }
 
@@ -161,17 +215,21 @@ impl CacheStats {
 /// leaving the engine's cache unset for that.
 pub struct ResultCache {
     shards: Vec<Mutex<Shard>>,
-    /// Per-shard capacities summing exactly to the configured total.
+    /// Per-shard weight budgets summing exactly to the configured total.
     shard_caps: Vec<usize>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    evicted_weight: AtomicU64,
+    rejected: AtomicU64,
 }
 
 impl ResultCache {
-    /// A cache holding at most `capacity` realizations across all shards.
+    /// A cache holding at most `capacity` *weight* across all shards,
+    /// where an entry weighs its realization's crosspoint count (≥ 1).
+    /// A small diode cover weighs ~10, a 2×2 optimal lattice 4.
     pub fn new(capacity: usize) -> Self {
         let n_shards = capacity.clamp(1, 8);
         let shard_caps: Vec<usize> = (0..n_shards)
@@ -182,6 +240,7 @@ impl ResultCache {
                 .map(|_| {
                     Mutex::new(Shard {
                         entries: HashMap::new(),
+                        weight: 0,
                         clock: 0,
                     })
                 })
@@ -192,6 +251,8 @@ impl ResultCache {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            evicted_weight: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
         }
     }
 
@@ -215,20 +276,27 @@ impl ResultCache {
         hit
     }
 
-    /// Inserts (or refreshes) a successful synthesis result.
+    /// Inserts (or refreshes) a successful synthesis result, evicting by
+    /// weight until it fits (and refusing entries heavier than a whole
+    /// shard's budget).
     pub fn insert(&self, key: CacheKey, value: CachedSynthesis) {
         let idx = self.shard_of(&key);
         if self.shard_caps[idx] == 0 {
             return;
         }
-        let evicted = self.shards[idx]
+        let admission = self.shards[idx]
             .lock()
             .expect("cache shard poisoned")
             .insert(key, value, self.shard_caps[idx]);
-        self.insertions.fetch_add(1, Ordering::Relaxed);
-        if evicted {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+        if admission.rejected {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
         }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.evictions
+            .fetch_add(admission.evicted, Ordering::Relaxed);
+        self.evicted_weight
+            .fetch_add(admission.evicted_weight, Ordering::Relaxed);
     }
 
     /// Entries currently resident across all shards.
@@ -236,6 +304,14 @@ impl ResultCache {
         self.shards
             .iter()
             .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+            .sum()
+    }
+
+    /// Resident weight across all shards.
+    pub fn weight(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").weight)
             .sum()
     }
 
@@ -251,7 +327,10 @@ impl ResultCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            evicted_weight: self.evicted_weight.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
             len: self.len(),
+            weight: self.weight(),
             capacity: self.capacity,
         }
     }
@@ -344,5 +423,46 @@ mod tests {
         cache.insert(key(1, "diode"), value());
         assert!(cache.is_empty());
         assert!(cache.get(&key(1, "diode")).is_none());
+    }
+
+    /// A value whose weight is the xnor dual-lattice area (4).
+    fn heavy_value() -> CachedSynthesis {
+        let f = nanoxbar_logic::parse_function("x0 x1 + !x0 !x1").unwrap();
+        CachedSynthesis {
+            realization: Arc::new(Realization::Lattice(
+                nanoxbar_lattice::synth::dual_based::synthesize(&f),
+            )),
+            cover: None,
+        }
+    }
+
+    #[test]
+    fn admission_is_weight_aware() {
+        assert_eq!(entry_weight(&value()), 1, "constant lattice weighs 1");
+        assert_eq!(entry_weight(&heavy_value()), 4, "2x2 lattice weighs 4");
+
+        // Weight-4 entries into a 64-weight cache (8 shards × 8 weight):
+        // residency is bounded by weight, not entry count, and the weight
+        // evicted is tracked.
+        let cache = ResultCache::new(64);
+        for bits in 0..64u64 {
+            cache.insert(key(bits, "heavy"), heavy_value());
+        }
+        let stats = cache.stats();
+        assert!(stats.weight <= 64, "weight {} over budget", stats.weight);
+        assert!(stats.len <= 16, "len {} over weight budget", stats.len);
+        assert_eq!(stats.evicted_weight, 4 * stats.evictions);
+        assert!(stats.evictions > 0);
+
+        // An entry heavier than a whole shard's budget is refused, and
+        // never flushes resident entries to make room.
+        let tiny = ResultCache::new(2);
+        tiny.insert(key(1, "small"), value());
+        let before = tiny.len();
+        tiny.insert(key(2, "big"), heavy_value());
+        let stats = tiny.stats();
+        assert_eq!(stats.rejected, 1, "{stats:?}");
+        assert_eq!(tiny.len(), before, "rejection must not evict");
+        assert!(tiny.get(&key(2, "big")).is_none());
     }
 }

@@ -14,7 +14,9 @@ use std::time::{Duration, Instant};
 
 use nanoxbar_crossbar::ArraySize;
 use nanoxbar_logic::Cover;
+use nanoxbar_reliability::bism::Application;
 use nanoxbar_reliability::defect::DefectMap;
+use nanoxbar_reliability::mapper::{MapReport, Mapper};
 
 use crate::backend::{BackendRegistry, MinimizeMode, Strategy, SynthesisBackend, SynthesisContext};
 use crate::cache::{CacheKey, CacheStats, CachedSynthesis, ResultCache};
@@ -23,17 +25,31 @@ use crate::flow::defect_unaware_flow_with_cover;
 use crate::job::{ChipSpec, Job, JobResult};
 use crate::tech::Realization;
 
-/// Per-job resource limits.
-#[derive(Clone, Copy, Debug, Default)]
+/// Per-job resource limits. Engine-wide via [`EngineBuilder`]; a job may
+/// override individual fields with [`Job::limited`] (each `Some` field of
+/// the override wins).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Limits {
-    /// Wall-clock ceiling per job. Checked between synthesis phases and
-    /// before every SAT call, so enforcement is coarse-grained; setting it
-    /// trades the engine's bit-determinism for bounded latency.
+    /// Wall-clock ceiling per job. Checked between synthesis phases,
+    /// before every SAT call, and between mapper stages, so enforcement
+    /// is coarse-grained; setting it trades the engine's bit-determinism
+    /// for bounded latency.
     pub time: Option<Duration>,
     /// Maximum crosspoint count a realisation may have.
     pub max_area: Option<usize>,
     /// Conflict budget per SAT call in SAT-based backends.
     pub sat_conflicts: Option<u64>,
+}
+
+impl Limits {
+    /// Field-wise merge: each `Some` of `self` beats `base`.
+    fn over(self, base: Limits) -> Limits {
+        Limits {
+            time: self.time.or(base.time),
+            max_area: self.max_area.or(base.max_area),
+            sat_conflicts: self.sat_conflicts.or(base.sat_conflicts),
+        }
+    }
 }
 
 /// The defect model behind [`Job::on_random_chip`]: rates for the two
@@ -153,10 +169,12 @@ impl EngineBuilder {
         self
     }
 
-    /// Enables the content-addressed [`ResultCache`] with room for
-    /// `capacity` realizations (0 = no cache, the default). Cached results
-    /// are bit-identical to re-synthesised ones; only successful syntheses
-    /// are stored.
+    /// Enables the content-addressed [`ResultCache`] with a weight budget
+    /// of `capacity` (0 = no cache, the default). Entries weigh their
+    /// realization's crosspoint count, so the budget is roughly "total
+    /// crosspoints resident". Cached results are bit-identical to
+    /// re-synthesised ones; only successful, chip-independent syntheses
+    /// are stored — per-chip flow and mapping outcomes never enter.
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
         self.cache = None;
@@ -257,9 +275,19 @@ impl Engine {
     /// [`Engine::run_batch`] for isolation.
     pub fn run(&self, job: &Job) -> Result<JobResult, Error> {
         let started = Instant::now();
-        let deadline = self.limits.time.map(|t| started + t);
-        let (strategy, realization, cover) = self.realize(job, deadline)?;
-        self.finish(job, strategy, realization, cover, started, deadline)
+        let limits = self.effective_limits(job);
+        let deadline = limits.time.map(|t| started + t);
+        let synthesized = self.realize(job, limits, deadline)?;
+        self.finish(job, limits, synthesized, started, deadline)
+    }
+
+    /// The limits governing one job: the engine's, with the job's
+    /// [`Job::limited`] overrides applied field-wise.
+    fn effective_limits(&self, job: &Job) -> Limits {
+        match job.limits {
+            None => self.limits,
+            Some(overrides) => overrides.over(self.limits),
+        }
     }
 
     /// The synthesis half of a job: resolves the backend and produces the
@@ -267,7 +295,12 @@ impl Engine {
     /// populating the cache) otherwise. Also hands back the SOP cover the
     /// backend built along the way (its context memo), so chip jobs do
     /// not repeat a full minimisation in [`Engine::finish`].
-    fn realize(&self, job: &Job, deadline: Option<Instant>) -> Result<Synthesized, Error> {
+    fn realize(
+        &self,
+        job: &Job,
+        limits: Limits,
+        deadline: Option<Instant>,
+    ) -> Result<Synthesized, Error> {
         let strategy_name = job.strategy.as_deref().unwrap_or(&self.default_strategy);
         let backend = self
             .registry
@@ -289,7 +322,7 @@ impl Engine {
 
         let ctx = SynthesisContext {
             minimize: self.minimize,
-            sat_budget: self.limits.sat_conflicts,
+            sat_budget: limits.sat_conflicts,
             deadline,
             ..SynthesisContext::default()
         };
@@ -299,7 +332,7 @@ impl Engine {
         let realization = Arc::new(
             backend
                 .synthesize(&job.function, &ctx)
-                .map_err(|e| self.classify_deadline(e))?,
+                .map_err(|e| classify_deadline(e, limits))?,
         );
         let cover =
             ctx.cover_memo.borrow().as_ref().and_then(|(table, cover)| {
@@ -317,19 +350,19 @@ impl Engine {
         Ok((strategy, realization, cover))
     }
 
-    /// The post-synthesis half of a job: area limit, verification, and the
-    /// defect-unaware flow for chip jobs (on the memoised `cover` when the
-    /// synthesis phase produced one).
+    /// The post-synthesis half of a job: area limit, verification, the
+    /// defect-unaware flow for chip jobs, and the BISM mapping for map
+    /// jobs (both on the memoised `cover` when the synthesis phase
+    /// produced one).
     fn finish(
         &self,
         job: &Job,
-        strategy: String,
-        realization: Arc<Realization>,
-        cover: Option<Arc<Cover>>,
+        limits: Limits,
+        (strategy, realization, cover): Synthesized,
         started: Instant,
         deadline: Option<Instant>,
     ) -> Result<JobResult, Error> {
-        if let Some(limit) = self.limits.max_area {
+        if let Some(limit) = limits.max_area {
             let area = realization.area();
             if area > limit {
                 return Err(Error::AreaLimit { area, limit });
@@ -345,28 +378,40 @@ impl Engine {
             None
         };
 
-        self.check_deadline(deadline)?;
+        check_deadline(deadline, limits)?;
+
+        // The placement cover, built at most once and shared by the flow
+        // and the mapper (`None` when neither fault-tolerance path runs).
+        let cover = (job.chip.is_some() || job.map_chip.is_some()).then(|| {
+            cover.unwrap_or_else(|| {
+                // A cover-free backend (the SAT search) or a legacy cache
+                // entry: build the placement cover now, in the engine's
+                // mode.
+                let ctx = SynthesisContext {
+                    minimize: self.minimize,
+                    ..SynthesisContext::default()
+                };
+                Arc::new(ctx.cover(&job.function))
+            })
+        });
 
         let flow = match &job.chip {
             None => None,
             Some(spec) => {
-                let chip = match spec {
-                    ChipSpec::Explicit(map) => map.clone(),
-                    ChipSpec::Random { size, seed } => self.fault_model.chip(*size, *seed),
-                };
-                let cover = cover.unwrap_or_else(|| {
-                    // A cover-free backend (the SAT search) or a legacy
-                    // cache entry: build the placement cover now, in the
-                    // engine's mode.
-                    let ctx = SynthesisContext {
-                        minimize: self.minimize,
-                        ..SynthesisContext::default()
-                    };
-                    Arc::new(ctx.cover(&job.function))
-                });
-                let report = defect_unaware_flow_with_cover(&cover, &chip)?;
-                self.check_deadline(deadline)?;
+                let chip = self.resolve_chip(spec);
+                let cover = cover.as_ref().expect("cover built for chip jobs");
+                let report = defect_unaware_flow_with_cover(cover, &chip)?;
+                check_deadline(deadline, limits)?;
                 Some(report)
+            }
+        };
+
+        let map = match &job.map_chip {
+            None => None,
+            Some(spec) => {
+                let chip = self.resolve_chip(spec);
+                let cover = cover.as_ref().expect("cover built for map jobs");
+                Some(self.run_mapper(job, cover, chip, deadline, limits)?)
             }
         };
 
@@ -376,8 +421,59 @@ impl Engine {
             realization,
             verified,
             flow,
+            map,
             elapsed: started.elapsed(),
         })
+    }
+
+    /// Materialises a job's chip spec through the engine's fault model.
+    fn resolve_chip(&self, spec: &ChipSpec) -> DefectMap {
+        match spec {
+            ChipSpec::Explicit(map) => map.clone(),
+            ChipSpec::Random { size, seed } => self.fault_model.chip(*size, *seed),
+        }
+    }
+
+    /// Runs the staged BISM mapper for one job, one stage per deadline
+    /// check — the state machine's seams are what let a time-limited
+    /// engine bound even a long mapping search.
+    ///
+    /// The mapping itself is **never cached**: the [`ResultCache`] is
+    /// keyed on (function, strategy, minimise mode) only, so it memoises
+    /// the chip-independent synthesis while every chip-specific mapping
+    /// runs fresh against its own defect map.
+    fn run_mapper(
+        &self,
+        job: &Job,
+        cover: &Cover,
+        chip: DefectMap,
+        deadline: Option<Instant>,
+        limits: Limits,
+    ) -> Result<MapReport, Error> {
+        if job.map_config.speculation == 0 {
+            return Err(Error::MapConfig {
+                message: "speculation width must be >= 1".into(),
+            });
+        }
+        if cover.is_zero_cover() || cover.has_universe_cube() {
+            return Err(Error::ConstantFunction {
+                num_vars: job.function.num_vars(),
+            });
+        }
+        let app = Application::from_cover(cover);
+        let size = chip.size();
+        if size.rows < app.product_count() || size.cols < app.used_cols() {
+            return Err(Error::MapFabric {
+                needed: (app.product_count(), app.used_cols()),
+                fabric: (size.rows, size.cols),
+            });
+        }
+        let mut mapper = Mapper::new(app, chip, job.map_config);
+        while !mapper.is_done() {
+            mapper.step();
+            check_deadline(deadline, limits)?;
+        }
+        Ok(mapper.report())
     }
 
     /// Runs a batch across the `nanoxbar-par` pool.
@@ -395,14 +491,19 @@ impl Engine {
     pub fn run_batch(&self, jobs: &[Job]) -> Vec<Result<JobResult, Error>> {
         // Group jobs by synthesis content. `assign[i]` is job i's group;
         // `reps[g]` is the index of the first job of group g, which does
-        // the synthesis for the whole group.
+        // the synthesis for the whole group. Per-job limit overrides are
+        // part of the key: two identical functions under different
+        // budgets may legitimately diverge (one times out, the other
+        // succeeds), so they must not share one synthesis outcome. Chips
+        // are deliberately *not* part of the key — synthesis is
+        // chip-independent, and the per-chip flow/mapping runs per slot.
         let mut assign: Vec<usize> = Vec::with_capacity(jobs.len());
         let mut reps: Vec<usize> = Vec::new();
-        let mut groups: HashMap<CacheKey, usize> = HashMap::new();
+        let mut groups: HashMap<(CacheKey, Option<Limits>), usize> = HashMap::new();
         for (i, job) in jobs.iter().enumerate() {
             let name = job.strategy.as_deref().unwrap_or(&self.default_strategy);
             let key = CacheKey::new(&job.function, name, self.minimize);
-            let group = *groups.entry(key).or_insert_with(|| {
+            let group = *groups.entry((key, job.limits)).or_insert_with(|| {
                 reps.push(i);
                 reps.len() - 1
             });
@@ -423,9 +524,10 @@ impl Engine {
                         // The job's clock (and deadline, if any) starts at
                         // task pickup and spans both phases, like `run`.
                         let started = Instant::now();
-                        let deadline = self.limits.time.map(|t| started + t);
+                        let limits = self.effective_limits(&jobs[rep]);
+                        let deadline = limits.time.map(|t| started + t);
                         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-                            self.realize(&jobs[rep], deadline)
+                            self.realize(&jobs[rep], limits, deadline)
                         }))
                         .unwrap_or_else(|payload| {
                             Err(Error::Panicked {
@@ -493,8 +595,15 @@ impl Engine {
         started: Instant,
     ) -> Result<JobResult, Error> {
         panic::catch_unwind(AssertUnwindSafe(|| {
-            let deadline = self.limits.time.map(|t| Instant::now() + t);
-            self.finish(job, strategy, realization, cover, started, deadline)
+            let limits = self.effective_limits(job);
+            let deadline = limits.time.map(|t| Instant::now() + t);
+            self.finish(
+                job,
+                limits,
+                (strategy, realization, cover),
+                started,
+                deadline,
+            )
         }))
         .unwrap_or_else(|payload| {
             Err(Error::Panicked {
@@ -502,26 +611,28 @@ impl Engine {
             })
         })
     }
+}
 
-    fn check_deadline(&self, deadline: Option<Instant>) -> Result<(), Error> {
-        match (deadline, self.limits.time) {
-            (Some(deadline), Some(limit)) if Instant::now() >= deadline => {
-                Err(Error::TimeLimit { limit })
-            }
-            _ => Ok(()),
+/// Errors out once the job's deadline (derived from `limits.time`) has
+/// passed.
+fn check_deadline(deadline: Option<Instant>, limits: Limits) -> Result<(), Error> {
+    match (deadline, limits.time) {
+        (Some(deadline), Some(limit)) if Instant::now() >= deadline => {
+            Err(Error::TimeLimit { limit })
         }
+        _ => Ok(()),
     }
+}
 
-    /// Rewrites a backend's deadline-exhaustion error into the engine's
-    /// [`Error::TimeLimit`] (the deadline is derived from `limits.time`).
-    fn classify_deadline(&self, e: Error) -> Error {
-        match (&e, self.limits.time) {
-            (
-                Error::Synth(nanoxbar_lattice::synth::SynthError::DeadlineExceeded { .. }),
-                Some(limit),
-            ) => Error::TimeLimit { limit },
-            _ => e,
-        }
+/// Rewrites a backend's deadline-exhaustion error into the engine's
+/// [`Error::TimeLimit`] (the deadline is derived from `limits.time`).
+fn classify_deadline(e: Error, limits: Limits) -> Error {
+    match (&e, limits.time) {
+        (
+            Error::Synth(nanoxbar_lattice::synth::SynthError::DeadlineExceeded { .. }),
+            Some(limit),
+        ) => Error::TimeLimit { limit },
+        _ => e,
     }
 }
 
@@ -693,6 +804,143 @@ mod tests {
             }
         );
         assert_eq!(results[3].as_ref().unwrap().strategy, "fet");
+    }
+
+    #[test]
+    fn map_jobs_produce_deterministic_map_reports() {
+        use nanoxbar_reliability::bism::BismStrategy;
+        use nanoxbar_reliability::mapper::MapConfig;
+
+        let engine = Engine::new();
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let job = Job::synthesize(f.clone())
+            .map_on_random_chip(ArraySize::new(16, 16), 11)
+            .with_map_config(MapConfig {
+                strategy: BismStrategy::Greedy,
+                speculation: 4,
+                max_attempts: 200,
+                seed: 3,
+            });
+        let a = engine.run(&job).unwrap();
+        let b = engine.run(&job).unwrap();
+        let map = a.map.clone().expect("map job carries a report");
+        assert!(map.stats.success, "a healthy-ish chip must map");
+        assert_eq!(
+            map.mapping.as_ref().unwrap().len(),
+            2,
+            "one row per product"
+        );
+        assert_eq!(a.map, b.map, "map reports are deterministic");
+        assert!(a.flow.is_none(), "mapping does not imply the flow");
+
+        // Batches agree with single runs.
+        let results = engine.run_batch(std::slice::from_ref(&job));
+        assert_eq!(results[0].as_ref().unwrap().map, a.map);
+    }
+
+    #[test]
+    fn map_jobs_reject_constants_and_small_fabrics() {
+        use nanoxbar_reliability::mapper::MapConfig;
+
+        let engine = Engine::new();
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap(); // 4 literal columns
+        let zero_width = engine
+            .run(
+                &Job::synthesize(f.clone())
+                    .map_on_chip(DefectMap::healthy(ArraySize::new(8, 8)))
+                    .with_map_config(MapConfig {
+                        speculation: 0,
+                        ..MapConfig::default()
+                    }),
+            )
+            .unwrap_err();
+        assert_eq!(
+            zero_width,
+            Error::MapConfig {
+                message: "speculation width must be >= 1".into()
+            }
+        );
+        let err = engine
+            .run(&Job::synthesize(f).map_on_chip(DefectMap::healthy(ArraySize::new(2, 2))))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            Error::MapFabric {
+                needed: (2, 4),
+                fabric: (2, 2)
+            }
+        );
+        let constant = engine
+            .run(
+                &Job::synthesize(nanoxbar_logic::TruthTable::ones(2))
+                    .with_strategy(Strategy::DualLattice)
+                    .map_on_chip(DefectMap::healthy(ArraySize::new(8, 8))),
+            )
+            .unwrap_err();
+        assert_eq!(constant, Error::ConstantFunction { num_vars: 2 });
+    }
+
+    #[test]
+    fn mappings_are_never_cached_but_their_synthesis_is() {
+        let engine = Engine::builder().cache_capacity(256).build().unwrap();
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let chip_a = Job::synthesize(f.clone()).map_on_random_chip(ArraySize::new(16, 16), 1);
+        let chip_b = Job::synthesize(f.clone()).map_on_random_chip(ArraySize::new(16, 16), 2);
+        let a = engine.run(&chip_a).unwrap();
+        let b = engine.run(&chip_b).unwrap();
+        let plain = engine.run(&Job::synthesize(f)).unwrap();
+        // One cache entry serves all three: the chip-independent synthesis.
+        let stats = engine.cache_stats().unwrap();
+        assert_eq!(stats.len, 1, "{stats:?}");
+        assert!(Arc::ptr_eq(&a.realization, &b.realization));
+        assert!(Arc::ptr_eq(&a.realization, &plain.realization));
+        // While the chip-specific mappings ran fresh per chip.
+        assert!(plain.map.is_none());
+        assert!(a.map.is_some() && b.map.is_some());
+    }
+
+    #[test]
+    fn per_job_limits_override_without_leaking_across_dedupe() {
+        let engine = Engine::new();
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let strict = Job::synthesize(f.clone()).limited(Limits {
+            time: Some(Duration::from_nanos(0)),
+            ..Limits::default()
+        });
+        let free = Job::synthesize(f);
+        // Identical functions, different budgets: the strict job times
+        // out, the unlimited one succeeds — they must not share a
+        // synthesis outcome.
+        let results = engine.run_batch(&[strict.clone(), free]);
+        assert_eq!(
+            results[0].as_ref().unwrap_err(),
+            &Error::TimeLimit {
+                limit: Duration::from_nanos(0)
+            }
+        );
+        assert!(results[1].is_ok(), "{:?}", results[1]);
+        // And `run` honours the override too.
+        assert!(engine.run(&strict).is_err());
+    }
+
+    #[test]
+    fn per_job_sat_budget_overrides_the_engine() {
+        let engine = Engine::builder()
+            .strategy(Strategy::OptimalLattice)
+            .build()
+            .unwrap();
+        let f = nanoxbar_logic::suite::majority(3);
+        let strict = Job::synthesize(f.clone()).limited(Limits {
+            sat_conflicts: Some(1),
+            ..Limits::default()
+        });
+        match engine.run(&strict) {
+            Err(Error::Synth(nanoxbar_lattice::synth::SynthError::SatBudgetExceeded {
+                ..
+            })) => {}
+            other => panic!("expected SatBudgetExceeded, got {other:?}"),
+        }
+        assert!(engine.run(&Job::synthesize(f)).is_ok());
     }
 
     #[test]

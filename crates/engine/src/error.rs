@@ -33,6 +33,18 @@ pub enum Error {
         /// The name that failed to resolve.
         name: String,
     },
+    /// A BISM mapping job carries an invalid [`crate::MapConfig`].
+    MapConfig {
+        /// What is wrong with it.
+        message: String,
+    },
+    /// A BISM mapping job targets a chip too small for the application.
+    MapFabric {
+        /// Rows × literal columns the application needs.
+        needed: (usize, usize),
+        /// Rows × columns the chip has.
+        fabric: (usize, usize),
+    },
     /// The realisation exceeded the engine's area limit.
     AreaLimit {
         /// Crosspoints of the realisation.
@@ -68,6 +80,12 @@ impl std::fmt::Display for Error {
                 write!(f, "constant {num_vars}-variable function needs no crossbar")
             }
             Error::UnknownStrategy { name } => write!(f, "unknown synthesis strategy {name:?}"),
+            Error::MapConfig { message } => write!(f, "bad map configuration: {message}"),
+            Error::MapFabric { needed, fabric } => write!(
+                f,
+                "application needs {}x{} but the chip is {}x{}",
+                needed.0, needed.1, fabric.0, fabric.1
+            ),
             Error::AreaLimit { area, limit } => {
                 write!(f, "realisation area {area} exceeds the limit {limit}")
             }
@@ -128,6 +146,13 @@ mod tests {
             Error::ConstantFunction { num_vars: 2 },
             Error::UnknownStrategy {
                 name: "quantum".into(),
+            },
+            Error::MapConfig {
+                message: "speculation width must be >= 1".into(),
+            },
+            Error::MapFabric {
+                needed: (3, 6),
+                fabric: (4, 4),
             },
             Error::AreaLimit { area: 30, limit: 9 },
             Error::TimeLimit {

@@ -12,8 +12,10 @@ use std::time::Duration;
 use nanoxbar_crossbar::ArraySize;
 use nanoxbar_logic::{parse_function, TruthTable};
 use nanoxbar_reliability::defect::DefectMap;
+use nanoxbar_reliability::mapper::{MapConfig, MapReport};
 
 use crate::backend::Strategy;
+use crate::engine::Limits;
 use crate::error::Error;
 use crate::flow::FlowReport;
 use crate::tech::Realization;
@@ -52,6 +54,12 @@ pub struct Job {
     /// `None` selects the engine's default strategy.
     pub(crate) strategy: Option<String>,
     pub(crate) chip: Option<ChipSpec>,
+    /// The chip a BISM mapping runs against, if any.
+    pub(crate) map_chip: Option<ChipSpec>,
+    /// BISM strategy/speculation/budget/seed for mapping jobs.
+    pub(crate) map_config: MapConfig,
+    /// Per-job limit overrides (each `Some` field beats the engine's).
+    pub(crate) limits: Option<Limits>,
     pub(crate) verify: bool,
     pub(crate) label: Option<String>,
 }
@@ -63,6 +71,9 @@ impl Job {
             function,
             strategy: None,
             chip: None,
+            map_chip: None,
+            map_config: MapConfig::default(),
+            limits: None,
             verify: false,
             label: None,
         }
@@ -101,6 +112,39 @@ impl Job {
     /// model (deterministic in `(size, seed)`).
     pub fn on_random_chip(mut self, size: ArraySize, seed: u64) -> Self {
         self.chip = Some(ChipSpec::Random { size, seed });
+        self
+    }
+
+    /// Additionally self-maps the synthesised SOP onto a defective chip
+    /// with built-in self-mapping (paper Sec. IV-B): the staged
+    /// speculative-parallel `Mapper`, configured by
+    /// [`Job::with_map_config`] (hybrid strategy, speculation width 4 by
+    /// default). The outcome lands in [`JobResult::map`]; an exhausted
+    /// search is a report with `success == false`, not an error.
+    pub fn map_on_chip(mut self, chip: DefectMap) -> Self {
+        self.map_chip = Some(ChipSpec::Explicit(chip));
+        self
+    }
+
+    /// Like [`Job::map_on_chip`], with the chip drawn from the engine's
+    /// fault model (deterministic in `(size, seed)`).
+    pub fn map_on_random_chip(mut self, size: ArraySize, seed: u64) -> Self {
+        self.map_chip = Some(ChipSpec::Random { size, seed });
+        self
+    }
+
+    /// Sets the BISM strategy, speculation width, retry budget, and
+    /// placement seed for [`Job::map_on_chip`] jobs.
+    pub fn with_map_config(mut self, config: MapConfig) -> Self {
+        self.map_config = config;
+        self
+    }
+
+    /// Overrides the engine's per-job limits for this job only; each
+    /// `Some` field takes precedence over the engine's. Lets a service
+    /// bound one request's time/SAT budget without rebuilding engines.
+    pub fn limited(mut self, limits: Limits) -> Self {
+        self.limits = Some(limits);
         self
     }
 
@@ -145,6 +189,10 @@ pub struct JobResult {
     pub verified: Option<bool>,
     /// The defect-unaware flow outcome, for jobs with a chip.
     pub flow: Option<FlowReport>,
+    /// The BISM mapping outcome, for [`Job::map_on_chip`] jobs. An
+    /// unsuccessful search is `Some(report)` with `success == false` —
+    /// the pipeline worked, the chip was just too defective.
+    pub map: Option<MapReport>,
     /// Wall-clock time the job took (excluded from determinism checks).
     pub elapsed: Duration,
 }
@@ -168,15 +216,31 @@ mod tests {
 
     #[test]
     fn builder_chain_sets_every_field() {
+        let map_config = MapConfig {
+            speculation: 8,
+            ..MapConfig::default()
+        };
         let job = Job::parse("x0 x1")
             .unwrap()
             .with_strategy(Strategy::Fet)
             .on_random_chip(ArraySize::new(8, 8), 7)
+            .map_on_random_chip(ArraySize::new(16, 16), 9)
+            .with_map_config(map_config)
+            .limited(Limits {
+                max_area: Some(64),
+                ..Limits::default()
+            })
             .verified(true)
             .labeled("and2");
         assert_eq!(job.strategy(), Some("fet"));
         assert!(job.verify);
         assert_eq!(job.label.as_deref(), Some("and2"));
         assert!(matches!(job.chip, Some(ChipSpec::Random { seed: 7, .. })));
+        assert!(matches!(
+            job.map_chip,
+            Some(ChipSpec::Random { seed: 9, .. })
+        ));
+        assert_eq!(job.map_config, map_config);
+        assert_eq!(job.limits.unwrap().max_area, Some(64));
     }
 }

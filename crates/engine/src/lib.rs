@@ -13,7 +13,10 @@
 //! * [`Job`] / [`JobResult`] — typed requests and outcomes;
 //!   [`Engine::run_batch`] fans jobs out across the `nanoxbar-par`
 //!   work-stealing pool with deterministic, input-ordered results and
-//!   per-job error isolation;
+//!   per-job error isolation; jobs can additionally run the
+//!   fault-tolerance pipeline — the defect-unaware flow ([`Job::on_chip`])
+//!   or speculative-parallel built-in self-mapping
+//!   ([`Job::map_on_chip`], reported as a [`MapReport`]);
 //! * [`Error`] — a single error hierarchy wrapping flow, logic, and
 //!   synthesis failures (SAT budgets, fabric exhaustion), replacing
 //!   library panics on the request path;
@@ -60,6 +63,11 @@ pub use error::Error;
 pub use flow::{FlowError, FlowReport};
 pub use job::{ChipSpec, Job, JobResult};
 pub use tech::{Realization, Technology};
+
+// The fault-tolerance vocabulary of mapping jobs ([`Job::map_on_chip`]),
+// re-exported so engine consumers need no direct reliability dependency.
+pub use nanoxbar_reliability::bism::{BismStats, BismStrategy};
+pub use nanoxbar_reliability::mapper::{MapConfig, MapReport};
 
 use std::sync::OnceLock;
 

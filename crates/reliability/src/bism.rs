@@ -17,13 +17,8 @@
 
 use std::collections::HashSet;
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
 use nanoxbar_crossbar::{ArraySize, Crossbar};
 use nanoxbar_logic::Cover;
-use nanoxbar_par as par;
 
 use crate::defect::{CrosspointHealth, DefectMap};
 use crate::fsim::{simulate_with_defects, PackedDefectSim, PackedSim, PackedVectors};
@@ -121,7 +116,7 @@ pub struct BismStats {
 }
 
 /// Strategy selector (paper Sec. IV-B).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BismStrategy {
     /// Random configurations, BIST only.
     Blind,
@@ -134,8 +129,41 @@ pub enum BismStrategy {
     },
 }
 
+impl std::fmt::Display for BismStrategy {
+    /// Renders the CLI/wire spelling: `blind`, `greedy`, `hybrid:N`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BismStrategy::Blind => write!(f, "blind"),
+            BismStrategy::Greedy => write!(f, "greedy"),
+            BismStrategy::Hybrid { blind_retries } => write!(f, "hybrid:{blind_retries}"),
+        }
+    }
+}
+
+impl std::str::FromStr for BismStrategy {
+    type Err = String;
+
+    /// Parses `blind`, `greedy`, `hybrid` (5 blind retries) or `hybrid:N`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "blind" => Ok(BismStrategy::Blind),
+            "greedy" => Ok(BismStrategy::Greedy),
+            "hybrid" => Ok(BismStrategy::Hybrid { blind_retries: 5 }),
+            other => match other.strip_prefix("hybrid:") {
+                Some(n) => n
+                    .parse()
+                    .map(|blind_retries| BismStrategy::Hybrid { blind_retries })
+                    .map_err(|_| format!("bad hybrid retry count {n:?}")),
+                None => Err(format!(
+                    "unknown BISM strategy {other:?} (blind, greedy, hybrid[:N])"
+                )),
+            },
+        }
+    }
+}
+
 /// Builds the crossbar programming for a mapping.
-fn program(app: &Application, mapping: &Mapping, size: ArraySize) -> Crossbar {
+pub(crate) fn program(app: &Application, mapping: &Mapping, size: ArraySize) -> Crossbar {
     let mut config = Crossbar::new(size);
     for (p, &row) in mapping.iter().enumerate() {
         for &l in &app.products[p] {
@@ -147,7 +175,7 @@ fn program(app: &Application, mapping: &Mapping, size: ArraySize) -> Crossbar {
 
 /// The BIST stimuli: all-ones plus a walking zero on every *driven*
 /// physical column.
-fn stimuli(app: &Application, cols: usize) -> Vec<Vec<bool>> {
+pub(crate) fn stimuli(app: &Application, cols: usize) -> Vec<Vec<bool>> {
     let mut vectors = vec![vec![true; cols]];
     for &pc in &app.columns {
         let mut v = vec![true; cols];
@@ -163,7 +191,7 @@ fn stimuli(app: &Application, cols: usize) -> Vec<Vec<bool>> {
 /// behaves exactly as programmed) and the defective words from
 /// [`PackedDefectSim`] — whole-test-set word compares instead of the
 /// per-vector loops of [`application_bist_scalar`].
-fn bist_passes(
+pub(crate) fn bist_passes(
     config: &Crossbar,
     mapping: &Mapping,
     defects: &DefectMap,
@@ -205,7 +233,7 @@ pub fn application_bist_scalar(app: &Application, mapping: &Mapping, defects: &D
 
 /// The walking-zero stimuli of [`application_bisd`], packed: stimulus `k`
 /// drives physical column `app.columns[k]` low.
-fn walking_packed(app: &Application, cols: usize) -> Vec<PackedVectors> {
+pub(crate) fn walking_packed(app: &Application, cols: usize) -> Vec<PackedVectors> {
     let walking: Vec<Vec<bool>> = app
         .columns
         .iter()
@@ -220,7 +248,7 @@ fn walking_packed(app: &Application, cols: usize) -> Vec<PackedVectors> {
 
 /// Packed BISD sweep over an already-programmed configuration; see
 /// [`application_bisd`].
-fn bisd_find(
+pub(crate) fn bisd_find(
     app: &Application,
     mapping: &Mapping,
     defects: &DefectMap,
@@ -313,7 +341,7 @@ pub fn application_bisd_scalar(
 }
 
 /// A product can use a row iff no *known* defect conflicts with it.
-fn row_compatible(
+pub(crate) fn row_compatible(
     app: &Application,
     product: usize,
     row: usize,
@@ -334,6 +362,11 @@ fn row_compatible(
 }
 
 /// Runs one BISM session on a chip.
+///
+/// Since the staged [`crate::mapper::Mapper`] became the mapping engine,
+/// this is a thin wrapper over a speculation-width-1 mapper — one
+/// candidate per round, which is exactly the paper's serial algorithm
+/// (and the reference the speculative widths are proved against).
 ///
 /// # Panics
 ///
@@ -362,114 +395,15 @@ pub fn run_bism(
     max_attempts: u64,
     seed: u64,
 ) -> BismStats {
-    let size = defects.size();
-    assert!(size.rows >= app.product_count(), "not enough fabric rows");
-    assert!(
-        app.columns.iter().all(|&c| c < size.cols),
-        "application columns exceed fabric"
-    );
-
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut stats = BismStats::default();
-    let mut known_bad: HashSet<(usize, usize, CrosspointHealth)> = HashSet::new();
-
-    // The stimuli depend only on the application and fabric width: pack
-    // them once and reuse across every attempt.
-    let packed = PackedVectors::pack(&stimuli(app, size.cols), size.cols);
-    let walking = walking_packed(app, size.cols);
-
-    while stats.attempts < max_attempts {
-        let greedy_next = match strategy {
-            BismStrategy::Blind => false,
-            BismStrategy::Greedy => true,
-            BismStrategy::Hybrid { blind_retries } => stats.attempts + 1 > blind_retries,
-        };
-
-        if !greedy_next {
-            // Blind phase: candidate mappings are independent, so draw a
-            // batch (the serial shuffle sequence, just taken ahead) and
-            // judge them concurrently on the pool. Counters advance as if
-            // the candidates had been tried one by one — the first passing
-            // candidate ends the run with exactly the serial stats.
-            let blind_left = match strategy {
-                BismStrategy::Blind => max_attempts - stats.attempts,
-                BismStrategy::Hybrid { blind_retries } => {
-                    (blind_retries - stats.attempts).min(max_attempts - stats.attempts)
-                }
-                BismStrategy::Greedy => unreachable!("greedy is never in the blind phase"),
-            };
-            let batch = (par::threads() as u64).min(blind_left).max(1) as usize;
-            let candidates: Vec<Mapping> = (0..batch)
-                .map(|_| {
-                    let mut rows: Vec<usize> = (0..size.rows).collect();
-                    rows.shuffle(&mut rng);
-                    rows[..app.product_count()].to_vec()
-                })
-                .collect();
-            let mut passed = vec![false; batch];
-            par::par_chunks_mut(&mut passed, 1, |i, slot| {
-                let config = program(app, &candidates[i], size);
-                slot[0] = bist_passes(&config, &candidates[i], defects, &packed);
-            });
-            match passed.iter().position(|&ok| ok) {
-                Some(i) => {
-                    stats.attempts += i as u64 + 1;
-                    stats.bist_runs += i as u64 + 1;
-                    stats.success = true;
-                    return stats;
-                }
-                None => {
-                    stats.attempts += batch as u64;
-                    stats.bist_runs += batch as u64;
-                }
-            }
-            continue;
-        }
-
-        // Greedy phase: each attempt feeds the next through the diagnosed
-        // defect set, so attempts stay sequential (the packed engines make
-        // each one a handful of word operations).
-        stats.attempts += 1;
-        // Deterministic-greedy placement avoiding known-bad resources,
-        // with a randomised row order to escape adversarial layouts.
-        let mut rows: Vec<usize> = (0..size.rows).collect();
-        rows.shuffle(&mut rng);
-        let mut taken: HashSet<usize> = HashSet::new();
-        let mut mapping = Vec::with_capacity(app.product_count());
-        let mut ok = true;
-        for p in 0..app.product_count() {
-            match rows
-                .iter()
-                .find(|&&r| !taken.contains(&r) && row_compatible(app, p, r, &known_bad))
-            {
-                Some(&r) => {
-                    taken.insert(r);
-                    mapping.push(r);
-                }
-                None => {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-        if !ok {
-            // Knowledge says no compatible placement exists.
-            stats.success = false;
-            return stats;
-        }
-
-        let config = program(app, &mapping, size);
-        stats.bist_runs += 1;
-        if bist_passes(&config, &mapping, defects, &packed) {
-            stats.success = true;
-            return stats;
-        }
-        stats.bisd_runs += 1;
-        for bad in bisd_find(app, &mapping, defects, &config, &walking) {
-            known_bad.insert(bad);
-        }
-    }
-    stats
+    let config = crate::mapper::MapConfig {
+        strategy,
+        speculation: 1,
+        max_attempts,
+        seed,
+    };
+    crate::mapper::Mapper::new(app.clone(), defects.clone(), config)
+        .run()
+        .stats
 }
 
 #[cfg(test)]

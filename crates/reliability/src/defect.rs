@@ -14,7 +14,10 @@ use rand_chacha::ChaCha8Rng;
 use nanoxbar_crossbar::ArraySize;
 
 /// Health state of one crosspoint.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+///
+/// Ordered (`Good < StuckOpen < StuckClosed`) so defect lists can be
+/// sorted into a canonical, thread-count-independent order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub enum CrosspointHealth {
     /// Fully functional.
     #[default]

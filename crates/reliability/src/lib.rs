@@ -13,6 +13,8 @@
 //! * [`bisd`] — block-code self-diagnosis with a logarithmic number of
 //!   configurations;
 //! * [`bism`] — blind / greedy / hybrid built-in self-mapping;
+//! * [`mapper`] — the staged, resumable BISM state machine with
+//!   speculative-parallel greedy search (the engine's mapping backend);
 //! * [`unaware`] — the defect-unaware flow of Fig. 6(b): one-time `k×k`
 //!   defect-free sub-crossbar extraction with `O(N)` map storage;
 //! * [`matching`] — Hopcroft–Karp matching (the defect-aware baseline);
@@ -43,6 +45,7 @@ pub mod bist;
 pub mod defect;
 pub mod fault;
 pub mod fsim;
+pub mod mapper;
 pub mod matching;
 pub mod transient;
 pub mod unaware;

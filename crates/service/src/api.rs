@@ -7,10 +7,14 @@
 //! runs of the same job (cached or not, any thread count) produce
 //! byte-identical bodies. Latency lives in `/metrics`, not in bodies.
 
+use std::time::Duration;
+
 use nanoxbar_crossbar::ArraySize;
-use nanoxbar_engine::{Error, Job, JobResult, MinimizeMode, Realization};
+use nanoxbar_engine::{
+    BismStrategy, Error, Job, JobResult, Limits, MapConfig, MapReport, MinimizeMode, Realization,
+};
 use nanoxbar_logic::pla::parse_pla;
-use nanoxbar_reliability::defect::DefectMap;
+use nanoxbar_reliability::defect::{CrosspointHealth, DefectMap};
 
 use crate::wire::{object, Json};
 
@@ -30,8 +34,12 @@ pub struct JobSpec {
     pub verify: bool,
     /// Caller label echoed in the result.
     pub label: Option<String>,
-    /// Map the result onto a simulated defective chip.
+    /// The simulated defective chip the fault-tolerance path targets.
+    /// Alone it selects the defect-unaware flow; with [`JobSpec::map`]
+    /// it becomes the BISM mapping target instead.
     pub chip: Option<ChipRequest>,
+    /// Run built-in self-mapping on the chip (requires `chip`).
+    pub map: Option<MapRequest>,
 }
 
 /// The optional chip of a [`JobSpec`].
@@ -46,6 +54,113 @@ pub struct ChipRequest {
     /// Total defect rate (split 70/30 stuck-open/stuck-closed like the
     /// experiment binaries); `None` = the engine's fault model.
     pub defect_rate: Option<f64>,
+}
+
+/// The BISM options of a `/v1/map` request (or a map slot in a batch).
+/// Every field is optional; [`MapRequest::default`] is the engine's
+/// default [`MapConfig`] (hybrid:5, speculation 4, 400 attempts, seed 0).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MapRequest {
+    /// `"blind"`, `"greedy"`, or `"hybrid"`; `None` = hybrid.
+    pub strategy: Option<String>,
+    /// Blind retries before hybrid switches to greedy (hybrid only).
+    pub blind_retries: Option<u64>,
+    /// Speculation width K, in `1..=64`.
+    pub speculation: Option<u64>,
+    /// Candidate budget, in `1..=1_000_000`.
+    pub max_attempts: Option<u64>,
+    /// Placement RNG seed.
+    pub seed: u64,
+}
+
+impl MapRequest {
+    fn from_json(v: &Json) -> Result<MapRequest, String> {
+        let Json::Object(members) = v else {
+            return Err("\"map\" must be a JSON object".into());
+        };
+        let mut request = MapRequest::default();
+        for (key, value) in members {
+            match key.as_str() {
+                "strategy" => request.strategy = Some(string_field(value, "strategy")?),
+                "blind_retries" => {
+                    request.blind_retries = Some(value.as_u64().ok_or_else(|| {
+                        "\"blind_retries\" must be a non-negative integer".to_string()
+                    })?)
+                }
+                "speculation" => {
+                    request.speculation = Some(budget_field(value, "speculation", 1, 64)?)
+                }
+                "max_attempts" => {
+                    request.max_attempts = Some(budget_field(value, "max_attempts", 1, 1_000_000)?)
+                }
+                "seed" => {
+                    request.seed = value
+                        .as_u64()
+                        .ok_or_else(|| "\"seed\" must be a non-negative integer".to_string())?
+                }
+                other => return Err(format!("unknown map field {other:?}")),
+            }
+        }
+        // Validate the strategy spelling eagerly so a bad spec 400s
+        // instead of poisoning its slot later.
+        request.config()?;
+        Ok(request)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut members: Vec<(String, Json)> = Vec::new();
+        if let Some(strategy) = &self.strategy {
+            members.push(("strategy".into(), Json::Str(strategy.clone())));
+        }
+        if let Some(retries) = self.blind_retries {
+            members.push(("blind_retries".into(), Json::from(retries)));
+        }
+        if let Some(speculation) = self.speculation {
+            members.push(("speculation".into(), Json::from(speculation)));
+        }
+        if let Some(attempts) = self.max_attempts {
+            members.push(("max_attempts".into(), Json::from(attempts)));
+        }
+        if self.seed != 0 {
+            members.push(("seed".into(), Json::from(self.seed)));
+        }
+        Json::Object(members)
+    }
+
+    /// Lowers the request to the engine's [`MapConfig`].
+    ///
+    /// # Errors
+    ///
+    /// A message for unknown strategies or `blind_retries` on a
+    /// non-hybrid strategy.
+    pub fn config(&self) -> Result<MapConfig, String> {
+        let defaults = MapConfig::default();
+        let strategy = match self.strategy.as_deref() {
+            None | Some("hybrid") => BismStrategy::Hybrid {
+                blind_retries: self.blind_retries.unwrap_or(5),
+            },
+            Some(other) => {
+                if self.blind_retries.is_some() {
+                    return Err("\"blind_retries\" only applies to \"hybrid\"".into());
+                }
+                match other {
+                    "blind" => BismStrategy::Blind,
+                    "greedy" => BismStrategy::Greedy,
+                    _ => {
+                        return Err(format!(
+                            "unknown map strategy {other:?} (blind, greedy, hybrid)"
+                        ))
+                    }
+                }
+            }
+        };
+        Ok(MapConfig {
+            strategy,
+            speculation: self.speculation.unwrap_or(defaults.speculation as u64) as usize,
+            max_attempts: self.max_attempts.unwrap_or(defaults.max_attempts),
+            seed: self.seed,
+        })
+    }
 }
 
 impl JobSpec {
@@ -88,8 +203,12 @@ impl JobSpec {
                         .ok_or_else(|| "\"verify\" must be a boolean".to_string())?
                 }
                 "chip" => spec.chip = Some(ChipRequest::from_json(value)?),
+                "map" => spec.map = Some(MapRequest::from_json(value)?),
                 other => return Err(format!("unknown job field {other:?}")),
             }
+        }
+        if spec.map.is_some() && spec.chip.is_none() {
+            return Err("\"map\" needs a \"chip\" to map onto".into());
         }
         match (&spec.expr, &spec.pla) {
             (None, None) => Err("job needs an \"expr\" or a \"pla\"".into()),
@@ -118,6 +237,9 @@ impl JobSpec {
         }
         if let Some(chip) = &self.chip {
             members.push(("chip".into(), chip.to_json()));
+        }
+        if let Some(map) = &self.map {
+            members.push(("map".into(), map.to_json()));
         }
         Json::Object(members)
     }
@@ -152,17 +274,36 @@ impl JobSpec {
         job = job.verified(self.verify);
         if let Some(chip) = &self.chip {
             let size = ArraySize::new(chip.rows, chip.cols);
-            job = match chip.defect_rate {
-                // An explicit rate pins the whole defect draw in the
-                // request; otherwise the engine's fault model decides.
-                Some(rate) => job.on_chip(DefectMap::random_uniform(
-                    size,
-                    rate * 0.7,
-                    rate * 0.3,
-                    chip.seed,
-                )),
-                None => job.on_random_chip(size, chip.seed),
-            };
+            match &self.map {
+                // A map request redirects the chip to BISM self-mapping;
+                // the defect-unaware flow is the chip-only default.
+                Some(map) => {
+                    job = job.with_map_config(map.config()?);
+                    job = match chip.defect_rate {
+                        Some(rate) => job.map_on_chip(DefectMap::random_uniform(
+                            size,
+                            rate * 0.7,
+                            rate * 0.3,
+                            chip.seed,
+                        )),
+                        None => job.map_on_random_chip(size, chip.seed),
+                    };
+                }
+                None => {
+                    job = match chip.defect_rate {
+                        // An explicit rate pins the whole defect draw in
+                        // the request; otherwise the engine's fault model
+                        // decides.
+                        Some(rate) => job.on_chip(DefectMap::random_uniform(
+                            size,
+                            rate * 0.7,
+                            rate * 0.3,
+                            chip.seed,
+                        )),
+                        None => job.on_random_chip(size, chip.seed),
+                    };
+                }
+            }
         }
         Ok(job)
     }
@@ -235,6 +376,57 @@ fn dimension_field(v: &Json, name: &str) -> Result<usize, String> {
     Ok(value as usize)
 }
 
+/// A bounded integer budget field; out-of-range values are rejected so a
+/// request cannot hold a pool worker indefinitely (or starve itself).
+fn budget_field(v: &Json, name: &str, min: u64, max: u64) -> Result<u64, String> {
+    let value = v
+        .as_u64()
+        .ok_or_else(|| format!("{name:?} must be a positive integer"))?;
+    if !(min..=max).contains(&value) {
+        return Err(format!("{name:?} must be in {min}..={max}"));
+    }
+    Ok(value)
+}
+
+/// Largest accepted per-request time budget (one minute).
+const MAX_TIME_MS: u64 = 60_000;
+/// Largest accepted per-request SAT conflict budget.
+const MAX_SAT_CONFLICTS: u64 = 1_000_000_000;
+
+/// Parses the optional top-level `"limits"` request object into per-job
+/// engine [`Limits`]: `{"time_ms": 1..=60000, "sat_conflicts":
+/// 1..=10^9}`. Out-of-range budgets are rejected — the hardening contract
+/// is that no accepted request can hold a pool worker indefinitely.
+///
+/// # Errors
+///
+/// A message naming the offending field and its accepted range.
+pub fn parse_limits(v: Option<&Json>) -> Result<Option<Limits>, String> {
+    let Some(v) = v else { return Ok(None) };
+    let Json::Object(members) = v else {
+        return Err("\"limits\" must be a JSON object".into());
+    };
+    let mut limits = Limits::default();
+    for (key, value) in members {
+        match key.as_str() {
+            "time_ms" => {
+                limits.time = Some(Duration::from_millis(budget_field(
+                    value,
+                    "time_ms",
+                    1,
+                    MAX_TIME_MS,
+                )?))
+            }
+            "sat_conflicts" => {
+                limits.sat_conflicts =
+                    Some(budget_field(value, "sat_conflicts", 1, MAX_SAT_CONFLICTS)?)
+            }
+            other => return Err(format!("unknown limits field {other:?}")),
+        }
+    }
+    Ok(Some(limits))
+}
+
 /// A short machine-matchable tag for each error variant.
 pub fn error_kind(e: &Error) -> &'static str {
     match e {
@@ -243,6 +435,8 @@ pub fn error_kind(e: &Error) -> &'static str {
         Error::Synth(_) => "synthesis",
         Error::ConstantFunction { .. } => "constant-function",
         Error::UnknownStrategy { .. } => "unknown-strategy",
+        Error::MapConfig { .. } => "map-config",
+        Error::MapFabric { .. } => "map-fabric",
         Error::AreaLimit { .. } => "area-limit",
         Error::TimeLimit { .. } => "time-limit",
         Error::Verification { .. } => "verification",
@@ -305,10 +499,52 @@ pub fn result_to_json(slot: &Result<JobResult, Error>) -> Json {
                     ]),
                 ));
             }
+            if let Some(map) = &result.map {
+                members.push(("map".into(), map_to_json(map)));
+            }
             Json::Object(members)
         }
         Err(e) => bad_slot(error_kind(e), &e.to_string()),
     }
+}
+
+/// Renders a [`MapReport`] as its deterministic wire object: counters,
+/// the committed placement (success only), and the sorted defect
+/// knowledge base as `[row, col, "stuck-open"|"stuck-closed"]` triples.
+/// No clocks — identical requests give byte-identical map objects.
+pub fn map_to_json(map: &MapReport) -> Json {
+    let mut members: Vec<(String, Json)> = vec![
+        ("success".into(), Json::Bool(map.stats.success)),
+        ("strategy".into(), Json::Str(map.strategy.to_string())),
+        ("speculation".into(), Json::from(map.speculation)),
+        ("rounds".into(), Json::from(map.rounds)),
+        ("attempts".into(), Json::from(map.stats.attempts)),
+        ("bist_runs".into(), Json::from(map.stats.bist_runs)),
+        ("bisd_runs".into(), Json::from(map.stats.bisd_runs)),
+    ];
+    if let Some(mapping) = &map.mapping {
+        members.push((
+            "mapping".into(),
+            Json::Array(mapping.iter().map(|&r| Json::from(r)).collect()),
+        ));
+    }
+    members.push((
+        "known_bad".into(),
+        Json::Array(
+            map.known_bad
+                .iter()
+                .map(|&(r, c, health)| {
+                    let kind = match health {
+                        CrosspointHealth::StuckOpen => "stuck-open",
+                        CrosspointHealth::StuckClosed => "stuck-closed",
+                        CrosspointHealth::Good => "good",
+                    };
+                    Json::Array(vec![Json::from(r), Json::from(c), Json::Str(kind.into())])
+                })
+                .collect(),
+        ),
+    ));
+    Json::Object(members)
 }
 
 /// The wire object of a failed slot (engine errors and spec errors share
@@ -354,6 +590,13 @@ mod tests {
                 seed: 5,
                 defect_rate: Some(0.05),
             }),
+            map: Some(MapRequest {
+                strategy: Some("greedy".into()),
+                blind_retries: None,
+                speculation: Some(8),
+                max_attempts: Some(250),
+                seed: 7,
+            }),
         };
         let back = JobSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
@@ -374,6 +617,26 @@ mod tests {
             (
                 "{\"expr\":\"x0\",\"chip\":{\"rows\":4,\"cols\":4,\"defect_rate\":7.0}}",
                 "[0, 1]",
+            ),
+            ("{\"expr\":\"x0\",\"map\":{}}", "needs a \"chip\""),
+            (
+                "{\"expr\":\"x0\",\"chip\":{\"rows\":4,\"cols\":4},\"map\":{\"speculation\":0}}",
+                "1..=64",
+            ),
+            (
+                "{\"expr\":\"x0\",\"chip\":{\"rows\":4,\"cols\":4},\
+                 \"map\":{\"max_attempts\":9999999}}",
+                "1..=1000000",
+            ),
+            (
+                "{\"expr\":\"x0\",\"chip\":{\"rows\":4,\"cols\":4},\
+                 \"map\":{\"strategy\":\"psychic\"}}",
+                "unknown map strategy",
+            ),
+            (
+                "{\"expr\":\"x0\",\"chip\":{\"rows\":4,\"cols\":4},\
+                 \"map\":{\"strategy\":\"blind\",\"blind_retries\":3}}",
+                "only applies",
             ),
         ] {
             let err = JobSpec::from_json(&Json::parse(body).unwrap()).unwrap_err();
@@ -424,6 +687,57 @@ mod tests {
         let err = result_to_json(&Err(Error::ConstantFunction { num_vars: 2 }));
         assert_eq!(err.get("ok"), Some(&Json::Bool(false)));
         assert_eq!(err.get("kind").unwrap().as_str(), Some("constant-function"));
+    }
+
+    #[test]
+    fn map_specs_lower_to_map_jobs_and_render() {
+        let engine = Engine::new();
+        let json = Json::parse(
+            "{\"expr\":\"x0 x1 + !x0 !x1\",\
+             \"chip\":{\"rows\":16,\"cols\":16,\"seed\":3,\"defect_rate\":0.05},\
+             \"map\":{\"strategy\":\"greedy\",\"speculation\":4,\"seed\":9}}",
+        )
+        .unwrap();
+        let spec = JobSpec::from_json(&json).unwrap();
+        let result = engine.run(&spec.to_job().unwrap()).unwrap();
+        let report = result.map.as_ref().expect("map slot carries a report");
+        assert!(report.stats.success);
+        assert!(result.flow.is_none(), "map replaces the flow");
+
+        let rendered = result_to_json(&Ok(result));
+        let map = rendered.get("map").expect("rendered map object");
+        assert_eq!(map.get("success"), Some(&Json::Bool(true)));
+        assert_eq!(map.get("strategy").unwrap().as_str(), Some("greedy"));
+        assert_eq!(map.get("speculation").unwrap().as_u64(), Some(4));
+        assert_eq!(
+            map.get("mapping").unwrap().as_array().unwrap().len(),
+            2,
+            "one row per product"
+        );
+        assert!(map.get("known_bad").unwrap().as_array().is_some());
+    }
+
+    #[test]
+    fn limits_parsing_rejects_out_of_range_budgets() {
+        assert_eq!(parse_limits(None).unwrap(), None);
+        let limits = parse_limits(Some(
+            &Json::parse("{\"time_ms\":250,\"sat_conflicts\":1000}").unwrap(),
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(limits.time, Some(Duration::from_millis(250)));
+        assert_eq!(limits.sat_conflicts, Some(1000));
+        assert_eq!(limits.max_area, None);
+        for (body, needle) in [
+            ("{\"time_ms\":0}", "1..=60000"),
+            ("{\"time_ms\":3600000}", "1..=60000"),
+            ("{\"sat_conflicts\":0}", "1..=1000000000"),
+            ("{\"budget\":1}", "unknown limits field"),
+            ("[1]", "must be a JSON object"),
+        ] {
+            let err = parse_limits(Some(&Json::parse(body).unwrap())).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
     }
 
     #[test]

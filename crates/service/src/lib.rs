@@ -14,14 +14,22 @@
 //! | Endpoint              | Meaning                                        |
 //! |-----------------------|------------------------------------------------|
 //! | `POST /v1/synthesize` | One job: expression or PLA body + options      |
-//! | `POST /v1/batch`      | Ordered multi-job with per-slot isolation      |
+//! | `POST /v1/map`        | One job mapped onto a defective chip with BISM |
+//! | `POST /v1/batch`      | Ordered multi-job with per-slot isolation (map slots welcome) |
 //! | `GET /healthz`        | Liveness + registered strategies               |
-//! | `GET /metrics`        | Prometheus text: requests, latency histogram, cache hits/misses, pool steals |
+//! | `GET /metrics`        | Prometheus text: requests, latency histogram, map outcomes, cache hits/misses/weight, pool steals |
+//!
+//! Every request accepts optional top-level `"minimize"` and `"limits"`
+//! fields; `"limits"` (`{"time_ms": 1..=60000, "sat_conflicts":
+//! 1..=10^9}`) bounds each job of the request so no accepted request can
+//! hold a pool worker indefinitely — out-of-range budgets are a `400`.
 //!
 //! Responses carry **no wall-clock fields** and use a deterministic
 //! encoder, so identical jobs produce byte-identical bodies whether they
 //! were synthesised fresh, served from the cache, or deduplicated inside
-//! a batch — latency lives in `/metrics`.
+//! a batch — latency lives in `/metrics`. That includes `/v1/map`: the
+//! speculative-parallel mapper commits candidates in deterministic order,
+//! so mapping bodies are byte-identical at every `NANOXBAR_THREADS`.
 //!
 //! ## Curl session
 //!
@@ -43,9 +51,25 @@
 //!  {"ok":false,"kind":"constant-function","error":"constant 1-variable function needs no crossbar"},
 //!  {"ok":true,"strategy":"dual-lattice",...,"flow":{"bist_passed":true,...}}]}
 //!
-//! $ curl -s http://127.0.0.1:8080/metrics | grep cache
+//! $ curl -s http://127.0.0.1:8080/v1/map \
+//!     -d '{"expr":"x0 x1 + !x0 !x1",
+//!          "chip":{"rows":32,"cols":32,"seed":7,"defect_rate":0.10},
+//!          "map":{"strategy":"greedy","speculation":8,"max_attempts":400,"seed":1}}'
+//! {"ok":true,"strategy":"dual-lattice",...,"map":{"success":true,
+//!  "strategy":"greedy","speculation":8,"rounds":1,"attempts":1,
+//!  "bist_runs":1,"bisd_runs":0,"mapping":[13,26],"known_bad":[]}}
+//!
+//! $ curl -s http://127.0.0.1:8080/v1/synthesize \
+//!     -d '{"expr":"x0 x1 + x0 x2 + x1 x2","strategy":"optimal-lattice",
+//!          "limits":{"time_ms":500,"sat_conflicts":100000}}'
+//! {"ok":true,"strategy":"optimal-lattice",...}
+//!
+//! $ curl -s http://127.0.0.1:8080/metrics | grep -E 'cache|maps'
+//! nanoxbar_maps_total 1
+//! nanoxbar_map_failures_total 0
 //! nanoxbar_cache_hits_total 0
-//! nanoxbar_cache_misses_total 3
+//! nanoxbar_cache_misses_total 4
+//! nanoxbar_cache_weight 18
 //! ...
 //! ```
 //!

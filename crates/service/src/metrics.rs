@@ -73,6 +73,8 @@ impl Histogram {
 pub struct Metrics {
     /// `POST /v1/synthesize` requests served.
     pub requests_synthesize: AtomicU64,
+    /// `POST /v1/map` requests served.
+    pub requests_map: AtomicU64,
     /// `POST /v1/batch` requests served.
     pub requests_batch: AtomicU64,
     /// `GET /healthz` + `GET /metrics` requests served.
@@ -87,6 +89,10 @@ pub struct Metrics {
     pub jobs: AtomicU64,
     /// Jobs that returned a typed error.
     pub job_errors: AtomicU64,
+    /// BISM mappings executed (map requests and map batch slots).
+    pub maps: AtomicU64,
+    /// Mappings whose search ended without a working placement.
+    pub map_failures: AtomicU64,
     /// End-to-end latency of synthesis requests (parse → response built).
     pub latency: Histogram,
 }
@@ -116,6 +122,10 @@ impl Metrics {
         out.push_str(&format!(
             "nanoxbar_requests_total{{endpoint=\"synthesize\"}} {}\n",
             self.requests_synthesize.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "nanoxbar_requests_total{{endpoint=\"map\"}} {}\n",
+            self.requests_map.load(Ordering::Relaxed)
         ));
         out.push_str(&format!(
             "nanoxbar_requests_total{{endpoint=\"batch\"}} {}\n",
@@ -155,6 +165,18 @@ impl Metrics {
             "Jobs that returned a typed error.",
             self.job_errors.load(Ordering::Relaxed),
         );
+        counter(
+            &mut out,
+            "nanoxbar_maps_total",
+            "BISM mappings executed.",
+            self.maps.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_map_failures_total",
+            "Mappings that exhausted their budget without a placement.",
+            self.map_failures.load(Ordering::Relaxed),
+        );
 
         out.push_str("# HELP nanoxbar_request_latency_seconds Synthesis request latency.\n");
         self.latency
@@ -179,10 +201,27 @@ impl Metrics {
             "Result-cache entries evicted.",
             cache.evictions,
         );
+        counter(
+            &mut out,
+            "nanoxbar_cache_evicted_weight_total",
+            "Total weight (crosspoints) of evicted result-cache entries.",
+            cache.evicted_weight,
+        );
+        counter(
+            &mut out,
+            "nanoxbar_cache_rejected_total",
+            "Insertions refused by size-aware admission.",
+            cache.rejected,
+        );
         out.push_str(&format!(
             "# HELP nanoxbar_cache_entries Resident result-cache entries.\n\
              # TYPE nanoxbar_cache_entries gauge\nnanoxbar_cache_entries {}\n",
             cache.len
+        ));
+        out.push_str(&format!(
+            "# HELP nanoxbar_cache_weight Resident result-cache weight (crosspoints).\n\
+             # TYPE nanoxbar_cache_weight gauge\nnanoxbar_cache_weight {}\n",
+            cache.weight
         ));
 
         counter(
@@ -234,8 +273,13 @@ mod tests {
         let text = m.render_prometheus(None, PoolStats::default());
         for family in [
             "nanoxbar_requests_total{endpoint=\"synthesize\"} 1",
+            "nanoxbar_requests_total{endpoint=\"map\"} 0",
             "nanoxbar_jobs_total 7",
+            "nanoxbar_maps_total 0",
+            "nanoxbar_map_failures_total 0",
             "nanoxbar_cache_hits_total 0",
+            "nanoxbar_cache_evicted_weight_total 0",
+            "nanoxbar_cache_weight 0",
             "nanoxbar_pool_steals_total 0",
             "nanoxbar_request_latency_seconds_count 0",
         ] {

@@ -10,15 +10,16 @@
 //! `nanoxbar-par` work-stealing pool — so one slow request parallelises
 //! across cores while cheap requests slip past it on other workers.
 
+use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use nanoxbar_engine::{CacheStats, Engine, Job, MinimizeMode, ResultCache};
+use nanoxbar_engine::{CacheStats, Engine, Job, Limits, MinimizeMode, ResultCache};
 
-use crate::api::{bad_slot, parse_minimize, result_to_json, JobSpec};
+use crate::api::{bad_slot, parse_limits, parse_minimize, result_to_json, JobSpec, MapRequest};
 use crate::http::{read_request, write_response, HttpError, Request, Response};
 use crate::metrics::Metrics;
 use crate::wire::{object, Json};
@@ -32,7 +33,8 @@ pub struct ServiceConfig {
     /// HTTP worker threads (connection handlers — synthesis parallelism
     /// comes from the `nanoxbar-par` pool, sized by `NANOXBAR_THREADS`).
     pub workers: usize,
-    /// Capacity of the [`ResultCache`] shared by both engines; 0 disables
+    /// Weight budget of the [`ResultCache`] shared by both engines
+    /// (entries weigh their realization's crosspoint count); 0 disables
     /// caching.
     pub cache_capacity: usize,
     /// Bound of the pending-connection queue; connections beyond it are
@@ -52,7 +54,9 @@ impl Default for ServiceConfig {
         ServiceConfig {
             addr: "127.0.0.1:8080".into(),
             workers: 4,
-            cache_capacity: 1024,
+            // Weight units (≈ crosspoints): room for a few thousand
+            // typical realizations.
+            cache_capacity: 65536,
             queue_depth: 256,
             max_body_bytes: 1 << 20,
             max_batch_jobs: 1024,
@@ -135,6 +139,13 @@ impl Service {
                 self.metrics.latency.observe(started.elapsed());
                 response
             }
+            ("POST", "/v1/map") => {
+                Metrics::bump(&self.metrics.requests_map);
+                let started = Instant::now();
+                let response = self.map(&request.body);
+                self.metrics.latency.observe(started.elapsed());
+                response
+            }
             ("POST", "/v1/batch") => {
                 Metrics::bump(&self.metrics.requests_batch);
                 let started = Instant::now();
@@ -142,7 +153,7 @@ impl Service {
                 self.metrics.latency.observe(started.elapsed());
                 response
             }
-            (_, "/healthz" | "/metrics" | "/v1/synthesize" | "/v1/batch") => {
+            (_, "/healthz" | "/metrics" | "/v1/synthesize" | "/v1/map" | "/v1/batch") => {
                 error_response(405, "method not allowed for this endpoint")
             }
             _ => error_response(404, "no such endpoint"),
@@ -171,43 +182,65 @@ impl Service {
         )
     }
 
-    /// `POST /v1/synthesize`: one job object, with an optional top-level
-    /// `"minimize"` field next to the job fields.
+    /// `POST /v1/synthesize`: one job object, with optional top-level
+    /// `"minimize"`/`"limits"` fields next to the job fields.
     fn synthesize(&self, body: &[u8]) -> Response {
-        let (json, minimize) = match self.parse_request_head(body) {
+        self.single_job(body, false)
+    }
+
+    /// `POST /v1/map`: one job object with a required `"chip"`; the BISM
+    /// `"map"` options default when absent. Runs through
+    /// [`Engine::run_batch`] like every other request, so identical
+    /// requests give byte-identical bodies at every thread count.
+    fn map(&self, body: &[u8]) -> Response {
+        self.single_job(body, true)
+    }
+
+    /// Shared single-job handler behind `/v1/synthesize` and `/v1/map`.
+    fn single_job(&self, body: &[u8], mapping: bool) -> Response {
+        let (json, minimize, limits) = match self.parse_request_head(body) {
             Ok(parts) => parts,
             Err(response) => return response,
         };
-        // Strip "minimize" before spec parsing — it is routing, not job
-        // content.
+        // Strip the routing fields ("minimize", "limits") before spec
+        // parsing — they are request-scoped, not job content.
         let job_json = match &json {
             Json::Object(members) => Json::Object(
                 members
                     .iter()
-                    .filter(|(k, _)| k != "minimize")
+                    .filter(|(k, _)| k != "minimize" && k != "limits")
                     .cloned()
                     .collect(),
             ),
             other => other.clone(),
         };
-        let spec = match JobSpec::from_json(&job_json) {
+        let mut spec = match JobSpec::from_json(&job_json) {
             Ok(spec) => spec,
             Err(message) => return error_response(400, &message),
         };
+        if mapping {
+            if spec.chip.is_none() {
+                return error_response(400, "map requests need a \"chip\" to map onto");
+            }
+            // The endpoint itself requests mapping; options default.
+            spec.map.get_or_insert_with(MapRequest::default);
+        }
         let job = match spec.to_job() {
-            Ok(job) => job,
+            Ok(job) => apply_limits(job, limits),
             Err(message) => return error_response(400, &message),
         };
         let results = self.engine(minimize).run_batch(std::slice::from_ref(&job));
         self.count_jobs(&results);
+        self.count_maps(&results);
         Response::json(200, result_to_json(&results[0]).encode())
     }
 
-    /// `POST /v1/batch`: `{"minimize": …, "jobs": [jobspec, …]}` with
-    /// per-slot error isolation — a bad spec poisons its slot, not the
-    /// request.
+    /// `POST /v1/batch`: `{"minimize": …, "limits": …, "jobs":
+    /// [jobspec, …]}` with per-slot error isolation — a bad spec poisons
+    /// its slot, not the request. Map slots (a `"map"` object next to a
+    /// `"chip"`) ride along with synthesis slots.
     fn batch(&self, body: &[u8]) -> Response {
-        let (json, minimize) = match self.parse_request_head(body) {
+        let (json, minimize, limits) = match self.parse_request_head(body) {
             Ok(parts) => parts,
             Err(response) => return response,
         };
@@ -234,12 +267,13 @@ impl Service {
             match JobSpec::from_json(slot).and_then(|spec| spec.to_job()) {
                 Ok(job) => {
                     slot_errors.push(None);
-                    jobs.push(job);
+                    jobs.push(apply_limits(job, limits));
                 }
                 Err(message) => slot_errors.push(Some(message)),
             }
         }
         let engine_results = self.engine(minimize).run_batch(&jobs);
+        self.count_maps(&engine_results);
         // Every slot is one job; failed slots of either kind (unparsable
         // spec, typed engine error) count as job errors.
         Metrics::add(&self.metrics.jobs, slot_errors.len() as u64);
@@ -271,14 +305,20 @@ impl Service {
         )
     }
 
-    /// Shared request preamble: JSON parse + minimise-mode extraction.
+    /// Shared request preamble: JSON parse + minimise-mode and per-request
+    /// limit extraction (out-of-range budgets are rejected here, before
+    /// any engine work).
     #[allow(clippy::result_large_err)]
-    fn parse_request_head(&self, body: &[u8]) -> Result<(Json, MinimizeMode), Response> {
+    fn parse_request_head(
+        &self,
+        body: &[u8],
+    ) -> Result<(Json, MinimizeMode, Option<Limits>), Response> {
         let text = std::str::from_utf8(body)
             .map_err(|_| error_response(400, "request body is not UTF-8"))?;
         let json = Json::parse(text).map_err(|e| error_response(400, &e.to_string()))?;
         let minimize = parse_minimize(json.get("minimize")).map_err(|m| error_response(400, &m))?;
-        Ok((json, minimize))
+        let limits = parse_limits(json.get("limits")).map_err(|m| error_response(400, &m))?;
+        Ok((json, minimize, limits))
     }
 
     fn count_jobs<T>(&self, results: &[Result<T, nanoxbar_engine::Error>]) {
@@ -287,6 +327,27 @@ impl Service {
             &self.metrics.job_errors,
             results.iter().filter(|r| r.is_err()).count() as u64,
         );
+    }
+
+    /// Counts mapping outcomes: every completed map job, and those whose
+    /// search exhausted its budget without a working placement.
+    fn count_maps(&self, results: &[Result<nanoxbar_engine::JobResult, nanoxbar_engine::Error>]) {
+        for result in results.iter().flatten() {
+            if let Some(map) = &result.map {
+                Metrics::bump(&self.metrics.maps);
+                if !map.stats.success {
+                    Metrics::bump(&self.metrics.map_failures);
+                }
+            }
+        }
+    }
+}
+
+/// Applies the request-scoped limit overrides to one job.
+fn apply_limits(job: Job, limits: Option<Limits>) -> Job {
+    match limits {
+        Some(limits) => job.limited(limits),
+        None => job,
     }
 }
 
@@ -300,6 +361,49 @@ fn error_response(status: u16, message: &str) -> Response {
         ])
         .encode(),
     )
+}
+
+/// The live-connection registry behind graceful drain: every connection a
+/// worker is serving registers a second handle to its socket here, so
+/// shutdown can wake readers blocked in a keep-alive `read` (via
+/// `shutdown(Read)`) instead of waiting out their read timeout. The
+/// `draining` flag tells workers to finish the response in flight and
+/// then close instead of looping for another request.
+#[derive(Default)]
+struct ConnRegistry {
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    next_id: AtomicU64,
+    draining: AtomicBool,
+}
+
+impl ConnRegistry {
+    /// Tracks a connection for the drain; returns its registry ticket.
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.streams
+            .lock()
+            .expect("registry poisoned")
+            .insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: Option<u64>) {
+        if let Some(id) = id {
+            self.streams.lock().expect("registry poisoned").remove(&id);
+        }
+    }
+
+    /// Starts the drain: workers stop keep-alive looping after their
+    /// current response, and blocked readers wake with EOF. Responses
+    /// already being computed or written are not interrupted (only the
+    /// read half is shut down).
+    fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        for stream in self.streams.lock().expect("registry poisoned").values() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
 }
 
 /// The bounded hand-off between the acceptor and the workers.
@@ -399,10 +503,12 @@ impl Server {
     pub fn start(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let queue = Arc::new(ConnQueue::new(self.config.queue_depth));
+        let registry = Arc::new(ConnRegistry::default());
 
         let mut workers = Vec::with_capacity(self.config.workers.max(1));
         for index in 0..self.config.workers.max(1) {
             let queue = queue.clone();
+            let registry = registry.clone();
             let service = self.service.clone();
             let read_timeout = self.config.read_timeout;
             let max_body = self.config.max_body_bytes;
@@ -411,7 +517,9 @@ impl Server {
                     .name(format!("nanoxbar-http-{index}"))
                     .spawn(move || {
                         while let Some(stream) = queue.pop() {
-                            handle_connection(&service, stream, read_timeout, max_body);
+                            let ticket = registry.register(&stream);
+                            handle_connection(&service, stream, read_timeout, max_body, &registry);
+                            registry.deregister(ticket);
                         }
                     })?,
             );
@@ -453,6 +561,7 @@ impl Server {
         Ok(ServerHandle {
             addr,
             queue,
+            registry,
             acceptor: Some(acceptor),
             workers,
             service: self.service,
@@ -466,6 +575,7 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     queue: Arc<ConnQueue>,
+    registry: Arc<ConnRegistry>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     service: Arc<Service>,
@@ -482,10 +592,15 @@ impl ServerHandle {
         self.service.clone()
     }
 
-    /// Stops accepting, drains queued connections, and joins all threads.
-    /// In-flight requests finish; idle keep-alive connections drop at
-    /// their next read timeout.
+    /// Graceful drain: stops accepting, lets every in-flight request
+    /// finish its response (sent with `Connection: close`), wakes idle
+    /// keep-alive connections out of their blocking reads instead of
+    /// letting them run out their read timeout, drains queued
+    /// connections, and joins all threads.
     pub fn shutdown(mut self) {
+        // Order matters: flag the drain before closing the queue so a
+        // worker picking up a queued connection already sees it.
+        self.registry.drain();
         self.queue.close();
         // Unblock the acceptor's blocking `accept` with a no-op connect.
         let _ = TcpStream::connect(self.addr);
@@ -524,12 +639,15 @@ fn shed_connection(mut stream: TcpStream) {
     }
 }
 
-/// Speaks keep-alive HTTP on one connection until close/EOF/timeout.
+/// Speaks keep-alive HTTP on one connection until close/EOF/timeout — or
+/// until a drain begins, after which the current response is completed
+/// with `Connection: close` and the loop ends.
 fn handle_connection(
     service: &Service,
     stream: TcpStream,
     read_timeout: Duration,
     max_body: usize,
+    registry: &ConnRegistry,
 ) {
     let _ = stream.set_read_timeout(Some(read_timeout));
     let _ = stream.set_nodelay(true);
@@ -539,11 +657,16 @@ fn handle_connection(
     };
     let mut reader = BufReader::new(stream);
     loop {
+        if registry.draining.load(Ordering::SeqCst) {
+            return;
+        }
         match read_request(&mut reader, max_body) {
             Ok(None) => return,
             Ok(Some(request)) => {
-                let close = request.wants_close();
                 let response = service.handle(&request);
+                // Re-check the drain after the (possibly long) handling:
+                // the response still goes out, but the connection closes.
+                let close = request.wants_close() || registry.draining.load(Ordering::SeqCst);
                 if write_response(&mut writer, &response, close).is_err() || close {
                     return;
                 }
@@ -691,6 +814,102 @@ mod tests {
 
         let bad_mode = service.handle(&post("/v1/batch", "{\"minimize\":\"zen\",\"jobs\":[]}"));
         assert_eq!(bad_mode.status, 400);
+    }
+
+    #[test]
+    fn map_endpoint_runs_the_bism_pipeline() {
+        let service = Service::new(&ServiceConfig::default());
+        // Options default when "map" is absent on /v1/map.
+        let body = "{\"expr\":\"x0 x1 + !x0 !x1\",\
+                    \"chip\":{\"rows\":16,\"cols\":16,\"seed\":3,\"defect_rate\":0.05}}";
+        let ok = service.handle(&post("/v1/map", body));
+        assert_eq!(ok.status, 200);
+        let json = body_json(&ok);
+        let map = json.get("map").expect("map object");
+        assert_eq!(map.get("success"), Some(&Json::Bool(true)));
+        assert_eq!(map.get("strategy").unwrap().as_str(), Some("hybrid:5"));
+        assert_eq!(map.get("speculation").unwrap().as_u64(), Some(4));
+        // Byte-identical on repeat — the determinism contract.
+        let again = service.handle(&post("/v1/map", body));
+        assert_eq!(ok.body, again.body);
+
+        // A chipless map request is a 400.
+        let chipless = service.handle(&post("/v1/map", "{\"expr\":\"x0 x1\"}"));
+        assert_eq!(chipless.status, 400);
+        // A defect-saturated chip maps unsuccessfully but the HTTP and
+        // job layers both succeed.
+        let saturated = service.handle(&post(
+            "/v1/map",
+            "{\"expr\":\"x0 x1 + !x0 !x1\",\
+             \"chip\":{\"rows\":8,\"cols\":8,\"seed\":1,\"defect_rate\":0.9},\
+             \"map\":{\"strategy\":\"greedy\",\"max_attempts\":50}}",
+        ));
+        assert_eq!(saturated.status, 200);
+        let json = body_json(&saturated);
+        assert_eq!(json.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            json.get("map").unwrap().get("success"),
+            Some(&Json::Bool(false))
+        );
+        assert_eq!(service.metrics().maps.load(Ordering::Relaxed), 3);
+        assert_eq!(service.metrics().map_failures.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn per_request_limits_bound_the_work() {
+        let service = Service::new(&ServiceConfig::default());
+        // An out-of-range budget is rejected before any engine work.
+        let bad = service.handle(&post(
+            "/v1/synthesize",
+            "{\"expr\":\"x0\",\"limits\":{\"time_ms\":0}}",
+        ));
+        assert_eq!(bad.status, 400);
+        // A 1-conflict SAT budget deterministically exhausts the optimal
+        // search: the slot fails typed, the HTTP layer succeeds.
+        let strict = service.handle(&post(
+            "/v1/synthesize",
+            "{\"expr\":\"x0 x1 + x0 x2 + x1 x2\",\"strategy\":\"optimal-lattice\",\
+             \"limits\":{\"sat_conflicts\":1}}",
+        ));
+        assert_eq!(strict.status, 200);
+        let json = body_json(&strict);
+        assert_eq!(json.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(json.get("kind").unwrap().as_str(), Some("synthesis"));
+        // The same expression without the budget synthesises fine, and
+        // batches accept the same top-level field.
+        let batch = service.handle(&post(
+            "/v1/batch",
+            "{\"limits\":{\"sat_conflicts\":200000},\"jobs\":[\
+             {\"expr\":\"x0 x1 + x0 x2 + x1 x2\",\"strategy\":\"optimal-lattice\"}]}",
+        ));
+        let json = body_json(&batch);
+        let slot = &json.get("results").unwrap().as_array().unwrap()[0];
+        assert_eq!(slot.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn batch_map_slots_ride_along() {
+        let service = Service::new(&ServiceConfig::default());
+        let response = service.handle(&post(
+            "/v1/batch",
+            "{\"jobs\":[\
+             {\"expr\":\"x0 x1\",\"strategy\":\"fet\"},\
+             {\"expr\":\"x0 x1 + !x0 !x1\",\
+              \"chip\":{\"rows\":16,\"cols\":16,\"seed\":5,\"defect_rate\":0.05},\
+              \"map\":{\"strategy\":\"greedy\"}},\
+             {\"expr\":\"x0\",\"map\":{}}]}",
+        ));
+        assert_eq!(response.status, 200);
+        let json = body_json(&response);
+        let slots = json.get("results").unwrap().as_array().unwrap();
+        assert_eq!(slots.len(), 3);
+        assert!(slots[0].get("map").is_none());
+        assert_eq!(
+            slots[1].get("map").unwrap().get("success"),
+            Some(&Json::Bool(true))
+        );
+        // A map without a chip poisons its slot only.
+        assert_eq!(slots[2].get("kind").unwrap().as_str(), Some("bad-request"));
     }
 
     #[test]

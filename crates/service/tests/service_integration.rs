@@ -214,6 +214,129 @@ fn concurrent_batches_are_ordered_isolated_and_match_direct_engine() {
 }
 
 #[test]
+fn map_requests_round_trip_through_run_batch() {
+    let server = Server::bind(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        ..ServiceConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = server.start().expect("start");
+
+    // Mixed map slots: mappable chip, defect-saturated chip (search
+    // exhausts), invalid spec (map without chip).
+    let slots: Vec<Json> = vec![
+        Json::parse(
+            "{\"expr\":\"x0 x1 + !x0 !x1\",\"label\":\"mappable\",\
+             \"chip\":{\"rows\":16,\"cols\":16,\"seed\":5,\"defect_rate\":0.05},\
+             \"map\":{\"strategy\":\"greedy\",\"speculation\":4,\"seed\":2}}",
+        )
+        .unwrap(),
+        Json::parse(
+            "{\"expr\":\"x0 x1 + !x0 !x1\",\"label\":\"saturated\",\
+             \"chip\":{\"rows\":8,\"cols\":8,\"seed\":1,\"defect_rate\":0.9},\
+             \"map\":{\"strategy\":\"greedy\",\"max_attempts\":40}}",
+        )
+        .unwrap(),
+        Json::parse("{\"expr\":\"x0 x1\",\"label\":\"chipless\",\"map\":{}}").unwrap(),
+    ];
+    let body = Json::Object(vec![("jobs".into(), Json::Array(slots.clone()))]).encode();
+    let expected = expected_slots(&slots);
+
+    let (status, text) = post_body(&addr, "/v1/batch", &body);
+    assert_eq!(status, 200, "{text}");
+    let parsed = Json::parse(&text).unwrap();
+    let got = parsed.get("results").unwrap().as_array().unwrap();
+    for (i, (actual, wanted)) in got.iter().zip(&expected).enumerate() {
+        assert_eq!(actual, wanted, "slot {i}");
+    }
+    let map = got[0].get("map").expect("mappable slot carries its map");
+    assert_eq!(map.get("success"), Some(&Json::Bool(true)));
+    assert_eq!(
+        got[1].get("map").unwrap().get("success"),
+        Some(&Json::Bool(false)),
+        "saturated chip exhausts the search as data, not an error"
+    );
+    assert_eq!(got[2].get("kind").unwrap().as_str(), Some("bad-request"));
+
+    // The dedicated endpoint returns the batch slot's body, byte for
+    // byte, and repeats are byte-identical (the acceptance contract).
+    let single = slots[0].encode();
+    let (status, first) = post_body(&addr, "/v1/map", &single);
+    assert_eq!(status, 200);
+    assert_eq!(Json::parse(&first).unwrap(), expected[0]);
+    let (_, second) = post_body(&addr, "/v1/map", &single);
+    assert_eq!(
+        first, second,
+        "identical map requests must be byte-identical"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_keepalive_connections() {
+    let read_timeout = std::time::Duration::from_secs(5);
+    let server = Server::bind(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        read_timeout,
+        ..ServiceConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = server.start().expect("start");
+
+    // Connection A: one completed request, then idle keep-alive — its
+    // worker is now blocked in a read with 5s left on the clock.
+    let mut idle = TcpStream::connect(&addr).expect("connect idle");
+    idle.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+        .expect("send");
+    let mut idle_reader = BufReader::new(idle.try_clone().expect("clone"));
+    let (status, _) = read_one_response(&mut idle_reader);
+    assert_eq!(status, 200);
+
+    // Connection B: a request in flight while the shutdown begins.
+    let body = "{\"expr\":\"x0 x1 + !x0 !x1\",\"verify\":true}";
+    let mut busy = TcpStream::connect(&addr).expect("connect busy");
+    busy.write_all(
+        format!(
+            "POST /v1/synthesize HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .expect("send");
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    let started = std::time::Instant::now();
+    handle.shutdown();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < read_timeout / 2,
+        "drain took {elapsed:?}; idle keep-alive must not run out its {read_timeout:?} timeout"
+    );
+
+    // B's response was completed, not dropped.
+    let mut busy_reader = BufReader::new(busy.try_clone().expect("clone"));
+    let (status, text) = read_one_response(&mut busy_reader);
+    assert_eq!(status, 200, "{text}");
+    assert!(text.contains("\"ok\":true"), "{text}");
+
+    // Both connections are closed (EOF), so clients re-resolve instead
+    // of hanging on a dead socket.
+    for (name, reader) in [("idle", &mut idle_reader), ("busy", &mut busy_reader)] {
+        let mut rest = String::new();
+        std::io::Read::read_to_string(reader, &mut rest).expect("read to EOF");
+        assert!(
+            rest.is_empty(),
+            "{name} connection left extra bytes: {rest:?}"
+        );
+    }
+}
+
+#[test]
 fn http_edges_over_real_sockets() {
     let server = Server::bind(ServiceConfig {
         addr: "127.0.0.1:0".into(),

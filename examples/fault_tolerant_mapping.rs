@@ -5,10 +5,9 @@
 //! Run with: `cargo run --example fault_tolerant_mapping`
 
 use nanoxbar_crossbar::ArraySize;
-use nanoxbar_engine::{Engine, Job, Strategy};
-use nanoxbar_logic::{isop_cover, parse_function};
+use nanoxbar_engine::{BismStrategy, Engine, Job, MapConfig, Strategy};
+use nanoxbar_logic::parse_function;
 use nanoxbar_reliability::bisd::{Diagnosis, DiagnosisPlan};
-use nanoxbar_reliability::bism::{run_bism, Application, BismStrategy};
 use nanoxbar_reliability::bist::TestPlan;
 use nanoxbar_reliability::defect::{CrosspointHealth, DefectMap};
 use nanoxbar_reliability::fault::fault_universe;
@@ -40,23 +39,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- BISM: self-map an application on a randomly defective chip -----
+    // Mapping is an engine job since PR 5: `map_on_chip` runs the staged
+    // speculative-parallel Mapper and reports a deterministic MapReport.
     let f = parse_function("x0 x1 + !x0 !x1 + x2 !x3")?;
-    let app = Application::from_cover(&isop_cover(&f));
     let chip = DefectMap::random_uniform(size, 0.08, 0.04, 2026);
     println!(
         "\nchip defect density: {:.1}% ({} defects)",
         chip.defect_density() * 100.0,
         chip.defect_count()
     );
+    let engine = Engine::new();
     for (name, strategy) in [
         ("blind", BismStrategy::Blind),
         ("greedy", BismStrategy::Greedy),
         ("hybrid", BismStrategy::Hybrid { blind_retries: 5 }),
     ] {
-        let stats = run_bism(&app, &chip, strategy, 500, 7);
+        let result = engine.run(
+            &Job::synthesize(f.clone())
+                .map_on_chip(chip.clone())
+                .with_map_config(MapConfig {
+                    strategy,
+                    speculation: 4,
+                    max_attempts: 500,
+                    seed: 7,
+                }),
+        )?;
+        let map = result.map.expect("map job carries a report");
         println!(
-            "BISM {name:<7}: success={} attempts={} bist={} bisd={}",
-            stats.success, stats.attempts, stats.bist_runs, stats.bisd_runs
+            "BISM {name:<7}: success={} rounds={} attempts={} bist={} bisd={} bad={}",
+            map.stats.success,
+            map.rounds,
+            map.stats.attempts,
+            map.stats.bist_runs,
+            map.stats.bisd_runs,
+            map.known_bad.len()
         );
     }
 
@@ -70,7 +86,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     // The engine runs the same flow as a chip job: synthesise, recover,
     // place, BIST — with fabric exhaustion as a typed error.
-    let engine = Engine::new();
     let result = engine.run(
         &Job::synthesize(f)
             .with_strategy(Strategy::Diode)

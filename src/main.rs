@@ -44,6 +44,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("pla") => cmd_pla(&args[1..]),
         Some("bist") => cmd_bist(&args[1..]),
         Some("chip") => cmd_chip(&args[1..]),
+        Some("map") => cmd_map(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
     }
@@ -67,10 +68,15 @@ fn print_help() {
                generate the BIST plan for a fabric and prove its coverage\n\
            nanoxbar chip <N> [--density D] [--seed S] <expr>\n\
                run the Fig. 6(b) defect-unaware flow on a simulated chip\n\
+           nanoxbar map <N> [--density D] [--seed S] [--bism blind|greedy|hybrid:N]\n\
+                       [--speculation K] [--attempts A] [--map-seed M] <expr>\n\
+               self-map onto a simulated defective chip with BISM\n\
+               (speculative-parallel greedy search; K candidates/round)\n\
            nanoxbar serve [--addr A] [--threads T] [--cache-capacity C]\n\
-               serve synthesis over HTTP (POST /v1/synthesize, /v1/batch;\n\
-               GET /healthz, /metrics). --threads sets the HTTP workers;\n\
-               NANOXBAR_THREADS sizes the synthesis pool\n\
+               serve synthesis over HTTP (POST /v1/synthesize, /v1/map,\n\
+               /v1/batch; GET /healthz, /metrics). --threads sets the HTTP\n\
+               workers; NANOXBAR_THREADS sizes the synthesis pool;\n\
+               --cache-capacity is a weight budget (crosspoints)\n\
          \n\
          EXPRESSIONS use the paper's syntax: x0 x1 + !x0 !x1  (also ', ^, parens)"
     );
@@ -342,6 +348,86 @@ fn cmd_chip(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_map(args: &[String]) -> Result<(), String> {
+    use nanoxbar::engine::{BismStrategy, MapConfig};
+
+    let mut args = args.to_vec();
+    let density: f64 = take_option(&mut args, "--density")
+        .map(|d| d.parse().map_err(|_| format!("bad density {d:?}")))
+        .transpose()?
+        .unwrap_or(0.05);
+    let seed: u64 = take_option(&mut args, "--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad seed {s:?}")))
+        .transpose()?
+        .unwrap_or(1);
+    let defaults = MapConfig::default();
+    let strategy: BismStrategy = take_option(&mut args, "--bism")
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(defaults.strategy);
+    let speculation: usize = take_option(&mut args, "--speculation")
+        .map(|k| {
+            k.parse()
+                .ok()
+                .filter(|&k| k >= 1)
+                .ok_or_else(|| format!("bad speculation width {k:?}"))
+        })
+        .transpose()?
+        .unwrap_or(defaults.speculation);
+    let max_attempts: u64 = take_option(&mut args, "--attempts")
+        .map(|a| a.parse().map_err(|_| format!("bad attempt budget {a:?}")))
+        .transpose()?
+        .unwrap_or(defaults.max_attempts);
+    let map_seed: u64 = take_option(&mut args, "--map-seed")
+        .map(|s| s.parse().map_err(|_| format!("bad map seed {s:?}")))
+        .transpose()?
+        .unwrap_or(0);
+    let n: usize = args
+        .first()
+        .ok_or_else(|| "missing fabric side N".to_string())?
+        .parse()
+        .map_err(|_| "bad fabric side".to_string())?;
+    let f = parse_expr(&args[1..])?;
+
+    let chip = DefectMap::random_uniform(ArraySize::new(n, n), density * 0.7, density * 0.3, seed);
+    println!(
+        "chip {n}x{n}, defect density {:.2}% ({} defects), seed {seed}",
+        chip.defect_density() * 100.0,
+        chip.defect_count()
+    );
+    let config = MapConfig {
+        strategy,
+        speculation,
+        max_attempts,
+        seed: map_seed,
+    };
+    let engine = Engine::new();
+    let result = engine
+        .run(&Job::synthesize(f).map_on_chip(chip).with_map_config(config))
+        .map_err(|e| e.to_string())?;
+    let report = result.map.expect("map job always carries a map report");
+    println!(
+        "BISM {} (speculation {}): {} after {} round(s)",
+        report.strategy,
+        report.speculation,
+        if report.stats.success {
+            "mapped"
+        } else {
+            "exhausted"
+        },
+        report.rounds
+    );
+    println!(
+        "attempts {} / bist {} / bisd {} (budget {max_attempts})",
+        report.stats.attempts, report.stats.bist_runs, report.stats.bisd_runs
+    );
+    if let Some(mapping) = &report.mapping {
+        println!("placed products on physical rows {mapping:?}");
+    }
+    println!("diagnosed {} defective resource(s)", report.known_bad.len());
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use nanoxbar::service::{Server, ServiceConfig};
 
@@ -424,6 +510,22 @@ mod tests {
         ok(&["lattice", "x0 x1 + x1 x2", "--compact", "--optimal"]);
         ok(&["bist", "6x6"]);
         ok(&["chip", "16", "--density", "0.04", "--seed", "3", "x0 ^ x1"]);
+        ok(&[
+            "map",
+            "16",
+            "--density",
+            "0.08",
+            "--seed",
+            "3",
+            "--bism",
+            "greedy",
+            "--speculation",
+            "4",
+            "--attempts",
+            "200",
+            "x0 x1 + !x0 !x1",
+        ]);
+        ok(&["map", "16", "--bism", "hybrid:3", "x0 ^ x1"]);
     }
 
     #[test]
@@ -436,6 +538,9 @@ mod tests {
         run_err(&["synth", "1"]);
         run_err(&["synth", "x0", "--tech", "quantum"]);
         run_err(&["bist", "banana"]);
+        run_err(&["map", "16", "--bism", "psychic", "x0 x1"]);
+        run_err(&["map", "16", "--speculation", "0", "x0 x1"]);
+        run_err(&["map"]);
         run_err(&["frobnicate"]);
         run_err(&["serve", "--threads", "0"]);
         run_err(&["serve", "--cache-capacity", "many"]);
