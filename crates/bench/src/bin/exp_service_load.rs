@@ -16,7 +16,11 @@
 //!
 //! Flags (all optional): `--clients N` `--requests M` `--distinct K`
 //! `--cache C` (a *weight* budget in crosspoints — entries weigh their
-//! realization's area — matching `ServiceConfig::cache_capacity`).
+//! realization's area — matching `ServiceConfig::cache_capacity`), and
+//! `--state-dir DIR` to add a third comparison: a cold server persisting
+//! to DIR vs a **warm restart** replaying DIR's durable cache log. The
+//! warm server must start at a 100% hit rate and answer every request
+//! byte-identically to the cold run.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -130,11 +134,18 @@ struct PassReport {
 }
 
 /// Runs one full pass: fresh server, closed-loop clients, metrics scrape.
-fn run_pass(clients: usize, requests: usize, bodies: &[String], cache: usize) -> PassReport {
+fn run_pass(
+    clients: usize,
+    requests: usize,
+    bodies: &[String],
+    cache: usize,
+    state_dir: Option<&std::path::Path>,
+) -> PassReport {
     let server = Server::bind(ServiceConfig {
         addr: "127.0.0.1:0".into(),
         workers: clients.max(2),
         cache_capacity: cache,
+        state_dir: state_dir.map(|d| d.to_path_buf()),
         ..ServiceConfig::default()
     })
     .expect("bind ephemeral port");
@@ -211,6 +222,14 @@ fn arg(flag: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+fn arg_str(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn main() {
     banner("E-service", "closed-loop HTTP load: cache on vs off");
 
@@ -236,8 +255,8 @@ fn main() {
     let bodies = request_bodies(distinct);
     // Warm pass order: uncached first so the cached pass cannot benefit
     // from OS-level warmup it didn't earn.
-    let uncached = run_pass(clients, requests, &bodies, 0);
-    let cached = run_pass(clients, requests, &bodies, cache);
+    let uncached = run_pass(clients, requests, &bodies, 0, None);
+    let cached = run_pass(clients, requests, &bodies, cache, None);
 
     let mut table = Table::new(&[
         "pass",
@@ -273,4 +292,50 @@ fn main() {
         cached.hit_rate > 0.4,
         "duplicate-heavy run must hit the cache"
     );
+
+    if let Some(dir) = arg_str("--state-dir") {
+        let dir = std::path::PathBuf::from(dir);
+        println!();
+        println!("warm-start comparison (state dir {})", dir.display());
+        // A true cold start: nothing durable yet.
+        std::fs::remove_dir_all(&dir).ok();
+        let cold = run_pass(clients, requests, &bodies, cache, Some(&dir));
+        // The shutdown above flushed the log; this server replays it and
+        // starts with every distinct job already cached.
+        let warm = run_pass(clients, requests, &bodies, cache, Some(&dir));
+
+        let mut table = Table::new(&["pass", "throughput req/s", "p50", "p99", "cache hit rate"]);
+        for (name, pass) in [("state cold", &cold), ("state warm", &warm)] {
+            table.row_owned(vec![
+                name.to_string(),
+                f2(pass.throughput),
+                format!("{:?}", pass.p50),
+                format!("{:?}", pass.p99),
+                f2(pass.hit_rate * 100.0) + "%",
+            ]);
+        }
+        println!("{}", table.render());
+        println!(
+            "warm restart: first-round hit rate {:.1}% -> {:.1}%, p50 {:?} -> {:?}",
+            cold.hit_rate * 100.0,
+            warm.hit_rate * 100.0,
+            cold.p50,
+            warm.p50
+        );
+
+        assert_eq!(
+            warm.bodies, cold.bodies,
+            "a warm-started server must answer byte-identically"
+        );
+        assert!(
+            warm.hit_rate > 0.99,
+            "replaying the durable cache must make every warm request a hit              (got {:.1}%)",
+            warm.hit_rate * 100.0
+        );
+        assert!(
+            warm.hit_rate > cold.hit_rate,
+            "the warm pass must beat the cold pass's hit rate"
+        );
+        println!("warm responses bit-identical to cold: true ({total} requests)");
+    }
 }

@@ -70,6 +70,37 @@ impl DiodeArray {
         }
     }
 
+    /// Reassembles an array from its stored parts — the decode half of a
+    /// persisted cache entry. Validates the structural invariants
+    /// `synthesize` guarantees (column count, output column wiring is
+    /// *not* re-derived — the grid is taken as-is) and returns a
+    /// message on mismatch rather than panicking: persisted bytes are
+    /// data, not code.
+    pub fn from_parts(
+        grid: Crossbar,
+        column_literals: Vec<Literal>,
+        num_vars: usize,
+    ) -> Result<Self, String> {
+        if grid.size().cols != column_literals.len() + 1 {
+            return Err(format!(
+                "diode grid has {} columns for {} literals (want literals + 1)",
+                grid.size().cols,
+                column_literals.len()
+            ));
+        }
+        if let Some(lit) = column_literals.iter().find(|l| l.var() >= num_vars) {
+            return Err(format!(
+                "diode column literal on x{} exceeds arity {num_vars}",
+                lit.var()
+            ));
+        }
+        Ok(DiodeArray {
+            grid,
+            column_literals,
+            num_vars,
+        })
+    }
+
     /// Array dimensions (`P × (L+1)`).
     pub fn size(&self) -> ArraySize {
         self.grid.size()

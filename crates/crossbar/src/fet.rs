@@ -114,6 +114,43 @@ impl FetArray {
         }
     }
 
+    /// Reassembles an array from its stored parts — the decode half of a
+    /// persisted cache entry. Checks the structural invariants cheaply
+    /// and returns a message on mismatch rather than panicking:
+    /// persisted bytes are data, not code.
+    pub fn from_parts(
+        grid: Crossbar,
+        row_literals: Vec<Literal>,
+        n_columns: usize,
+        num_vars: usize,
+    ) -> Result<Self, String> {
+        if grid.size().rows != row_literals.len() {
+            return Err(format!(
+                "FET grid has {} rows for {} literals",
+                grid.size().rows,
+                row_literals.len()
+            ));
+        }
+        if n_columns == 0 || n_columns >= grid.size().cols {
+            return Err(format!(
+                "FET n-column split {n_columns} outside 1..{}",
+                grid.size().cols
+            ));
+        }
+        if let Some(lit) = row_literals.iter().find(|l| l.var() >= num_vars) {
+            return Err(format!(
+                "FET row literal on x{} exceeds arity {num_vars}",
+                lit.var()
+            ));
+        }
+        Ok(FetArray {
+            grid,
+            row_literals,
+            n_columns,
+            num_vars,
+        })
+    }
+
     /// Array dimensions (`L × (P + P^D)`).
     pub fn size(&self) -> ArraySize {
         self.grid.size()

@@ -69,6 +69,42 @@ impl CacheKey {
             minimize,
         }
     }
+
+    /// Rebuilds a key from its stored fields — the decode half of a
+    /// persisted cache entry.
+    pub fn from_parts(
+        num_vars: usize,
+        words: Vec<u64>,
+        strategy: String,
+        minimize: MinimizeMode,
+    ) -> Self {
+        CacheKey {
+            num_vars,
+            words,
+            strategy,
+            minimize,
+        }
+    }
+
+    /// Arity of the target function.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The packed truth table, 64 minterms per word.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Resolved backend name.
+    pub fn strategy(&self) -> &str {
+        &self.strategy
+    }
+
+    /// Cover minimisation mode.
+    pub fn minimize(&self) -> MinimizeMode {
+        self.minimize
+    }
 }
 
 /// One cached synthesis: the realization plus the SOP cover the backend
@@ -110,6 +146,8 @@ struct Admission {
     /// Whether the entry was refused outright (heavier than the whole
     /// shard budget).
     rejected: bool,
+    /// Whether the key was new to the shard (an insert, not a refresh).
+    fresh: bool,
 }
 
 /// One lock's worth of the cache.
@@ -145,6 +183,7 @@ impl Shard {
             admission.rejected = true;
             return admission;
         }
+        admission.fresh = true;
         while self.weight + weight > capacity {
             // O(len) scan per eviction; shards stay small (capacity /
             // shard count), so this beats carrying an intrusive list.
@@ -224,7 +263,14 @@ pub struct ResultCache {
     evictions: AtomicU64,
     evicted_weight: AtomicU64,
     rejected: AtomicU64,
+    /// Observer of *fresh* admissions (not refreshes, not rejections),
+    /// set at most once — the service's persistence layer hangs its
+    /// append-to-log hook here. Called outside the shard lock.
+    insert_listener: std::sync::OnceLock<InsertListener>,
 }
+
+/// Callback invoked on every fresh cache admission.
+pub type InsertListener = Box<dyn Fn(&CacheKey, &CachedSynthesis) + Send + Sync>;
 
 impl ResultCache {
     /// A cache holding at most `capacity` *weight* across all shards,
@@ -253,7 +299,33 @@ impl ResultCache {
             evictions: AtomicU64::new(0),
             evicted_weight: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            insert_listener: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Registers the fresh-admission observer. At most one listener per
+    /// cache; later calls are ignored (first registration wins). Boot
+    /// sequences that preload entries should register *after*
+    /// preloading, so replayed entries are not re-observed.
+    pub fn set_insert_listener(&self, listener: InsertListener) {
+        let _ = self.insert_listener.set(listener);
+    }
+
+    /// A copy of every resident entry, in no particular order — the
+    /// source for log compaction and warm-start snapshots. Values are
+    /// `Arc` clones, so this is cheap relative to the entries.
+    pub fn snapshot(&self) -> Vec<(CacheKey, CachedSynthesis)> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .entries
+                    .iter()
+                    .map(|(k, e)| (k.clone(), e.value.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
     }
 
     fn shard_of(&self, key: &CacheKey) -> usize {
@@ -284,6 +356,8 @@ impl ResultCache {
         if self.shard_caps[idx] == 0 {
             return;
         }
+        let listener = self.insert_listener.get();
+        let observed = listener.map(|_| (key.clone(), value.clone()));
         let admission = self.shards[idx]
             .lock()
             .expect("cache shard poisoned")
@@ -297,6 +371,11 @@ impl ResultCache {
             .fetch_add(admission.evicted, Ordering::Relaxed);
         self.evicted_weight
             .fetch_add(admission.evicted_weight, Ordering::Relaxed);
+        if admission.fresh {
+            if let (Some(listener), Some((key, value))) = (listener, observed.as_ref()) {
+                listener(key, value);
+            }
+        }
     }
 
     /// Entries currently resident across all shards.
@@ -423,6 +502,44 @@ mod tests {
         cache.insert(key(1, "diode"), value());
         assert!(cache.is_empty());
         assert!(cache.get(&key(1, "diode")).is_none());
+    }
+
+    #[test]
+    fn listener_sees_fresh_inserts_only_and_snapshot_holds_them() {
+        let cache = ResultCache::new(16);
+        cache.insert(key(1, "pre"), value()); // before registration: unobserved
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        cache.set_insert_listener(Box::new(move |k, _| {
+            sink.lock().unwrap().push(k.strategy().to_string());
+        }));
+        cache.insert(key(2, "fresh"), value());
+        cache.insert(key(2, "fresh"), value()); // refresh: unobserved
+        let observed = seen.lock().unwrap().clone();
+        assert_eq!(observed, vec!["fresh".to_string()]);
+
+        let snapshot = cache.snapshot();
+        assert_eq!(snapshot.len(), 2);
+        let mut strategies: Vec<&str> = snapshot.iter().map(|(k, _)| k.strategy()).collect();
+        strategies.sort_unstable();
+        assert_eq!(strategies, ["fresh", "pre"]);
+
+        // Second registration is a no-op (first wins).
+        cache.set_insert_listener(Box::new(|_, _| panic!("must not replace the listener")));
+        cache.insert(key(3, "late"), value());
+        assert_eq!(seen.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn key_accessors_roundtrip_through_from_parts() {
+        let original = key(0b1100, "diode");
+        let rebuilt = CacheKey::from_parts(
+            original.num_vars(),
+            original.words().to_vec(),
+            original.strategy().to_string(),
+            original.minimize(),
+        );
+        assert_eq!(original, rebuilt);
     }
 
     /// A value whose weight is the xnor dual-lattice area (4).

@@ -16,7 +16,7 @@ use nanoxbar_crossbar::ArraySize;
 use nanoxbar_logic::Cover;
 use nanoxbar_reliability::bism::Application;
 use nanoxbar_reliability::defect::DefectMap;
-use nanoxbar_reliability::mapper::{MapReport, Mapper};
+use nanoxbar_reliability::mapper::{MapConfig, MapReport, Mapper};
 
 use crate::backend::{BackendRegistry, MinimizeMode, Strategy, SynthesisBackend, SynthesisContext};
 use crate::cache::{CacheKey, CacheStats, CachedSynthesis, ResultCache};
@@ -50,6 +50,26 @@ impl Limits {
             sat_conflicts: self.sat_conflicts.or(base.sat_conflicts),
         }
     }
+}
+
+/// Everything an externally driven BISM mapping session needs, produced
+/// by [`Engine::prepare_map`]: the synthesis result for rendering, and
+/// the `(application, chip, config)` triple that — by the mapper's
+/// determinism contract — fully determines the search outcome.
+#[derive(Debug, Clone)]
+pub struct MapSetup {
+    /// Resolved backend name.
+    pub strategy: String,
+    /// The synthesised realization (cache-shared when possible).
+    pub realization: Arc<Realization>,
+    /// The placement cover behind the realization.
+    pub cover: Arc<Cover>,
+    /// The application derived from the cover.
+    pub app: Application,
+    /// The materialised defect map of the target chip.
+    pub chip: DefectMap,
+    /// The job's mapping configuration.
+    pub config: MapConfig,
 }
 
 /// The defect model behind [`Job::on_random_chip`]: rates for the two
@@ -474,6 +494,68 @@ impl Engine {
             check_deadline(deadline, limits)?;
         }
         Ok(mapper.report())
+    }
+
+    /// Synthesises a map job and assembles everything an **externally
+    /// driven** mapping session needs: the realization (for rendering
+    /// the final result), the placement cover, the derived
+    /// [`Application`], the materialised chip, and the map config. The
+    /// validation is exactly [`Engine::run`]'s map path — same errors,
+    /// same order — so a [`Mapper`] built from the returned setup and
+    /// run to completion reports bit-identically to `run` on the same
+    /// job. This is the engine half of the service's resumable `/v1/map`
+    /// sessions, which step the mapper a few rounds per request instead
+    /// of holding a worker to the end.
+    pub fn prepare_map(&self, job: &Job) -> Result<MapSetup, Error> {
+        let spec = job.map_chip.as_ref().ok_or_else(|| Error::MapConfig {
+            message: "job has no map target (use Job::map_on_chip)".into(),
+        })?;
+        let limits = self.effective_limits(job);
+        let deadline = limits.time.map(|t| Instant::now() + t);
+        let (strategy, realization, cover) = self.realize(job, limits, deadline)?;
+        if let Some(limit) = limits.max_area {
+            let area = realization.area();
+            if area > limit {
+                return Err(Error::AreaLimit { area, limit });
+            }
+        }
+        if job.verify && !realization.computes(&job.function) {
+            return Err(Error::Verification { strategy });
+        }
+        if job.map_config.speculation == 0 {
+            return Err(Error::MapConfig {
+                message: "speculation width must be >= 1".into(),
+            });
+        }
+        let cover = cover.unwrap_or_else(|| {
+            let ctx = SynthesisContext {
+                minimize: self.minimize,
+                ..SynthesisContext::default()
+            };
+            Arc::new(ctx.cover(&job.function))
+        });
+        if cover.is_zero_cover() || cover.has_universe_cube() {
+            return Err(Error::ConstantFunction {
+                num_vars: job.function.num_vars(),
+            });
+        }
+        let app = Application::from_cover(&cover);
+        let chip = self.resolve_chip(spec);
+        let size = chip.size();
+        if size.rows < app.product_count() || size.cols < app.used_cols() {
+            return Err(Error::MapFabric {
+                needed: (app.product_count(), app.used_cols()),
+                fabric: (size.rows, size.cols),
+            });
+        }
+        Ok(MapSetup {
+            strategy,
+            realization,
+            cover,
+            app,
+            chip,
+            config: job.map_config,
+        })
     }
 
     /// Runs a batch across the `nanoxbar-par` pool.

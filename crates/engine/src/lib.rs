@@ -57,8 +57,8 @@ pub use backend::{
     BackendRegistry, DiodeBackend, DualLatticeBackend, FetBackend, MinimizeMode,
     OptimalLatticeBackend, Strategy, SynthesisBackend, SynthesisContext,
 };
-pub use cache::{CacheKey, CacheStats, CachedSynthesis, ResultCache};
-pub use engine::{Engine, EngineBuilder, FaultModel, Limits};
+pub use cache::{CacheKey, CacheStats, CachedSynthesis, InsertListener, ResultCache};
+pub use engine::{Engine, EngineBuilder, FaultModel, Limits, MapSetup};
 pub use error::Error;
 pub use flow::{FlowError, FlowReport};
 pub use job::{ChipSpec, Job, JobResult};
@@ -67,7 +67,7 @@ pub use tech::{Realization, Technology};
 // The fault-tolerance vocabulary of mapping jobs ([`Job::map_on_chip`]),
 // re-exported so engine consumers need no direct reliability dependency.
 pub use nanoxbar_reliability::bism::{BismStats, BismStrategy};
-pub use nanoxbar_reliability::mapper::{MapConfig, MapReport};
+pub use nanoxbar_reliability::mapper::{MapConfig, MapReport, Mapper, MapperSnapshot};
 
 use std::sync::OnceLock;
 

@@ -130,3 +130,53 @@ proptest! {
         nanoxbar_par::set_threads(1);
     }
 }
+
+/// `Engine::prepare_map` exposes exactly the state the engine's own map
+/// path runs on: driving an external `Mapper` from the setup — whole-run
+/// or one checkpointed round at a time — reproduces `engine.run`'s map
+/// report bit for bit. This is the contract the service's resumable
+/// sessions are built on.
+#[test]
+fn prepare_map_reproduces_the_engine_map_path() {
+    use nanoxbar_engine::Mapper;
+
+    let engine = Engine::new();
+    let xnor = TruthTable::from_fn(2, |m| m == 0 || m == 3);
+    for seed in [3u64, 11, 42] {
+        let job = Job::synthesize(xnor.clone())
+            .map_on_random_chip(ArraySize::new(10, 10), seed)
+            .verified(true);
+        let reference = engine.run(&job).expect("map job succeeds");
+        let reference_report = reference.map.as_ref().expect("map jobs carry a report");
+
+        let setup = engine.prepare_map(&job).expect("prepare");
+        assert_eq!(
+            format!("{:?}", setup.realization),
+            format!("{:?}", reference.realization),
+            "prepare_map synthesises the same realization"
+        );
+
+        // Whole run in one go.
+        let mut mapper = Mapper::new(setup.app.clone(), setup.chip.clone(), setup.config);
+        mapper.run();
+        assert_eq!(&mapper.report(), reference_report, "seed {seed}: one-shot");
+
+        // One round at a time through snapshot/resume checkpoints.
+        let mut mapper = Mapper::new(setup.app.clone(), setup.chip.clone(), setup.config);
+        while !mapper.is_done() {
+            let snapshot = mapper.snapshot();
+            mapper = Mapper::resume(
+                setup.app.clone(),
+                setup.chip.clone(),
+                setup.config,
+                &snapshot,
+            );
+            mapper.run_rounds(1);
+        }
+        assert_eq!(
+            &mapper.report(),
+            reference_report,
+            "seed {seed}: checkpointed"
+        );
+    }
+}

@@ -137,6 +137,32 @@ pub struct MapReport {
     pub speculation: usize,
 }
 
+/// A round-boundary checkpoint of a [`Mapper`].
+///
+/// Taken between rounds (stage [`Stage::Propose`] or [`Stage::Done`]),
+/// a snapshot captures everything the next round depends on — the RNG
+/// position, the defect knowledge base, the counters — and **nothing
+/// recomputable**: packed BIST/BISD stimuli are a pure function of
+/// `(application, fabric width)` and are rebuilt on
+/// [`Mapper::resume`]. Resuming from a snapshot is bit-identical to
+/// never having stopped; round scratch never needs to serialise
+/// because rounds are atomic between checkpoints.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapperSnapshot {
+    /// Raw RNG state at the round boundary.
+    pub rng: [u64; 4],
+    /// The defect knowledge base, sorted.
+    pub known_bad: Vec<Defect>,
+    /// Counters so far.
+    pub stats: BismStats,
+    /// Rounds executed so far.
+    pub rounds: u64,
+    /// Whether the session had already finished.
+    pub done: bool,
+    /// The committed placement, if the session succeeded.
+    pub mapping: Option<Mapping>,
+}
+
 /// Per-round scratch shared by the stages.
 #[derive(Default)]
 struct Round {
@@ -276,6 +302,79 @@ impl Mapper {
             strategy: self.config.strategy,
             speculation: self.config.speculation,
         }
+    }
+
+    /// Runs at most `max_rounds` complete rounds, stopping early at
+    /// session end; returns how many rounds actually completed. The
+    /// mapper is left at a round boundary, so [`Mapper::snapshot`] is
+    /// always legal afterwards — this is the incremental-session
+    /// entry point.
+    pub fn run_rounds(&mut self, max_rounds: u64) -> u64 {
+        let mut completed = 0u64;
+        while completed < max_rounds && !self.is_done() {
+            loop {
+                let stage = self.stage;
+                self.step();
+                if stage == Stage::Commit {
+                    completed += 1;
+                    break;
+                }
+                if self.is_done() {
+                    break;
+                }
+            }
+        }
+        completed
+    }
+
+    /// Checkpoints the session at a round boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics mid-round (stages Simulate/Diagnose/Commit): rounds are
+    /// atomic between checkpoints by design.
+    pub fn snapshot(&self) -> MapperSnapshot {
+        assert!(
+            matches!(self.stage, Stage::Propose | Stage::Done),
+            "snapshot only at a round boundary, not at {:?}",
+            self.stage
+        );
+        MapperSnapshot {
+            rng: self.rng.state(),
+            known_bad: self.known_bad(),
+            stats: self.stats,
+            rounds: self.rounds,
+            done: self.is_done(),
+            mapping: self.mapping.clone(),
+        }
+    }
+
+    /// Rebuilds a session from a [`Mapper::snapshot`]. The recomputable
+    /// parts (packed stimuli) are rebuilt from `(app, defects)`;
+    /// everything else restores from the snapshot. Resumed execution is
+    /// bit-identical to uninterrupted execution.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Mapper::new`].
+    pub fn resume(
+        app: Application,
+        defects: DefectMap,
+        config: MapConfig,
+        snapshot: &MapperSnapshot,
+    ) -> Mapper {
+        let mut mapper = Mapper::new(app, defects, config);
+        mapper.rng = ChaCha8Rng::from_state(snapshot.rng);
+        mapper.known_bad = snapshot.known_bad.iter().copied().collect();
+        mapper.stats = snapshot.stats;
+        mapper.rounds = snapshot.rounds;
+        mapper.mapping = snapshot.mapping.clone();
+        mapper.stage = if snapshot.done {
+            Stage::Done
+        } else {
+            Stage::Propose
+        };
+        mapper
     }
 
     /// Whether the *next* attempt would be a greedy (diagnosing) one.
@@ -662,6 +761,59 @@ mod tests {
             rounds_k4 < rounds_k1,
             "K=4 rounds {rounds_k4} vs K=1 rounds {rounds_k1}"
         );
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical_at_every_boundary() {
+        let app = app4();
+        for seed in 0..10u64 {
+            let chip = DefectMap::random_uniform(ArraySize::new(12, 12), 0.12, 0.05, seed + 40);
+            let cfg = config(BismStrategy::Greedy, 2, seed);
+            let uninterrupted = Mapper::new(app.clone(), chip.clone(), cfg).run();
+            // Interrupt after every possible number of rounds.
+            for stop_after in 0..=uninterrupted.rounds {
+                let mut first = Mapper::new(app.clone(), chip.clone(), cfg);
+                first.run_rounds(stop_after);
+                let snap = first.snapshot();
+                let mut second = Mapper::resume(app.clone(), chip.clone(), cfg, &snap);
+                assert_eq!(
+                    second.run(),
+                    uninterrupted,
+                    "seed {seed} resumed after round {stop_after}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_rounds_counts_and_stops_at_done() {
+        let chip = DefectMap::healthy(ArraySize::new(16, 16));
+        let mut mapper = Mapper::new(app4(), chip, config(BismStrategy::Greedy, 2, 1));
+        // A healthy chip succeeds in one round; asking for more stops.
+        assert_eq!(mapper.run_rounds(10), 1);
+        assert!(mapper.is_done());
+        assert_eq!(mapper.run_rounds(5), 0);
+        let snap = mapper.snapshot();
+        assert!(snap.done);
+        assert!(snap.mapping.is_some());
+    }
+
+    #[test]
+    fn double_resume_chains_without_drift() {
+        let app = app4();
+        let chip = DefectMap::random_uniform(ArraySize::new(12, 12), 0.15, 0.06, 77);
+        let cfg = config(BismStrategy::Hybrid { blind_retries: 3 }, 2, 9);
+        let uninterrupted = Mapper::new(app.clone(), chip.clone(), cfg).run();
+        // Resume twice: run 1 round, checkpoint, run 1 round, checkpoint,
+        // then finish — three separate mapper instances.
+        let mut m = Mapper::new(app.clone(), chip.clone(), cfg);
+        m.run_rounds(1);
+        let snap1 = m.snapshot();
+        let mut m = Mapper::resume(app.clone(), chip.clone(), cfg, &snap1);
+        m.run_rounds(1);
+        let snap2 = m.snapshot();
+        let mut m = Mapper::resume(app, chip, cfg, &snap2);
+        assert_eq!(m.run(), uninterrupted);
     }
 
     #[test]

@@ -109,6 +109,53 @@ proptest! {
         }
     }
 
+    /// Checkpoint/resume determinism: interrupting a session at a random
+    /// round boundary, snapshotting, and resuming in a fresh `Mapper`
+    /// yields a bit-identical `MapReport` to the uninterrupted run, at
+    /// every thread count and speculation width. This is the contract
+    /// the service's resumable `/v1/map` sessions (and their
+    /// survival across server restarts) stand on.
+    #[test]
+    fn resumed_sessions_equal_uninterrupted_across_threads_and_widths(
+        seed in 0u64..1u64 << 16,
+        density in 0u64..25,
+        selector in 0u64..3,
+        stop_sel in any::<u64>(),
+    ) {
+        let app = app_from_seed(seed);
+        let size = ArraySize::new(10, 10);
+        let chip = defect_map_from_seed(size, seed.wrapping_mul(0xC3A5) | 1, density);
+        let strategy = strategy_from(selector);
+        for speculation in [1usize, 4] {
+            let config = MapConfig {
+                strategy,
+                speculation,
+                max_attempts: 60,
+                seed,
+            };
+            let uninterrupted = run_mapper_reference(&app, &chip, &config);
+            let stop_after = stop_sel % (uninterrupted.rounds + 1);
+            for threads in [1usize, 2, 8] {
+                nanoxbar_par::set_threads(threads);
+                let mut first = Mapper::new(app.clone(), chip.clone(), config);
+                first.run_rounds(stop_after);
+                let snap = first.snapshot();
+                drop(first); // the original session is gone, as in a crash
+                let mut resumed = Mapper::resume(app.clone(), chip.clone(), config, &snap);
+                prop_assert_eq!(
+                    &resumed.run(),
+                    &uninterrupted,
+                    "threads={} K={} strategy={:?} stopped after {}",
+                    threads,
+                    speculation,
+                    strategy,
+                    stop_after
+                );
+            }
+            nanoxbar_par::set_threads(1);
+        }
+    }
+
     /// Success carries a placement that really works on the chip, and
     /// every diagnosed resource is genuinely defective with the right
     /// fault type (merged-diagnosis soundness).

@@ -14,7 +14,7 @@
 //! | Endpoint              | Meaning                                        |
 //! |-----------------------|------------------------------------------------|
 //! | `POST /v1/synthesize` | One job: expression or PLA body + options      |
-//! | `POST /v1/map`        | One job mapped onto a defective chip with BISM |
+//! | `POST /v1/map`        | One job mapped onto a defective chip with BISM (resumable sessions via `"session"`/`"resume"`) |
 //! | `POST /v1/batch`      | Ordered multi-job with per-slot isolation (map slots welcome) |
 //! | `GET /healthz`        | Liveness + registered strategies               |
 //! | `GET /metrics`        | Prometheus text: requests, latency histogram, map outcomes, cache hits/misses/weight, pool steals |
@@ -73,6 +73,58 @@
 //! ...
 //! ```
 //!
+//! ## Incremental mapping sessions
+//!
+//! A `/v1/map` request carrying a `"session"` object runs the BISM
+//! mapper a bounded number of rounds at a time and checkpoints the
+//! mapper's state between requests, so a long self-mapping run can be
+//! driven incrementally — and, with a state dir, survive a server
+//! restart mid-run:
+//!
+//! ```console
+//! $ curl -s http://127.0.0.1:8080/v1/map \
+//!     -d '{"expr":"x0 x1 + !x0 !x1",
+//!          "chip":{"rows":10,"cols":10,"seed":11,"defect_rate":0.2},
+//!          "session":{"id":"inc","rounds":1}}'
+//! {"ok":true,"session":{"id":"inc","done":false,"rounds":1,"attempts":8,
+//!  "bist_runs":8,"bisd_runs":1,"known_bad":3}}
+//!
+//! $ curl -s http://127.0.0.1:8080/v1/map \
+//!     -d '{"session":{"id":"inc","rounds":1},"resume":true}'
+//! {"ok":true,"strategy":"dual-lattice",...,"map":{"success":true,...},
+//!  "session":{"id":"inc","done":true,"rounds":2}}
+//! ```
+//!
+//! Omitting `"rounds"` on a resume runs the session to completion. The
+//! finished response is **byte-identical** (apart from the `"session"`
+//! trailer) to a one-shot `/v1/map` of the same job — checkpointing, and
+//! even crash/restart cycles between rounds, never change the result.
+//! Sessions are single-writer (a concurrent resume of a busy id gets a
+//! `400`), expire after an idle TTL, and are dropped once completed.
+//!
+//! ## Durability & recovery
+//!
+//! With `nanoxbar serve --state-dir DIR`, the service persists its
+//! result cache and live mapper sessions to two append-only logs
+//! (`cache.log`, `sessions.log`) in that directory. Every record is
+//! framed as `[len][generation][crc32]` + payload and appended by a
+//! background flusher that batches writes and syncs once per batch, so
+//! the request path never blocks on `fsync`.
+//!
+//! On boot the logs are replayed: a torn or corrupt record **tail** —
+//! the signature of a crash mid-append — is truncated and counted, never
+//! an error, and a tampered record body is skipped as a decode error
+//! rather than trusted. The recovered prefix is always valid: a
+//! warm-started server answers previously-cached jobs byte-identically
+//! and picks checkpointed sessions back up ([`Service::recovery`] and
+//! the `"persist"` member of `/healthz` report what replay saw). Logs
+//! are compacted in place — rewritten from live state under a bumped
+//! generation — once dead records outweigh live ones; IO failures
+//! degrade gracefully (counted, then persistence disabled) without
+//! taking the service down. The whole stack is exercised against a
+//! fault-injecting in-memory filesystem (`nanoxbar-store`): short
+//! writes, `ENOSPC`, failing `fsync`, and crash-at-byte-N torn tails.
+//!
 //! ## In-process use
 //!
 //! [`Server::bind`] + [`Server::start`] run the service on background
@@ -99,10 +151,13 @@
 pub mod api;
 pub mod http;
 pub mod metrics;
+mod persist;
 mod server;
+mod session;
 pub mod wire;
 
 pub use api::{error_kind, fingerprint, result_to_json, ChipRequest, JobSpec};
 pub use metrics::{Histogram, Metrics};
+pub use persist::RecoveryInfo;
 pub use server::{Server, ServerHandle, Service, ServiceConfig};
 pub use wire::{Json, WireError};

@@ -93,6 +93,32 @@ pub struct Metrics {
     pub maps: AtomicU64,
     /// Mappings whose search ended without a working placement.
     pub map_failures: AtomicU64,
+    /// Durable-state records handed to the background persister.
+    pub persist_enqueued: AtomicU64,
+    /// Durable-state records the persister has taken off its queue.
+    pub persist_drained: AtomicU64,
+    /// Records successfully appended to a state log.
+    pub persist_records_appended: AtomicU64,
+    /// Failed log appends/syncs/rewrites (the record is dropped; the
+    /// in-memory state stays authoritative).
+    pub persist_flush_errors: AtomicU64,
+    /// Log compactions (routine dead-weight rewrites and poisoned-writer
+    /// rescues).
+    pub persist_compactions: AtomicU64,
+    /// Records replayed from the state logs at boot.
+    pub persist_records_replayed: AtomicU64,
+    /// Torn/corrupt tail bytes truncated from the state logs at boot.
+    pub persist_bytes_truncated: AtomicU64,
+    /// CRC-valid replayed records whose payload failed to decode.
+    pub persist_decode_errors: AtomicU64,
+    /// Mapper sessions created via `/v1/map`.
+    pub sessions_created: AtomicU64,
+    /// Mapper sessions resumed (in-process or after restart).
+    pub sessions_resumed: AtomicU64,
+    /// Mapper sessions dropped by TTL expiry or capacity eviction.
+    pub sessions_expired: AtomicU64,
+    /// Live mapper sessions (gauge).
+    pub sessions_active: AtomicU64,
     /// End-to-end latency of synthesis requests (parse → response built).
     pub latency: Histogram,
 }
@@ -177,6 +203,73 @@ impl Metrics {
             "Mappings that exhausted their budget without a placement.",
             self.map_failures.load(Ordering::Relaxed),
         );
+
+        counter(
+            &mut out,
+            "nanoxbar_persist_records_appended_total",
+            "Records appended to the durable state logs.",
+            self.persist_records_appended.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_persist_flush_errors_total",
+            "Failed durable-state appends, syncs, or rewrites.",
+            self.persist_flush_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_persist_compactions_total",
+            "Durable state log compactions.",
+            self.persist_compactions.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_persist_records_replayed_total",
+            "Records replayed from the state logs at boot.",
+            self.persist_records_replayed.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_persist_bytes_truncated_total",
+            "Torn or corrupt tail bytes truncated at boot.",
+            self.persist_bytes_truncated.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_persist_decode_errors_total",
+            "Replayed records whose payload failed to decode.",
+            self.persist_decode_errors.load(Ordering::Relaxed),
+        );
+        out.push_str(&format!(
+            "# HELP nanoxbar_persist_flush_lag Records enqueued for the persister but not yet written.\n\
+             # TYPE nanoxbar_persist_flush_lag gauge\nnanoxbar_persist_flush_lag {}\n",
+            self.persist_enqueued
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.persist_drained.load(Ordering::Relaxed))
+        ));
+        counter(
+            &mut out,
+            "nanoxbar_sessions_created_total",
+            "Mapper sessions created.",
+            self.sessions_created.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_sessions_resumed_total",
+            "Mapper sessions resumed.",
+            self.sessions_resumed.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_sessions_expired_total",
+            "Mapper sessions dropped by TTL or capacity.",
+            self.sessions_expired.load(Ordering::Relaxed),
+        );
+        out.push_str(&format!(
+            "# HELP nanoxbar_sessions_active Live mapper sessions.\n\
+             # TYPE nanoxbar_sessions_active gauge\nnanoxbar_sessions_active {}\n",
+            self.sessions_active.load(Ordering::Relaxed)
+        ));
 
         out.push_str("# HELP nanoxbar_request_latency_seconds Synthesis request latency.\n");
         self.latency
@@ -277,6 +370,17 @@ mod tests {
             "nanoxbar_jobs_total 7",
             "nanoxbar_maps_total 0",
             "nanoxbar_map_failures_total 0",
+            "nanoxbar_persist_records_appended_total 0",
+            "nanoxbar_persist_flush_errors_total 0",
+            "nanoxbar_persist_compactions_total 0",
+            "nanoxbar_persist_records_replayed_total 0",
+            "nanoxbar_persist_bytes_truncated_total 0",
+            "nanoxbar_persist_decode_errors_total 0",
+            "nanoxbar_persist_flush_lag 0",
+            "nanoxbar_sessions_created_total 0",
+            "nanoxbar_sessions_resumed_total 0",
+            "nanoxbar_sessions_expired_total 0",
+            "nanoxbar_sessions_active 0",
             "nanoxbar_cache_hits_total 0",
             "nanoxbar_cache_evicted_weight_total 0",
             "nanoxbar_cache_weight 0",

@@ -13,15 +13,25 @@
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use nanoxbar_engine::{CacheStats, Engine, Job, Limits, MinimizeMode, ResultCache};
+use nanoxbar_engine::{
+    CacheStats, Engine, Job, JobResult, Limits, Mapper, MapperSnapshot, MinimizeMode, ResultCache,
+};
+use nanoxbar_store::{StdVfs, Vfs};
 
 use crate::api::{bad_slot, parse_limits, parse_minimize, result_to_json, JobSpec, MapRequest};
 use crate::http::{read_request, write_response, HttpError, Request, Response};
 use crate::metrics::Metrics;
+use crate::persist::{
+    decode_cache_record, decode_session_record, encode_cache_record, encode_session_drop,
+    flush_lag, open_state, spawn_persister, PersistCmd, PersisterState, RecoveryInfo,
+    SessionRecord, StatePersister,
+};
+use crate::session::{SessionEntry, SessionTable};
 use crate::wire::{object, Json};
 
 /// Server configuration. Start from `ServiceConfig::default()` and
@@ -47,6 +57,17 @@ pub struct ServiceConfig {
     /// Per-read socket timeout (bounds how long an idle keep-alive
     /// connection can hold a worker).
     pub read_timeout: Duration,
+    /// Directory for the durable state logs (`cache.log`,
+    /// `sessions.log`); `None` keeps all state in memory.
+    pub state_dir: Option<PathBuf>,
+    /// How long the background persister sleeps between write-out
+    /// batches (each batch pays one fsync per touched log).
+    pub flush_interval: Duration,
+    /// How long an idle mapper session survives before expiry.
+    pub session_ttl: Duration,
+    /// Most live mapper sessions held at once; the least-recently
+    /// touched are evicted beyond this.
+    pub session_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -61,6 +82,10 @@ impl Default for ServiceConfig {
             max_body_bytes: 1 << 20,
             max_batch_jobs: 1024,
             read_timeout: Duration::from_secs(5),
+            state_dir: None,
+            flush_interval: Duration::from_millis(25),
+            session_ttl: Duration::from_secs(600),
+            session_capacity: 1024,
         }
     }
 }
@@ -72,13 +97,42 @@ pub struct Service {
     /// `engines[0]` = ISOP covers, `engines[1]` = exact minimisation.
     engines: [Engine; 2],
     cache: Option<Arc<ResultCache>>,
-    metrics: Metrics,
+    metrics: Arc<Metrics>,
     max_batch_jobs: usize,
+    sessions: Arc<SessionTable>,
+    persister: Option<StatePersister>,
+    recovery: RecoveryInfo,
 }
 
 impl Service {
-    /// Builds the service state for a configuration.
-    pub fn new(config: &ServiceConfig) -> Service {
+    /// Builds the service state for a configuration, replaying the state
+    /// logs from `config.state_dir` when one is set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures opening the state directory or its logs
+    /// (a torn or corrupt log *tail* is recovery, not an error — it is
+    /// truncated and counted in [`Service::recovery`]).
+    pub fn new(config: &ServiceConfig) -> std::io::Result<Service> {
+        let vfs: Option<Arc<dyn Vfs>> = match &config.state_dir {
+            Some(dir) => Some(Arc::new(StdVfs::new(dir.clone())?)),
+            None => None,
+        };
+        Self::boot(config, vfs)
+    }
+
+    /// [`Service::new`] over an explicit [`Vfs`] — how the crash tests
+    /// run the full service against the fault-injecting in-memory
+    /// filesystem.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Service::new`].
+    pub fn with_vfs(config: &ServiceConfig, vfs: Arc<dyn Vfs>) -> std::io::Result<Service> {
+        Self::boot(config, Some(vfs))
+    }
+
+    fn boot(config: &ServiceConfig, vfs: Option<Arc<dyn Vfs>>) -> std::io::Result<Service> {
         let cache =
             (config.cache_capacity > 0).then(|| Arc::new(ResultCache::new(config.cache_capacity)));
         let engine_for = |mode: MinimizeMode| {
@@ -88,15 +142,128 @@ impl Service {
             }
             builder.build().expect("default strategies are registered")
         };
-        Service {
-            engines: [
-                engine_for(MinimizeMode::Isop),
-                engine_for(MinimizeMode::Exact),
-            ],
-            cache,
-            metrics: Metrics::default(),
-            max_batch_jobs: config.max_batch_jobs,
+        let engines = [
+            engine_for(MinimizeMode::Isop),
+            engine_for(MinimizeMode::Exact),
+        ];
+        let metrics = Arc::new(Metrics::default());
+        let sessions = Arc::new(SessionTable::new(
+            config.session_ttl,
+            config.session_capacity,
+        ));
+        let mut recovery = RecoveryInfo::default();
+        let mut persister = None;
+
+        if let Some(vfs) = vfs {
+            let opened = open_state(&*vfs)?;
+            recovery.bytes_truncated = opened.bytes_truncated;
+            recovery.cache_generation = opened.cache_generation;
+            recovery.session_generation = opened.session_generation;
+            recovery.session_records_replayed = opened.session_records.len() as u64;
+            Metrics::add(&metrics.persist_bytes_truncated, opened.bytes_truncated);
+            Metrics::add(
+                &metrics.persist_records_replayed,
+                (opened.cache_records.len() + opened.session_records.len()) as u64,
+            );
+
+            // Preload the cache. The insert listener is registered *after*
+            // this loop, so replayed entries are not appended again.
+            for payload in &opened.cache_records {
+                match decode_cache_record(payload) {
+                    Ok((key, value)) => {
+                        if let Some(cache) = &cache {
+                            cache.insert(key, value);
+                        }
+                        recovery.cache_records_replayed += 1;
+                    }
+                    Err(_) => {
+                        recovery.decode_errors += 1;
+                        Metrics::bump(&metrics.persist_decode_errors);
+                    }
+                }
+            }
+
+            // Fold the session log to the last record per id, tombstones
+            // applied, keeping first-seen order for deterministic boots.
+            let mut order: Vec<String> = Vec::new();
+            let mut folded: HashMap<String, (MinimizeMode, Json, Option<MapperSnapshot>)> =
+                HashMap::new();
+            for payload in &opened.session_records {
+                match decode_session_record(payload) {
+                    Ok(SessionRecord::Put {
+                        id,
+                        minimize,
+                        spec,
+                        snapshot,
+                    }) => {
+                        if !folded.contains_key(&id) {
+                            order.push(id.clone());
+                        }
+                        folded.insert(id, (minimize, spec, snapshot));
+                    }
+                    Ok(SessionRecord::Drop { id }) => {
+                        folded.remove(&id);
+                        order.retain(|o| o != &id);
+                    }
+                    Err(_) => {
+                        recovery.decode_errors += 1;
+                        Metrics::bump(&metrics.persist_decode_errors);
+                    }
+                }
+            }
+            for id in order {
+                let Some((minimize, spec_json, snapshot)) = folded.remove(&id) else {
+                    continue;
+                };
+                let engine = match minimize {
+                    MinimizeMode::Isop => &engines[0],
+                    MinimizeMode::Exact => &engines[1],
+                };
+                match materialize_session(engine, minimize, &spec_json, snapshot) {
+                    Ok(entry) => {
+                        sessions.insert(id, entry);
+                    }
+                    Err(_) => {
+                        recovery.decode_errors += 1;
+                        Metrics::bump(&metrics.persist_decode_errors);
+                    }
+                }
+            }
+            recovery.sessions_recovered = sessions.len() as u64;
+            metrics
+                .sessions_active
+                .store(sessions.len() as u64, Ordering::Relaxed);
+
+            let state = PersisterState {
+                vfs: vfs.clone(),
+                cache_writer: opened.cache_writer,
+                session_writer: opened.session_writer,
+                cache_records: opened.cache_records.len() as u64,
+                session_records: opened.session_records.len() as u64,
+                cache: cache.clone(),
+                sessions: sessions.clone(),
+            };
+            let spawned = spawn_persister(state, metrics.clone(), config.flush_interval);
+            if let Some(cache) = &cache {
+                let tx = spawned.sender();
+                let listener_metrics = metrics.clone();
+                cache.set_insert_listener(Box::new(move |key, value| {
+                    Metrics::bump(&listener_metrics.persist_enqueued);
+                    let _ = tx.send(PersistCmd::AppendCache(encode_cache_record(key, value)));
+                }));
+            }
+            persister = Some(spawned);
         }
+
+        Ok(Service {
+            engines,
+            cache,
+            metrics,
+            max_batch_jobs: config.max_batch_jobs,
+            sessions,
+            persister,
+            recovery,
+        })
     }
 
     /// The service counters.
@@ -107,6 +274,28 @@ impl Service {
     /// Counters of the shared result cache, when caching is enabled.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// What boot-time replay recovered (zeroes when persistence is off).
+    pub fn recovery(&self) -> RecoveryInfo {
+        self.recovery
+    }
+
+    /// Synchronous durability barrier: everything admitted to the cache
+    /// or checkpointed in a session before this call is on disk when it
+    /// returns. A no-op without a state dir.
+    pub fn flush_state(&self) {
+        if let Some(persister) = &self.persister {
+            persister.flush();
+        }
+    }
+
+    /// Final flush and persister-thread join; idempotent, also run by
+    /// `Drop` and [`ServerHandle::shutdown`].
+    pub fn shutdown_state(&self) {
+        if let Some(persister) = &self.persister {
+            persister.shutdown();
+        }
     }
 
     fn engine(&self, mode: MinimizeMode) -> &Engine {
@@ -170,6 +359,36 @@ impl Service {
             .into_iter()
             .map(Json::Str)
             .collect();
+        let persist = match &self.persister {
+            None => object(vec![("enabled", Json::Bool(false))]),
+            Some(_) => object(vec![
+                ("enabled", Json::Bool(true)),
+                (
+                    "cache_records_replayed",
+                    Json::from(self.recovery.cache_records_replayed),
+                ),
+                (
+                    "session_records_replayed",
+                    Json::from(self.recovery.session_records_replayed),
+                ),
+                (
+                    "sessions_recovered",
+                    Json::from(self.recovery.sessions_recovered),
+                ),
+                ("bytes_truncated", Json::from(self.recovery.bytes_truncated)),
+                ("decode_errors", Json::from(self.recovery.decode_errors)),
+                (
+                    "cache_generation",
+                    Json::from(u64::from(self.recovery.cache_generation)),
+                ),
+                (
+                    "session_generation",
+                    Json::from(u64::from(self.recovery.session_generation)),
+                ),
+                ("flush_lag", Json::from(flush_lag(&self.metrics))),
+                ("sessions_active", Json::from(self.sessions.len())),
+            ]),
+        };
         Response::json(
             200,
             object(vec![
@@ -177,6 +396,7 @@ impl Service {
                 ("strategies", Json::Array(strategies)),
                 ("cache_enabled", Json::Bool(self.cache.is_some())),
                 ("pool_threads", Json::from(nanoxbar_par::threads())),
+                ("persist", persist),
             ])
             .encode(),
         )
@@ -185,35 +405,41 @@ impl Service {
     /// `POST /v1/synthesize`: one job object, with optional top-level
     /// `"minimize"`/`"limits"` fields next to the job fields.
     fn synthesize(&self, body: &[u8]) -> Response {
-        self.single_job(body, false)
+        let (json, minimize, limits) = match self.parse_request_head(body) {
+            Ok(parts) => parts,
+            Err(response) => return response,
+        };
+        self.single_job(&json, minimize, limits, false)
     }
 
     /// `POST /v1/map`: one job object with a required `"chip"`; the BISM
     /// `"map"` options default when absent. Runs through
     /// [`Engine::run_batch`] like every other request, so identical
-    /// requests give byte-identical bodies at every thread count.
+    /// requests give byte-identical bodies at every thread count. A
+    /// top-level `"session"` object switches to the incremental,
+    /// resumable protocol ([`Service::map_session`]).
     fn map(&self, body: &[u8]) -> Response {
-        self.single_job(body, true)
-    }
-
-    /// Shared single-job handler behind `/v1/synthesize` and `/v1/map`.
-    fn single_job(&self, body: &[u8], mapping: bool) -> Response {
         let (json, minimize, limits) = match self.parse_request_head(body) {
             Ok(parts) => parts,
             Err(response) => return response,
         };
+        if json.get("session").is_some() || json.get("resume").is_some() {
+            return self.map_session(&json, minimize, limits);
+        }
+        self.single_job(&json, minimize, limits, true)
+    }
+
+    /// Shared single-job handler behind `/v1/synthesize` and `/v1/map`.
+    fn single_job(
+        &self,
+        json: &Json,
+        minimize: MinimizeMode,
+        limits: Option<Limits>,
+        mapping: bool,
+    ) -> Response {
         // Strip the routing fields ("minimize", "limits") before spec
         // parsing — they are request-scoped, not job content.
-        let job_json = match &json {
-            Json::Object(members) => Json::Object(
-                members
-                    .iter()
-                    .filter(|(k, _)| k != "minimize" && k != "limits")
-                    .cloned()
-                    .collect(),
-            ),
-            other => other.clone(),
-        };
+        let job_json = strip_fields(json, &["minimize", "limits"]);
         let mut spec = match JobSpec::from_json(&job_json) {
             Ok(spec) => spec,
             Err(message) => return error_response(400, &message),
@@ -233,6 +459,212 @@ impl Service {
         self.count_jobs(&results);
         self.count_maps(&results);
         Response::json(200, result_to_json(&results[0]).encode())
+    }
+
+    /// The incremental `/v1/map` protocol: a `"session": {"id", "rounds"?}`
+    /// object creates a named session and runs at most `rounds` BISM
+    /// rounds (all of them when absent); `"resume": true` continues an
+    /// existing session — in this process or, with a state dir, after a
+    /// restart. Interim responses report checkpoint progress; the final
+    /// response is the ordinary map result (its `"map"` object is
+    /// byte-identical to an uninterrupted `/v1/map` run) plus a
+    /// `"session"` trailer.
+    fn map_session(&self, json: &Json, minimize: MinimizeMode, limits: Option<Limits>) -> Response {
+        self.sweep_sessions();
+        let resume = match json.get("resume") {
+            None => false,
+            Some(Json::Bool(flag)) => *flag,
+            Some(_) => return error_response(400, "\"resume\" must be a boolean"),
+        };
+        let Some(session) = json.get("session") else {
+            return error_response(400, "\"resume\" needs a \"session\" object with an \"id\"");
+        };
+        let Json::Object(members) = session else {
+            return error_response(400, "\"session\" must be an object");
+        };
+        for (key, _) in members {
+            if key != "id" && key != "rounds" {
+                return error_response(400, &format!("unknown session field {key:?}"));
+            }
+        }
+        let id = match session.get("id").and_then(Json::as_str) {
+            Some(id) if !id.is_empty() && id.len() <= 120 => id.to_string(),
+            Some(_) => return error_response(400, "session id must be 1..=120 bytes"),
+            None => return error_response(400, "session needs a string \"id\""),
+        };
+        let rounds = match session.get("rounds") {
+            None => None,
+            Some(v) => match v.as_u64() {
+                Some(n) => Some(n),
+                None => {
+                    return error_response(400, "session \"rounds\" must be a non-negative integer")
+                }
+            },
+        };
+
+        let mut entry = if resume {
+            // Taking the entry makes the session invisible while this
+            // request drives it — a concurrent resume loses cleanly here
+            // instead of interleaving rounds.
+            match self.sessions.take(&id) {
+                Some(entry) => {
+                    Metrics::bump(&self.metrics.sessions_resumed);
+                    entry
+                }
+                None => {
+                    return error_response(
+                        400,
+                        &format!(
+                            "no session {id:?} to resume \
+                             (expired, completed, busy, or never created)"
+                        ),
+                    )
+                }
+            }
+        } else {
+            if self.sessions.contains(&id) {
+                return error_response(
+                    400,
+                    &format!("session {id:?} already exists (pass \"resume\": true to continue)"),
+                );
+            }
+            let job_json = strip_fields(json, &["minimize", "limits", "session", "resume"]);
+            let mut spec = match JobSpec::from_json(&job_json) {
+                Ok(spec) => spec,
+                Err(message) => return error_response(400, &message),
+            };
+            if spec.chip.is_none() {
+                return error_response(400, "map requests need a \"chip\" to map onto");
+            }
+            spec.map.get_or_insert_with(MapRequest::default);
+            let label = spec.label.clone();
+            let verified = spec.verify;
+            let job = match spec.to_job() {
+                Ok(job) => apply_limits(job, limits),
+                Err(message) => return error_response(400, &message),
+            };
+            Metrics::bump(&self.metrics.jobs);
+            // Synthesis/verification runs once, at creation; request
+            // "limits" apply here and are not part of the durable spec.
+            let setup = match self.engine(minimize).prepare_map(&job) {
+                Ok(setup) => setup,
+                Err(error) => {
+                    Metrics::bump(&self.metrics.job_errors);
+                    return Response::json(200, result_to_json(&Err(error)).encode());
+                }
+            };
+            Metrics::bump(&self.metrics.sessions_created);
+            SessionEntry {
+                minimize,
+                spec: job_json,
+                setup,
+                label,
+                verified,
+                snapshot: None,
+                last_access: Instant::now(),
+            }
+        };
+
+        let mut mapper = match &entry.snapshot {
+            None => Mapper::new(
+                entry.setup.app.clone(),
+                entry.setup.chip.clone(),
+                entry.setup.config,
+            ),
+            Some(snapshot) => Mapper::resume(
+                entry.setup.app.clone(),
+                entry.setup.chip.clone(),
+                entry.setup.config,
+                snapshot,
+            ),
+        };
+        match rounds {
+            Some(n) => {
+                mapper.run_rounds(n);
+            }
+            None => {
+                mapper.run();
+            }
+        }
+
+        if mapper.is_done() {
+            let report = mapper.report();
+            Metrics::bump(&self.metrics.maps);
+            if !report.stats.success {
+                Metrics::bump(&self.metrics.map_failures);
+            }
+            let total_rounds = report.rounds;
+            let result: Result<JobResult, nanoxbar_engine::Error> = Ok(JobResult {
+                label: entry.label.clone(),
+                strategy: entry.setup.strategy.clone(),
+                realization: entry.setup.realization.clone(),
+                verified: entry.verified.then_some(true),
+                flow: None,
+                map: Some(report),
+                elapsed: Duration::ZERO,
+            });
+            let mut body = result_to_json(&result);
+            if let Json::Object(members) = &mut body {
+                members.push((
+                    "session".into(),
+                    object(vec![
+                        ("id", Json::Str(id.clone())),
+                        ("done", Json::Bool(true)),
+                        ("rounds", Json::from(total_rounds)),
+                    ]),
+                ));
+            }
+            // Completed: the session does not go back in the table; a
+            // tombstone supersedes its checkpoints in the log.
+            self.log_session_drop(&id);
+            self.metrics
+                .sessions_active
+                .store(self.sessions.len() as u64, Ordering::Relaxed);
+            Response::json(200, body.encode())
+        } else {
+            let snapshot = mapper.snapshot();
+            let progress = object(vec![
+                ("id", Json::Str(id.clone())),
+                ("done", Json::Bool(false)),
+                ("rounds", Json::from(snapshot.rounds)),
+                ("attempts", Json::from(snapshot.stats.attempts)),
+                ("bist_runs", Json::from(snapshot.stats.bist_runs)),
+                ("bisd_runs", Json::from(snapshot.stats.bisd_runs)),
+                ("known_bad", Json::from(snapshot.known_bad.len())),
+            ]);
+            entry.snapshot = Some(snapshot);
+            if let Some(persister) = &self.persister {
+                persister.append_session(entry.to_payload(&id));
+            }
+            for evicted in self.sessions.insert(id, entry) {
+                Metrics::bump(&self.metrics.sessions_expired);
+                self.log_session_drop(&evicted);
+            }
+            self.metrics
+                .sessions_active
+                .store(self.sessions.len() as u64, Ordering::Relaxed);
+            Response::json(
+                200,
+                object(vec![("ok", Json::Bool(true)), ("session", progress)]).encode(),
+            )
+        }
+    }
+
+    /// Expires idle sessions, logging a tombstone for each.
+    fn sweep_sessions(&self) {
+        for id in self.sessions.sweep() {
+            Metrics::bump(&self.metrics.sessions_expired);
+            self.log_session_drop(&id);
+        }
+        self.metrics
+            .sessions_active
+            .store(self.sessions.len() as u64, Ordering::Relaxed);
+    }
+
+    fn log_session_drop(&self, id: &str) {
+        if let Some(persister) = &self.persister {
+            persister.append_session(encode_session_drop(id));
+        }
     }
 
     /// `POST /v1/batch`: `{"minimize": …, "limits": …, "jobs":
@@ -343,12 +775,63 @@ impl Service {
     }
 }
 
+impl Drop for Service {
+    /// Stops the persister (final sync included) so a dropped service —
+    /// tests, crash simulations — leaves no thread holding the logs open.
+    fn drop(&mut self) {
+        self.shutdown_state();
+    }
+}
+
 /// Applies the request-scoped limit overrides to one job.
 fn apply_limits(job: Job, limits: Option<Limits>) -> Job {
     match limits {
         Some(limits) => job.limited(limits),
         None => job,
     }
+}
+
+/// A copy of a JSON object without the named request-scoped members.
+fn strip_fields(json: &Json, fields: &[&str]) -> Json {
+    match json {
+        Json::Object(members) => Json::Object(
+            members
+                .iter()
+                .filter(|(k, _)| !fields.contains(&k.as_str()))
+                .cloned()
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Rebuilds a recovered session's [`SessionEntry`] by re-running its job
+/// spec through [`Engine::prepare_map`] (synthesis is cache-served when
+/// the cache log replayed the entry).
+fn materialize_session(
+    engine: &Engine,
+    minimize: MinimizeMode,
+    spec_json: &Json,
+    snapshot: Option<MapperSnapshot>,
+) -> Result<SessionEntry, String> {
+    let mut spec = JobSpec::from_json(spec_json)?;
+    if spec.chip.is_none() {
+        return Err("recovered session has no chip".into());
+    }
+    spec.map.get_or_insert_with(MapRequest::default);
+    let label = spec.label.clone();
+    let verified = spec.verify;
+    let job = spec.to_job()?;
+    let setup = engine.prepare_map(&job).map_err(|e| e.to_string())?;
+    Ok(SessionEntry {
+        minimize,
+        spec: spec_json.clone(),
+        setup,
+        label,
+        verified,
+        snapshot,
+        last_access: Instant::now(),
+    })
 }
 
 fn error_response(status: u16, message: &str) -> Response {
@@ -474,7 +957,7 @@ impl Server {
     /// Propagates the bind failure.
     pub fn bind(config: ServiceConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let service = Arc::new(Service::new(&config));
+        let service = Arc::new(Service::new(&config)?);
         Ok(Server {
             listener,
             service,
@@ -610,6 +1093,10 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Every request that will ever run has now finished: one final
+        // synchronous flush puts the last cache admissions and session
+        // checkpoints on disk before the process can exit.
+        self.service.shutdown_state();
     }
 }
 
@@ -720,7 +1207,7 @@ mod tests {
 
     #[test]
     fn routing_and_health() {
-        let service = Service::new(&ServiceConfig::default());
+        let service = Service::new(&ServiceConfig::default()).expect("service boots");
         let health = service.handle(&get("/healthz"));
         assert_eq!(health.status, 200);
         let json = body_json(&health);
@@ -732,7 +1219,7 @@ mod tests {
 
     #[test]
     fn synthesize_endpoint_runs_a_job() {
-        let service = Service::new(&ServiceConfig::default());
+        let service = Service::new(&ServiceConfig::default()).expect("service boots");
         let ok = service.handle(&post(
             "/v1/synthesize",
             "{\"expr\":\"x0 x1 + !x0 !x1\",\"strategy\":\"diode\",\"verify\":true}",
@@ -762,7 +1249,7 @@ mod tests {
 
     #[test]
     fn batch_keeps_slots_ordered_and_isolated() {
-        let service = Service::new(&ServiceConfig::default());
+        let service = Service::new(&ServiceConfig::default()).expect("service boots");
         let response = service.handle(&post(
             "/v1/batch",
             "{\"jobs\":[\
@@ -795,7 +1282,7 @@ mod tests {
             max_batch_jobs: 2,
             ..ServiceConfig::default()
         };
-        let service = Service::new(&config);
+        let service = Service::new(&config).expect("service boots");
         let over = service.handle(&post(
             "/v1/batch",
             "{\"jobs\":[{\"expr\":\"x0\"},{\"expr\":\"x0\"},{\"expr\":\"x0\"}]}",
@@ -818,7 +1305,7 @@ mod tests {
 
     #[test]
     fn map_endpoint_runs_the_bism_pipeline() {
-        let service = Service::new(&ServiceConfig::default());
+        let service = Service::new(&ServiceConfig::default()).expect("service boots");
         // Options default when "map" is absent on /v1/map.
         let body = "{\"expr\":\"x0 x1 + !x0 !x1\",\
                     \"chip\":{\"rows\":16,\"cols\":16,\"seed\":3,\"defect_rate\":0.05}}";
@@ -857,7 +1344,7 @@ mod tests {
 
     #[test]
     fn per_request_limits_bound_the_work() {
-        let service = Service::new(&ServiceConfig::default());
+        let service = Service::new(&ServiceConfig::default()).expect("service boots");
         // An out-of-range budget is rejected before any engine work.
         let bad = service.handle(&post(
             "/v1/synthesize",
@@ -889,7 +1376,7 @@ mod tests {
 
     #[test]
     fn batch_map_slots_ride_along() {
-        let service = Service::new(&ServiceConfig::default());
+        let service = Service::new(&ServiceConfig::default()).expect("service boots");
         let response = service.handle(&post(
             "/v1/batch",
             "{\"jobs\":[\
@@ -914,7 +1401,7 @@ mod tests {
 
     #[test]
     fn metrics_expose_counts_and_cache() {
-        let service = Service::new(&ServiceConfig::default());
+        let service = Service::new(&ServiceConfig::default()).expect("service boots");
         for _ in 0..2 {
             let ok = service.handle(&post("/v1/synthesize", "{\"expr\":\"x0 x1 + !x0 !x1\"}"));
             assert_eq!(ok.status, 200);
@@ -941,11 +1428,12 @@ mod tests {
 
     #[test]
     fn cached_and_uncached_bodies_are_bit_identical() {
-        let cached = Service::new(&ServiceConfig::default());
+        let cached = Service::new(&ServiceConfig::default()).expect("service boots");
         let uncached = Service::new(&ServiceConfig {
             cache_capacity: 0,
             ..ServiceConfig::default()
-        });
+        })
+        .expect("service boots");
         assert!(uncached.cache_stats().is_none());
         let body = "{\"expr\":\"x0 x1 x2 + !x0 !x1\",\"verify\":true}";
         let mut bodies = Vec::new();
@@ -956,5 +1444,89 @@ mod tests {
         }
         assert_eq!(bodies[0], bodies[1], "cache hit changed the body");
         assert_eq!(bodies[0], bodies[2], "caching changed the body");
+    }
+
+    /// Drives a `/v1/map` session one round at a time until the final
+    /// response, returning it.
+    fn drive_session(service: &Service, create_body: &str, resume_body: &str) -> Json {
+        let mut response = body_json(&service.handle(&post("/v1/map", create_body)));
+        for _ in 0..256 {
+            let session = response.get("session").expect("session trailer");
+            if session.get("done") == Some(&Json::Bool(true)) {
+                return response;
+            }
+            response = body_json(&service.handle(&post("/v1/map", resume_body)));
+        }
+        panic!("session did not converge in 256 rounds");
+    }
+
+    #[test]
+    fn map_sessions_match_one_shot_maps_bit_for_bit() {
+        let service = Service::new(&ServiceConfig::default()).expect("service boots");
+        let job = "\"expr\":\"x0 x1 + !x0 !x1\",\
+                   \"chip\":{\"rows\":10,\"cols\":10,\"seed\":11,\"defect_rate\":0.2},\
+                   \"map\":{\"max_attempts\":60}";
+        let one_shot = body_json(&service.handle(&post("/v1/map", &format!("{{{job}}}"))));
+        let create = format!("{{{job},\"session\":{{\"id\":\"inc\",\"rounds\":1}}}}");
+        let resume =
+            format!("{{{job},\"session\":{{\"id\":\"inc\",\"rounds\":1}},\"resume\":true}}");
+        let finished = drive_session(&service, &create, &resume);
+        // The incremental run's map object is bit-identical to the
+        // uninterrupted one — the checkpoint/resume determinism contract.
+        assert_eq!(finished.get("map"), one_shot.get("map"));
+        assert_eq!(finished.get("fingerprint"), one_shot.get("fingerprint"));
+        // The completed session is gone: resuming it again is an error.
+        let gone = service.handle(&post("/v1/map", &resume));
+        assert_eq!(gone.status, 400);
+    }
+
+    #[test]
+    fn session_protocol_rejects_bad_requests() {
+        let service = Service::new(&ServiceConfig::default()).expect("service boots");
+        let job = "\"expr\":\"x0 x1\",\"chip\":{\"rows\":12,\"cols\":12,\"seed\":2}";
+        // Interim state: one round of a fresh session.
+        let first = service.handle(&post(
+            "/v1/map",
+            &format!("{{{job},\"session\":{{\"id\":\"s\",\"rounds\":0}}}}"),
+        ));
+        assert_eq!(first.status, 200);
+        assert_eq!(
+            body_json(&first).get("session").and_then(|s| s.get("done")),
+            Some(&Json::Bool(false)),
+            "zero rounds cannot finish a session"
+        );
+        // Creating the same id again without resume is refused.
+        let duplicate = service.handle(&post(
+            "/v1/map",
+            &format!("{{{job},\"session\":{{\"id\":\"s\"}}}}"),
+        ));
+        assert_eq!(duplicate.status, 400);
+        // Resume of an unknown id is refused.
+        let unknown = service.handle(&post(
+            "/v1/map",
+            &format!("{{{job},\"session\":{{\"id\":\"nope\"}},\"resume\":true}}"),
+        ));
+        assert_eq!(unknown.status, 400);
+        // Malformed session objects are refused.
+        for bad in [
+            format!("{{{job},\"resume\":true}}"),
+            format!("{{{job},\"session\":{{}}}}"),
+            format!("{{{job},\"session\":{{\"id\":\"\"}}}}"),
+            format!("{{{job},\"session\":{{\"id\":\"x\",\"rounds\":-1}}}}"),
+            format!("{{{job},\"session\":{{\"id\":\"x\",\"surprise\":1}}}}"),
+            format!("{{{job},\"session\":{{\"id\":\"x\"}},\"resume\":\"yes\"}}"),
+        ] {
+            assert_eq!(service.handle(&post("/v1/map", &bad)).status, 400, "{bad}");
+        }
+        // A chipless session create is refused like a chipless map.
+        let chipless = service.handle(&post(
+            "/v1/map",
+            "{\"expr\":\"x0\",\"session\":{\"id\":\"c\"}}",
+        ));
+        assert_eq!(chipless.status, 400);
+        assert_eq!(
+            service.metrics().sessions_created.load(Ordering::Relaxed),
+            1
+        );
     }
 }

@@ -1,0 +1,27 @@
+//! # nanoxbar-store
+//!
+//! Crash-safe durable state for the nanoxbar service: a checksummed
+//! **append-only record log** ([`log`]) over a minimal virtual
+//! filesystem ([`vfs`]) whose in-memory implementation injects IO
+//! faults — short writes, out-of-space, failed fsync, and
+//! crash-at-byte-N torn tails — so recovery is provable, not hoped for.
+//!
+//! The crate is deliberately payload-agnostic: records are byte
+//! strings, framed as `length + generation + CRC-32 + payload`
+//! ([`log::frame`]). Replay truncates at the first torn or corrupt
+//! frame, so after any crash the recovered log is a **valid prefix** of
+//! what was appended. Higher layers (the service's result-cache and
+//! mapper-session persisters) choose the payload encoding.
+//!
+//! No dependencies, `std` only, and no `unsafe`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod log;
+pub mod vfs;
+
+pub use crc::crc32;
+pub use log::{open_log, replay, rewrite_log, LogWriter, OpenedLog, RecoveryStats, Replay};
+pub use vfs::{FaultPlan, MemVfs, StdVfs, VFile, Vfs};

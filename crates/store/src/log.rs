@@ -1,0 +1,445 @@
+//! The append-only record log: framing, replay, and compaction.
+//!
+//! ## Format
+//!
+//! A log is a flat sequence of frames:
+//!
+//! ```text
+//! +----------+----------+----------+------------------+
+//! | len: u32 | gen: u32 | crc: u32 | payload (len B)  |
+//! +----------+----------+----------+------------------+
+//!     LE         LE         LE
+//! ```
+//!
+//! `crc` is CRC-32 over the first eight header bytes (`len`, `gen`)
+//! followed by the payload, so a torn length header, a half-written
+//! payload, and a run of zero padding all fail the check. `gen` is the
+//! **generation stamp**: it starts at 0 and is bumped by one on every
+//! compaction, letting a reader tell a freshly rewritten log from a
+//! stale one.
+//!
+//! ## Recovery policy
+//!
+//! [`replay`] walks frames from the start and stops at the **first**
+//! frame that is torn (runs past the buffer) or corrupt (CRC mismatch,
+//! or an implausible length). Everything before that point is returned;
+//! everything from it on is counted as `bytes_truncated` and the caller
+//! is expected to physically truncate the file there so the next append
+//! continues from a clean frame boundary. A crash can therefore lose
+//! the unsynced tail — never the middle — and recovery always yields a
+//! valid prefix of what was appended.
+
+use std::io;
+
+use crate::crc::Crc32;
+use crate::vfs::{VFile, Vfs};
+
+/// Bytes of frame header before the payload.
+pub const HEADER_LEN: usize = 12;
+
+/// Sanity cap on a single record's payload; a corrupt length field
+/// beyond this is treated as corruption rather than an allocation
+/// request.
+pub const MAX_RECORD_LEN: u32 = 1 << 26;
+
+/// What [`replay`] recovered and what it had to throw away.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Intact records replayed from the log.
+    pub records_replayed: u64,
+    /// Bytes discarded after the first torn or corrupt frame.
+    pub bytes_truncated: u64,
+    /// Length of the valid prefix, in bytes.
+    pub valid_bytes: u64,
+    /// Highest generation stamp seen in the valid prefix.
+    pub generation: u32,
+}
+
+/// The result of replaying a log buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Replay {
+    /// The recovered `(generation, payload)` records, in append order.
+    pub records: Vec<(u32, Vec<u8>)>,
+    /// Recovery accounting.
+    pub stats: RecoveryStats,
+}
+
+/// Encodes one frame.
+pub fn frame(generation: u32, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() as u64 <= MAX_RECORD_LEN as u64,
+        "record payload of {} bytes exceeds the {} byte frame cap",
+        payload.len(),
+        MAX_RECORD_LEN
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&generation.to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&out[0..8]);
+    crc.update(payload);
+    out.extend_from_slice(&crc.finish().to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Replays a log buffer, truncating at the first torn or corrupt frame.
+pub fn replay(bytes: &[u8]) -> Replay {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    let mut generation = 0u32;
+    // Stop on a torn header (or the clean end of the log)…
+    while let Some(header) = bytes.get(offset..offset + HEADER_LEN) {
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let gen = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN {
+            break; // implausible length: corruption
+        }
+        let Some(payload) = bytes.get(offset + HEADER_LEN..offset + HEADER_LEN + len as usize)
+        else {
+            break; // torn payload
+        };
+        let mut check = Crc32::new();
+        check.update(&header[0..8]);
+        check.update(payload);
+        if check.finish() != crc {
+            break; // corrupt frame
+        }
+        generation = generation.max(gen);
+        records.push((gen, payload.to_vec()));
+        offset += HEADER_LEN + len as usize;
+    }
+    Replay {
+        stats: RecoveryStats {
+            records_replayed: records.len() as u64,
+            bytes_truncated: (bytes.len() - offset) as u64,
+            valid_bytes: offset as u64,
+            generation,
+        },
+        records,
+    }
+}
+
+/// An append handle framing records onto a [`VFile`].
+///
+/// A mid-frame write failure **poisons** the writer: the file may now
+/// end in a torn frame, so appending further records would place them
+/// beyond a corruption point where replay can never reach them. A
+/// poisoned writer refuses all further work and the owner should fall
+/// back to serving without persistence.
+pub struct LogWriter {
+    file: Box<dyn VFile>,
+    generation: u32,
+    bytes_appended: u64,
+    records_appended: u64,
+    poisoned: bool,
+}
+
+impl std::fmt::Debug for LogWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogWriter")
+            .field("generation", &self.generation)
+            .field("bytes_appended", &self.bytes_appended)
+            .field("records_appended", &self.records_appended)
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+impl LogWriter {
+    /// Wraps an open append handle, stamping future records with
+    /// `generation`.
+    pub fn new(file: Box<dyn VFile>, generation: u32) -> Self {
+        LogWriter {
+            file,
+            generation,
+            bytes_appended: 0,
+            records_appended: 0,
+            poisoned: false,
+        }
+    }
+
+    /// Frames and appends one record, looping over short writes.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "log writer poisoned by an earlier torn write",
+            ));
+        }
+        let frame = frame(self.generation, payload);
+        let mut written = 0usize;
+        while written < frame.len() {
+            match self.file.append(&frame[written..]) {
+                Ok(0) => {
+                    self.poisoned = written > 0;
+                    return Err(io::Error::other("append accepted zero bytes"));
+                }
+                Ok(n) => written += n,
+                Err(e) => {
+                    // A partially written frame leaves a torn tail.
+                    self.poisoned = written > 0;
+                    return Err(e);
+                }
+            }
+        }
+        self.bytes_appended += frame.len() as u64;
+        self.records_appended += 1;
+        Ok(())
+    }
+
+    /// Forces appended frames to durable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync()
+    }
+
+    /// The generation this writer stamps.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Bytes appended through this writer (frames, not payloads).
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended
+    }
+
+    /// Records appended through this writer.
+    pub fn records_appended(&self) -> u64 {
+        self.records_appended
+    }
+
+    /// True once a torn write has made further appends unsafe.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+/// A recovered log: its replayed records plus a writer positioned to
+/// append after the valid prefix.
+#[derive(Debug)]
+pub struct OpenedLog {
+    /// Records recovered from the valid prefix, in append order.
+    pub records: Vec<(u32, Vec<u8>)>,
+    /// Recovery accounting (zeroes for a fresh log).
+    pub stats: RecoveryStats,
+    /// Writer continuing the log at the recovered generation.
+    pub writer: LogWriter,
+}
+
+/// Opens `name` on `vfs`: replays it, physically truncates any corrupt
+/// tail, and returns the records plus an append writer.
+pub fn open_log(vfs: &dyn Vfs, name: &str) -> io::Result<OpenedLog> {
+    let bytes = match vfs.read(name) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let Replay { records, stats } = replay(&bytes);
+    if stats.bytes_truncated > 0 {
+        vfs.truncate(name, stats.valid_bytes)?;
+    }
+    let writer = LogWriter::new(vfs.open_append(name)?, stats.generation);
+    Ok(OpenedLog {
+        records,
+        stats,
+        writer,
+    })
+}
+
+/// Rewrites `name` from scratch with `payloads`, stamped one generation
+/// past `previous_generation`, via a temp file + sync + atomic rename.
+/// Returns a writer for the compacted log.
+pub fn rewrite_log(
+    vfs: &dyn Vfs,
+    name: &str,
+    previous_generation: u32,
+    payloads: &[Vec<u8>],
+) -> io::Result<LogWriter> {
+    let tmp = format!("{name}.tmp");
+    let generation = previous_generation.wrapping_add(1);
+    vfs.remove(&tmp)?;
+    {
+        let mut writer = LogWriter::new(vfs.open_append(&tmp)?, generation);
+        for payload in payloads {
+            writer.append(payload)?;
+        }
+        writer.sync()?;
+    }
+    vfs.rename(&tmp, name)?;
+    Ok(LogWriter::new(vfs.open_append(name)?, generation))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{FaultPlan, MemVfs};
+
+    fn payloads(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| format!("record-{i}-{}", "x".repeat(i % 7)).into_bytes())
+            .collect()
+    }
+
+    fn encode_all(records: &[Vec<u8>]) -> Vec<u8> {
+        records.iter().flat_map(|p| frame(0, p)).collect()
+    }
+
+    #[test]
+    fn roundtrip_many_records() {
+        let records = payloads(25);
+        let replayed = replay(&encode_all(&records));
+        assert_eq!(replayed.stats.records_replayed, 25);
+        assert_eq!(replayed.stats.bytes_truncated, 0);
+        let got: Vec<Vec<u8>> = replayed.records.into_iter().map(|(_, p)| p).collect();
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn half_written_length_header_truncates() {
+        let records = payloads(3);
+        let mut bytes = encode_all(&records);
+        let valid = bytes.len();
+        bytes.extend_from_slice(&[0x42, 0x00]); // two bytes of a next length field
+        let replayed = replay(&bytes);
+        assert_eq!(replayed.stats.records_replayed, 3);
+        assert_eq!(replayed.stats.bytes_truncated, 2);
+        assert_eq!(replayed.stats.valid_bytes as usize, valid);
+    }
+
+    #[test]
+    fn bad_crc_truncates_from_corrupt_record() {
+        let records = payloads(4);
+        let mut bytes = encode_all(&records);
+        // Flip one payload byte inside the third record.
+        let offset: usize = records[..2]
+            .iter()
+            .map(|p| HEADER_LEN + p.len())
+            .sum::<usize>()
+            + HEADER_LEN;
+        bytes[offset] ^= 0xFF;
+        let replayed = replay(&bytes);
+        assert_eq!(replayed.stats.records_replayed, 2);
+        assert!(replayed.stats.bytes_truncated > 0);
+        assert_eq!(replayed.records[1].1, records[1]);
+    }
+
+    #[test]
+    fn trailing_zero_padding_truncates() {
+        let records = payloads(2);
+        let mut bytes = encode_all(&records);
+        let valid = bytes.len();
+        bytes.extend_from_slice(&[0u8; 64]); // preallocated-looking zero tail
+        let replayed = replay(&bytes);
+        assert_eq!(replayed.stats.records_replayed, 2);
+        assert_eq!(replayed.stats.bytes_truncated, 64);
+        assert_eq!(replayed.stats.valid_bytes as usize, valid);
+    }
+
+    #[test]
+    fn implausible_length_is_corruption_not_allocation() {
+        let mut bytes = encode_all(&payloads(1));
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 8]);
+        let replayed = replay(&bytes);
+        assert_eq!(replayed.stats.records_replayed, 1);
+        assert_eq!(replayed.stats.bytes_truncated, 12);
+    }
+
+    #[test]
+    fn open_log_truncates_corrupt_tail_on_disk() {
+        let vfs = MemVfs::new();
+        {
+            let mut writer = LogWriter::new(vfs.open_append("c.log").expect("open"), 0);
+            for p in payloads(3) {
+                writer.append(&p).expect("append");
+            }
+        }
+        // Simulate a torn tail: half a header.
+        let mut f = vfs.open_append("c.log").expect("open");
+        f.append(&[7, 0, 0]).expect("torn bytes");
+        drop(f);
+
+        let opened = open_log(&vfs, "c.log").expect("open log");
+        assert_eq!(opened.stats.records_replayed, 3);
+        assert_eq!(opened.stats.bytes_truncated, 3);
+        // The file itself was truncated back to the valid prefix.
+        assert_eq!(vfs.contents("c.log").len() as u64, opened.stats.valid_bytes);
+        // And appending continues cleanly from the frame boundary.
+        let mut writer = opened.writer;
+        writer.append(b"after recovery").expect("append");
+        let reopened = open_log(&vfs, "c.log").expect("reopen");
+        assert_eq!(reopened.stats.records_replayed, 4);
+        assert_eq!(reopened.records[3].1, b"after recovery");
+    }
+
+    #[test]
+    fn open_log_missing_file_is_fresh() {
+        let vfs = MemVfs::new();
+        let opened = open_log(&vfs, "fresh.log").expect("open");
+        assert!(opened.records.is_empty());
+        assert_eq!(opened.stats, RecoveryStats::default());
+    }
+
+    #[test]
+    fn short_writes_still_produce_intact_frames() {
+        let vfs = MemVfs::with_plan(FaultPlan {
+            short_write_limit: Some(5),
+            ..FaultPlan::default()
+        });
+        let mut writer = LogWriter::new(vfs.open_append("s.log").expect("open"), 0);
+        let records = payloads(6);
+        for p in &records {
+            writer.append(p).expect("append loops over short writes");
+        }
+        let replayed = replay(&vfs.contents("s.log"));
+        assert_eq!(replayed.stats.records_replayed, 6);
+        assert_eq!(replayed.stats.bytes_truncated, 0);
+    }
+
+    #[test]
+    fn enospc_mid_frame_poisons_writer_and_recovery_truncates() {
+        let vfs = MemVfs::with_plan(FaultPlan {
+            fail_after_bytes: Some(40),
+            ..FaultPlan::default()
+        });
+        let mut writer = LogWriter::new(vfs.open_append("e.log").expect("open"), 0);
+        let mut ok = 0usize;
+        let records = payloads(8);
+        for p in &records {
+            match writer.append(p) {
+                Ok(()) => ok += 1,
+                Err(_) => break,
+            }
+        }
+        assert!(writer.is_poisoned() || writer.bytes_appended() <= 40);
+        assert!(
+            writer.append(b"more").is_err(),
+            "poisoned or still out of space"
+        );
+        let replayed = replay(&vfs.contents("e.log"));
+        assert_eq!(replayed.stats.records_replayed as usize, ok);
+        for (i, (_, p)) in replayed.records.iter().enumerate() {
+            assert_eq!(*p, records[i]);
+        }
+    }
+
+    #[test]
+    fn generation_survives_compaction_and_replay() {
+        let vfs = MemVfs::new();
+        {
+            let mut writer = LogWriter::new(vfs.open_append("g.log").expect("open"), 0);
+            for p in payloads(5) {
+                writer.append(&p).expect("append");
+            }
+        }
+        let live = vec![b"live-1".to_vec(), b"live-2".to_vec()];
+        let mut writer = rewrite_log(&vfs, "g.log", 0, &live).expect("compact");
+        writer.append(b"post-compact").expect("append");
+        let opened = open_log(&vfs, "g.log").expect("reopen");
+        assert_eq!(opened.stats.generation, 1);
+        assert_eq!(opened.stats.records_replayed, 3);
+        assert_eq!(opened.records[0].1, b"live-1");
+        assert_eq!(opened.records[2].1, b"post-compact");
+        assert!(opened.records.iter().all(|(g, _)| *g == 1));
+    }
+}

@@ -73,10 +73,15 @@ fn print_help() {
                self-map onto a simulated defective chip with BISM\n\
                (speculative-parallel greedy search; K candidates/round)\n\
            nanoxbar serve [--addr A] [--threads T] [--cache-capacity C]\n\
+                          [--state-dir DIR] [--max-body-bytes N]\n\
                serve synthesis over HTTP (POST /v1/synthesize, /v1/map,\n\
                /v1/batch; GET /healthz, /metrics). --threads sets the HTTP\n\
                workers; NANOXBAR_THREADS sizes the synthesis pool;\n\
-               --cache-capacity is a weight budget (crosspoints)\n\
+               --cache-capacity is a weight budget (crosspoints);\n\
+               --state-dir persists the result cache and mapper sessions\n\
+               across restarts (crash-safe append-only logs);\n\
+               --max-body-bytes caps accepted request bodies.\n\
+               SIGINT/SIGTERM drain connections and flush state.\n\
          \n\
          EXPRESSIONS use the paper's syntax: x0 x1 + !x0 !x1  (also ', ^, parens)"
     );
@@ -430,6 +435,8 @@ fn cmd_map(args: &[String]) -> Result<(), String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use nanoxbar::service::{Server, ServiceConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
 
     let mut args = args.to_vec();
     let mut config = ServiceConfig::default();
@@ -448,8 +455,29 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("bad cache capacity {capacity:?}"))?;
     }
+    if let Some(dir) = take_option(&mut args, "--state-dir") {
+        if dir.is_empty() {
+            return Err("state dir must not be empty".into());
+        }
+        config.state_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(limit) = take_option(&mut args, "--max-body-bytes") {
+        config.max_body_bytes = limit
+            .parse::<usize>()
+            .ok()
+            .filter(|&bytes| bytes >= 1)
+            .ok_or_else(|| format!("bad body limit {limit:?}"))?;
+    }
     if let Some(stray) = args.first() {
         return Err(format!("unexpected argument {stray:?}"));
+    }
+
+    // Install the shutdown flag before binding so a signal racing the
+    // startup still drains cleanly.
+    let shutdown = Arc::new(AtomicBool::new(false));
+    for signal in [signal_hook::consts::SIGINT, signal_hook::consts::SIGTERM] {
+        signal_hook::flag::register(signal, Arc::clone(&shutdown))
+            .map_err(|e| format!("cannot install signal handler: {e}"))?;
     }
 
     let server = Server::bind(config.clone()).map_err(|e| format!("cannot bind: {e}"))?;
@@ -461,13 +489,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         config.cache_capacity,
         nanoxbar::par::threads()
     );
-    println!("endpoints: POST /v1/synthesize, POST /v1/batch, GET /healthz, GET /metrics");
-    let _handle = server.start().map_err(|e| e.to_string())?;
-    // Serve until the process is killed: the handle's threads do all the
-    // work; parking keeps main alive without burning a core.
-    loop {
-        std::thread::park();
+    match &config.state_dir {
+        Some(dir) => println!("durable state: {} (crash-safe logs)", dir.display()),
+        None => println!("durable state: off (pass --state-dir to persist across restarts)"),
     }
+    println!("endpoints: POST /v1/synthesize, POST /v1/batch, GET /healthz, GET /metrics");
+    let handle = server.start().map_err(|e| e.to_string())?;
+    // The handle's threads do all the work; poll the signal flag without
+    // burning a core, then drain: stop accepting, join the workers, and
+    // run the final synchronous state flush.
+    while !shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    println!("signal received: draining connections and flushing state");
+    handle.shutdown();
+    println!("drained; state is durable");
+    Ok(())
 }
 
 #[cfg(test)]
@@ -544,7 +581,55 @@ mod tests {
         run_err(&["frobnicate"]);
         run_err(&["serve", "--threads", "0"]);
         run_err(&["serve", "--cache-capacity", "many"]);
+        run_err(&["serve", "--max-body-bytes", "0"]);
+        run_err(&["serve", "--max-body-bytes", "lots"]);
+        run_err(&["serve", "--state-dir", ""]);
         run_err(&["serve", "stray"]);
+    }
+
+    #[test]
+    fn serve_drains_on_signal_and_creates_state_logs() {
+        use std::time::{Duration, Instant};
+
+        let dir = std::env::temp_dir().join(format!("nanoxbar-serve-drain-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let argv: Vec<String> = [
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--state-dir",
+            &dir.display().to_string(),
+            "--max-body-bytes",
+            "65536",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            tx.send(run(&argv)).ok();
+        });
+
+        // The signal may fire before the server registers its flag, so
+        // keep simulating SIGTERM until the serve loop observes it.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let result = loop {
+            signal_hook::flag::simulate(signal_hook::consts::SIGTERM);
+            match rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(result) => break result,
+                Err(_) if Instant::now() < deadline => continue,
+                Err(e) => panic!("serve did not drain on SIGTERM: {e}"),
+            }
+        };
+        result.expect("serve exits cleanly after the signal");
+        assert!(
+            dir.join("cache.log").exists(),
+            "--state-dir created the durable cache log"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Offline stand-in for the subset of `signal-hook` the workspace uses:
+//! [`flag::register`], wiring a POSIX signal to an `AtomicBool`.
+//!
+//! The build environment has no crates.io access and the workspace has
+//! no `libc` dependency, but `std` itself links the platform C library,
+//! so the C `signal(2)` entry point is already in the process image —
+//! this crate declares it and installs a minimal handler. The handler
+//! body is async-signal-safe: it performs exactly one relaxed atomic
+//! store into a process-global slot table and returns.
+//!
+//! Only the two signals the CLI needs are supported ([`consts::SIGINT`],
+//! [`consts::SIGTERM`]); registering is idempotent and flags, once registered,
+//! live for the life of the process (the real crate's `SigId`
+//! unregistration surface is not reproduced).
+
+#![warn(missing_docs)]
+
+/// Signal numbers, mirroring `signal_hook::consts`.
+pub mod consts {
+    /// Interactive interrupt (Ctrl-C).
+    pub const SIGINT: i32 = 2;
+    /// Termination request (the `kill` default).
+    pub const SIGTERM: i32 = 15;
+}
+
+/// Registering signal flags, mirroring `signal_hook::flag`.
+pub mod flag {
+    use std::io;
+    use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+    use std::sync::Arc;
+
+    use crate::consts::{SIGINT, SIGTERM};
+
+    // One slot per supported signal; the handler indexes by signum.
+    const SLOTS: usize = 2;
+
+    fn slot(signal: i32) -> Option<usize> {
+        match signal {
+            SIGINT => Some(0),
+            SIGTERM => Some(1),
+            _ => None,
+        }
+    }
+
+    static FLAGS: [AtomicPtr<AtomicBool>; SLOTS] = [
+        AtomicPtr::new(std::ptr::null_mut()),
+        AtomicPtr::new(std::ptr::null_mut()),
+    ];
+
+    // `std` links the platform C library, so `signal(2)` is present in
+    // every binary this workspace produces.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(signum: i32) {
+        if let Some(i) = slot(signum) {
+            // Relaxed is enough: the poller only needs to eventually
+            // observe `true`, and an atomic store is async-signal-safe.
+            let ptr = FLAGS[i].load(Ordering::Relaxed);
+            if !ptr.is_null() {
+                // SAFETY: the pointer came from `Arc::into_raw` on an
+                // Arc we intentionally leaked in `register`, so it is
+                // valid for the life of the process.
+                unsafe { (*ptr).store(true, Ordering::Relaxed) };
+            }
+        }
+    }
+
+    /// Arranges for `flag` to be set to `true` when `signal` arrives.
+    ///
+    /// The flag is leaked (lives until process exit), matching how the
+    /// real crate's registrations are typically used for shutdown
+    /// flags. Returns an error for unsupported signals.
+    pub fn register(signal_num: i32, flag: Arc<AtomicBool>) -> io::Result<()> {
+        let i = slot(signal_num)
+            .ok_or_else(|| io::Error::other(format!("unsupported signal {signal_num}")))?;
+        let raw = Arc::into_raw(flag) as *mut AtomicBool;
+        // A re-registration replaces the flag; the old Arc stays leaked
+        // (the handler may be mid-flight with its pointer).
+        let _previous = FLAGS[i].swap(raw, Ordering::SeqCst);
+        // SAFETY: installing a handler that only performs an atomic
+        // store; `on_signal` has the signature `signal(2)` expects.
+        unsafe { signal(signal_num, on_signal as *const () as usize) };
+        Ok(())
+    }
+
+    /// Test/CLI helper: raises the handler exactly as the kernel would,
+    /// without involving process-wide `kill`.
+    pub fn simulate(signal_num: i32) {
+        on_signal(signal_num);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::consts::{SIGINT, SIGTERM};
+    use super::flag;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn registered_flag_is_set_by_handler() {
+        let hit = Arc::new(AtomicBool::new(false));
+        flag::register(SIGTERM, Arc::clone(&hit)).expect("register");
+        assert!(!hit.load(Ordering::Relaxed));
+        flag::simulate(SIGTERM);
+        assert!(hit.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn real_signal_delivery_sets_flag() {
+        let hit = Arc::new(AtomicBool::new(false));
+        flag::register(SIGINT, Arc::clone(&hit)).expect("register");
+        // Deliver a real SIGINT to ourselves through the C library.
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        unsafe { raise(SIGINT) };
+        // Delivery is synchronous for `raise` on the calling thread.
+        assert!(hit.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn unsupported_signal_is_an_error() {
+        assert!(flag::register(99, Arc::new(AtomicBool::new(false))).is_err());
+    }
+}
