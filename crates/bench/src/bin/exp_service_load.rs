@@ -16,11 +16,15 @@
 //!
 //! Flags (all optional): `--clients N` `--requests M` `--distinct K`
 //! `--cache C` (a *weight* budget in crosspoints — entries weigh their
-//! realization's area — matching `ServiceConfig::cache_capacity`), and
+//! realization's area — matching `ServiceConfig::cache_capacity`),
 //! `--state-dir DIR` to add a third comparison: a cold server persisting
-//! to DIR vs a **warm restart** replaying DIR's durable cache log. The
+//! to DIR vs a **warm restart** replaying DIR's durable cache log (the
 //! warm server must start at a 100% hit rate and answer every request
-//! byte-identically to the cold run.
+//! byte-identically to the cold run), and `--peers N` (N ≥ 2) to add a
+//! fleet comparison: N replicas sharing work via consistent-hash peer
+//! cache fills, measured with all replicas up and again with one shut
+//! down mid-fleet — both must answer byte-identically to the
+//! single-replica pass.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -213,6 +217,138 @@ fn run_pass(
     }
 }
 
+/// Runs one fleet pass: `replicas` servers on ephemeral ports, each
+/// listing the others in `peers` (two-phase bind: bind every listener
+/// first so the addresses exist before any config mentions them). With
+/// `kill` set, one replica is shut down before the load starts and the
+/// clients spread over the survivors — whose rings still list the dead
+/// peer, so every fill aimed at it must fail over to local synthesis.
+fn run_fleet_pass(
+    clients: usize,
+    requests: usize,
+    bodies: &[String],
+    cache: usize,
+    replicas: usize,
+    kill: bool,
+) -> (PassReport, f64, f64) {
+    let listeners: Vec<std::net::TcpListener> = (0..replicas)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port"))
+        .collect();
+    let addrs: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").to_string())
+        .collect();
+    let mut handles = Vec::new();
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let peers = addrs
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, a)| a.clone())
+            .collect();
+        let server = Server::from_listener(
+            listener,
+            ServiceConfig {
+                addr: addrs[i].clone(),
+                workers: clients.max(2),
+                cache_capacity: cache,
+                peers,
+                // Fail fast over loopback: a dead peer answers with a
+                // connection refuse in microseconds.
+                peer_deadline: Duration::from_millis(500),
+                peer_retries: 1,
+                peer_backoff: Duration::from_millis(2),
+                peer_backoff_cap: Duration::from_millis(20),
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("fleet replica boots");
+        handles.push(Some(server.start().expect("start replica")));
+    }
+    if kill {
+        handles[0].take().expect("handle").shutdown();
+    }
+    let live: Vec<String> = handles
+        .iter()
+        .zip(&addrs)
+        .filter(|(h, _)| h.is_some())
+        .map(|(_, a)| a.clone())
+        .collect();
+
+    let started = Instant::now();
+    let logs: Vec<ClientLog> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let addr = &live[client % live.len()];
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                    let mut stream = stream;
+                    let mut log = ClientLog {
+                        latencies: Vec::with_capacity(requests),
+                        bodies: Vec::with_capacity(requests),
+                    };
+                    for request in 0..requests {
+                        let body = &bodies[job_index(client, request, bodies.len())];
+                        let sent = Instant::now();
+                        let response = post(&mut stream, &mut reader, addr, body).expect("request");
+                        log.latencies.push(sent.elapsed());
+                        assert!(
+                            Json::parse(&response)
+                                .ok()
+                                .and_then(|j| j.get("ok").and_then(Json::as_bool))
+                                .unwrap_or(false),
+                            "job failed: {response}"
+                        );
+                        log.bodies.push(response);
+                    }
+                    log
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut fills = 0.0;
+    let mut fill_failures = 0.0;
+    let mut hits = 0.0;
+    let mut misses = 0.0;
+    for addr in &live {
+        let metrics = get(addr, "/metrics").expect("scrape metrics");
+        fills += scrape(&metrics, "nanoxbar_peer_fills_total");
+        fill_failures += scrape(&metrics, "nanoxbar_peer_fill_failures_total");
+        hits += scrape(&metrics, "nanoxbar_cache_hits_total");
+        misses += scrape(&metrics, "nanoxbar_cache_misses_total");
+    }
+    for handle in handles.into_iter().flatten() {
+        handle.shutdown();
+    }
+
+    let mut latencies: Vec<Duration> = logs.iter().flat_map(|l| l.latencies.clone()).collect();
+    latencies.sort_unstable();
+    let total = (clients * requests) as f64;
+    (
+        PassReport {
+            throughput: total / elapsed.as_secs_f64(),
+            p50: latencies[latencies.len() / 2],
+            p99: latencies[(latencies.len() * 99) / 100],
+            hit_rate: if hits + misses > 0.0 {
+                hits / (hits + misses)
+            } else {
+                0.0
+            },
+            steals: 0,
+            bodies: logs.into_iter().map(|l| l.bodies).collect(),
+        },
+        fills,
+        fill_failures,
+    )
+}
+
 fn arg(flag: &str, default: usize) -> usize {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
@@ -292,6 +428,66 @@ fn main() {
         cached.hit_rate > 0.4,
         "duplicate-heavy run must hit the cache"
     );
+
+    let fleet_size = arg("--peers", 0);
+    if fleet_size >= 2 {
+        println!();
+        println!("fleet comparison ({fleet_size} replicas, consistent-hash peer fills)");
+        let (fleet, fills, fill_failures) =
+            run_fleet_pass(clients, requests, &bodies, cache, fleet_size, false);
+        let (degraded, degraded_fills, degraded_failures) =
+            run_fleet_pass(clients, requests, &bodies, cache, fleet_size, true);
+
+        let mut table = Table::new(&[
+            "pass",
+            "throughput req/s",
+            "p50",
+            "p99",
+            "cache hit rate",
+            "peer fills",
+            "fill failures",
+        ]);
+        for (name, pass, fills, failures) in [
+            (format!("fleet x{fleet_size}"), &fleet, fills, fill_failures),
+            (
+                format!("fleet x{fleet_size} (1 down)"),
+                &degraded,
+                degraded_fills,
+                degraded_failures,
+            ),
+        ] {
+            table.row_owned(vec![
+                name,
+                f2(pass.throughput),
+                format!("{:?}", pass.p50),
+                format!("{:?}", pass.p99),
+                f2(pass.hit_rate * 100.0) + "%",
+                f2(fills),
+                f2(failures),
+            ]);
+        }
+        println!("{}", table.render());
+        println!(
+            "peer-fill hit rate (all up): {:.1}%",
+            if fills + fill_failures > 0.0 {
+                fills / (fills + fill_failures) * 100.0
+            } else {
+                0.0
+            }
+        );
+
+        // The robustness claims, checked directly: sharded replicas and
+        // even a dead replica never change one response byte.
+        assert_eq!(
+            fleet.bodies, cached.bodies,
+            "a fleet must answer byte-identically to a single replica"
+        );
+        assert_eq!(
+            degraded.bodies, cached.bodies,
+            "a fleet with a dead replica must answer byte-identically"
+        );
+        println!("fleet bodies bit-identical to single replica: true (both passes)");
+    }
 
     if let Some(dir) = arg_str("--state-dir") {
         let dir = std::path::PathBuf::from(dir);

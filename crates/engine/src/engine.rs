@@ -100,6 +100,38 @@ impl FaultModel {
     }
 }
 
+/// A last-chance supplier consulted on a result-cache miss, *before*
+/// local synthesis: given the missed [`CacheKey`], it may produce the
+/// finished [`CachedSynthesis`] from somewhere else — a peer replica, a
+/// second cache tier, a precomputed store. A successful fill is inserted
+/// into the engine's cache like a fresh synthesis (so insert listeners
+/// fire) and must be **bit-identical** to what local synthesis would
+/// produce; returning `None` falls through to local synthesis, so a hook
+/// can never fail a job. Called from pool worker threads — implementations
+/// must be `Send + Sync` and should bound their own latency.
+#[derive(Clone)]
+pub struct CacheFillHook(FillFn);
+
+type FillFn = Arc<dyn Fn(&CacheKey) -> Option<CachedSynthesis> + Send + Sync>;
+
+impl CacheFillHook {
+    /// Wraps a fill function.
+    pub fn new(f: impl Fn(&CacheKey) -> Option<CachedSynthesis> + Send + Sync + 'static) -> Self {
+        CacheFillHook(Arc::new(f))
+    }
+
+    /// Consults the hook for one missed key.
+    pub fn fill(&self, key: &CacheKey) -> Option<CachedSynthesis> {
+        (self.0)(key)
+    }
+}
+
+impl std::fmt::Debug for CacheFillHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CacheFillHook")
+    }
+}
+
 /// Configures and builds an [`Engine`]. Obtained from [`Engine::builder`].
 #[derive(Debug)]
 pub struct EngineBuilder {
@@ -111,6 +143,7 @@ pub struct EngineBuilder {
     fault_model: FaultModel,
     cache: Option<Arc<ResultCache>>,
     cache_capacity: usize,
+    fill_hook: Option<CacheFillHook>,
 }
 
 impl Default for EngineBuilder {
@@ -124,6 +157,7 @@ impl Default for EngineBuilder {
             fault_model: FaultModel::default(),
             cache: None,
             cache_capacity: 0,
+            fill_hook: None,
         }
     }
 }
@@ -210,6 +244,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Installs a [`CacheFillHook`] consulted on every cache miss before
+    /// local synthesis. Only meaningful together with a cache
+    /// ([`EngineBuilder::cache_capacity`] or
+    /// [`EngineBuilder::shared_cache`]) — without one there are no misses
+    /// to intercept and the hook is never called.
+    pub fn cache_fill_hook(mut self, hook: CacheFillHook) -> Self {
+        self.fill_hook = Some(hook);
+        self
+    }
+
     /// Builds the engine.
     ///
     /// # Errors
@@ -235,6 +279,7 @@ impl EngineBuilder {
             limits: self.limits,
             fault_model: self.fault_model,
             cache,
+            fill_hook: self.fill_hook,
         })
     }
 }
@@ -252,6 +297,8 @@ pub struct Engine {
     fault_model: FaultModel,
     /// Content-addressed memo of successful syntheses, when enabled.
     cache: Option<Arc<ResultCache>>,
+    /// Last-chance miss supplier consulted before local synthesis.
+    fill_hook: Option<CacheFillHook>,
 }
 
 impl Engine {
@@ -337,6 +384,16 @@ impl Engine {
         if let (Some(cache), Some(key)) = (&self.cache, &key) {
             if let Some(hit) = cache.get(key) {
                 return Ok((strategy, hit.realization, hit.cover));
+            }
+            // Miss: give the fill hook (a peer replica, another tier) one
+            // shot before synthesising locally. A fill is admitted to the
+            // cache exactly like a fresh synthesis, so insert listeners
+            // (durable-state persistence) see it too.
+            if let Some(hook) = &self.fill_hook {
+                if let Some(filled) = hook.fill(key) {
+                    cache.insert(key.clone(), filled.clone());
+                    return Ok((strategy, filled.realization, filled.cover));
+                }
             }
         }
 
@@ -1037,6 +1094,42 @@ mod tests {
         );
         let stats = engine.cache_stats().unwrap();
         assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn cache_fill_hook_runs_on_miss_only_and_feeds_the_cache() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // A donor engine supplies the hook's answers, so filled entries
+        // are real synthesis results (bit-identical by construction).
+        let donor = Engine::builder().cache_capacity(64).build().unwrap();
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let donor_result = donor.run(&Job::synthesize(f.clone())).unwrap();
+        let donor_cache = Arc::clone(donor.cache().unwrap());
+        let calls = Arc::new(AtomicUsize::new(0));
+        let counted = Arc::clone(&calls);
+        let hook = CacheFillHook::new(move |key: &CacheKey| {
+            counted.fetch_add(1, Ordering::SeqCst);
+            donor_cache.get(key)
+        });
+        let engine = Engine::builder()
+            .cache_capacity(64)
+            .cache_fill_hook(hook)
+            .build()
+            .unwrap();
+        // Miss → hook fills → same shared realization as the donor's.
+        let a = engine.run(&Job::synthesize(f.clone())).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert!(Arc::ptr_eq(&a.realization, &donor_result.realization));
+        // The fill landed in the cache, so a repeat is a plain hit: the
+        // hook is not consulted again.
+        let b = engine.run(&Job::synthesize(f)).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "hit skips the hook");
+        assert!(Arc::ptr_eq(&a.realization, &b.realization));
+        // A key the hook cannot supply falls through to local synthesis.
+        let g = parse_function("x0 + x1 x2").unwrap();
+        let local = engine.run(&Job::synthesize(g)).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(local.strategy, "dual-lattice");
     }
 
     #[test]

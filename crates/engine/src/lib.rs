@@ -58,7 +58,7 @@ pub use backend::{
     OptimalLatticeBackend, Strategy, SynthesisBackend, SynthesisContext,
 };
 pub use cache::{CacheKey, CacheStats, CachedSynthesis, InsertListener, ResultCache};
-pub use engine::{Engine, EngineBuilder, FaultModel, Limits, MapSetup};
+pub use engine::{CacheFillHook, Engine, EngineBuilder, FaultModel, Limits, MapSetup};
 pub use error::Error;
 pub use flow::{FlowError, FlowReport};
 pub use job::{ChipSpec, Job, JobResult};

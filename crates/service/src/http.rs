@@ -55,6 +55,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body bytes.
     pub body: Vec<u8>,
+    /// Seconds for a `Retry-After` header (load-shed responses tell
+    /// clients — including peer replicas — when to try again).
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -64,6 +67,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into_bytes(),
+            retry_after: None,
         }
     }
 
@@ -73,7 +77,14 @@ impl Response {
             status,
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             body: body.into_bytes(),
+            retry_after: None,
         }
+    }
+
+    /// The same response with a `Retry-After: seconds` header attached.
+    pub fn with_retry_after(mut self, seconds: u64) -> Response {
+        self.retry_after = Some(seconds);
+        self
     }
 
     /// The standard reason phrase for the status code.
@@ -269,6 +280,9 @@ pub fn write_response<W: Write>(
         response.content_type,
         response.body.len()
     );
+    if let Some(seconds) = response.retry_after {
+        head.push_str(&format!("retry-after: {seconds}\r\n"));
+    }
     if close {
         head.push_str("connection: close\r\n");
     }
@@ -363,5 +377,13 @@ mod tests {
         assert!(text.contains("content-length: 2\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+        assert!(!text.contains("retry-after"), "absent unless requested");
+
+        let mut out = Vec::new();
+        let shed = Response::json(503, "{}".into()).with_retry_after(2);
+        write_response(&mut out, &shed, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 2\r\n"), "{text}");
     }
 }

@@ -125,6 +125,71 @@
 //! fault-injecting in-memory filesystem (`nanoxbar-store`): short
 //! writes, `ENOSPC`, failing `fsync`, and crash-at-byte-N torn tails.
 //!
+//! ## Fleet operations
+//!
+//! `nanoxbar serve --peers HOST:PORT,...` joins N replicas into a fleet:
+//! the peers plus the replica itself form a consistent-hash ring over
+//! the content-addressed cache key. A cache miss whose key the ring
+//! assigns to a peer is first **filled from that peer** over the normal
+//! wire format (`POST /v1/peer/fill`); only if the peer cannot answer —
+//! down, shedding, slow — does the replica synthesize locally. Because
+//! responses are deterministic and byte-identical everywhere, a peer
+//! fill and a local synthesis are indistinguishable to clients: **no
+//! peer failure is ever client-visible**. Each peer gets per-attempt
+//! deadlines, bounded retries with jittered exponential backoff, and a
+//! circuit breaker that fails fast after consecutive failures, then
+//! re-probes half-open after a cooldown.
+//!
+//! A three-replica session (each lists the *other two* in `--peers`):
+//!
+//! ```console
+//! $ nanoxbar serve --addr 127.0.0.1:8081 --peers 127.0.0.1:8082,127.0.0.1:8083 &
+//! $ nanoxbar serve --addr 127.0.0.1:8082 --peers 127.0.0.1:8081,127.0.0.1:8083 &
+//! $ nanoxbar serve --addr 127.0.0.1:8083 --peers 127.0.0.1:8081,127.0.0.1:8082 &
+//!
+//! # Warm replica 1, then ask replica 2 for the same job: if the ring
+//! # assigns the key to replica 1, replica 2 fills from it instead of
+//! # re-synthesising — the bodies are byte-identical either way.
+//! $ curl -s http://127.0.0.1:8081/v1/synthesize -d '{"expr":"x0 x1 + !x0 !x1"}' > a.json
+//! $ curl -s http://127.0.0.1:8082/v1/synthesize -d '{"expr":"x0 x1 + !x0 !x1"}' > b.json
+//! $ cmp a.json b.json && curl -s http://127.0.0.1:8082/metrics | grep peer_fills
+//! nanoxbar_peer_fills_total 1
+//!
+//! # Sessions migrate: start an incremental map on replica 1, resume it
+//! # on replica 3 — replica 3 fetches the checkpoint record from
+//! # replica 1 (which hands off ownership) and continues bit-identically.
+//! $ curl -s http://127.0.0.1:8081/v1/map \
+//!     -d '{"expr":"x0 x1","chip":{"rows":10,"cols":10,"seed":11,"defect_rate":0.2},
+//!          "session":{"id":"mig","rounds":1}}'
+//! $ curl -s http://127.0.0.1:8083/v1/map -d '{"session":{"id":"mig"},"resume":true}'
+//!
+//! # Kill a replica mid-session: the survivors keep serving (the dead
+//! # peer's breaker opens after `--breaker-threshold` failures, visible
+//! # in /healthz "peers" and the nanoxbar_peer_breaker_state gauge),
+//! # and every request still succeeds via local synthesis.
+//! $ kill -9 %1
+//! $ curl -s http://127.0.0.1:8082/v1/synthesize -d '{"expr":"x0 x1 + !x0 !x1"}' | cmp - a.json
+//! ```
+//!
+//! Tuning knobs (CLI flags mirror [`ServiceConfig`] fields):
+//!
+//! | Knob                | Default | Meaning                                        |
+//! |---------------------|---------|------------------------------------------------|
+//! | `peer_deadline`     | 1s      | Per-attempt budget for one peer exchange (connect → full response); also defeats slow-loris peers |
+//! | `peer_retries`      | 2       | Extra attempts after the first failure          |
+//! | `peer_backoff`      | 25ms    | Base retry delay; doubles per attempt, ±50% jitter |
+//! | `peer_backoff_cap`  | 250ms   | Ceiling on the delay; also caps an honored `Retry-After` |
+//! | `breaker_threshold` | 3       | Consecutive failures that trip a peer's breaker |
+//! | `breaker_cooldown`  | 2s      | Fail-fast window before the half-open probe     |
+//!
+//! A load-shedding replica answers `503` with a `Retry-After` header;
+//! peers honor it (capped at `peer_backoff_cap`) before retrying, and a
+//! shed does **not** count against the breaker — the peer is alive, just
+//! busy. The whole fleet path is testable without real packet loss: the
+//! [`peer::NetDialer`] seam accepts [`peer::MemNet`], an in-memory
+//! network that injects refused connections, black-hole timeouts,
+//! mid-response resets, and slow-loris trickle per scripted fault queues.
+//!
 //! ## In-process use
 //!
 //! [`Server::bind`] + [`Server::start`] run the service on background
@@ -151,6 +216,7 @@
 pub mod api;
 pub mod http;
 pub mod metrics;
+pub mod peer;
 mod persist;
 mod server;
 mod session;
@@ -158,6 +224,7 @@ pub mod wire;
 
 pub use api::{error_kind, fingerprint, result_to_json, ChipRequest, JobSpec};
 pub use metrics::{Histogram, Metrics};
+pub use peer::{BreakerState, MemNet, NetDialer, NetFault, PeerStatus, TcpDialer};
 pub use persist::RecoveryInfo;
 pub use server::{Server, ServerHandle, Service, ServiceConfig};
 pub use wire::{Json, WireError};

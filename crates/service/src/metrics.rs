@@ -12,6 +12,8 @@ use std::time::Duration;
 use nanoxbar_engine::CacheStats;
 use nanoxbar_par::PoolStats;
 
+use crate::peer::PeerStatus;
+
 /// Histogram bucket upper bounds, in microseconds.
 const BUCKET_BOUNDS_US: [u64; 12] = [
     100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 1_000_000, 10_000_000,
@@ -119,8 +121,17 @@ pub struct Metrics {
     pub sessions_expired: AtomicU64,
     /// Live mapper sessions (gauge).
     pub sessions_active: AtomicU64,
+    /// Mapper sessions adopted from a peer replica on resume.
+    pub sessions_migrated: AtomicU64,
+    /// Cache entries filled from a peer replica.
+    pub peer_fills: AtomicU64,
+    /// Peer fill attempts that failed (after retries) or decoded wrong.
+    pub peer_fill_failures: AtomicU64,
     /// End-to-end latency of synthesis requests (parse → response built).
     pub latency: Histogram,
+    /// End-to-end latency of peer fill exchanges (dial → record decoded),
+    /// successes and failures alike.
+    pub peer_fill_latency: Histogram,
 }
 
 impl Metrics {
@@ -135,8 +146,14 @@ impl Metrics {
     }
 
     /// Renders the Prometheus text format, folding in the engine cache
-    /// stats and the process-global pool counters.
-    pub fn render_prometheus(&self, cache: Option<CacheStats>, pool: PoolStats) -> String {
+    /// stats, the process-global pool counters, and the fleet's per-peer
+    /// circuit state (`peers` is empty outside fleet mode).
+    pub fn render_prometheus(
+        &self,
+        cache: Option<CacheStats>,
+        pool: PoolStats,
+        peers: &[PeerStatus],
+    ) -> String {
         let mut out = String::with_capacity(2048);
         let counter = |out: &mut String, name: &str, help: &str, value: u64| {
             out.push_str(&format!(
@@ -270,10 +287,45 @@ impl Metrics {
              # TYPE nanoxbar_sessions_active gauge\nnanoxbar_sessions_active {}\n",
             self.sessions_active.load(Ordering::Relaxed)
         ));
+        counter(
+            &mut out,
+            "nanoxbar_sessions_migrated_total",
+            "Mapper sessions adopted from a peer replica on resume.",
+            self.sessions_migrated.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_peer_fills_total",
+            "Cache entries filled from a peer replica.",
+            self.peer_fills.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_peer_fill_failures_total",
+            "Peer fill attempts that failed after retries.",
+            self.peer_fill_failures.load(Ordering::Relaxed),
+        );
+        if !peers.is_empty() {
+            out.push_str(
+                "# HELP nanoxbar_peer_breaker_state Per-peer circuit state \
+                 (0=closed, 1=half-open, 2=open).\n\
+                 # TYPE nanoxbar_peer_breaker_state gauge\n",
+            );
+            for peer in peers {
+                out.push_str(&format!(
+                    "nanoxbar_peer_breaker_state{{peer=\"{}\"}} {}\n",
+                    peer.addr,
+                    peer.state.as_gauge()
+                ));
+            }
+        }
 
         out.push_str("# HELP nanoxbar_request_latency_seconds Synthesis request latency.\n");
         self.latency
             .render("nanoxbar_request_latency_seconds", &mut out);
+        out.push_str("# HELP nanoxbar_peer_fill_latency_seconds Peer cache-fill latency.\n");
+        self.peer_fill_latency
+            .render("nanoxbar_peer_fill_latency_seconds", &mut out);
 
         let cache = cache.unwrap_or_default();
         counter(
@@ -363,10 +415,14 @@ mod tests {
         let m = Metrics::default();
         Metrics::bump(&m.requests_synthesize);
         Metrics::add(&m.jobs, 7);
-        let text = m.render_prometheus(None, PoolStats::default());
+        let text = m.render_prometheus(None, PoolStats::default(), &[]);
         for family in [
             "nanoxbar_requests_total{endpoint=\"synthesize\"} 1",
             "nanoxbar_requests_total{endpoint=\"map\"} 0",
+            "nanoxbar_sessions_migrated_total 0",
+            "nanoxbar_peer_fills_total 0",
+            "nanoxbar_peer_fill_failures_total 0",
+            "nanoxbar_peer_fill_latency_seconds_count 0",
             "nanoxbar_jobs_total 7",
             "nanoxbar_maps_total 0",
             "nanoxbar_map_failures_total 0",
@@ -389,5 +445,42 @@ mod tests {
         ] {
             assert!(text.contains(family), "missing {family}:\n{text}");
         }
+        assert!(
+            !text.contains("nanoxbar_peer_breaker_state"),
+            "no breaker gauge outside fleet mode:\n{text}"
+        );
+    }
+
+    #[test]
+    fn breaker_gauge_is_labelled_per_peer() {
+        use crate::peer::BreakerState;
+        let m = Metrics::default();
+        let peers = vec![
+            PeerStatus {
+                addr: "10.0.0.2:8080".into(),
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                last_error: None,
+                fills: 3,
+                fill_failures: 0,
+            },
+            PeerStatus {
+                addr: "10.0.0.3:8080".into(),
+                state: BreakerState::Open,
+                consecutive_failures: 4,
+                last_error: Some("connection refused".into()),
+                fills: 0,
+                fill_failures: 4,
+            },
+        ];
+        let text = m.render_prometheus(None, PoolStats::default(), &peers);
+        assert!(
+            text.contains("nanoxbar_peer_breaker_state{peer=\"10.0.0.2:8080\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("nanoxbar_peer_breaker_state{peer=\"10.0.0.3:8080\"} 2"),
+            "{text}"
+        );
     }
 }

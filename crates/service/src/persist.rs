@@ -336,25 +336,48 @@ fn cover_from_json(v: &Json) -> Result<Cover, String> {
 // Cache records
 // ---------------------------------------------------------------------
 
+/// The wire form of a [`CacheKey`] — shared by the cache log and the
+/// peer-fill protocol, so a fill request names exactly the entry a log
+/// record would store.
+pub(crate) fn key_to_json(key: &CacheKey) -> Json {
+    object(vec![
+        ("num_vars", Json::from(key.num_vars())),
+        (
+            "words",
+            Json::Array(key.words().iter().map(|&w| hex64(w)).collect()),
+        ),
+        ("strategy", Json::Str(key.strategy().into())),
+        (
+            "minimize",
+            Json::Str(minimize_to_str(key.minimize()).into()),
+        ),
+    ])
+}
+
+/// Rebuilds a [`CacheKey`] from its wire form.
+pub(crate) fn key_from_json(key: &Json) -> Result<CacheKey, String> {
+    let words: Vec<u64> = field(key, "words")?
+        .as_array()
+        .ok_or("words must be an array")?
+        .iter()
+        .map(parse_hex64)
+        .collect::<Result<_, String>>()?;
+    Ok(CacheKey::from_parts(
+        parse_usize(field(key, "num_vars")?, "num_vars")?,
+        words,
+        field(key, "strategy")?
+            .as_str()
+            .ok_or("strategy must be a string")?
+            .to_string(),
+        parse_minimize_mode(field(key, "minimize")?)?,
+    ))
+}
+
 /// Encodes one result-cache entry as a log payload.
 pub fn encode_cache_record(key: &CacheKey, value: &CachedSynthesis) -> Vec<u8> {
     let mut members = vec![
         ("v", Json::Int(RECORD_VERSION)),
-        (
-            "key",
-            object(vec![
-                ("num_vars", Json::from(key.num_vars())),
-                (
-                    "words",
-                    Json::Array(key.words().iter().map(|&w| hex64(w)).collect()),
-                ),
-                ("strategy", Json::Str(key.strategy().into())),
-                (
-                    "minimize",
-                    Json::Str(minimize_to_str(key.minimize()).into()),
-                ),
-            ]),
-        ),
+        ("key", key_to_json(key)),
         ("realization", realization_to_json(&value.realization)),
     ];
     if let Some(cover) = &value.cover {
@@ -375,22 +398,7 @@ pub fn decode_cache_record(payload: &[u8]) -> Result<(CacheKey, CachedSynthesis)
     if field(&json, "v")?.as_i64() != Some(RECORD_VERSION) {
         return Err("unsupported cache record version".into());
     }
-    let key = field(&json, "key")?;
-    let words: Vec<u64> = field(key, "words")?
-        .as_array()
-        .ok_or("words must be an array")?
-        .iter()
-        .map(parse_hex64)
-        .collect::<Result<_, String>>()?;
-    let key = CacheKey::from_parts(
-        parse_usize(field(key, "num_vars")?, "num_vars")?,
-        words,
-        field(key, "strategy")?
-            .as_str()
-            .ok_or("strategy must be a string")?
-            .to_string(),
-        parse_minimize_mode(field(key, "minimize")?)?,
-    );
+    let key = key_from_json(field(&json, "key")?)?;
     let realization = Arc::new(realization_from_json(field(&json, "realization")?)?);
     let cover = match json.get("cover") {
         None => None,

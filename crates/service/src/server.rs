@@ -26,10 +26,11 @@ use nanoxbar_store::{StdVfs, Vfs};
 use crate::api::{bad_slot, parse_limits, parse_minimize, result_to_json, JobSpec, MapRequest};
 use crate::http::{read_request, write_response, HttpError, Request, Response};
 use crate::metrics::Metrics;
+use crate::peer::{Fleet, NetDialer, PeerTuning, TcpDialer};
 use crate::persist::{
     decode_cache_record, decode_session_record, encode_cache_record, encode_session_drop,
-    flush_lag, open_state, spawn_persister, PersistCmd, PersisterState, RecoveryInfo,
-    SessionRecord, StatePersister,
+    flush_lag, key_from_json, open_state, spawn_persister, PersistCmd, PersisterState,
+    RecoveryInfo, SessionRecord, StatePersister,
 };
 use crate::session::{SessionEntry, SessionTable};
 use crate::wire::{object, Json};
@@ -68,6 +69,28 @@ pub struct ServiceConfig {
     /// Most live mapper sessions held at once; the least-recently
     /// touched are evicted beyond this.
     pub session_capacity: usize,
+    /// Fleet peers (`host:port` each). Non-empty enables fleet mode:
+    /// the peers plus this replica form a consistent-hash ring; cache
+    /// misses owned by a peer are filled from it, and unknown `resume`d
+    /// sessions are fetched from whichever peer holds them.
+    pub peers: Vec<String>,
+    /// The ring address this replica advertises for itself; defaults to
+    /// the bound address. Must match what the peers list for this
+    /// replica, or the ring views diverge.
+    pub advertise: Option<String>,
+    /// Per-attempt peer deadline (connect + full exchange).
+    pub peer_deadline: Duration,
+    /// Peer retries after the first attempt.
+    pub peer_retries: u32,
+    /// Base backoff before the first peer retry (doubled per retry,
+    /// ±50% jitter).
+    pub peer_backoff: Duration,
+    /// Peer backoff ceiling; also caps an honored `Retry-After`.
+    pub peer_backoff_cap: Duration,
+    /// Consecutive peer failures that trip its circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker fails fast before its half-open probe.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -86,6 +109,14 @@ impl Default for ServiceConfig {
             flush_interval: Duration::from_millis(25),
             session_ttl: Duration::from_secs(600),
             session_capacity: 1024,
+            peers: Vec::new(),
+            advertise: None,
+            peer_deadline: Duration::from_secs(1),
+            peer_retries: 2,
+            peer_backoff: Duration::from_millis(25),
+            peer_backoff_cap: Duration::from_millis(250),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(2),
         }
     }
 }
@@ -95,13 +126,21 @@ impl Default for ServiceConfig {
 /// socket loop so tests can drive it directly.
 pub struct Service {
     /// `engines[0]` = ISOP covers, `engines[1]` = exact minimisation.
+    /// In fleet mode these carry the peer cache-fill hook.
     engines: [Engine; 2],
+    /// Hook-free twins of `engines` sharing the same cache, used only by
+    /// the `/v1/peer/fill` handler. Serving fills through hook-free
+    /// engines makes fill amplification structurally impossible: even a
+    /// misconfigured fleet whose replicas disagree about the ring can
+    /// never chain fill requests peer-to-peer-to-peer.
+    fill_engines: [Engine; 2],
     cache: Option<Arc<ResultCache>>,
     metrics: Arc<Metrics>,
     max_batch_jobs: usize,
     sessions: Arc<SessionTable>,
     persister: Option<StatePersister>,
     recovery: RecoveryInfo,
+    fleet: Option<Arc<Fleet>>,
 }
 
 impl Service {
@@ -114,11 +153,17 @@ impl Service {
     /// (a torn or corrupt log *tail* is recovery, not an error — it is
     /// truncated and counted in [`Service::recovery`]).
     pub fn new(config: &ServiceConfig) -> std::io::Result<Service> {
-        let vfs: Option<Arc<dyn Vfs>> = match &config.state_dir {
-            Some(dir) => Some(Arc::new(StdVfs::new(dir.clone())?)),
-            None => None,
-        };
-        Self::boot(config, vfs)
+        Self::boot_std(config, Arc::new(TcpDialer), self_addr(config))
+    }
+
+    /// [`Service::new`] with an explicit ring address for this replica —
+    /// how [`Server::from_listener`] advertises the resolved ephemeral
+    /// port instead of the `:0` the config was written with.
+    pub(crate) fn with_self_addr(
+        config: &ServiceConfig,
+        self_addr: String,
+    ) -> std::io::Result<Service> {
+        Self::boot_std(config, Arc::new(TcpDialer), self_addr)
     }
 
     /// [`Service::new`] over an explicit [`Vfs`] — how the crash tests
@@ -129,24 +174,85 @@ impl Service {
     ///
     /// As for [`Service::new`].
     pub fn with_vfs(config: &ServiceConfig, vfs: Arc<dyn Vfs>) -> std::io::Result<Service> {
-        Self::boot(config, Some(vfs))
+        Self::boot(config, Some(vfs), Arc::new(TcpDialer), self_addr(config))
     }
 
-    fn boot(config: &ServiceConfig, vfs: Option<Arc<dyn Vfs>>) -> std::io::Result<Service> {
+    /// [`Service::new`] over an explicit [`NetDialer`] — how the fleet
+    /// tests run full services against the fault-injecting in-memory
+    /// network ([`crate::peer::MemNet`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Service::new`].
+    pub fn with_net(
+        config: &ServiceConfig,
+        dialer: Arc<dyn NetDialer>,
+    ) -> std::io::Result<Service> {
+        Self::boot_std(config, dialer, self_addr(config))
+    }
+
+    /// Boot with the state directory's real filesystem (when one is set).
+    fn boot_std(
+        config: &ServiceConfig,
+        dialer: Arc<dyn NetDialer>,
+        self_addr: String,
+    ) -> std::io::Result<Service> {
+        let vfs: Option<Arc<dyn Vfs>> = match &config.state_dir {
+            Some(dir) => Some(Arc::new(StdVfs::new(dir.clone())?)),
+            None => None,
+        };
+        Self::boot(config, vfs, dialer, self_addr)
+    }
+
+    fn boot(
+        config: &ServiceConfig,
+        vfs: Option<Arc<dyn Vfs>>,
+        dialer: Arc<dyn NetDialer>,
+        self_addr: String,
+    ) -> std::io::Result<Service> {
         let cache =
             (config.cache_capacity > 0).then(|| Arc::new(ResultCache::new(config.cache_capacity)));
-        let engine_for = |mode: MinimizeMode| {
+        let metrics = Arc::new(Metrics::default());
+        let fleet = (!config.peers.is_empty()).then(|| {
+            Arc::new(Fleet::new(
+                self_addr,
+                config.peers.clone(),
+                dialer,
+                PeerTuning {
+                    deadline: config.peer_deadline,
+                    retries: config.peer_retries,
+                    backoff: config.peer_backoff,
+                    backoff_cap: config.peer_backoff_cap,
+                    breaker_threshold: config.breaker_threshold.max(1),
+                    breaker_cooldown: config.breaker_cooldown,
+                },
+                metrics.clone(),
+            ))
+        });
+        let engine_for = |mode: MinimizeMode, fill: bool| {
             let mut builder = Engine::builder().minimize(mode);
             if let Some(cache) = &cache {
                 builder = builder.shared_cache(cache.clone());
             }
+            if fill {
+                if let Some(fleet) = &fleet {
+                    let fleet = fleet.clone();
+                    builder =
+                        builder.cache_fill_hook(nanoxbar_engine::CacheFillHook::new(move |key| {
+                            fleet.fill(key)
+                        }));
+                }
+            }
             builder.build().expect("default strategies are registered")
         };
         let engines = [
-            engine_for(MinimizeMode::Isop),
-            engine_for(MinimizeMode::Exact),
+            engine_for(MinimizeMode::Isop, true),
+            engine_for(MinimizeMode::Exact, true),
         ];
-        let metrics = Arc::new(Metrics::default());
+        let fill_engines = [
+            engine_for(MinimizeMode::Isop, false),
+            engine_for(MinimizeMode::Exact, false),
+        ];
         let sessions = Arc::new(SessionTable::new(
             config.session_ttl,
             config.session_capacity,
@@ -257,12 +363,14 @@ impl Service {
 
         Ok(Service {
             engines,
+            fill_engines,
             cache,
             metrics,
             max_batch_jobs: config.max_batch_jobs,
             sessions,
             persister,
             recovery,
+            fleet,
         })
     }
 
@@ -305,6 +413,13 @@ impl Service {
         }
     }
 
+    fn fill_engine(&self, mode: MinimizeMode) -> &Engine {
+        match mode {
+            MinimizeMode::Isop => &self.fill_engines[0],
+            MinimizeMode::Exact => &self.fill_engines[1],
+        }
+    }
+
     /// Routes one request to a response (the socket layer handles
     /// framing; this is pure request → response).
     pub fn handle(&self, request: &Request) -> Response {
@@ -315,10 +430,18 @@ impl Service {
             }
             ("GET", "/metrics") => {
                 Metrics::bump(&self.metrics.requests_other);
+                let peers = self
+                    .fleet
+                    .as_ref()
+                    .map(|fleet| fleet.statuses())
+                    .unwrap_or_default();
                 Response::text(
                     200,
-                    self.metrics
-                        .render_prometheus(self.cache_stats(), nanoxbar_par::pool_stats()),
+                    self.metrics.render_prometheus(
+                        self.cache_stats(),
+                        nanoxbar_par::pool_stats(),
+                        &peers,
+                    ),
                 )
             }
             ("POST", "/v1/synthesize") => {
@@ -342,9 +465,19 @@ impl Service {
                 self.metrics.latency.observe(started.elapsed());
                 response
             }
-            (_, "/healthz" | "/metrics" | "/v1/synthesize" | "/v1/map" | "/v1/batch") => {
-                error_response(405, "method not allowed for this endpoint")
+            ("POST", "/v1/peer/fill") => {
+                Metrics::bump(&self.metrics.requests_other);
+                self.peer_fill(&request.body)
             }
+            ("POST", "/v1/peer/session") => {
+                Metrics::bump(&self.metrics.requests_other);
+                self.peer_session(&request.body)
+            }
+            (
+                _,
+                "/healthz" | "/metrics" | "/v1/synthesize" | "/v1/map" | "/v1/batch"
+                | "/v1/peer/fill" | "/v1/peer/session",
+            ) => error_response(405, "method not allowed for this endpoint"),
             _ => error_response(404, "no such endpoint"),
         };
         if response.status >= 400 {
@@ -389,6 +522,43 @@ impl Service {
                 ("sessions_active", Json::from(self.sessions.len())),
             ]),
         };
+        let peers = match &self.fleet {
+            None => object(vec![("enabled", Json::Bool(false))]),
+            Some(fleet) => {
+                let ring = fleet
+                    .members()
+                    .iter()
+                    .cloned()
+                    .map(Json::Str)
+                    .collect::<Vec<_>>();
+                let statuses = fleet
+                    .statuses()
+                    .into_iter()
+                    .map(|status| {
+                        object(vec![
+                            ("addr", Json::Str(status.addr)),
+                            ("state", Json::Str(status.state.as_str().into())),
+                            (
+                                "consecutive_failures",
+                                Json::from(u64::from(status.consecutive_failures)),
+                            ),
+                            (
+                                "last_error",
+                                status.last_error.map_or(Json::Null, Json::Str),
+                            ),
+                            ("fills", Json::from(status.fills)),
+                            ("fill_failures", Json::from(status.fill_failures)),
+                        ])
+                    })
+                    .collect::<Vec<_>>();
+                object(vec![
+                    ("enabled", Json::Bool(true)),
+                    ("self", Json::Str(fleet.self_addr().to_string())),
+                    ("ring", Json::Array(ring)),
+                    ("peers", Json::Array(statuses)),
+                ])
+            }
+        };
         Response::json(
             200,
             object(vec![
@@ -397,6 +567,7 @@ impl Service {
                 ("cache_enabled", Json::Bool(self.cache.is_some())),
                 ("pool_threads", Json::from(nanoxbar_par::threads())),
                 ("persist", persist),
+                ("peers", peers),
             ])
             .encode(),
         )
@@ -511,15 +682,26 @@ impl Service {
                     Metrics::bump(&self.metrics.sessions_resumed);
                     entry
                 }
-                None => {
-                    return error_response(
-                        400,
-                        &format!(
-                            "no session {id:?} to resume \
-                             (expired, completed, busy, or never created)"
-                        ),
-                    )
-                }
+                // Fleet mode: a session this replica never saw may live
+                // on a peer (clients are free to reconnect anywhere).
+                // Adopting its checkpoint makes the resume succeed here
+                // bit-identically to resuming on the original replica.
+                None => match self.adopt_session(&id) {
+                    Some(entry) => {
+                        Metrics::bump(&self.metrics.sessions_resumed);
+                        Metrics::bump(&self.metrics.sessions_migrated);
+                        entry
+                    }
+                    None => {
+                        return error_response(
+                            400,
+                            &format!(
+                                "no session {id:?} to resume \
+                                 (expired, completed, busy, or never created)"
+                            ),
+                        )
+                    }
+                },
             }
         } else {
             if self.sessions.contains(&id) {
@@ -647,6 +829,97 @@ impl Service {
                 200,
                 object(vec![("ok", Json::Bool(true)), ("session", progress)]).encode(),
             )
+        }
+    }
+
+    /// `POST /v1/peer/fill`: a peer asks this replica — the ring owner —
+    /// for one cache entry by content address. A hit answers from the
+    /// cache; a miss synthesises locally through the hook-free
+    /// [`Self::fill_engine`]s (never chaining another peer fill), which
+    /// also admits the entry for future requests. The response body is
+    /// exactly a cache-log record, so the requester reuses the replay
+    /// decoder verbatim.
+    fn peer_fill(&self, body: &[u8]) -> Response {
+        let Some(cache) = &self.cache else {
+            return error_response(404, "caching is disabled on this replica");
+        };
+        let key = match parse_peer_fill(body) {
+            Ok(key) => key,
+            Err(message) => return error_response(400, &message),
+        };
+        if cache.get(&key).is_none() {
+            let function =
+                nanoxbar_logic::TruthTable::from_words(key.num_vars(), key.words().to_vec());
+            let job = Job::synthesize(function).with_strategy_name(key.strategy());
+            Metrics::bump(&self.metrics.jobs);
+            // `run` (not `run_batch`): the fill is one job on this worker
+            // thread, and staying off the pool keeps in-process fleet
+            // tests (MemNet dials resolve inside pool workers) from
+            // nesting pool scopes.
+            if let Err(_e) = self.fill_engine(key.minimize()).run(&job) {
+                Metrics::bump(&self.metrics.job_errors);
+                return error_response(404, "this replica cannot synthesize the requested entry");
+            }
+        }
+        // Re-read instead of trusting the synthesis result: admission is
+        // weight-aware and may have refused the entry, and the record
+        // must carry the cover the cache holds.
+        match cache.get(&key) {
+            Some(value) => {
+                let record = crate::persist::encode_cache_record(&key, &value);
+                Response::json(
+                    200,
+                    String::from_utf8(record).expect("cache records are JSON"),
+                )
+            }
+            None => error_response(404, "entry was not admitted to the cache"),
+        }
+    }
+
+    /// `POST /v1/peer/session`: a peer adopting a migrated session asks
+    /// for its checkpoint record. Answering **takes the session out of
+    /// the table** — ownership transfers wholesale, preserving the
+    /// single-writer model (a session is never driven on two replicas) —
+    /// and logs a local tombstone.
+    fn peer_session(&self, body: &[u8]) -> Response {
+        let id = match parse_peer_session(body) {
+            Ok(id) => id,
+            Err(message) => return error_response(400, &message),
+        };
+        match self.sessions.take(&id) {
+            Some(entry) => {
+                let payload = entry.to_payload(&id);
+                self.log_session_drop(&id);
+                self.metrics
+                    .sessions_active
+                    .store(self.sessions.len() as u64, Ordering::Relaxed);
+                Response::json(
+                    200,
+                    String::from_utf8(payload).expect("session records are JSON"),
+                )
+            }
+            None => error_response(404, &format!("no session {id:?} on this replica")),
+        }
+    }
+
+    /// Fleet-mode fallback for a `resume` naming a session this replica
+    /// has never seen: fetch its checkpoint from whichever peer holds it
+    /// and adopt it. The rebuilt entry is bit-identical to a local
+    /// recovery because both go through the same session record codec
+    /// and [`materialize_session`].
+    fn adopt_session(&self, id: &str) -> Option<SessionEntry> {
+        let fleet = self.fleet.as_ref()?;
+        let payload = fleet.fetch_session(id)?;
+        match decode_session_record(&payload) {
+            Ok(SessionRecord::Put {
+                id: record_id,
+                minimize,
+                spec,
+                snapshot,
+            }) if record_id == id => {
+                materialize_session(self.engine(minimize), minimize, &spec, snapshot).ok()
+            }
+            _ => None,
         }
     }
 
@@ -834,6 +1107,64 @@ fn materialize_session(
     })
 }
 
+/// The ring address this replica goes by: the configured advertise
+/// address when set, the bind address otherwise.
+fn self_addr(config: &ServiceConfig) -> String {
+    config
+        .advertise
+        .clone()
+        .unwrap_or_else(|| config.addr.clone())
+}
+
+/// Parses a `/v1/peer/fill` body (`{"v":1,"key":{…}}`) into a validated
+/// [`nanoxbar_engine::CacheKey`]. Validation here is what lets the
+/// handler call `TruthTable::from_words` without a panic path: the word
+/// count must match the variable count exactly.
+fn parse_peer_fill(body: &[u8]) -> Result<nanoxbar_engine::CacheKey, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "fill request is not UTF-8".to_string())?;
+    let json = Json::parse(text).map_err(|e| format!("fill request is not JSON: {e}"))?;
+    if json.get("v").and_then(Json::as_i64) != Some(1) {
+        return Err("fill request must carry \"v\": 1".into());
+    }
+    let key = json
+        .get("key")
+        .ok_or_else(|| "fill request needs a \"key\" object".to_string())?;
+    let key = key_from_json(key)?;
+    if key.num_vars() > nanoxbar_logic::MAX_VARS {
+        return Err(format!(
+            "fill key has {} variables (max {})",
+            key.num_vars(),
+            nanoxbar_logic::MAX_VARS
+        ));
+    }
+    if key.words().len() != nanoxbar_logic::word_len(key.num_vars()) {
+        return Err(format!(
+            "fill key carries {} words for {} variables (expected {})",
+            key.words().len(),
+            key.num_vars(),
+            nanoxbar_logic::word_len(key.num_vars())
+        ));
+    }
+    Ok(key)
+}
+
+/// Parses a `/v1/peer/session` body (`{"v":1,"id":"…"}`).
+fn parse_peer_session(body: &[u8]) -> Result<String, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "session request is not UTF-8".to_string())?;
+    let json = Json::parse(text).map_err(|e| format!("session request is not JSON: {e}"))?;
+    if json.get("v").and_then(Json::as_i64) != Some(1) {
+        return Err("session request must carry \"v\": 1".into());
+    }
+    let id = json
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "session request needs an \"id\" string".to_string())?;
+    if id.is_empty() || id.len() > 120 {
+        return Err("session id must be 1..=120 bytes".into());
+    }
+    Ok(id.to_string())
+}
+
 fn error_response(status: u16, message: &str) -> Response {
     Response::json(
         status,
@@ -957,7 +1288,24 @@ impl Server {
     /// Propagates the bind failure.
     pub fn bind(config: ServiceConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let service = Arc::new(Service::new(&config)?);
+        Self::from_listener(listener, config)
+    }
+
+    /// Builds a server over an already-bound listener — how a fleet of
+    /// ephemeral-port replicas is stood up: bind every listener first,
+    /// collect the resolved addresses into each config's `peers`, then
+    /// build the servers. With no `advertise` override, the replica
+    /// advertises its **resolved** address on the ring (never `:0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket introspection and state-replay failures.
+    pub fn from_listener(listener: TcpListener, config: ServiceConfig) -> std::io::Result<Server> {
+        let advertised = match &config.advertise {
+            Some(addr) => addr.clone(),
+            None => listener.local_addr()?.to_string(),
+        };
+        let service = Arc::new(Service::with_self_addr(&config, advertised)?);
         Ok(Server {
             listener,
             service,
@@ -1107,7 +1455,7 @@ impl ServerHandle {
 fn shed_connection(mut stream: TcpStream) {
     if write_response(
         &mut stream,
-        &error_response(503, "server is at capacity"),
+        &error_response(503, "server is at capacity").with_retry_after(1),
         true,
     )
     .is_err()

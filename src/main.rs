@@ -74,13 +74,17 @@ fn print_help() {
                (speculative-parallel greedy search; K candidates/round)\n\
            nanoxbar serve [--addr A] [--threads T] [--cache-capacity C]\n\
                           [--state-dir DIR] [--max-body-bytes N]\n\
+                          [--peers H:P,H:P,...] [--advertise H:P]\n\
                serve synthesis over HTTP (POST /v1/synthesize, /v1/map,\n\
                /v1/batch; GET /healthz, /metrics). --threads sets the HTTP\n\
                workers; NANOXBAR_THREADS sizes the synthesis pool;\n\
                --cache-capacity is a weight budget (crosspoints);\n\
                --state-dir persists the result cache and mapper sessions\n\
                across restarts (crash-safe append-only logs);\n\
-               --max-body-bytes caps accepted request bodies.\n\
+               --max-body-bytes caps accepted request bodies;\n\
+               --peers joins a replica fleet (consistent-hash peer cache\n\
+               fills, migratable sessions; --advertise overrides the ring\n\
+               address when it differs from --addr).\n\
                SIGINT/SIGTERM drain connections and flush state.\n\
          \n\
          EXPRESSIONS use the paper's syntax: x0 x1 + !x0 !x1  (also ', ^, parens)"
@@ -468,6 +472,32 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .filter(|&bytes| bytes >= 1)
             .ok_or_else(|| format!("bad body limit {limit:?}"))?;
     }
+    if let Some(peers) = take_option(&mut args, "--peers") {
+        let mut parsed = Vec::new();
+        for part in peers.split(',') {
+            let part = part.trim();
+            let valid = part
+                .rsplit_once(':')
+                .is_some_and(|(host, port)| !host.is_empty() && port.parse::<u16>().is_ok());
+            if !valid {
+                return Err(format!("bad peer {part:?} (expected HOST:PORT)"));
+            }
+            parsed.push(part.to_string());
+        }
+        if parsed.is_empty() {
+            return Err("--peers needs at least one HOST:PORT".into());
+        }
+        config.peers = parsed;
+    }
+    if let Some(advertise) = take_option(&mut args, "--advertise") {
+        let valid = advertise
+            .rsplit_once(':')
+            .is_some_and(|(host, port)| !host.is_empty() && port.parse::<u16>().is_ok());
+        if !valid {
+            return Err(format!("bad advertise address {advertise:?}"));
+        }
+        config.advertise = Some(advertise);
+    }
     if let Some(stray) = args.first() {
         return Err(format!("unexpected argument {stray:?}"));
     }
@@ -492,6 +522,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     match &config.state_dir {
         Some(dir) => println!("durable state: {} (crash-safe logs)", dir.display()),
         None => println!("durable state: off (pass --state-dir to persist across restarts)"),
+    }
+    if !config.peers.is_empty() {
+        println!(
+            "fleet mode: {} peers ({}); advertising {}",
+            config.peers.len(),
+            config.peers.join(", "),
+            config.advertise.as_deref().unwrap_or(&config.addr)
+        );
     }
     println!("endpoints: POST /v1/synthesize, POST /v1/batch, GET /healthz, GET /metrics");
     let handle = server.start().map_err(|e| e.to_string())?;
@@ -584,6 +622,10 @@ mod tests {
         run_err(&["serve", "--max-body-bytes", "0"]);
         run_err(&["serve", "--max-body-bytes", "lots"]);
         run_err(&["serve", "--state-dir", ""]);
+        run_err(&["serve", "--peers", ""]);
+        run_err(&["serve", "--peers", "127.0.0.1:8081,nonsense"]);
+        run_err(&["serve", "--peers", "127.0.0.1:notaport"]);
+        run_err(&["serve", "--advertise", "noport"]);
         run_err(&["serve", "stray"]);
     }
 
