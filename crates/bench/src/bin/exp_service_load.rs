@@ -17,6 +17,9 @@
 //! Flags (all optional): `--clients N` `--requests M` `--distinct K`
 //! `--cache C` (a *weight* budget in crosspoints — entries weigh their
 //! realization's area — matching `ServiceConfig::cache_capacity`),
+//! `--mvm` to make every other distinct job an analog `/v1/mvm`
+//! matrix-vector request riding the same keep-alive connections (the
+//! mixed workload must stay byte-identical across passes too),
 //! `--state-dir DIR` to add a third comparison: a cold server persisting
 //! to DIR vs a **warm restart** replaying DIR's durable cache log (the
 //! warm server must start at a 100% hit rate and answer every request
@@ -34,7 +37,7 @@ use nanoxbar_bench::{banner, f2};
 use nanoxbar_core::report::Table;
 use nanoxbar_logic::pla::write_pla;
 use nanoxbar_logic::suite::random_sop;
-use nanoxbar_service::{JobSpec, Json, Server, ServiceConfig};
+use nanoxbar_service::{JobSpec, Json, MvmRequest, Server, ServiceConfig};
 
 /// One client's view of a pass: per-request latencies and bodies.
 struct ClientLog {
@@ -49,12 +52,35 @@ fn job_index(client: usize, request: usize, distinct: usize) -> usize {
     (client * 31 + request * 17) % distinct
 }
 
-/// Builds the request bodies for the `distinct` functions: single-output
-/// PLA jobs cycling through the three constructive strategies.
-fn request_bodies(distinct: usize) -> Vec<String> {
+/// Builds `(path, body)` request pairs for the `distinct` jobs:
+/// single-output PLA jobs cycling through the three constructive
+/// strategies, and — with `mvm_mix` — every other slot replaced by an
+/// analog `/v1/mvm` matrix-vector request.
+fn request_bodies(distinct: usize, mvm_mix: bool) -> Vec<(String, String)> {
     const STRATEGIES: [&str; 3] = ["diode", "fet", "dual-lattice"];
     (0..distinct)
         .map(|i| {
+            if mvm_mix && i % 2 == 1 {
+                let rows = 8 + (i % 3) * 4;
+                let cols = 8 + (i % 5) * 2;
+                let (weights, input) = nanoxbar_mvm::random_problem(rows, cols, 9000 + i as u64);
+                let spec = JobSpec {
+                    mvm: Some(MvmRequest {
+                        rows,
+                        cols,
+                        weights,
+                        input,
+                        chip_seed: i as u64,
+                        p_open: 0.02,
+                        p_closed: 0.01,
+                        noise_sigma: 0.05,
+                        trials: 4,
+                    }),
+                    label: Some(format!("mvm-{i}")),
+                    ..JobSpec::default()
+                };
+                return ("/v1/mvm".to_string(), spec.to_json().encode());
+            }
             // Skip seeds whose random SOP degenerates to a constant — the
             // two-terminal strategies reject those by design.
             let cover = (0..)
@@ -69,7 +95,7 @@ fn request_bodies(distinct: usize) -> Vec<String> {
                 verify: true,
                 ..JobSpec::pla(write_pla(&cover))
             };
-            spec.to_json().encode()
+            ("/v1/synthesize".to_string(), spec.to_json().encode())
         })
         .collect()
 }
@@ -80,11 +106,12 @@ fn post(
     stream: &mut TcpStream,
     reader: &mut BufReader<TcpStream>,
     addr: &str,
+    path: &str,
     body: &str,
 ) -> std::io::Result<String> {
     stream.write_all(
         format!(
-            "POST /v1/synthesize HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\r\n{body}",
             body.len()
         )
         .as_bytes(),
@@ -141,7 +168,7 @@ struct PassReport {
 fn run_pass(
     clients: usize,
     requests: usize,
-    bodies: &[String],
+    bodies: &[(String, String)],
     cache: usize,
     state_dir: Option<&std::path::Path>,
 ) -> PassReport {
@@ -171,9 +198,10 @@ fn run_pass(
                         bodies: Vec::with_capacity(requests),
                     };
                     for request in 0..requests {
-                        let body = &bodies[job_index(client, request, bodies.len())];
+                        let (path, body) = &bodies[job_index(client, request, bodies.len())];
                         let sent = Instant::now();
-                        let response = post(&mut stream, &mut reader, addr, body).expect("request");
+                        let response =
+                            post(&mut stream, &mut reader, addr, path, body).expect("request");
                         log.latencies.push(sent.elapsed());
                         assert!(
                             Json::parse(&response)
@@ -226,7 +254,7 @@ fn run_pass(
 fn run_fleet_pass(
     clients: usize,
     requests: usize,
-    bodies: &[String],
+    bodies: &[(String, String)],
     cache: usize,
     replicas: usize,
     kill: bool,
@@ -289,9 +317,10 @@ fn run_fleet_pass(
                         bodies: Vec::with_capacity(requests),
                     };
                     for request in 0..requests {
-                        let body = &bodies[job_index(client, request, bodies.len())];
+                        let (path, body) = &bodies[job_index(client, request, bodies.len())];
                         let sent = Instant::now();
-                        let response = post(&mut stream, &mut reader, addr, body).expect("request");
+                        let response =
+                            post(&mut stream, &mut reader, addr, path, body).expect("request");
                         log.latencies.push(sent.elapsed());
                         assert!(
                             Json::parse(&response)
@@ -366,6 +395,10 @@ fn arg_str(flag: &str) -> Option<String> {
         .cloned()
 }
 
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 fn main() {
     banner("E-service", "closed-loop HTTP load: cache on vs off");
 
@@ -375,12 +408,14 @@ fn main() {
     // Weight units since the cache learned size-aware admission: 65536
     // crosspoints of residency, the service default.
     let cache = arg("--cache", 65536).max(1);
+    let mvm_mix = flag("--mvm");
     let total = clients * requests;
     let duplicate_share = 1.0 - (distinct.min(total) as f64) / (total as f64);
     println!(
         "{clients} clients x {requests} requests, {distinct} distinct jobs \
-         ({:.0}% duplicates), pool threads {}",
+         ({:.0}% duplicates{}), pool threads {}",
         duplicate_share * 100.0,
+        if mvm_mix { ", analog MVM mix" } else { "" },
         nanoxbar_par::threads()
     );
     assert!(
@@ -388,7 +423,7 @@ fn main() {
         "acceptance workload needs >=50% duplicates; raise --requests or lower --distinct"
     );
 
-    let bodies = request_bodies(distinct);
+    let bodies = request_bodies(distinct, mvm_mix);
     // Warm pass order: uncached first so the cached pass cannot benefit
     // from OS-level warmup it didn't earn.
     let uncached = run_pass(clients, requests, &bodies, 0, None);

@@ -30,7 +30,8 @@
 //! let f = parse_function("x0 x1 + !x0 !x1")?;
 //! for tech in Technology::ALL {
 //!     let job = Job::synthesize(f.clone()).with_strategy(Strategy::from(tech));
-//!     assert!(engine.run(&job)?.realization.computes(&f));
+//!     let realization = engine.run(&job)?.realization.expect("synthesis jobs carry one");
+//!     assert!(realization.computes(&f));
 //! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```

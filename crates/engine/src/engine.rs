@@ -7,13 +7,14 @@
 //! **per-job error isolation** — one failed (or even panicking) job never
 //! aborts the batch.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use nanoxbar_crossbar::ArraySize;
 use nanoxbar_logic::Cover;
+use nanoxbar_mvm::{ConductanceParams, MvmSpec, ProgramTargets};
 use nanoxbar_reliability::bism::Application;
 use nanoxbar_reliability::defect::DefectMap;
 use nanoxbar_reliability::mapper::{MapConfig, MapReport, Mapper};
@@ -280,6 +281,7 @@ impl EngineBuilder {
             fault_model: self.fault_model,
             cache,
             fill_hook: self.fill_hook,
+            program_memo: Mutex::new(ProgramMemo::default()),
         })
     }
 }
@@ -299,6 +301,11 @@ pub struct Engine {
     cache: Option<Arc<ResultCache>>,
     /// Last-chance miss supplier consulted before local synthesis.
     fill_hook: Option<CacheFillHook>,
+    /// Bounded memo of chip-independent MVM program steps — the analog
+    /// analogue of the result cache: keyed on the exact weight bits, so
+    /// identical weights program once across runs and batches while every
+    /// chip-specific Monte-Carlo execution stays per job.
+    program_memo: Mutex<ProgramMemo>,
 }
 
 impl Engine {
@@ -357,17 +364,23 @@ impl Engine {
         }
     }
 
-    /// The synthesis half of a job: resolves the backend and produces the
-    /// realization — from the cache when possible, synthesising (and
-    /// populating the cache) otherwise. Also hands back the SOP cover the
-    /// backend built along the way (its context memo), so chip jobs do
-    /// not repeat a full minimisation in [`Engine::finish`].
+    /// The chip-independent half of a job. For synthesis jobs: resolves
+    /// the backend and produces the realization — from the cache when
+    /// possible, synthesising (and populating the cache) otherwise — plus
+    /// the SOP cover the backend built along the way (its context memo),
+    /// so chip jobs do not repeat a full minimisation in
+    /// [`Engine::finish`]. For [`Job::mvm`] jobs: validates the spec and
+    /// programs the differential conductance targets, memoised per exact
+    /// weight bits.
     fn realize(
         &self,
         job: &Job,
         limits: Limits,
         deadline: Option<Instant>,
     ) -> Result<Synthesized, Error> {
+        if let Some(spec) = &job.mvm {
+            return self.program_mvm(spec);
+        }
         let strategy_name = job.strategy.as_deref().unwrap_or(&self.default_strategy);
         let backend = self
             .registry
@@ -383,7 +396,11 @@ impl Engine {
             .map(|_| CacheKey::new(&job.function, &strategy, self.minimize));
         if let (Some(cache), Some(key)) = (&self.cache, &key) {
             if let Some(hit) = cache.get(key) {
-                return Ok((strategy, hit.realization, hit.cover));
+                return Ok(Synthesized::Logic {
+                    strategy,
+                    realization: hit.realization,
+                    cover: hit.cover,
+                });
             }
             // Miss: give the fill hook (a peer replica, another tier) one
             // shot before synthesising locally. A fill is admitted to the
@@ -392,7 +409,11 @@ impl Engine {
             if let Some(hook) = &self.fill_hook {
                 if let Some(filled) = hook.fill(key) {
                     cache.insert(key.clone(), filled.clone());
-                    return Ok((strategy, filled.realization, filled.cover));
+                    return Ok(Synthesized::Logic {
+                        strategy,
+                        realization: filled.realization,
+                        cover: filled.cover,
+                    });
                 }
             }
         }
@@ -424,21 +445,68 @@ impl Engine {
                 },
             );
         }
-        Ok((strategy, realization, cover))
+        Ok(Synthesized::Logic {
+            strategy,
+            realization,
+            cover,
+        })
+    }
+
+    /// The chip-independent half of an mvm job: spec validation and the
+    /// program step (weights → differential conductance targets), served
+    /// from the bounded [`ProgramMemo`] when the same weight matrix was
+    /// programmed before. Pure and deterministic, so memoised results are
+    /// bit-identical to fresh ones — the mvm counterpart of result-cache
+    /// participation.
+    fn program_mvm(&self, spec: &MvmSpec) -> Result<Synthesized, Error> {
+        // Only the chip-independent subset here: batch dedupe groups on
+        // exactly these fields, so every slot of a group agrees on this
+        // check's outcome. The full per-slot validation (input, chip
+        // probabilities, trials) runs in `finish_mvm` via `execute`.
+        spec.validate_program()
+            .map_err(|message| Error::MvmSpec { message })?;
+        let key = mvm_program_key(spec, self.minimize);
+        let memo = self.program_memo.lock().expect("program memo poisoned");
+        if let Some(hit) = memo.get(&key) {
+            return Ok(Synthesized::Mvm { program: hit });
+        }
+        drop(memo);
+        let program = Arc::new(nanoxbar_mvm::program(
+            &spec.weights,
+            spec.rows,
+            spec.cols,
+            ConductanceParams::default(),
+        ));
+        self.program_memo
+            .lock()
+            .expect("program memo poisoned")
+            .insert(key, program.clone());
+        Ok(Synthesized::Mvm { program })
     }
 
     /// The post-synthesis half of a job: area limit, verification, the
     /// defect-unaware flow for chip jobs, and the BISM mapping for map
     /// jobs (both on the memoised `cover` when the synthesis phase
-    /// produced one).
+    /// produced one). Mvm jobs branch into their chip-specific
+    /// Monte-Carlo execution instead.
     fn finish(
         &self,
         job: &Job,
         limits: Limits,
-        (strategy, realization, cover): Synthesized,
+        synthesized: Synthesized,
         started: Instant,
         deadline: Option<Instant>,
     ) -> Result<JobResult, Error> {
+        let (strategy, realization, cover) = match synthesized {
+            Synthesized::Mvm { program } => {
+                return self.finish_mvm(job, &program, started, deadline, limits);
+            }
+            Synthesized::Logic {
+                strategy,
+                realization,
+                cover,
+            } => (strategy, realization, cover),
+        };
         if let Some(limit) = limits.max_area {
             let area = realization.area();
             if area > limit {
@@ -495,10 +563,38 @@ impl Engine {
         Ok(JobResult {
             label: job.label.clone(),
             strategy,
-            realization,
+            realization: Some(realization),
             verified,
             flow,
             map,
+            mvm: None,
+            elapsed: started.elapsed(),
+        })
+    }
+
+    /// The chip-specific half of an mvm job: draws the chip from the
+    /// spec's seed and Monte-Carlo executes the programmed targets.
+    /// Never cached — like BISM mappings, the chip draw is the point.
+    fn finish_mvm(
+        &self,
+        job: &Job,
+        program: &ProgramTargets,
+        started: Instant,
+        deadline: Option<Instant>,
+        limits: Limits,
+    ) -> Result<JobResult, Error> {
+        let spec = job.mvm.as_ref().expect("finish_mvm requires an mvm job");
+        let outcome =
+            nanoxbar_mvm::execute(spec, program).map_err(|message| Error::MvmSpec { message })?;
+        check_deadline(deadline, limits)?;
+        Ok(JobResult {
+            label: job.label.clone(),
+            strategy: MVM_STRATEGY.to_string(),
+            realization: None,
+            verified: None,
+            flow: None,
+            map: None,
+            mvm: Some(outcome),
             elapsed: started.elapsed(),
         })
     }
@@ -569,7 +665,16 @@ impl Engine {
         })?;
         let limits = self.effective_limits(job);
         let deadline = limits.time.map(|t| Instant::now() + t);
-        let (strategy, realization, cover) = self.realize(job, limits, deadline)?;
+        let Synthesized::Logic {
+            strategy,
+            realization,
+            cover,
+        } = self.realize(job, limits, deadline)?
+        else {
+            // Job::mvm never sets a map target, so the early map-target
+            // check above already rejected any mvm job.
+            unreachable!("map jobs are synthesis jobs");
+        };
         if let Some(limit) = limits.max_area {
             let area = realization.area();
             if area > limit {
@@ -640,8 +745,18 @@ impl Engine {
         let mut reps: Vec<usize> = Vec::new();
         let mut groups: HashMap<(CacheKey, Option<Limits>), usize> = HashMap::new();
         for (i, job) in jobs.iter().enumerate() {
-            let name = job.strategy.as_deref().unwrap_or(&self.default_strategy);
-            let key = CacheKey::new(&job.function, name, self.minimize);
+            // Mvm jobs group on their chip-independent program step —
+            // exact weight bits under a reserved strategy name — so
+            // identical weight matrices program once per batch while each
+            // slot's chip draw and Monte-Carlo run stays per job, exactly
+            // mirroring the synthesis/flow split.
+            let key = match &job.mvm {
+                Some(spec) => mvm_program_key(spec, self.minimize),
+                None => {
+                    let name = job.strategy.as_deref().unwrap_or(&self.default_strategy);
+                    CacheKey::new(&job.function, name, self.minimize)
+                }
+            };
             let group = *groups.entry((key, job.limits)).or_insert_with(|| {
                 reps.push(i);
                 reps.len() - 1
@@ -704,13 +819,7 @@ impl Engine {
                         let synth = &synths[assign[ji]];
                         match &synth.outcome {
                             Err(e) => Err(e.clone()),
-                            Ok((strategy, realization, cover)) => self.finish_isolated(
-                                &jobs[ji],
-                                strategy.clone(),
-                                realization.clone(),
-                                cover.clone(),
-                                synth.started,
-                            ),
+                            Ok(s) => self.finish_isolated(&jobs[ji], s.clone(), synth.started),
                         }
                     })
                     .collect()
@@ -728,21 +837,13 @@ impl Engine {
     fn finish_isolated(
         &self,
         job: &Job,
-        strategy: String,
-        realization: Arc<Realization>,
-        cover: Option<Arc<Cover>>,
+        synthesized: Synthesized,
         started: Instant,
     ) -> Result<JobResult, Error> {
         panic::catch_unwind(AssertUnwindSafe(|| {
             let limits = self.effective_limits(job);
             let deadline = limits.time.map(|t| Instant::now() + t);
-            self.finish(
-                job,
-                limits,
-                (strategy, realization, cover),
-                started,
-                deadline,
-            )
+            self.finish(job, limits, synthesized, started, deadline)
         }))
         .unwrap_or_else(|payload| {
             Err(Error::Panicked {
@@ -781,9 +882,70 @@ impl Default for Engine {
     }
 }
 
-/// What [`Engine::realize`] produces: the resolved backend name, the
-/// shared realization, and the memoised SOP cover when one was built.
-type Synthesized = (String, Arc<Realization>, Option<Arc<Cover>>);
+/// The strategy name mvm jobs report in [`JobResult::strategy`].
+pub(crate) const MVM_STRATEGY: &str = "analog-mvm";
+
+/// What [`Engine::realize`] produces — the chip-independent half of a
+/// job, shared by every slot of a dedupe group.
+#[derive(Clone)]
+enum Synthesized {
+    /// A synthesis job: the resolved backend name, the shared
+    /// realization, and the memoised SOP cover when one was built.
+    Logic {
+        strategy: String,
+        realization: Arc<Realization>,
+        cover: Option<Arc<Cover>>,
+    },
+    /// An mvm job: the programmed differential conductance targets.
+    Mvm { program: Arc<ProgramTargets> },
+}
+
+/// Entries the [`ProgramMemo`] holds before evicting FIFO. Program
+/// targets weigh two f32 planes each, so a small bound suffices.
+const PROGRAM_MEMO_CAPACITY: usize = 64;
+
+/// A bounded FIFO memo of chip-independent MVM program steps, keyed on
+/// the exact weight bits. A linear scan over at most
+/// [`PROGRAM_MEMO_CAPACITY`] keys — cheap next to programming even a
+/// small matrix, and trivially deterministic.
+#[derive(Debug, Default)]
+struct ProgramMemo {
+    entries: VecDeque<(CacheKey, Arc<ProgramTargets>)>,
+}
+
+impl ProgramMemo {
+    fn get(&self, key: &CacheKey) -> Option<Arc<ProgramTargets>> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| Arc::clone(v))
+    }
+
+    fn insert(&mut self, key: CacheKey, value: Arc<ProgramTargets>) {
+        if self.entries.iter().any(|(k, _)| *k == key) {
+            return;
+        }
+        if self.entries.len() >= PROGRAM_MEMO_CAPACITY {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((key, value));
+    }
+}
+
+/// The dedupe/memo key of an mvm job's program step: the dimensions and
+/// the exact bit pattern of every weight (two f32s per word) under the
+/// reserved `"analog-program"` strategy name — an exact identity, so
+/// distinct weight matrices can never collide into one group.
+fn mvm_program_key(spec: &MvmSpec, minimize: MinimizeMode) -> CacheKey {
+    let mut words = Vec::with_capacity(1 + spec.weights.len().div_ceil(2));
+    words.push(spec.cols as u64);
+    for pair in spec.weights.chunks(2) {
+        let lo = u64::from(pair[0].to_bits());
+        let hi = pair.get(1).map_or(0, |w| u64::from(w.to_bits()) << 32);
+        words.push(lo | hi);
+    }
+    CacheKey::from_parts(spec.rows, words, "analog-program".to_string(), minimize)
+}
 
 /// Phase-1 output of [`Engine::run_batch`], shared by every slot of one
 /// dedupe group: the synthesis outcome plus the group's clock, so phase 2
@@ -826,7 +988,7 @@ mod tests {
             let result = engine.run(&job).unwrap();
             assert_eq!(result.strategy, strategy.name());
             assert_eq!(result.verified, Some(true));
-            sizes.push(result.realization.size().to_string());
+            sizes.push(result.realization.as_ref().unwrap().size().to_string());
         }
         // Paper Sec. III: 2x5 diode, 4x4 FET, 2x2 lattice (optimal too).
         assert_eq!(sizes, ["2x5", "4x4", "2x2", "2x2"]);
@@ -838,7 +1000,10 @@ mod tests {
         let f = parse_function("x0 + x1").unwrap();
         let result = engine.run(&Job::synthesize(f)).unwrap();
         assert_eq!(result.strategy, "dual-lattice");
-        assert_eq!(result.realization.technology(), Technology::FourTerminal);
+        assert_eq!(
+            result.realization.as_ref().unwrap().technology(),
+            Technology::FourTerminal
+        );
     }
 
     #[test]
@@ -1031,8 +1196,14 @@ mod tests {
         // One cache entry serves all three: the chip-independent synthesis.
         let stats = engine.cache_stats().unwrap();
         assert_eq!(stats.len, 1, "{stats:?}");
-        assert!(Arc::ptr_eq(&a.realization, &b.realization));
-        assert!(Arc::ptr_eq(&a.realization, &plain.realization));
+        assert!(Arc::ptr_eq(
+            a.realization.as_ref().unwrap(),
+            b.realization.as_ref().unwrap()
+        ));
+        assert!(Arc::ptr_eq(
+            a.realization.as_ref().unwrap(),
+            plain.realization.as_ref().unwrap()
+        ));
         // While the chip-specific mappings ran fresh per chip.
         assert!(plain.map.is_none());
         assert!(a.map.is_some() && b.map.is_some());
@@ -1089,7 +1260,10 @@ mod tests {
         let a = engine.run(&Job::synthesize(f.clone())).unwrap();
         let b = engine.run(&Job::synthesize(f)).unwrap();
         assert!(
-            Arc::ptr_eq(&a.realization, &b.realization),
+            Arc::ptr_eq(
+                a.realization.as_ref().unwrap(),
+                b.realization.as_ref().unwrap()
+            ),
             "second run must be served from the cache"
         );
         let stats = engine.cache_stats().unwrap();
@@ -1119,12 +1293,18 @@ mod tests {
         // Miss → hook fills → same shared realization as the donor's.
         let a = engine.run(&Job::synthesize(f.clone())).unwrap();
         assert_eq!(calls.load(Ordering::SeqCst), 1);
-        assert!(Arc::ptr_eq(&a.realization, &donor_result.realization));
+        assert!(Arc::ptr_eq(
+            a.realization.as_ref().unwrap(),
+            donor_result.realization.as_ref().unwrap()
+        ));
         // The fill landed in the cache, so a repeat is a plain hit: the
         // hook is not consulted again.
         let b = engine.run(&Job::synthesize(f)).unwrap();
         assert_eq!(calls.load(Ordering::SeqCst), 1, "hit skips the hook");
-        assert!(Arc::ptr_eq(&a.realization, &b.realization));
+        assert!(Arc::ptr_eq(
+            a.realization.as_ref().unwrap(),
+            b.realization.as_ref().unwrap()
+        ));
         // A key the hook cannot supply falls through to local synthesis.
         let g = parse_function("x0 + x1 x2").unwrap();
         let local = engine.run(&Job::synthesize(g)).unwrap();
@@ -1172,8 +1352,14 @@ mod tests {
         let r0 = results[0].as_ref().unwrap();
         let r1 = results[1].as_ref().unwrap();
         let r2 = results[2].as_ref().unwrap();
-        assert!(Arc::ptr_eq(&r0.realization, &r1.realization));
-        assert!(Arc::ptr_eq(&r0.realization, &r2.realization));
+        assert!(Arc::ptr_eq(
+            r0.realization.as_ref().unwrap(),
+            r1.realization.as_ref().unwrap()
+        ));
+        assert!(Arc::ptr_eq(
+            r0.realization.as_ref().unwrap(),
+            r2.realization.as_ref().unwrap()
+        ));
         // Per-slot options still apply individually.
         assert_eq!(r0.verified, None);
         assert_eq!(r1.verified, Some(true));
@@ -1282,6 +1468,92 @@ mod tests {
                 limit: Duration::from_nanos(0)
             }
         );
+    }
+
+    fn mvm_spec(rows: usize, cols: usize, chip_seed: u64) -> MvmSpec {
+        let (weights, input) = nanoxbar_mvm::random_problem(rows, cols, 5);
+        MvmSpec {
+            rows,
+            cols,
+            weights,
+            input,
+            chip_seed,
+            p_open: 0.02,
+            p_closed: 0.01,
+            noise_sigma: 0.05,
+            trials: 3,
+        }
+    }
+
+    #[test]
+    fn mvm_jobs_run_end_to_end_and_match_the_library() {
+        let engine = Engine::new();
+        let spec = mvm_spec(20, 12, 99);
+        let result = engine
+            .run(&Job::mvm(spec.clone()).labeled("mvm-0"))
+            .unwrap();
+        assert_eq!(result.strategy, "analog-mvm");
+        assert_eq!(result.label.as_deref(), Some("mvm-0"));
+        assert!(result.realization.is_none());
+        assert_eq!(result.area(), 0);
+        assert!(result.flow.is_none() && result.map.is_none());
+        let outcome = result.mvm.expect("mvm job carries an outcome");
+        // The engine path is the library path: same spec, same outcome.
+        let targets = nanoxbar_mvm::program(
+            &spec.weights,
+            spec.rows,
+            spec.cols,
+            ConductanceParams::default(),
+        );
+        assert_eq!(outcome, nanoxbar_mvm::execute(&spec, &targets).unwrap());
+    }
+
+    #[test]
+    fn mvm_batches_dedupe_the_program_step_and_isolate_bad_specs() {
+        let engine = Engine::new();
+        let spec = mvm_spec(16, 8, 1);
+        let mut bad = spec.clone();
+        // Would trip DefectMap::random_uniform's assert on a worker
+        // thread; must surface as a typed per-slot error instead.
+        bad.p_open = 0.8;
+        bad.p_closed = 0.7;
+        let other_chip = MvmSpec {
+            chip_seed: 2,
+            ..spec.clone()
+        };
+        let jobs = vec![
+            Job::mvm(spec.clone()),
+            Job::mvm(bad),
+            Job::parse("x0 x1").unwrap(),
+            Job::mvm(other_chip),
+        ];
+        let results = engine.run_batch(&jobs);
+        assert_eq!(results.len(), 4);
+        let a = results[0].as_ref().unwrap().mvm.as_ref().unwrap();
+        assert!(matches!(
+            results[1].as_ref().unwrap_err(),
+            Error::MvmSpec { .. }
+        ));
+        assert!(results[2].as_ref().unwrap().realization.is_some());
+        let b = results[3].as_ref().unwrap().mvm.as_ref().unwrap();
+        // Same weights, different chip seeds: the shared program step
+        // still yields per-chip outcomes.
+        assert_eq!(a.ideal, b.ideal, "ideal product is chip-independent");
+        assert_ne!(a.output, b.output, "chip draw is per slot");
+        // And run agrees with the batch (the memo serves the repeat).
+        let again = engine.run(&Job::mvm(spec)).unwrap();
+        assert_eq!(again.mvm.as_ref(), Some(a));
+    }
+
+    #[test]
+    fn mvm_bad_specs_are_typed_errors() {
+        let engine = Engine::new();
+        let mut bad = mvm_spec(4, 4, 7);
+        bad.trials = 0;
+        match engine.run(&Job::mvm(bad)).unwrap_err() {
+            Error::MvmSpec { message } => assert!(message.contains("trials"), "{message}"),
+            other => panic!("expected MvmSpec, got {other:?}"),
+        }
     }
 
     #[test]

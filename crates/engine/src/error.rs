@@ -33,6 +33,14 @@ pub enum Error {
         /// The name that failed to resolve.
         name: String,
     },
+    /// An analog MVM job carries an invalid spec (bad dimensions,
+    /// non-finite values, defect probabilities summing past 1, …).
+    /// Raised *before* the chip draw, so a bad spec is a typed error —
+    /// never a tripped `assert!` on a worker thread.
+    MvmSpec {
+        /// What is wrong with it.
+        message: String,
+    },
     /// A BISM mapping job carries an invalid [`crate::MapConfig`].
     MapConfig {
         /// What is wrong with it.
@@ -80,6 +88,7 @@ impl std::fmt::Display for Error {
                 write!(f, "constant {num_vars}-variable function needs no crossbar")
             }
             Error::UnknownStrategy { name } => write!(f, "unknown synthesis strategy {name:?}"),
+            Error::MvmSpec { message } => write!(f, "bad mvm spec: {message}"),
             Error::MapConfig { message } => write!(f, "bad map configuration: {message}"),
             Error::MapFabric { needed, fabric } => write!(
                 f,
@@ -146,6 +155,9 @@ mod tests {
             Error::ConstantFunction { num_vars: 2 },
             Error::UnknownStrategy {
                 name: "quantum".into(),
+            },
+            Error::MvmSpec {
+                message: "trials must be in 1..=4096, got 0".into(),
             },
             Error::MapConfig {
                 message: "speculation width must be >= 1".into(),

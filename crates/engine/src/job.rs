@@ -11,6 +11,7 @@ use std::time::Duration;
 
 use nanoxbar_crossbar::ArraySize;
 use nanoxbar_logic::{parse_function, TruthTable};
+use nanoxbar_mvm::{MvmOutcome, MvmSpec};
 use nanoxbar_reliability::defect::DefectMap;
 use nanoxbar_reliability::mapper::{MapConfig, MapReport};
 
@@ -62,6 +63,8 @@ pub struct Job {
     pub(crate) limits: Option<Limits>,
     pub(crate) verify: bool,
     pub(crate) label: Option<String>,
+    /// An analog crossbar MVM workload instead of a synthesis target.
+    pub(crate) mvm: Option<MvmSpec>,
 }
 
 impl Job {
@@ -76,7 +79,34 @@ impl Job {
             limits: None,
             verify: false,
             label: None,
+            mvm: None,
         }
+    }
+
+    /// An analog in-memory-compute job: program `spec.weights` onto a
+    /// differential-pair crossbar drawn from `spec`'s chip parameters and
+    /// run `spec.trials` Monte-Carlo matrix-vector products. The outcome
+    /// lands in [`JobResult::mvm`]; [`JobResult::realization`] is `None`
+    /// for these jobs. Spec validation happens at `run` time and
+    /// surfaces as [`Error::MvmSpec`].
+    pub fn mvm(spec: MvmSpec) -> Self {
+        Job {
+            // Placeholder target; never synthesised for mvm jobs.
+            function: TruthTable::ones(1),
+            strategy: None,
+            chip: None,
+            map_chip: None,
+            map_config: MapConfig::default(),
+            limits: None,
+            verify: false,
+            label: None,
+            mvm: Some(spec),
+        }
+    }
+
+    /// The analog MVM spec, for [`Job::mvm`] jobs.
+    pub fn mvm_spec(&self) -> Option<&MvmSpec> {
+        self.mvm.as_ref()
     }
 
     /// A synthesis job from a Boolean expression in the paper's syntax
@@ -181,8 +211,9 @@ pub struct JobResult {
     pub strategy: String,
     /// The synthesised realisation. Shared ([`Arc`]) because batch dedupe
     /// and the result cache hand the same realisation to every job that
-    /// asked for the same (function, strategy).
-    pub realization: Arc<Realization>,
+    /// asked for the same (function, strategy). `None` for [`Job::mvm`]
+    /// jobs, which produce an [`MvmOutcome`] instead.
+    pub realization: Option<Arc<Realization>>,
     /// `Some(true)` when verification ran (a failed check is an
     /// [`Error::Verification`], never `Some(false)`); `None` when the job
     /// did not request it.
@@ -193,14 +224,17 @@ pub struct JobResult {
     /// unsuccessful search is `Some(report)` with `success == false` —
     /// the pipeline worked, the chip was just too defective.
     pub map: Option<MapReport>,
+    /// The analog MVM outcome, for [`Job::mvm`] jobs.
+    pub mvm: Option<MvmOutcome>,
     /// Wall-clock time the job took (excluded from determinism checks).
     pub elapsed: Duration,
 }
 
 impl JobResult {
     /// Crosspoint count of the realisation — the paper's area metric.
+    /// Zero for [`Job::mvm`] jobs, which carry no realisation.
     pub fn area(&self) -> usize {
-        self.realization.area()
+        self.realization.as_ref().map_or(0, |r| r.area())
     }
 }
 

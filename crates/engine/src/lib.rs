@@ -24,6 +24,12 @@
 //!   `(function, strategy, minimise mode) → realization`
 //!   ([`EngineBuilder::cache_capacity`]); batches additionally dedupe
 //!   identical jobs so each distinct function synthesises once.
+//! * [`Job::mvm`] — analog in-memory-compute jobs: an [`MvmSpec`] programs
+//!   a differential-pair conductance crossbar and Monte-Carlo executes
+//!   matrix-vector products on it, reported as a deterministic
+//!   [`MvmOutcome`] in [`JobResult::mvm`]. The chip-independent program
+//!   step dedupes and memoises like synthesis; the chip-specific
+//!   execution runs per job.
 //!
 //! ## Quickstart
 //!
@@ -69,6 +75,10 @@ pub use tech::{Realization, Technology};
 pub use nanoxbar_reliability::bism::{BismStats, BismStrategy};
 pub use nanoxbar_reliability::mapper::{MapConfig, MapReport, Mapper, MapperSnapshot};
 
+// The analog MVM vocabulary of [`Job::mvm`] jobs, re-exported for the
+// same reason.
+pub use nanoxbar_mvm::{ConductanceParams, MvmOutcome, MvmSpec};
+
 use std::sync::OnceLock;
 
 use nanoxbar_logic::TruthTable;
@@ -103,5 +113,10 @@ fn default_engine() -> &'static Engine {
 pub fn synthesize(f: &TruthTable, tech: Technology) -> Result<Realization, Error> {
     default_engine()
         .run(&Job::synthesize(f.clone()).with_strategy(Strategy::from(tech)))
-        .map(|result| std::sync::Arc::unwrap_or_clone(result.realization))
+        .map(|result| {
+            let realization = result
+                .realization
+                .expect("synthesis jobs carry a realization");
+            std::sync::Arc::unwrap_or_clone(realization)
+        })
 }

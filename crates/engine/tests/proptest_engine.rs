@@ -152,7 +152,7 @@ fn prepare_map_reproduces_the_engine_map_path() {
         let setup = engine.prepare_map(&job).expect("prepare");
         assert_eq!(
             format!("{:?}", setup.realization),
-            format!("{:?}", reference.realization),
+            format!("{:?}", reference.realization.as_ref().unwrap()),
             "prepare_map synthesises the same realization"
         );
 

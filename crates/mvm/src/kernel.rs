@@ -1,0 +1,159 @@
+//! The f32 matrix-vector kernels: a strictly scalar reference, a 4-row
+//! lane-unrolled variant, and a row-chunked parallel variant on the
+//! `nanoxbar-par` pool.
+//!
+//! All three produce **bit-identical** outputs: every output row is the
+//! same left-to-right sum over columns in every kernel, the unroll only
+//! interleaves four *independent* row accumulators (the shape of the
+//! u64x4 percolation unroll in `nanoxbar-lattice`'s `biteval`), and the
+//! parallel variant splits rows at fixed [`PAR_CHUNK_ROWS`] boundaries —
+//! independent of `NANOXBAR_THREADS` — and concatenates the per-chunk
+//! outputs in chunk order. f32 addition is not associative, so this
+//! discipline (never reorder a row's reduction) is what the proptests
+//! pin down.
+
+/// Rows per parallel chunk. A fixed constant — **not** derived from the
+/// pool width — so chunk boundaries, and therefore every f32 reduction,
+/// are identical for every `NANOXBAR_THREADS`.
+pub const PAR_CHUNK_ROWS: usize = 32;
+
+/// Below this many rows the parallel kernel stays inline on the calling
+/// thread (same outputs, no fan-out overhead).
+const PAR_MIN_ROWS: usize = 2 * PAR_CHUNK_ROWS;
+
+/// Output rows processed together by the unrolled kernel.
+const LANES: usize = 4;
+
+fn check_dims(weights: &[f32], rows: usize, cols: usize, input: &[f32]) {
+    assert_eq!(weights.len(), rows * cols, "weights must be rows x cols");
+    assert_eq!(input.len(), cols, "input length must match cols");
+}
+
+/// The strictly scalar reference: one row at a time, one column at a
+/// time, left to right. Every other kernel is proven bit-identical to
+/// this one.
+pub fn mvm_scalar(weights: &[f32], rows: usize, cols: usize, input: &[f32]) -> Vec<f32> {
+    check_dims(weights, rows, cols, input);
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &weights[r * cols..(r + 1) * cols];
+        let mut acc = 0.0f32;
+        for (c, &x) in input.iter().enumerate() {
+            acc += row[c] * x;
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// The lane-unrolled kernel: `LANES` (4) output rows advance together,
+/// each with its own accumulator, sharing every `input[c]` load. Four
+/// independent f32 dependency chains hide the add latency the scalar
+/// kernel serialises on; per-row operation order is unchanged, so the
+/// result is bit-identical to [`mvm_scalar`]. Leftover rows (< 4) fall
+/// back to the scalar loop.
+pub fn mvm_unrolled(weights: &[f32], rows: usize, cols: usize, input: &[f32]) -> Vec<f32> {
+    check_dims(weights, rows, cols, input);
+    let mut out = Vec::with_capacity(rows);
+    let mut r = 0;
+    while r + LANES <= rows {
+        let base = r * cols;
+        let r0 = &weights[base..base + cols];
+        let r1 = &weights[base + cols..base + 2 * cols];
+        let r2 = &weights[base + 2 * cols..base + 3 * cols];
+        let r3 = &weights[base + 3 * cols..base + 4 * cols];
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for (c, &x) in input.iter().enumerate() {
+            a0 += r0[c] * x;
+            a1 += r1[c] * x;
+            a2 += r2[c] * x;
+            a3 += r3[c] * x;
+        }
+        out.extend_from_slice(&[a0, a1, a2, a3]);
+        r += LANES;
+    }
+    while r < rows {
+        let row = &weights[r * cols..(r + 1) * cols];
+        let mut acc = 0.0f32;
+        for (c, &x) in input.iter().enumerate() {
+            acc += row[c] * x;
+        }
+        out.push(acc);
+        r += 1;
+    }
+    out
+}
+
+/// The parallel kernel: rows split into fixed [`PAR_CHUNK_ROWS`]-row
+/// chunks fanned out over the `nanoxbar-par` pool, each chunk computed
+/// with [`mvm_unrolled`], outputs concatenated **in chunk order** on the
+/// calling thread. Chunk boundaries and per-row reduction order never
+/// depend on the thread count, so the result is bit-identical to
+/// [`mvm_scalar`] for every `NANOXBAR_THREADS`.
+pub fn mvm_parallel(weights: &[f32], rows: usize, cols: usize, input: &[f32]) -> Vec<f32> {
+    check_dims(weights, rows, cols, input);
+    if rows < PAR_MIN_ROWS {
+        return mvm_unrolled(weights, rows, cols, input);
+    }
+    let row_ids: Vec<usize> = (0..rows).collect();
+    nanoxbar_par::par_map_reduce(
+        &row_ids,
+        PAR_CHUNK_ROWS,
+        |_i, chunk| {
+            let start = chunk[0];
+            mvm_unrolled(
+                &weights[start * cols..(start + chunk.len()) * cols],
+                chunk.len(),
+                cols,
+                input,
+            )
+        },
+        |mut acc: Vec<f32>, mut chunk| {
+            acc.append(&mut chunk);
+            acc
+        },
+    )
+    .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_problem(rows: usize, cols: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let weights = (0..rows * cols)
+            .map(|_| rng.gen::<f32>() * 2.0 - 1.0)
+            .collect();
+        let input = (0..cols).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect();
+        (weights, input)
+    }
+
+    #[test]
+    fn kernels_agree_bitwise_including_tails() {
+        // Sizes straddling the lane width, the chunk size, and the
+        // inline-fallback threshold.
+        for (rows, cols) in [(1, 1), (3, 5), (4, 4), (31, 7), (64, 33), (130, 17)] {
+            let (w, x) = random_problem(rows, cols, 42 + rows as u64);
+            let scalar = mvm_scalar(&w, rows, cols, &x);
+            assert_eq!(scalar, mvm_unrolled(&w, rows, cols, &x), "{rows}x{cols}");
+            assert_eq!(scalar, mvm_parallel(&w, rows, cols, &x), "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn scalar_matches_hand_computation() {
+        // 2x3: y0 = 1*1 + 2*2 + 3*3 = 14, y1 = -1*1 + 0*2 + 1*3 = 2.
+        let w = [1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(mvm_scalar(&w, 2, 3, &x), vec![14.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be rows x cols")]
+    fn dimension_mismatch_panics() {
+        mvm_scalar(&[1.0; 5], 2, 3, &[1.0; 3]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property suite for `variation` — the parametric-variation model the
+//! analog MVM subsystem builds its resistance fields on:
+//!
+//! * [`ResistanceField::random`] is **deterministic per seed** (bit-equal
+//!   fields on repeat draws), bounded below by the 0.05 clamp, and exactly
+//!   nominal at σ = 0;
+//! * the delay proxies are **monotone**: raising one site's resistance can
+//!   never *shorten* a lattice's best conducting path or a diode array's
+//!   best conducting row, and never changes *whether* the structure
+//!   conducts (conduction is topology, resistance only prices it).
+
+use proptest::prelude::*;
+
+use nanoxbar_crossbar::{ArraySize, DiodeArray};
+use nanoxbar_lattice::synth::dual_based;
+use nanoxbar_logic::{isop_cover, TruthTable};
+use nanoxbar_reliability::variation::{diode_delay, lattice_path_resistance, ResistanceField};
+
+/// A random non-constant function of 2–3 variables (minterms 0 and 1 are
+/// pinned to 1 and 0, so no draw degenerates to a constant).
+fn arb_function() -> impl Strategy<Value = TruthTable> {
+    (any::<u64>(), 2usize..=3).prop_map(|(bits, num_vars)| {
+        TruthTable::from_fn(num_vars, |m| match m {
+            0 => true,
+            1 => false,
+            _ => (bits >> (m % 64)) & 1 == 1,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same `(size, sigma, seed)` → the same field, bit for bit; every
+    /// value respects the 0.05 clamp; σ = 0 is exactly nominal.
+    #[test]
+    fn resistance_fields_are_deterministic_per_seed(
+        rows in 1usize..=8,
+        cols in 1usize..=8,
+        sigma in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let size = ArraySize::new(rows, cols);
+        let a = ResistanceField::random(size, sigma, seed);
+        let b = ResistanceField::random(size, sigma, seed);
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(
+                    a.at(r, c).to_bits(),
+                    b.at(r, c).to_bits(),
+                    "({}, {}) differs across identical draws",
+                    r,
+                    c
+                );
+                prop_assert!(a.at(r, c) >= 0.05, "clamp violated at ({}, {})", r, c);
+            }
+        }
+        let nominal = ResistanceField::random(size, 0.0, seed);
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(nominal.at(r, c), 1.0, "sigma 0 must be nominal");
+            }
+        }
+    }
+
+    /// Raising one lattice site's resistance never shortens any minterm's
+    /// best top→bottom path and never changes whether the lattice
+    /// conducts it.
+    #[test]
+    fn lattice_path_resistance_is_monotone_in_site_resistance(
+        f in arb_function(),
+        seed in 0u64..200,
+        site in any::<usize>(),
+        bump in 0.1f64..10.0,
+    ) {
+        let lattice = dual_based::synthesize(&f);
+        let size = ArraySize::new(lattice.rows(), lattice.cols());
+        let field = ResistanceField::random(size, 0.2, seed);
+        let r = site % lattice.rows();
+        let c = (site / lattice.rows()) % lattice.cols();
+        let mut worse = field.clone();
+        worse.set_at(r, c, field.at(r, c) + bump);
+        for m in 0..(1u64 << f.num_vars()) {
+            let before = lattice_path_resistance(&lattice, &field, m);
+            let after = lattice_path_resistance(&lattice, &worse, m);
+            prop_assert_eq!(
+                before.is_some(),
+                after.is_some(),
+                "conduction of minterm {} changed with resistance",
+                m
+            );
+            if let (Some(b), Some(a)) = (before, after) {
+                prop_assert!(
+                    a >= b - 1e-12,
+                    "minterm {}: path got faster ({} -> {}) after raising ({}, {})",
+                    m,
+                    b,
+                    a,
+                    r,
+                    c
+                );
+            }
+        }
+    }
+
+    /// The same monotonicity for the diode array's conducting rows.
+    #[test]
+    fn diode_delay_is_monotone_in_site_resistance(
+        f in arb_function(),
+        seed in 0u64..200,
+        site in any::<usize>(),
+        bump in 0.1f64..10.0,
+    ) {
+        let array = DiodeArray::synthesize(&isop_cover(&f));
+        let size = array.size();
+        let field = ResistanceField::random(size, 0.2, seed);
+        let r = site % size.rows;
+        let c = (site / size.rows) % size.cols;
+        let mut worse = field.clone();
+        worse.set_at(r, c, field.at(r, c) + bump);
+        for m in 0..(1u64 << f.num_vars()) {
+            let before = diode_delay(&array, &field, m);
+            let after = diode_delay(&array, &worse, m);
+            prop_assert_eq!(
+                before.is_some(),
+                after.is_some(),
+                "conduction of minterm {} changed with resistance",
+                m
+            );
+            if let (Some(b), Some(a)) = (before, after) {
+                prop_assert!(
+                    a >= b - 1e-12,
+                    "minterm {}: row got faster ({} -> {}) after raising ({}, {})",
+                    m,
+                    b,
+                    a,
+                    r,
+                    c
+                );
+            }
+        }
+    }
+}

@@ -11,7 +11,8 @@ use std::time::Duration;
 
 use nanoxbar_crossbar::ArraySize;
 use nanoxbar_engine::{
-    BismStrategy, Error, Job, JobResult, Limits, MapConfig, MapReport, MinimizeMode, Realization,
+    BismStrategy, Error, Job, JobResult, Limits, MapConfig, MapReport, MinimizeMode, MvmOutcome,
+    MvmSpec, Realization,
 };
 use nanoxbar_logic::pla::parse_pla;
 use nanoxbar_reliability::defect::{CrosspointHealth, DefectMap};
@@ -40,6 +41,9 @@ pub struct JobSpec {
     pub chip: Option<ChipRequest>,
     /// Run built-in self-mapping on the chip (requires `chip`).
     pub map: Option<MapRequest>,
+    /// An analog in-memory-compute MVM workload. Exclusive with every
+    /// synthesis field — an mvm slot carries its own chip parameters.
+    pub mvm: Option<MvmRequest>,
 }
 
 /// The optional chip of a [`JobSpec`].
@@ -163,6 +167,130 @@ impl MapRequest {
     }
 }
 
+/// The analog MVM workload of a `/v1/mvm` request (or an mvm slot in a
+/// batch): a signed weight matrix, an input vector, and the chip the
+/// weights are programmed onto.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MvmRequest {
+    /// Weight matrix rows (output vector length), in `1..=4096`.
+    pub rows: usize,
+    /// Weight matrix columns (input vector length), in `1..=4096`.
+    pub cols: usize,
+    /// Row-major signed weights, `rows * cols` finite values.
+    pub weights: Vec<f32>,
+    /// The input vector, `cols` finite values.
+    pub input: Vec<f32>,
+    /// Seed of the deterministic chip draw (defects + variation field).
+    pub chip_seed: u64,
+    /// Stuck-open probability per physical device (default 0).
+    pub p_open: f64,
+    /// Stuck-closed probability per physical device (default 0).
+    pub p_closed: f64,
+    /// Relative sigma of device variation and programming noise
+    /// (default 0).
+    pub noise_sigma: f32,
+    /// Monte-Carlo programming trials (default 1).
+    pub trials: u32,
+}
+
+impl MvmRequest {
+    fn from_json(v: &Json) -> Result<MvmRequest, String> {
+        let Json::Object(members) = v else {
+            return Err("\"mvm\" must be a JSON object".into());
+        };
+        let (mut rows, mut cols, mut weights, mut input) = (None, None, None, None);
+        let mut request = MvmRequest {
+            rows: 0,
+            cols: 0,
+            weights: Vec::new(),
+            input: Vec::new(),
+            chip_seed: 0,
+            p_open: 0.0,
+            p_closed: 0.0,
+            noise_sigma: 0.0,
+            trials: 1,
+        };
+        for (key, value) in members {
+            match key.as_str() {
+                "rows" => rows = Some(dimension_field(value, "rows")?),
+                "cols" => cols = Some(dimension_field(value, "cols")?),
+                "weights" => weights = Some(f32_array_field(value, "weights")?),
+                "input" => input = Some(f32_array_field(value, "input")?),
+                "chip_seed" => {
+                    request.chip_seed = value
+                        .as_u64()
+                        .ok_or_else(|| "\"chip_seed\" must be a non-negative integer".to_string())?
+                }
+                "p_open" => request.p_open = float_field(value, "p_open")?,
+                "p_closed" => request.p_closed = float_field(value, "p_closed")?,
+                "noise_sigma" => request.noise_sigma = float_field(value, "noise_sigma")? as f32,
+                "trials" => {
+                    request.trials = budget_field(value, "trials", 1, 4096)? as u32;
+                }
+                other => return Err(format!("unknown mvm field {other:?}")),
+            }
+        }
+        request.rows = rows.ok_or("\"mvm\" needs \"rows\"")?;
+        request.cols = cols.ok_or("\"mvm\" needs \"cols\"")?;
+        request.weights = weights.ok_or("\"mvm\" needs \"weights\"")?;
+        request.input = input.ok_or("\"mvm\" needs \"input\"")?;
+        Ok(request)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut members: Vec<(String, Json)> = vec![
+            ("rows".into(), Json::from(self.rows)),
+            ("cols".into(), Json::from(self.cols)),
+            ("weights".into(), f32_json_array(&self.weights)),
+            ("input".into(), f32_json_array(&self.input)),
+        ];
+        if self.chip_seed != 0 {
+            members.push(("chip_seed".into(), Json::from(self.chip_seed)));
+        }
+        if self.p_open != 0.0 {
+            members.push(("p_open".into(), Json::Float(self.p_open)));
+        }
+        if self.p_closed != 0.0 {
+            members.push(("p_closed".into(), Json::Float(self.p_closed)));
+        }
+        if self.noise_sigma != 0.0 {
+            members.push((
+                "noise_sigma".into(),
+                Json::Float(f64::from(self.noise_sigma)),
+            ));
+        }
+        if self.trials != 1 {
+            members.push(("trials".into(), Json::from(u64::from(self.trials))));
+        }
+        Json::Object(members)
+    }
+
+    /// Lowers the request to a fully validated engine [`MvmSpec`].
+    ///
+    /// # Errors
+    ///
+    /// The first [`MvmSpec::validate`] failure — mismatched dimensions,
+    /// non-finite values, defect probabilities outside `[0, 1]` or
+    /// summing past 1, a bad `noise_sigma`. The service maps this to a
+    /// 400 (one-shot) or an isolated failed slot (batch), so a bad spec
+    /// can never trip a library `assert!` on a pool worker.
+    pub fn spec(&self) -> Result<MvmSpec, String> {
+        let spec = MvmSpec {
+            rows: self.rows,
+            cols: self.cols,
+            weights: self.weights.clone(),
+            input: self.input.clone(),
+            chip_seed: self.chip_seed,
+            p_open: self.p_open,
+            p_closed: self.p_closed,
+            noise_sigma: self.noise_sigma,
+            trials: self.trials,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
 impl JobSpec {
     /// A spec synthesising `expr` with every option defaulted.
     pub fn expr(expr: impl Into<String>) -> Self {
@@ -204,14 +332,29 @@ impl JobSpec {
                 }
                 "chip" => spec.chip = Some(ChipRequest::from_json(value)?),
                 "map" => spec.map = Some(MapRequest::from_json(value)?),
+                "mvm" => spec.mvm = Some(MvmRequest::from_json(value)?),
                 other => return Err(format!("unknown job field {other:?}")),
             }
         }
         if spec.map.is_some() && spec.chip.is_none() {
             return Err("\"map\" needs a \"chip\" to map onto".into());
         }
+        if spec.mvm.is_some() {
+            if spec.expr.is_some()
+                || spec.pla.is_some()
+                || spec.strategy.is_some()
+                || spec.verify
+                || spec.chip.is_some()
+                || spec.map.is_some()
+            {
+                return Err("\"mvm\" cannot be combined with synthesis fields \
+                     (expr, pla, strategy, verify, chip, map)"
+                    .into());
+            }
+            return Ok(spec);
+        }
         match (&spec.expr, &spec.pla) {
-            (None, None) => Err("job needs an \"expr\" or a \"pla\"".into()),
+            (None, None) => Err("job needs an \"expr\", a \"pla\", or an \"mvm\"".into()),
             (Some(_), Some(_)) => Err("job cannot have both \"expr\" and \"pla\"".into()),
             _ => Ok(spec),
         }
@@ -241,6 +384,9 @@ impl JobSpec {
         if let Some(map) = &self.map {
             members.push(("map".into(), map.to_json()));
         }
+        if let Some(mvm) = &self.mvm {
+            members.push(("mvm".into(), mvm.to_json()));
+        }
         Json::Object(members)
     }
 
@@ -251,6 +397,16 @@ impl JobSpec {
     /// A message for unparsable expressions/PLA bodies or multi-output
     /// PLAs (batch them as one job per output instead).
     pub fn to_job(&self) -> Result<Job, String> {
+        if let Some(mvm) = &self.mvm {
+            // Validation happens here — at the boundary — so a bad spec
+            // fails its own slot (batch) or 400s (one-shot) instead of
+            // tripping an assert on a pool worker.
+            let mut job = Job::mvm(mvm.spec()?);
+            if let Some(label) = &self.label {
+                job = job.labeled(label.clone());
+            }
+            return Ok(job);
+        }
         let mut job = match (&self.expr, &self.pla) {
             (Some(expr), None) => Job::parse(expr).map_err(|e| format!("bad expression: {e}"))?,
             (None, Some(body)) => {
@@ -366,6 +522,42 @@ fn string_field(v: &Json, name: &str) -> Result<String, String> {
         .ok_or_else(|| format!("{name:?} must be a string"))
 }
 
+fn float_field(v: &Json, name: &str) -> Result<f64, String> {
+    v.as_f64()
+        .ok_or_else(|| format!("{name:?} must be a number"))
+}
+
+/// Largest accepted `weights`/`input` array (matches the engine's
+/// `MvmSpec` area ceiling).
+const MAX_F32_ARRAY: usize = 1 << 20;
+
+fn f32_array_field(v: &Json, name: &str) -> Result<Vec<f32>, String> {
+    let values = v
+        .as_array()
+        .ok_or_else(|| format!("{name:?} must be an array of numbers"))?;
+    if values.len() > MAX_F32_ARRAY {
+        return Err(format!(
+            "{name:?} holds {} values, more than the accepted {MAX_F32_ARRAY}",
+            values.len()
+        ));
+    }
+    values
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .map(|f| f as f32)
+                .ok_or_else(|| format!("{name:?} must be an array of numbers"))
+        })
+        .collect()
+}
+
+/// f32 values on the wire: widened to f64 (exact — every f32 is an f64),
+/// so rendering inherits the wire layer's deterministic float format and
+/// responses stay byte-identical across runs and replicas.
+fn f32_json_array(values: &[f32]) -> Json {
+    Json::Array(values.iter().map(|&v| Json::Float(f64::from(v))).collect())
+}
+
 fn dimension_field(v: &Json, name: &str) -> Result<usize, String> {
     let value = v
         .as_u64()
@@ -435,6 +627,7 @@ pub fn error_kind(e: &Error) -> &'static str {
         Error::Synth(_) => "synthesis",
         Error::ConstantFunction { .. } => "constant-function",
         Error::UnknownStrategy { .. } => "unknown-strategy",
+        Error::MvmSpec { .. } => "mvm-spec",
         Error::MapConfig { .. } => "map-config",
         Error::MapFabric { .. } => "map-fabric",
         Error::AreaLimit { .. } => "area-limit",
@@ -462,21 +655,25 @@ pub fn fingerprint(realization: &Realization) -> String {
 pub fn result_to_json(slot: &Result<JobResult, Error>) -> Json {
     match slot {
         Ok(result) => {
-            let size = result.realization.size();
+            if let Some(outcome) = &result.mvm {
+                return mvm_result_to_json(result, outcome);
+            }
+            let realization = result
+                .realization
+                .as_ref()
+                .expect("non-mvm results carry a realization");
+            let size = realization.size();
             let mut members: Vec<(String, Json)> = vec![
                 ("ok".into(), Json::Bool(true)),
                 ("strategy".into(), Json::Str(result.strategy.clone())),
                 (
                     "technology".into(),
-                    Json::Str(result.realization.technology().name().into()),
+                    Json::Str(realization.technology().name().into()),
                 ),
                 ("rows".into(), Json::from(size.rows)),
                 ("cols".into(), Json::from(size.cols)),
                 ("area".into(), Json::from(result.area())),
-                (
-                    "fingerprint".into(),
-                    Json::Str(fingerprint(&result.realization)),
-                ),
+                ("fingerprint".into(), Json::Str(fingerprint(realization))),
             ];
             if let Some(verified) = result.verified {
                 members.push(("verified".into(), Json::Bool(verified)));
@@ -506,6 +703,29 @@ pub fn result_to_json(slot: &Result<JobResult, Error>) -> Json {
         }
         Err(e) => bad_slot(error_kind(e), &e.to_string()),
     }
+}
+
+/// Renders an mvm slot: dimensions, the chip's defect count, the ideal
+/// and analog output vectors (f32 widened exactly to f64), and the
+/// Monte-Carlo RMS error statistics. No clocks — identical requests give
+/// byte-identical mvm objects on every run, thread count, and replica.
+fn mvm_result_to_json(result: &JobResult, outcome: &MvmOutcome) -> Json {
+    let mut members: Vec<(String, Json)> = vec![
+        ("ok".into(), Json::Bool(true)),
+        ("strategy".into(), Json::Str(result.strategy.clone())),
+        ("rows".into(), Json::from(outcome.rows)),
+        ("cols".into(), Json::from(outcome.cols)),
+        ("trials".into(), Json::from(u64::from(outcome.trials))),
+        ("defects".into(), Json::from(outcome.defects)),
+        ("ideal".into(), f32_json_array(&outcome.ideal)),
+        ("output".into(), f32_json_array(&outcome.output)),
+        ("rms_error_mean".into(), Json::Float(outcome.rms_error_mean)),
+        ("rms_error_max".into(), Json::Float(outcome.rms_error_max)),
+    ];
+    if let Some(label) = &result.label {
+        members.push(("label".into(), Json::Str(label.clone())));
+    }
+    Json::Object(members)
 }
 
 /// Renders a [`MapReport`] as its deterministic wire object: counters,
@@ -597,6 +817,7 @@ mod tests {
                 max_attempts: Some(250),
                 seed: 7,
             }),
+            mvm: None,
         };
         let back = JobSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
@@ -653,7 +874,10 @@ mod tests {
         };
         let engine = Engine::new();
         let result = engine.run(&spec.to_job().unwrap()).unwrap();
-        assert_eq!(result.realization.size().to_string(), "2x5");
+        assert_eq!(
+            result.realization.as_ref().unwrap().size().to_string(),
+            "2x5"
+        );
 
         // The same function as a PLA body gives the same realization.
         let cover =
@@ -666,8 +890,8 @@ mod tests {
         let pla_result = engine.run(&pla_spec.to_job().unwrap()).unwrap();
         assert_eq!(pla_result.realization, result.realization);
         assert_eq!(
-            fingerprint(&pla_result.realization),
-            fingerprint(&result.realization)
+            fingerprint(pla_result.realization.as_ref().unwrap()),
+            fingerprint(result.realization.as_ref().unwrap())
         );
     }
 
@@ -715,6 +939,116 @@ mod tests {
             "one row per product"
         );
         assert!(map.get("known_bad").unwrap().as_array().is_some());
+    }
+
+    fn mvm_request(rows: usize, cols: usize) -> MvmRequest {
+        MvmRequest {
+            rows,
+            cols,
+            weights: vec![0.5; rows * cols],
+            input: vec![1.0; cols],
+            chip_seed: 3,
+            p_open: 0.02,
+            p_closed: 0.01,
+            noise_sigma: 0.05,
+            trials: 2,
+        }
+    }
+
+    #[test]
+    fn mvm_specs_roundtrip_and_lower_to_mvm_jobs() {
+        let spec = JobSpec {
+            label: Some("analog".into()),
+            mvm: Some(mvm_request(2, 3)),
+            ..JobSpec::default()
+        };
+        let back = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+
+        let engine = Engine::new();
+        let result = engine.run(&spec.to_job().unwrap()).unwrap();
+        assert_eq!(result.strategy, "analog-mvm");
+        assert!(result.realization.is_none());
+        let rendered = result_to_json(&Ok(result));
+        assert_eq!(rendered.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            rendered.get("strategy").unwrap().as_str(),
+            Some("analog-mvm")
+        );
+        assert_eq!(rendered.get("rows").unwrap().as_u64(), Some(2));
+        assert_eq!(rendered.get("trials").unwrap().as_u64(), Some(2));
+        assert_eq!(rendered.get("label").unwrap().as_str(), Some("analog"));
+        assert_eq!(rendered.get("ideal").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(rendered.get("output").unwrap().as_array().unwrap().len(), 2);
+        assert!(rendered.get("rms_error_mean").is_some());
+        assert!(rendered.get("fingerprint").is_none(), "mvm has no lattice");
+        assert!(
+            rendered.get("elapsed").is_none(),
+            "bodies stay deterministic"
+        );
+    }
+
+    #[test]
+    fn mvm_parse_errors_name_the_field() {
+        for (body, needle) in [
+            ("{\"mvm\":[]}", "must be a JSON object"),
+            ("{\"mvm\":{}}", "needs \"rows\""),
+            ("{\"mvm\":{\"rows\":2,\"cols\":0}}", "1..=4096"),
+            (
+                "{\"mvm\":{\"rows\":2,\"cols\":2,\"weights\":\"x\"}}",
+                "array of numbers",
+            ),
+            (
+                "{\"mvm\":{\"rows\":2,\"cols\":2,\"weights\":[0,0,0,0],\
+                 \"input\":[0,0],\"trials\":0}}",
+                "1..=4096",
+            ),
+            (
+                "{\"mvm\":{\"rows\":2,\"cols\":2,\"weights\":[0,0,0,0],\
+                 \"input\":[0,0],\"bogus\":1}}",
+                "unknown mvm field",
+            ),
+            (
+                "{\"expr\":\"x0\",\"mvm\":{\"rows\":1,\"cols\":1,\
+                 \"weights\":[1],\"input\":[1]}}",
+                "cannot be combined",
+            ),
+        ] {
+            let err = JobSpec::from_json(&Json::parse(body).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn bad_mvm_specs_fail_at_the_boundary_not_as_asserts() {
+        // Parses fine (every field structurally valid) but is a bad spec:
+        // the probabilities sum past 1, which would trip
+        // DefectMap::random_uniform's assert on a worker thread.
+        let mut bad = mvm_request(2, 2);
+        bad.p_open = 0.8;
+        bad.p_closed = 0.7;
+        let spec = JobSpec {
+            mvm: Some(bad),
+            ..JobSpec::default()
+        };
+        let err = spec.to_job().unwrap_err();
+        assert!(err.contains("p_open + p_closed"), "{err}");
+        for (p_open, p_closed, sigma, needle) in [
+            (-0.1, 0.0, 0.0, "p_open"),
+            (0.0, f64::NAN, 0.0, "p_closed"),
+            (0.0, 0.0, f32::NAN, "noise_sigma"),
+        ] {
+            let mut bad = mvm_request(2, 2);
+            bad.p_open = p_open;
+            bad.p_closed = p_closed;
+            bad.noise_sigma = sigma;
+            let spec = JobSpec {
+                mvm: Some(bad),
+                ..JobSpec::default()
+            };
+            let err = spec.to_job().unwrap_err();
+            assert!(err.contains(needle), "{err}");
+        }
     }
 
     #[test]

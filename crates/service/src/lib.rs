@@ -15,9 +15,10 @@
 //! |-----------------------|------------------------------------------------|
 //! | `POST /v1/synthesize` | One job: expression or PLA body + options      |
 //! | `POST /v1/map`        | One job mapped onto a defective chip with BISM (resumable sessions via `"session"`/`"resume"`) |
-//! | `POST /v1/batch`      | Ordered multi-job with per-slot isolation (map slots welcome) |
+//! | `POST /v1/mvm`        | One analog matrix-vector product on a simulated crossbar chip |
+//! | `POST /v1/batch`      | Ordered multi-job with per-slot isolation (map and mvm slots welcome) |
 //! | `GET /healthz`        | Liveness + registered strategies               |
-//! | `GET /metrics`        | Prometheus text: requests, latency histogram, map outcomes, cache hits/misses/weight, pool steals |
+//! | `GET /metrics`        | Prometheus text: requests, latency histograms, map and mvm outcomes, cache hits/misses/weight, pool steals |
 //!
 //! Every request accepts optional top-level `"minimize"` and `"limits"`
 //! fields; `"limits"` (`{"time_ms": 1..=60000, "sat_conflicts":
@@ -27,9 +28,13 @@
 //! Responses carry **no wall-clock fields** and use a deterministic
 //! encoder, so identical jobs produce byte-identical bodies whether they
 //! were synthesised fresh, served from the cache, or deduplicated inside
-//! a batch — latency lives in `/metrics`. That includes `/v1/map`: the
-//! speculative-parallel mapper commits candidates in deterministic order,
-//! so mapping bodies are byte-identical at every `NANOXBAR_THREADS`.
+//! a batch — latency lives in `/metrics`. That includes `/v1/map` (the
+//! speculative-parallel mapper commits candidates in deterministic
+//! order) and `/v1/mvm`: the analog kernels fix every f32 reduction's
+//! order (each output row is one left-to-right sum, parallel chunks
+//! split at constant boundaries), and f32 values widen exactly to f64
+//! on the wire — so even floating-point bodies are byte-identical at
+//! every `NANOXBAR_THREADS`.
 //!
 //! ## Curl session
 //!
@@ -72,6 +77,43 @@
 //! nanoxbar_cache_weight 18
 //! ...
 //! ```
+//!
+//! ## Analog MVM
+//!
+//! `POST /v1/mvm` runs one analog in-memory matrix-vector product: the
+//! signed weight matrix is programmed as differential conductance pairs
+//! onto a simulated crossbar drawn from the request's chip parameters
+//! (stuck-open/closed defects, static device variation, first-order IR
+//! drop), then `trials` Monte-Carlo programming-noise draws execute
+//! `W·x` and are scored against the ideal product:
+//!
+//! ```console
+//! $ curl -s http://127.0.0.1:8080/v1/mvm \
+//!     -d '{"mvm":{"rows":2,"cols":3,
+//!           "weights":[0.5,-0.25,1,0,0.75,-1],"input":[1,0.5,-0.5],
+//!           "chip_seed":7,"p_open":0.02,"p_closed":0.01,
+//!           "noise_sigma":0.05,"trials":8}}'
+//! {"ok":true,"strategy":"analog-mvm","rows":2,"cols":3,"trials":8,
+//!  "defects":0,"ideal":[-0.125,0.875],"output":[-0.149...,0.862...],
+//!  "rms_error_mean":0.030...,"rms_error_max":0.064...}
+//!
+//! # mvm slots ride along in a batch next to synthesis and map slots;
+//! # bad chip parameters fail only their slot (kind "mvm-spec").
+//! $ curl -s http://127.0.0.1:8080/v1/batch \
+//!     -d '{"jobs":[{"expr":"x0 x1","strategy":"diode"},
+//!           {"mvm":{"rows":2,"cols":2,"weights":[1,0,0,1],"input":[1,1],
+//!             "p_open":0.8,"p_closed":0.7,"trials":4}}]}'
+//! {"count":2,"results":[{"ok":true,...},
+//!  {"ok":false,"kind":"bad-request","error":"p_open + p_closed must stay below 1, ..."}]}
+//! ```
+//!
+//! The chip draw is deterministic in `(dimensions, chip_seed)` and trial
+//! `t`'s noise is seeded from `(chip_seed, t)`, so repeating a request —
+//! on any replica, at any thread count — returns the same body byte for
+//! byte. Duplicate mvm slots in one batch share their chip-independent
+//! programming step (an exact-weight-bits memo, the analog analogue of
+//! the result cache), while the chip-specific Monte-Carlo execution
+//! always runs per slot.
 //!
 //! ## Incremental mapping sessions
 //!
@@ -222,7 +264,7 @@ mod server;
 mod session;
 pub mod wire;
 
-pub use api::{error_kind, fingerprint, result_to_json, ChipRequest, JobSpec};
+pub use api::{error_kind, fingerprint, result_to_json, ChipRequest, JobSpec, MvmRequest};
 pub use metrics::{Histogram, Metrics};
 pub use peer::{BreakerState, MemNet, NetDialer, NetFault, PeerStatus, TcpDialer};
 pub use persist::RecoveryInfo;

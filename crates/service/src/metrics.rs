@@ -79,6 +79,8 @@ pub struct Metrics {
     pub requests_map: AtomicU64,
     /// `POST /v1/batch` requests served.
     pub requests_batch: AtomicU64,
+    /// `POST /v1/mvm` requests served.
+    pub requests_mvm: AtomicU64,
     /// `GET /healthz` + `GET /metrics` requests served.
     pub requests_other: AtomicU64,
     /// Responses with a 4xx/5xx status.
@@ -95,6 +97,10 @@ pub struct Metrics {
     pub maps: AtomicU64,
     /// Mappings whose search ended without a working placement.
     pub map_failures: AtomicU64,
+    /// Analog MVM jobs executed (mvm requests and mvm batch slots).
+    pub mvms: AtomicU64,
+    /// Monte-Carlo trials executed across all MVM jobs.
+    pub mvm_trials: AtomicU64,
     /// Durable-state records handed to the background persister.
     pub persist_enqueued: AtomicU64,
     /// Durable-state records the persister has taken off its queue.
@@ -129,6 +135,8 @@ pub struct Metrics {
     pub peer_fill_failures: AtomicU64,
     /// End-to-end latency of synthesis requests (parse → response built).
     pub latency: Histogram,
+    /// End-to-end latency of `/v1/mvm` requests (parse → response built).
+    pub mvm_latency: Histogram,
     /// End-to-end latency of peer fill exchanges (dial → record decoded),
     /// successes and failures alike.
     pub peer_fill_latency: Histogram,
@@ -175,6 +183,10 @@ impl Metrics {
             self.requests_batch.load(Ordering::Relaxed)
         ));
         out.push_str(&format!(
+            "nanoxbar_requests_total{{endpoint=\"mvm\"}} {}\n",
+            self.requests_mvm.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
             "nanoxbar_requests_total{{endpoint=\"other\"}} {}\n",
             self.requests_other.load(Ordering::Relaxed)
         ));
@@ -219,6 +231,18 @@ impl Metrics {
             "nanoxbar_map_failures_total",
             "Mappings that exhausted their budget without a placement.",
             self.map_failures.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_mvms_total",
+            "Analog MVM jobs executed.",
+            self.mvms.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_mvm_trials_total",
+            "Monte-Carlo trials executed across all MVM jobs.",
+            self.mvm_trials.load(Ordering::Relaxed),
         );
 
         counter(
@@ -323,6 +347,9 @@ impl Metrics {
         out.push_str("# HELP nanoxbar_request_latency_seconds Synthesis request latency.\n");
         self.latency
             .render("nanoxbar_request_latency_seconds", &mut out);
+        out.push_str("# HELP nanoxbar_mvm_latency_seconds Analog MVM request latency.\n");
+        self.mvm_latency
+            .render("nanoxbar_mvm_latency_seconds", &mut out);
         out.push_str("# HELP nanoxbar_peer_fill_latency_seconds Peer cache-fill latency.\n");
         self.peer_fill_latency
             .render("nanoxbar_peer_fill_latency_seconds", &mut out);
@@ -419,6 +446,7 @@ mod tests {
         for family in [
             "nanoxbar_requests_total{endpoint=\"synthesize\"} 1",
             "nanoxbar_requests_total{endpoint=\"map\"} 0",
+            "nanoxbar_requests_total{endpoint=\"mvm\"} 0",
             "nanoxbar_sessions_migrated_total 0",
             "nanoxbar_peer_fills_total 0",
             "nanoxbar_peer_fill_failures_total 0",
@@ -426,6 +454,9 @@ mod tests {
             "nanoxbar_jobs_total 7",
             "nanoxbar_maps_total 0",
             "nanoxbar_map_failures_total 0",
+            "nanoxbar_mvms_total 0",
+            "nanoxbar_mvm_trials_total 0",
+            "nanoxbar_mvm_latency_seconds_count 0",
             "nanoxbar_persist_records_appended_total 0",
             "nanoxbar_persist_flush_errors_total 0",
             "nanoxbar_persist_compactions_total 0",

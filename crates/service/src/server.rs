@@ -465,6 +465,13 @@ impl Service {
                 self.metrics.latency.observe(started.elapsed());
                 response
             }
+            ("POST", "/v1/mvm") => {
+                Metrics::bump(&self.metrics.requests_mvm);
+                let started = Instant::now();
+                let response = self.mvm(&request.body);
+                self.metrics.mvm_latency.observe(started.elapsed());
+                response
+            }
             ("POST", "/v1/peer/fill") => {
                 Metrics::bump(&self.metrics.requests_other);
                 self.peer_fill(&request.body)
@@ -475,7 +482,7 @@ impl Service {
             }
             (
                 _,
-                "/healthz" | "/metrics" | "/v1/synthesize" | "/v1/map" | "/v1/batch"
+                "/healthz" | "/metrics" | "/v1/synthesize" | "/v1/map" | "/v1/batch" | "/v1/mvm"
                 | "/v1/peer/fill" | "/v1/peer/session",
             ) => error_response(405, "method not allowed for this endpoint"),
             _ => error_response(404, "no such endpoint"),
@@ -564,6 +571,9 @@ impl Service {
             object(vec![
                 ("status", Json::Str("ok".into())),
                 ("strategies", Json::Array(strategies)),
+                // The analog in-memory-compute path (`POST /v1/mvm`) is
+                // always compiled in; its results report this strategy.
+                ("analog_mvm", Json::Str("analog-mvm".into())),
                 ("cache_enabled", Json::Bool(self.cache.is_some())),
                 ("pool_threads", Json::from(nanoxbar_par::threads())),
                 ("persist", persist),
@@ -629,6 +639,40 @@ impl Service {
         let results = self.engine(minimize).run_batch(std::slice::from_ref(&job));
         self.count_jobs(&results);
         self.count_maps(&results);
+        self.count_mvms(&results);
+        Response::json(200, result_to_json(&results[0]).encode())
+    }
+
+    /// `POST /v1/mvm`: one analog matrix-vector job — an `"mvm"` object
+    /// next to the usual top-level `"minimize"`/`"limits"` fields. The
+    /// job runs through [`Engine::run_batch`] like every other request,
+    /// so the differential-pair program step dedupes and memoises while
+    /// the chip-specific Monte-Carlo execution runs per request; fixed
+    /// reduction order makes identical requests give byte-identical
+    /// bodies at every `NANOXBAR_THREADS`. A semantically bad spec
+    /// (impossible defect probabilities, non-finite noise) is a `400`
+    /// here — the engine's typed `mvm-spec` error is reserved for batch
+    /// slots, where it poisons only its own slot.
+    fn mvm(&self, body: &[u8]) -> Response {
+        let (json, minimize, limits) = match self.parse_request_head(body) {
+            Ok(parts) => parts,
+            Err(response) => return response,
+        };
+        let job_json = strip_fields(&json, &["minimize", "limits"]);
+        let spec = match JobSpec::from_json(&job_json) {
+            Ok(spec) => spec,
+            Err(message) => return error_response(400, &message),
+        };
+        if spec.mvm.is_none() {
+            return error_response(400, "mvm requests need an \"mvm\" object");
+        }
+        let job = match spec.to_job() {
+            Ok(job) => apply_limits(job, limits),
+            Err(message) => return error_response(400, &message),
+        };
+        let results = self.engine(minimize).run_batch(std::slice::from_ref(&job));
+        self.count_jobs(&results);
+        self.count_mvms(&results);
         Response::json(200, result_to_json(&results[0]).encode())
     }
 
@@ -779,10 +823,11 @@ impl Service {
             let result: Result<JobResult, nanoxbar_engine::Error> = Ok(JobResult {
                 label: entry.label.clone(),
                 strategy: entry.setup.strategy.clone(),
-                realization: entry.setup.realization.clone(),
+                realization: Some(entry.setup.realization.clone()),
                 verified: entry.verified.then_some(true),
                 flow: None,
                 map: Some(report),
+                mvm: None,
                 elapsed: Duration::ZERO,
             });
             let mut body = result_to_json(&result);
@@ -979,6 +1024,7 @@ impl Service {
         }
         let engine_results = self.engine(minimize).run_batch(&jobs);
         self.count_maps(&engine_results);
+        self.count_mvms(&engine_results);
         // Every slot is one job; failed slots of either kind (unparsable
         // spec, typed engine error) count as job errors.
         Metrics::add(&self.metrics.jobs, slot_errors.len() as u64);
@@ -1043,6 +1089,17 @@ impl Service {
                 if !map.stats.success {
                     Metrics::bump(&self.metrics.map_failures);
                 }
+            }
+        }
+    }
+
+    /// Counts analog MVM outcomes: every completed MVM job and the
+    /// Monte-Carlo trials it executed.
+    fn count_mvms(&self, results: &[Result<nanoxbar_engine::JobResult, nanoxbar_engine::Error>]) {
+        for result in results.iter().flatten() {
+            if let Some(mvm) = &result.mvm {
+                Metrics::bump(&self.metrics.mvms);
+                Metrics::add(&self.metrics.mvm_trials, u64::from(mvm.trials));
             }
         }
     }
@@ -1745,6 +1802,81 @@ mod tests {
         );
         // A map without a chip poisons its slot only.
         assert_eq!(slots[2].get("kind").unwrap().as_str(), Some("bad-request"));
+    }
+
+    #[test]
+    fn mvm_endpoint_runs_an_analog_job() {
+        let service = Service::new(&ServiceConfig::default()).expect("service boots");
+        let body = "{\"mvm\":{\"rows\":2,\"cols\":2,\
+                    \"weights\":[0.5,-0.25,0.125,1.0],\"input\":[1.0,0.5],\
+                    \"chip_seed\":3,\"p_open\":0.02,\"noise_sigma\":0.05,\"trials\":2}}";
+        let ok = service.handle(&post("/v1/mvm", body));
+        assert_eq!(ok.status, 200);
+        let json = body_json(&ok);
+        assert_eq!(json.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(json.get("strategy").unwrap().as_str(), Some("analog-mvm"));
+        assert_eq!(json.get("rows").unwrap().as_i64(), Some(2));
+        assert_eq!(json.get("trials").unwrap().as_i64(), Some(2));
+        assert_eq!(json.get("output").unwrap().as_array().unwrap().len(), 2);
+        // Byte-identical on repeat — the f32 determinism contract.
+        let again = service.handle(&post("/v1/mvm", body));
+        assert_eq!(ok.body, again.body);
+
+        // The endpoint requires the mvm object; /v1/mvm is in the 405 set.
+        let missing = service.handle(&post("/v1/mvm", "{\"expr\":\"x0 x1\"}"));
+        assert_eq!(missing.status, 400);
+        assert_eq!(service.handle(&get("/v1/mvm")).status, 405);
+        // A semantically impossible spec is a 400, never an assert.
+        let impossible = service.handle(&post(
+            "/v1/mvm",
+            "{\"mvm\":{\"rows\":2,\"cols\":2,\
+             \"weights\":[0.5,-0.25,0.125,1.0],\"input\":[1.0,0.5],\
+             \"p_open\":0.8,\"p_closed\":0.7}}",
+        ));
+        assert_eq!(impossible.status, 400);
+        assert!(
+            String::from_utf8_lossy(&impossible.body).contains("p_open + p_closed"),
+            "{:?}",
+            impossible.body
+        );
+        assert_eq!(service.metrics().mvms.load(Ordering::Relaxed), 2);
+        assert_eq!(service.metrics().mvm_trials.load(Ordering::Relaxed), 4);
+        assert_eq!(service.metrics().mvm_latency.count(), 4);
+    }
+
+    #[test]
+    fn batch_mvm_slots_ride_along_and_isolate() {
+        let service = Service::new(&ServiceConfig::default()).expect("service boots");
+        let good = "{\"mvm\":{\"rows\":2,\"cols\":2,\
+                    \"weights\":[0.5,-0.25,0.125,1.0],\"input\":[1.0,0.5],\
+                    \"chip_seed\":7,\"trials\":3},\"label\":\"analog\"}";
+        let response = service.handle(&post(
+            "/v1/batch",
+            &format!(
+                "{{\"jobs\":[\
+                 {{\"expr\":\"x0 x1\",\"strategy\":\"fet\"}},\
+                 {good},\
+                 {{\"mvm\":{{\"rows\":2,\"cols\":2,\
+                  \"weights\":[0.5,-0.25,0.125,1.0],\"input\":[1.0,0.5],\
+                  \"p_open\":0.8,\"p_closed\":0.7}}}},\
+                 {good}]}}"
+            ),
+        ));
+        assert_eq!(response.status, 200);
+        let json = body_json(&response);
+        let slots = json.get("results").unwrap().as_array().unwrap();
+        assert_eq!(slots.len(), 4);
+        assert!(slots[0].get("mvm").is_none());
+        assert_eq!(
+            slots[1].get("strategy").unwrap().as_str(),
+            Some("analog-mvm")
+        );
+        assert_eq!(slots[1].get("label").unwrap().as_str(), Some("analog"));
+        // The impossible defect model poisons its slot only.
+        assert_eq!(slots[2].get("ok"), Some(&Json::Bool(false)));
+        // Identical specs dedupe the program step and stay byte-identical.
+        assert_eq!(slots[1], slots[3]);
+        assert_eq!(service.metrics().mvms.load(Ordering::Relaxed), 2);
     }
 
     #[test]

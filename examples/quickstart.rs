@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:>15}: {:>5} array, {:>2} crosspoints, verified: {}",
             r.strategy,
-            r.realization.size().to_string(),
+            r.realization
+                .as_ref()
+                .expect("synthesis jobs carry a realization")
+                .size()
+                .to_string(),
             r.area(),
             r.verified.unwrap_or(false),
         );

@@ -17,10 +17,13 @@
 //! * [`reliability`] — defects, fault simulation, BIST/BISD/BISM, and the
 //!   defect-unaware flow (Sec. IV, Fig. 6);
 //! * [`core`] — the Sec. V nanocomputer elements (adders, registers, SSM);
+//! * [`mvm`] — the analog in-memory-compute subsystem: differential-pair
+//!   conductance programming and Monte-Carlo matrix-vector execution on
+//!   defective, variation-afflicted crossbars ([`engine::Job::mvm`]);
 //! * [`par`] — the vendored work-stealing thread pool behind every
 //!   multi-core engine (`NANOXBAR_THREADS` controls the worker count);
 //! * [`service`] — the std-only HTTP synthesis service (`nanoxbar serve`):
-//!   `/v1/synthesize`, `/v1/batch`, `/healthz`, Prometheus `/metrics`,
+//!   `/v1/synthesize`, `/v1/batch`, `/v1/mvm`, `/healthz`, Prometheus `/metrics`,
 //!   backed by the engine's content-addressed result cache.
 //!
 //! [`Engine`]: engine::Engine
@@ -56,6 +59,7 @@ pub use nanoxbar_crossbar as crossbar;
 pub use nanoxbar_engine as engine;
 pub use nanoxbar_lattice as lattice;
 pub use nanoxbar_logic as logic;
+pub use nanoxbar_mvm as mvm;
 pub use nanoxbar_par as par;
 pub use nanoxbar_reliability as reliability;
 pub use nanoxbar_sat as sat;

@@ -6,6 +6,7 @@
 //! $ nanoxbar pla design.pla --share             # PLA file synthesis
 //! $ nanoxbar bist 16x16                         # test-plan summary
 //! $ nanoxbar chip 32 --density 0.05 "x0 ^ x1"   # defect-unaware flow
+//! $ nanoxbar mvm 8x8 --trials 16                # analog crossbar MVM
 //! ```
 
 use std::process::ExitCode;
@@ -45,6 +46,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("bist") => cmd_bist(&args[1..]),
         Some("chip") => cmd_chip(&args[1..]),
         Some("map") => cmd_map(&args[1..]),
+        Some("mvm") => cmd_mvm(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
     }
@@ -72,11 +74,16 @@ fn print_help() {
                        [--speculation K] [--attempts A] [--map-seed M] <expr>\n\
                self-map onto a simulated defective chip with BISM\n\
                (speculative-parallel greedy search; K candidates/round)\n\
+           nanoxbar mvm <R>x<C> [--weights-seed S] [--chip-seed S] [--p-open P]\n\
+                       [--p-closed P] [--noise-sigma S] [--trials T]\n\
+               analog matrix-vector multiply on a simulated crossbar:\n\
+               differential-pair conductance programming over a defective,\n\
+               variation-afflicted array, Monte-Carlo error statistics\n\
            nanoxbar serve [--addr A] [--threads T] [--cache-capacity C]\n\
                           [--state-dir DIR] [--max-body-bytes N]\n\
                           [--peers H:P,H:P,...] [--advertise H:P]\n\
                serve synthesis over HTTP (POST /v1/synthesize, /v1/map,\n\
-               /v1/batch; GET /healthz, /metrics). --threads sets the HTTP\n\
+               /v1/batch, /v1/mvm; GET /healthz, /metrics). --threads sets the HTTP\n\
                workers; NANOXBAR_THREADS sizes the synthesis pool;\n\
                --cache-capacity is a weight budget (crosspoints);\n\
                --state-dir persists the result cache and mapper sessions\n\
@@ -163,7 +170,11 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
             Ok(r) => table.row_owned(vec![
                 r.strategy.clone(),
                 strategy.technology().name().to_string(),
-                r.realization.size().to_string(),
+                r.realization
+                    .as_ref()
+                    .expect("synthesis jobs carry a realization")
+                    .size()
+                    .to_string(),
                 r.area().to_string(),
                 r.verified.unwrap_or(false).to_string(),
             ]),
@@ -269,7 +280,12 @@ fn cmd_pla(args: &[String]) -> Result<(), String> {
         for (o, f) in targets.iter().enumerate() {
             let row = &results[o * STRATEGIES.len()..(o + 1) * STRATEGIES.len()];
             let cell = |r: &Result<nanoxbar::engine::JobResult, nanoxbar::engine::Error>| match r {
-                Ok(result) => result.realization.size().to_string(),
+                Ok(result) => result
+                    .realization
+                    .as_ref()
+                    .expect("synthesis jobs carry a realization")
+                    .size()
+                    .to_string(),
                 Err(_) => "-".into(),
             };
             let products = if f.is_zero() || f.is_ones() {
@@ -437,6 +453,90 @@ fn cmd_map(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_mvm(args: &[String]) -> Result<(), String> {
+    use nanoxbar::mvm::MvmSpec;
+
+    let mut args = args.to_vec();
+    let weights_seed: u64 = take_option(&mut args, "--weights-seed")
+        .map(|s| s.parse().map_err(|_| format!("bad weights seed {s:?}")))
+        .transpose()?
+        .unwrap_or(7);
+    let chip_seed: u64 = take_option(&mut args, "--chip-seed")
+        .map(|s| s.parse().map_err(|_| format!("bad chip seed {s:?}")))
+        .transpose()?
+        .unwrap_or(1);
+    let p_open: f64 = take_option(&mut args, "--p-open")
+        .map(|p| p.parse().map_err(|_| format!("bad open-defect rate {p:?}")))
+        .transpose()?
+        .unwrap_or(0.02);
+    let p_closed: f64 = take_option(&mut args, "--p-closed")
+        .map(|p| {
+            p.parse()
+                .map_err(|_| format!("bad closed-defect rate {p:?}"))
+        })
+        .transpose()?
+        .unwrap_or(0.01);
+    let noise_sigma: f32 = take_option(&mut args, "--noise-sigma")
+        .map(|s| s.parse().map_err(|_| format!("bad noise sigma {s:?}")))
+        .transpose()?
+        .unwrap_or(0.05);
+    let trials: u32 = take_option(&mut args, "--trials")
+        .map(|t| t.parse().map_err(|_| format!("bad trial count {t:?}")))
+        .transpose()?
+        .unwrap_or(8);
+    let size_text = args
+        .first()
+        .ok_or_else(|| "missing array size (RxC)".to_string())?;
+    let size = parse_size(size_text)?;
+    if let Some(stray) = args.get(1) {
+        return Err(format!("unexpected argument {stray:?}"));
+    }
+
+    let (weights, input) = nanoxbar::mvm::random_problem(size.rows, size.cols, weights_seed);
+    let spec = MvmSpec {
+        rows: size.rows,
+        cols: size.cols,
+        weights,
+        input,
+        chip_seed,
+        p_open,
+        p_closed,
+        noise_sigma,
+        trials,
+    };
+    let engine = Engine::new();
+    let result = engine.run(&Job::mvm(spec)).map_err(|e| e.to_string())?;
+    let outcome = result.mvm.expect("mvm job always carries an outcome");
+    println!(
+        "analog crossbar {}x{} (differential pairs on a {}x{} array), \
+         weights seed {weights_seed}, chip seed {chip_seed}",
+        outcome.rows,
+        outcome.cols,
+        outcome.rows,
+        2 * outcome.cols
+    );
+    println!(
+        "defect model: p_open {p_open}, p_closed {p_closed} ({} defective devices); \
+         programming noise sigma {noise_sigma}",
+        outcome.defects
+    );
+    let preview = outcome.rows.min(4);
+    for r in 0..preview {
+        println!(
+            "  y[{r}] analog {:>12.6}  ideal {:>12.6}",
+            outcome.output[r], outcome.ideal[r]
+        );
+    }
+    if outcome.rows > preview {
+        println!("  ... {} more rows", outcome.rows - preview);
+    }
+    println!(
+        "Monte-Carlo over {} trial chips: rms error mean {:.6}, max {:.6}",
+        outcome.trials, outcome.rms_error_mean, outcome.rms_error_max
+    );
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use nanoxbar::service::{Server, ServiceConfig};
     use std::sync::atomic::{AtomicBool, Ordering};
@@ -531,7 +631,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             config.advertise.as_deref().unwrap_or(&config.addr)
         );
     }
-    println!("endpoints: POST /v1/synthesize, POST /v1/batch, GET /healthz, GET /metrics");
+    println!(
+        "endpoints: POST /v1/synthesize, POST /v1/map, POST /v1/batch, POST /v1/mvm, \
+         GET /healthz, GET /metrics"
+    );
     let handle = server.start().map_err(|e| e.to_string())?;
     // The handle's threads do all the work; poll the signal flag without
     // burning a core, then drain: stop accepting, join the workers, and
@@ -601,6 +704,23 @@ mod tests {
             "x0 x1 + !x0 !x1",
         ]);
         ok(&["map", "16", "--bism", "hybrid:3", "x0 ^ x1"]);
+        ok(&["mvm", "8x8", "--trials", "4"]);
+        ok(&[
+            "mvm",
+            "4x6",
+            "--weights-seed",
+            "11",
+            "--chip-seed",
+            "2",
+            "--p-open",
+            "0.05",
+            "--p-closed",
+            "0.02",
+            "--noise-sigma",
+            "0.1",
+            "--trials",
+            "3",
+        ]);
     }
 
     #[test]
@@ -616,6 +736,11 @@ mod tests {
         run_err(&["map", "16", "--bism", "psychic", "x0 x1"]);
         run_err(&["map", "16", "--speculation", "0", "x0 x1"]);
         run_err(&["map"]);
+        run_err(&["mvm"]);
+        run_err(&["mvm", "banana"]);
+        run_err(&["mvm", "4x4", "--trials", "0"]);
+        run_err(&["mvm", "4x4", "--p-open", "0.8", "--p-closed", "0.7"]);
+        run_err(&["mvm", "4x4", "stray"]);
         run_err(&["frobnicate"]);
         run_err(&["serve", "--threads", "0"]);
         run_err(&["serve", "--cache-capacity", "many"]);

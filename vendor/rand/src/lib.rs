@@ -104,6 +104,34 @@ impl Standard for usize {
     }
 }
 
+/// Gaussian sampling, blanket-implemented for every [`RngCore`] — the
+/// stand-in for `rand_distr`'s `StandardNormal`. Box–Muller over the
+/// uniform draws of [`Standard`], so streams keep the same seeded
+/// determinism contract as every other sampler here: a fixed seed yields
+/// a fixed sequence for every thread count and build.
+pub trait NormalRng: RngCore {
+    /// One standard-normal `f64` (Box–Muller; consumes two uniforms).
+    fn gen_normal_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        // u1 in (0, 1]: flip the half-open uniform so ln never sees 0.
+        let u1 = 1.0 - f64::sample(self);
+        let u2 = f64::sample(self);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// One standard-normal `f32` (the `f64` draw, rounded once).
+    fn gen_normal_f32(&mut self) -> f32
+    where
+        Self: Sized,
+    {
+        self.gen_normal_f64() as f32
+    }
+}
+
+impl<R: RngCore + ?Sized> NormalRng for R {}
+
 /// A range that can be sampled uniformly (the stand-in for
 /// `rand::distributions::uniform::SampleRange`).
 pub trait SampleRange {
@@ -203,6 +231,29 @@ mod tests {
             assert!((5..9).contains(&v));
             let w = rng.gen_range(0u64..1);
             assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn gaussian_is_deterministic_and_standard() {
+        let mut a = Counter(21);
+        let mut b = Counter(21);
+        for _ in 0..100 {
+            assert_eq!(a.gen_normal_f32(), b.gen_normal_f32());
+        }
+        let mut rng = Counter(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gen_normal_f64()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|z| (z - mean) * (z - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+        // The f32 variant is the f64 draw rounded once, so both streams
+        // describe the same underlying sequence.
+        let mut wide = Counter(9);
+        let mut narrow = Counter(9);
+        for _ in 0..100 {
+            assert_eq!(wide.gen_normal_f64() as f32, narrow.gen_normal_f32());
         }
     }
 
