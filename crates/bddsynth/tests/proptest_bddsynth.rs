@@ -1,0 +1,163 @@
+//! Property-based tests for the BDD sneak-path compiler.
+//!
+//! CI runs this suite under `NANOXBAR_THREADS=1` and `NANOXBAR_THREADS=8`:
+//! the compiler must be bit-deterministic regardless of the pool width the
+//! surrounding engine happens to use.
+
+use proptest::prelude::*;
+
+use nanoxbar_bddsynth::{compile, compile_multi, sifted_order, BddSynthError};
+use nanoxbar_logic::suite::SplitMix64;
+use nanoxbar_logic::TruthTable;
+
+fn arb_function(n: usize) -> impl Strategy<Value = TruthTable> {
+    proptest::collection::vec(any::<bool>(), 1usize << n)
+        .prop_map(move |bits| TruthTable::from_fn(n, |m| bits[m as usize]))
+}
+
+fn arb_outputs(n: usize) -> impl Strategy<Value = Vec<TruthTable>> {
+    proptest::collection::vec(arb_function(n), 1..=4)
+}
+
+fn all_nonconstant(outputs: &[TruthTable]) -> bool {
+    outputs.iter().all(|t| !t.is_zero() && !t.is_ones())
+}
+
+/// A deterministic non-constant function for a seed.
+fn seeded_function(num_vars: usize, seed: u64) -> TruthTable {
+    let mut rng = SplitMix64::new(seed);
+    loop {
+        let bits = rng.next();
+        let f = TruthTable::from_fn(num_vars, |m| (bits >> (m & 63)) & 1 == 1);
+        if !f.is_zero() && !f.is_ones() {
+            return f;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The shared crossbar computes every output exactly — checked both
+    /// by word-parallel replay and by per-minterm sneak-path evaluation.
+    #[test]
+    fn compiled_crossbar_computes_every_output(outputs in arb_outputs(4)) {
+        prop_assume!(all_nonconstant(&outputs));
+        let xbar = compile_multi(&outputs).expect("non-constant outputs compile");
+        prop_assert_eq!(xbar.num_outputs(), outputs.len());
+        prop_assert!(xbar.computes_all(&outputs));
+        prop_assert_eq!(xbar.functions(), outputs.clone());
+        for (o, f) in outputs.iter().enumerate() {
+            for m in 0..f.num_minterms() {
+                prop_assert_eq!(xbar.eval_output(o, m), f.value(m));
+            }
+        }
+    }
+
+    /// Compiling twice yields structurally identical crossbars — rows,
+    /// columns, edges, roots, and variable order all bit-equal. CI runs
+    /// this under both pool widths, so thread count cannot leak in.
+    #[test]
+    fn compile_is_bit_deterministic(outputs in arb_outputs(4)) {
+        prop_assume!(all_nonconstant(&outputs));
+        let a = compile_multi(&outputs).expect("compiles");
+        let b = compile_multi(&outputs).expect("compiles");
+        prop_assert_eq!(a, b);
+    }
+
+    /// The single-output wrapper is exactly the one-element multi compile.
+    #[test]
+    fn single_output_wrapper_matches_multi(f in arb_function(5)) {
+        prop_assume!(!f.is_zero() && !f.is_ones());
+        let single = compile(&f).expect("compiles");
+        let multi = compile_multi(std::slice::from_ref(&f)).expect("compiles");
+        prop_assert_eq!(single, multi);
+    }
+
+    /// Structural invariants: area is two programmed junctions per kept
+    /// edge, depth never exceeds the variable count, and the sifted
+    /// order is a permutation of the inputs.
+    #[test]
+    fn structural_invariants(outputs in arb_outputs(4)) {
+        prop_assume!(all_nonconstant(&outputs));
+        let xbar = compile_multi(&outputs).expect("compiles");
+        prop_assert_eq!(xbar.area(), 2 * xbar.edges().len());
+        prop_assert!(xbar.depth() <= xbar.num_vars());
+        prop_assert_eq!(xbar.cols(), xbar.edges().len());
+        let mut order = xbar.variable_order().to_vec();
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..xbar.num_vars()).collect::<Vec<_>>());
+    }
+
+    /// Any constant output is rejected with its own index, regardless of
+    /// where it sits in the list.
+    #[test]
+    fn constant_outputs_are_rejected(
+        prefix in proptest::collection::vec(arb_function(3), 0..3),
+        ones: bool,
+    ) {
+        prop_assume!(all_nonconstant(&prefix));
+        let constant = if ones {
+            TruthTable::from_fn(3, |_| true)
+        } else {
+            TruthTable::from_fn(3, |_| false)
+        };
+        let mut outputs = prefix.clone();
+        outputs.push(constant);
+        prop_assert_eq!(
+            compile_multi(&outputs),
+            Err(BddSynthError::ConstantOutput { output: prefix.len() })
+        );
+    }
+
+    /// Mixed arities are rejected before any BDD work happens.
+    #[test]
+    fn mixed_arities_are_rejected(f in arb_function(3), g in arb_function(4)) {
+        prop_assume!(all_nonconstant(&[f.clone(), g.clone()]));
+        let result = compile_multi(&[f, g]);
+        prop_assert_eq!(
+            result,
+            Err(BddSynthError::ArityMismatch { expected: 3, found: 4 })
+        );
+    }
+
+    /// Sifting is a pure function of the truth tables.
+    #[test]
+    fn sifting_is_deterministic(outputs in arb_outputs(5)) {
+        prop_assume!(all_nonconstant(&outputs));
+        prop_assert_eq!(sifted_order(&outputs), sifted_order(&outputs));
+    }
+}
+
+/// Pinned sifting orders for fixed seeds: any change to the greedy
+/// sifting pass (tie-breaks included) must show up here as an explicit
+/// golden-value update, not as a silent reordering.
+#[test]
+fn sifting_orders_are_pinned_per_seed() {
+    let cases: [(u64, usize, &[usize]); 4] = [
+        (0x5EED_0001, 4, PINNED_ORDER_A),
+        (0x5EED_0002, 5, PINNED_ORDER_B),
+        (0x5EED_0003, 6, PINNED_ORDER_C),
+        (0x5EED_0004, 5, PINNED_ORDER_D),
+    ];
+    for (seed, num_vars, expected) in cases {
+        let outputs = vec![
+            seeded_function(num_vars, seed),
+            seeded_function(num_vars, seed ^ 0xABCD),
+        ];
+        let order = sifted_order(&outputs).expect("seeded functions are non-constant");
+        assert_eq!(order, expected, "seed {seed:#x}, {num_vars} vars");
+        let xbar = compile_multi(&outputs).expect("compiles");
+        assert_eq!(
+            xbar.variable_order(),
+            expected,
+            "crossbar order, seed {seed:#x}"
+        );
+        assert!(xbar.computes_all(&outputs), "seed {seed:#x} verifies");
+    }
+}
+
+const PINNED_ORDER_A: &[usize] = &[1, 3, 0, 2];
+const PINNED_ORDER_B: &[usize] = &[4, 0, 1, 2, 3];
+const PINNED_ORDER_C: &[usize] = &[0, 2, 3, 1, 5, 4];
+const PINNED_ORDER_D: &[usize] = &[4, 2, 3, 1, 0];

@@ -20,6 +20,9 @@
 //! `--mvm` to make every other distinct job an analog `/v1/mvm`
 //! matrix-vector request riding the same keep-alive connections (the
 //! mixed workload must stay byte-identical across passes too),
+//! `--bdd` to make every third distinct job a multi-output `exprs`
+//! request compiled onto one shared BDD sneak-path crossbar (same
+//! byte-identical contract across passes),
 //! `--state-dir DIR` to add a third comparison: a cold server persisting
 //! to DIR vs a **warm restart** replaying DIR's durable cache log (the
 //! warm server must start at a 100% hit rate and answer every request
@@ -54,12 +57,29 @@ fn job_index(client: usize, request: usize, distinct: usize) -> usize {
 
 /// Builds `(path, body)` request pairs for the `distinct` jobs:
 /// single-output PLA jobs cycling through the three constructive
-/// strategies, and — with `mvm_mix` — every other slot replaced by an
-/// analog `/v1/mvm` matrix-vector request.
-fn request_bodies(distinct: usize, mvm_mix: bool) -> Vec<(String, String)> {
+/// strategies, with `mvm_mix` every other slot replaced by an analog
+/// `/v1/mvm` matrix-vector request, and with `bdd_mix` every third slot
+/// replaced by a multi-output `exprs` job compiled onto one shared BDD
+/// sneak-path crossbar.
+fn request_bodies(distinct: usize, mvm_mix: bool, bdd_mix: bool) -> Vec<(String, String)> {
     const STRATEGIES: [&str; 3] = ["diode", "fet", "dual-lattice"];
+    const BDD_FAMILIES: [&[&str]; 3] = [
+        &["x0 ^ x1 ^ x2", "x0 x1 + x0 x2 + x1 x2"],
+        &["x0 ^ x1 ^ x2 ^ x3", "x0 x1 + x2 x3"],
+        &["x0 x1 + x1 x2", "x0 + x2", "x1 ^ x2"],
+    ];
     (0..distinct)
         .map(|i| {
+            if bdd_mix && i % 3 == 2 && !(mvm_mix && i % 2 == 1) {
+                let family = BDD_FAMILIES[(i / 3) % BDD_FAMILIES.len()];
+                let spec = JobSpec {
+                    exprs: Some(family.iter().map(|e| e.to_string()).collect()),
+                    verify: true,
+                    label: Some(format!("bdd-{i}")),
+                    ..JobSpec::default()
+                };
+                return ("/v1/synthesize".to_string(), spec.to_json().encode());
+            }
             if mvm_mix && i % 2 == 1 {
                 let rows = 8 + (i % 3) * 4;
                 let cols = 8 + (i % 5) * 2;
@@ -409,13 +429,19 @@ fn main() {
     // crosspoints of residency, the service default.
     let cache = arg("--cache", 65536).max(1);
     let mvm_mix = flag("--mvm");
+    let bdd_mix = flag("--bdd");
     let total = clients * requests;
     let duplicate_share = 1.0 - (distinct.min(total) as f64) / (total as f64);
     println!(
         "{clients} clients x {requests} requests, {distinct} distinct jobs \
-         ({:.0}% duplicates{}), pool threads {}",
+         ({:.0}% duplicates{}{}), pool threads {}",
         duplicate_share * 100.0,
         if mvm_mix { ", analog MVM mix" } else { "" },
+        if bdd_mix {
+            ", multi-output BDD mix"
+        } else {
+            ""
+        },
         nanoxbar_par::threads()
     );
     assert!(
@@ -423,7 +449,7 @@ fn main() {
         "acceptance workload needs >=50% duplicates; raise --requests or lower --distinct"
     );
 
-    let bodies = request_bodies(distinct, mvm_mix);
+    let bodies = request_bodies(distinct, mvm_mix, bdd_mix);
     // Warm pass order: uncached first so the cached pass cannot benefit
     // from OS-level warmup it didn't earn.
     let uncached = run_pass(clients, requests, &bodies, 0, None);

@@ -4,11 +4,143 @@
 //! Synthesises every suite function on all three technologies and reports
 //! per-function dimensions/areas plus geometric-mean area ratios against
 //! the four-terminal lattice. The worked example (2×5 / 4×4 / 2×2) leads.
+//!
+//! Then runs the workspace extension shootout: BDD sneak-path crossbars
+//! vs dual-based lattices vs SAT-optimal lattices, single-output first
+//! and then multi-output families where the shared ROBDD amortises
+//! common subgraphs across outputs.
 
+use nanoxbar_bddsynth::{compile, compile_multi};
 use nanoxbar_bench::{banner, f2};
 use nanoxbar_core::compare::compare_suite;
 use nanoxbar_core::report::Table;
-use nanoxbar_logic::suite::standard_suite;
+use nanoxbar_engine::{synthesize, Technology};
+use nanoxbar_lattice::synth::optimal::{try_synthesize, OptimalOptions};
+use nanoxbar_logic::suite::{majority, multiplexer, parity, seven_segment, standard_suite};
+use nanoxbar_logic::TruthTable;
+
+/// Conflict budget per SAT call in the optimal column; exhausted budgets
+/// render as "-" instead of stalling the smoke run.
+const SAT_CONFLICT_BUDGET: u64 = 50_000;
+
+fn lattice_area(f: &TruthTable) -> usize {
+    synthesize(f, Technology::FourTerminal)
+        .unwrap_or_else(|e| panic!("dual-lattice synthesis: {e}"))
+        .size()
+        .area()
+}
+
+/// BDD vs dual-lattice vs SAT-optimal on single-output functions.
+fn shootout_single() {
+    let cases: Vec<(&str, TruthTable)> = vec![
+        (
+            "xnor2",
+            nanoxbar_logic::parse_function("x0 x1 + !x0 !x1").expect("static"),
+        ),
+        ("maj3", majority(3)),
+        ("parity3", parity(3)),
+        ("mux2", multiplexer(1)),
+        (
+            "chain3",
+            nanoxbar_logic::parse_function("x0 x1 + x1 x2").expect("static"),
+        ),
+        ("parity4", parity(4)),
+        ("maj5", majority(5)),
+    ];
+
+    let mut table = Table::new(&[
+        "function", "vars", "bdd", "depth", "dual-lat", "sat-opt", "bdd/dual",
+    ]);
+    let mut populated = 0usize;
+    for (name, f) in &cases {
+        let xbar = compile(f).unwrap_or_else(|e| panic!("bdd compile {name}: {e}"));
+        assert!(
+            xbar.computes_all(std::slice::from_ref(f)),
+            "bdd realization for {name} failed replay"
+        );
+        let bdd_area = xbar.area();
+        let dual = lattice_area(f);
+        let options = OptimalOptions {
+            max_conflicts_per_call: Some(SAT_CONFLICT_BUDGET),
+            ..OptimalOptions::default()
+        };
+        let optimal = match try_synthesize(f, &options) {
+            Ok(r) => {
+                assert!(r.lattice.computes(f), "sat-optimal lattice for {name}");
+                r.lattice.area().to_string()
+            }
+            Err(_) => "-".into(),
+        };
+        populated += 1;
+        table.row_owned(vec![
+            name.to_string(),
+            f.num_vars().to_string(),
+            format!("{}x{} ({})", xbar.rows(), xbar.cols(), bdd_area),
+            xbar.depth().to_string(),
+            dual.to_string(),
+            optimal,
+            f2(bdd_area as f64 / dual as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    assert!(
+        populated == cases.len(),
+        "bdd column must be fully populated"
+    );
+    println!("bdd rows populated and replay-verified: {populated}/{populated}");
+}
+
+/// Shared-BDD multi-output families vs per-output dual-lattice sums.
+fn shootout_multi() {
+    let adder: Vec<TruthTable> = vec![
+        nanoxbar_logic::parse_function("x0 ^ x1 ^ x2").expect("static"),
+        majority(3),
+    ];
+    let families: Vec<(&str, Vec<TruthTable>)> = vec![
+        ("adder3 (sum,carry)", adder),
+        ("seven-segment", seven_segment()),
+    ];
+
+    let mut table = Table::new(&[
+        "family",
+        "outputs",
+        "bdd shared",
+        "depth",
+        "dual-lat sum",
+        "shared/sum",
+    ]);
+    let mut bdd_wins = 0usize;
+    for (name, outputs) in &families {
+        let xbar = compile_multi(outputs).unwrap_or_else(|e| panic!("bdd compile {name}: {e}"));
+        assert!(
+            xbar.computes_all(outputs),
+            "shared bdd realization for {name} failed replay"
+        );
+        let shared = xbar.area();
+        let sum: usize = outputs.iter().map(lattice_area).sum();
+        if shared < sum {
+            bdd_wins += 1;
+        }
+        table.row_owned(vec![
+            name.to_string(),
+            outputs.len().to_string(),
+            format!("{}x{} ({})", xbar.rows(), xbar.cols(), shared),
+            xbar.depth().to_string(),
+            sum.to_string(),
+            f2(shared as f64 / sum as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    assert!(
+        bdd_wins >= 1,
+        "shared BDD must beat per-output dual-lattice on at least one family"
+    );
+    println!(
+        "shared BDD beats per-output dual-lattice sums on {}/{} families",
+        bdd_wins,
+        families.len()
+    );
+}
 
 fn main() {
     banner(
@@ -62,4 +194,16 @@ fn main() {
             "NOT reproduced"
         }
     );
+
+    banner(
+        "extension / BDD sneak-path shootout",
+        "BDD crossbar vs dual-based lattice vs SAT-optimal lattice",
+    );
+    shootout_single();
+
+    banner(
+        "extension / multi-output sharing",
+        "one shared sneak-path crossbar vs per-output dual-lattices",
+    );
+    shootout_multi();
 }

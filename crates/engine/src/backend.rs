@@ -110,15 +110,20 @@ pub enum Strategy {
     DualLattice,
     /// SAT-based minimum-area four-terminal lattice (ref \[9\]).
     OptimalLattice,
+    /// Shared-ROBDD sneak-path crossbar compilation — the only strategy
+    /// that also realises *multi-output* jobs
+    /// ([`crate::Job::synthesize_multi`]) on one crossbar.
+    Bdd,
 }
 
 impl Strategy {
     /// Every built-in strategy, in presentation order.
-    pub const ALL: [Strategy; 4] = [
+    pub const ALL: [Strategy; 5] = [
         Strategy::Diode,
         Strategy::Fet,
         Strategy::DualLattice,
         Strategy::OptimalLattice,
+        Strategy::Bdd,
     ];
 
     /// The registry key of this strategy.
@@ -128,6 +133,7 @@ impl Strategy {
             Strategy::Fet => "fet",
             Strategy::DualLattice => "dual-lattice",
             Strategy::OptimalLattice => "optimal-lattice",
+            Strategy::Bdd => "bdd",
         }
     }
 
@@ -137,6 +143,7 @@ impl Strategy {
             Strategy::Diode => Technology::Diode,
             Strategy::Fet => Technology::Fet,
             Strategy::DualLattice | Strategy::OptimalLattice => Technology::FourTerminal,
+            Strategy::Bdd => Technology::SneakPath,
         }
     }
 }
@@ -149,6 +156,7 @@ impl From<Technology> for Strategy {
             Technology::Diode => Strategy::Diode,
             Technology::Fet => Strategy::Fet,
             Technology::FourTerminal => Strategy::DualLattice,
+            Technology::SneakPath => Strategy::Bdd,
         }
     }
 }
@@ -260,6 +268,48 @@ impl SynthesisBackend for OptimalLatticeBackend {
     }
 }
 
+/// Shared-ROBDD sneak-path crossbar compilation (`nanoxbar-bddsynth`).
+///
+/// The single-function [`SynthesisBackend`] face of the multi-output
+/// compiler: one output, one shared BDD, complement edge wiring. The
+/// engine reaches the multi-output entry point
+/// ([`nanoxbar_bddsynth::compile_multi`]) through
+/// [`crate::Job::synthesize_multi`] instead of this trait, which is
+/// single-function by design.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BddBackend;
+
+impl SynthesisBackend for BddBackend {
+    fn name(&self) -> &str {
+        Strategy::Bdd.name()
+    }
+
+    fn technology(&self) -> Technology {
+        Technology::SneakPath
+    }
+
+    fn synthesize(&self, f: &TruthTable, _ctx: &SynthesisContext) -> Result<Realization, Error> {
+        let xbar = nanoxbar_bddsynth::compile(f).map_err(|e| bdd_error(e, f.num_vars()))?;
+        Ok(Realization::Bdd(xbar))
+    }
+}
+
+/// Maps a compiler error onto the engine hierarchy: constants keep the
+/// engine-wide [`Error::ConstantFunction`] shape (the sneak-path scheme
+/// needs a root distinct from both terminals, like the two-terminal
+/// arrays need products); everything else is a multi-output spec
+/// problem.
+pub(crate) fn bdd_error(e: nanoxbar_bddsynth::BddSynthError, num_vars: usize) -> Error {
+    match e {
+        nanoxbar_bddsynth::BddSynthError::ConstantOutput { .. } => {
+            Error::ConstantFunction { num_vars }
+        }
+        other => Error::MultiSpec {
+            message: other.to_string(),
+        },
+    }
+}
+
 /// A name-indexed set of [`SynthesisBackend`] trait objects.
 ///
 /// Registration is last-wins: registering a backend under an existing name
@@ -275,13 +325,14 @@ impl BackendRegistry {
         BackendRegistry::default()
     }
 
-    /// A registry holding the four built-in strategies.
+    /// A registry holding the five built-in strategies.
     pub fn with_defaults() -> Self {
         let mut r = BackendRegistry::empty();
         r.register(Arc::new(DiodeBackend));
         r.register(Arc::new(FetBackend));
         r.register(Arc::new(DualLatticeBackend));
         r.register(Arc::new(OptimalLatticeBackend));
+        r.register(Arc::new(BddBackend));
         r
     }
 
@@ -353,7 +404,7 @@ mod tests {
         }
         let mut registry = BackendRegistry::with_defaults();
         registry.register(Arc::new(FakeDiode));
-        assert_eq!(registry.names().len(), 4, "replaced, not appended");
+        assert_eq!(registry.names().len(), 5, "replaced, not appended");
         let backend = registry.get("diode").unwrap();
         assert_eq!(backend.technology(), Technology::FourTerminal);
     }
@@ -378,7 +429,11 @@ mod tests {
     fn two_terminal_backends_reject_constants() {
         let ctx = SynthesisContext::default();
         let ones = TruthTable::ones(2);
-        for backend in [&DiodeBackend as &dyn SynthesisBackend, &FetBackend] {
+        for backend in [
+            &DiodeBackend as &dyn SynthesisBackend,
+            &FetBackend,
+            &BddBackend,
+        ] {
             assert_eq!(
                 backend.synthesize(&ones, &ctx).unwrap_err(),
                 Error::ConstantFunction { num_vars: 2 }

@@ -381,6 +381,9 @@ impl Engine {
         if let Some(spec) = &job.mvm {
             return self.program_mvm(spec);
         }
+        if job.multi.is_some() {
+            return self.compile_multi(job);
+        }
         let strategy_name = job.strategy.as_deref().unwrap_or(&self.default_strategy);
         let backend = self
             .registry
@@ -452,6 +455,78 @@ impl Engine {
         })
     }
 
+    /// The chip-independent half of a multi-output job
+    /// ([`Job::synthesize_multi`]): all outputs compile onto one
+    /// shared-ROBDD sneak-path crossbar. Participates in the result cache
+    /// and the fill hook exactly like single-output synthesis — the key
+    /// covers the whole output set — so repeated multi jobs share one
+    /// [`Realization`]. No SOP cover is produced (the compiler is
+    /// BDD-based), and chip flows / BISM mapping are rejected: both are
+    /// single-output concerns.
+    fn compile_multi(&self, job: &Job) -> Result<Synthesized, Error> {
+        let outputs = job
+            .multi
+            .as_ref()
+            .expect("compile_multi requires a multi job");
+        let strategy_name = job.strategy.as_deref().unwrap_or(&self.default_strategy);
+        if strategy_name != Strategy::Bdd.name() {
+            return Err(Error::MultiSpec {
+                message: format!(
+                    "strategy {strategy_name:?} cannot realise multi-output jobs (use \"bdd\")"
+                ),
+            });
+        }
+        if job.chip.is_some() || job.map_chip.is_some() {
+            return Err(Error::MultiSpec {
+                message: "multi-output jobs cannot target a chip (the defect flow and \
+                          BISM mapping are single-output)"
+                    .into(),
+            });
+        }
+        let strategy = strategy_name.to_string();
+        let key = self
+            .cache
+            .as_ref()
+            .map(|_| multi_synthesis_key(outputs, strategy_name, self.minimize));
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(hit) = cache.get(key) {
+                return Ok(Synthesized::Logic {
+                    strategy,
+                    realization: hit.realization,
+                    cover: hit.cover,
+                });
+            }
+            if let Some(hook) = &self.fill_hook {
+                if let Some(filled) = hook.fill(key) {
+                    cache.insert(key.clone(), filled.clone());
+                    return Ok(Synthesized::Logic {
+                        strategy,
+                        realization: filled.realization,
+                        cover: filled.cover,
+                    });
+                }
+            }
+        }
+        let num_vars = outputs.first().map_or(0, |t| t.num_vars());
+        let xbar = nanoxbar_bddsynth::compile_multi(outputs)
+            .map_err(|e| crate::backend::bdd_error(e, num_vars))?;
+        let realization = Arc::new(Realization::Bdd(xbar));
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache.insert(
+                key,
+                CachedSynthesis {
+                    realization: realization.clone(),
+                    cover: None,
+                },
+            );
+        }
+        Ok(Synthesized::Logic {
+            strategy,
+            realization,
+            cover: None,
+        })
+    }
+
     /// The chip-independent half of an mvm job: spec validation and the
     /// program step (weights → differential conductance targets), served
     /// from the bounded [`ProgramMemo`] when the same weight matrix was
@@ -515,7 +590,13 @@ impl Engine {
         }
 
         let verified = if job.verify {
-            if !realization.computes(&job.function) {
+            // Multi jobs verify *every* output against its target; the
+            // realisation-level check covers output count and arity too.
+            let ok = match &job.multi {
+                Some(outputs) => realization.computes_outputs(outputs),
+                None => realization.computes(&job.function),
+            };
+            if !ok {
                 return Err(Error::Verification { strategy });
             }
             Some(true)
@@ -750,9 +831,16 @@ impl Engine {
             // identical weight matrices program once per batch while each
             // slot's chip draw and Monte-Carlo run stays per job, exactly
             // mirroring the synthesis/flow split.
-            let key = match &job.mvm {
-                Some(spec) => mvm_program_key(spec, self.minimize),
-                None => {
+            // Multi-output jobs group on their full output set, under the
+            // same reserved key the result cache uses.
+            let key = match (&job.mvm, &job.multi) {
+                (Some(spec), _) => mvm_program_key(spec, self.minimize),
+                (None, Some(outputs)) => multi_synthesis_key(
+                    outputs,
+                    job.strategy.as_deref().unwrap_or(&self.default_strategy),
+                    self.minimize,
+                ),
+                (None, None) => {
                     let name = job.strategy.as_deref().unwrap_or(&self.default_strategy);
                     CacheKey::new(&job.function, name, self.minimize)
                 }
@@ -947,6 +1035,42 @@ fn mvm_program_key(spec: &MvmSpec, minimize: MinimizeMode) -> CacheKey {
     CacheKey::from_parts(spec.rows, words, "analog-program".to_string(), minimize)
 }
 
+/// The dedupe/cache key of a multi-output job: the output count followed
+/// by every output's `(arity, packed words)`, under the reserved
+/// `"bdd-multi"` strategy name. Deliberately distinct from the
+/// single-output `"bdd"` key of the same function, and shaped so
+/// single-function decoders (peer cache fills check
+/// `words.len() == word_len(num_vars)`) reject it cleanly — a peer fill
+/// on a multi key just misses and falls through to local compilation.
+fn multi_synthesis_key(
+    outputs: &[nanoxbar_logic::TruthTable],
+    strategy: &str,
+    minimize: MinimizeMode,
+) -> CacheKey {
+    let capacity = 1 + outputs.iter().map(|t| 1 + t.words().len()).sum::<usize>();
+    let mut words = Vec::with_capacity(capacity);
+    words.push(outputs.len() as u64);
+    for t in outputs {
+        words.push(t.num_vars() as u64);
+        words.extend_from_slice(t.words());
+    }
+    // Only "bdd" keys the reserved (cached) namespace. A multi job
+    // misdeclared under another strategy keys on that name instead, so
+    // batch dedupe can never serve it a shared-BDD realization in place
+    // of its typed rejection.
+    let name = if strategy == Strategy::Bdd.name() {
+        "bdd-multi".to_string()
+    } else {
+        format!("bdd-multi:{strategy}")
+    };
+    CacheKey::from_parts(
+        outputs.first().map_or(0, |t| t.num_vars()),
+        words,
+        name,
+        minimize,
+    )
+}
+
 /// Phase-1 output of [`Engine::run_batch`], shared by every slot of one
 /// dedupe group: the synthesis outcome plus the group's clock, so phase 2
 /// reports `elapsed` from the synthesis start.
@@ -990,8 +1114,10 @@ mod tests {
             assert_eq!(result.verified, Some(true));
             sizes.push(result.realization.as_ref().unwrap().size().to_string());
         }
-        // Paper Sec. III: 2x5 diode, 4x4 FET, 2x2 lattice (optimal too).
-        assert_eq!(sizes, ["2x5", "4x4", "2x2", "2x2"]);
+        // Paper Sec. III: 2x5 diode, 4x4 FET, 2x2 lattice (optimal too);
+        // the BDD sneak-path crossbar of XNOR has 4 node rows (TRUE + 3
+        // internal) and 4 kept-edge columns.
+        assert_eq!(sizes, ["2x5", "4x4", "2x2", "2x2", "4x4"]);
     }
 
     #[test]
@@ -1554,6 +1680,95 @@ mod tests {
             Error::MvmSpec { message } => assert!(message.contains("trials"), "{message}"),
             other => panic!("expected MvmSpec, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn multi_jobs_compile_verify_and_dedupe() {
+        let engine = Engine::builder().cache_capacity(256).build().unwrap();
+        let outputs = vec![
+            parse_function("x0 x1 + x2").unwrap(),
+            parse_function("x0 x1 + !x2").unwrap(),
+            parse_function("x0 ^ x1 ^ x2").unwrap(),
+        ];
+        let job = Job::synthesize_multi(outputs.clone())
+            .verified(true)
+            .labeled("multi");
+        let a = engine.run(&job).unwrap();
+        assert_eq!(a.strategy, "bdd");
+        assert_eq!(a.verified, Some(true));
+        assert_eq!(a.label.as_deref(), Some("multi"));
+        let r = a.realization.as_ref().unwrap();
+        assert_eq!(r.num_outputs(), 3);
+        assert_eq!(r.technology(), Technology::SneakPath);
+        assert!(r.computes_outputs(&outputs));
+        // The cache serves the repeat with the shared realization.
+        let b = engine.run(&job).unwrap();
+        assert!(Arc::ptr_eq(
+            a.realization.as_ref().unwrap(),
+            b.realization.as_ref().unwrap()
+        ));
+        // Batches dedupe multi jobs and keep mixed slots isolated.
+        let results = engine.run_batch(&[job.clone(), Job::parse("x0 x1").unwrap(), job.clone()]);
+        assert!(Arc::ptr_eq(
+            results[0].as_ref().unwrap().realization.as_ref().unwrap(),
+            results[2].as_ref().unwrap().realization.as_ref().unwrap()
+        ));
+        assert_eq!(results[1].as_ref().unwrap().strategy, "dual-lattice");
+        // A single-output "bdd" job of output 0 must NOT collide with the
+        // multi entry in the cache.
+        let single = engine
+            .run(&Job::synthesize(outputs[0].clone()).with_strategy(Strategy::Bdd))
+            .unwrap();
+        assert_eq!(single.realization.as_ref().unwrap().num_outputs(), 1);
+        // A misdeclared multi job (same outputs, non-"bdd" strategy) must
+        // NOT be dedupe-served the shared realization — it keeps its
+        // typed rejection even batched next to the valid twin.
+        let wrong = Job::synthesize_multi(outputs.clone()).with_strategy(Strategy::Fet);
+        let mixed = engine.run_batch(&[job.clone(), wrong]);
+        assert!(mixed[0].is_ok());
+        assert!(matches!(mixed[1], Err(Error::MultiSpec { .. })));
+    }
+
+    #[test]
+    fn multi_jobs_reject_bad_specs_with_typed_errors() {
+        let engine = Engine::new();
+        match engine.run(&Job::synthesize_multi(vec![])).unwrap_err() {
+            Error::MultiSpec { message } => assert!(message.contains("output"), "{message}"),
+            other => panic!("expected MultiSpec, got {other:?}"),
+        }
+        let mixed = vec![
+            parse_function("x0 x1").unwrap(),
+            parse_function("x0 + x1 + x2").unwrap(),
+        ];
+        assert!(matches!(
+            engine.run(&Job::synthesize_multi(mixed)).unwrap_err(),
+            Error::MultiSpec { .. }
+        ));
+        // Only the BDD strategy realises multi-output jobs.
+        let one = vec![parse_function("x0 x1").unwrap()];
+        let wrong = Job::synthesize_multi(one.clone()).with_strategy(Strategy::Diode);
+        assert!(matches!(
+            engine.run(&wrong).unwrap_err(),
+            Error::MultiSpec { .. }
+        ));
+        // Chip flows and mapping are single-output concerns.
+        let chipped = Job::synthesize_multi(one.clone()).on_random_chip(ArraySize::new(8, 8), 1);
+        assert!(matches!(
+            engine.run(&chipped).unwrap_err(),
+            Error::MultiSpec { .. }
+        ));
+        let mapped = Job::synthesize_multi(one).map_on_random_chip(ArraySize::new(8, 8), 1);
+        assert!(matches!(
+            engine.run(&mapped).unwrap_err(),
+            Error::MultiSpec { .. }
+        ));
+        // Constant outputs keep the engine-wide error shape.
+        assert_eq!(
+            engine
+                .run(&Job::synthesize_multi(vec![TruthTable::ones(2)]))
+                .unwrap_err(),
+            Error::ConstantFunction { num_vars: 2 }
+        );
     }
 
     #[test]

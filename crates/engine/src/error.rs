@@ -41,6 +41,14 @@ pub enum Error {
         /// What is wrong with it.
         message: String,
     },
+    /// A multi-output job ([`crate::Job::synthesize_multi`]) carries an
+    /// invalid output set (empty, mixed arities) or asks for something
+    /// only single-output jobs support (chip flows, BISM mapping, a
+    /// non-BDD strategy).
+    MultiSpec {
+        /// What is wrong with it.
+        message: String,
+    },
     /// A BISM mapping job carries an invalid [`crate::MapConfig`].
     MapConfig {
         /// What is wrong with it.
@@ -89,6 +97,7 @@ impl std::fmt::Display for Error {
             }
             Error::UnknownStrategy { name } => write!(f, "unknown synthesis strategy {name:?}"),
             Error::MvmSpec { message } => write!(f, "bad mvm spec: {message}"),
+            Error::MultiSpec { message } => write!(f, "bad multi-output job: {message}"),
             Error::MapConfig { message } => write!(f, "bad map configuration: {message}"),
             Error::MapFabric { needed, fabric } => write!(
                 f,
@@ -158,6 +167,9 @@ mod tests {
             },
             Error::MvmSpec {
                 message: "trials must be in 1..=4096, got 0".into(),
+            },
+            Error::MultiSpec {
+                message: "multi-output jobs need at least one output".into(),
             },
             Error::MapConfig {
                 message: "speculation width must be >= 1".into(),

@@ -65,6 +65,10 @@ pub struct Job {
     pub(crate) label: Option<String>,
     /// An analog crossbar MVM workload instead of a synthesis target.
     pub(crate) mvm: Option<MvmSpec>,
+    /// A multi-output synthesis target ([`Job::synthesize_multi`]):
+    /// every listed output compiles onto one shared-BDD sneak-path
+    /// crossbar. `function` then holds output 0 as a placeholder.
+    pub(crate) multi: Option<Vec<TruthTable>>,
 }
 
 impl Job {
@@ -80,7 +84,45 @@ impl Job {
             verify: false,
             label: None,
             mvm: None,
+            multi: None,
         }
+    }
+
+    /// A multi-output synthesis job: all `outputs` compile onto **one**
+    /// shared-ROBDD sneak-path crossbar ([`Strategy::Bdd`] — the only
+    /// strategy that accepts multi-output jobs), so common subgraphs are
+    /// realised once. The realisation lands in [`JobResult::realization`]
+    /// as a multi-output [`Realization`]
+    /// ([`Realization::num_outputs`]` == outputs.len()`); with
+    /// [`Job::verified`], *every* output is checked exhaustively.
+    ///
+    /// Output-set validation (non-empty, equal arities, no constants)
+    /// happens at `run` time and surfaces as [`crate::Error::MultiSpec`]
+    /// or [`crate::Error::ConstantFunction`]. Chip flows and BISM mapping
+    /// are single-output concerns and are rejected on multi jobs.
+    pub fn synthesize_multi(outputs: Vec<TruthTable>) -> Self {
+        Job {
+            // Placeholder target (output 0 when present); the engine
+            // routes multi jobs through `outputs`, never through this.
+            function: outputs
+                .first()
+                .cloned()
+                .unwrap_or_else(|| TruthTable::ones(1)),
+            strategy: Some(Strategy::Bdd.name().to_string()),
+            chip: None,
+            map_chip: None,
+            map_config: MapConfig::default(),
+            limits: None,
+            verify: false,
+            label: None,
+            mvm: None,
+            multi: Some(outputs),
+        }
+    }
+
+    /// The multi-output target set, for [`Job::synthesize_multi`] jobs.
+    pub fn multi_outputs(&self) -> Option<&[TruthTable]> {
+        self.multi.as_deref()
     }
 
     /// An analog in-memory-compute job: program `spec.weights` onto a
@@ -101,6 +143,7 @@ impl Job {
             verify: false,
             label: None,
             mvm: Some(spec),
+            multi: None,
         }
     }
 

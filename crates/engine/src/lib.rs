@@ -30,6 +30,11 @@
 //!   [`MvmOutcome`] in [`JobResult::mvm`]. The chip-independent program
 //!   step dedupes and memoises like synthesis; the chip-specific
 //!   execution runs per job.
+//! * [`Job::synthesize_multi`] — multi-output synthesis: every output of
+//!   one request compiles onto a *single* shared-ROBDD sneak-path
+//!   crossbar ([`Strategy::Bdd`], `nanoxbar-bddsynth`), so common
+//!   subgraphs are realised once; deduped and cached on the whole output
+//!   set, verified output-by-output.
 //!
 //! ## Quickstart
 //!
@@ -60,7 +65,7 @@ mod job;
 mod tech;
 
 pub use backend::{
-    BackendRegistry, DiodeBackend, DualLatticeBackend, FetBackend, MinimizeMode,
+    BackendRegistry, BddBackend, DiodeBackend, DualLatticeBackend, FetBackend, MinimizeMode,
     OptimalLatticeBackend, Strategy, SynthesisBackend, SynthesisContext,
 };
 pub use cache::{CacheKey, CacheStats, CachedSynthesis, InsertListener, ResultCache};
@@ -78,6 +83,11 @@ pub use nanoxbar_reliability::mapper::{MapConfig, MapReport, Mapper, MapperSnaps
 // The analog MVM vocabulary of [`Job::mvm`] jobs, re-exported for the
 // same reason.
 pub use nanoxbar_mvm::{ConductanceParams, MvmOutcome, MvmSpec};
+
+// The multi-output BDD vocabulary of [`Job::synthesize_multi`] jobs,
+// re-exported so consumers can inspect a [`Realization::Bdd`] without a
+// direct bddsynth dependency.
+pub use nanoxbar_bddsynth::{BddSynthError, SneakPathCrossbar};
 
 use std::sync::OnceLock;
 

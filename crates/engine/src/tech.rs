@@ -3,12 +3,14 @@
 //! Moved here from `nanoxbar-core` when the batch engine became the public
 //! entry point; `nanoxbar_core` re-exports both types for compatibility.
 
+use nanoxbar_bddsynth::SneakPathCrossbar;
 use nanoxbar_crossbar::{ArraySize, DiodeArray, FetArray};
 use nanoxbar_lattice::Lattice;
 use nanoxbar_logic::TruthTable;
 
-/// The three crosspoint technologies the paper models (Fig. 1 / Fig. 3 /
-/// Fig. 5).
+/// The crosspoint technologies the workspace models: the paper's three
+/// (Fig. 1 / Fig. 3 / Fig. 5) plus the sneak-path resistive crossbar the
+/// BDD backend compiles onto.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Technology {
     /// Two-terminal diode crosspoints (diode–resistor logic).
@@ -17,10 +19,15 @@ pub enum Technology {
     Fet,
     /// Four-terminal switches (percolation lattices).
     FourTerminal,
+    /// Two-terminal resistive crosspoints evaluated through sneak paths
+    /// (BDD-compiled multi-output crossbars).
+    SneakPath,
 }
 
 impl Technology {
-    /// All technologies, in the paper's presentation order.
+    /// The paper's three technologies, in its presentation order.
+    /// [`Technology::SneakPath`] is the workspace's extension and is
+    /// deliberately not part of the paper sweep.
     pub const ALL: [Technology; 3] = [Technology::Diode, Technology::Fet, Technology::FourTerminal];
 
     /// Display name used in experiment tables.
@@ -29,6 +36,7 @@ impl Technology {
             Technology::Diode => "diode",
             Technology::Fet => "fet",
             Technology::FourTerminal => "four-terminal",
+            Technology::SneakPath => "sneak-path",
         }
     }
 }
@@ -39,7 +47,8 @@ impl std::fmt::Display for Technology {
     }
 }
 
-/// A synthesised realisation of one Boolean function on one technology.
+/// A synthesised realisation of one (or, for the BDD backend, several)
+/// Boolean function(s) on one technology.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Realization {
     /// Diode crossbar.
@@ -48,6 +57,8 @@ pub enum Realization {
     Fet(FetArray),
     /// Four-terminal lattice.
     Lattice(Lattice),
+    /// BDD-compiled sneak-path crossbar — possibly multi-output.
+    Bdd(SneakPathCrossbar),
 }
 
 impl Realization {
@@ -57,12 +68,19 @@ impl Realization {
             Realization::Diode(a) => a.size(),
             Realization::Fet(a) => a.size(),
             Realization::Lattice(l) => ArraySize::new(l.rows(), l.cols()),
+            Realization::Bdd(x) => ArraySize::new(x.rows(), x.cols()),
         }
     }
 
-    /// Crosspoint count — the paper's area metric.
+    /// Crosspoint count — the paper's area metric. The sneak-path
+    /// crossbar counts its *programmed* junctions (two per column), not
+    /// the full `rows x cols` grid, since unprogrammed sites stay
+    /// high-resistance.
     pub fn area(&self) -> usize {
-        self.size().area()
+        match self {
+            Realization::Bdd(x) => x.area(),
+            _ => self.size().area(),
+        }
     }
 
     /// The technology of this realisation.
@@ -71,24 +89,64 @@ impl Realization {
             Realization::Diode(_) => Technology::Diode,
             Realization::Fet(_) => Technology::Fet,
             Realization::Lattice(_) => Technology::FourTerminal,
+            Realization::Bdd(_) => Technology::SneakPath,
         }
     }
 
-    /// Evaluates the realisation on a minterm.
+    /// The number of outputs the realisation computes (1 for all the
+    /// single-function technologies).
+    pub fn num_outputs(&self) -> usize {
+        match self {
+            Realization::Bdd(x) => x.num_outputs(),
+            _ => 1,
+        }
+    }
+
+    /// Evaluates the realisation on a minterm (output 0 for multi-output
+    /// realisations; use [`Realization::eval_output`] for the rest).
     pub fn eval(&self, m: u64) -> bool {
         match self {
             Realization::Diode(a) => a.eval(m),
             Realization::Fet(a) => a.eval(m),
             Realization::Lattice(l) => nanoxbar_lattice::eval_top_bottom(l, m),
+            Realization::Bdd(x) => x.eval_output(0, m),
         }
     }
 
-    /// Exhaustively verifies the realisation against its target.
+    /// Evaluates one output on a minterm. Outputs beyond
+    /// [`Realization::num_outputs`] do not exist; only the sneak-path
+    /// crossbar has more than one.
+    pub fn eval_output(&self, output: usize, m: u64) -> bool {
+        match self {
+            Realization::Bdd(x) => x.eval_output(output, m),
+            _ => {
+                assert_eq!(output, 0, "single-output realisation");
+                self.eval(m)
+            }
+        }
+    }
+
+    /// Exhaustively verifies the realisation against its target (output
+    /// 0 for multi-output realisations).
     pub fn computes(&self, f: &TruthTable) -> bool {
         match self {
             Realization::Diode(a) => a.computes(f),
             Realization::Fet(a) => a.computes(f),
             Realization::Lattice(l) => l.computes(f),
+            Realization::Bdd(x) => x.functions().first().map(|got| got == f).unwrap_or(false),
+        }
+    }
+
+    /// Exhaustively verifies every output against its target, in order.
+    /// Single-output realisations verify iff exactly one target is given
+    /// and it matches.
+    pub fn computes_outputs(&self, outputs: &[TruthTable]) -> bool {
+        match self {
+            Realization::Bdd(x) => x.computes_all(outputs),
+            _ => match outputs {
+                [f] => self.computes(f),
+                _ => false,
+            },
         }
     }
 }
@@ -121,6 +179,25 @@ mod tests {
             assert_eq!(r.technology(), tech);
             assert!(r.area() > 0);
         }
+    }
+
+    #[test]
+    fn sneak_path_reports_identity_and_verifies() {
+        let f = parse_function("x0 x1 + !x0 !x1").unwrap();
+        let r = synthesize(&f, Technology::SneakPath).unwrap();
+        assert_eq!(r.technology(), Technology::SneakPath);
+        assert_eq!(Technology::SneakPath.name(), "sneak-path");
+        assert_eq!(r.num_outputs(), 1);
+        assert!(r.computes(&f));
+        assert!(r.computes_outputs(std::slice::from_ref(&f)));
+        assert!(!r.computes_outputs(&[f.clone(), f.clone()]));
+        for m in 0..4 {
+            assert_eq!(r.eval(m), f.value(m));
+            assert_eq!(r.eval_output(0, m), f.value(m));
+        }
+        // Programmed junctions, not the full grid: strictly fewer than
+        // rows x cols on any non-trivial function.
+        assert!(r.area() < r.size().area(), "{} vs {}", r.area(), r.size());
     }
 
     #[test]

@@ -30,6 +30,15 @@ use crate::truth_table::TruthTable;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct Bdd(u32);
 
+impl Bdd {
+    /// The node's dense manager index (terminals are 0 and 1; internal
+    /// nodes follow in creation order). Stable for the manager's lifetime,
+    /// so external walkers can use it as a `Vec` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// Internal node: `(var, low, high)` with var-ordered children.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 struct Node {
@@ -54,19 +63,35 @@ pub const BDD_TRUE: Bdd = Bdd(1);
 
 const TERMINAL_VAR: u32 = u32::MAX;
 
+/// Entry bound on the ITE memo: a top-level operation entered with the
+/// memo at or above this size drops it first (the memo is a pure
+/// accelerator — correctness never depends on it), so long-lived managers
+/// cannot grow an unbounded cache across many operations.
+const ITE_MEMO_BOUND: usize = 1 << 20;
+
 impl BddManager {
     /// Creates a manager for functions over `num_vars` variables with the
     /// natural variable order (variable 0 at the top).
+    ///
+    /// The node store and unique table are pre-sized for a few thousand
+    /// nodes so typical builds grow by doubling instead of rehashing the
+    /// unique table once per insertion batch.
     pub fn new(num_vars: usize) -> Self {
         let terminal = |_v| Node {
             var: TERMINAL_VAR,
             low: BDD_FALSE,
             high: BDD_FALSE,
         };
+        // 2^(n+1) nodes covers every function of up to `n` variables; cap
+        // the pre-allocation so wide managers don't pay for that bound.
+        let capacity = 2usize.saturating_pow(num_vars.min(11) as u32 + 1);
+        let mut nodes = Vec::with_capacity(capacity + 2);
+        nodes.push(terminal(0));
+        nodes.push(terminal(1));
         BddManager {
             num_vars,
-            nodes: vec![terminal(0), terminal(1)],
-            unique: HashMap::new(),
+            nodes,
+            unique: HashMap::with_capacity(capacity),
             ite_cache: HashMap::new(),
         }
     }
@@ -118,6 +143,14 @@ impl BddManager {
         self.nodes[b.0 as usize]
     }
 
+    /// The `(var, low, high)` triple of an internal node, or `None` for
+    /// the two terminals — the read-only view external DAG walkers (the
+    /// sneak-path compiler in `nanoxbar-bddsynth`) traverse.
+    pub fn node_parts(&self, b: Bdd) -> Option<(usize, Bdd, Bdd)> {
+        let n = self.node(b);
+        (n.var != TERMINAL_VAR).then_some((n.var as usize, n.low, n.high))
+    }
+
     fn top_var(&self, b: Bdd) -> u32 {
         self.node(b).var
     }
@@ -136,7 +169,19 @@ impl BddManager {
     }
 
     /// If-then-else: the universal BDD combinator.
+    ///
+    /// Entering with the memo at or above its bound drops it first, so a
+    /// long-lived manager's ITE cache stays bounded between top-level
+    /// operations.
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        if self.ite_cache.len() >= ITE_MEMO_BOUND {
+            // Replace rather than `clear()` so the capacity is released.
+            self.ite_cache = HashMap::new();
+        }
+        self.ite_rec(f, g, h)
+    }
+
+    fn ite_rec(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
         // Terminal cases.
         if f == BDD_TRUE {
             return g;
@@ -160,8 +205,8 @@ impl BddManager {
         let g1 = self.cofactor_at(g, var, true);
         let h0 = self.cofactor_at(h, var, false);
         let h1 = self.cofactor_at(h, var, true);
-        let low = self.ite(f0, g0, h0);
-        let high = self.ite(f1, g1, h1);
+        let low = self.ite_rec(f0, g0, h0);
+        let high = self.ite_rec(f1, g1, h1);
         let r = self.mk(var, low, high);
         self.ite_cache.insert((f, g, h), r);
         r
@@ -394,5 +439,41 @@ mod tests {
         let nx0 = mgr.not(x0);
         let tautology = mgr.or(x0, nx0);
         assert_eq!(tautology, BDD_TRUE);
+    }
+
+    #[test]
+    fn node_parts_exposes_internal_nodes_only() {
+        let mut mgr = BddManager::new(2);
+        assert_eq!(mgr.node_parts(BDD_FALSE), None);
+        assert_eq!(mgr.node_parts(BDD_TRUE), None);
+        let x1 = mgr.var(1);
+        let (var, low, high) = mgr.node_parts(x1).expect("internal node");
+        assert_eq!((var, low, high), (1, BDD_FALSE, BDD_TRUE));
+        assert_eq!(BDD_FALSE.index(), 0);
+        assert_eq!(BDD_TRUE.index(), 1);
+        assert!(x1.index() >= 2);
+    }
+
+    #[test]
+    fn ite_memo_is_dropped_at_the_bound() {
+        let mut mgr = BddManager::new(2);
+        let x0 = mgr.var(0);
+        let x1 = mgr.var(1);
+        // Fill the memo past its bound with synthetic entries (top-level
+        // `ite` clears before any lookup, so the keys are never followed).
+        for i in 0..ITE_MEMO_BOUND as u32 {
+            mgr.ite_cache
+                .insert((Bdd(i + 2), Bdd(i + 3), Bdd(i + 4)), BDD_TRUE);
+        }
+        let a = mgr.and(x0, x1);
+        assert!(
+            mgr.ite_cache.len() < ITE_MEMO_BOUND,
+            "top-level ite must drop an over-bound memo"
+        );
+        assert_eq!(mgr.to_truth_table(a), {
+            let t0 = TruthTable::variable(2, 0);
+            let t1 = TruthTable::variable(2, 1);
+            t0.and(&t1)
+        });
     }
 }

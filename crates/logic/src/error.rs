@@ -61,6 +61,15 @@ pub enum LogicError {
         /// Supported maximum.
         max: usize,
     },
+    /// A multi-output construction carried a different number of outputs
+    /// than its consumer expects (e.g. a multi-output PLA reaching a
+    /// single-output accessor, or an empty output list).
+    OutputCountMismatch {
+        /// Output count the context requires.
+        expected: usize,
+        /// Output count actually present.
+        found: usize,
+    },
 }
 
 impl fmt::Display for LogicError {
@@ -92,6 +101,9 @@ impl fmt::Display for LogicError {
                     f,
                     "{requested} variables requested, at most {max} supported"
                 )
+            }
+            LogicError::OutputCountMismatch { expected, found } => {
+                write!(f, "expected {expected} output(s), found {found}")
             }
         }
     }

@@ -28,17 +28,20 @@ pub struct Pla {
 impl Pla {
     /// The cover of the only output of a single-output PLA.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the PLA has more than one output.
-    pub fn single_output(&self) -> &Cover {
-        assert_eq!(
-            self.outputs.len(),
-            1,
-            "PLA has {} outputs",
-            self.outputs.len()
-        );
-        &self.outputs[0]
+    /// Returns [`LogicError::OutputCountMismatch`] when the PLA declares
+    /// any other number of outputs — the typed replacement for the old
+    /// panicking accessor, so multi-output files reaching a single-output
+    /// consumer fail as data errors, not crashes.
+    pub fn single_output(&self) -> Result<&Cover, LogicError> {
+        match self.outputs.as_slice() {
+            [only] => Ok(only),
+            outputs => Err(LogicError::OutputCountMismatch {
+                expected: 1,
+                found: outputs.len(),
+            }),
+        }
     }
 }
 
@@ -62,7 +65,7 @@ impl Pla {
 /// .e
 /// ";
 /// let pla = parse_pla(text)?;
-/// let f = pla.single_output();
+/// let f = pla.single_output()?;
 /// assert_eq!(f.product_count(), 2);
 /// assert!(f.eval(0b00) && f.eval(0b11) && !f.eval(0b01));
 /// # Ok::<(), nanoxbar_logic::LogicError>(())
@@ -72,7 +75,9 @@ pub fn parse_pla(text: &str) -> Result<Pla, LogicError> {
     let mut num_outputs: Option<usize> = None;
     let mut input_labels = Vec::new();
     let mut output_labels = Vec::new();
-    let mut rows: Vec<(Cube, Vec<char>)> = Vec::new();
+    let mut ilb_line = 0usize;
+    let mut ob_line = 0usize;
+    let mut rows: Vec<(usize, Cube, Vec<char>)> = Vec::new();
 
     let err = |line: usize, message: &str| LogicError::ParsePla {
         line,
@@ -110,8 +115,14 @@ pub fn parse_pla(text: &str) -> Result<Pla, LogicError> {
                     );
                 }
                 "p" => { /* product count is advisory */ }
-                "ilb" => input_labels = it.map(String::from).collect(),
-                "ob" => output_labels = it.map(String::from).collect(),
+                "ilb" => {
+                    ilb_line = line_num;
+                    input_labels = it.map(String::from).collect();
+                }
+                "ob" => {
+                    ob_line = line_num;
+                    output_labels = it.map(String::from).collect();
+                }
                 "e" | "end" => break,
                 other => {
                     return Err(err(line_num, &format!("unsupported directive .{other}")));
@@ -143,20 +154,38 @@ pub fn parse_pla(text: &str) -> Result<Pla, LogicError> {
             }
         }
         let cube = Cube::from_masks(ni, pos, neg).map_err(|e| err(line_num, &e.to_string()))?;
-        rows.push((cube, compact[ni..].to_vec()));
+        rows.push((line_num, cube, compact[ni..].to_vec()));
     }
 
     let ni = num_inputs.ok_or_else(|| err(1, "missing .i directive"))?;
     let no = num_outputs.ok_or_else(|| err(1, "missing .o directive"))?;
+    // Label lists are optional, but a present list must match its
+    // declaration — a mismatch means columns would be attributed to the
+    // wrong signal downstream.
+    if !input_labels.is_empty() && input_labels.len() != ni {
+        return Err(err(
+            ilb_line,
+            &format!(".ilb names {} inputs, .i declares {ni}", input_labels.len()),
+        ));
+    }
+    if !output_labels.is_empty() && output_labels.len() != no {
+        return Err(err(
+            ob_line,
+            &format!(
+                ".ob names {} outputs, .o declares {no}",
+                output_labels.len()
+            ),
+        ));
+    }
 
     let mut outputs = vec![Cover::zero(ni); no];
-    for (cube, out_cols) in rows {
+    for (line_num, cube, out_cols) in rows {
         for (o, &c) in out_cols.iter().enumerate() {
             match c {
                 '1' => outputs[o].push(cube),
                 '0' | '-' | '~' => {}
                 other => {
-                    return Err(err(0, &format!("bad output column {other:?}")));
+                    return Err(err(line_num, &format!("bad output column {other:?}")));
                 }
             }
         }
@@ -179,7 +208,7 @@ pub fn parse_pla(text: &str) -> Result<Pla, LogicError> {
 /// let f = parse_function("x0 x1 + !x0 !x1")?;
 /// let text = write_pla(&isop_cover(&f));
 /// let back = parse_pla(&text)?;
-/// assert!(back.single_output().computes(&f));
+/// assert!(back.single_output()?.computes(&f));
 /// # Ok::<(), nanoxbar_logic::LogicError>(())
 /// ```
 pub fn write_pla(cover: &Cover) -> String {
@@ -192,6 +221,58 @@ pub fn write_pla(cover: &Cover) -> String {
     }
     let _ = writeln!(out, ".e");
     out
+}
+
+/// Serialises a multi-output PLA: one cover per output column, one row
+/// per `(cube, output)` pair (type-f semantics, like the parser).
+///
+/// # Errors
+///
+/// [`LogicError::OutputCountMismatch`] for an empty output list, and
+/// [`LogicError::CubeArityMismatch`] when the covers disagree on input
+/// arity — both typed rejections, never panics.
+///
+/// ```
+/// use nanoxbar_logic::pla::{parse_pla, write_pla_multi};
+/// use nanoxbar_logic::{isop_cover, parse_function};
+///
+/// let sum = parse_function("x0 ^ x1 ^ x2")?;
+/// let carry = parse_function("x0 x1 + x0 x2 + x1 x2")?;
+/// let text = write_pla_multi(&[isop_cover(&sum), isop_cover(&carry)])?;
+/// let back = parse_pla(&text)?;
+/// assert!(back.outputs[0].computes(&sum));
+/// assert!(back.outputs[1].computes(&carry));
+/// # Ok::<(), nanoxbar_logic::LogicError>(())
+/// ```
+pub fn write_pla_multi(outputs: &[Cover]) -> Result<String, LogicError> {
+    let first = outputs.first().ok_or(LogicError::OutputCountMismatch {
+        expected: 1,
+        found: 0,
+    })?;
+    let ni = first.num_vars();
+    for cover in outputs {
+        if cover.num_vars() != ni {
+            return Err(LogicError::CubeArityMismatch {
+                expected: ni,
+                found: cover.num_vars(),
+            });
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, ".i {ni}");
+    let _ = writeln!(out, ".o {}", outputs.len());
+    let products: usize = outputs.iter().map(Cover::product_count).sum();
+    let _ = writeln!(out, ".p {products}");
+    for (o, cover) in outputs.iter().enumerate() {
+        for c in cover.cubes() {
+            let mut cols = vec!['0'; outputs.len()];
+            cols[o] = '1';
+            let cols: String = cols.into_iter().collect();
+            let _ = writeln!(out, "{c} {cols}");
+        }
+    }
+    let _ = writeln!(out, ".e");
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -263,7 +344,7 @@ mod tests {
                 let cover = isop_cover(&f);
                 let text = write_pla(&cover);
                 let back = parse_pla(&text).unwrap();
-                assert!(back.single_output().computes(&f));
+                assert!(back.single_output().unwrap().computes(&f));
             }
         }
     }
@@ -273,5 +354,61 @@ mod tests {
         let pla = parse_pla(".i 1\n.o 2\n1 1~\n0 -1\n.e\n").unwrap();
         assert_eq!(pla.outputs[0].product_count(), 1);
         assert_eq!(pla.outputs[1].product_count(), 1);
+    }
+
+    #[test]
+    fn single_output_accessor_is_typed_not_panicking() {
+        let multi = parse_pla(".i 1\n.o 2\n1 11\n.e\n").unwrap();
+        assert_eq!(
+            multi.single_output(),
+            Err(LogicError::OutputCountMismatch {
+                expected: 1,
+                found: 2
+            })
+        );
+        let single = parse_pla(".i 1\n.o 1\n1 1\n.e\n").unwrap();
+        assert!(single.single_output().is_ok());
+    }
+
+    #[test]
+    fn label_counts_must_match_declarations() {
+        let bad_ob = parse_pla(".i 2\n.o 1\n.ob a b\n11 1\n.e\n");
+        assert!(matches!(bad_ob, Err(LogicError::ParsePla { line: 3, .. })));
+        let bad_ilb = parse_pla(".i 2\n.o 1\n.ilb a\n11 1\n.e\n");
+        assert!(matches!(bad_ilb, Err(LogicError::ParsePla { line: 3, .. })));
+    }
+
+    #[test]
+    fn bad_output_columns_report_their_line() {
+        let bad = parse_pla(".i 2\n.o 1\n11 1\n00 x\n.e\n");
+        assert!(matches!(bad, Err(LogicError::ParsePla { line: 4, .. })));
+    }
+
+    #[test]
+    fn multi_writer_roundtrips_and_rejects_mismatches() {
+        let sum = parse_function("x0 ^ x1").unwrap();
+        let carry = parse_function("x0 x1").unwrap();
+        let covers = vec![isop_cover(&sum), isop_cover(&carry)];
+        let text = write_pla_multi(&covers).unwrap();
+        let back = parse_pla(&text).unwrap();
+        assert_eq!(back.outputs.len(), 2);
+        assert!(back.outputs[0].computes(&sum));
+        assert!(back.outputs[1].computes(&carry));
+
+        assert_eq!(
+            write_pla_multi(&[]),
+            Err(LogicError::OutputCountMismatch {
+                expected: 1,
+                found: 0
+            })
+        );
+        let three = parse_function("x0 x1 + x2").unwrap();
+        assert_eq!(
+            write_pla_multi(&[isop_cover(&sum), isop_cover(&three)]),
+            Err(LogicError::CubeArityMismatch {
+                expected: 2,
+                found: 3
+            })
+        );
     }
 }

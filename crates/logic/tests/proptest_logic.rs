@@ -173,7 +173,7 @@ proptest! {
     fn pla_roundtrip(f in arb_function(5)) {
         let cover = isop_cover(&f);
         let parsed = parse_pla(&write_pla(&cover)).unwrap();
-        prop_assert!(parsed.single_output().computes(&f));
+        prop_assert!(parsed.single_output().unwrap().computes(&f));
     }
 
     /// Cover OR/AND composition is exact.

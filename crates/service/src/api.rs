@@ -23,9 +23,16 @@ use crate::wire::{object, Json};
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct JobSpec {
     /// Boolean expression in the paper's syntax (`"x0 x1 + !x0 !x1"`).
-    /// Exactly one of `expr`/`pla` must be set.
+    /// Exactly one of `expr`/`exprs`/`pla` must be set.
     pub expr: Option<String>,
-    /// A single-output Berkeley-format PLA body.
+    /// Multi-output job: one expression per output, all compiled onto a
+    /// *single* shared-BDD sneak-path crossbar (strategy `"bdd"`).
+    /// Shorter expressions are zero-extended to the widest arity.
+    /// Exclusive with `chip`/`map` — the defect flow is single-output.
+    pub exprs: Option<Vec<String>>,
+    /// A Berkeley-format PLA body. Single-output bodies lower to an
+    /// ordinary synthesis job; multi-output bodies lower to a shared-BDD
+    /// multi-output job exactly like [`JobSpec::exprs`].
     pub pla: Option<String>,
     /// Backend name (`"diode"`, `"fet"`, `"dual-lattice"`,
     /// `"optimal-lattice"`, or a custom registration); `None` = engine
@@ -322,6 +329,7 @@ impl JobSpec {
         for (key, value) in members {
             match key.as_str() {
                 "expr" => spec.expr = Some(string_field(value, "expr")?),
+                "exprs" => spec.exprs = Some(string_array_field(value, "exprs")?),
                 "pla" => spec.pla = Some(string_field(value, "pla")?),
                 "strategy" => spec.strategy = Some(string_field(value, "strategy")?),
                 "label" => spec.label = Some(string_field(value, "label")?),
@@ -341,6 +349,7 @@ impl JobSpec {
         }
         if spec.mvm.is_some() {
             if spec.expr.is_some()
+                || spec.exprs.is_some()
                 || spec.pla.is_some()
                 || spec.strategy.is_some()
                 || spec.verify
@@ -348,15 +357,32 @@ impl JobSpec {
                 || spec.map.is_some()
             {
                 return Err("\"mvm\" cannot be combined with synthesis fields \
-                     (expr, pla, strategy, verify, chip, map)"
+                     (expr, exprs, pla, strategy, verify, chip, map)"
                     .into());
             }
             return Ok(spec);
         }
-        match (&spec.expr, &spec.pla) {
-            (None, None) => Err("job needs an \"expr\", a \"pla\", or an \"mvm\"".into()),
-            (Some(_), Some(_)) => Err("job cannot have both \"expr\" and \"pla\"".into()),
-            _ => Ok(spec),
+        let sources = [
+            spec.expr.is_some(),
+            spec.exprs.is_some(),
+            spec.pla.is_some(),
+        ]
+        .into_iter()
+        .filter(|&set| set)
+        .count();
+        match sources {
+            0 => Err("job needs an \"expr\", \"exprs\", a \"pla\", or an \"mvm\"".into()),
+            1 => {
+                if spec.exprs.is_some() && (spec.chip.is_some() || spec.map.is_some()) {
+                    return Err("multi-output \"exprs\" cannot target a \"chip\" \
+                         (the defect flow is single-output)"
+                        .into());
+                }
+                Ok(spec)
+            }
+            _ => Err("job cannot have both \"expr\" and \"pla\" \
+                 (exactly one of \"expr\"/\"exprs\"/\"pla\")"
+                .into()),
         }
     }
 
@@ -365,6 +391,12 @@ impl JobSpec {
         let mut members: Vec<(String, Json)> = Vec::new();
         if let Some(expr) = &self.expr {
             members.push(("expr".into(), Json::Str(expr.clone())));
+        }
+        if let Some(exprs) = &self.exprs {
+            members.push((
+                "exprs".into(),
+                Json::Array(exprs.iter().map(|e| Json::Str(e.clone())).collect()),
+            ));
         }
         if let Some(pla) = &self.pla {
             members.push(("pla".into(), Json::Str(pla.clone())));
@@ -407,19 +439,55 @@ impl JobSpec {
             }
             return Ok(job);
         }
-        let mut job = match (&self.expr, &self.pla) {
-            (Some(expr), None) => Job::parse(expr).map_err(|e| format!("bad expression: {e}"))?,
-            (None, Some(body)) => {
-                let pla = parse_pla(body).map_err(|e| format!("bad PLA: {e}"))?;
-                if pla.outputs.len() != 1 {
-                    return Err(format!(
-                        "PLA has {} outputs; submit one job per output",
-                        pla.outputs.len()
-                    ));
-                }
-                Job::synthesize(pla.single_output().to_truth_table())
+        let mut job = match (&self.expr, &self.exprs, &self.pla) {
+            (Some(expr), None, None) => {
+                Job::parse(expr).map_err(|e| format!("bad expression: {e}"))?
             }
-            _ => return Err("job needs exactly one of \"expr\"/\"pla\"".into()),
+            (None, Some(exprs), None) => {
+                if exprs.is_empty() {
+                    return Err("\"exprs\" must name at least one output".into());
+                }
+                let mut outputs = Vec::with_capacity(exprs.len());
+                for (i, expr) in exprs.iter().enumerate() {
+                    let f = nanoxbar_logic::parse_function(expr)
+                        .map_err(|e| format!("bad expression in exprs[{i}]: {e}"))?;
+                    outputs.push(f);
+                }
+                // Outputs of one crossbar share one input bus: align every
+                // function to the widest arity before compiling.
+                let arity = outputs.iter().map(|f| f.num_vars()).max().unwrap_or(1);
+                let outputs = outputs
+                    .into_iter()
+                    .map(|f| {
+                        let extra = arity - f.num_vars();
+                        f.extend_vars(extra)
+                    })
+                    .collect();
+                Job::synthesize_multi(outputs)
+            }
+            (None, None, Some(body)) => {
+                let pla = parse_pla(body).map_err(|e| format!("bad PLA: {e}"))?;
+                match pla.outputs.as_slice() {
+                    [] => return Err("PLA declares 0 outputs".into()),
+                    [only] => Job::synthesize(only.to_truth_table()),
+                    outputs => {
+                        // A multi-output body is a multi-output job: every
+                        // column compiles onto one shared-BDD crossbar.
+                        // Only the "bdd" strategy realises those.
+                        if !matches!(self.strategy.as_deref(), None | Some("bdd")) {
+                            return Err(format!(
+                                "PLA has {} outputs; only strategy \"bdd\" realises \
+                                 multi-output jobs (or submit one job per output)",
+                                outputs.len()
+                            ));
+                        }
+                        Job::synthesize_multi(
+                            outputs.iter().map(|cover| cover.to_truth_table()).collect(),
+                        )
+                    }
+                }
+            }
+            _ => return Err("job needs exactly one of \"expr\"/\"exprs\"/\"pla\"".into()),
         };
         if let Some(strategy) = &self.strategy {
             job = job.with_strategy_name(strategy.clone());
@@ -520,6 +588,31 @@ fn string_field(v: &Json, name: &str) -> Result<String, String> {
     v.as_str()
         .map(str::to_string)
         .ok_or_else(|| format!("{name:?} must be a string"))
+}
+
+/// Largest accepted multi-output `exprs` list (the shared-BDD compiler is
+/// exponential in the worst case; the bound keeps one slot from holding a
+/// pool worker).
+const MAX_EXPRS: usize = 64;
+
+fn string_array_field(v: &Json, name: &str) -> Result<Vec<String>, String> {
+    let values = v
+        .as_array()
+        .ok_or_else(|| format!("{name:?} must be an array of strings"))?;
+    if values.len() > MAX_EXPRS {
+        return Err(format!(
+            "{name:?} holds {} outputs, more than the accepted {MAX_EXPRS}",
+            values.len()
+        ));
+    }
+    values
+        .iter()
+        .map(|x| {
+            x.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{name:?} must be an array of strings"))
+        })
+        .collect()
 }
 
 fn float_field(v: &Json, name: &str) -> Result<f64, String> {
@@ -628,6 +721,7 @@ pub fn error_kind(e: &Error) -> &'static str {
         Error::ConstantFunction { .. } => "constant-function",
         Error::UnknownStrategy { .. } => "unknown-strategy",
         Error::MvmSpec { .. } => "mvm-spec",
+        Error::MultiSpec { .. } => "multi-spec",
         Error::MapConfig { .. } => "map-config",
         Error::MapFabric { .. } => "map-fabric",
         Error::AreaLimit { .. } => "area-limit",
@@ -675,6 +769,11 @@ pub fn result_to_json(slot: &Result<JobResult, Error>) -> Json {
                 ("area".into(), Json::from(result.area())),
                 ("fingerprint".into(), Json::Str(fingerprint(realization))),
             ];
+            // Multi-output realizations say how many functions share the
+            // crossbar; single-output bodies keep their historical shape.
+            if realization.num_outputs() > 1 {
+                members.push(("outputs".into(), Json::from(realization.num_outputs())));
+            }
             if let Some(verified) = result.verified {
                 members.push(("verified".into(), Json::Bool(verified)));
             }
@@ -800,6 +899,7 @@ mod tests {
     fn spec_json_roundtrips() {
         let spec = JobSpec {
             expr: Some("x0 x1 + !x0 !x1".into()),
+            exprs: None,
             pla: None,
             strategy: Some("diode".into()),
             verify: true,
@@ -828,6 +928,13 @@ mod tests {
         for (body, needle) in [
             ("{}", "expr"),
             ("{\"expr\":\"x0\",\"pla\":\".i 1\"}", "both"),
+            ("{\"expr\":\"x0\",\"exprs\":[\"x1\"]}", "exactly one"),
+            ("{\"exprs\":\"x0\"}", "array of strings"),
+            ("{\"exprs\":[1]}", "array of strings"),
+            (
+                "{\"exprs\":[\"x0\"],\"chip\":{\"rows\":4,\"cols\":4}}",
+                "cannot target a \"chip\"",
+            ),
             ("{\"expr\":1}", "string"),
             ("{\"bogus\":1}", "unknown job field"),
             ("{\"expr\":\"x0\",\"chip\":{\"rows\":4}}", "cols"),
@@ -1072,6 +1179,117 @@ mod tests {
             let err = parse_limits(Some(&Json::parse(body).unwrap())).unwrap_err();
             assert!(err.contains(needle), "{body}: {err}");
         }
+    }
+
+    #[test]
+    fn multi_expr_specs_roundtrip_and_render_outputs() {
+        let spec = JobSpec {
+            exprs: Some(vec!["x0 ^ x1 ^ x2".into(), "x0 x1 + x0 x2 + x1 x2".into()]),
+            verify: true,
+            label: Some("adder".into()),
+            ..JobSpec::default()
+        };
+        let back = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+
+        let engine = Engine::new();
+        let result = engine.run(&spec.to_job().unwrap()).unwrap();
+        assert_eq!(result.strategy, "bdd");
+        assert_eq!(result.verified, Some(true));
+        let realization = result.realization.clone().unwrap();
+        assert_eq!(realization.num_outputs(), 2);
+
+        let rendered = result_to_json(&Ok(result));
+        assert_eq!(rendered.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(rendered.get("strategy").unwrap().as_str(), Some("bdd"));
+        assert_eq!(
+            rendered.get("technology").unwrap().as_str(),
+            Some("sneak-path")
+        );
+        assert_eq!(rendered.get("outputs").unwrap().as_u64(), Some(2));
+        assert_eq!(rendered.get("verified"), Some(&Json::Bool(true)));
+        assert!(rendered.get("fingerprint").is_some());
+
+        // Single-output bodies keep their historical shape: no "outputs".
+        let single = result_to_json(&engine.run(&JobSpec::expr("x0 + x1").to_job().unwrap()));
+        assert!(single.get("outputs").is_none());
+    }
+
+    #[test]
+    fn multi_exprs_align_arities_before_compiling() {
+        // "x0" is arity 1, "x1 x2" is arity 3 — the spec zero-extends the
+        // narrow output so the shared crossbar verifies both.
+        let spec = JobSpec {
+            exprs: Some(vec!["x0".into(), "x1 x2".into()]),
+            verify: true,
+            ..JobSpec::default()
+        };
+        let engine = Engine::new();
+        let result = engine.run(&spec.to_job().unwrap()).unwrap();
+        assert_eq!(result.verified, Some(true));
+        assert_eq!(result.realization.unwrap().num_outputs(), 2);
+    }
+
+    #[test]
+    fn multi_output_pla_specs_lower_to_bdd_jobs() {
+        let body = "\
+.i 3
+.o 2
+11- 01
+1-1 01
+-11 01
+100 10
+010 10
+001 10
+111 10
+.e
+";
+        let engine = Engine::new();
+        let result = engine.run(&JobSpec::pla(body).to_job().unwrap()).unwrap();
+        assert_eq!(result.strategy, "bdd");
+        assert_eq!(result.realization.unwrap().num_outputs(), 2);
+
+        // Any non-"bdd" strategy on a multi-output body is a spec error.
+        let wrong = JobSpec {
+            strategy: Some("diode".into()),
+            ..JobSpec::pla(body)
+        };
+        let err = wrong.to_job().unwrap_err();
+        assert!(err.contains("only strategy \"bdd\""), "{err}");
+
+        // An empty exprs list never reaches the engine.
+        let empty = JobSpec {
+            exprs: Some(Vec::new()),
+            ..JobSpec::default()
+        };
+        let err = empty.to_job().unwrap_err();
+        assert!(err.contains("at least one output"), "{err}");
+    }
+
+    #[test]
+    fn multi_spec_engine_errors_carry_their_own_kind() {
+        // A constant output is a ConstantFunction; a mixed-arity set built
+        // directly (bypassing the spec's alignment) is a MultiSpec.
+        let engine = Engine::new();
+        let spec = JobSpec {
+            exprs: Some(vec!["x0 + !x0".into()]),
+            ..JobSpec::default()
+        };
+        let rendered = result_to_json(&engine.run(&spec.to_job().unwrap()));
+        assert_eq!(rendered.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            rendered.get("kind").unwrap().as_str(),
+            Some("constant-function")
+        );
+
+        let diode_multi = JobSpec {
+            exprs: Some(vec!["x0".into(), "x1".into()]),
+            strategy: Some("diode".into()),
+            ..JobSpec::default()
+        };
+        let rendered = result_to_json(&engine.run(&diode_multi.to_job().unwrap()));
+        assert_eq!(rendered.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(rendered.get("kind").unwrap().as_str(), Some("multi-spec"));
     }
 
     #[test]

@@ -115,6 +115,55 @@
 //! the result cache), while the chip-specific Monte-Carlo execution
 //! always runs per slot.
 //!
+//! ## Strategies
+//!
+//! The `"strategy"` field selects a registered synthesis backend
+//! (`GET /healthz` lists them):
+//!
+//! | Strategy          | Technology     | Scope                                       |
+//! |-------------------|----------------|---------------------------------------------|
+//! | `diode`           | `diode`        | Single-output two-terminal diode arrays     |
+//! | `fet`             | `fet`          | Single-output complementary FET columns     |
+//! | `dual-lattice`    | `four-terminal`| Single-output dual-based lattices (default) |
+//! | `optimal-lattice` | `four-terminal`| Single-output SAT-minimal lattices          |
+//! | `bdd`             | `sneak-path`   | 1..=K outputs on one shared BDD crossbar    |
+//!
+//! ## Multi-output BDD jobs
+//!
+//! A job carrying `"exprs"` (an array of expressions, one per output;
+//! exclusive with `"expr"`/`"pla"`/`"mvm"` and with `"chip"`) compiles
+//! all outputs into **one shared sneak-path crossbar** through the
+//! `bdd` backend: a single ROBDD with a deterministic sifted variable
+//! order, nodes as rows and kept edges as columns, so outputs sharing
+//! subgraphs share crosspoints. Outputs of different arity are
+//! zero-extended to the widest. A PLA body whose `.o` declares more
+//! than one output takes the same route. The response gains an
+//! `"outputs"` member when more than one function was realised —
+//! single-output bodies keep their historical shape:
+//!
+//! ```console
+//! $ curl -s http://127.0.0.1:8080/v1/synthesize \
+//!     -d '{"exprs":["x0 ^ x1 ^ x2","x0 x1 + x0 x2 + x1 x2"],"verify":true}'
+//! {"ok":true,"strategy":"bdd","technology":"sneak-path","rows":9,"cols":13,
+//!  "area":26,"fingerprint":"f69f0354f27fc117","outputs":2,"verified":true}
+//!
+//! # Only "bdd" realises multi-output jobs: a misdeclared strategy is a
+//! # typed per-slot error, even when batched next to its valid twin.
+//! $ curl -s http://127.0.0.1:8080/v1/synthesize \
+//!     -d '{"exprs":["x0 ^ x1 ^ x2","x0 x1 + x0 x2 + x1 x2"],"strategy":"fet"}'
+//! {"ok":false,"kind":"multi-spec","error":"bad multi-output job: strategy
+//!  \"fet\" cannot realise multi-output jobs (use \"bdd\")"}
+//!
+//! $ curl -s http://127.0.0.1:8080/metrics | grep multi
+//! nanoxbar_multi_jobs_total 1
+//! nanoxbar_multi_outputs_total 2
+//! ```
+//!
+//! Verification replays **every** output word-parallel through the
+//! sneak-path evaluator, and multi-output realizations persist and
+//! peer-fill like any other cache entry (the durable record re-runs the
+//! deterministic compiler, so replay is bit-identical).
+//!
 //! ## Incremental mapping sessions
 //!
 //! A `/v1/map` request carrying a `"session"` object runs the BISM

@@ -101,6 +101,10 @@ pub struct Metrics {
     pub mvms: AtomicU64,
     /// Monte-Carlo trials executed across all MVM jobs.
     pub mvm_trials: AtomicU64,
+    /// Multi-output BDD jobs executed (shared sneak-path crossbars).
+    pub multis: AtomicU64,
+    /// Output functions compiled across all multi-output jobs.
+    pub multi_outputs: AtomicU64,
     /// Durable-state records handed to the background persister.
     pub persist_enqueued: AtomicU64,
     /// Durable-state records the persister has taken off its queue.
@@ -243,6 +247,18 @@ impl Metrics {
             "nanoxbar_mvm_trials_total",
             "Monte-Carlo trials executed across all MVM jobs.",
             self.mvm_trials.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_multi_jobs_total",
+            "Multi-output BDD jobs executed.",
+            self.multis.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_multi_outputs_total",
+            "Output functions compiled across all multi-output jobs.",
+            self.multi_outputs.load(Ordering::Relaxed),
         );
 
         counter(
@@ -456,6 +472,8 @@ mod tests {
             "nanoxbar_map_failures_total 0",
             "nanoxbar_mvms_total 0",
             "nanoxbar_mvm_trials_total 0",
+            "nanoxbar_multi_jobs_total 0",
+            "nanoxbar_multi_outputs_total 0",
             "nanoxbar_mvm_latency_seconds_count 0",
             "nanoxbar_persist_records_appended_total 0",
             "nanoxbar_persist_flush_errors_total 0",

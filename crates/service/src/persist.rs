@@ -14,6 +14,10 @@
 //!   lattice sites), then rebuilt through the checked `from_parts`/
 //!   `from_rows` constructors — persisted bytes are data, not code, so a
 //!   tampered record becomes a counted decode error, never a panic.
+//!   BDD sneak-path crossbars persist as their *output truth tables* and
+//!   are rebuilt by the deterministic compiler, so a decoded crossbar is
+//!   bit-identical to the one that was stored and can never be
+//!   structurally invalid.
 //!
 //! Replay happens in [`Service::new`](crate::Service) *before* the cache
 //! insert listener is registered, so preloaded entries are not re-logged.
@@ -29,7 +33,7 @@ use nanoxbar_engine::{
     CacheKey, CachedSynthesis, MapperSnapshot, MinimizeMode, Realization, ResultCache,
 };
 use nanoxbar_lattice::{Lattice, Site};
-use nanoxbar_logic::{Cover, Cube, Literal};
+use nanoxbar_logic::{word_len, Cover, Cube, Literal, TruthTable};
 use nanoxbar_reliability::defect::CrosspointHealth;
 use nanoxbar_reliability::mapper::Defect;
 use nanoxbar_store::{open_log, rewrite_log, LogWriter, Vfs};
@@ -235,6 +239,19 @@ pub fn realization_to_json(realization: &Realization) -> Json {
                 ),
             ),
         ]),
+        Realization::Bdd(xbar) => object(vec![
+            ("tech", Json::Str("bdd".into())),
+            ("num_vars", Json::from(xbar.num_vars())),
+            (
+                "outputs",
+                Json::Array(
+                    xbar.functions()
+                        .iter()
+                        .map(|t| Json::Array(t.words().iter().map(|&w| hex64(w)).collect()))
+                        .collect(),
+                ),
+            ),
+        ]),
     }
 }
 
@@ -293,6 +310,42 @@ pub fn realization_from_json(v: &Json) -> Result<Realization, String> {
                 })
                 .collect::<Result<_, String>>()?;
             Ok(Realization::Lattice(Lattice::from_rows(num_vars, rows)?))
+        }
+        Some("bdd") => {
+            let num_vars = parse_usize(field(v, "num_vars")?, "num_vars")?;
+            // Bound the rebuild cost: a record past this arity could not
+            // have come from the service (and would decode into an
+            // exponential allocation).
+            if num_vars > 20 {
+                return Err(format!("bdd record arity {num_vars} too large"));
+            }
+            let wl = word_len(num_vars);
+            let outputs: Vec<TruthTable> = field(v, "outputs")?
+                .as_array()
+                .ok_or("outputs must be an array")?
+                .iter()
+                .map(|words| -> Result<TruthTable, String> {
+                    let words: Vec<u64> = words
+                        .as_array()
+                        .ok_or("output words must be an array")?
+                        .iter()
+                        .map(parse_hex64)
+                        .collect::<Result<_, String>>()?;
+                    if words.len() != wl {
+                        return Err(format!(
+                            "output needs {wl} words for {num_vars} variables, got {}",
+                            words.len()
+                        ));
+                    }
+                    Ok(TruthTable::from_fn(num_vars, |m| {
+                        (words[(m / 64) as usize] >> (m % 64)) & 1 == 1
+                    }))
+                })
+                .collect::<Result<_, String>>()?;
+            // The compiler is deterministic in the output set, so the
+            // rebuilt crossbar is bit-identical to the stored one.
+            let xbar = nanoxbar_bddsynth::compile_multi(&outputs).map_err(|e| e.to_string())?;
+            Ok(Realization::Bdd(xbar))
         }
         other => Err(format!("unknown realization technology {other:?}")),
     }
@@ -943,6 +996,7 @@ mod tests {
             Strategy::Fet,
             Strategy::DualLattice,
             Strategy::OptimalLattice,
+            Strategy::Bdd,
         ] {
             let (key, value) = synthesis_of("x0 x1 + !x0 !x1 + x2 !x0", strategy);
             let payload = encode_cache_record(&key, &value);
@@ -961,6 +1015,38 @@ mod tests {
                 "{strategy:?} cover"
             );
         }
+    }
+
+    #[test]
+    fn multi_output_bdd_records_roundtrip() {
+        let outputs = vec![
+            parse_function("x0 x1 + x2").expect("parse"),
+            parse_function("x0 ^ x1 ^ x2").expect("parse"),
+        ];
+        let engine = Engine::builder()
+            .cache_capacity(1 << 20)
+            .build()
+            .expect("engine");
+        engine
+            .run(&Job::synthesize_multi(outputs.clone()).verified(true))
+            .expect("multi synthesis");
+        let (key, value) = engine
+            .cache()
+            .expect("cache on")
+            .snapshot()
+            .into_iter()
+            .next()
+            .expect("one entry");
+        assert_eq!(key.strategy(), "bdd-multi");
+        let payload = encode_cache_record(&key, &value);
+        let (key2, value2) = decode_cache_record(&payload).expect("decode");
+        assert_eq!(key, key2);
+        assert_eq!(
+            format!("{:?}", value.realization),
+            format!("{:?}", value2.realization),
+            "recompiled crossbar must be bit-identical"
+        );
+        assert!(value2.realization.computes_outputs(&outputs));
     }
 
     #[test]

@@ -640,6 +640,7 @@ impl Service {
         self.count_jobs(&results);
         self.count_maps(&results);
         self.count_mvms(&results);
+        self.count_multis(&results);
         Response::json(200, result_to_json(&results[0]).encode())
     }
 
@@ -1025,6 +1026,7 @@ impl Service {
         let engine_results = self.engine(minimize).run_batch(&jobs);
         self.count_maps(&engine_results);
         self.count_mvms(&engine_results);
+        self.count_multis(&engine_results);
         // Every slot is one job; failed slots of either kind (unparsable
         // spec, typed engine error) count as job errors.
         Metrics::add(&self.metrics.jobs, slot_errors.len() as u64);
@@ -1100,6 +1102,20 @@ impl Service {
             if let Some(mvm) = &result.mvm {
                 Metrics::bump(&self.metrics.mvms);
                 Metrics::add(&self.metrics.mvm_trials, u64::from(mvm.trials));
+            }
+        }
+    }
+
+    /// Counts multi-output outcomes: every completed shared-crossbar BDD
+    /// job and the output functions riding on it.
+    fn count_multis(&self, results: &[Result<nanoxbar_engine::JobResult, nanoxbar_engine::Error>]) {
+        for result in results.iter().flatten() {
+            if let Some(realization) = &result.realization {
+                let outputs = realization.num_outputs();
+                if outputs > 1 {
+                    Metrics::bump(&self.metrics.multis);
+                    Metrics::add(&self.metrics.multi_outputs, outputs as u64);
+                }
             }
         }
     }
@@ -1617,7 +1633,12 @@ mod tests {
         assert_eq!(health.status, 200);
         let json = body_json(&health);
         assert_eq!(json.get("status").unwrap().as_str(), Some("ok"));
-        assert_eq!(json.get("strategies").unwrap().as_array().unwrap().len(), 4);
+        let strategies = json.get("strategies").unwrap().as_array().unwrap();
+        assert_eq!(strategies.len(), 5);
+        assert!(
+            strategies.contains(&Json::Str("bdd".into())),
+            "healthz advertises the multi-output BDD strategy: {strategies:?}"
+        );
         assert_eq!(service.handle(&get("/nope")).status, 404);
         assert_eq!(service.handle(&get("/v1/synthesize")).status, 405);
     }
@@ -1877,6 +1898,55 @@ mod tests {
         // Identical specs dedupe the program step and stay byte-identical.
         assert_eq!(slots[1], slots[3]);
         assert_eq!(service.metrics().mvms.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn multi_output_jobs_serve_end_to_end() {
+        let service = Service::new(&ServiceConfig::default()).expect("service boots");
+        // One shared-BDD crossbar for a full adder bit: sum + carry.
+        let body = "{\"exprs\":[\"x0 ^ x1 ^ x2\",\"x0 x1 + x0 x2 + x1 x2\"],\"verify\":true}";
+        let ok = service.handle(&post("/v1/synthesize", body));
+        assert_eq!(ok.status, 200);
+        let json = body_json(&ok);
+        assert_eq!(json.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(json.get("strategy").unwrap().as_str(), Some("bdd"));
+        assert_eq!(json.get("technology").unwrap().as_str(), Some("sneak-path"));
+        assert_eq!(json.get("outputs").unwrap().as_u64(), Some(2));
+        assert_eq!(json.get("verified"), Some(&Json::Bool(true)));
+        // Byte-identical on repeat (second run is cache-served).
+        let again = service.handle(&post("/v1/synthesize", body));
+        assert_eq!(ok.body, again.body);
+
+        // Multi slots ride along in batches; a multi-output PLA body is
+        // the same job, and identical specs dedupe to one fingerprint.
+        let pla =
+            ".i 3\\n.o 2\\n11- 01\\n1-1 01\\n-11 01\\n100 10\\n010 10\\n001 10\\n111 10\\n.e\\n";
+        let batch = service.handle(&post(
+            "/v1/batch",
+            &format!(
+                "{{\"jobs\":[\
+                 {{\"exprs\":[\"x0 ^ x1 ^ x2\",\"x0 x1 + x0 x2 + x1 x2\"]}},\
+                 {{\"pla\":\"{pla}\"}},\
+                 {{\"exprs\":[\"x0 ^ x1 ^ x2\",\"x0 x1 + x0 x2 + x1 x2\"],\
+                   \"strategy\":\"fet\"}},\
+                 {{\"expr\":\"x0 x1\",\"strategy\":\"fet\"}}]}}"
+            ),
+        ));
+        assert_eq!(batch.status, 200);
+        let slots = body_json(&batch);
+        let slots = slots.get("results").unwrap().as_array().unwrap();
+        assert_eq!(slots.len(), 4);
+        assert_eq!(slots[0].get("outputs").unwrap().as_u64(), Some(2));
+        assert_eq!(slots[1].get("strategy").unwrap().as_str(), Some("bdd"));
+        // A non-"bdd" strategy on a multi slot poisons that slot only.
+        assert_eq!(slots[2].get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(slots[2].get("kind").unwrap().as_str(), Some("multi-spec"));
+        assert_eq!(slots[3].get("ok"), Some(&Json::Bool(true)));
+
+        // 2 one-shots + 3 batch multi jobs attempted; 4 succeeded with 2
+        // outputs each.
+        assert_eq!(service.metrics().multis.load(Ordering::Relaxed), 4);
+        assert_eq!(service.metrics().multi_outputs.load(Ordering::Relaxed), 8);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`reliability`] — defects, fault simulation, BIST/BISD/BISM, and the
 //!   defect-unaware flow (Sec. IV, Fig. 6);
 //! * [`core`] — the Sec. V nanocomputer elements (adders, registers, SSM);
+//! * [`bddsynth`] — the multi-output BDD → sneak-path crossbar compiler
+//!   behind `strategy: "bdd"` ([`engine::Job::synthesize_multi`]);
 //! * [`mvm`] — the analog in-memory-compute subsystem: differential-pair
 //!   conductance programming and Monte-Carlo matrix-vector execution on
 //!   defective, variation-afflicted crossbars ([`engine::Job::mvm`]);
@@ -47,13 +49,14 @@
 //!     .into_iter()
 //!     .map(|r| Ok(r?.area()))
 //!     .collect::<Result<_, nanoxbar::engine::Error>>()?;
-//! assert_eq!(areas, [10, 16, 4, 4]); // diode, fet, dual-lattice, optimal
+//! assert_eq!(areas, [10, 16, 4, 4, 8]); // diode, fet, dual-lattice, optimal, bdd
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use nanoxbar_bddsynth as bddsynth;
 pub use nanoxbar_core as core;
 pub use nanoxbar_crossbar as crossbar;
 pub use nanoxbar_engine as engine;

@@ -41,6 +41,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("synth") => cmd_synth(&args[1..]),
+        Some("bdd") => cmd_bdd(&args[1..]),
         Some("lattice") => cmd_lattice(&args[1..]),
         Some("pla") => cmd_pla(&args[1..]),
         Some("bist") => cmd_bist(&args[1..]),
@@ -61,6 +62,10 @@ fn print_help() {
            nanoxbar synth <expr> [--tech diode|fet|lattice|optimal]\n\
                synthesise a Boolean expression on one or all strategies\n\
                (runs as one engine batch across the thread pool)\n\
+           nanoxbar bdd <expr> [<expr> ...] | nanoxbar bdd --pla <file>\n\
+               compile every output onto ONE shared-BDD sneak-path\n\
+               crossbar (multi-output synthesis; common subgraphs are\n\
+               realised once) and verify each output by replay\n\
            nanoxbar lattice <expr> [--pcircuit] [--compact] [--optimal]\n\
                four-terminal lattice synthesis variants with areas\n\
            nanoxbar pla <file> [--share]\n\
@@ -188,6 +193,75 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
         }
     }
     println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_bdd(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let pla_path = take_option(&mut args, "--pla");
+    let outputs: Vec<TruthTable> = match pla_path {
+        Some(path) => {
+            if let Some(stray) = args.first() {
+                return Err(format!("unexpected argument {stray:?} next to --pla"));
+            }
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let pla = nanoxbar::logic::pla::parse_pla(&text).map_err(|e| e.to_string())?;
+            pla.outputs.iter().map(|c| c.to_truth_table()).collect()
+        }
+        None => {
+            if args.is_empty() {
+                return Err("missing expression arguments (or --pla FILE)".into());
+            }
+            let mut parsed = Vec::with_capacity(args.len());
+            for expr in &args {
+                parsed.push(parse_function(expr).map_err(|e| format!("{expr:?}: {e}"))?);
+            }
+            // One crossbar, one input bus: align every output to the
+            // widest arity before compiling.
+            let arity = parsed.iter().map(TruthTable::num_vars).max().unwrap_or(1);
+            parsed
+                .into_iter()
+                .map(|f| {
+                    let extra = arity - f.num_vars();
+                    f.extend_vars(extra)
+                })
+                .collect()
+        }
+    };
+
+    let engine = Engine::new();
+    let result = engine
+        .run(&Job::synthesize_multi(outputs.clone()).verified(true))
+        .map_err(|e| e.to_string())?;
+    let realization = result
+        .realization
+        .as_ref()
+        .expect("synthesis jobs carry a realization");
+    let nanoxbar::engine::Realization::Bdd(xbar) = realization.as_ref() else {
+        return Err("bdd jobs always realise a sneak-path crossbar".into());
+    };
+    println!(
+        "shared-BDD sneak-path crossbar: {} ({} programmed junctions, depth {}), \
+         {} outputs over {} inputs",
+        realization.size(),
+        realization.area(),
+        xbar.depth(),
+        xbar.num_outputs(),
+        xbar.num_vars()
+    );
+    println!("sifted variable order: {:?}", xbar.variable_order());
+    let realized = xbar.functions();
+    let mut table = Table::new(&["output", "root row", "verified"]);
+    for (o, f) in outputs.iter().enumerate() {
+        table.row_owned(vec![
+            o.to_string(),
+            xbar.root_row(o).to_string(),
+            (realized.get(o) == Some(f)).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("verified: {}", result.verified.unwrap_or(false));
     Ok(())
 }
 
@@ -704,6 +778,8 @@ mod tests {
             "x0 x1 + !x0 !x1",
         ]);
         ok(&["map", "16", "--bism", "hybrid:3", "x0 ^ x1"]);
+        ok(&["bdd", "x0 ^ x1 ^ x2", "x0 x1 + x0 x2 + x1 x2"]);
+        ok(&["bdd", "x0", "x1 x2"]);
         ok(&["mvm", "8x8", "--trials", "4"]);
         ok(&[
             "mvm",
@@ -724,6 +800,20 @@ mod tests {
     }
 
     #[test]
+    fn bdd_pla_command_runs() {
+        let path = std::env::temp_dir().join(format!("nanoxbar-bdd-{}.pla", std::process::id()));
+        let text = ".i 3\n.o 2\n11- 01\n1-1 01\n-11 01\n100 10\n010 10\n001 10\n111 10\n.e\n";
+        std::fs::write(&path, text).unwrap();
+        let argv: Vec<String> = vec![
+            "bdd".into(),
+            "--pla".into(),
+            path.to_string_lossy().into_owned(),
+        ];
+        run(&argv).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn errors_are_reported() {
         let run_err = |argv: &[&str]| {
             run(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>())
@@ -741,6 +831,9 @@ mod tests {
         run_err(&["mvm", "4x4", "--trials", "0"]);
         run_err(&["mvm", "4x4", "--p-open", "0.8", "--p-closed", "0.7"]);
         run_err(&["mvm", "4x4", "stray"]);
+        run_err(&["bdd"]);
+        run_err(&["bdd", "x0 + !x0"]);
+        run_err(&["bdd", "--pla", "/nonexistent/file.pla"]);
         run_err(&["frobnicate"]);
         run_err(&["serve", "--threads", "0"]);
         run_err(&["serve", "--cache-capacity", "many"]);

@@ -43,7 +43,7 @@ fn pla_to_crossbar_pipeline() {
     let f = nanoxbar::logic::parse_function("x0 x1 + !x2").unwrap();
     let text = pla::write_pla(&isop_cover(&f));
     let parsed = pla::parse_pla(&text).unwrap();
-    let cover = parsed.single_output();
+    let cover = parsed.single_output().unwrap();
     assert!(cover.computes(&f));
     let r = nanoxbar::engine::synthesize(&cover.to_truth_table(), Technology::Diode).unwrap();
     assert!(r.computes(&f));
