@@ -26,11 +26,16 @@
 //! `--state-dir DIR` to add a third comparison: a cold server persisting
 //! to DIR vs a **warm restart** replaying DIR's durable cache log (the
 //! warm server must start at a 100% hit rate and answer every request
-//! byte-identically to the cold run), and `--peers N` (N ≥ 2) to add a
+//! byte-identically to the cold run), `--peers N` (N ≥ 2) to add a
 //! fleet comparison: N replicas sharing work via consistent-hash peer
 //! cache fills, measured with all replicas up and again with one shut
 //! down mid-fleet — both must answer byte-identically to the
-//! single-replica pass.
+//! single-replica pass, and `--idle-clients N` to add a reactor
+//! comparison: N keep-alive connections are warmed and *parked* (no
+//! request in flight) while the active clients re-drive the cached
+//! workload — parked connections hold no worker thread, so active
+//! throughput must stay near the zero-idle pass and every body must be
+//! byte-identical to it.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -136,6 +141,11 @@ fn post(
         )
         .as_bytes(),
     )?;
+    read_response(reader)
+}
+
+/// Reads one keep-alive response off the stream and returns its body.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
     let mut status = String::new();
     reader.read_line(&mut status)?;
     let mut length = 0usize;
@@ -153,6 +163,25 @@ fn post(
     let mut bytes = vec![0u8; length];
     reader.read_exact(&mut bytes)?;
     Ok(String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Opens `idle` keep-alive connections, warms each with one completed
+/// `/healthz` round trip, and returns the sockets so the caller holds
+/// them open for the whole pass. The server parks them in its reactor:
+/// they consume no worker thread while the active clients drive load.
+fn park_idle_connections(addr: &str, idle: usize) -> Vec<TcpStream> {
+    (0..idle)
+        .map(|i| {
+            let mut stream =
+                TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect idle {i}: {e}"));
+            stream
+                .write_all(format!("GET /healthz HTTP/1.1\r\nhost: {addr}\r\n\r\n").as_bytes())
+                .expect("idle warm-up request");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone idle stream"));
+            read_response(&mut reader).expect("idle warm-up response");
+            stream
+        })
+        .collect()
 }
 
 fn get(addr: &str, path: &str) -> std::io::Result<String> {
@@ -181,16 +210,25 @@ struct PassReport {
     p99: Duration,
     hit_rate: f64,
     steals: u64,
+    /// The reactor's registered-connection gauge at scrape time (parked
+    /// idles plus the scraping connection itself).
+    reactor_connections: f64,
+    /// Reactor wakeups over the pass — parked connections must not add
+    /// any (a wakeup is O(ready), so this is the spurious-wake canary).
+    reactor_wakeups: f64,
     bodies: Vec<Vec<String>>,
 }
 
-/// Runs one full pass: fresh server, closed-loop clients, metrics scrape.
+/// Runs one full pass: fresh server, closed-loop clients, metrics
+/// scrape. With `idle > 0`, that many warmed keep-alive connections are
+/// parked in the server's reactor for the duration of the load.
 fn run_pass(
     clients: usize,
     requests: usize,
     bodies: &[(String, String)],
     cache: usize,
     state_dir: Option<&std::path::Path>,
+    idle: usize,
 ) -> PassReport {
     let server = Server::bind(ServiceConfig {
         addr: "127.0.0.1:0".into(),
@@ -203,6 +241,7 @@ fn run_pass(
     let handle = server.start().expect("start service");
     let addr = handle.addr().to_string();
     let steals_before = nanoxbar_par::pool_stats().steals;
+    let parked = park_idle_connections(&addr, idle);
 
     let started = Instant::now();
     let logs: Vec<ClientLog> = std::thread::scope(|scope| {
@@ -243,9 +282,14 @@ fn run_pass(
     });
     let elapsed = started.elapsed();
 
+    // Scrape while the parked connections are still open so the
+    // reactor gauge reflects them, then let them drop.
     let metrics = get(&addr, "/metrics").expect("scrape metrics");
     let hits = scrape(&metrics, "nanoxbar_cache_hits_total");
     let misses = scrape(&metrics, "nanoxbar_cache_misses_total");
+    let reactor_connections = scrape(&metrics, "nanoxbar_reactor_connections");
+    let reactor_wakeups = scrape(&metrics, "nanoxbar_reactor_wakeups_total");
+    drop(parked);
     handle.shutdown();
 
     let mut latencies: Vec<Duration> = logs.iter().flat_map(|l| l.latencies.clone()).collect();
@@ -261,6 +305,8 @@ fn run_pass(
             0.0
         },
         steals: nanoxbar_par::pool_stats().steals - steals_before,
+        reactor_connections,
+        reactor_wakeups,
         bodies: logs.into_iter().map(|l| l.bodies).collect(),
     }
 }
@@ -391,6 +437,8 @@ fn run_fleet_pass(
                 0.0
             },
             steals: 0,
+            reactor_connections: 0.0,
+            reactor_wakeups: 0.0,
             bodies: logs.into_iter().map(|l| l.bodies).collect(),
         },
         fills,
@@ -452,8 +500,8 @@ fn main() {
     let bodies = request_bodies(distinct, mvm_mix, bdd_mix);
     // Warm pass order: uncached first so the cached pass cannot benefit
     // from OS-level warmup it didn't earn.
-    let uncached = run_pass(clients, requests, &bodies, 0, None);
-    let cached = run_pass(clients, requests, &bodies, cache, None);
+    let uncached = run_pass(clients, requests, &bodies, 0, None, 0);
+    let cached = run_pass(clients, requests, &bodies, cache, None, 0);
 
     let mut table = Table::new(&[
         "pass",
@@ -489,6 +537,61 @@ fn main() {
         cached.hit_rate > 0.4,
         "duplicate-heavy run must hit the cache"
     );
+
+    let idle = arg("--idle-clients", 0);
+    if idle > 0 {
+        println!();
+        println!("idle keep-alive comparison ({idle} parked connections, reactor-held)");
+        let parked = run_pass(clients, requests, &bodies, cache, None, idle);
+
+        let mut table = Table::new(&[
+            "pass",
+            "throughput req/s",
+            "p50",
+            "p99",
+            "reactor connections",
+            "reactor wakeups",
+        ]);
+        for (name, pass) in [
+            ("0 idle".to_string(), &cached),
+            (format!("{idle} idle"), &parked),
+        ] {
+            table.row_owned(vec![
+                name,
+                f2(pass.throughput),
+                format!("{:?}", pass.p50),
+                format!("{:?}", pass.p99),
+                format!("{:.0}", pass.reactor_connections),
+                format!("{:.0}", pass.reactor_wakeups),
+            ]);
+        }
+        println!("{}", table.render());
+
+        assert!(
+            parked.reactor_connections >= idle as f64,
+            "the reactor gauge must register every parked connection \
+             (saw {:.0}, expected >= {idle})",
+            parked.reactor_connections
+        );
+        assert_eq!(
+            parked.bodies, cached.bodies,
+            "parked connections must not change a single response byte"
+        );
+        let ratio = parked.throughput / cached.throughput;
+        println!(
+            "active throughput with {idle} parked: {:.2}x of zero-idle \
+             (bodies bit-identical: true)",
+            ratio
+        );
+        // Parked connections hold no worker and no timer; the reactor
+        // cost is one pollfd each. The 0.5 floor is a loose regression
+        // tripwire — loaded CI boxes are too noisy for the nominal
+        // >=0.9 to be a hard assert here.
+        assert!(
+            ratio >= 0.5,
+            "throughput collapsed under parked connections: {ratio:.2}x"
+        );
+    }
 
     let fleet_size = arg("--peers", 0);
     if fleet_size >= 2 {
@@ -556,10 +659,10 @@ fn main() {
         println!("warm-start comparison (state dir {})", dir.display());
         // A true cold start: nothing durable yet.
         std::fs::remove_dir_all(&dir).ok();
-        let cold = run_pass(clients, requests, &bodies, cache, Some(&dir));
+        let cold = run_pass(clients, requests, &bodies, cache, Some(&dir), 0);
         // The shutdown above flushed the log; this server replays it and
         // starts with every distinct job already cached.
-        let warm = run_pass(clients, requests, &bodies, cache, Some(&dir));
+        let warm = run_pass(clients, requests, &bodies, cache, Some(&dir), 0);
 
         let mut table = Table::new(&["pass", "throughput req/s", "p50", "p99", "cache hit rate"]);
         for (name, pass) in [("state cold", &cold), ("state warm", &warm)] {

@@ -2,9 +2,13 @@
 //!
 //! Implements just what the service needs: request parsing
 //! (request-line + headers + `Content-Length` body, keep-alive by
-//! default), and response writing with explicit `Content-Length`. No
-//! chunked encoding, no TLS, no HTTP/2 — clients that need more sit
-//! behind a reverse proxy, which is how std-only services deploy anyway.
+//! default) in two flavours — the blocking [`read_request`] and the
+//! incremental [`RequestParser`] the readiness reactor feeds from
+//! non-blocking reads — plus response writing with explicit
+//! `Content-Length` and chunked (`Transfer-Encoding: chunked`) response
+//! framing for streamed batches. No chunked *request* bodies, no TLS,
+//! no HTTP/2 — clients that need more sit behind a reverse proxy, which
+//! is how std-only services deploy anyway.
 
 use std::io::{self, BufRead, Write};
 
@@ -143,23 +147,8 @@ const MAX_LINE: usize = 8 * 1024;
 /// Most headers accepted per request.
 const MAX_HEADERS: usize = 100;
 
-/// Reads one request off a keep-alive connection.
-///
-/// Returns `Ok(None)` on clean EOF before the first byte (the client hung
-/// up between requests — not an error).
-///
-/// # Errors
-///
-/// [`HttpError`] on malformed framing, an oversized body, or socket
-/// failure (including read timeouts).
-pub fn read_request<R: BufRead>(
-    stream: &mut R,
-    max_body: usize,
-) -> Result<Option<Request>, HttpError> {
-    let line = match read_line(stream)? {
-        None => return Ok(None),
-        Some(line) => line,
-    };
+/// Parses a request line (`METHOD target HTTP/1.x`).
+fn parse_request_line(line: &str) -> Result<(String, String, u8), HttpError> {
     let mut parts = line.split(' ');
     let method = parts
         .next()
@@ -176,39 +165,27 @@ pub fn read_request<R: BufRead>(
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("unsupported HTTP version"));
     }
-    let version_minor = u8::from(version != "HTTP/1.0");
+    Ok((method, path, u8::from(version != "HTTP/1.0")))
+}
 
-    let mut headers = Vec::new();
-    loop {
-        let line = read_line(stream)?.ok_or(HttpError::Malformed("eof inside headers"))?;
-        if line.is_empty() {
-            break;
-        }
-        if headers.len() >= MAX_HEADERS {
-            return Err(HttpError::Malformed("too many headers"));
-        }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or(HttpError::Malformed("header without colon"))?;
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-    }
+/// Parses one `Name: value` header line.
+fn parse_header_line(line: &str) -> Result<(String, String), HttpError> {
+    let (name, value) = line
+        .split_once(':')
+        .ok_or(HttpError::Malformed("header without colon"))?;
+    Ok((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+}
 
-    let request = Request {
-        method,
-        path,
-        version_minor,
-        headers,
-        body: Vec::new(),
-    };
-    // Only Content-Length framing is implemented; silently treating a
-    // chunked body as empty would desynchronise the keep-alive stream
-    // (request smuggling), so refuse it outright.
+/// The declared body length of a parsed head, with the two classic
+/// request-smuggling vectors refused: chunked (or any
+/// `Transfer-Encoding`) request bodies — silently treating one as empty
+/// would desynchronise the keep-alive stream — and duplicate
+/// `Content-Length` headers (two parties picking different values),
+/// rejected per RFC 9112 §6.3 instead of silently taking the first.
+fn declared_body_length(request: &Request, max_body: usize) -> Result<usize, HttpError> {
     if request.header("transfer-encoding").is_some() {
         return Err(HttpError::Malformed("transfer-encoding not supported"));
     }
-    // Duplicate Content-Length headers are the other classic smuggling
-    // vector (two parties picking different values): reject per RFC 9112
-    // §6.3 instead of silently taking the first.
     let mut lengths = request
         .headers
         .iter()
@@ -226,6 +203,48 @@ pub fn read_request<R: BufRead>(
             limit: max_body,
         });
     }
+    Ok(length)
+}
+
+/// Reads one request off a keep-alive connection.
+///
+/// Returns `Ok(None)` on clean EOF before the first byte (the client hung
+/// up between requests — not an error).
+///
+/// # Errors
+///
+/// [`HttpError`] on malformed framing, an oversized body, or socket
+/// failure (including read timeouts).
+pub fn read_request<R: BufRead>(
+    stream: &mut R,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
+    let line = match read_line(stream)? {
+        None => return Ok(None),
+        Some(line) => line,
+    };
+    let (method, path, version_minor) = parse_request_line(&line)?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(stream)?.ok_or(HttpError::Malformed("eof inside headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers"));
+        }
+        headers.push(parse_header_line(&line)?);
+    }
+
+    let request = Request {
+        method,
+        path,
+        version_minor,
+        headers,
+        body: Vec::new(),
+    };
+    let length = declared_body_length(&request, max_body)?;
     let mut body = vec![0u8; length];
     stream.read_exact(&mut body)?;
     Ok(Some(Request { body, ..request }))
@@ -262,6 +281,103 @@ fn read_line<R: BufRead>(stream: &mut R) -> Result<Option<String>, HttpError> {
     }
 }
 
+/// Incremental request parser for non-blocking reads: the reactor
+/// [`RequestParser::feed`]s it whatever bytes a readable socket yields,
+/// then asks [`RequestParser::try_next`] whether a complete request has
+/// accumulated. Grammar and limits are exactly [`read_request`]'s
+/// (shared helpers), so the reactor accepts and rejects the same wire
+/// bytes the blocking path did.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buffer: Vec<u8>,
+}
+
+impl RequestParser {
+    /// A parser with an empty buffer.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Appends freshly-read socket bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a parsed request. Non-zero
+    /// between requests means a pipelined request is already waiting.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Tries to parse one complete request off the front of the buffer.
+    /// `Ok(None)` means "incomplete — feed more bytes"; a parsed request
+    /// consumes its bytes, leaving any pipelined successor buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::Malformed`] / [`HttpError::BodyTooLarge`] exactly as
+    /// [`read_request`] (a framing error poisons the connection: the
+    /// buffer position is no longer trustworthy).
+    pub fn try_next(&mut self, max_body: usize) -> Result<Option<Request>, HttpError> {
+        // Locate the end of the head: the first empty line.
+        let mut lines = Vec::new();
+        let mut cursor = 0usize;
+        let head_end = loop {
+            let Some(nl) = self.buffer[cursor..].iter().position(|&b| b == b'\n') else {
+                // No terminator yet: enforce the per-line bound on the
+                // unterminated tail so a header dribbler cannot balloon
+                // the buffer, then wait for more bytes.
+                if self.buffer.len() - cursor > MAX_LINE {
+                    return Err(HttpError::Malformed("line too long"));
+                }
+                return Ok(None);
+            };
+            let mut line = &self.buffer[cursor..cursor + nl];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            if line.len() > MAX_LINE {
+                return Err(HttpError::Malformed("line too long"));
+            }
+            if line.is_empty() && !lines.is_empty() {
+                break cursor + nl + 1;
+            }
+            if line.is_empty() {
+                // Leading blank line before the request line: refuse (the
+                // blocking path would try to parse it as a request line).
+                return Err(HttpError::Malformed("empty request line"));
+            }
+            if lines.len() > MAX_HEADERS {
+                return Err(HttpError::Malformed("too many headers"));
+            }
+            let text = std::str::from_utf8(line)
+                .map_err(|_| HttpError::Malformed("non-utf8 header line"))?;
+            lines.push(text.to_string());
+            cursor += nl + 1;
+        };
+
+        let (method, path, version_minor) = parse_request_line(&lines[0])?;
+        let mut headers = Vec::with_capacity(lines.len() - 1);
+        for line in &lines[1..] {
+            headers.push(parse_header_line(line)?);
+        }
+        let request = Request {
+            method,
+            path,
+            version_minor,
+            headers,
+            body: Vec::new(),
+        };
+        let length = declared_body_length(&request, max_body)?;
+        if self.buffer.len() < head_end + length {
+            return Ok(None);
+        }
+        let body = self.buffer[head_end..head_end + length].to_vec();
+        self.buffer.drain(..head_end + length);
+        Ok(Some(Request { body, ..request }))
+    }
+}
+
 /// Serialises a response, honouring keep-alive (`close` appends
 /// `Connection: close`).
 ///
@@ -292,6 +408,51 @@ pub fn write_response<W: Write>(
     stream.flush()
 }
 
+/// [`write_response`] into owned bytes — how the reactor loads a
+/// response into a connection's write buffer.
+pub fn response_bytes(response: &Response, close: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(response.body.len() + 128);
+    write_response(&mut out, response, close).expect("writing to a Vec cannot fail");
+    out
+}
+
+/// The head of a chunked (`Transfer-Encoding: chunked`) streaming
+/// response. Body bytes follow as [`chunk_bytes`] frames, closed by
+/// [`CHUNKED_TAIL`]; de-chunked, the stream is an ordinary body.
+pub fn chunked_head(status: u16, content_type: &str, close: bool) -> Vec<u8> {
+    let reason = Response {
+        status,
+        content_type: "",
+        body: Vec::new(),
+        retry_after: None,
+    };
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\n",
+        reason.reason(),
+    );
+    if close {
+        head.push_str("connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    head.into_bytes()
+}
+
+/// One chunk frame (`{len:x}\r\n{bytes}\r\n`). Empty input yields no
+/// frame — a zero-length chunk would terminate the stream early.
+pub fn chunk_bytes(bytes: &[u8]) -> Vec<u8> {
+    if bytes.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(bytes.len() + 16);
+    out.extend_from_slice(format!("{:x}\r\n", bytes.len()).as_bytes());
+    out.extend_from_slice(bytes);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// The terminating frame of a chunked response (no trailers).
+pub const CHUNKED_TAIL: &[u8] = b"0\r\n\r\n";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,26 +462,41 @@ mod tests {
         read_request(&mut BufReader::new(text.as_bytes()), 1024)
     }
 
+    /// The same wire bytes through the incremental parser.
+    fn parse_incremental(text: &str) -> Result<Option<Request>, HttpError> {
+        let mut parser = RequestParser::new();
+        parser.feed(text.as_bytes());
+        parser.try_next(1024)
+    }
+
     #[test]
     fn parses_a_post_with_body() {
-        let req = parse("POST /v1/synthesize HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
-            .unwrap()
-            .unwrap();
-        assert_eq!(req.method, "POST");
-        assert_eq!(req.path, "/v1/synthesize");
-        assert_eq!(req.header("host"), Some("x"));
-        assert_eq!(req.body, b"abcd");
-        assert!(!req.wants_close());
+        for parsed in [
+            parse("POST /v1/synthesize HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd"),
+            parse_incremental(
+                "POST /v1/synthesize HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+            ),
+        ] {
+            let req = parsed.unwrap().unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/v1/synthesize");
+            assert_eq!(req.header("host"), Some("x"));
+            assert_eq!(req.body, b"abcd");
+            assert!(!req.wants_close());
+        }
     }
 
     #[test]
     fn parses_get_without_body_and_lf_only_lines() {
-        let req = parse("GET /healthz HTTP/1.1\nConnection: close\n\n")
-            .unwrap()
-            .unwrap();
-        assert_eq!(req.method, "GET");
-        assert!(req.body.is_empty());
-        assert!(req.wants_close());
+        for parsed in [
+            parse("GET /healthz HTTP/1.1\nConnection: close\n\n"),
+            parse_incremental("GET /healthz HTTP/1.1\nConnection: close\n\n"),
+        ] {
+            let req = parsed.unwrap().unwrap();
+            assert_eq!(req.method, "GET");
+            assert!(req.body.is_empty());
+            assert!(req.wants_close());
+        }
     }
 
     #[test]
@@ -340,14 +516,26 @@ mod tests {
 
     #[test]
     fn chunked_bodies_are_refused_not_smuggled() {
-        assert!(matches!(
+        for result in [
             parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
-            Err(HttpError::Malformed("transfer-encoding not supported"))
-        ));
-        assert!(matches!(
+            parse_incremental("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+        ] {
+            assert!(matches!(
+                result,
+                Err(HttpError::Malformed("transfer-encoding not supported"))
+            ));
+        }
+        for result in [
             parse("POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 0\r\n\r\nab"),
-            Err(HttpError::Malformed("duplicate content-length"))
-        ));
+            parse_incremental(
+                "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 0\r\n\r\nab",
+            ),
+        ] {
+            assert!(matches!(
+                result,
+                Err(HttpError::Malformed("duplicate content-length"))
+            ));
+        }
     }
 
     #[test]
@@ -365,6 +553,63 @@ mod tests {
         assert!(matches!(
             parse("POST / HTTP/1.1\r\nContent-Length: two\r\n\r\n"),
             Err(HttpError::Malformed(_))
+        ));
+        // The incremental parser agrees on every framing error…
+        assert!(matches!(
+            parse_incremental("GET\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_incremental("GET / SPDY/9\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_incremental("POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
+            Err(HttpError::BodyTooLarge { declared: 9999, .. })
+        ));
+        // …but an empty buffer is simply "not yet", not EOF.
+        assert!(parse_incremental("").unwrap().is_none());
+    }
+
+    #[test]
+    fn incremental_parser_handles_split_feeds_and_pipelining() {
+        let mut parser = RequestParser::new();
+        let wire =
+            b"POST /v1/batch HTTP/1.1\r\ncontent-length: 2\r\n\r\nhiGET /healthz HTTP/1.1\r\n\r\n";
+        // Byte-at-a-time dribble: no premature parse, no byte lost.
+        for (i, byte) in wire.iter().enumerate() {
+            parser.feed(std::slice::from_ref(byte));
+            if i + 1 < 48 {
+                // Head (44 bytes) + body (2) land at byte 46 of this
+                // wire; before the body completes, try_next must keep
+                // answering "incomplete".
+                if i + 1 < 46 {
+                    assert!(parser.try_next(1024).unwrap().is_none(), "byte {i}");
+                }
+            }
+        }
+        let first = parser.try_next(1024).unwrap().expect("first request");
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.body, b"hi");
+        // The pipelined successor is already buffered and parses next.
+        assert!(parser.buffered() > 0);
+        let second = parser.try_next(1024).unwrap().expect("second request");
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/healthz");
+        assert_eq!(parser.buffered(), 0);
+        assert!(parser.try_next(1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn incremental_parser_bounds_header_dribble() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / HTTP/1.1\r\n");
+        // An unterminated line longer than MAX_LINE is refused even
+        // though no newline ever arrives — the slow-loris memory bound.
+        parser.feed(&vec![b'a'; MAX_LINE + 2]);
+        assert!(matches!(
+            parser.try_next(1024),
+            Err(HttpError::Malformed("line too long"))
         ));
     }
 
@@ -385,5 +630,23 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("retry-after: 2\r\n"), "{text}");
+        // response_bytes is the same serialisation.
+        assert_eq!(response_bytes(&shed, false), text.as_bytes());
+    }
+
+    #[test]
+    fn chunked_framing_round_trips() {
+        let head = String::from_utf8(chunked_head(200, "application/json", false)).unwrap();
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"), "{head}");
+        assert!(head.contains("transfer-encoding: chunked\r\n"));
+        assert!(!head.contains("content-length"), "{head}");
+        assert!(head.ends_with("\r\n\r\n"));
+        let closing = String::from_utf8(chunked_head(200, "application/json", true)).unwrap();
+        assert!(closing.contains("connection: close\r\n"));
+
+        assert_eq!(chunk_bytes(b"hello"), b"5\r\nhello\r\n");
+        assert_eq!(chunk_bytes(&[b'x'; 16]), b"10\r\nxxxxxxxxxxxxxxxx\r\n");
+        assert!(chunk_bytes(b"").is_empty(), "empty chunks must be elided");
+        assert_eq!(CHUNKED_TAIL, b"0\r\n\r\n");
     }
 }

@@ -1,8 +1,9 @@
 //! # nanoxbar-service
 //!
 //! A **dependency-free HTTP/1.1 synthesis service** over the
-//! [`nanoxbar_engine`] batch engine: `std::net::TcpListener`, a bounded
-//! acceptor + worker model, hand-rolled JSON ([`wire`]), and a
+//! [`nanoxbar_engine`] batch engine: non-blocking sockets driven by a
+//! std-only readiness reactor (see *Event-driven core* below), a bounded
+//! worker pool for request execution, hand-rolled JSON ([`wire`]), and a
 //! content-addressed result cache shared across requests
 //! ([`nanoxbar_engine::ResultCache`]). Every synthesis request runs as an
 //! [`Engine::run_batch`](nanoxbar_engine::Engine::run_batch) call, so the
@@ -16,7 +17,7 @@
 //! | `POST /v1/synthesize` | One job: expression or PLA body + options      |
 //! | `POST /v1/map`        | One job mapped onto a defective chip with BISM (resumable sessions via `"session"`/`"resume"`) |
 //! | `POST /v1/mvm`        | One analog matrix-vector product on a simulated crossbar chip |
-//! | `POST /v1/batch`      | Ordered multi-job with per-slot isolation (map and mvm slots welcome) |
+//! | `POST /v1/batch`      | Ordered multi-job with per-slot isolation (map and mvm slots welcome); `"stream":true` chunks slots out as they finish |
 //! | `GET /healthz`        | Liveness + registered strategies               |
 //! | `GET /metrics`        | Prometheus text: requests, latency histograms, map and mvm outcomes, cache hits/misses/weight, pool steals |
 //!
@@ -24,6 +25,82 @@
 //! fields; `"limits"` (`{"time_ms": 1..=60000, "sat_conflicts":
 //! 1..=10^9}`) bounds each job of the request so no accepted request can
 //! hold a pool worker indefinitely — out-of-range budgets are a `400`.
+//!
+//! ## Event-driven core
+//!
+//! Connections are owned by a single reactor thread built on the
+//! vendored `polling` readiness API (epoll(7) on Linux, poll(2)
+//! elsewhere). Sockets are non-blocking end to end: the reactor parks
+//! idle keep-alive connections at **zero thread cost**, accumulates
+//! request bytes as they arrive, and hands a connection to the worker
+//! pool only once a complete request sits in its read buffer. Responses
+//! travel back through the reactor as non-blocking writes against a
+//! per-connection write buffer, so a slow reader never holds a worker
+//! either. A connection's lifecycle:
+//!
+//! ```text
+//!            accept                    complete request parsed
+//! listener ─────────▶ Reading ──────────────────────────▶ Dispatched
+//!                      ▲   │ partial bytes arm a                │ worker runs the job(s);
+//!                      │   │ read-timeout timer;                │ response (or chunked
+//!                      │   │ a parked idle conn                 │ stream) queued to the
+//!                      │   │ holds NO timer                     │ reactor
+//!                      │   ▼                                    ▼
+//!                      │  timeout ──▶ close            write buffer drains
+//!                      │                               (Streaming: one chunk
+//!                      │        keep-alive: back        per finished job)
+//!                      └────────────── to Reading ◀─────────────┘
+//!                                                               │ connection limit hit /
+//!                                                               ▼ drain
+//!                                                    Closing ──▶ 503 + Retry-After,
+//!                                                               then close after grace
+//! ```
+//!
+//! Read/header timeouts are reactor timers kept in a side map that only
+//! holds *active* deadlines, so per-wakeup bookkeeping costs O(active
+//! requests), not O(parked connections) — 512 idle keep-alive
+//! connections cost a service under load within a few percent of zero.
+//! Graceful drain, `--max-body-bytes`, and 503 load-shedding with
+//! `Retry-After` all survive unchanged on the reactor, and outbound
+//! peer fills use the same non-blocking machinery (`peer::TcpDialer`
+//! waits for readiness with a deadline instead of blocking in `read`).
+//!
+//! ### Streaming batches
+//!
+//! `POST /v1/batch` with `"stream":true` answers with
+//! `Transfer-Encoding: chunked` and emits each slot **the moment its
+//! job finishes**, in input order — time-to-first-result no longer
+//! waits for the slowest slot. De-chunked, the bytes are identical to
+//! the buffered response for the same jobs:
+//!
+//! ```console
+//! $ curl -sN http://127.0.0.1:8080/v1/batch \
+//!     -d '{"stream":true,"jobs":[
+//!           {"expr":"x0 x1","strategy":"diode","label":"fast"},
+//!           {"expr":"x0 x1 x2 + x3 x4 x5 + x6 x7 x8",
+//!            "chip":{"rows":48,"cols":48,"seed":7,"defect_rate":0.6},
+//!            "map":{"strategy":"greedy","max_attempts":150000}}]}'
+//! {"count":2,"results":[{"ok":true,...,"label":"fast"}     <- arrives immediately
+//! ,{"ok":true,...,"map":{...}}                             <- arrives when the slow map finishes
+//! ]}
+//! ```
+//!
+//! ### Tuning
+//!
+//! | Knob               | Default | Meaning                                            |
+//! |--------------------|---------|----------------------------------------------------|
+//! | `--workers`        | 4       | Threads that *execute* requests; sizes for CPU work |
+//! | `--max-conns`      | 4096    | Open-connection ceiling; beyond it new clients are shed with `503` + `Retry-After` |
+//! | `--read-timeout`   | 5s      | Reactor timer on a *partially received* request (slow-loris bound); parked idle connections are exempt |
+//! | `--max-body-bytes` | 1 MiB   | Request-body ceiling, enforced while bytes accumulate in the reactor |
+//!
+//! Workers bound concurrent *execution*; `--max-conns` bounds concurrent
+//! *connections*. They are independent: thousands of idle keep-alive
+//! clients need no extra workers, while CPU-heavy batch load wants
+//! `--workers` near the core count regardless of connection count.
+//! `GET /healthz` reports the reactor's live connection gauge and
+//! `GET /metrics` exports `nanoxbar_reactor_*` families (connections,
+//! ready-queue depth, wakeups, timeouts, write-buffer high-water).
 //!
 //! Responses carry **no wall-clock fields** and use a deterministic
 //! encoder, so identical jobs produce byte-identical bodies whether they
@@ -309,6 +386,7 @@ pub mod http;
 pub mod metrics;
 pub mod peer;
 mod persist;
+mod reactor;
 mod server;
 mod session;
 pub mod wire;

@@ -87,8 +87,23 @@ pub struct Metrics {
     pub http_errors: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
-    /// Connections rejected because the pending queue was full.
+    /// Connections or requests rejected with `503`: the request queue
+    /// was full, or the connection ceiling was reached at accept time.
     pub rejected: AtomicU64,
+    /// Connections currently registered with the readiness reactor
+    /// (gauge) — parked idle keep-alives included.
+    pub reactor_connections: AtomicU64,
+    /// Parsed requests waiting in the reactor→worker queue (gauge).
+    pub reactor_queue_depth: AtomicU64,
+    /// Reactor event-loop iterations (poll wakeups: readiness, doorbell,
+    /// or timer).
+    pub reactor_wakeups: AtomicU64,
+    /// Connections closed because a request stayed incomplete past the
+    /// read deadline (slow-loris and stalled clients).
+    pub reactor_timeouts: AtomicU64,
+    /// Deepest per-connection write buffer observed, in bytes (gauge;
+    /// how far the engine has run ahead of the slowest reader).
+    pub reactor_write_high_water: AtomicU64,
     /// Engine jobs executed (batch slots count individually).
     pub jobs: AtomicU64,
     /// Jobs that returned a typed error.
@@ -261,6 +276,33 @@ impl Metrics {
             self.multi_outputs.load(Ordering::Relaxed),
         );
 
+        out.push_str(&format!(
+            "# HELP nanoxbar_reactor_connections Connections registered with the readiness reactor (parked idle keep-alives included).\n\
+             # TYPE nanoxbar_reactor_connections gauge\nnanoxbar_reactor_connections {}\n",
+            self.reactor_connections.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "# HELP nanoxbar_reactor_queue_depth Parsed requests waiting in the reactor-to-worker queue.\n\
+             # TYPE nanoxbar_reactor_queue_depth gauge\nnanoxbar_reactor_queue_depth {}\n",
+            self.reactor_queue_depth.load(Ordering::Relaxed)
+        ));
+        counter(
+            &mut out,
+            "nanoxbar_reactor_wakeups_total",
+            "Reactor event-loop iterations (readiness, doorbell, or timer).",
+            self.reactor_wakeups.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "nanoxbar_reactor_timeouts_total",
+            "Connections closed with a request incomplete past the read deadline.",
+            self.reactor_timeouts.load(Ordering::Relaxed),
+        );
+        out.push_str(&format!(
+            "# HELP nanoxbar_reactor_write_high_water_bytes Deepest per-connection write buffer observed.\n\
+             # TYPE nanoxbar_reactor_write_high_water_bytes gauge\nnanoxbar_reactor_write_high_water_bytes {}\n",
+            self.reactor_write_high_water.load(Ordering::Relaxed)
+        ));
         counter(
             &mut out,
             "nanoxbar_persist_records_appended_total",
@@ -475,6 +517,11 @@ mod tests {
             "nanoxbar_multi_jobs_total 0",
             "nanoxbar_multi_outputs_total 0",
             "nanoxbar_mvm_latency_seconds_count 0",
+            "nanoxbar_reactor_connections 0",
+            "nanoxbar_reactor_queue_depth 0",
+            "nanoxbar_reactor_wakeups_total 0",
+            "nanoxbar_reactor_timeouts_total 0",
+            "nanoxbar_reactor_write_high_water_bytes 0",
             "nanoxbar_persist_records_appended_total 0",
             "nanoxbar_persist_flush_errors_total 0",
             "nanoxbar_persist_compactions_total 0",

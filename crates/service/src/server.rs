@@ -1,21 +1,24 @@
-//! The bounded acceptor + worker server and the request router.
+//! The event-driven server core and the request router.
 //!
-//! One acceptor thread takes connections off the listener and pushes them
-//! onto a **bounded** queue; when the queue is full the connection is
-//! turned away immediately with `503` instead of piling up unbounded
+//! One acceptor thread takes connections off the listener and hands them
+//! to the **readiness reactor** (see [`crate::reactor`]): a single
+//! thread that parks every connection on non-blocking sockets behind
+//! `poll(2)`, parses requests incrementally, and pushes only **complete
+//! requests** onto a bounded queue; when the queue is full the request
+//! is turned away with `503` instead of piling up unbounded
 //! (load-shedding backpressure). A fixed set of worker threads pops
-//! connections and speaks keep-alive HTTP/1.1 on them. Synthesis itself
-//! is *not* done per worker: every request becomes an
+//! requests and computes responses — never touching a socket; response
+//! bytes travel back through the reactor's per-connection write buffers.
+//! Synthesis itself is *not* done per worker: every request becomes an
 //! [`Engine::run_batch`] call, which fans out on the process-wide
 //! `nanoxbar-par` work-stealing pool — so one slow request parallelises
 //! across cores while cheap requests slip past it on other workers.
 
 use std::collections::HashMap;
-use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nanoxbar_engine::{
@@ -24,7 +27,7 @@ use nanoxbar_engine::{
 use nanoxbar_store::{StdVfs, Vfs};
 
 use crate::api::{bad_slot, parse_limits, parse_minimize, result_to_json, JobSpec, MapRequest};
-use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::http::{write_response, Request, Response};
 use crate::metrics::Metrics;
 use crate::peer::{Fleet, NetDialer, PeerTuning, TcpDialer};
 use crate::persist::{
@@ -32,6 +35,7 @@ use crate::persist::{
     flush_lag, key_from_json, open_state, spawn_persister, PersistCmd, PersisterState,
     RecoveryInfo, SessionRecord, StatePersister,
 };
+use crate::reactor::{Reactor, ReactorHandle, RequestQueue, ToReactor};
 use crate::session::{SessionEntry, SessionTable};
 use crate::wire::{object, Json};
 
@@ -48,15 +52,22 @@ pub struct ServiceConfig {
     /// (entries weigh their realization's crosspoint count); 0 disables
     /// caching.
     pub cache_capacity: usize,
-    /// Bound of the pending-connection queue; connections beyond it are
-    /// rejected with `503`.
+    /// Bound of the parsed-request queue between the reactor and the
+    /// workers; requests beyond it are rejected with `503`.
     pub queue_depth: usize,
+    /// Most connections the reactor holds at once (idle keep-alive
+    /// connections park for free, but each still costs a socket and a
+    /// parser buffer); connections beyond it are turned away with `503`
+    /// at accept time.
+    pub max_conns: usize,
     /// Largest accepted request body, in bytes.
     pub max_body_bytes: usize,
     /// Most jobs accepted in one `/v1/batch` request.
     pub max_batch_jobs: usize,
-    /// Per-read socket timeout (bounds how long an idle keep-alive
-    /// connection can hold a worker).
+    /// Per-request read deadline: starts when the first byte of a
+    /// request arrives and covers the complete head + body (the
+    /// slow-loris bound). Connections idle *between* requests park in
+    /// the reactor indefinitely at no thread cost.
     pub read_timeout: Duration,
     /// Directory for the durable state logs (`cache.log`,
     /// `sessions.log`); `None` keeps all state in memory.
@@ -102,6 +113,7 @@ impl Default for ServiceConfig {
             // typical realizations.
             cache_capacity: 65536,
             queue_depth: 256,
+            max_conns: 4096,
             max_body_bytes: 1 << 20,
             max_batch_jobs: 1024,
             read_timeout: Duration::from_secs(5),
@@ -566,6 +578,32 @@ impl Service {
                 ])
             }
         };
+        let reactor = object(vec![
+            (
+                "connections",
+                Json::from(self.metrics.reactor_connections.load(Ordering::Relaxed)),
+            ),
+            (
+                "queue_depth",
+                Json::from(self.metrics.reactor_queue_depth.load(Ordering::Relaxed)),
+            ),
+            (
+                "wakeups",
+                Json::from(self.metrics.reactor_wakeups.load(Ordering::Relaxed)),
+            ),
+            (
+                "timeouts",
+                Json::from(self.metrics.reactor_timeouts.load(Ordering::Relaxed)),
+            ),
+            (
+                "write_buffer_high_water",
+                Json::from(
+                    self.metrics
+                        .reactor_write_high_water
+                        .load(Ordering::Relaxed),
+                ),
+            ),
+        ]);
         Response::json(
             200,
             object(vec![
@@ -576,6 +614,7 @@ impl Service {
                 ("analog_mvm", Json::Str("analog-mvm".into())),
                 ("cache_enabled", Json::Bool(self.cache.is_some())),
                 ("pool_threads", Json::from(nanoxbar_par::threads())),
+                ("reactor", reactor),
                 ("persist", persist),
                 ("peers", peers),
             ])
@@ -995,23 +1034,31 @@ impl Service {
             Ok(parts) => parts,
             Err(response) => return response,
         };
+        self.batch_buffered(&json, minimize, limits)
+    }
+
+    /// Shared `/v1/batch` slot validation: specs that fail to parse keep
+    /// their slot (input-ordered responses) but never reach the engine;
+    /// valid jobs are moved — not cloned — into the engine batch.
+    #[allow(clippy::result_large_err)]
+    fn batch_slots(
+        &self,
+        json: &Json,
+        limits: Option<Limits>,
+    ) -> Result<(Vec<Option<String>>, Vec<Job>), Response> {
         let Some(slots) = json.get("jobs").and_then(Json::as_array) else {
-            return error_response(400, "batch needs a \"jobs\" array");
+            return Err(error_response(400, "batch needs a \"jobs\" array"));
         };
         if slots.len() > self.max_batch_jobs {
-            return error_response(
+            return Err(error_response(
                 400,
                 &format!(
                     "batch of {} jobs exceeds the limit of {}",
                     slots.len(),
                     self.max_batch_jobs
                 ),
-            );
+            ));
         }
-
-        // Specs that fail to parse keep their slot (input-ordered
-        // responses) but never reach the engine; valid jobs are moved —
-        // not cloned — into the engine batch.
         let mut slot_errors: Vec<Option<String>> = Vec::with_capacity(slots.len());
         let mut jobs: Vec<Job> = Vec::with_capacity(slots.len());
         for slot in slots {
@@ -1023,6 +1070,21 @@ impl Service {
                 Err(message) => slot_errors.push(Some(message)),
             }
         }
+        Ok((slot_errors, jobs))
+    }
+
+    /// The buffered (non-streaming) batch path: one engine batch, one
+    /// JSON body.
+    fn batch_buffered(
+        &self,
+        json: &Json,
+        minimize: MinimizeMode,
+        limits: Option<Limits>,
+    ) -> Response {
+        let (slot_errors, jobs) = match self.batch_slots(json, limits) {
+            Ok(parts) => parts,
+            Err(response) => return response,
+        };
         let engine_results = self.engine(minimize).run_batch(&jobs);
         self.count_maps(&engine_results);
         self.count_mvms(&engine_results);
@@ -1056,6 +1118,71 @@ impl Service {
             ])
             .encode(),
         )
+    }
+
+    /// `/v1/batch` with chunked streaming: a request carrying
+    /// `"stream": true` has its result slots **emitted as they finish**
+    /// instead of buffered until the last job completes.
+    ///
+    /// Returns `None` once the body has been fully emitted through
+    /// `emit`, or `Some(response)` when the request takes the buffered
+    /// path after all: `"stream"` absent or not `true`, or any request
+    /// error (errors are never streamed — a client that asked to stream
+    /// still gets a plain status it can switch on).
+    ///
+    /// The emitted fragments concatenate to **exactly** the buffered
+    /// body (`{"count":N,"results":[...]}`): slots are computed
+    /// sequentially in input order through the same [`Engine::run_batch`]
+    /// entry point, and engine determinism plus the shared result cache
+    /// make each slot byte-identical to what the one-shot batch renders.
+    pub(crate) fn batch_stream(
+        &self,
+        body: &[u8],
+        emit: &mut dyn FnMut(Vec<u8>),
+    ) -> Option<Response> {
+        let (json, minimize, limits) = match self.parse_request_head(body) {
+            Ok(parts) => parts,
+            Err(response) => return Some(response),
+        };
+        if json.get("stream").and_then(Json::as_bool) != Some(true) {
+            return Some(self.batch_buffered(&json, minimize, limits));
+        }
+        let (slot_errors, jobs) = match self.batch_slots(&json, limits) {
+            Ok(parts) => parts,
+            Err(response) => return Some(response),
+        };
+        Metrics::add(&self.metrics.jobs, slot_errors.len() as u64);
+        let mut jobs = jobs.into_iter();
+        let mut fragment = format!("{{\"count\":{},\"results\":[", slot_errors.len()).into_bytes();
+        for (index, slot) in slot_errors.iter().enumerate() {
+            let rendered = match slot {
+                Some(message) => {
+                    Metrics::bump(&self.metrics.job_errors);
+                    bad_slot("bad-request", message)
+                }
+                None => {
+                    let job = [jobs.next().expect("one job per valid spec")];
+                    let results = self.engine(minimize).run_batch(&job);
+                    self.count_maps(&results);
+                    self.count_mvms(&results);
+                    self.count_multis(&results);
+                    if results[0].is_err() {
+                        Metrics::bump(&self.metrics.job_errors);
+                    }
+                    result_to_json(&results[0])
+                }
+            };
+            if index > 0 {
+                fragment.push(b',');
+            }
+            fragment.extend_from_slice(rendered.encode().as_bytes());
+            emit(std::mem::take(&mut fragment));
+        }
+        // With zero slots the prefix never flushed; `]}` completes the
+        // body either way.
+        fragment.extend_from_slice(b"]}");
+        emit(fragment);
+        None
     }
 
     /// Shared request preamble: JSON parse + minimise-mode and per-request
@@ -1238,7 +1365,7 @@ fn parse_peer_session(body: &[u8]) -> Result<String, String> {
     Ok(id.to_string())
 }
 
-fn error_response(status: u16, message: &str) -> Response {
+pub(crate) fn error_response(status: u16, message: &str) -> Response {
     Response::json(
         status,
         object(vec![
@@ -1248,101 +1375,6 @@ fn error_response(status: u16, message: &str) -> Response {
         ])
         .encode(),
     )
-}
-
-/// The live-connection registry behind graceful drain: every connection a
-/// worker is serving registers a second handle to its socket here, so
-/// shutdown can wake readers blocked in a keep-alive `read` (via
-/// `shutdown(Read)`) instead of waiting out their read timeout. The
-/// `draining` flag tells workers to finish the response in flight and
-/// then close instead of looping for another request.
-#[derive(Default)]
-struct ConnRegistry {
-    streams: Mutex<HashMap<u64, TcpStream>>,
-    next_id: AtomicU64,
-    draining: AtomicBool,
-}
-
-impl ConnRegistry {
-    /// Tracks a connection for the drain; returns its registry ticket.
-    fn register(&self, stream: &TcpStream) -> Option<u64> {
-        let clone = stream.try_clone().ok()?;
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.streams
-            .lock()
-            .expect("registry poisoned")
-            .insert(id, clone);
-        Some(id)
-    }
-
-    fn deregister(&self, id: Option<u64>) {
-        if let Some(id) = id {
-            self.streams.lock().expect("registry poisoned").remove(&id);
-        }
-    }
-
-    /// Starts the drain: workers stop keep-alive looping after their
-    /// current response, and blocked readers wake with EOF. Responses
-    /// already being computed or written are not interrupted (only the
-    /// read half is shut down).
-    fn drain(&self) {
-        self.draining.store(true, Ordering::SeqCst);
-        for stream in self.streams.lock().expect("registry poisoned").values() {
-            let _ = stream.shutdown(std::net::Shutdown::Read);
-        }
-    }
-}
-
-/// The bounded hand-off between the acceptor and the workers.
-struct ConnQueue {
-    pending: Mutex<std::collections::VecDeque<TcpStream>>,
-    depth: usize,
-    ready: Condvar,
-    shutdown: AtomicBool,
-}
-
-impl ConnQueue {
-    fn new(depth: usize) -> ConnQueue {
-        ConnQueue {
-            pending: Mutex::new(std::collections::VecDeque::new()),
-            depth: depth.max(1),
-            ready: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-        }
-    }
-
-    /// Queues a connection; gives it back when the queue is full.
-    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut pending = self.pending.lock().expect("queue poisoned");
-        if pending.len() >= self.depth {
-            return Err(stream);
-        }
-        pending.push_back(stream);
-        drop(pending);
-        self.ready.notify_one();
-        Ok(())
-    }
-
-    /// Blocks for the next connection (FIFO — no connection starves);
-    /// `None` once shut down and drained.
-    fn pop(&self) -> Option<TcpStream> {
-        let mut pending = self.pending.lock().expect("queue poisoned");
-        loop {
-            if let Some(stream) = pending.pop_front() {
-                return Some(stream);
-            }
-            if self.shutdown.load(Ordering::SeqCst) {
-                return None;
-            }
-            pending = self.ready.wait(pending).expect("queue poisoned");
-        }
-    }
-
-    fn close(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        let _guard = self.pending.lock().expect("queue poisoned");
-        self.ready.notify_all();
-    }
 }
 
 /// A bound-but-not-yet-serving server (so callers can learn the ephemeral
@@ -1400,44 +1432,54 @@ impl Server {
         self.service.clone()
     }
 
-    /// Starts the acceptor and worker threads and returns a handle that
-    /// can stop them. Call from a dedicated thread or keep the handle
-    /// alive for the server's lifetime; [`ServerHandle::shutdown`] stops
-    /// accepting, drains queued connections, and joins every thread.
+    /// Starts the reactor, acceptor, and worker threads and returns a
+    /// handle that can stop them. Call from a dedicated thread or keep
+    /// the handle alive for the server's lifetime;
+    /// [`ServerHandle::shutdown`] stops accepting, drains in-flight
+    /// work, and joins every thread.
     pub fn start(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
-        let queue = Arc::new(ConnQueue::new(self.config.queue_depth));
-        let registry = Arc::new(ConnRegistry::default());
+        let metrics = self.service.metrics.clone();
+        let queue = Arc::new(RequestQueue::new(self.config.queue_depth, metrics.clone()));
+        let draining = Arc::new(AtomicBool::new(false));
+        let (reactor, handle) = Reactor::new(
+            queue.clone(),
+            metrics.clone(),
+            self.config.read_timeout,
+            self.config.max_body_bytes,
+        )?;
+        let reactor_thread = std::thread::Builder::new()
+            .name("nanoxbar-reactor".into())
+            .spawn(move || reactor.run())?;
 
         let mut workers = Vec::with_capacity(self.config.workers.max(1));
         for index in 0..self.config.workers.max(1) {
             let queue = queue.clone();
-            let registry = registry.clone();
+            let reactor = handle.clone();
+            let draining = draining.clone();
             let service = self.service.clone();
-            let read_timeout = self.config.read_timeout;
-            let max_body = self.config.max_body_bytes;
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("nanoxbar-http-{index}"))
                     .spawn(move || {
-                        while let Some(stream) = queue.pop() {
-                            let ticket = registry.register(&stream);
-                            handle_connection(&service, stream, read_timeout, max_body, &registry);
-                            registry.deregister(ticket);
+                        while let Some((conn, request)) = queue.pop() {
+                            serve_request(&service, &reactor, &draining, conn, &request);
                         }
                     })?,
             );
         }
 
         let acceptor = {
-            let queue = queue.clone();
+            let reactor = handle.clone();
+            let draining = draining.clone();
             let service = self.service.clone();
+            let max_conns = self.config.max_conns.max(1);
             let listener = self.listener;
             std::thread::Builder::new()
                 .name("nanoxbar-accept".into())
                 .spawn(move || {
                     for stream in listener.incoming() {
-                        if queue.shutdown.load(Ordering::SeqCst) {
+                        if draining.load(Ordering::SeqCst) {
                             break;
                         }
                         let stream = match stream {
@@ -1452,12 +1494,17 @@ impl Server {
                             }
                         };
                         Metrics::bump(&service.metrics.connections);
-                        if let Err(rejected) = queue.push(stream) {
-                            // Bounded queue full: shed load instead of
-                            // queueing unboundedly.
+                        let registered =
+                            service.metrics.reactor_connections.load(Ordering::Relaxed);
+                        if registered >= max_conns as u64 {
+                            // The reactor parks idle connections for
+                            // free, but sockets are not free: beyond the
+                            // ceiling, shed at accept time.
                             Metrics::bump(&service.metrics.rejected);
-                            shed_connection(rejected);
+                            shed_connection(stream);
+                            continue;
                         }
+                        reactor.send(ToReactor::Register(stream));
                     }
                 })?
         };
@@ -1465,9 +1512,11 @@ impl Server {
         Ok(ServerHandle {
             addr,
             queue,
-            registry,
+            reactor: handle,
+            draining,
             acceptor: Some(acceptor),
             workers,
+            reactor_thread: Some(reactor_thread),
             service: self.service,
         })
     }
@@ -1478,10 +1527,12 @@ impl Server {
 /// the process.
 pub struct ServerHandle {
     addr: SocketAddr,
-    queue: Arc<ConnQueue>,
-    registry: Arc<ConnRegistry>,
+    queue: Arc<RequestQueue>,
+    reactor: ReactorHandle,
+    draining: Arc<AtomicBool>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    reactor_thread: Option<std::thread::JoinHandle<()>>,
     service: Arc<Service>,
 }
 
@@ -1496,23 +1547,36 @@ impl ServerHandle {
         self.service.clone()
     }
 
-    /// Graceful drain: stops accepting, lets every in-flight request
-    /// finish its response (sent with `Connection: close`), wakes idle
-    /// keep-alive connections out of their blocking reads instead of
-    /// letting them run out their read timeout, drains queued
-    /// connections, and joins all threads.
+    /// Graceful drain: stops accepting, closes parked keep-alive
+    /// connections immediately (no timeout to run out — the reactor owns
+    /// them), lets every in-flight request finish its response (sent
+    /// with `Connection: close`), serves what was already queued, and
+    /// joins all threads.
     pub fn shutdown(mut self) {
-        // Order matters: flag the drain before closing the queue so a
-        // worker picking up a queued connection already sees it.
-        self.registry.drain();
-        self.queue.close();
+        // Order matters. Flag the drain first so workers picking up
+        // queued requests already answer `Connection: close`, then tell
+        // the reactor: parked connections close now, in-flight responses
+        // complete.
+        self.draining.store(true, Ordering::SeqCst);
+        self.reactor.send(ToReactor::Drain);
         // Unblock the acceptor's blocking `accept` with a no-op connect.
         let _ = TcpStream::connect(self.addr);
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        // No new requests can arrive (acceptor gone, parked conns
+        // closed); close the queue and let the workers finish what was
+        // already dispatched.
+        self.queue.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // Workers joined ⇒ every Respond/StreamEnd is already in the
+        // reactor inbox ahead of this Shutdown; the reactor flushes
+        // those responses (bounded) and exits.
+        self.reactor.send(ToReactor::Shutdown);
+        if let Some(reactor) = self.reactor_thread.take() {
+            let _ = reactor.join();
         }
         // Every request that will ever run has now finished: one final
         // synchronous flush puts the last cache admissions and session
@@ -1521,10 +1585,62 @@ impl ServerHandle {
     }
 }
 
-/// Turns a connection away with `503`, draining what the client already
-/// sent first: closing with unread bytes in the receive buffer makes many
-/// stacks send RST, which would discard the in-flight 503 and leave the
-/// client with a bare "connection reset" instead of the intended status.
+/// Computes and ships the response for one dispatched request. `/v1/batch`
+/// goes through [`Service::batch_stream`] so `"stream": true` requests
+/// emit chunked slots as they finish; everything else is one buffered
+/// [`Service::handle`] response.
+fn serve_request(
+    service: &Service,
+    reactor: &ReactorHandle,
+    draining: &AtomicBool,
+    conn: u64,
+    request: &Request,
+) {
+    if request.method == "POST" && request.path == "/v1/batch" {
+        Metrics::bump(&service.metrics.requests_batch);
+        let started = Instant::now();
+        let close = request.wants_close() || draining.load(Ordering::SeqCst);
+        let mut streaming = false;
+        let buffered = service.batch_stream(&request.body, &mut |bytes| {
+            if !streaming {
+                streaming = true;
+                reactor.send(ToReactor::StreamHead { conn, close });
+            }
+            reactor.send(ToReactor::StreamChunk { conn, bytes });
+        });
+        service.metrics.latency.observe(started.elapsed());
+        match buffered {
+            None => reactor.send(ToReactor::StreamEnd { conn }),
+            Some(response) => {
+                if response.status >= 400 {
+                    Metrics::bump(&service.metrics.http_errors);
+                }
+                // Re-check the drain after the (possibly long) handling:
+                // the response still goes out, but the connection closes.
+                let close = close || draining.load(Ordering::SeqCst);
+                reactor.send(ToReactor::Respond {
+                    conn,
+                    response,
+                    close,
+                });
+            }
+        }
+        return;
+    }
+    let response = service.handle(request);
+    let close = request.wants_close() || draining.load(Ordering::SeqCst);
+    reactor.send(ToReactor::Respond {
+        conn,
+        response,
+        close,
+    });
+}
+
+/// Turns a connection away with `503` at accept time (the `max_conns`
+/// ceiling), draining what the client already sent first: closing with
+/// unread bytes in the receive buffer makes many stacks send RST, which
+/// would discard the in-flight 503 and leave the client with a bare
+/// "connection reset" instead of the intended status.
 fn shed_connection(mut stream: TcpStream) {
     if write_response(
         &mut stream,
@@ -1543,57 +1659,6 @@ fn shed_connection(mut stream: TcpStream) {
         match std::io::Read::read(&mut stream, &mut sink) {
             Ok(0) | Err(_) => break,
             Ok(_) => {}
-        }
-    }
-}
-
-/// Speaks keep-alive HTTP on one connection until close/EOF/timeout — or
-/// until a drain begins, after which the current response is completed
-/// with `Connection: close` and the loop ends.
-fn handle_connection(
-    service: &Service,
-    stream: TcpStream,
-    read_timeout: Duration,
-    max_body: usize,
-    registry: &ConnRegistry,
-) {
-    let _ = stream.set_read_timeout(Some(read_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(writer) => writer,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        if registry.draining.load(Ordering::SeqCst) {
-            return;
-        }
-        match read_request(&mut reader, max_body) {
-            Ok(None) => return,
-            Ok(Some(request)) => {
-                let response = service.handle(&request);
-                // Re-check the drain after the (possibly long) handling:
-                // the response still goes out, but the connection closes.
-                let close = request.wants_close() || registry.draining.load(Ordering::SeqCst);
-                if write_response(&mut writer, &response, close).is_err() || close {
-                    return;
-                }
-            }
-            Err(HttpError::Io(_)) => return, // timeout or hangup
-            Err(HttpError::BodyTooLarge { declared, limit }) => {
-                Metrics::bump(&service.metrics.http_errors);
-                let _ = write_response(
-                    &mut writer,
-                    &error_response(413, &format!("body of {declared} bytes exceeds {limit}")),
-                    true,
-                );
-                return;
-            }
-            Err(HttpError::Malformed(what)) => {
-                Metrics::bump(&service.metrics.http_errors);
-                let _ = write_response(&mut writer, &error_response(400, what), true);
-                return;
-            }
         }
     }
 }

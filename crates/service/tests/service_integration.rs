@@ -4,8 +4,9 @@
 //! per-slot isolated, and **bit-identical** to rendering a direct
 //! `Engine::run_batch` of the same jobs.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 use nanoxbar_engine::{Engine, Job};
 use nanoxbar_service::{result_to_json, JobSpec, Json, Server, ServiceConfig};
@@ -41,6 +42,59 @@ fn read_one_response<R: BufRead>(reader: &mut R) -> (u16, String) {
     let mut body = vec![0u8; length];
     reader.read_exact(&mut body).expect("body");
     (status, String::from_utf8(body).expect("utf8 body"))
+}
+
+/// Reads one `Transfer-Encoding: chunked` response and returns the
+/// status plus every chunk payload stamped with its arrival time.
+/// Asserts the chunked framing itself: the header must be present, a
+/// `content-length` must not be, and the stream must end with the
+/// zero-size terminator.
+fn read_chunked_response<R: BufRead>(reader: &mut R) -> (u16, Vec<(Instant, Vec<u8>)>) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut chunked = false;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let lower = line.to_ascii_lowercase();
+        assert!(
+            !lower.starts_with("content-length:"),
+            "chunked response must not declare a content-length: {line}"
+        );
+        if lower == "transfer-encoding: chunked" {
+            chunked = true;
+        }
+    }
+    assert!(chunked, "response must be transfer-encoding: chunked");
+    let mut chunks = Vec::new();
+    loop {
+        let mut size_line = String::new();
+        reader.read_line(&mut size_line).expect("chunk size line");
+        let size = usize::from_str_radix(size_line.trim_end(), 16)
+            .unwrap_or_else(|e| panic!("bad chunk size {size_line:?}: {e}"));
+        if size == 0 {
+            let mut crlf = String::new();
+            reader.read_line(&mut crlf).expect("terminator crlf");
+            assert_eq!(crlf, "\r\n", "terminator chunk must end with bare CRLF");
+            break;
+        }
+        let mut payload = vec![0u8; size];
+        reader.read_exact(&mut payload).expect("chunk payload");
+        chunks.push((Instant::now(), payload));
+        let mut crlf = String::new();
+        reader.read_line(&mut crlf).expect("chunk crlf");
+        assert_eq!(crlf, "\r\n", "chunk payload must end with CRLF");
+    }
+    (status, chunks)
 }
 
 fn post_body(addr: &str, path: &str, body: &str) -> (u16, String) {
@@ -389,6 +443,220 @@ fn http_edges_over_real_sockets() {
     assert_eq!(status, 200);
     assert!(text.contains("nanoxbar_requests_total"), "{text}");
     assert!(text.contains("nanoxbar_http_errors_total"), "{text}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn streaming_batch_delivers_first_slot_before_the_last_job_completes() {
+    let server = Server::bind(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServiceConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = server.start().expect("start");
+
+    // Slot 0 is a cheap synthesis; slot 1 burns a large mapping-attempt
+    // budget on a defect-saturated chip, so the batch's total latency is
+    // dominated by its *last* job. A buffered client sees nothing until
+    // that job finishes; a streaming client must hold slot 0 long before.
+    let cheap = "{\"expr\":\"x0 x1 + !x0 !x1\",\"label\":\"fast\"}";
+    let heavy = "{\"expr\":\"x0 x1 x2 + x3 x4 x5 + x6 x7 x8 + x9 x10 x11\",\"label\":\"slow\",\
+                 \"chip\":{\"rows\":48,\"cols\":48,\"seed\":7,\"defect_rate\":0.6},\
+                 \"map\":{\"strategy\":\"greedy\",\"max_attempts\":150000}}";
+
+    // The streaming pass goes FIRST, against a cold cache — a warmed
+    // cache would make the heavy slot instant and prove nothing. The
+    // buffered pass afterwards must be byte-identical anyway; that is
+    // the service's determinism contract.
+    let body = format!("{{\"stream\":true,\"jobs\":[{cheap},{heavy}]}}");
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let started = Instant::now();
+    stream
+        .write_all(
+            format!(
+                "POST /v1/batch HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send");
+    let mut reader = BufReader::new(stream);
+    let (status, chunks) = read_chunked_response(&mut reader);
+    assert_eq!(status, 200);
+
+    // One fragment per slot (the first carries the envelope prefix) plus
+    // the closing `]}` — slot-at-a-time emission, not one big flush.
+    assert_eq!(chunks.len(), 3, "expected prefix+slot0, slot1, tail");
+    let first_text = String::from_utf8(chunks[0].1.clone()).expect("utf8 first fragment");
+    assert!(
+        first_text.starts_with("{\"count\":2,\"results\":["),
+        "first fragment must open the envelope and carry slot 0: {first_text}"
+    );
+    assert!(first_text.contains("\"label\":\"fast\""), "{first_text}");
+
+    // The timing proof: the first fragment landed while the heavy job
+    // was still running. The heavy tail must dominate the exchange for
+    // the assertion to mean anything, so check that too.
+    let first_at = chunks[0].0 - started;
+    let last_at = chunks.last().expect("tail chunk").0 - started;
+    assert!(
+        last_at >= Duration::from_millis(15),
+        "workload too light to demonstrate streaming: whole batch in {last_at:?}"
+    );
+    assert!(
+        first_at * 4 < last_at,
+        "first slot must arrive early: first at {first_at:?}, last at {last_at:?}"
+    );
+
+    // De-chunked, the streamed body is byte-identical to the buffered
+    // response for the very same jobs.
+    let (status, buffered) = post_body(
+        &addr,
+        "/v1/batch",
+        &format!("{{\"jobs\":[{cheap},{heavy}]}}"),
+    );
+    assert_eq!(status, 200, "{buffered}");
+    let streamed: Vec<u8> = chunks
+        .into_iter()
+        .flat_map(|(_, payload)| payload)
+        .collect();
+    assert_eq!(
+        String::from_utf8(streamed).expect("utf8 body"),
+        buffered,
+        "streamed body must be byte-identical to the buffered body"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn slow_loris_dribble_is_reaped_by_the_reactor_not_a_worker() {
+    let read_timeout = Duration::from_millis(500);
+    let server = Server::bind(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        // One worker: if the dribbling connection occupied it, the
+        // healthy client below could not be served until the timeout.
+        workers: 1,
+        read_timeout,
+        ..ServiceConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = server.start().expect("start");
+
+    // The loris: one header byte every 25ms, forever (from the server's
+    // point of view). The request-read deadline starts at the first byte
+    // and is *not* refreshed per byte, so the connection must die at
+    // ~read_timeout no matter how lively the trickle looks.
+    let mut loris = TcpStream::connect(&addr).expect("connect loris");
+    let started = Instant::now();
+    let dribbler = std::thread::spawn(move || {
+        let head = b"GET /healthz HTTP/1.1\r\nhost: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n";
+        for &byte in head.iter() {
+            if loris.write_all(&[byte]).is_err() {
+                break; // server reset us — expected, stop dribbling
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        loris
+    });
+
+    // While the dribble is in flight, the singleton worker serves other
+    // clients: the half-request never reaches the queue. Finishing all
+    // three exchanges before the loris deadline proves the overlap.
+    std::thread::sleep(Duration::from_millis(50));
+    for _ in 0..3 {
+        let (status, _) = exchange(
+            &addr,
+            b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+    }
+    assert!(
+        started.elapsed() < read_timeout,
+        "healthy clients must be served while the loris still dribbles"
+    );
+
+    // The loris is reaped: reads return EOF (or a reset), promptly.
+    let loris = dribbler.join().expect("dribbler");
+    loris
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("set timeout");
+    let mut rest = Vec::new();
+    let outcome = (&loris).read_to_end(&mut rest);
+    assert!(
+        outcome.is_err() || rest.is_empty(),
+        "timed-out dribble gets no response bytes, just a close: {rest:?}"
+    );
+    let lifetime = started.elapsed();
+    assert!(
+        lifetime < read_timeout * 4,
+        "loris must die near its deadline, lived {lifetime:?}"
+    );
+
+    // And the reaping is visible in the metrics.
+    let (status, text) = exchange(
+        &addr,
+        b"GET /metrics HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    let timeouts: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("nanoxbar_reactor_timeouts_total "))
+        .expect("timeouts family present")
+        .trim()
+        .parse()
+        .expect("counter value");
+    assert!(timeouts >= 1, "reactor must count the reaped dribble");
+
+    handle.shutdown();
+}
+
+#[test]
+fn idle_keepalive_parks_past_read_timeout_and_still_serves() {
+    let read_timeout = Duration::from_millis(250);
+    let server = Server::bind(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        read_timeout,
+        ..ServiceConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = server.start().expect("start");
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+        .expect("send");
+    let (status, body) = read_one_response(&mut reader);
+    assert_eq!(status, 200);
+
+    // The health body exposes the reactor: this very connection is
+    // registered, parked at zero worker cost.
+    let health = Json::parse(&body).expect("health json");
+    let reactor = health.get("reactor").expect("reactor section");
+    assert!(
+        reactor.get("connections").and_then(Json::as_u64) >= Some(1),
+        "parked connection must show in the gauge: {body}"
+    );
+
+    // Park well past the request-read timeout. The deadline only arms
+    // on the first byte of a request, so an idle keep-alive outlives it.
+    std::thread::sleep(read_timeout * 4);
+
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")
+        .expect("send after parking");
+    let (status, _) = read_one_response(&mut reader);
+    assert_eq!(
+        status, 200,
+        "an idle keep-alive connection must survive the read timeout"
+    );
 
     handle.shutdown();
 }

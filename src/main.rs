@@ -86,14 +86,18 @@ fn print_help() {
                variation-afflicted array, Monte-Carlo error statistics\n\
            nanoxbar serve [--addr A] [--threads T] [--cache-capacity C]\n\
                           [--state-dir DIR] [--max-body-bytes N]\n\
-                          [--peers H:P,H:P,...] [--advertise H:P]\n\
+                          [--max-conns N] [--peers H:P,H:P,...] [--advertise H:P]\n\
                serve synthesis over HTTP (POST /v1/synthesize, /v1/map,\n\
                /v1/batch, /v1/mvm; GET /healthz, /metrics). --threads sets the HTTP\n\
-               workers; NANOXBAR_THREADS sizes the synthesis pool;\n\
+               workers (idle keep-alive connections park in the event\n\
+               reactor and hold no worker); NANOXBAR_THREADS sizes the\n\
+               synthesis pool;\n\
                --cache-capacity is a weight budget (crosspoints);\n\
                --state-dir persists the result cache and mapper sessions\n\
                across restarts (crash-safe append-only logs);\n\
                --max-body-bytes caps accepted request bodies;\n\
+               --max-conns caps concurrently open connections (beyond it,\n\
+               new clients are shed with 503 + Retry-After);\n\
                --peers joins a replica fleet (consistent-hash peer cache\n\
                fills, migratable sessions; --advertise overrides the ring\n\
                address when it differs from --addr).\n\
@@ -646,6 +650,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .filter(|&bytes| bytes >= 1)
             .ok_or_else(|| format!("bad body limit {limit:?}"))?;
     }
+    if let Some(limit) = take_option(&mut args, "--max-conns") {
+        config.max_conns = limit
+            .parse::<usize>()
+            .ok()
+            .filter(|&conns| conns >= 1)
+            .ok_or_else(|| format!("bad connection limit {limit:?}"))?;
+    }
     if let Some(peers) = take_option(&mut args, "--peers") {
         let mut parsed = Vec::new();
         for part in peers.split(',') {
@@ -688,10 +699,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     println!(
         "nanoxbar-service listening on http://{addr} \
-         ({} workers, cache capacity {}, pool threads {})",
+         ({} workers, cache capacity {}, pool threads {}, max conns {})",
         config.workers,
         config.cache_capacity,
-        nanoxbar::par::threads()
+        nanoxbar::par::threads(),
+        config.max_conns
     );
     match &config.state_dir {
         Some(dir) => println!("durable state: {} (crash-safe logs)", dir.display()),
@@ -839,6 +851,8 @@ mod tests {
         run_err(&["serve", "--cache-capacity", "many"]);
         run_err(&["serve", "--max-body-bytes", "0"]);
         run_err(&["serve", "--max-body-bytes", "lots"]);
+        run_err(&["serve", "--max-conns", "0"]);
+        run_err(&["serve", "--max-conns", "unlimited"]);
         run_err(&["serve", "--state-dir", ""]);
         run_err(&["serve", "--peers", ""]);
         run_err(&["serve", "--peers", "127.0.0.1:8081,nonsense"]);

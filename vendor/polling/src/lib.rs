@@ -1,0 +1,764 @@
+//! Offline stand-in for the subset of the `polling` crate the workspace
+//! uses: a level-triggered readiness facility plus a cross-thread wakeup
+//! channel. On Linux the [`Poller`] is backed by `epoll(7)` — wakeup
+//! cost scales with the number of *ready* descriptors, so thousands of
+//! parked idle connections cost nothing per event — and by `poll(2)` on
+//! other Unixes ([`wait_one`] is always `poll(2)`: for a single
+//! descriptor the two are equivalent and `poll` needs no setup syscall).
+//!
+//! The build environment has no crates.io access and the workspace has
+//! no `libc` dependency, but `std` itself links the platform C library,
+//! so the `poll(2)`/`epoll(7)` entry points are already in the process
+//! image — this crate declares them and wraps them in a safe
+//! registration API (the same policy as the vendored `signal-hook`
+//! stand-in). Only what the `nanoxbar-service` reactor needs is
+//! reproduced:
+//!
+//! - [`Poller::add`] / [`Poller::modify`] / [`Poller::delete`] register
+//!   file descriptors with a caller-chosen `usize` key and a read/write
+//!   interest ([`Event`]).
+//! - [`Poller::wait`] blocks (with an optional timeout) until at least
+//!   one registered descriptor is ready or [`Poller::notify`] is called
+//!   from another thread, and appends one [`Event`] per ready
+//!   descriptor. Readiness is **level-triggered**: a descriptor that
+//!   stays readable is reported again on the next wait.
+//! - Error/hangup conditions (`POLLERR`/`POLLHUP`/`POLLNVAL`) are
+//!   reported as both readable and writable, so the caller's next IO
+//!   attempt observes the real `io::Error` — the strategy the real
+//!   crate documents.
+//!
+//! The wakeup channel is a pair of connected, non-blocking loopback UDP
+//! sockets rather than `pipe(2)`: `std` can build those without any
+//! further FFI, and a 1-byte datagram is a perfectly good doorbell.
+
+#![warn(missing_docs)]
+#![cfg(unix)]
+
+use std::collections::HashMap;
+use std::io;
+use std::net::UdpSocket;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// `poll(2)` event flag: data may be read without blocking.
+const POLLIN: i16 = 0x001;
+/// `poll(2)` event flag: data may be written without blocking.
+const POLLOUT: i16 = 0x004;
+/// `poll(2)` result flag: error condition on the descriptor.
+const POLLERR: i16 = 0x008;
+/// `poll(2)` result flag: peer hung up.
+const POLLHUP: i16 = 0x010;
+/// `poll(2)` result flag: the descriptor is not open.
+const POLLNVAL: i16 = 0x020;
+
+#[cfg(target_os = "linux")]
+type Nfds = std::os::raw::c_ulong;
+#[cfg(not(target_os = "linux"))]
+type Nfds = std::os::raw::c_uint;
+
+#[repr(C)]
+struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+// `std` links the platform C library, so `poll(2)` is present in every
+// binary this workspace produces.
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: Nfds, timeout: i32) -> i32;
+}
+
+/// The `epoll(7)` backend: readiness registration lives in the kernel,
+/// so a wait costs O(ready events), not O(registered descriptors).
+#[cfg(target_os = "linux")]
+mod epoll_sys {
+    use std::io;
+    use std::os::raw::c_int;
+    use std::os::unix::io::RawFd;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+
+    /// The kernel's `struct epoll_event`. Packed on x86, naturally
+    /// aligned elsewhere — the same split glibc's `__EPOLL_PACKED`
+    /// makes.
+    #[derive(Clone, Copy)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    impl EpollEvent {
+        pub const EMPTY: EpollEvent = EpollEvent { events: 0, data: 0 };
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// An owned epoll instance.
+    #[derive(Debug)]
+    pub struct Epoll {
+        fd: RawFd,
+    }
+
+    impl Epoll {
+        pub fn new() -> io::Result<Epoll> {
+            // SAFETY: plain syscall, no memory involved.
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll { fd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+            let mut event = EpollEvent { events, data };
+            // SAFETY: `event` outlives the call; the kernel copies it.
+            if unsafe { epoll_ctl(self.fd, op, fd, &mut event) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn add(&self, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, events, data)
+        }
+
+        pub fn modify(&self, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, events, data)
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Waits for up to `buf.len()` events; returns how many arrived.
+        pub fn wait(&self, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            // SAFETY: `buf` is a live, correctly-sized `epoll_event`
+            // array for the duration of the call.
+            let n = unsafe {
+                epoll_wait(
+                    self.fd,
+                    buf.as_mut_ptr(),
+                    buf.len().min(i32::MAX as usize) as c_int,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(n as usize)
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            // SAFETY: we own the descriptor and drop it exactly once.
+            unsafe { close(self.fd) };
+        }
+    }
+
+    /// Maps an interest to an epoll event mask (level-triggered; errors
+    /// and hangups are always reported regardless of the mask).
+    pub fn mask(readable: bool, writable: bool) -> u32 {
+        let mut mask = 0;
+        if readable {
+            mask |= EPOLLIN;
+        }
+        if writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+}
+
+/// Interest in — or readiness of — one registered descriptor, tagged
+/// with the caller's key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// The key the descriptor was registered under.
+    pub key: usize,
+    /// Interested in / ready for reading.
+    pub readable: bool,
+    /// Interested in / ready for writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Read interest only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Write interest only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Read and write interest.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest — the descriptor stays registered (and still reports
+    /// errors/hangups) but is not watched for data.
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// One-shot readiness wait on a single descriptor — `poll(2)` without
+/// the registration machinery or the wakeup channel. Returns the
+/// readiness observed (error/hangup conditions report as both readable
+/// and writable, like [`Poller::wait`]); [`Event::none`] with the same
+/// key on timeout. `None` waits indefinitely.
+///
+/// This is what a client-side connection uses to bound an individual
+/// non-blocking read or write: cheaper than a [`Poller`] (no doorbell
+/// sockets) and safe to call from any thread.
+///
+/// # Errors
+///
+/// Propagates `poll(2)` failures (`EINTR` is retried internally with the
+/// remaining timeout).
+pub fn wait_one(
+    source: &impl AsRawFd,
+    interest: Event,
+    timeout: Option<Duration>,
+) -> io::Result<Event> {
+    let deadline = timeout.map(|t| Instant::now() + t);
+    let mut mask = 0i16;
+    if interest.readable {
+        mask |= POLLIN;
+    }
+    if interest.writable {
+        mask |= POLLOUT;
+    }
+    loop {
+        let mut fds = [PollFd {
+            fd: source.as_raw_fd(),
+            events: mask,
+            revents: 0,
+        }];
+        let timeout_ms = match deadline {
+            None => -1i32,
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                i32::try_from(remaining.as_millis().min(i32::MAX as u128)).unwrap_or(i32::MAX)
+                    + i32::from(remaining.subsec_nanos() % 1_000_000 != 0)
+            }
+        };
+        // SAFETY: `fds` is a live, correctly-sized `pollfd` array for
+        // the duration of the call, and `poll` does not retain it.
+        let ready = unsafe { poll(fds.as_mut_ptr(), 1 as Nfds, timeout_ms) };
+        if ready < 0 {
+            let error = io::Error::last_os_error();
+            if error.kind() == io::ErrorKind::Interrupted {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Ok(Event::none(interest.key));
+                }
+                continue;
+            }
+            return Err(error);
+        }
+        if ready == 0 {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Ok(Event::none(interest.key));
+            }
+            continue; // kernel surprise with -1 timeout: never spin
+        }
+        let revents = fds[0].revents;
+        let broken = revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+        return Ok(Event {
+            key: interest.key,
+            readable: broken || revents & POLLIN != 0,
+            writable: broken || revents & POLLOUT != 0,
+        });
+    }
+}
+
+/// On Linux the reserved epoll user-data value that marks the wakeup
+/// doorbell (no connection key ever equals it: keys are caller-chosen
+/// but `u64::MAX` is documented as reserved).
+#[cfg(target_os = "linux")]
+const WAKER_TOKEN: u64 = u64::MAX;
+
+/// A readiness poller — `epoll(7)` on Linux, `poll(2)` elsewhere.
+///
+/// Registration methods may be called from any thread; [`Poller::wait`]
+/// is intended for one dedicated event-loop thread, with other threads
+/// using [`Poller::notify`] to interrupt it. On Linux the key
+/// `usize::MAX` is reserved for the internal doorbell.
+pub struct Poller {
+    interests: Mutex<HashMap<RawFd, Event>>,
+    #[cfg(target_os = "linux")]
+    epoll: epoll_sys::Epoll,
+    /// Wakeup doorbell: `notify` sends one datagram to `waker_rx`.
+    waker_tx: UdpSocket,
+    waker_rx: UdpSocket,
+}
+
+impl Poller {
+    /// Creates a poller (and its internal wakeup channel).
+    ///
+    /// # Errors
+    ///
+    /// Propagates loopback socket setup failures.
+    pub fn new() -> io::Result<Poller> {
+        let waker_rx = UdpSocket::bind("127.0.0.1:0")?;
+        let waker_tx = UdpSocket::bind("127.0.0.1:0")?;
+        waker_tx.connect(waker_rx.local_addr()?)?;
+        waker_rx.set_nonblocking(true)?;
+        waker_tx.set_nonblocking(true)?;
+        #[cfg(target_os = "linux")]
+        let epoll = {
+            let epoll = epoll_sys::Epoll::new()?;
+            epoll.add(waker_rx.as_raw_fd(), epoll_sys::EPOLLIN, WAKER_TOKEN)?;
+            epoll
+        };
+        Ok(Poller {
+            interests: Mutex::new(HashMap::new()),
+            #[cfg(target_os = "linux")]
+            epoll,
+            waker_tx,
+            waker_rx,
+        })
+    }
+
+    /// Registers `source` under `interest.key`. The caller keeps
+    /// ownership of the descriptor and must [`Poller::delete`] it before
+    /// closing it.
+    ///
+    /// # Errors
+    ///
+    /// `AlreadyExists` if the descriptor is already registered.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut interests = self.lock();
+        if interests.contains_key(&fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "descriptor already registered",
+            ));
+        }
+        #[cfg(target_os = "linux")]
+        self.epoll.add(
+            fd,
+            epoll_sys::mask(interest.readable, interest.writable),
+            interest.key as u64,
+        )?;
+        interests.insert(fd, interest);
+        Ok(())
+    }
+
+    /// Replaces the interest of an already-registered descriptor.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` if the descriptor was never added.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        match self.lock().get_mut(&fd) {
+            Some(slot) => {
+                #[cfg(target_os = "linux")]
+                self.epoll.modify(
+                    fd,
+                    epoll_sys::mask(interest.readable, interest.writable),
+                    interest.key as u64,
+                )?;
+                *slot = interest;
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "descriptor not registered",
+            )),
+        }
+    }
+
+    /// Deregisters a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` if the descriptor was never added.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        match self.lock().remove(&source.as_raw_fd()) {
+            Some(_) => {
+                // A descriptor closed before deletion already left the
+                // kernel's epoll set on its own; the map is canonical.
+                #[cfg(target_os = "linux")]
+                let _ = self.epoll.delete(source.as_raw_fd());
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "descriptor not registered",
+            )),
+        }
+    }
+
+    /// How many descriptors are currently registered.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no descriptors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Blocks until a registered descriptor is ready, the timeout
+    /// elapses, or [`Poller::notify`] is called; appends the ready
+    /// events and returns how many were appended (0 on timeout or bare
+    /// notify). `None` waits indefinitely. A pending notify is consumed
+    /// by the wait that observes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_wait(2)`/`poll(2)` failures (`EINTR` is retried
+    /// internally with the remaining timeout).
+    #[cfg(target_os = "linux")]
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        use epoll_sys::{EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            let timeout_ms = match deadline {
+                None => -1i32,
+                Some(deadline) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    // Round up so sub-millisecond waits sleep instead of
+                    // spinning; cap at i32 range.
+                    i32::try_from(remaining.as_millis().min(i32::MAX as u128)).unwrap_or(i32::MAX)
+                        + i32::from(remaining.subsec_nanos() % 1_000_000 != 0)
+                }
+            };
+            let mut buf = [epoll_sys::EpollEvent::EMPTY; 256];
+            let ready = match self.epoll.wait(&mut buf, timeout_ms) {
+                Ok(n) => n,
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return Ok(0);
+                    }
+                    continue;
+                }
+                Err(error) => return Err(error),
+            };
+            let mut appended = 0;
+            for raw in &buf[..ready] {
+                let (mask, data) = (raw.events, raw.data);
+                if data == WAKER_TOKEN {
+                    // Drain the doorbell regardless of who else is ready.
+                    let mut sink = [0u8; 16];
+                    while self.waker_rx.recv(&mut sink).is_ok() {}
+                    continue;
+                }
+                let broken = mask & (EPOLLERR | EPOLLHUP) != 0;
+                events.push(Event {
+                    key: data as usize,
+                    readable: broken || mask & EPOLLIN != 0,
+                    writable: broken || mask & EPOLLOUT != 0,
+                });
+                appended += 1;
+            }
+            if ready > 0 {
+                return Ok(appended);
+            }
+            // Timed out (epoll_wait returned 0)?
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Ok(0);
+            }
+            // Cannot happen with a -1 timeout, but never spin on a
+            // kernel surprise.
+        }
+    }
+
+    /// Blocks until a registered descriptor is ready, the timeout
+    /// elapses, or [`Poller::notify`] is called; appends the ready
+    /// events and returns how many were appended (0 on timeout or bare
+    /// notify). `None` waits indefinitely. A pending notify is consumed
+    /// by the wait that observes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `poll(2)` failures (`EINTR` is retried internally with
+    /// the remaining timeout).
+    #[cfg(not(target_os = "linux"))]
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            // Snapshot the interest set: registrations racing this wait
+            // land in the next one (notify() is how racers force that).
+            let mut fds: Vec<PollFd> = vec![PollFd {
+                fd: self.waker_rx.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            }];
+            let keys: Vec<Event> = {
+                let interests = self.lock();
+                let mut keys = Vec::with_capacity(interests.len());
+                for (&fd, &interest) in interests.iter() {
+                    let mut mask = 0i16;
+                    if interest.readable {
+                        mask |= POLLIN;
+                    }
+                    if interest.writable {
+                        mask |= POLLOUT;
+                    }
+                    fds.push(PollFd {
+                        fd,
+                        events: mask,
+                        revents: 0,
+                    });
+                    keys.push(interest);
+                }
+                keys
+            };
+            let timeout_ms = match deadline {
+                None => -1i32,
+                Some(deadline) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    // Round up so sub-millisecond waits sleep instead of
+                    // spinning; cap at i32 range.
+                    i32::try_from(remaining.as_millis().min(i32::MAX as u128)).unwrap_or(i32::MAX)
+                        + i32::from(remaining.subsec_nanos() % 1_000_000 != 0)
+                }
+            };
+            // SAFETY: `fds` is a live, correctly-sized `pollfd` array for
+            // the duration of the call, and `poll` does not retain it.
+            let ready = unsafe { poll(fds.as_mut_ptr(), fds.len() as Nfds, timeout_ms) };
+            if ready < 0 {
+                let error = io::Error::last_os_error();
+                if error.kind() == io::ErrorKind::Interrupted {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return Ok(0);
+                    }
+                    continue;
+                }
+                return Err(error);
+            }
+            // Drain the doorbell regardless of who else is ready.
+            if fds[0].revents != 0 {
+                let mut sink = [0u8; 16];
+                while self.waker_rx.recv(&mut sink).is_ok() {}
+            }
+            let mut appended = 0;
+            for (slot, interest) in fds[1..].iter().zip(&keys) {
+                if slot.revents == 0 {
+                    continue;
+                }
+                let broken = slot.revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+                events.push(Event {
+                    key: interest.key,
+                    readable: broken || slot.revents & POLLIN != 0,
+                    writable: broken || slot.revents & POLLOUT != 0,
+                });
+                appended += 1;
+            }
+            if appended > 0 || ready > 0 {
+                return Ok(appended);
+            }
+            // Timed out (poll returned 0)?
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Ok(0);
+            }
+            if deadline.is_none() && ready == 0 {
+                // Cannot happen (-1 timeout never returns 0), but never
+                // spin on a kernel surprise.
+                continue;
+            }
+        }
+    }
+
+    /// Interrupts a concurrent [`Poller::wait`] from another thread; a
+    /// notify with no wait in progress wakes the next wait immediately.
+    pub fn notify(&self) {
+        // A full doorbell buffer already guarantees a wakeup.
+        let _ = self.waker_tx.send(&[1]);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<RawFd, Event>> {
+        self.interests.lock().expect("poller poisoned")
+    }
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller")
+            .field("registered", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn readable_when_bytes_arrive_and_not_before() {
+        let (mut client, server) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&server, Event::readable(7)).unwrap();
+
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0, "no data yet: {events:?}");
+
+        client.write_all(b"x").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: still readable until consumed.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        let mut byte = [0u8; 1];
+        let (mut server, _keep) = (server, client);
+        server.read_exact(&mut byte).unwrap();
+    }
+
+    #[test]
+    fn writable_sockets_report_immediately() {
+        let (client, _server) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&client, Event::writable(3)).unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].writable);
+        assert!(!events[0].readable);
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = poller.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.notify();
+        });
+        let started = Instant::now();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert_eq!(n, 0, "a bare notify carries no events");
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "notify did not interrupt the wait"
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn registration_errors_are_typed_and_interests_modifiable() {
+        let (client, server) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&server, Event::none(0)).unwrap();
+        assert_eq!(
+            poller.add(&server, Event::readable(0)).unwrap_err().kind(),
+            io::ErrorKind::AlreadyExists
+        );
+        assert_eq!(
+            poller
+                .modify(&client, Event::readable(1))
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::NotFound
+        );
+        poller.modify(&server, Event::all(9)).unwrap();
+        assert_eq!(poller.len(), 1);
+        poller.delete(&server).unwrap();
+        assert!(poller.is_empty());
+        assert_eq!(
+            poller.delete(&server).unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+    }
+
+    #[test]
+    fn wait_one_times_out_then_sees_data_and_hangup() {
+        let (mut client, server) = pair();
+        let timed = wait_one(&server, Event::readable(5), Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(timed, Event::none(5), "no data yet");
+
+        client.write_all(b"y").unwrap();
+        let ready = wait_one(&server, Event::readable(5), Some(Duration::from_secs(5))).unwrap();
+        assert!(ready.readable && !ready.writable);
+
+        // Writable side reports immediately on a fresh socket.
+        let w = wait_one(&server, Event::writable(6), Some(Duration::from_secs(5))).unwrap();
+        assert!(w.writable);
+
+        drop(client);
+        let hup = wait_one(&server, Event::readable(5), Some(Duration::from_secs(5))).unwrap();
+        assert!(hup.readable, "hangup must surface as readiness");
+    }
+
+    #[test]
+    fn hangup_reports_as_ready_so_io_sees_the_error() {
+        let (client, server) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&server, Event::readable(4)).unwrap();
+        drop(client);
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].readable, "hangup must surface as readiness");
+    }
+}
